@@ -1,0 +1,148 @@
+(* Benchmark harness: regenerates every experiment table of DESIGN.md's
+   per-experiment index (E1, R1, T1, A2, E2, A1, H1, B1, L1, C1) and times
+   the pieces with Bechamel — one Test.make per table, plus
+   micro-benchmarks of the library's hot paths.
+
+   Usage:
+     dune exec bench/main.exe                 # tables + timings
+     dune exec bench/main.exe -- --tables     # tables only
+     dune exec bench/main.exe -- --experiment E1
+*)
+
+module Experiment = Repro_experiments.Experiment
+module Checker = Repro_history.Checker
+module History = Repro_history.History
+module Generator = Repro_history.Generator
+module Share_graph = Repro_sharegraph.Share_graph
+module Distribution = Repro_sharegraph.Distribution
+module Workload = Repro_core.Workload
+module Pram_partial = Repro_core.Pram_partial
+module Bellman_ford = Repro_apps.Bellman_ford
+module Wgraph = Repro_apps.Wgraph
+module Rng = Repro_util.Rng
+module Table = Repro_util.Table
+
+let seed = 20_240_601
+
+(* --- the experiment tables --------------------------------------------------- *)
+
+let print_tables () =
+  List.iter
+    (fun table ->
+      print_string (Experiment.render table);
+      print_newline ())
+    (Experiment.all ~seed ())
+
+let print_one id =
+  match Experiment.find id with
+  | Some f ->
+      print_string (Experiment.render (f ~seed ()));
+      true
+  | None ->
+      Printf.eprintf "unknown experiment %s (known: %s)\n" id
+        (String.concat ", " Experiment.ids);
+      false
+
+(* --- bechamel ----------------------------------------------------------------- *)
+
+open Bechamel
+open Toolkit
+
+(* one Test.make per experiment table (smaller parameters so each probe is
+   sub-second; the printed tables above use the full parameters) *)
+let table_tests =
+  [
+    Test.make ~name:"table:E1-scaling"
+      (Staged.stage (fun () -> Experiment.scaling ~sizes:[ 4; 8 ] ~seed ()));
+    Test.make ~name:"table:R1-replication-sweep"
+      (Staged.stage (fun () -> Experiment.replication_sweep ~n:6 ~seed ()));
+    Test.make ~name:"table:T1-mention-audit"
+      (Staged.stage (fun () -> Experiment.mention_audit ~seed ()));
+    Test.make ~name:"table:A2-criterion-matrix"
+      (Staged.stage (fun () -> Experiment.criterion_matrix ~seed ()));
+    Test.make ~name:"table:E2-bellman-ford"
+      (Staged.stage (fun () -> Experiment.bellman_ford ~seed ()));
+    Test.make ~name:"table:A1-adhoc-ablation"
+      (Staged.stage (fun () -> Experiment.adhoc_ablation ~seed ()));
+    Test.make ~name:"table:H1-hoop-census"
+      (Staged.stage (fun () -> Experiment.hoop_census ~seed ()));
+    Test.make ~name:"table:B1-bottleneck"
+      (Staged.stage (fun () -> Experiment.bottleneck ~seed ()));
+    Test.make ~name:"table:L1-loss-sweep"
+      (Staged.stage (fun () -> Experiment.loss_sweep ~seed ()));
+    Test.make ~name:"table:C1-op-costs"
+      (Staged.stage (fun () -> Experiment.op_costs ~seed ()));
+  ]
+
+(* micro-benchmarks of the load-bearing machinery *)
+let micro_tests =
+  let fig4 =
+    let open Repro_history.Op in
+    History.of_lists
+      [
+        [ write ~var:0 (Val 1); read ~var:0 (Val 1); write ~var:1 (Val 2) ];
+        [ read ~var:1 (Val 2); write ~var:1 (Val 3) ];
+        [ read ~var:1 (Val 3); read ~var:0 Init ];
+      ]
+  in
+  let medium_history =
+    Generator.causal_consistent (Rng.create seed)
+      { Generator.procs = 4; vars = 3; ops_per_proc = 8; read_ratio = 0.5 }
+  in
+  let ring = Share_graph.of_distribution (Distribution.ring ~n_procs:10) in
+  let hoopy =
+    Distribution.of_lists ~n_vars:4 [ [ 0; 1 ]; [ 1; 2 ]; [ 2; 3 ]; [ 0; 3 ] ]
+  in
+  [
+    Test.make ~name:"micro:check-causal-fig4"
+      (Staged.stage (fun () -> Checker.check Checker.Causal fig4));
+    Test.make ~name:"micro:check-pram-medium"
+      (Staged.stage (fun () -> Checker.check Checker.Pram medium_history));
+    Test.make ~name:"micro:check-causal-medium"
+      (Staged.stage (fun () -> Checker.check Checker.Causal medium_history));
+    Test.make ~name:"micro:hoops-ring10"
+      (Staged.stage (fun () -> Share_graph.hoops ring ~var:0));
+    Test.make ~name:"micro:x-relevant-ring10"
+      (Staged.stage (fun () -> Share_graph.x_relevant ring ~var:0));
+    Test.make ~name:"micro:pram-workload-run"
+      (Staged.stage (fun () ->
+           let memory = Pram_partial.create ~dist:hoopy ~seed () in
+           Workload.run_random ~seed:(seed + 1) memory));
+    Test.make ~name:"micro:bellman-ford-fig8"
+      (Staged.stage (fun () -> Bellman_ford.run ~seed Wgraph.fig8 ~source:0));
+  ]
+
+let run_benchmarks () =
+  let tests = Test.make_grouped ~name:"repro" ~fmt:"%s %s" (table_tests @ micro_tests) in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true ~kde:None ()
+  in
+  let raw = Benchmark.all cfg instances tests in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      let cell =
+        match Analyze.OLS.estimates ols_result with
+        | Some [ est ] ->
+            if est > 1_000_000.0 then Printf.sprintf "%.2f ms" (est /. 1_000_000.0)
+            else if est > 1_000.0 then Printf.sprintf "%.2f us" (est /. 1_000.0)
+            else Printf.sprintf "%.0f ns" est
+        | _ -> "n/a"
+      in
+      rows := [ name; cell ] :: !rows)
+    results;
+  let rows = List.sort compare !rows in
+  print_endline "== Bechamel timings (monotonic clock, OLS per run) ==";
+  Table.print ~header:[ "benchmark"; "time/run" ] ~rows ()
+
+let () =
+  let args = Array.to_list Sys.argv in
+  match args with
+  | _ :: "--tables" :: _ -> print_tables ()
+  | _ :: "--experiment" :: id :: _ -> if not (print_one id) then exit 1
+  | _ ->
+      print_tables ();
+      run_benchmarks ()

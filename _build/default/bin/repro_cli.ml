@@ -1,0 +1,422 @@
+(* Command-line front-end to the partial-replication DSM library.
+
+   repro protocols                     list protocol implementations
+   repro analyze --dist ring:5         share-graph / hoop / Theorem-1 analysis
+   repro run --protocol pram-partial   run a workload, check every criterion
+   repro check file.hist               check a textual history
+   repro bellman-ford --nodes 8        the paper's case study
+   repro experiment E1                 regenerate an experiment table
+*)
+
+module Distribution = Repro_sharegraph.Distribution
+module Share_graph = Repro_sharegraph.Share_graph
+module Checker = Repro_history.Checker
+module History = Repro_history.History
+module Memory = Repro_core.Memory
+module Registry = Repro_core.Registry
+module Workload = Repro_core.Workload
+module Bellman_ford = Repro_apps.Bellman_ford
+module Wgraph = Repro_apps.Wgraph
+module Experiment = Repro_experiments.Experiment
+module Table = Repro_util.Table
+module Bitset = Repro_util.Bitset
+module Rng = Repro_util.Rng
+
+open Cmdliner
+
+(* --- distribution specs ------------------------------------------------------ *)
+
+let parse_int_args name spec expected =
+  match String.split_on_char ':' spec with
+  | [ _ ] when expected = 0 -> Ok []
+  | [ _; args ] -> (
+      let parts = String.split_on_char ',' args in
+      if List.length parts <> expected then
+        Error
+          (Printf.sprintf "%s expects %d comma-separated parameters" name expected)
+      else
+        try Ok (List.map int_of_string parts)
+        with Failure _ -> Error (Printf.sprintf "%s: non-numeric parameter" name))
+  | _ -> Error (Printf.sprintf "malformed distribution spec %S" spec)
+
+let distribution_of_spec spec =
+  let name = List.hd (String.split_on_char ':' spec) in
+  match name with
+  | "fig1" -> Ok (Distribution.of_lists ~n_vars:2 [ [ 0; 1 ]; [ 0 ]; [ 1 ] ])
+  | "cycle4" ->
+      Ok (Distribution.of_lists ~n_vars:4 [ [ 0; 1 ]; [ 1; 2 ]; [ 2; 3 ]; [ 0; 3 ] ])
+  | "ring" ->
+      Result.map
+        (fun args ->
+          match args with [ n ] -> Distribution.ring ~n_procs:n | _ -> assert false)
+        (parse_int_args "ring" spec 1)
+  | "chain" ->
+      Result.map
+        (fun args ->
+          match args with [ n ] -> Distribution.chain ~n_procs:n | _ -> assert false)
+        (parse_int_args "chain" spec 1)
+  | "star" ->
+      Result.map
+        (fun args ->
+          match args with [ n ] -> Distribution.star ~n_procs:n | _ -> assert false)
+        (parse_int_args "star" spec 1)
+  | "grid" ->
+      Result.map
+        (fun args ->
+          match args with
+          | [ r; c ] -> Distribution.grid ~rows:r ~cols:c
+          | _ -> assert false)
+        (parse_int_args "grid" spec 2)
+  | "clustered" ->
+      Result.map
+        (fun args ->
+          match args with
+          | [ p; v; c ] -> Distribution.clustered ~n_procs:p ~n_vars:v ~clusters:c
+          | _ -> assert false)
+        (parse_int_args "clustered" spec 3)
+  | "full" ->
+      Result.map
+        (fun args ->
+          match args with
+          | [ p; v ] -> Distribution.full ~n_procs:p ~n_vars:v
+          | _ -> assert false)
+        (parse_int_args "full" spec 2)
+  | "random" ->
+      Result.map
+        (fun args ->
+          match args with
+          | [ p; v; r; seed ] ->
+              Distribution.random (Rng.create seed) ~n_procs:p ~n_vars:v
+                ~replicas_per_var:r
+          | _ -> assert false)
+        (parse_int_args "random" spec 4)
+  | "lists" -> (
+      (* lists:0,1;1,2;2 — per-process variable lists, ';'-separated *)
+      match String.index_opt spec ':' with
+      | None -> Error "lists: expects per-process variable lists"
+      | Some colon -> (
+          let body = String.sub spec (colon + 1) (String.length spec - colon - 1) in
+          try
+            let per_proc =
+              String.split_on_char ';' body
+              |> List.map (fun group ->
+                     String.split_on_char ',' group
+                     |> List.filter (fun s -> String.trim s <> "")
+                     |> List.map (fun s -> int_of_string (String.trim s)))
+            in
+            let n_vars =
+              1 + List.fold_left (List.fold_left Stdlib.max) (-1) per_proc
+            in
+            if n_vars <= 0 then Error "lists: no variables"
+            else Ok (Distribution.of_lists ~n_vars per_proc)
+          with Failure _ | Invalid_argument _ ->
+            Error (Printf.sprintf "malformed lists spec %S" spec)))
+  | other -> Error (Printf.sprintf "unknown distribution %S" other)
+
+let dist_conv =
+  let parse spec =
+    match distribution_of_spec spec with
+    | Ok d -> Ok d
+    | Error msg -> Error (`Msg msg)
+  in
+  let print ppf d =
+    Format.fprintf ppf "<distribution %dp/%dv>" (Distribution.n_procs d)
+      (Distribution.n_vars d)
+  in
+  Arg.conv (parse, print)
+
+let dist_arg =
+  let doc =
+    "Variable distribution: fig1, cycle4, ring:N, chain:N, star:N, grid:R,C, \
+     clustered:P,V,C, full:P,V, random:P,V,R,SEED or lists:0,1;1,2;2 (per-process\n     variable lists)."
+  in
+  Arg.(value & opt dist_conv (Result.get_ok (distribution_of_spec "cycle4"))
+       & info [ "d"; "dist" ] ~docv:"DIST" ~doc)
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "s"; "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+(* --- protocols ---------------------------------------------------------------- *)
+
+let protocols_cmd =
+  let run () =
+    let rows =
+      List.map
+        (fun spec ->
+          [
+            spec.Registry.name;
+            Checker.criterion_name spec.Registry.guarantees;
+            (if spec.Registry.requires_full_replication then "full" else "partial");
+            (if spec.Registry.blocking then "blocking" else "wait-free");
+            (if spec.Registry.efficient then "yes" else "no");
+          ])
+        Registry.all
+    in
+    Table.print
+      ~header:[ "protocol"; "guarantees"; "replication"; "operations"; "efficient" ]
+      ~rows ()
+  in
+  Cmd.v (Cmd.info "protocols" ~doc:"List the protocol implementations.")
+    Term.(const run $ const ())
+
+(* --- analyze ------------------------------------------------------------------- *)
+
+let analyze_cmd =
+  let run dist =
+    Format.printf "%a" Distribution.pp dist;
+    let sg = Share_graph.of_distribution dist in
+    Format.printf "%a" Share_graph.pp sg;
+    let rows =
+      List.init (Distribution.n_vars dist) (fun x ->
+          let hoops = Share_graph.hoops ~max_hoops:50 sg ~var:x in
+          [
+            Printf.sprintf "x%d" x;
+            "{"
+            ^ String.concat "," (List.map string_of_int (Distribution.holders dist x))
+            ^ "}";
+            string_of_int (List.length hoops);
+            Format.asprintf "%a" Bitset.pp (Share_graph.x_relevant sg ~var:x);
+          ])
+    in
+    Table.print ~header:[ "var"; "C(x)"; "#hoops"; "x-relevant (Thm 1)" ] ~rows ();
+    Printf.printf "efficient causal partial replication possible: %b\n"
+      (Share_graph.no_external_relevance sg)
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Share-graph analysis: cliques, hoops, Theorem 1 x-relevance.")
+    Term.(const run $ dist_arg)
+
+(* --- run ------------------------------------------------------------------------ *)
+
+let protocol_arg =
+  let protocol_conv =
+    Arg.conv
+      ( (fun name ->
+          match Registry.find name with
+          | Some spec -> Ok spec
+          | None ->
+              Error
+                (`Msg
+                   (Printf.sprintf "unknown protocol %s (known: %s)" name
+                      (String.concat ", " Registry.names)))),
+        fun ppf spec -> Format.pp_print_string ppf spec.Registry.name )
+  in
+  Arg.(value
+       & opt protocol_conv (Option.get (Registry.find "pram-partial"))
+       & info [ "p"; "protocol" ] ~docv:"PROTOCOL"
+           ~doc:"Protocol implementation (see $(b,protocols)).")
+
+let run_cmd =
+  let run spec dist seed ops read_ratio timed diagram =
+    let dist =
+      if spec.Registry.requires_full_replication then
+        Distribution.full ~n_procs:(Distribution.n_procs dist)
+          ~n_vars:(Distribution.n_vars dist)
+      else dist
+    in
+    let memory = spec.Registry.make ~dist ~seed () in
+    let profile = { Workload.ops_per_proc = ops; read_ratio; max_think = 3 } in
+    let rng = Repro_util.Rng.create (seed + 1) in
+    let programs = Workload.programs rng dist profile in
+    let h =
+      if timed then begin
+        let t = Repro_core.Runner.run_timed memory ~programs in
+        if diagram then print_string (Repro_history.Diagram.render_timed t)
+        else Format.printf "%a" Repro_history.Timed.pp t;
+        (match Repro_history.Timed.check_linearizable t with
+        | Repro_history.Timed.Linearizable -> print_endline "atomic (linearizable): yes"
+        | Repro_history.Timed.Not_linearizable ->
+            print_endline "atomic (linearizable): no"
+        | Repro_history.Timed.Undecidable _ ->
+            print_endline "atomic (linearizable): undecidable");
+        Repro_history.Timed.history t
+      end
+      else begin
+        let h = Repro_core.Runner.run memory ~programs in
+        if diagram then print_string (Repro_history.Diagram.render h)
+        else print_string (History.to_string h);
+        h
+      end
+    in
+    print_newline ();
+    let rows =
+      List.map
+        (fun criterion ->
+          [
+            Checker.criterion_name criterion;
+            (match Checker.check criterion h with
+            | Checker.Consistent -> "yes"
+            | Checker.Inconsistent -> "no"
+            | Checker.Undecidable _ -> "?");
+          ])
+        Checker.all_criteria
+      @ List.map
+          (fun guarantee ->
+            [
+              Repro_history.Session.guarantee_name guarantee;
+              (match Repro_history.Session.check guarantee h with
+              | Repro_history.Session.Holds -> "yes"
+              | Repro_history.Session.Violated -> "no"
+              | Repro_history.Session.Undecidable _ -> "?");
+            ])
+          Repro_history.Session.all_guarantees
+    in
+    Table.print ~header:[ "criterion"; "consistent" ] ~rows ();
+    let m = memory.Memory.metrics () in
+    Printf.printf
+      "\nmessages: %d   control bytes: %d   payload bytes: %d   off-clique mentions: %d\n"
+      m.Memory.messages_sent m.Memory.control_bytes m.Memory.payload_bytes
+      (Memory.total_offclique_mentions memory)
+  in
+  let ops_arg =
+    Arg.(value & opt int 8 & info [ "ops" ] ~doc:"Operations per process.")
+  in
+  let reads_arg =
+    Arg.(value & opt float 0.5 & info [ "read-ratio" ] ~doc:"Fraction of reads.")
+  in
+  let timed_arg =
+    Arg.(value & flag
+         & info [ "timed" ] ~doc:"Record invocation/response times and decide atomicity.")
+  in
+  let diagram_arg =
+    Arg.(value & flag & info [ "diagram" ] ~doc:"Render a space-time diagram.")
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:"Run a random workload on a protocol and check the recorded history.")
+    Term.(const run $ protocol_arg $ dist_arg $ seed_arg $ ops_arg $ reads_arg
+          $ timed_arg $ diagram_arg)
+
+(* --- check ------------------------------------------------------------------------ *)
+
+let check_cmd =
+  let run path diagram =
+    let text =
+      match path with
+      | "-" -> In_channel.input_all stdin
+      | path -> In_channel.with_open_text path In_channel.input_all
+    in
+    match History.parse text with
+    | Error msg ->
+        Printf.eprintf "parse error: %s\n" msg;
+        exit 1
+    | Ok h ->
+        if diagram then print_string (Repro_history.Diagram.render h)
+        else print_string (History.to_string h);
+        print_newline ();
+        let rows =
+          List.map
+            (fun criterion ->
+              [
+                Checker.criterion_name criterion;
+                (match Checker.check criterion h with
+                | Checker.Consistent -> "yes"
+                | Checker.Inconsistent -> "no"
+                | Checker.Undecidable _ -> "undecidable (non-differentiated)");
+              ])
+            Checker.all_criteria
+          @ List.map
+              (fun guarantee ->
+                [
+                  Repro_history.Session.guarantee_name guarantee;
+                  (match Repro_history.Session.check guarantee h with
+                  | Repro_history.Session.Holds -> "yes"
+                  | Repro_history.Session.Violated -> "no"
+                  | Repro_history.Session.Undecidable _ ->
+                      "undecidable (non-differentiated)");
+                ])
+              Repro_history.Session.all_guarantees
+        in
+        Table.print ~header:[ "criterion"; "consistent" ] ~rows ()
+  in
+  let path_arg =
+    Arg.(value & pos 0 string "-"
+         & info [] ~docv:"FILE" ~doc:"History file ('-' for stdin; format as printed by $(b,run)).")
+  in
+  let diagram_arg =
+    Arg.(value & flag
+         & info [ "diagram" ] ~doc:"Render a space-time diagram instead of plain text.")
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Check a textual history against every criterion.")
+    Term.(const run $ path_arg $ diagram_arg)
+
+(* --- bellman-ford ------------------------------------------------------------------ *)
+
+let bellman_ford_cmd =
+  let run spec nodes extra seed fig8 =
+    let g =
+      if fig8 then Wgraph.fig8
+      else Wgraph.random (Rng.create seed) ~n:nodes ~extra_edges:extra ~max_weight:9
+    in
+    Format.printf "%a" Wgraph.pp g;
+    let make ~dist ~seed = spec.Registry.make ~dist ~seed () in
+    let result = Bellman_ford.run ~make ~seed:(seed + 1) g ~source:0 in
+    let reference = Wgraph.reference_distances g ~source:0 in
+    let rows =
+      List.init (Wgraph.n_nodes g) (fun i ->
+          let show v = if v >= Wgraph.infinity_cost then "inf" else string_of_int v in
+          [
+            string_of_int i;
+            show result.Bellman_ford.distances.(i);
+            show reference.(i);
+          ])
+    in
+    Table.print ~header:[ "node"; "distributed"; "reference" ] ~rows ();
+    Printf.printf "exact: %b\n" (result.Bellman_ford.distances = reference)
+  in
+  let nodes_arg = Arg.(value & opt int 8 & info [ "n"; "nodes" ] ~doc:"Node count.") in
+  let extra_arg = Arg.(value & opt int 10 & info [ "extra-edges" ] ~doc:"Extra random edges.") in
+  let fig8_arg = Arg.(value & flag & info [ "fig8" ] ~doc:"Use the paper's Fig. 8 network.") in
+  Cmd.v
+    (Cmd.info "bellman-ford" ~doc:"Run the paper's §6 case study.")
+    Term.(const run $ protocol_arg $ nodes_arg $ extra_arg $ seed_arg $ fig8_arg)
+
+(* --- experiment --------------------------------------------------------------------- *)
+
+let experiment_cmd =
+  let run id seed =
+    match id with
+    | None ->
+        List.iter
+          (fun t ->
+            print_string (Experiment.render t);
+            print_newline ())
+          (Experiment.all ~seed ())
+    | Some id -> (
+        match Experiment.find id with
+        | Some f -> print_string (Experiment.render (f ~seed ()))
+        | None ->
+            Printf.eprintf "unknown experiment %s (known: %s)\n" id
+              (String.concat ", " Experiment.ids);
+            exit 1)
+  in
+  let id_arg =
+    Arg.(value & pos 0 (some string) None
+         & info [] ~docv:"ID" ~doc:"Experiment id (E1, T1, A2, E2, A1, C1); all when omitted.")
+  in
+  Cmd.v
+    (Cmd.info "experiment" ~doc:"Regenerate an experiment table from DESIGN.md.")
+    Term.(const run $ id_arg $ seed_arg)
+
+let () =
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  let info =
+    Cmd.info "repro" ~version:"1.0.0"
+      ~doc:
+        "Partial replication for distributed shared memory (Hélary & Milani, \
+         2005/2006): protocols, consistency checking, share-graph analysis and \
+         experiments."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default info
+          [
+            protocols_cmd;
+            analyze_cmd;
+            run_cmd;
+            check_cmd;
+            bellman_ford_cmd;
+            experiment_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/bellman_ford_demo.ml: Array Format List Printf Repro_apps Repro_core Repro_history Repro_sharegraph Repro_util

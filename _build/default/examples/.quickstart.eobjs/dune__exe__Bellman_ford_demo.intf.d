@@ -1,0 +1,1 @@
+examples/bellman_ford_demo.mli:

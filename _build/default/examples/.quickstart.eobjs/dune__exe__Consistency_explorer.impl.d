@@ -1,0 +1,1 @@
+examples/consistency_explorer.ml: List Printf Repro_history Repro_util String

@@ -1,0 +1,1 @@
+examples/jacobi_fixpoint.ml: Array Printf Repro_apps Repro_core Repro_util

@@ -1,0 +1,1 @@
+examples/jacobi_fixpoint.mli:

@@ -1,0 +1,1 @@
+examples/matrix_pipeline.ml: Array Printf Repro_apps Repro_core Repro_history Repro_sharegraph Repro_util String

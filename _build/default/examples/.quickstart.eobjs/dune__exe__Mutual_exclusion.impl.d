@@ -1,0 +1,1 @@
+examples/mutual_exclusion.ml: Fun List Option Repro_apps Repro_core Repro_msgpass Repro_util

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Format Printf Repro_core Repro_history Repro_sharegraph Repro_util

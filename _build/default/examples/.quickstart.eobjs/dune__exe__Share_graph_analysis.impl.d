@@ -1,0 +1,1 @@
+examples/share_graph_analysis.ml: Format List Printf Repro_sharegraph Repro_util String

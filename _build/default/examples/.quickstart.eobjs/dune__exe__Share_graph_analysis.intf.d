@@ -1,0 +1,1 @@
+examples/share_graph_analysis.mli:

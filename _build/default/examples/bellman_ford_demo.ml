@@ -1,0 +1,92 @@
+(* The paper's §6 case study end-to-end: distributed Bellman-Ford over a
+   partially replicated PRAM memory, on the Fig. 8 network and on a random
+   one, plus the efficiency comparison against a causal memory.
+
+   Run with: dune exec examples/bellman_ford_demo.exe *)
+
+module Wgraph = Repro_apps.Wgraph
+module Bellman_ford = Repro_apps.Bellman_ford
+module Memory = Repro_core.Memory
+module Runner = Repro_core.Runner
+module Registry = Repro_core.Registry
+module Distribution = Repro_sharegraph.Distribution
+module Share_graph = Repro_sharegraph.Share_graph
+module Table = Repro_util.Table
+module Rng = Repro_util.Rng
+
+let show_run name g =
+  Printf.printf "--- %s ---\n" name;
+  Format.printf "%a" Wgraph.pp g;
+  let dist = Bellman_ford.variable_distribution g in
+  Format.printf "variable distribution (x_i = x<i>, k_i = x<%d+i>):@."
+    (Wgraph.n_nodes g);
+  Format.printf "%a" Distribution.pp dist;
+  let result = Bellman_ford.run g ~source:0 in
+  let reference = Wgraph.reference_distances g ~source:0 in
+  let rows =
+    List.init (Wgraph.n_nodes g) (fun i ->
+        [
+          Printf.sprintf "node %d" i;
+          (let v = result.Bellman_ford.distances.(i) in
+           if v >= Wgraph.infinity_cost then "inf" else string_of_int v);
+          (let v = reference.(i) in
+           if v >= Wgraph.infinity_cost then "inf" else string_of_int v);
+        ])
+  in
+  Table.print ~header:[ "node"; "distributed"; "reference" ] ~rows ();
+  Printf.printf "agreement: %b (rounds: %d)\n"
+    (result.Bellman_ford.distances = reference)
+    result.Bellman_ford.rounds;
+  (* Fig. 9: the per-step operation pattern — here the ops of round 1 *)
+  let h = result.Bellman_ford.history in
+  Format.printf "round-1 operation pattern (paper Fig. 9):@.";
+  for i = 0 to Wgraph.n_nodes g - 1 do
+    let preds = Wgraph.predecessors g i in
+    let stride = List.length preds + 2 in
+    let ops = Repro_history.History.local h i in
+    let round_ops =
+      Array.to_list (Array.sub ops (2 + stride) stride)
+    in
+    Format.printf "  p%d: %a@." i
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "  ")
+         Repro_history.Op.pp)
+      round_ops
+  done;
+  print_newline ()
+
+let protocol_costs g =
+  Printf.printf "--- message cost per protocol (network of %d nodes) ---\n"
+    (Wgraph.n_nodes g);
+  let dist = Bellman_ford.variable_distribution g in
+  let rows =
+    List.filter_map
+      (fun spec ->
+        if spec.Registry.requires_full_replication || spec.Registry.blocking then None
+        else begin
+          let memory = spec.Registry.make ~dist ~seed:7 () in
+          let _ = Runner.run memory ~programs:(Bellman_ford.programs g ~source:0) in
+          let m = memory.Memory.metrics () in
+          Some
+            [
+              spec.Registry.name;
+              string_of_int m.Memory.messages_sent;
+              Table.fmt_bytes m.Memory.control_bytes;
+              string_of_int (Memory.total_offclique_mentions memory);
+            ]
+        end)
+      Registry.all
+  in
+  Table.print
+    ~header:[ "protocol"; "messages"; "control info"; "off-clique mentions" ]
+    ~rows ()
+
+let () =
+  show_run "paper Fig. 8 network (nodes renumbered 0-4)" Wgraph.fig8;
+  let random = Wgraph.random (Rng.create 3) ~n:8 ~extra_edges:12 ~max_weight:9 in
+  show_run "random 8-node network" random;
+  protocol_costs Wgraph.fig8;
+  print_newline ();
+  print_endline
+    "PRAM ships a sequence number to replica holders only; the causal protocols\n\
+     broadcast vector clocks — the efficiency gap the paper predicts (S3.3)."

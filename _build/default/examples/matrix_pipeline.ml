@@ -1,0 +1,57 @@
+(* Oblivious computations on PRAM memory (paper §5, citing Lipton &
+   Sandberg): a distributed matrix product and a pipelined LCS, both of
+   whose synchronization rests exactly on PRAM's per-writer ordering.
+
+   Run with: dune exec examples/matrix_pipeline.exe *)
+
+module Matrix = Repro_apps.Matrix
+module Lcs = Repro_apps.Lcs
+module Ntt = Repro_apps.Ntt
+module Memory = Repro_core.Memory
+module Share_graph = Repro_sharegraph.Share_graph
+module Table = Repro_util.Table
+
+let () =
+  print_endline "=== distributed matrix product ===";
+  let a = [| [| 1; 2; 3 |]; [| 4; 5; 6 |]; [| 7; 8; 9 |] |] in
+  let b = [| [| 1; 0; 1 |]; [| 0; 1; 1 |]; [| 1; 1; 0 |] |] in
+  let result = Matrix.run ~a ~b () in
+  let show m =
+    Array.iter
+      (fun row ->
+        print_string "  [ ";
+        Array.iter (fun v -> Printf.printf "%3d " v) row;
+        print_endline "]")
+      m
+  in
+  print_endline "A x B =";
+  show result.Matrix.product;
+  Printf.printf "matches sequential reference: %b\n\n"
+    (result.Matrix.product = Matrix.reference a b);
+
+  print_endline "=== pipelined LCS (wavefront dynamic programming) ===";
+  let s1 = "PARTIALREPLICATION" and s2 = "PRAMCONSISTENCY" in
+  let lcs = Lcs.run s1 s2 in
+  Printf.printf "LCS(%S, %S) = %d (reference %d)\n" s1 s2 lcs.Lcs.length
+    (Lcs.reference s1 s2);
+  let d = Lcs.distribution_for ~rows:(String.length s1 + 1) ~cols:(String.length s2 + 1) in
+  let sg = Share_graph.of_distribution d in
+  Printf.printf
+    "the pipeline's share graph is a chain: efficient partial replication for \
+     every variable: %b\n"
+    (Share_graph.no_external_relevance sg);
+  Printf.printf "ops recorded in the pipeline history: %d\n"
+    (Repro_history.History.n_ops lcs.Lcs.history);
+
+  print_endline "\n=== distributed FFT (number-theoretic transform) ===";
+  let input = [| 3; 1; 4; 1; 5; 9; 2; 6 |] in
+  let ntt = Ntt.run input in
+  Printf.printf "NTT of [|3;1;4;1;5;9;2;6|] over Z_%d:\n  %s\n" Ntt.modulus
+    (String.concat "; " (Array.to_list (Array.map string_of_int ntt.Ntt.transform)));
+  Printf.printf "matches the naive DFT: %b (%d butterfly stages, 8 processes)\n"
+    (ntt.Ntt.transform = Ntt.reference input)
+    ntt.Ntt.stages;
+  print_endline
+    "all three are oblivious computations (S5, Lipton-Sandberg): their data\n\
+     motion is data-independent, and every synchronization is a per-writer\n\
+     value-before-counter handshake - exactly what PRAM preserves."

@@ -1,0 +1,1 @@
+lib/apps/bellman_ford.ml: Array List Option Repro_core Repro_history Repro_sharegraph Stdlib Wgraph

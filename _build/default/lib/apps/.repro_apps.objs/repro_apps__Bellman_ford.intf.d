@@ -1,0 +1,1 @@
+lib/apps/bellman_ford.mli: Repro_core Repro_history Wgraph

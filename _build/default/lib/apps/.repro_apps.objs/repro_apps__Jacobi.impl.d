@@ -1,0 +1,1 @@
+lib/apps/jacobi.ml: Array Float Repro_core Repro_history Repro_sharegraph Repro_util

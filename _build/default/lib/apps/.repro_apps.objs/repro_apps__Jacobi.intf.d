@@ -1,0 +1,1 @@
+lib/apps/jacobi.mli: Repro_core Repro_util

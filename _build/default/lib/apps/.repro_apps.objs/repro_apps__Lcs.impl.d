@@ -1,0 +1,1 @@
+lib/apps/lcs.ml: Array List Repro_core Repro_history Repro_sharegraph Stdlib String

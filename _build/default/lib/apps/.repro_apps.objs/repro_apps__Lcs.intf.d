@@ -1,0 +1,1 @@
+lib/apps/lcs.mli: Repro_core Repro_history

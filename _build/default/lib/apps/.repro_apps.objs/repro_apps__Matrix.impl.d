@@ -1,0 +1,1 @@
+lib/apps/matrix.ml: Array Fun List Repro_core Repro_history Repro_sharegraph

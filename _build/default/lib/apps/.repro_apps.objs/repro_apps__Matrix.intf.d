@@ -1,0 +1,1 @@
+lib/apps/matrix.mli: Repro_core Repro_history

@@ -1,0 +1,1 @@
+lib/apps/ntt.ml: Array List Repro_core Repro_history Repro_sharegraph

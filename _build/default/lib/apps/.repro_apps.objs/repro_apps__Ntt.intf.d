@@ -1,0 +1,1 @@
+lib/apps/ntt.mli: Repro_core Repro_history

@@ -1,0 +1,1 @@
+lib/apps/peterson.ml: Array List Repro_core Repro_history Repro_sharegraph Repro_util

@@ -1,0 +1,1 @@
+lib/apps/peterson.mli: Repro_core

@@ -1,0 +1,1 @@
+lib/apps/wgraph.ml: Array Format Hashtbl List Repro_util

@@ -1,0 +1,1 @@
+lib/apps/wgraph.mli: Format Repro_util

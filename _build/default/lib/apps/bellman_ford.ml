@@ -1,0 +1,86 @@
+module Memory = Repro_core.Memory
+module Runner = Repro_core.Runner
+module Pram_partial = Repro_core.Pram_partial
+module Distribution = Repro_sharegraph.Distribution
+module Op = Repro_history.Op
+
+type result = {
+  distances : int array;
+  history : Repro_history.History.t;
+  rounds : int;
+}
+
+let x_var i = i
+
+let k_var g i = Wgraph.n_nodes g + i
+
+let variable_distribution g =
+  let n = Wgraph.n_nodes g in
+  let x = Array.make n [] in
+  for i = 0 to n - 1 do
+    let mine = i :: Wgraph.predecessors g i in
+    x.(i) <- List.concat_map (fun h -> [ x_var h; k_var g h ]) mine |> List.sort_uniq compare
+  done;
+  Distribution.make ~n_procs:n ~n_vars:(2 * n) x
+
+let value v = Op.Val v
+
+(* An unread x replica means "no estimate yet" = infinite cost. *)
+let as_int = function
+  | Op.Val v -> v
+  | Op.Init -> Wgraph.infinity_cost
+
+(* An unread k replica means "predecessor not initialized yet": the barrier
+   must NOT treat it as caught-up. *)
+let k_of = function Op.Val v -> v | Op.Init -> -1
+
+let programs g ~source =
+  let n = Wgraph.n_nodes g in
+  Array.init n (fun i ->
+      let preds = Wgraph.predecessors g i in
+      let weights = List.map (fun j -> (j, Option.get (Wgraph.weight g ~src:j ~dst:i))) preds in
+      fun (api : Runner.api) ->
+        (* Fig. 7, lines 1-4.  The paper initializes k before x; under
+           PRAM's per-writer FIFO a peer that observes k_i = 0 is only
+           guaranteed to have x_i's initial value if x was written first,
+           so we swap the two initializations (see EXPERIMENTS.md). *)
+        api.Runner.write (x_var i)
+          (value (if i = source then 0 else Wgraph.infinity_cost));
+        api.Runner.write (k_var g i) (value 0);
+        (* lines 5-8 *)
+        for k_i = 0 to n - 1 do
+          (* line 6: barrier — wait until every predecessor reached this
+             round (see the .mli for the ∀/≥ reading of the printed
+             condition) *)
+          api.Runner.await (fun () ->
+              List.for_all
+                (fun h -> k_of (api.Runner.peek (k_var g h)) >= k_i)
+                preds);
+          (* line 7 *)
+          let best =
+            List.fold_left
+              (fun acc (j, w) ->
+                let xj = as_int (api.Runner.read (x_var j)) in
+                Stdlib.min acc (xj + w))
+              (if i = source then 0 else Wgraph.infinity_cost)
+              weights
+          in
+          api.Runner.write (x_var i) (value best);
+          (* line 8 *)
+          api.Runner.write (k_var g i) (value (k_i + 1))
+        done)
+
+let run ?make ?(seed = 1) g ~source =
+  let n = Wgraph.n_nodes g in
+  if source < 0 || source >= n then invalid_arg "Bellman_ford.run: bad source";
+  let dist = variable_distribution g in
+  let memory =
+    match make with
+    | Some f -> f ~dist ~seed
+    | None -> Pram_partial.create ~dist ~seed ()
+  in
+  let history = Runner.run memory ~programs:(programs g ~source) in
+  let distances =
+    Array.init n (fun i -> as_int (memory.Memory.read ~proc:i ~var:(x_var i)))
+  in
+  { distances; history; rounds = n }

@@ -1,0 +1,59 @@
+(** Distributed Bellman-Ford over a partially replicated DSM — the paper's
+    case study (§6, Figs. 7–9).
+
+    One application process per network node.  Shared variables: [x_h]
+    (current least cost from the source to node [h]) and the
+    synchronization counters [k_h], exactly the sets [X] and [S] of §6.1.
+    Process [i] accesses [x_h]/[k_h] for [h = i] and for each predecessor
+    [h ∈ Γ⁻¹(i)] — the variable distribution printed for Fig. 8.
+
+    Each process runs the pseudocode of Fig. 7:
+    {v
+      k_i := 0;  x_i := (i = source ? 0 : ∞);
+      while k_i < N do
+        wait until ∀ h ∈ Γ⁻¹(i): k_h ≥ k_i;        (line 6)
+        x_i := min_{j ∈ Γ⁻¹(i)} (x_j + w(j,i));
+        k_i := k_i + 1
+    v}
+
+    (Fig. 7 line 6 prints the barrier condition as "while ∧ (k_h < k_i)
+    do", which would release the process as soon as a {e single}
+    predecessor catches up; the §6.1 invariant — "at the beginning of each
+    iteration each process reads the new values written by his
+    predecessors" — needs {e all} of them, which is what we implement.
+    See EXPERIMENTS.md.)
+
+    Correctness requires exactly PRAM: each process must observe each
+    predecessor's [x] write before the [k] write that follows it in the
+    predecessor's program order.  On weaker (slow) memory the barrier may
+    admit stale [x] values; distances then remain {e upper bounds} (values
+    only ever shrink toward the true cost) but need not converge within
+    [N] rounds.  Tests exercise both claims. *)
+
+type result = {
+  distances : int array;  (** [x_i] read at each node after termination. *)
+  history : Repro_history.History.t;
+      (** Recorded operations (x/k writes, x reads; barrier polls elided —
+          see {!Repro_core.Runner.api.peek}). *)
+  rounds : int;  (** N, the iteration count each process performed. *)
+}
+
+val variable_distribution : Wgraph.t -> Repro_core.Memory.Distribution.t
+(** Variables [0 .. n-1] are [x_0 .. x_{n-1}]; variables [n .. 2n-1] are
+    [k_0 .. k_{n-1}].  [X_i] as in §6.1. *)
+
+val x_var : int -> int
+val k_var : Wgraph.t -> int -> int
+
+val programs : Wgraph.t -> source:int -> (Repro_core.Runner.api -> unit) array
+(** The Fig. 7 program for every node, ready for {!Repro_core.Runner.run}. *)
+
+val run :
+  ?make:(dist:Repro_core.Memory.Distribution.t -> seed:int -> Repro_core.Memory.t) ->
+  ?seed:int ->
+  Wgraph.t ->
+  source:int ->
+  result
+(** Execute on a fresh memory instance ({!Repro_core.Pram_partial} by default) and
+    collect the final distances.  @raise Repro_core.Runner.Livelock if the memory is
+    too weak for the barrier to make progress within the event budget. *)

@@ -1,0 +1,86 @@
+module Memory = Repro_core.Memory
+module Runner = Repro_core.Runner
+module Slow_partial = Repro_core.Slow_partial
+module Distribution = Repro_sharegraph.Distribution
+module Op = Repro_history.Op
+module Rng = Repro_util.Rng
+
+type problem = { a : float array array; b : float array }
+
+type result = {
+  solution : float array;
+  reference : float array;
+  max_error : float;
+  sweeps : int;
+}
+
+let random_contraction rng ~n =
+  if n < 1 then invalid_arg "Jacobi.random_contraction: need a dimension";
+  let a =
+    Array.init n (fun _ ->
+        let row = Array.init n (fun _ -> Rng.float rng 1.0) in
+        let total = Array.fold_left ( +. ) 0.0 row in
+        (* scale the row so that its 1-norm is at most 0.7 *)
+        let scale = if total > 0.0 then 0.7 /. total else 0.0 in
+        Array.map (fun v -> v *. scale) row)
+  in
+  let b = Array.init n (fun _ -> Rng.float rng 1.0) in
+  { a; b }
+
+let apply problem x =
+  let n = Array.length problem.b in
+  Array.init n (fun i ->
+      let acc = ref problem.b.(i) in
+      for j = 0 to n - 1 do
+        acc := !acc +. (problem.a.(i).(j) *. x.(j))
+      done;
+      !acc)
+
+let reference_solution problem =
+  let n = Array.length problem.b in
+  let x = ref (Array.make n 0.0) in
+  for _ = 1 to 200 do
+    x := apply problem !x
+  done;
+  !x
+
+let distribution_for ~n = Distribution.full ~n_procs:n ~n_vars:n
+
+(* 16.16 fixed point *)
+let fixed_of_float f = Op.Val (int_of_float (Float.round (f *. 65536.0)))
+
+let float_of_fixed = function
+  | Op.Init -> 0.0
+  | Op.Val v -> float_of_int v /. 65536.0
+
+let run ?make ?(seed = 1) ?(sweeps = 80) problem =
+  let n = Array.length problem.b in
+  if n = 0 then invalid_arg "Jacobi.run: empty problem";
+  Array.iter
+    (fun row -> if Array.length row <> n then invalid_arg "Jacobi.run: ragged matrix")
+    problem.a;
+  let dist = distribution_for ~n in
+  let memory =
+    match make with
+    | Some f -> f ~dist ~seed
+    | None -> Slow_partial.create ~dist ~seed ()
+  in
+  let program i (api : Runner.api) =
+    for _ = 1 to sweeps do
+      let acc = ref problem.b.(i) in
+      for j = 0 to n - 1 do
+        acc := !acc +. (problem.a.(i).(j) *. float_of_fixed (api.Runner.peek j))
+      done;
+      api.Runner.write i (fixed_of_float !acc);
+      (* no barrier: let simulated time pass so updates propagate *)
+      api.Runner.sleep ((i mod 3) + 2)
+    done
+  in
+  let _history = Runner.run memory ~programs:(Array.init n program) in
+  let solution = Array.init n (fun i -> float_of_fixed (memory.Memory.read ~proc:i ~var:i)) in
+  let reference = reference_solution problem in
+  let max_error =
+    Array.init n (fun i -> Float.abs (solution.(i) -. reference.(i)))
+    |> Array.fold_left Float.max 0.0
+  in
+  { solution; reference; max_error; sweeps }

@@ -1,0 +1,47 @@
+(** Totally asynchronous Jacobi fixpoint iteration on weak memory.
+
+    §5 cites Sinha's thesis: totally asynchronous iterative methods
+    converge even on {e slow} memory (weaker than PRAM).  This module
+    solves [x = A·x + b] for a contraction [A] (‖A‖∞ < 1) with one process
+    per component: each process repeatedly reads its neighbours' current
+    values from the DSM and publishes a new estimate of its own component —
+    {e no barriers at all}.  Chazan–Miranker asynchronous-iteration theory
+    gives convergence provided every component keeps updating and every
+    update eventually propagates, which even per-(writer,variable) FIFO
+    (slow memory) supplies.
+
+    Arithmetic is 16.16 fixed point so values fit the DSM's integer
+    cells. *)
+
+type problem = {
+  a : float array array;  (** row-stochastic-ish contraction, ‖A‖∞ < 1 *)
+  b : float array;
+}
+
+type result = {
+  solution : float array;
+  reference : float array;
+  max_error : float;
+  sweeps : int;
+}
+
+val random_contraction : Repro_util.Rng.t -> n:int -> problem
+(** Random [A] with ‖A‖∞ ≤ 0.7 and random [b] in [\[0, 1)]. *)
+
+val reference_solution : problem -> float array
+(** Sequential Jacobi to (near) fixpoint. *)
+
+val distribution_for : n:int -> Repro_core.Memory.Distribution.t
+(** One variable per component; every process holds all of them (the
+    iteration matrix is dense, so every process is "justifiably
+    interested" in every component). *)
+
+val run :
+  ?make:(dist:Repro_core.Memory.Distribution.t -> seed:int -> Repro_core.Memory.t) ->
+  ?seed:int ->
+  ?sweeps:int ->
+  problem ->
+  result
+(** Default memory: {!Repro_core.Slow_partial} — the weakest criterion in
+    the library, per Sinha's claim.  [sweeps] (default 80) local update
+    rounds per process. *)

@@ -1,0 +1,100 @@
+module Memory = Repro_core.Memory
+module Runner = Repro_core.Runner
+module Pram_partial = Repro_core.Pram_partial
+module Distribution = Repro_sharegraph.Distribution
+module Op = Repro_history.Op
+
+type result = {
+  length : int;
+  table : int array array;
+  history : Repro_history.History.t;
+}
+
+let reference s1 s2 =
+  let n = String.length s1 and m = String.length s2 in
+  let dp = Array.make_matrix (n + 1) (m + 1) 0 in
+  for i = 1 to n do
+    for j = 1 to m do
+      dp.(i).(j) <-
+        (if s1.[i - 1] = s2.[j - 1] then dp.(i - 1).(j - 1) + 1
+         else Stdlib.max dp.(i - 1).(j) dp.(i).(j - 1))
+    done
+  done;
+  dp.(n).(m)
+
+(* Variable layout: rows 0..rows-1 of width cols as cell(i,j) = i*cols + j,
+   then one progress counter per row. *)
+let layout ~rows ~cols =
+  let cell i j = (i * cols) + j in
+  let counter i = (rows * cols) + i in
+  let n_vars = (rows * cols) + rows in
+  (cell, counter, n_vars)
+
+let distribution_for ~rows ~cols =
+  let cell, counter, n_vars = layout ~rows ~cols in
+  (* process i (computing DP row i+1, using stored row index i+.. ) *)
+  ignore cell;
+  ignore counter;
+  let row_vars i = List.init cols (fun j -> (i * cols) + j) in
+  Distribution.make ~n_procs:(rows - 1) ~n_vars
+    (Array.init (rows - 1) (fun p ->
+         (* process p computes stored row p+1, reads stored row p *)
+         let mine = row_vars (p + 1) @ row_vars p in
+         let counters = [ (rows * cols) + p; (rows * cols) + p + 1 ] in
+         List.sort_uniq compare (mine @ counters)))
+
+let as_int = function Op.Val v -> v | Op.Init -> 0
+
+(* DP values are offset by +1 on the wire so that a legitimate 0 is
+   distinguishable from the unwritten Init. *)
+let encode v = Op.Val (v + 1)
+let decode value = as_int value - 1
+
+let run ?make ?(seed = 1) s1 s2 =
+  let n = String.length s1 and m = String.length s2 in
+  if n = 0 then invalid_arg "Lcs.run: empty first string";
+  let rows = n + 1 and cols = m + 1 in
+  let cell, counter, _ = layout ~rows ~cols in
+  let dist = distribution_for ~rows ~cols in
+  let memory =
+    match make with Some f -> f ~dist ~seed | None -> Pram_partial.create ~dist ~seed ()
+  in
+  (* process p computes row p+1; row 0 is all zeros, produced by process 0
+     alongside its own row (process 0 holds both). *)
+  let program p (api : Runner.api) =
+    let i = p + 1 in
+    if p = 0 then begin
+      for j = 0 to cols - 1 do
+        api.Runner.write (cell 0 j) (encode 0)
+      done;
+      api.Runner.write (counter 0) (Op.Val cols)
+    end;
+    (* row i, pipelined on row i-1's progress counter *)
+    let row_above = Array.make cols 0 in
+    let left = ref 0 in
+    api.Runner.write (cell i 0) (encode 0);
+    api.Runner.write (counter i) (Op.Val 1);
+    for j = 1 to cols - 1 do
+      api.Runner.await (fun () -> as_int (api.Runner.peek (counter (i - 1))) > j);
+      (* counters only grow, and the producer wrote cells before bumping
+         the counter: PRAM makes these reads fresh *)
+      if j = 1 then row_above.(0) <- decode (api.Runner.read (cell (i - 1) 0));
+      row_above.(j) <- decode (api.Runner.read (cell (i - 1) j));
+      let v =
+        if s1.[i - 1] = s2.[j - 1] then row_above.(j - 1) + 1
+        else Stdlib.max row_above.(j) !left
+      in
+      api.Runner.write (cell i j) (encode v);
+      api.Runner.write (counter i) (Op.Val (j + 1));
+      left := v
+    done
+  in
+  let history = Runner.run memory ~programs:(Array.init (rows - 1) program) in
+  let table =
+    Array.init rows (fun i ->
+        Array.init cols (fun j ->
+            (* read each row at the process that wrote it *)
+            let proc = if i = 0 then 0 else i - 1 in
+            decode (memory.Memory.read ~proc ~var:(cell i j))))
+  in
+  { length = table.(n).(m); table; history }

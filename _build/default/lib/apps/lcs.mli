@@ -1,0 +1,36 @@
+(** Pipelined dynamic programming (longest common subsequence) on PRAM
+    memory.
+
+    Dynamic programming is in the paper's list of PRAM-solvable problems
+    (§5, citing Lipton–Sandberg).  Here the LCS table of two strings is
+    computed as a {e wavefront pipeline}: process [i] fills row [i] (for
+    character [i] of the first string) left to right, reading row [i-1]
+    written by process [i-1].  A per-row progress counter [k_i] (the same
+    device as Fig. 7's [S] variables) tells the next row how far it may
+    advance; PRAM's per-writer ordering guarantees the cell values are
+    visible before the counter that announces them.
+
+    Process [i] shares only row [i-1], row [i] and the two counters —
+    a chain-shaped share graph, so partial replication keeps every process
+    interested in O(columns) variables regardless of the table height. *)
+
+type result = {
+  length : int;
+  table : int array array;  (** The DP table, [(|s1|+1) × (|s2|+1)]. *)
+  history : Repro_history.History.t;
+}
+
+val reference : string -> string -> int
+(** Sequential LCS length. *)
+
+val distribution_for :
+  rows:int -> cols:int -> Repro_core.Memory.Distribution.t
+
+val run :
+  ?make:(dist:Repro_core.Memory.Distribution.t -> seed:int -> Repro_core.Memory.t) ->
+  ?seed:int ->
+  string ->
+  string ->
+  result
+(** Default memory: {!Repro_core.Pram_partial}.
+    @raise Invalid_argument on an empty first string. *)

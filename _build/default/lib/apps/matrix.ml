@@ -1,0 +1,106 @@
+module Memory = Repro_core.Memory
+module Runner = Repro_core.Runner
+module Pram_partial = Repro_core.Pram_partial
+module Distribution = Repro_sharegraph.Distribution
+module Op = Repro_history.Op
+
+type result = { product : int array array; history : Repro_history.History.t }
+
+let dims m =
+  let rows = Array.length m in
+  if rows = 0 then invalid_arg "Matrix: empty matrix";
+  let cols = Array.length m.(0) in
+  if cols = 0 then invalid_arg "Matrix: empty row";
+  Array.iter
+    (fun row -> if Array.length row <> cols then invalid_arg "Matrix: ragged matrix")
+    m;
+  (rows, cols)
+
+let reference a b =
+  let p, q = dims a in
+  let q', r = dims b in
+  if q <> q' then invalid_arg "Matrix.reference: dimension mismatch";
+  Array.init p (fun i ->
+      Array.init r (fun k ->
+          let total = ref 0 in
+          for j = 0 to q - 1 do
+            total := !total + (a.(i).(j) * b.(j).(k))
+          done;
+          !total))
+
+let layout ~p ~q ~r =
+  let a i j = (i * q) + j in
+  let b j k = (p * q) + (j * r) + k in
+  let c i k = (p * q) + (q * r) + (i * r) + k in
+  let ready = (p * q) + (q * r) + (p * r) in
+  let done_ i = ready + 1 + i in
+  let n_vars = ready + 1 + p in
+  (a, b, c, ready, done_, n_vars)
+
+let distribution_for ~p ~q ~r =
+  let a, b, c, ready, done_, n_vars = layout ~p ~q ~r in
+  let source_vars = List.init n_vars Fun.id in
+  let worker_vars i =
+    List.concat
+      [
+        List.init q (fun j -> a i j);
+        List.concat (List.init q (fun j -> List.init r (fun k -> b j k)));
+        List.init r (fun k -> c i k);
+        [ ready; done_ i ];
+      ]
+    |> List.sort_uniq compare
+  in
+  Distribution.make ~n_procs:(p + 1) ~n_vars
+    (Array.init (p + 1) (fun node ->
+         if node = 0 then source_vars else worker_vars (node - 1)))
+
+let as_int = function Op.Val v -> v | Op.Init -> 0
+
+let run ?make ?(seed = 1) ~a:ma ~b:mb () =
+  let p, q = dims ma in
+  let q', r = dims mb in
+  if q <> q' then invalid_arg "Matrix.run: dimension mismatch";
+  let a, b, c, ready, done_, _n_vars = layout ~p ~q ~r in
+  let dist = distribution_for ~p ~q ~r in
+  let memory =
+    match make with Some f -> f ~dist ~seed | None -> Pram_partial.create ~dist ~seed ()
+  in
+  let source (api : Runner.api) =
+    for i = 0 to p - 1 do
+      for j = 0 to q - 1 do
+        api.Runner.write (a i j) (Op.Val ma.(i).(j))
+      done
+    done;
+    for j = 0 to q - 1 do
+      for k = 0 to r - 1 do
+        api.Runner.write (b j k) (Op.Val mb.(j).(k))
+      done
+    done;
+    (* PRAM: workers seeing this flag have seen all the writes above *)
+    api.Runner.write ready (Op.Val 1);
+    (* collect *)
+    api.Runner.await (fun () ->
+        List.for_all
+          (fun i -> api.Runner.peek (done_ i) = Op.Val 1)
+          (List.init p Fun.id))
+  in
+  let worker i (api : Runner.api) =
+    api.Runner.await (fun () -> api.Runner.peek ready = Op.Val 1);
+    for k = 0 to r - 1 do
+      let total = ref 0 in
+      for j = 0 to q - 1 do
+        total := !total + (as_int (api.Runner.read (a i j)) * as_int (api.Runner.read (b j k)))
+      done;
+      api.Runner.write (c i k) (Op.Val !total)
+    done;
+    api.Runner.write (done_ i) (Op.Val 1)
+  in
+  let programs =
+    Array.init (p + 1) (fun node -> if node = 0 then source else worker (node - 1))
+  in
+  let history = Runner.run memory ~programs in
+  let product =
+    Array.init p (fun i ->
+        Array.init r (fun k -> as_int (memory.Memory.read ~proc:0 ~var:(c i k))))
+  in
+  { product; history }

@@ -1,0 +1,40 @@
+(** Distributed matrix product on PRAM memory.
+
+    Lipton and Sandberg's motivation for PRAM ([13], quoted in §5) is the
+    class of {e oblivious} computations — data motion independent of data
+    values — with matrix product as the canonical example.  This module
+    computes [C = A·B] with one source process writing the inputs, one
+    worker process per row of [C], and a ready-flag handshake whose
+    correctness rests exactly on PRAM's per-writer ordering: the source
+    writes every matrix entry {e before} the ready flag in its program
+    order, so a worker that observes the flag observes all inputs.
+
+    Variable layout (dimensions [p×q] times [q×r]):
+    - [A(i,j)] at id [i*q + j];
+    - [B(j,k)] after them;
+    - [C(i,k)] after those;
+    - the ready flag; then one done-flag per worker.
+
+    Process 0 is the source (and final collector); process [1+i] computes
+    row [i]. *)
+
+type result = {
+  product : int array array;
+  history : Repro_history.History.t;
+}
+
+val reference : int array array -> int array array -> int array array
+(** Plain sequential product for cross-checking.
+    @raise Invalid_argument on dimension mismatch or empty matrices. *)
+
+val distribution_for :
+  p:int -> q:int -> r:int -> Repro_core.Memory.Distribution.t
+
+val run :
+  ?make:(dist:Repro_core.Memory.Distribution.t -> seed:int -> Repro_core.Memory.t) ->
+  ?seed:int ->
+  a:int array array ->
+  b:int array array ->
+  unit ->
+  result
+(** Default memory: {!Repro_core.Pram_partial}. *)

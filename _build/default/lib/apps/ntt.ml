@@ -1,0 +1,142 @@
+module Memory = Repro_core.Memory
+module Runner = Repro_core.Runner
+module Pram_partial = Repro_core.Pram_partial
+module Distribution = Repro_sharegraph.Distribution
+module Op = Repro_history.Op
+
+let modulus = 998_244_353
+let primitive_root = 3
+
+let ( %+ ) a b = (a + b) mod modulus
+let ( %- ) a b = ((a - b) mod modulus + modulus) mod modulus
+let ( %* ) a b = a * b mod modulus
+
+let rec modpow base exponent =
+  if exponent = 0 then 1
+  else begin
+    let half = modpow base (exponent / 2) in
+    let sq = half %* half in
+    if exponent land 1 = 1 then sq %* base else sq
+  end
+
+let is_power_of_two n = n >= 2 && n land (n - 1) = 0
+
+let log2 n =
+  let rec go acc n = if n = 1 then acc else go (acc + 1) (n lsr 1) in
+  go 0 n
+
+let reference input =
+  let n = Array.length input in
+  if not (is_power_of_two n) then invalid_arg "Ntt.reference: length not a power of two";
+  if (modulus - 1) mod n <> 0 then invalid_arg "Ntt.reference: length too large";
+  let w = modpow primitive_root ((modulus - 1) / n) in
+  Array.init n (fun k ->
+      let acc = ref 0 in
+      for j = 0 to n - 1 do
+        let x = ((input.(j) mod modulus) + modulus) mod modulus in
+        acc := !acc %+ (x %* modpow w (j * k mod n))
+      done;
+      !acc)
+
+let bit_reverse ~bits q =
+  let r = ref 0 in
+  for b = 0 to bits - 1 do
+    if q land (1 lsl b) <> 0 then r := !r lor (1 lsl (bits - 1 - b))
+  done;
+  !r
+
+type result = {
+  transform : int array;
+  history : Repro_history.History.t;
+  stages : int;
+}
+
+(* variable layout: value of slot q after stage s at [s*n + q]; per-process
+   counters after the stage values *)
+let layout ~n ~stages =
+  let slot s q = (s * n) + q in
+  let counter q = ((stages + 1) * n) + q in
+  (slot, counter, ((stages + 1) * n) + n)
+
+let distribution_for ~n =
+  if not (is_power_of_two n) then invalid_arg "Ntt.distribution_for: bad length";
+  let stages = log2 n in
+  let slot, counter, n_vars = layout ~n ~stages in
+  Distribution.make ~n_procs:n ~n_vars
+    (Array.init n (fun q ->
+         let own = List.init (stages + 1) (fun s -> slot s q) in
+         let partners =
+           List.init stages (fun s ->
+               let partner = q lxor (1 lsl s) in
+               [ slot s partner; counter partner ])
+           |> List.concat
+         in
+         List.sort_uniq compare ((counter q :: own) @ partners)))
+
+let run ?make ?(seed = 1) ?(inverse = false) input =
+  let n = Array.length input in
+  if not (is_power_of_two n) then invalid_arg "Ntt.run: length not a power of two";
+  if (modulus - 1) mod n <> 0 then invalid_arg "Ntt.run: length too large";
+  let stages = log2 n in
+  let slot, counter, _ = layout ~n ~stages in
+  let dist = distribution_for ~n in
+  let memory =
+    match make with Some f -> f ~dist ~seed | None -> Pram_partial.create ~dist ~seed ()
+  in
+  let bits = stages in
+  let as_int = function Op.Val v -> v | Op.Init -> 0 in
+  let c_of = function Op.Val v -> v | Op.Init -> 0 in
+  let program q (api : Runner.api) =
+    (* stage 0: bit-reversed input placement *)
+    let mine = ref (((input.(bit_reverse ~bits q) mod modulus) + modulus) mod modulus) in
+    api.Runner.write (slot 0 q) (Op.Val !mine);
+    api.Runner.write (counter q) (Op.Val 1);
+    for s = 1 to stages do
+      let half = 1 lsl (s - 1) in
+      let partner = q lxor half in
+      api.Runner.await (fun () -> c_of (api.Runner.peek (counter partner)) >= s);
+      let theirs = as_int (api.Runner.read (slot (s - 1) partner)) in
+      let len = 1 lsl s in
+      let root =
+        if inverse then modpow primitive_root (modulus - 2) (* 3^{-1} *)
+        else primitive_root
+      in
+      let w_len = modpow root ((modulus - 1) / len) in
+      let t = q land (half - 1) in
+      let twiddle = modpow w_len t in
+      let value =
+        if q land half = 0 then !mine %+ (twiddle %* theirs)
+        else theirs %- (twiddle %* !mine)
+      in
+      mine := value;
+      api.Runner.write (slot s q) (Op.Val value);
+      api.Runner.write (counter q) (Op.Val (s + 1))
+    done
+  in
+  let history = Runner.run memory ~programs:(Array.init n program) in
+  let n_inv = modpow n (modulus - 2) in
+  let transform =
+    Array.init n (fun q ->
+        let v = as_int (memory.Memory.read ~proc:q ~var:(slot stages q)) in
+        if inverse then v %* n_inv else v)
+  in
+  { transform; history; stages }
+
+let reference_convolution a b =
+  let n = Array.length a in
+  if Array.length b <> n then invalid_arg "Ntt.reference_convolution: length mismatch";
+  let norm v = ((v mod modulus) + modulus) mod modulus in
+  Array.init n (fun k ->
+      let acc = ref 0 in
+      for j = 0 to n - 1 do
+        acc := !acc %+ (norm a.(j) %* norm b.((k - j + n) mod n))
+      done;
+      !acc)
+
+let convolve ?(seed = 1) a b =
+  let n = Array.length a in
+  if Array.length b <> n then invalid_arg "Ntt.convolve: length mismatch";
+  let fa = (run ~seed a).transform in
+  let fb = (run ~seed:(seed + 1) b).transform in
+  let product = Array.init n (fun k -> fa.(k) %* fb.(k)) in
+  (run ~seed:(seed + 2) ~inverse:true product).transform

@@ -1,0 +1,51 @@
+(** Distributed FFT on PRAM memory — the remaining entry of §5's list of
+    PRAM-solvable oblivious computations (FFT, matrix product, dynamic
+    programming).
+
+    To keep verification exact, the transform is a number-theoretic
+    transform (NTT): a radix-2 Cooley–Tukey FFT over the prime field
+    Z_998244353 (primitive root 3).  Data motion is the classic binary
+    exchange: one process per coefficient slot; at stage [s] process [q]
+    exchanges with partner [q xor 2^(s-1)].  Each stage writes fresh
+    per-stage variables and bumps a per-process counter — the same
+    value-before-counter handshake as Fig. 7, sound on PRAM because of
+    per-writer ordering.  The access pattern is independent of the data:
+    exactly Lipton–Sandberg's obliviousness.
+
+    The share graph is the [log n]-dimensional hypercube of butterfly
+    partners; every variable is shared by at most two processes. *)
+
+val modulus : int
+(** 998244353 = 119·2^23 + 1. *)
+
+val reference : int array -> int array
+(** Naive O(n²) DFT over the field; input length must be a power of two
+    dividing 2^23.  Inputs are taken mod {!modulus}. *)
+
+type result = {
+  transform : int array;
+  history : Repro_history.History.t;
+  stages : int;
+}
+
+val distribution_for : n:int -> Repro_core.Memory.Distribution.t
+
+val run :
+  ?make:(dist:Repro_core.Memory.Distribution.t -> seed:int -> Repro_core.Memory.t) ->
+  ?seed:int ->
+  ?inverse:bool ->
+  int array ->
+  result
+(** Default memory: {!Repro_core.Pram_partial}.  With [inverse] (default
+    false) the butterflies use the inverse root and the outputs are scaled
+    by [n⁻¹]: [run ~inverse (run xs).transform] recovers [xs mod modulus].
+    @raise Invalid_argument unless the length is a power of two ≥ 2. *)
+
+val convolve :
+  ?seed:int -> int array -> int array -> int array
+(** Cyclic convolution via three distributed transforms (two forward, one
+    inverse) and a pointwise product — the convolution theorem, end to end
+    on the DSM.  Both inputs must have the same power-of-two length. *)
+
+val reference_convolution : int array -> int array -> int array
+(** Naive O(n²) cyclic convolution mod {!modulus}, for cross-checking. *)

@@ -1,0 +1,70 @@
+module Memory = Repro_core.Memory
+module Runner = Repro_core.Runner
+module Distribution = Repro_sharegraph.Distribution
+module Op = Repro_history.Op
+module Rng = Repro_util.Rng
+
+type result = {
+  sections : (int * int * int) list;
+  violations : int;
+  deadlocked : bool;
+}
+
+let flag i = i (* variables 0 and 1 *)
+let turn = 2
+
+let distribution_for () = Distribution.full ~n_procs:2 ~n_vars:3
+
+let count_violations sections =
+  let rec pairs acc = function
+    | [] -> acc
+    | (p1, e1, x1) :: rest ->
+        let overlapping =
+          List.length
+            (List.filter (fun (p2, e2, x2) -> p1 <> p2 && e1 < x2 && e2 < x1) rest)
+        in
+        pairs (acc + overlapping) rest
+  in
+  pairs 0 sections
+
+let run ~make ?(seed = 1) ?(rounds = 5) () =
+  let dist = distribution_for () in
+  let memory = make ~dist ~seed in
+  let sections = ref [] in
+  let rng = Rng.create (seed * 31) in
+  let think = Array.init (2 * rounds) (fun _ -> 1 + Rng.int rng 4) in
+  let contender i (api : Runner.api) =
+    let j = 1 - i in
+    for round = 0 to rounds - 1 do
+      (* entry protocol *)
+      api.Runner.write (flag i) (Op.Val 1);
+      api.Runner.write turn (Op.Val j);
+      (* spin with real reads (not [peek]): blocking-read memories perform
+         an RPC per probe, which an [await] condition is not allowed to do *)
+      let rec gate () =
+        let other_flag = api.Runner.read (flag j) in
+        let whose_turn = api.Runner.read turn in
+        if other_flag = Op.Val 1 && whose_turn <> Op.Val i then begin
+          api.Runner.sleep 2;
+          gate ()
+        end
+      in
+      gate ();
+      (* critical section *)
+      let enter = memory.Memory.now () in
+      api.Runner.sleep 3;
+      let exit = memory.Memory.now () in
+      sections := (i, enter, exit) :: !sections;
+      (* exit protocol *)
+      api.Runner.write (flag i) (Op.Val 0);
+      api.Runner.sleep think.((i * rounds) + round)
+    done
+  in
+  let deadlocked =
+    try
+      ignore (Runner.run ~max_events:400_000 memory ~programs:[| contender 0; contender 1 |]);
+      false
+    with Runner.Livelock _ -> true
+  in
+  let sections = List.rev !sections in
+  { sections; violations = count_violations sections; deadlocked }

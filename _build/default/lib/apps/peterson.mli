@@ -1,0 +1,43 @@
+(** Peterson's 2-process mutual exclusion — a {e negative} application.
+
+    The paper's introduction frames the tradeoff: weaker consistency
+    criteria admit cheaper implementations "but, conversely, they offer a
+    more restricted programming model".  Peterson's lock is the classic
+    algorithm on the wrong side of the PRAM line: it is correct on
+    sequentially consistent memory but unsound on PRAM (and anything
+    weaker), because each contender may observe the other's [flag] write
+    too late.
+
+    This module runs both contenders for a number of critical-section
+    entries and reports every mutual-exclusion violation (overlapping
+    critical-section intervals in simulated time).  Tests show zero
+    violations on the sequentially consistent memories and reachable
+    violations on the PRAM memory — Bellman-Ford fits PRAM, Peterson does
+    not, which is exactly the boundary §5 draws around "oblivious"
+    computations. *)
+
+type result = {
+  sections : (int * int * int) list;
+      (** Completed critical sections as [(process, enter, exit)] in
+          simulated time, in entry order. *)
+  violations : int;
+      (** Pairs of overlapping critical sections of distinct processes. *)
+  deadlocked : bool;
+      (** The run hit the event budget with a contender still spinning:
+          under non-sequential memory the two sides can disagree forever
+          on [turn]'s final value — starvation, the other way Peterson's
+          assumptions fail. *)
+}
+
+val distribution_for : unit -> Repro_core.Memory.Distribution.t
+(** Three variables — [flag0], [flag1], [turn] — fully shared by the two
+    contenders. *)
+
+val run :
+  make:(dist:Repro_core.Memory.Distribution.t -> seed:int -> Repro_core.Memory.t) ->
+  ?seed:int ->
+  ?rounds:int ->
+  unit ->
+  result
+(** [rounds] critical-section entries per contender (default 5).  The
+    memory must support two processes on {!distribution_for}'s layout. *)

@@ -1,0 +1,86 @@
+module Rng = Repro_util.Rng
+
+type t = { n : int; edges : (int * int * int) list; weight_of : (int * int, int) Hashtbl.t }
+
+let infinity_cost = max_int / 4
+
+let make ~n ~edges =
+  if n < 1 then invalid_arg "Wgraph.make: need at least one node";
+  let weight_of = Hashtbl.create (List.length edges) in
+  List.iter
+    (fun (src, dst, w) ->
+      if src < 0 || src >= n || dst < 0 || dst >= n then
+        invalid_arg "Wgraph.make: edge endpoint out of range";
+      if w < 0 then invalid_arg "Wgraph.make: negative weight";
+      if Hashtbl.mem weight_of (src, dst) then
+        invalid_arg "Wgraph.make: duplicate edge";
+      Hashtbl.add weight_of (src, dst) w)
+    edges;
+  { n; edges = List.sort compare edges; weight_of }
+
+let n_nodes t = t.n
+
+let edges t = t.edges
+
+let weight t ~src ~dst = Hashtbl.find_opt t.weight_of (src, dst)
+
+let predecessors t i =
+  List.filter_map (fun (src, dst, _) -> if dst = i then Some src else None) t.edges
+  |> List.sort_uniq compare
+
+let successors t i =
+  List.filter_map (fun (src, dst, _) -> if src = i then Some dst else None) t.edges
+  |> List.sort_uniq compare
+
+let reference_distances t ~source =
+  let x = Array.make t.n infinity_cost in
+  x.(source) <- 0;
+  for _ = 1 to t.n - 1 do
+    List.iter
+      (fun (src, dst, w) -> if x.(src) + w < x.(dst) then x.(dst) <- x.(src) + w)
+      t.edges
+  done;
+  x
+
+let fig8 =
+  make ~n:5
+    ~edges:
+      [
+        (0, 1, 4);
+        (2, 1, 1);
+        (0, 2, 1);
+        (1, 2, 2);
+        (1, 3, 8);
+        (2, 3, 2);
+        (2, 4, 3);
+        (3, 4, 3);
+      ]
+
+let random rng ~n ~extra_edges ~max_weight =
+  if n < 1 then invalid_arg "Wgraph.random: need at least one node";
+  if max_weight < 0 then invalid_arg "Wgraph.random: negative max_weight";
+  let weight_of = Hashtbl.create 16 in
+  let draw () = Rng.int rng (max_weight + 1) in
+  (* random arborescence: each node > 0 hangs off a random earlier node *)
+  for dst = 1 to n - 1 do
+    let src = Rng.int rng dst in
+    Hashtbl.replace weight_of (src, dst) (draw ())
+  done;
+  let attempts = ref 0 in
+  let added = ref 0 in
+  while !added < extra_edges && !attempts < 20 * (extra_edges + 1) do
+    incr attempts;
+    let src = Rng.int rng n and dst = Rng.int rng n in
+    if src <> dst && not (Hashtbl.mem weight_of (src, dst)) then begin
+      Hashtbl.replace weight_of (src, dst) (draw ());
+      incr added
+    end
+  done;
+  let edges = Hashtbl.fold (fun (src, dst) w acc -> (src, dst, w) :: acc) weight_of [] in
+  make ~n ~edges
+
+let pp ppf t =
+  Format.fprintf ppf "digraph on %d nodes:@." t.n;
+  List.iter
+    (fun (src, dst, w) -> Format.fprintf ppf "  %d -> %d [%d]@." src dst w)
+    t.edges

@@ -1,0 +1,45 @@
+(** Weighted directed graphs for the routing case study (paper §6).
+
+    A packet-switching network is modelled as a digraph whose edge weights
+    are link costs; the distributed Bellman-Ford computation runs over it. *)
+
+type t
+
+val make : n:int -> edges:(int * int * int) list -> t
+(** [make ~n ~edges] with edges [(src, dst, weight)]; weights must be
+    non-negative (the paper's setting — no negative cost cycles, and the
+    monotone-convergence argument used by the tests needs it).
+    @raise Invalid_argument on bad endpoints, negative weights, or
+    duplicate edges. *)
+
+val n_nodes : t -> int
+
+val edges : t -> (int * int * int) list
+
+val weight : t -> src:int -> dst:int -> int option
+
+val predecessors : t -> int -> int list
+(** [Γ⁻¹(i)]: sources of edges into [i], ascending. *)
+
+val successors : t -> int -> int list
+
+val infinity_cost : int
+(** The "no path" cost (large, but safe against overflow when a weight is
+    added). *)
+
+val reference_distances : t -> source:int -> int array
+(** Classic centralized Bellman-Ford (the [Initialization]/[Update] steps
+    of §6); [infinity_cost] for unreachable nodes. *)
+
+val fig8 : t
+(** The 5-node network of paper Fig. 8, nodes renumbered 0–4 (paper 1–5).
+    The scan's edge-label placement is ambiguous; DESIGN.md §5 fixes
+    [w(0,1)=4, w(2,1)=1, w(0,2)=1, w(1,2)=2, w(1,3)=8, w(2,3)=2, w(2,4)=3,
+    w(3,4)=3], giving distances [0; 2; 1; 3; 4] from node 0. *)
+
+val random :
+  Repro_util.Rng.t -> n:int -> extra_edges:int -> max_weight:int -> t
+(** A random connected-from-node-0 digraph: a random arborescence rooted at
+    0 (guaranteeing reachability) plus [extra_edges] random extra edges. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/core/atomic_primary.ml: Array Hashtbl Memory Printf Proto_base Repro_history Repro_msgpass Repro_sharegraph

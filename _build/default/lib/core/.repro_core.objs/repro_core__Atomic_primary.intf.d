@@ -1,0 +1,1 @@
+lib/core/atomic_primary.mli: Memory Repro_msgpass Repro_sharegraph

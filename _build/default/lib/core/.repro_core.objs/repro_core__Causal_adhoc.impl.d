@@ -1,0 +1,1 @@
+lib/core/causal_adhoc.ml: Array Fun List Memory Printf Proto_base Repro_history Repro_msgpass Repro_sharegraph

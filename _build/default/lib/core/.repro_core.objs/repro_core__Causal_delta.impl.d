@@ -1,0 +1,1 @@
+lib/core/causal_delta.ml: Array List Memory Printf Proto_base Repro_history Repro_msgpass Repro_sharegraph

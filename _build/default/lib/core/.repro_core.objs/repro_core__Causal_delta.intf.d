@@ -1,0 +1,1 @@
+lib/core/causal_delta.mli: Memory Repro_msgpass Repro_sharegraph

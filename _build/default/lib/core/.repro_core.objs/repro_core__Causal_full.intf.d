@@ -1,0 +1,1 @@
+lib/core/causal_full.mli: Memory Repro_msgpass Repro_sharegraph

@@ -1,0 +1,1 @@
+lib/core/causal_partial.mli: Memory Repro_msgpass Repro_sharegraph

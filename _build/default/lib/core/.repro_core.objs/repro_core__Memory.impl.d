@@ -1,0 +1,1 @@
+lib/core/memory.ml: Array List Printf Repro_history Repro_sharegraph Repro_util

@@ -1,0 +1,1 @@
+lib/core/memory.mli: Repro_history Repro_sharegraph Repro_util

@@ -1,0 +1,1 @@
+lib/core/pram_partial.mli: Memory Repro_msgpass Repro_sharegraph

@@ -1,0 +1,1 @@
+lib/core/pram_reliable.ml: Array List Memory Printf Proto_base Repro_history Repro_msgpass Repro_sharegraph

@@ -1,0 +1,1 @@
+lib/core/pram_reliable.mli: Memory Repro_msgpass Repro_sharegraph

@@ -1,0 +1,1 @@
+lib/core/proto_base.ml: Array List Memory Printf Repro_msgpass Repro_sharegraph Repro_util

@@ -1,0 +1,1 @@
+lib/core/proto_base.mli: Memory Repro_msgpass Repro_sharegraph

@@ -1,0 +1,1 @@
+lib/core/registry.mli: Memory Repro_history Repro_msgpass Repro_sharegraph

@@ -1,0 +1,1 @@
+lib/core/runner.ml: Array Fun List Memory Printf Repro_history Repro_msgpass Repro_sharegraph String

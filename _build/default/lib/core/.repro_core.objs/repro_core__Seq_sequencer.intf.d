@@ -1,0 +1,1 @@
+lib/core/seq_sequencer.mli: Memory Repro_msgpass Repro_sharegraph

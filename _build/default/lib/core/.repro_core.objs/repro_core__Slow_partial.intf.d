@@ -1,0 +1,1 @@
+lib/core/slow_partial.mli: Memory Repro_msgpass Repro_sharegraph

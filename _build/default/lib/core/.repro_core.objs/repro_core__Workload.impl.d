@@ -1,0 +1,1 @@
+lib/core/workload.ml: Array Memory Repro_history Repro_sharegraph Repro_util Runner

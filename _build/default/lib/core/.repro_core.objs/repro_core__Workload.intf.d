@@ -1,0 +1,1 @@
+lib/core/workload.mli: Memory Repro_history Repro_sharegraph Repro_util Runner

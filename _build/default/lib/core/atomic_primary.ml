@@ -1,0 +1,84 @@
+module Net = Repro_msgpass.Net
+module Latency = Repro_msgpass.Latency
+module Fiber = Repro_msgpass.Fiber
+module Distribution = Repro_sharegraph.Distribution
+
+type msg =
+  | Read_req of { var : int; req_id : int; requester : int }
+  | Write_req of { var : int; value : Memory.value; req_id : int; requester : int }
+  | Reply of { req_id : int; value : Memory.value }
+
+let value_text = function
+  | Repro_history.Op.Init -> "_"
+  | Repro_history.Op.Val v -> string_of_int v
+
+let label = function
+  | Read_req { var; requester; _ } -> Printf.sprintf "read x%d? p%d" var requester
+  | Write_req { var; value; requester; _ } ->
+      Printf.sprintf "write x%d:=%s p%d" var (value_text value) requester
+  | Reply { value; _ } -> Printf.sprintf "reply %s" (value_text value)
+
+let create ?(latency = Latency.lan) ~dist ~seed () =
+  let base = Proto_base.create ~dist ~latency ~seed () in
+  let n = Distribution.n_procs dist in
+  let n_vars = Distribution.n_vars dist in
+  let primary_of =
+    Array.init n_vars (fun x ->
+        match Distribution.holders dist x with
+        | p :: _ -> p
+        | [] -> -1 (* unreplicated variable: unusable, caught by check_access *))
+  in
+  (* Authoritative copies live at primaries only. *)
+  let store = Array.make_matrix n n_vars Repro_history.Op.Init in
+  let next_req = Array.make n 0 in
+  let replies : (int * int, Memory.value) Hashtbl.t = Hashtbl.create 64 in
+  let on_message p (envelope : msg Net.envelope) =
+    match envelope.Net.msg with
+    | Read_req { var; req_id; requester } ->
+        Proto_base.send base ~src:p ~dst:requester ~control_bytes:8
+          ~payload_bytes:Memory.value_bytes ~mentions:[ var ]
+          (Reply { req_id; value = store.(p).(var) })
+    | Write_req { var; value; req_id; requester } ->
+        store.(p).(var) <- value;
+        Proto_base.count_apply base;
+        Proto_base.send base ~src:p ~dst:requester ~control_bytes:8
+          ~payload_bytes:0 ~mentions:[ var ]
+          (Reply { req_id; value })
+    | Reply { req_id; value } -> Hashtbl.replace replies (p, req_id) value
+  in
+  for p = 0 to n - 1 do
+    Net.set_handler (Proto_base.net base) p (on_message p)
+  done;
+  let rpc ~proc msg_of_req_id =
+    let req_id = next_req.(proc) in
+    next_req.(proc) <- req_id + 1;
+    msg_of_req_id req_id;
+    Fiber.await (fun () -> Hashtbl.mem replies (proc, req_id));
+    let value = Hashtbl.find replies (proc, req_id) in
+    Hashtbl.remove replies (proc, req_id);
+    value
+  in
+  let read ~proc ~var =
+    let primary = primary_of.(var) in
+    if primary = proc then store.(proc).(var)
+    else
+      rpc ~proc (fun req_id ->
+          Proto_base.send base ~src:proc ~dst:primary ~control_bytes:16
+            ~payload_bytes:0 ~mentions:[ var ]
+            (Read_req { var; req_id; requester = proc }))
+  in
+  let write ~proc ~var value =
+    let primary = primary_of.(var) in
+    if primary = proc then begin
+      store.(proc).(var) <- value;
+      Proto_base.count_apply base
+    end
+    else
+      ignore
+        (rpc ~proc (fun req_id ->
+             Proto_base.send base ~src:proc ~dst:primary ~control_bytes:16
+               ~payload_bytes:Memory.value_bytes ~mentions:[ var ]
+               (Write_req { var; value; req_id; requester = proc })))
+  in
+  Proto_base.finish base ~name:"atomic-primary" ~read ~write ~blocking_writes:true
+    ~blocking_reads:true ~label ()

@@ -1,0 +1,22 @@
+(** Atomic (linearizable) memory via a primary copy per variable.
+
+    Each variable has a single authoritative copy at its lowest-numbered
+    holder; both reads and writes are round-trip RPCs to that primary (or
+    local operations when the caller {e is} the primary).  Operations on a
+    variable serialize at its primary between invocation and response, so
+    the memory is atomic in Lamport's sense [12].
+
+    This is the strongest — and slowest — point of the criterion lattice:
+    every remote operation pays a round trip, which is what the causal /
+    PRAM literature ([2], §3.3) is trying to avoid.  Information about [x]
+    never leaves [C(x)]: atomicity via a primary is "efficient" in the
+    mention-audit sense, but gives up wait-free local reads entirely.
+
+    Both [read] and [write] suspend the calling fiber. *)
+
+val create :
+  ?latency:Repro_msgpass.Latency.t ->
+  dist:Repro_sharegraph.Distribution.t ->
+  seed:int ->
+  unit ->
+  Memory.t

@@ -1,0 +1,94 @@
+module Net = Repro_msgpass.Net
+module Latency = Repro_msgpass.Latency
+module Distribution = Repro_sharegraph.Distribution
+
+(* Dependency summary: (writer, var, count) triples meaning "I had applied
+   [count] writes of [writer] to [var] when I issued this write". *)
+type msg = Update of {
+  var : int;
+  value : Memory.value;
+  writer : int;
+  deps : (int * int * int) list;
+}
+
+let value_text = function
+  | Repro_history.Op.Init -> "_"
+  | Repro_history.Op.Val v -> string_of_int v
+
+let label = function
+  | Update { var; value; writer; deps } ->
+      Printf.sprintf "upd x%d:=%s w%d deps:%d" var (value_text value) writer
+        (List.length deps)
+
+let create ?(latency = Latency.lan) ~dist ~seed () =
+  let base = Proto_base.create ~dist ~latency ~seed () in
+  let n = Distribution.n_procs dist in
+  let n_vars = Distribution.n_vars dist in
+  let store = Array.make_matrix n n_vars Repro_history.Op.Init in
+  (* applied.(p).(k).(y): number of k's writes to y applied at p. *)
+  let applied = Array.init n (fun _ -> Array.make_matrix n n_vars 0) in
+  let pending = Array.make n [] in
+  let shared_vars =
+    (* shared_vars.(i).(j): X_i ∩ X_j, precomputed. *)
+    Array.init n (fun i ->
+        Array.init n (fun j ->
+            List.filter
+              (fun y -> Distribution.holds dist ~proc:j ~var:y)
+              (Distribution.vars_of dist i)))
+  in
+  let ready p deps =
+    List.for_all (fun (k, y, c) -> applied.(p).(k).(y) >= c) deps
+  in
+  let apply p = function
+    | Update { var; value; writer; _ } ->
+        store.(p).(var) <- value;
+        applied.(p).(writer).(var) <- applied.(p).(writer).(var) + 1;
+        Proto_base.count_apply base
+  in
+  let rec drain p =
+    let appliable, blocked =
+      List.partition (fun (Update { deps; _ }) -> ready p deps) pending.(p)
+    in
+    match appliable with
+    | [] -> ()
+    | _ ->
+        pending.(p) <- blocked;
+        List.iter (apply p) appliable;
+        drain p
+  in
+  let on_message p (envelope : msg Net.envelope) =
+    pending.(p) <- pending.(p) @ [ envelope.Net.msg ];
+    drain p
+  in
+  for p = 0 to n - 1 do
+    Net.set_handler (Proto_base.net base) p (on_message p)
+  done;
+  let read ~proc ~var = store.(proc).(var) in
+  let write ~proc ~var value =
+    (* Summaries snapshot the writer's state before counting this write. *)
+    let counts = applied.(proc) in
+    store.(proc).(var) <- value;
+    List.iter
+      (fun peer ->
+        if peer <> proc then begin
+          let deps =
+            List.concat_map
+              (fun y ->
+                List.filter_map
+                  (fun k -> if counts.(k).(y) > 0 then Some (k, y, counts.(k).(y)) else None)
+                  (List.init n Fun.id))
+              shared_vars.(proc).(peer)
+          in
+          let mentions =
+            var :: List.map (fun (_, y, _) -> y) deps |> List.sort_uniq compare
+          in
+          Proto_base.send base ~src:proc ~dst:peer
+            ~control_bytes:(12 * List.length deps)
+            ~payload_bytes:Memory.value_bytes ~mentions
+            (Update { var; value; writer = proc; deps })
+        end)
+      (Distribution.holders dist var);
+    applied.(proc).(proc).(var) <- applied.(proc).(proc).(var) + 1
+  in
+  Proto_base.finish base ~name:"causal-adhoc" ~read ~write ~blocking_writes:false
+    ~label ()

@@ -1,0 +1,35 @@
+(** Static-distribution "ad-hoc" causal protocol (paper §3.3).
+
+    The paper observes that when the variable distribution is known a
+    priori, an implementation can be tailored to it: only processes on
+    x-hoops need information about [x].  This module implements the
+    extreme point of that design space — dependency metadata restricted to
+    the variables the {e sender and receiver share}:
+
+    a write of [x] by [i] travels only to [C(x)]; its control information
+    is, per receiver [j], the counts of writes [i] has applied per writer
+    and per variable in [X_i ∩ X_j].  The receiver defers application until
+    it has applied at least as much.
+
+    Consequences, matching Theorem 1 exactly:
+    - on a {e hoop-free} distribution every run is causally consistent
+      (all causal paths between operations visible at [j] traverse pairwise
+      shared variables, so no dependency escapes the summaries);
+    - on a distribution {e with} hoops, causality can leak through a hoop —
+      a dependency chain (Definition 4) whose intermediate variables are
+      invisible to the summaries — and runs exist whose histories are not
+      causal.  Tests construct such a violation deterministically.
+    - every run is still PRAM-consistent (per-writer FIFO is preserved),
+      so the protocol degrades exactly to the criterion the paper proves
+      implementable.
+
+    Mention audit: information about [y] reaches only processes holding
+    [y]; the protocol is "efficient" in the paper's sense — which is why it
+    cannot be causal in general. *)
+
+val create :
+  ?latency:Repro_msgpass.Latency.t ->
+  dist:Repro_sharegraph.Distribution.t ->
+  seed:int ->
+  unit ->
+  Memory.t

@@ -1,0 +1,92 @@
+module Net = Repro_msgpass.Net
+module Latency = Repro_msgpass.Latency
+module Distribution = Repro_sharegraph.Distribution
+
+type msg = Update of {
+  var : int;
+  value : Memory.value;
+  writer : int;
+  deltas : (int * int) list; (* vector-clock entries that changed *)
+}
+
+let value_text = function
+  | Repro_history.Op.Init -> "_"
+  | Repro_history.Op.Val v -> string_of_int v
+
+let label = function
+  | Update { var; value; writer; deltas } ->
+      Printf.sprintf "upd x%d:=%s w%d deltas:%d" var (value_text value) writer
+        (List.length deltas)
+
+let create ?(latency = Latency.lan) ~dist ~seed () =
+  if not (Distribution.is_full_replication dist) then
+    invalid_arg "Causal_delta.create: requires full replication";
+  let base = Proto_base.create ~dist ~latency ~seed () in
+  let n = Distribution.n_procs dist in
+  let n_vars = Distribution.n_vars dist in
+  let store = Array.make_matrix n n_vars Repro_history.Op.Init in
+  (* vc.(p).(k): number of k's writes applied at p (own writes immediate) *)
+  let vc = Array.make_matrix n n 0 in
+  (* last vector stamp transmitted per (sender, receiver) channel, and its
+     mirror per (receiver, sender); FIFO keeps them in sync *)
+  let sent_stamp = Array.init n (fun _ -> Array.make_matrix n n 0) in
+  let recv_stamp = Array.init n (fun _ -> Array.make_matrix n n 0) in
+  let pending = Array.make n [] in
+  let ready p ~writer ~ts =
+    let ok = ref (vc.(p).(writer) = ts.(writer) - 1) in
+    Array.iteri (fun k tk -> if k <> writer && vc.(p).(k) < tk then ok := false) ts;
+    !ok
+  in
+  let apply p (var, value, writer) =
+    store.(p).(var) <- value;
+    vc.(p).(writer) <- vc.(p).(writer) + 1;
+    Proto_base.count_apply base
+  in
+  let rec drain p =
+    let appliable, blocked =
+      List.partition (fun (_, _, writer, ts) -> ready p ~writer ~ts) pending.(p)
+    in
+    match appliable with
+    | [] -> ()
+    | _ ->
+        pending.(p) <- blocked;
+        List.iter (fun (var, value, writer, _) -> apply p (var, value, writer)) appliable;
+        drain p
+  in
+  let on_message p (envelope : msg Net.envelope) =
+    match envelope.Net.msg with
+    | Update { var; value; writer; deltas } ->
+        (* reconstruct the full stamp from the per-channel mirror *)
+        let mirror = recv_stamp.(p).(writer) in
+        List.iter (fun (k, v) -> mirror.(k) <- v) deltas;
+        let ts = Array.copy mirror in
+        pending.(p) <- pending.(p) @ [ (var, value, writer, ts) ];
+        drain p
+  in
+  for p = 0 to n - 1 do
+    Net.set_handler (Proto_base.net base) p (on_message p)
+  done;
+  let read ~proc ~var = store.(proc).(var) in
+  let write ~proc ~var value =
+    store.(proc).(var) <- value;
+    vc.(proc).(proc) <- vc.(proc).(proc) + 1;
+    let ts = vc.(proc) in
+    for peer = 0 to n - 1 do
+      if peer <> proc then begin
+        let last = sent_stamp.(proc).(peer) in
+        let deltas = ref [] in
+        for k = n - 1 downto 0 do
+          if ts.(k) <> last.(k) then begin
+            deltas := (k, ts.(k)) :: !deltas;
+            last.(k) <- ts.(k)
+          end
+        done;
+        Proto_base.send base ~src:proc ~dst:peer
+          ~control_bytes:(12 * List.length !deltas) (* (index, count) pairs *)
+          ~payload_bytes:Memory.value_bytes ~mentions:[ var ]
+          (Update { var; value; writer = proc; deltas = !deltas })
+      end
+    done
+  in
+  Proto_base.finish base ~name:"causal-delta" ~read ~write ~blocking_writes:false
+    ~label ()

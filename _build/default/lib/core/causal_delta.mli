@@ -1,0 +1,24 @@
+(** Full-replication causal memory with delta-compressed control
+    information (after the propagation-optimal protocols of Baldoni,
+    Milani & Tucci-Piergiovanni — the paper's reference [8]).
+
+    Semantically identical to {!Causal_full}: writes are broadcast and
+    applied under the vector-clock causal-delivery condition.  The
+    difference is the wire format: instead of the whole n-entry vector, a
+    message to peer [j] carries only the entries that changed since the
+    sender's previous message to [j] (sound because channels are FIFO, so
+    the receiver can reconstruct the full stamp incrementally).
+
+    Control cost is therefore proportional to the sender's {e recent
+    causal activity}, not to the system size — typically far below
+    [Causal_full]'s 8·n bytes but still strictly above PRAM's constant, and
+    the mention audit still informs every process about every variable:
+    compression does not evade Theorem 1, it only shrinks the bytes. *)
+
+val create :
+  ?latency:Repro_msgpass.Latency.t ->
+  dist:Repro_sharegraph.Distribution.t ->
+  seed:int ->
+  unit ->
+  Memory.t
+(** @raise Invalid_argument unless the distribution is full replication. *)

@@ -1,0 +1,18 @@
+(** Full-replication causal memory (Ahamad et al. 1995).
+
+    The classic baseline the paper's §1 describes: every MCS process
+    replicates every variable; writes are broadcast with a vector clock and
+    applied when causally ready; reads are local and wait-free.
+
+    Control information per message is one [n]-entry vector clock
+    (8·n bytes) — it grows with the system, which is precisely the
+    scalability critique motivating partial replication. *)
+
+val create :
+  ?latency:Repro_msgpass.Latency.t ->
+  dist:Repro_sharegraph.Distribution.t ->
+  seed:int ->
+  unit ->
+  Memory.t
+(** @raise Invalid_argument unless the distribution is full replication
+    ({!Repro_sharegraph.Distribution.is_full_replication}). *)

@@ -1,0 +1,142 @@
+module Net = Repro_msgpass.Net
+module Latency = Repro_msgpass.Latency
+module Distribution = Repro_sharegraph.Distribution
+module Share_graph = Repro_sharegraph.Share_graph
+
+(* A notice of write number [seq] by [writer] to [var], stamped with the
+   writer's dependency vector; [Update] also carries the value (sent to
+   replica holders only), [Gossip] is the value-free flooded form. *)
+type msg =
+  | Update of { var : int; value : Memory.value; writer : int; seq : int; ts : int array }
+  | Gossip of { var : int; writer : int; seq : int; ts : int array }
+
+let value_text = function
+  | Repro_history.Op.Init -> "_"
+  | Repro_history.Op.Val v -> string_of_int v
+
+let label = function
+  | Update { var; value; writer; seq; _ } ->
+      Printf.sprintf "upd x%d:=%s w%d#%d" var (value_text value) writer seq
+  | Gossip { var; writer; seq; _ } -> Printf.sprintf "gossip x%d w%d#%d" var writer seq
+
+type notice = {
+  n_var : int;
+  n_value : Memory.value option;
+  n_writer : int;
+  n_seq : int;
+  n_ts : int array;
+}
+
+let create ?(latency = Latency.lan) ~dist ~seed () =
+  let base = Proto_base.create ~dist ~latency ~seed () in
+  let n = Distribution.n_procs dist in
+  let n_vars = Distribution.n_vars dist in
+  let neighbours =
+    let sg = Share_graph.of_distribution dist in
+    Array.init n (fun p -> Share_graph.neighbours sg p)
+  in
+  let store = Array.make_matrix n n_vars Repro_history.Op.Init in
+  (* vc.(p).(k): number of k's writes processed (applied or noted) at p *)
+  let vc = Array.make_matrix n n 0 in
+  let pending = Array.make n [] in
+  (* seen.(p): notices already received (for gossip dedup), (writer, seq) *)
+  let seen = Array.init n (fun _ -> Hashtbl.create 64) in
+  let ready p notice =
+    let ok = ref (vc.(p).(notice.n_writer) = notice.n_ts.(notice.n_writer) - 1) in
+    Array.iteri
+      (fun k tk -> if k <> notice.n_writer && vc.(p).(k) < tk then ok := false)
+      notice.n_ts;
+    !ok
+  in
+  let process p notice =
+    (match notice.n_value with
+    | Some value ->
+        store.(p).(notice.n_var) <- value;
+        Proto_base.count_apply base
+    | None -> ());
+    vc.(p).(notice.n_writer) <- vc.(p).(notice.n_writer) + 1
+  in
+  let rec drain p =
+    let appliable, blocked = List.partition (ready p) pending.(p) in
+    match appliable with
+    | [] -> ()
+    | _ ->
+        pending.(p) <- blocked;
+        List.iter (process p) appliable;
+        drain p
+  in
+  let forward p ~came_from notice =
+    List.iter
+      (fun peer ->
+        if peer <> came_from then
+          Proto_base.send base ~src:p ~dst:peer
+            ~control_bytes:((8 * n) + 16)
+            ~payload_bytes:0 ~mentions:[ notice.n_var ]
+            (Gossip
+               {
+                 var = notice.n_var;
+                 writer = notice.n_writer;
+                 seq = notice.n_seq;
+                 ts = notice.n_ts;
+               }))
+      neighbours.(p)
+  in
+  let on_message p (envelope : msg Net.envelope) =
+    let notice, has_value =
+      match envelope.Net.msg with
+      | Update { var; value; writer; seq; ts } ->
+          ({ n_var = var; n_value = Some value; n_writer = writer; n_seq = seq; n_ts = ts }, true)
+      | Gossip { var; writer; seq; ts } ->
+          ({ n_var = var; n_value = None; n_writer = writer; n_seq = seq; n_ts = ts }, false)
+    in
+    let key = (notice.n_writer, notice.n_seq) in
+    let holder = Distribution.holds dist ~proc:p ~var:notice.n_var in
+    if not (Hashtbl.mem seen.(p) key) then begin
+      (* First contact with this write.  A holder must wait for the valued
+         form; its gossip copy is recorded as seen-but-not-consumed so the
+         flood still spreads exactly once. *)
+      Hashtbl.add seen.(p) key ();
+      forward p ~came_from:envelope.Net.src notice;
+      if (not holder) || has_value then begin
+        pending.(p) <- pending.(p) @ [ notice ];
+        drain p
+      end
+      else
+        (* holder heard a value-free notice first: remember that the
+           valued update must still be consumed *)
+        Hashtbl.replace seen.(p) key ()
+    end
+    else if holder && has_value && not (List.exists (fun q -> q.n_writer = notice.n_writer && q.n_seq = notice.n_seq) pending.(p)) then begin
+      (* the valued form arriving after the gossip copy: consume it unless
+         it was already queued *)
+      pending.(p) <- pending.(p) @ [ notice ];
+      drain p
+    end
+  in
+  for p = 0 to n - 1 do
+    Net.set_handler (Proto_base.net base) p (on_message p)
+  done;
+  let write_seq = Array.make n 0 in
+  let read ~proc ~var = store.(proc).(var) in
+  let write ~proc ~var value =
+    store.(proc).(var) <- value;
+    vc.(proc).(proc) <- vc.(proc).(proc) + 1;
+    let seq = write_seq.(proc) in
+    write_seq.(proc) <- seq + 1;
+    let ts = Array.copy vc.(proc) in
+    Hashtbl.add seen.(proc) (proc, seq) ();
+    (* value to the other replica holders *)
+    List.iter
+      (fun peer ->
+        if peer <> proc then
+          Proto_base.send base ~src:proc ~dst:peer
+            ~control_bytes:((8 * n) + 8)
+            ~payload_bytes:Memory.value_bytes ~mentions:[ var ]
+            (Update { var; value; writer = proc; seq; ts }))
+      (Distribution.holders dist var);
+    (* notice to the share-graph neighbourhood *)
+    forward proc ~came_from:proc
+      { n_var = var; n_value = None; n_writer = proc; n_seq = seq; n_ts = ts }
+  in
+  Proto_base.finish base ~name:"causal-gossip" ~read ~write ~blocking_writes:false
+    ~label ()

@@ -1,0 +1,28 @@
+(** Partial-replication causal memory with share-graph-scoped gossip.
+
+    A middle point between {!Causal_partial} (metadata broadcast to
+    everyone) and {!Causal_adhoc} (no off-clique metadata at all): write
+    values travel directly to [C(x)], while write {e notices} flood along
+    the edges of the share graph — each process forwards a notice it has
+    not seen before to its share-graph neighbours.
+
+    Because causal dependency chains travel through shared variables
+    (paper §3.2, the sufficiency half of Theorem 1), they can never cross
+    a share-graph component boundary; a process that hears about every
+    write {e in its component} can therefore order its replicas causally.
+    Each run is causally consistent on any distribution.
+
+    The cost structure this trades into:
+    - on a distribution whose share graph is disconnected (e.g. clusters),
+      information about [x] reaches only [x]'s component — the mention
+      audit stays component-local;
+    - on a connected share graph the component is everything and the
+      protocol degenerates to a (more expensive, multi-hop) broadcast —
+      Theorem 1 again: when hoops abound, someone must carry the news. *)
+
+val create :
+  ?latency:Repro_msgpass.Latency.t ->
+  dist:Repro_sharegraph.Distribution.t ->
+  seed:int ->
+  unit ->
+  Memory.t

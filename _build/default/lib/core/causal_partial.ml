@@ -1,0 +1,81 @@
+module Net = Repro_msgpass.Net
+module Latency = Repro_msgpass.Latency
+module Distribution = Repro_sharegraph.Distribution
+
+type msg =
+  | Update of { var : int; value : Memory.value; writer : int; ts : int array }
+  | Meta of { var : int; writer : int; ts : int array }
+
+let value_text = function
+  | Repro_history.Op.Init -> "_"
+  | Repro_history.Op.Val v -> string_of_int v
+
+let label = function
+  | Update { var; value; writer; _ } ->
+      Printf.sprintf "upd x%d:=%s w%d" var (value_text value) writer
+  | Meta { var; writer; _ } -> Printf.sprintf "meta x%d w%d" var writer
+
+let create ?(latency = Latency.lan) ~dist ~seed () =
+  let base = Proto_base.create ~dist ~latency ~seed () in
+  let n = Distribution.n_procs dist in
+  let n_vars = Distribution.n_vars dist in
+  let store = Array.make_matrix n n_vars Repro_history.Op.Init in
+  (* vc.(p).(k): number of k's writes processed (applied or noted) at p *)
+  let vc = Array.make_matrix n n 0 in
+  let pending = Array.make n [] in
+  let ready p ~writer ~ts =
+    let ok = ref (vc.(p).(writer) = ts.(writer) - 1) in
+    Array.iteri (fun k tk -> if k <> writer && vc.(p).(k) < tk then ok := false) ts;
+    !ok
+  in
+  let process p = function
+    | Update { var; value; writer; ts = _ } ->
+        store.(p).(var) <- value;
+        vc.(p).(writer) <- vc.(p).(writer) + 1;
+        Proto_base.count_apply base
+    | Meta { writer; _ } -> vc.(p).(writer) <- vc.(p).(writer) + 1
+  in
+  let stamp_of = function Update { writer; ts; _ } | Meta { writer; ts; _ } -> (writer, ts) in
+  let rec drain p =
+    let appliable, blocked =
+      List.partition
+        (fun m ->
+          let writer, ts = stamp_of m in
+          ready p ~writer ~ts)
+        pending.(p)
+    in
+    match appliable with
+    | [] -> ()
+    | _ ->
+        pending.(p) <- blocked;
+        List.iter (process p) appliable;
+        drain p
+  in
+  let on_message p (envelope : msg Net.envelope) =
+    pending.(p) <- pending.(p) @ [ envelope.Net.msg ];
+    drain p
+  in
+  for p = 0 to n - 1 do
+    Net.set_handler (Proto_base.net base) p (on_message p)
+  done;
+  let read ~proc ~var = store.(proc).(var) in
+  let write ~proc ~var value =
+    store.(proc).(var) <- value;
+    vc.(proc).(proc) <- vc.(proc).(proc) + 1;
+    let ts = Array.copy vc.(proc) in
+    for peer = 0 to n - 1 do
+      if peer <> proc then
+        if Distribution.holds dist ~proc:peer ~var then
+          Proto_base.send base ~src:proc ~dst:peer
+            ~control_bytes:(8 * n)
+            ~payload_bytes:Memory.value_bytes ~mentions:[ var ]
+            (Update { var; value; writer = proc; ts })
+        else
+          Proto_base.send base ~src:proc ~dst:peer
+            ~control_bytes:((8 * n) + 8) (* vector clock + variable id *)
+            ~payload_bytes:0 ~mentions:[ var ]
+            (Meta { var; writer = proc; ts })
+    done
+  in
+  Proto_base.finish base ~name:"causal-partial" ~read ~write ~blocking_writes:false
+    ~label ()

@@ -1,0 +1,23 @@
+(** Partial-replication causal memory — correct but {e inefficient}, the
+    protocol shape the paper's §3.3 argues is unavoidable in general.
+
+    Values travel only to replica holders, but {e metadata about every
+    write is broadcast to every process}: a write of [x] by [i] carries
+    [i]'s dependency vector (counting all writes per writer, 8·n bytes) and
+    is sent as an [Update] to the other members of [C(x)] and as a [Meta]
+    notification to everyone else.  A process applies (or notes) writes in
+    causal order; since it hears about {e all} writes, the vector-clock
+    delivery condition is always eventually satisfiable, and the replicas
+    it holds are updated causally.
+
+    Consequence visible in the mention audit: every process is informed
+    about every variable — the exact scalability failure of Theorem 1's
+    general case ("each process in the system has to transmit control
+    information regarding all the shared data"). *)
+
+val create :
+  ?latency:Repro_msgpass.Latency.t ->
+  dist:Repro_sharegraph.Distribution.t ->
+  seed:int ->
+  unit ->
+  Memory.t

@@ -1,0 +1,92 @@
+module Net = Repro_msgpass.Net
+module Latency = Repro_msgpass.Latency
+module Fault = Repro_msgpass.Fault
+module Distribution = Repro_sharegraph.Distribution
+
+type msg =
+  | Data of { var : int; value : Memory.value; seq : int }
+  | Ack of { next : int }  (** cumulative: everything below [next] received *)
+
+let value_text = function
+  | Repro_history.Op.Init -> "_"
+  | Repro_history.Op.Val v -> string_of_int v
+
+let label = function
+  | Data { var; value; seq } -> Printf.sprintf "data x%d:=%s #%d" var (value_text value) seq
+  | Ack { next } -> Printf.sprintf "ack<%d" next
+
+let default_faults = { Fault.drop = 0.2; duplicate = 0.1; reorder = false }
+
+let create ?(faults = default_faults) ?(latency = Latency.lan)
+    ?(retransmit_after = 50) ~dist ~seed () =
+  if retransmit_after < 1 then invalid_arg "Pram_reliable.create: bad timeout";
+  let base = Proto_base.create ~faults ~dist ~latency ~seed () in
+  let net = Proto_base.net base in
+  let n = Distribution.n_procs dist in
+  let n_vars = Distribution.n_vars dist in
+  let store = Array.make_matrix n n_vars Repro_history.Op.Init in
+  (* go-back-N sender state, per (src, dst) channel *)
+  let out_buf : (int * (int * Memory.value)) list array array =
+    Array.make_matrix n n []
+  in
+  let next_seq = Array.make_matrix n n 0 in
+  let timer_armed = Array.make_matrix n n false in
+  (* receiver state *)
+  let expected = Array.make_matrix n n 0 in
+  let send_data ~src ~dst (seq, (var, value)) =
+    Proto_base.send base ~src ~dst ~control_bytes:8
+      ~payload_bytes:Memory.value_bytes ~mentions:[ var ]
+      (Data { var; value; seq })
+  in
+  let send_ack ~src ~dst =
+    Proto_base.send base ~src ~dst ~control_bytes:8 ~payload_bytes:0 ~mentions:[]
+      (Ack { next = expected.(src).(dst) })
+  in
+  let rec arm_timer src dst =
+    if not timer_armed.(src).(dst) then begin
+      timer_armed.(src).(dst) <- true;
+      Net.at net ~delay:retransmit_after (fun () ->
+          timer_armed.(src).(dst) <- false;
+          match out_buf.(src).(dst) with
+          | [] -> () (* everything acknowledged; stay quiet *)
+          | pending ->
+              List.iter (send_data ~src ~dst) pending;
+              arm_timer src dst)
+    end
+  in
+  let on_message p (envelope : msg Net.envelope) =
+    let src = envelope.Net.src in
+    match envelope.Net.msg with
+    | Data { var; value; seq } ->
+        if seq = expected.(p).(src) then begin
+          store.(p).(var) <- value;
+          Proto_base.count_apply base;
+          expected.(p).(src) <- seq + 1
+        end;
+        (* out-of-order or duplicate: discard, but always (re)acknowledge
+           the current cumulative position *)
+        send_ack ~src:p ~dst:src
+    | Ack { next } ->
+        (* p is the original sender; prune everything below [next] *)
+        out_buf.(p).(src) <-
+          List.filter (fun (seq, _) -> seq >= next) out_buf.(p).(src)
+  in
+  for p = 0 to n - 1 do
+    Net.set_handler net p (on_message p)
+  done;
+  let read ~proc ~var = store.(proc).(var) in
+  let write ~proc ~var value =
+    store.(proc).(var) <- value;
+    List.iter
+      (fun peer ->
+        if peer <> proc then begin
+          let seq = next_seq.(proc).(peer) in
+          next_seq.(proc).(peer) <- seq + 1;
+          out_buf.(proc).(peer) <- out_buf.(proc).(peer) @ [ (seq, (var, value)) ];
+          send_data ~src:proc ~dst:peer (seq, (var, value));
+          arm_timer proc peer
+        end)
+      (Distribution.holders dist var)
+  in
+  Proto_base.finish base ~name:"pram-reliable" ~read ~write ~blocking_writes:false
+    ~label ()

@@ -1,0 +1,29 @@
+(** PRAM memory over {e unreliable} channels.
+
+    The paper's model (§1) assumes a message-passing system "with a certain
+    quality of service in terms of ordering and reliability"; the plain
+    {!Pram_partial} inherits both from the simulator.  This variant
+    manufactures that quality of service itself: updates travel over a
+    lossy, duplicating transport and each directed channel runs go-back-N
+    ARQ — cumulative acknowledgements, a retransmission timer, in-order
+    delivery to the protocol layer.
+
+    The memory semantics is exactly PRAM (per-writer order is the ARQ
+    channel order), and — unlike the guarded {!Pram_partial} under faults —
+    {e no update is ever lost}: after quiescence every replica has applied
+    every relevant write.  The price is acks and retransmissions, measured
+    by the usual metrics.  Mention audit still never leaves [C(x)]. *)
+
+val create :
+  ?faults:Repro_msgpass.Fault.t ->
+  ?latency:Repro_msgpass.Latency.t ->
+  ?retransmit_after:int ->
+  dist:Repro_sharegraph.Distribution.t ->
+  seed:int ->
+  unit ->
+  Memory.t
+(** [faults] defaults to a 20% drop / 10% duplication profile (this
+    protocol exists to beat faults; pass {!Repro_msgpass.Fault.none} to
+    run it over a clean network).  [retransmit_after] (default 50 ticks)
+    is the per-channel retransmission timeout; it should comfortably
+    exceed one round trip. *)

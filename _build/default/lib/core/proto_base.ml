@@ -1,0 +1,77 @@
+module Net = Repro_msgpass.Net
+module Latency = Repro_msgpass.Latency
+module Fault = Repro_msgpass.Fault
+module Distribution = Repro_sharegraph.Distribution
+module Bitset = Repro_util.Bitset
+
+type 'msg t = {
+  net : 'msg Net.t;
+  dist : Distribution.t;
+  mentioned : Bitset.t array; (* per variable: processes informed about it *)
+  mutable applied : int;
+}
+
+let create ?faults ?service_time ?(extra_nodes = 0) ~dist ~latency ~seed () =
+  let n = Distribution.n_procs dist in
+  let net = Net.create ?faults ?service_time ~n:(n + extra_nodes) ~latency ~seed () in
+  {
+    net;
+    dist;
+    mentioned = Array.init (Distribution.n_vars dist) (fun _ -> Bitset.create (n + extra_nodes));
+    applied = 0;
+  }
+
+let net t = t.net
+
+let dist t = t.dist
+
+let n_procs t = Distribution.n_procs t.dist
+
+let send t ~src ~dst ~control_bytes ~payload_bytes ~mentions msg =
+  List.iter (fun x -> Bitset.add t.mentioned.(x) dst) mentions;
+  Net.send t.net ~src ~dst ~control_bytes ~payload_bytes msg
+
+let count_apply t = t.applied <- t.applied + 1
+
+let metrics t =
+  let s = Net.stats t.net in
+  {
+    Memory.messages_sent = s.Net.sent;
+    messages_delivered = s.Net.delivered;
+    control_bytes = s.Net.total_control_bytes;
+    payload_bytes = s.Net.total_payload_bytes;
+    mentioned_at = Array.map Bitset.copy t.mentioned;
+    applied_writes = t.applied;
+  }
+
+let finish t ~name ~read ~write ~blocking_writes ?(blocking_reads = false)
+    ?(label = fun _ -> "msg") () =
+  let check proc var =
+    if not (Distribution.holds t.dist ~proc ~var) then
+      invalid_arg
+        (Printf.sprintf "%s: process %d does not hold variable x%d" name proc var)
+  in
+  {
+    Memory.name;
+    dist = t.dist;
+    read =
+      (fun ~proc ~var ->
+        check proc var;
+        read ~proc ~var);
+    write =
+      (fun ~proc ~var value ->
+        check proc var;
+        write ~proc ~var value);
+    step = (fun () -> Net.step t.net);
+    quiesce = (fun () -> Net.run t.net);
+    now = (fun () -> Net.now t.net);
+    schedule = (fun ~delay f -> Net.at t.net ~delay f);
+    metrics = (fun () -> metrics t);
+    blocking_writes;
+    blocking_reads;
+    set_tracing = (fun flag -> Net.set_tracing t.net flag);
+    msc =
+      (fun () ->
+        Repro_msgpass.Msc.render ~n_nodes:(Net.n_nodes t.net) ~label
+          (Net.trace t.net));
+  }

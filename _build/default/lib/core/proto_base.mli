@@ -1,0 +1,62 @@
+(** Shared scaffolding for protocol implementations: a network plus the
+    accounting every protocol must keep (byte counters are per-message
+    inputs; the mention audit and applied-update counter are maintained
+    here). *)
+
+module Net = Repro_msgpass.Net
+module Latency = Repro_msgpass.Latency
+module Fault = Repro_msgpass.Fault
+module Distribution = Repro_sharegraph.Distribution
+
+type 'msg t
+
+val create :
+  ?faults:Fault.t ->
+  ?service_time:int ->
+  ?extra_nodes:int ->
+  dist:Distribution.t ->
+  latency:Latency.t ->
+  seed:int ->
+  unit ->
+  'msg t
+(** One network node per MCS process, plus [extra_nodes] infrastructure
+    nodes (e.g. a sequencer) numbered after the processes. *)
+
+val net : 'msg t -> 'msg Net.t
+
+val dist : 'msg t -> Distribution.t
+
+val n_procs : 'msg t -> int
+(** MCS process count (excludes extra nodes). *)
+
+val send :
+  'msg t ->
+  src:int ->
+  dst:int ->
+  control_bytes:int ->
+  payload_bytes:int ->
+  mentions:int list ->
+  'msg ->
+  unit
+(** Send and record that [dst] will learn about the [mentions] variables.
+    (The audit marks at send time; protocols use reliable channels, so
+    every sent message is eventually delivered.) *)
+
+val count_apply : 'msg t -> unit
+(** Record one remote update applied to a replica. *)
+
+val metrics : 'msg t -> Memory.metrics
+
+val finish :
+  'msg t ->
+  name:string ->
+  read:(proc:int -> var:int -> Memory.value) ->
+  write:(proc:int -> var:int -> Memory.value -> unit) ->
+  blocking_writes:bool ->
+  ?blocking_reads:bool ->
+  ?label:('msg -> string) ->
+  unit ->
+  Memory.t
+(** Assemble the {!Memory.t} record: [step]/[quiesce]/[now]/[schedule] are
+    wired to the network, and [read]/[write] are wrapped with
+    {!Memory.check_access}. *)

@@ -1,0 +1,109 @@
+module Checker = Repro_history.Checker
+
+type spec = {
+  name : string;
+  guarantees : Checker.criterion;
+  requires_full_replication : bool;
+  blocking : bool;
+  efficient : bool;
+  make :
+    ?latency:Repro_msgpass.Latency.t ->
+    dist:Repro_sharegraph.Distribution.t ->
+    seed:int ->
+    unit ->
+    Memory.t;
+}
+
+let all =
+  [
+    {
+      name = "atomic-primary";
+      guarantees = Checker.Sequential;
+      requires_full_replication = false;
+      blocking = true;
+      efficient = true;
+      make = (fun ?latency ~dist ~seed () -> Atomic_primary.create ?latency ~dist ~seed ());
+    };
+    {
+      name = "seq-sequencer";
+      guarantees = Checker.Sequential;
+      requires_full_replication = false;
+      blocking = true;
+      efficient = false;
+      make = (fun ?latency ~dist ~seed () -> Seq_sequencer.create ?latency ~dist ~seed ());
+    };
+    {
+      name = "causal-full";
+      guarantees = Checker.Causal;
+      requires_full_replication = true;
+      blocking = false;
+      efficient = false;
+      make = (fun ?latency ~dist ~seed () -> Causal_full.create ?latency ~dist ~seed ());
+    };
+    {
+      name = "causal-delta";
+      guarantees = Checker.Causal;
+      requires_full_replication = true;
+      blocking = false;
+      efficient = false;
+      make = (fun ?latency ~dist ~seed () -> Causal_delta.create ?latency ~dist ~seed ());
+    };
+    {
+      name = "causal-partial";
+      guarantees = Checker.Causal;
+      requires_full_replication = false;
+      blocking = false;
+      efficient = false;
+      make = (fun ?latency ~dist ~seed () -> Causal_partial.create ?latency ~dist ~seed ());
+    };
+    {
+      name = "causal-gossip";
+      guarantees = Checker.Causal;
+      requires_full_replication = false;
+      blocking = false;
+      efficient = false;
+      (* component-scoped, not clique-scoped: leaks along hoops *)
+      make = (fun ?latency ~dist ~seed () -> Causal_gossip.create ?latency ~dist ~seed ());
+    };
+    {
+      name = "causal-adhoc";
+      (* causal only on hoop-free distributions; PRAM in general *)
+      guarantees = Checker.Pram;
+      requires_full_replication = false;
+      blocking = false;
+      efficient = true;
+      make = (fun ?latency ~dist ~seed () -> Causal_adhoc.create ?latency ~dist ~seed ());
+    };
+    {
+      name = "pram-partial";
+      guarantees = Checker.Pram;
+      requires_full_replication = false;
+      blocking = false;
+      efficient = true;
+      make = (fun ?latency ~dist ~seed () -> Pram_partial.create ?latency ~dist ~seed ());
+    };
+    {
+      name = "pram-reliable";
+      guarantees = Checker.Pram;
+      requires_full_replication = false;
+      blocking = false;
+      efficient = true;
+      make =
+        (fun ?latency ~dist ~seed () ->
+          (* the registry runs it over clean channels; the lossy default
+             is exercised by the dedicated tests *)
+          Pram_reliable.create ~faults:Repro_msgpass.Fault.none ?latency ~dist ~seed ());
+    };
+    {
+      name = "slow-partial";
+      guarantees = Checker.Slow;
+      requires_full_replication = false;
+      blocking = false;
+      efficient = true;
+      make = (fun ?latency ~dist ~seed () -> Slow_partial.create ?latency ~dist ~seed ());
+    };
+  ]
+
+let find name = List.find_opt (fun spec -> spec.name = name) all
+
+let names = List.map (fun spec -> spec.name) all

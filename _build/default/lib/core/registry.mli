@@ -1,0 +1,31 @@
+(** Protocol registry: one entry per implementation, with the consistency
+    criterion each run is guaranteed to satisfy.  Tests iterate this list
+    to check every protocol against its contract; the CLI and benchmarks
+    look implementations up by name. *)
+
+type spec = {
+  name : string;
+  guarantees : Repro_history.Checker.criterion;
+      (** Strongest criterion of {!Repro_history.Checker.all_criteria} that
+          every history produced by this protocol satisfies. *)
+  requires_full_replication : bool;
+  blocking : bool;  (** Has blocking reads or writes (needs fibers). *)
+  efficient : bool;
+      (** Paper §3: information about [x] never reaches a process outside
+          [C(x)] (checked by the mention audit in tests). *)
+  make :
+    ?latency:Repro_msgpass.Latency.t ->
+    dist:Repro_sharegraph.Distribution.t ->
+    seed:int ->
+    unit ->
+    Memory.t;
+}
+
+val all : spec list
+(** atomic-primary, seq-sequencer, causal-full, causal-delta,
+    causal-partial, causal-gossip, causal-adhoc, pram-partial,
+    pram-reliable, slow-partial. *)
+
+val find : string -> spec option
+
+val names : string list

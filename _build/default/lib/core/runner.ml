@@ -1,0 +1,88 @@
+module Fiber = Repro_msgpass.Fiber
+module Op = Repro_history.Op
+module History = Repro_history.History
+module Timed = Repro_history.Timed
+module Distribution = Repro_sharegraph.Distribution
+
+type api = {
+  proc : int;
+  n_procs : int;
+  read : int -> Memory.value;
+  write : int -> Memory.value -> unit;
+  peek : int -> Memory.value;
+  yield : unit -> unit;
+  await : (unit -> bool) -> unit;
+  sleep : int -> unit;
+}
+
+exception Livelock of string
+
+let run_raw ?(max_events = 10_000_000) (memory : Memory.t) ~programs =
+  let n = Distribution.n_procs memory.Memory.dist in
+  if Array.length programs > n then
+    invalid_arg "Runner.run: more programs than processes";
+  let recorded = Array.make n [] in
+  let finished = Array.make n false in
+  let record proc entry = recorded.(proc) <- entry :: recorded.(proc) in
+  let api_for proc =
+    {
+      proc;
+      n_procs = n;
+      read =
+        (fun var ->
+          let invoked = memory.Memory.now () in
+          let value = memory.Memory.read ~proc ~var in
+          record proc (Op.Read, var, value, invoked, memory.Memory.now ());
+          value);
+      write =
+        (fun var value ->
+          let invoked = memory.Memory.now () in
+          memory.Memory.write ~proc ~var value;
+          record proc (Op.Write, var, value, invoked, memory.Memory.now ());
+          ());
+      peek = (fun var -> memory.Memory.read ~proc ~var);
+      yield = Fiber.yield;
+      await = Fiber.await;
+      sleep = Fiber.sleep;
+    }
+  in
+  Array.iteri
+    (fun proc program ->
+      Fiber.spawn
+        ~schedule:(fun ~delay f -> memory.Memory.schedule ~delay f)
+        ~on_done:(fun () -> finished.(proc) <- true)
+        (fun () -> program (api_for proc)))
+    programs;
+  let budget = ref max_events in
+  let rec drive () =
+    if memory.Memory.step () then begin
+      decr budget;
+      if !budget <= 0 then begin
+        let stuck =
+          List.filter
+            (fun i -> i < Array.length programs && not finished.(i))
+            (List.init n Fun.id)
+        in
+        raise
+          (Livelock
+             (Printf.sprintf "event budget exhausted; unfinished processes: %s"
+                (String.concat ", " (List.map string_of_int stuck))))
+      end;
+      drive ()
+    end
+  in
+  drive ();
+  Array.iteri
+    (fun proc ok ->
+      if proc < Array.length programs && not ok then
+        raise (Livelock (Printf.sprintf "process %d never finished" proc)))
+    finished;
+  Array.to_list (Array.map List.rev recorded)
+
+let run ?max_events memory ~programs =
+  run_raw ?max_events memory ~programs
+  |> List.map (List.map (fun (kind, var, value, _, _) -> (kind, var, value)))
+  |> History.of_lists
+
+let run_timed ?max_events memory ~programs =
+  Timed.of_lists (run_raw ?max_events memory ~programs)

@@ -1,0 +1,52 @@
+(** Executing application programs against a memory instance and recording
+    the resulting history.
+
+    Each application process is a fiber ({!Repro_msgpass.Fiber}) running a
+    user function over {!api}; the runner collects every recorded operation
+    in per-process program order and assembles a {!Repro_history.History.t}
+    ready for the {!Repro_history.Checker}. *)
+
+type api = {
+  proc : int;
+  n_procs : int;
+  read : int -> Memory.value;
+      (** Recorded read of a variable (must be held by this process). *)
+  write : int -> Memory.value -> unit;  (** Recorded write. *)
+  peek : int -> Memory.value;
+      (** Unrecorded read, for busy-wait conditions: the paper's
+          synchronization loops (Fig. 7 line 6) read shared variables at
+          every poll; recording each poll would bloat the checked history
+          without changing consistency, so condition polling uses [peek].
+          Semantically identical to [read]. *)
+  yield : unit -> unit;
+  await : (unit -> bool) -> unit;
+      (** Busy-wait until the condition holds; the condition typically uses
+          [peek] and must not use blocking operations. *)
+  sleep : int -> unit;  (** Let simulated time pass. *)
+}
+
+exception Livelock of string
+(** Raised when the event budget is exhausted before every program
+    finished — an unsatisfiable [await] or a protocol deadlock. *)
+
+val run :
+  ?max_events:int ->
+  Memory.t ->
+  programs:(api -> unit) array ->
+  Repro_history.History.t
+(** [run memory ~programs] spawns [programs.(i)] as process [i] (the array
+    must not exceed the distribution's process count; missing processes run
+    nothing), drives the network to quiescence, and returns the recorded
+    history.  [max_events] defaults to 10_000_000.
+
+    @raise Livelock as documented above. *)
+
+val run_timed :
+  ?max_events:int ->
+  Memory.t ->
+  programs:(api -> unit) array ->
+  Repro_history.Timed.t
+(** Like {!run} but each operation also records its invocation and
+    response simulation times (they differ only for blocking protocols).
+    Feed the result to {!Repro_history.Timed.check_linearizable} to decide
+    atomicity. *)

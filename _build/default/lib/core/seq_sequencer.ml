@@ -1,0 +1,75 @@
+module Net = Repro_msgpass.Net
+module Latency = Repro_msgpass.Latency
+module Fiber = Repro_msgpass.Fiber
+module Distribution = Repro_sharegraph.Distribution
+
+type msg =
+  | Submit of { var : int; value : Memory.value; writer : int; write_id : int }
+  | Ordered of {
+      var : int;
+      value : Memory.value;
+      writer : int;
+      write_id : int;
+      global_seq : int;
+    }
+
+let value_text = function
+  | Repro_history.Op.Init -> "_"
+  | Repro_history.Op.Val v -> string_of_int v
+
+let label = function
+  | Submit { var; value; writer; _ } ->
+      Printf.sprintf "submit x%d:=%s w%d" var (value_text value) writer
+  | Ordered { var; value; global_seq; _ } ->
+      Printf.sprintf "ordered x%d:=%s @%d" var (value_text value) global_seq
+
+let create ?(latency = Latency.lan) ?service_time ~dist ~seed () =
+  let base = Proto_base.create ?service_time ~extra_nodes:1 ~dist ~latency ~seed () in
+  let n = Distribution.n_procs dist in
+  let sequencer = n in
+  let n_vars = Distribution.n_vars dist in
+  let store = Array.make_matrix n n_vars Repro_history.Op.Init in
+  (* completed.(p): highest write_id of p's own writes applied at p *)
+  let completed = Array.make n (-1) in
+  let next_write_id = Array.make n 0 in
+  let global_seq = ref 0 in
+  let on_sequencer (envelope : msg Net.envelope) =
+    match envelope.Net.msg with
+    | Submit { var; value; writer; write_id } ->
+        let seq = !global_seq in
+        incr global_seq;
+        List.iter
+          (fun peer ->
+            Proto_base.send base ~src:sequencer ~dst:peer
+              ~control_bytes:16 (* global sequence number + write id *)
+              ~payload_bytes:Memory.value_bytes ~mentions:[ var ]
+              (Ordered { var; value; writer; write_id; global_seq = seq }))
+          (Distribution.holders dist var)
+    | Ordered _ -> invalid_arg "Seq_sequencer: unexpected message at sequencer"
+  in
+  let on_process p (envelope : msg Net.envelope) =
+    match envelope.Net.msg with
+    | Ordered { var; value; writer; write_id; global_seq = _ } ->
+        (* Channel sequencer→p is FIFO, so arrivals are already in global
+           order restricted to p's variables. *)
+        store.(p).(var) <- value;
+        Proto_base.count_apply base;
+        if writer = p then completed.(p) <- Stdlib.max completed.(p) write_id
+    | Submit _ -> invalid_arg "Seq_sequencer: unexpected submit at a process"
+  in
+  Net.set_handler (Proto_base.net base) sequencer on_sequencer;
+  for p = 0 to n - 1 do
+    Net.set_handler (Proto_base.net base) p (on_process p)
+  done;
+  let read ~proc ~var = store.(proc).(var) in
+  let write ~proc ~var value =
+    let write_id = next_write_id.(proc) in
+    next_write_id.(proc) <- write_id + 1;
+    Proto_base.send base ~src:proc ~dst:sequencer
+      ~control_bytes:16 (* write id + variable id *)
+      ~payload_bytes:Memory.value_bytes ~mentions:[ var ]
+      (Submit { var; value; writer = proc; write_id });
+    Fiber.await (fun () -> completed.(proc) >= write_id)
+  in
+  Proto_base.finish base ~name:"seq-sequencer" ~read ~write ~blocking_writes:true
+    ~label ()

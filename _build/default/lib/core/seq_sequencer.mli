@@ -1,0 +1,28 @@
+(** Sequentially consistent memory via a sequencer node (partial
+    replication, "fast reads / slow writes", after Attiya–Welch).
+
+    All writes are funnelled through one extra infrastructure node that
+    stamps them with a global sequence number and forwards each to the
+    variable's replica holders; every process applies updates in global
+    order (its channel from the sequencer is FIFO).  A writer blocks until
+    its own write has been applied locally, which is what makes the
+    combination with local reads sequentially consistent.  Reads are local
+    and wait-free.
+
+    Cost profile: every write pays a round trip to the sequencer (2 hops to
+    reach replicas), the sequencer is a throughput bottleneck, and writes
+    block — the latency the weaker criteria exist to avoid (paper §3.3).
+
+    Because [write] suspends, application code must run inside
+    {!Repro_msgpass.Fiber} (the {!Runner} does this). *)
+
+val create :
+  ?latency:Repro_msgpass.Latency.t ->
+  ?service_time:int ->
+  dist:Repro_sharegraph.Distribution.t ->
+  seed:int ->
+  unit ->
+  Memory.t
+(** [service_time] (default 0) rates-limits every node's message intake
+    (see {!Repro_msgpass.Net.create}); under write load the sequencer is
+    the hot spot, making the centralization bottleneck measurable. *)

@@ -1,0 +1,22 @@
+(** Partial-replication slow memory (Hutto–Ahamad; Sinha 93).
+
+    Weaker than PRAM: a process must observe each writer's writes {e to
+    each individual variable} in order, but writes by one writer to
+    different variables may be observed interleaved arbitrarily.
+
+    The implementation makes the weakening physical: the instance runs on a
+    deliberately non-FIFO transport, and the receiver enforces order only
+    per (writer, variable) lane with an 8-byte lane sequence number.
+    Update messages still travel only to [C(x)] — slow memory is at least
+    as "efficient" as PRAM in the paper's sense.
+
+    §5 cites Sinha: totally asynchronous iterative fixpoint computations
+    converge on slow memory; the {!Repro_apps} Jacobi example exercises
+    exactly this. *)
+
+val create :
+  ?latency:Repro_msgpass.Latency.t ->
+  dist:Repro_sharegraph.Distribution.t ->
+  seed:int ->
+  unit ->
+  Memory.t

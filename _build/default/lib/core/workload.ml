@@ -1,0 +1,40 @@
+module Rng = Repro_util.Rng
+module Op = Repro_history.Op
+module Distribution = Repro_sharegraph.Distribution
+
+type profile = { ops_per_proc : int; read_ratio : float; max_think : int }
+
+let default_profile = { ops_per_proc = 8; read_ratio = 0.5; max_think = 3 }
+
+let programs rng dist profile =
+  if profile.ops_per_proc < 0 || profile.max_think < 0 then
+    invalid_arg "Workload.programs: bad profile";
+  if profile.read_ratio < 0.0 || profile.read_ratio > 1.0 then
+    invalid_arg "Workload.programs: read_ratio out of [0,1]";
+  let n = Distribution.n_procs dist in
+  Array.init n (fun proc ->
+      let vars = Array.of_list (Distribution.vars_of dist proc) in
+      (* Scripts are drawn now, eagerly, so program behaviour depends only
+         on the generator seed, not on fiber interleaving. *)
+      let script =
+        if Array.length vars = 0 then [||]
+        else
+          Array.init profile.ops_per_proc (fun k ->
+              let var = Rng.pick rng vars in
+              let think = Rng.int rng (profile.max_think + 1) in
+              if Rng.coin rng profile.read_ratio then (Op.Read, var, Op.Init, think)
+              else (Op.Write, var, Op.Val ((proc * 1_000_000) + k + 1), think))
+      in
+      fun (api : Runner.api) ->
+        Array.iter
+          (fun (kind, var, value, think) ->
+            if think > 0 then api.Runner.sleep think;
+            match kind with
+            | Op.Read -> ignore (api.Runner.read var)
+            | Op.Write -> api.Runner.write var value)
+          script)
+
+let run_random ?(profile = default_profile) ~seed (memory : Memory.t) =
+  let rng = Rng.create seed in
+  let progs = programs rng memory.Memory.dist profile in
+  Runner.run memory ~programs:progs

@@ -1,0 +1,27 @@
+(** Random application workloads over a distribution.
+
+    Each process performs a sequence of reads and writes drawn uniformly
+    over the variables {e it holds}, separated by random think time, with
+    globally unique write values so the recorded history is differentiated
+    and checkable. *)
+
+type profile = {
+  ops_per_proc : int;
+  read_ratio : float;
+  max_think : int;  (** Up to this many ticks of [sleep] between ops. *)
+}
+
+val default_profile : profile
+(** 8 ops per process, 50% reads, think time ≤ 3. *)
+
+val programs :
+  Repro_util.Rng.t ->
+  Repro_sharegraph.Distribution.t ->
+  profile ->
+  (Runner.api -> unit) array
+(** One program per process.  Processes holding no variable run nothing. *)
+
+val run_random :
+  ?profile:profile -> seed:int -> Memory.t -> Repro_history.History.t
+(** Generate programs (seeded) and execute them on the instance via
+    {!Runner.run}. *)

@@ -1,0 +1,1 @@
+lib/experiments/experiment.ml: Array Buffer Format Fun List Option Printf Repro_apps Repro_core Repro_history Repro_msgpass Repro_sharegraph Repro_util Stdlib String

@@ -1,0 +1,1 @@
+lib/experiments/experiment.mli: Repro_core Repro_history

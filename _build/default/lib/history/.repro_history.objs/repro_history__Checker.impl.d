@@ -1,0 +1,1 @@
+lib/history/checker.ml: Array Buffer Char Format Fun Hashtbl History List Op Orders Repro_util

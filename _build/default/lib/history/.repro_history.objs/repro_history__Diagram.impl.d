@@ -1,0 +1,1 @@
+lib/history/diagram.ml: Array Buffer Bytes Hashtbl History List Op Option Orders Printf Repro_util Stdlib String Timed

@@ -1,0 +1,1 @@
+lib/history/diagram.mli: History Timed

@@ -1,0 +1,1 @@
+lib/history/generator.ml: Array Fun History List Op Repro_util

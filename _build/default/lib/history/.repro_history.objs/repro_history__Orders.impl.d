@@ -1,0 +1,1 @@
+lib/history/orders.ml: Array Hashtbl History List Op Repro_util

@@ -1,0 +1,1 @@
+lib/history/orders.mli: History Repro_util

@@ -1,0 +1,1 @@
+lib/history/session.ml: Array Checker Format Fun History List Op Repro_util

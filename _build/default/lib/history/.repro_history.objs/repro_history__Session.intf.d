@@ -1,0 +1,1 @@
+lib/history/session.mli: History Orders

@@ -1,0 +1,1 @@
+lib/history/timed.mli: Format History Op Orders

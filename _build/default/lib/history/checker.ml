@@ -1,0 +1,330 @@
+module Graph = Repro_util.Graph
+module Bitset = Repro_util.Bitset
+
+type criterion =
+  | Sequential
+  | Causal
+  | Semi_causal
+  | Lazy_causal
+  | Lazy_semi_causal
+  | Pram
+  | Slow
+  | Cache
+
+let all_criteria =
+  [ Sequential; Causal; Semi_causal; Lazy_causal; Lazy_semi_causal; Pram; Cache; Slow ]
+
+let criterion_name = function
+  | Sequential -> "sequential"
+  | Causal -> "causal"
+  | Semi_causal -> "semi-causal"
+  | Lazy_causal -> "lazy-causal"
+  | Lazy_semi_causal -> "lazy-semi-causal"
+  | Pram -> "pram"
+  | Slow -> "slow"
+  | Cache -> "cache"
+
+type verdict = Consistent | Inconsistent | Undecidable of History.rf_error
+
+(* --- serialization search ------------------------------------------------ *)
+
+(* Dense local view of a subset of operations. *)
+type view = {
+  ops : Op.t array; (* local idx -> op *)
+  gids : int array; (* local idx -> global id *)
+  preds : Bitset.t array; (* local idx -> relation predecessors (local) *)
+  var_index : (int, int) Hashtbl.t; (* variable -> dense var slot *)
+  n_vars : int;
+  source : int array;
+      (* local idx -> for reads: local idx of the write supplying the
+         value (differentiated histories have at most one candidate),
+         [-1] for Init-reads, [-2] for writes and for reads whose source
+         lies outside the subset *)
+}
+
+let make_view h ~subset ~relation =
+  let gids = Array.of_list subset in
+  let k = Array.length gids in
+  let local_of = Hashtbl.create (2 * k) in
+  Array.iteri (fun i gid -> Hashtbl.replace local_of gid i) gids;
+  let ops = Array.map (History.op h) gids in
+  let preds = Array.init k (fun _ -> Bitset.create k) in
+  Array.iteri
+    (fun i gid ->
+      List.iter
+        (fun succ_gid ->
+          match Hashtbl.find_opt local_of succ_gid with
+          | Some j -> Bitset.add preds.(j) i
+          | None -> ())
+        (Graph.succ relation gid))
+    gids;
+  let var_index = Hashtbl.create 16 in
+  Array.iter
+    (fun (o : Op.t) ->
+      if not (Hashtbl.mem var_index o.var) then
+        Hashtbl.add var_index o.var (Hashtbl.length var_index))
+    ops;
+  let writer_of = Hashtbl.create 16 in
+  Array.iteri
+    (fun i (o : Op.t) ->
+      if Op.is_write o then Hashtbl.replace writer_of (o.var, o.value) i)
+    ops;
+  let source =
+    Array.map
+      (fun (o : Op.t) ->
+        match o.kind with
+        | Op.Write -> -2
+        | Op.Read -> (
+            match o.value with
+            | Op.Init -> -1
+            | Op.Val _ -> (
+                match Hashtbl.find_opt writer_of (o.var, o.value) with
+                | Some w -> w
+                | None -> -2)))
+      ops
+  in
+  { ops; gids; preds; var_index; n_vars = Hashtbl.length var_index; source }
+
+let var_slot view (o : Op.t) = Hashtbl.find view.var_index o.var
+
+(* Legality of placing a read given the last placed write per variable
+   slot (-1 = none). *)
+let read_legal view last_write (o : Op.t) =
+  let slot = var_slot view o in
+  match o.value with
+  | Op.Init -> last_write.(slot) = -1
+  | Op.Val _ ->
+      last_write.(slot) >= 0
+      && Op.equal_value view.ops.(last_write.(slot)).Op.value o.value
+
+let state_key placed last_write =
+  let buffer = Buffer.create 32 in
+  Buffer.add_string buffer (Bitset.to_raw_string placed);
+  Array.iter
+    (fun w ->
+      (* last-write indices fit 16 bits for any realistic subset *)
+      Buffer.add_char buffer (Char.chr ((w + 1) land 0xff));
+      Buffer.add_char buffer (Char.chr (((w + 1) lsr 8) land 0xff)))
+    last_write;
+  Buffer.contents buffer
+
+let find_serialization h ~subset ~relation =
+  let view = make_view h ~subset ~relation in
+  let k = Array.length view.ops in
+  if k = 0 then Some []
+  else begin
+    let placed = Bitset.create k in
+    let last_write = Array.make view.n_vars (-1) in
+    let order = ref [] in
+    let memo = Hashtbl.create 256 in
+    let ready i =
+      (not (Bitset.mem placed i)) && Bitset.subset view.preds.(i) placed
+    in
+    let place i =
+      Bitset.add placed i;
+      order := i :: !order;
+      if Op.is_write view.ops.(i) then last_write.(var_slot view view.ops.(i)) <- i
+    in
+    (* Greedily place every ready, legal read: never harmful (a read leaves
+       the legality state untouched, so any completion with it later also
+       works with it now). Returns the list of reads placed, for rollback. *)
+    let place_ready_reads () =
+      let placed_now = ref [] in
+      let progress = ref true in
+      while !progress do
+        progress := false;
+        for i = 0 to k - 1 do
+          if
+            ready i
+            && Op.is_read view.ops.(i)
+            && read_legal view last_write view.ops.(i)
+          then begin
+            place i;
+            placed_now := i :: !placed_now;
+            progress := true
+          end
+        done
+      done;
+      !placed_now
+    in
+    let unplace_reads reads =
+      List.iter
+        (fun i ->
+          Bitset.remove placed i;
+          order := List.tl !order)
+        reads
+    in
+    (* A pending read whose legality window has closed for good dooms the
+       whole branch: Init-reads once their variable has been written,
+       sourced reads once their source write has been overwritten.  (The
+       greedy pass has already taken every ready legal read, so any
+       unplaced read is currently illegal or not ready.) *)
+    let doomed () =
+      let rec scan i =
+        if i >= k then false
+        else if Bitset.mem placed i || Op.is_write view.ops.(i) then scan (i + 1)
+        else begin
+          let slot = var_slot view view.ops.(i) in
+          match view.source.(i) with
+          | -1 -> last_write.(slot) <> -1 || scan (i + 1)
+          | -2 -> true (* no candidate writer at all *)
+          | w -> (Bitset.mem placed w && last_write.(slot) <> w) || scan (i + 1)
+        end
+      in
+      scan 0
+    in
+    let rec search n_placed =
+      let reads = place_ready_reads () in
+      let n_placed = n_placed + List.length reads in
+      let result =
+        if n_placed = k then true
+        else if doomed () then false
+        else begin
+          let key = state_key placed last_write in
+          if Hashtbl.mem memo key then false
+          else begin
+            Hashtbl.add memo key ();
+            (* branch over ready writes, trying sources of pending reads
+               first: they are the only writes that unblock progress *)
+            let wanted = Array.make k false in
+            for i = 0 to k - 1 do
+              if
+                (not (Bitset.mem placed i))
+                && Op.is_read view.ops.(i)
+                && view.source.(i) >= 0
+              then wanted.(view.source.(i)) <- true
+            done;
+            let candidates = ref [] in
+            for i = k - 1 downto 0 do
+              if ready i && Op.is_write view.ops.(i) then candidates := i :: !candidates
+            done;
+            let preferred, rest = List.partition (fun i -> wanted.(i)) !candidates in
+            let rec try_writes = function
+              | [] -> false
+              | i :: tl ->
+                  let slot = var_slot view view.ops.(i) in
+                  let saved = last_write.(slot) in
+                  place i;
+                  if search (n_placed + 1) then true
+                  else begin
+                    Bitset.remove placed i;
+                    order := List.tl !order;
+                    last_write.(slot) <- saved;
+                    try_writes tl
+                  end
+            in
+            try_writes (preferred @ rest)
+          end
+        end
+      in
+      if not result then unplace_reads reads;
+      result
+    in
+    if search 0 then Some (List.rev_map (fun i -> view.gids.(i)) !order) else None
+  end
+
+let validate_serialization h ~subset ~relation ~order =
+  let sorted_subset = List.sort_uniq compare subset in
+  let sorted_order = List.sort_uniq compare order in
+  List.length subset = List.length sorted_subset
+  && List.length order = List.length sorted_order
+  && sorted_subset = sorted_order
+  && Orders.respects ~order relation
+  &&
+  (* legality *)
+  let last_value = Hashtbl.create 16 in
+  List.for_all
+    (fun gid ->
+      let o = History.op h gid in
+      match o.Op.kind with
+      | Op.Write ->
+          Hashtbl.replace last_value o.Op.var o.Op.value;
+          true
+      | Op.Read -> (
+          match Hashtbl.find_opt last_value o.Op.var with
+          | None -> o.Op.value = Op.Init
+          | Some v -> Op.equal_value v o.Op.value))
+    order
+
+(* --- criterion decomposition --------------------------------------------- *)
+
+(* Each criterion is a conjunction of (subset, relation) serialization
+   units; [units] returns them with a diagnostic key. *)
+let units criterion h rf =
+  let ids list = List.map (History.id h) list in
+  match criterion with
+  | Sequential ->
+      let relation = Orders.program_order h in
+      [ (0, List.init (History.n_ops h) Fun.id, relation) ]
+  | Causal | Semi_causal | Lazy_causal | Lazy_semi_causal | Pram ->
+      let relation =
+        match criterion with
+        | Causal -> Orders.causal h rf
+        | Semi_causal -> Orders.semi_causal h rf
+        | Lazy_causal -> Orders.lazy_causal h rf
+        | Lazy_semi_causal -> Orders.lazy_semi_causal h rf
+        | Pram -> Orders.pram h rf
+        | Sequential | Slow | Cache -> assert false
+      in
+      List.init (History.n_procs h) (fun p ->
+          (p, ids (History.sub_history h p), relation))
+  | Cache ->
+      let relation = Orders.program_order h in
+      History.vars h
+      |> List.map (fun x ->
+             let subset =
+               History.ops h |> Array.to_list
+               |> List.filter (fun (o : Op.t) -> o.var = x)
+               |> ids
+             in
+             (x, subset, relation))
+  | Slow ->
+      let relation =
+        Graph.union (Orders.program_order h) (Orders.read_from_relation h rf)
+      in
+      List.concat_map
+        (fun p ->
+          History.vars h
+          |> List.filter_map (fun x ->
+                 let subset =
+                   History.ops h |> Array.to_list
+                   |> List.filter (fun (o : Op.t) ->
+                          o.var = x && (Op.is_write o || o.proc = p))
+                   |> ids
+                 in
+                 if subset = [] then None else Some ((p * 1_000_000) + x, subset, relation)))
+        (List.init (History.n_procs h) Fun.id)
+
+let check criterion h =
+  match History.read_from h with
+  | Error (History.Dangling_read _) -> Inconsistent
+  | Error (History.Ambiguous_read _ as e) -> Undecidable e
+  | Ok rf ->
+      let consistent =
+        List.for_all
+          (fun (_, subset, relation) ->
+            find_serialization h ~subset ~relation <> None)
+          (units criterion h rf)
+      in
+      if consistent then Consistent else Inconsistent
+
+let is_consistent criterion h =
+  match check criterion h with
+  | Consistent -> true
+  | Inconsistent -> false
+  | Undecidable e ->
+      invalid_arg
+        (Format.asprintf "Checker.is_consistent: %a" History.pp_rf_error e)
+
+let witness criterion h =
+  match History.read_from h with
+  | Error _ -> None
+  | Ok rf ->
+      let rec collect acc = function
+        | [] -> Some (List.rev acc)
+        | (key, subset, relation) :: rest -> (
+            match find_serialization h ~subset ~relation with
+            | None -> None
+            | Some order -> collect ((key, order) :: acc) rest)
+      in
+      collect [] (units criterion h rf)

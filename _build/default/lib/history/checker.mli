@@ -1,0 +1,79 @@
+(** Deciding whether a history satisfies a consistency criterion.
+
+    Each criterion is defined by the existence of serializations (Definition
+    1) of certain operation subsets that respect a certain order relation:
+
+    - {b Sequential} — one serialization of all of [H] respecting program
+      order (Lamport 79);
+    - {b Causal} — per process [i], a serialization of [H_{i+w}] respecting
+      [7→_co] (Definition 2);
+    - {b Lazy_causal} — idem with [7→_lco] (Definition 7);
+    - {b Semi_causal} — idem with the semi-causality order of Ahamad et
+      al. [1] (weak program order + weak writes-before, §4.2);
+    - {b Lazy_semi_causal} — idem with [7→_lsc] (Definition 10);
+    - {b Pram} — idem with [7→_pram] (Definition 12; the relation is not
+      transitive and is restricted to [H_{i+w}] without closing through
+      absent operations);
+    - {b Slow} — per process [i] and variable [x], a serialization of
+      [i]'s reads of [x] plus all writes of [x], respecting program order
+      and read-from (Hutto–Ahamad slow memory);
+    - {b Cache} — per variable [x], one serialization of all operations on
+      [x] respecting program order (Goodman's cache consistency).
+
+    Deciding existence is a backtracking search over legal linear
+    extensions; it is exponential in the worst case but fast on the history
+    sizes produced here (reads are placed greedily — which is always safe —
+    and explored states are memoized).  Histories must be {e differentiated}
+    (unique written values per variable, {!History.is_differentiated});
+    protocol runs and generators in this repository always produce such
+    histories. *)
+
+type criterion =
+  | Sequential
+  | Causal
+  | Semi_causal
+  | Lazy_causal
+  | Lazy_semi_causal
+  | Pram
+  | Slow
+  | Cache
+
+val all_criteria : criterion list
+(** In decreasing-strength-ish order: [Sequential; Causal; Semi_causal;
+    Lazy_causal; Lazy_semi_causal; Pram; Cache; Slow]. *)
+
+val criterion_name : criterion -> string
+
+type verdict = Consistent | Inconsistent | Undecidable of History.rf_error
+
+val check : criterion -> History.t -> verdict
+(** [Undecidable] only for ambiguous (non-differentiated) histories; a
+    dangling read yields [Inconsistent]. *)
+
+val is_consistent : criterion -> History.t -> bool
+(** [check] collapsed to a boolean.
+    @raise Invalid_argument on an ambiguous history. *)
+
+(** {1 Serialization primitives} *)
+
+val find_serialization :
+  History.t -> subset:int list -> relation:Orders.relation -> int list option
+(** [find_serialization h ~subset ~relation] searches for a legal
+    serialization (Definition 1) of the operations with global ids [subset]
+    that respects [relation] restricted to [subset].  Returns the global ids
+    in serialization order. *)
+
+val validate_serialization :
+  History.t -> subset:int list -> relation:Orders.relation -> order:int list -> bool
+(** [validate_serialization h ~subset ~relation ~order] checks in polynomial
+    time that [order] is a permutation of [subset], is legal (every read
+    returns the most recent preceding write's value, or [Init] if none), and
+    respects [relation].  Used to audit witness serializations extracted
+    from protocol runs. *)
+
+val witness : criterion -> History.t -> (int * int list) list option
+(** When consistent, the per-unit serializations found by the search: a list
+    of [(unit_key, order)] — process id for the per-process criteria, a
+    packed [(proc, var)] or var key for Slow/Cache, [0] for Sequential.
+    [None] when inconsistent or undecidable.  Intended for debugging and for
+    tests that cross-validate with {!validate_serialization}. *)

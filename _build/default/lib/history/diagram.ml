@@ -1,0 +1,123 @@
+module Graph = Repro_util.Graph
+
+(* Single-byte rendering of ⊥ so column arithmetic stays in bytes. *)
+let label (o : Op.t) =
+  Printf.sprintf "%c%d(x%d)%s"
+    (match o.Op.kind with Op.Read -> 'r' | Op.Write -> 'w')
+    o.Op.proc o.Op.var
+    (match o.Op.value with Op.Init -> "_" | Op.Val v -> string_of_int v)
+
+(* Longest-path depth of every operation in the elementary causality DAG
+   (or the program-order DAG when read-from cannot be inferred). *)
+let depths h =
+  let base =
+    match History.read_from h with
+    | Ok rf -> Orders.causal_base h rf
+    | Error _ -> Orders.program_order_base h
+  in
+  let n = History.n_ops h in
+  let depth = Array.make n (-1) in
+  let rec compute gid =
+    if depth.(gid) >= 0 then depth.(gid)
+    else begin
+      (* predecessors = vertices with an edge into gid *)
+      let best = ref 0 in
+      for p = 0 to n - 1 do
+        if Graph.mem_edge base p gid then best := Stdlib.max !best (compute p + 1)
+      done;
+      depth.(gid) <- !best;
+      !best
+    end
+  in
+  for gid = 0 to n - 1 do
+    ignore (compute gid)
+  done;
+  depth
+
+let render ?(show_read_from = true) h =
+  let n = History.n_ops h in
+  let depth = depths h in
+  let n_cols = Array.fold_left (fun acc d -> Stdlib.max acc (d + 1)) 0 depth in
+  let labels = Array.map label (History.ops h) in
+  (* column widths *)
+  let widths = Array.make (Stdlib.max 1 n_cols) 0 in
+  for gid = 0 to n - 1 do
+    widths.(depth.(gid)) <-
+      Stdlib.max widths.(depth.(gid)) (String.length labels.(gid))
+  done;
+  let buffer = Buffer.create 256 in
+  for p = 0 to History.n_procs h - 1 do
+    Buffer.add_string buffer (Printf.sprintf "p%d |" p);
+    let line = History.local h p in
+    let cell_of_col = Hashtbl.create 8 in
+    Array.iter
+      (fun (o : Op.t) ->
+        let gid = History.id h o in
+        Hashtbl.replace cell_of_col depth.(gid) labels.(gid))
+      line;
+    for col = 0 to n_cols - 1 do
+      let cell = Option.value ~default:"" (Hashtbl.find_opt cell_of_col col) in
+      Buffer.add_char buffer ' ';
+      Buffer.add_string buffer cell;
+      Buffer.add_string buffer (String.make (widths.(col) - String.length cell) ' ')
+    done;
+    Buffer.add_char buffer '\n'
+  done;
+  if show_read_from then begin
+    match History.read_from h with
+    | Error _ -> ()
+    | Ok rf ->
+        let pairs = ref [] in
+        Array.iteri
+          (fun r source ->
+            match source with
+            | Some w -> pairs := (w, r) :: !pairs
+            | None -> ())
+          rf;
+        if !pairs <> [] then begin
+          Buffer.add_string buffer "rf:";
+          List.iter
+            (fun (w, r) ->
+              Buffer.add_string buffer
+                (Printf.sprintf " %s->%s" labels.(w) labels.(r)))
+            (List.rev !pairs);
+          Buffer.add_char buffer '\n'
+        end
+  end;
+  Buffer.contents buffer
+
+let render_timed ?(width = 72) t =
+  if width < 10 then invalid_arg "Diagram.render_timed: width too small";
+  let all = Timed.ops t in
+  let horizon =
+    Array.fold_left (fun acc (o : Timed.op) -> Stdlib.max acc o.Timed.responded) 1 all
+  in
+  let col_of time = time * (width - 1) / horizon in
+  let buffer = Buffer.create 256 in
+  for p = 0 to Timed.n_procs t - 1 do
+    let canvas = Bytes.make width ' ' in
+    Array.iter
+      (fun (o : Timed.op) ->
+        if o.Timed.op.Op.proc = p then begin
+          let start_col = col_of o.Timed.invoked in
+          let end_col = Stdlib.max (col_of o.Timed.responded) start_col in
+          Bytes.set canvas start_col '|';
+          for c = start_col + 1 to end_col - 1 do
+            Bytes.set canvas c '='
+          done;
+          if end_col > start_col then Bytes.set canvas end_col '|';
+          (* overlay the label after the interval where it fits *)
+          let text = label o.Timed.op in
+          let pos = end_col + 1 in
+          String.iteri
+            (fun k ch ->
+              if pos + k < width && Bytes.get canvas (pos + k) = ' ' then
+                Bytes.set canvas (pos + k) ch)
+            text
+        end)
+      all;
+    Buffer.add_string buffer (Printf.sprintf "p%d |%s\n" p (Bytes.to_string canvas))
+  done;
+  Buffer.add_string buffer
+    (Printf.sprintf "    0%s%d (sim time)\n" (String.make (width - 8) '-') horizon);
+  Buffer.contents buffer

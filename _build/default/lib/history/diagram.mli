@@ -1,0 +1,20 @@
+(** ASCII space-time diagrams of histories, in the style of the paper's
+    figures (one line per process, operations advancing left to right).
+
+    For a plain history the horizontal position is the operation's depth in
+    the elementary causality DAG (consecutive program order plus read-from):
+    an operation sits strictly to the right of everything it causally
+    depends on, so read-from edges always point left-to-right — the layout
+    the paper draws.  For a timed history the horizontal position is real
+    (simulation) time. *)
+
+val render : ?show_read_from:bool -> History.t -> string
+(** Grid layout by causal depth.  When [show_read_from] (default true) and
+    the read-from relation is determined, an "rf:" legend lists each
+    writes-into pair.  Falls back to program-order depth when the history
+    is not differentiated. *)
+
+val render_timed : ?width:int -> Timed.t -> string
+(** Time axis scaled to [width] columns (default 72).  Operations are drawn
+    as [|===|] intervals carrying their label where space allows, plus a
+    final scale line. *)

@@ -1,0 +1,222 @@
+module Rng = Repro_util.Rng
+
+type profile = { procs : int; vars : int; ops_per_proc : int; read_ratio : float }
+
+let default_profile = { procs = 4; vars = 3; ops_per_proc = 6; read_ratio = 0.5 }
+
+let validate p =
+  if p.procs < 1 || p.vars < 1 || p.ops_per_proc < 0 then
+    invalid_arg "Generator: bad profile";
+  if p.read_ratio < 0.0 || p.read_ratio > 1.0 then
+    invalid_arg "Generator: read_ratio out of [0,1]"
+
+(* A program skeleton: per process, the list of (kind, var) with write
+   values preassigned uniquely (differentiated). *)
+let skeleton rng p =
+  validate p;
+  let counter = ref 0 in
+  Array.init p.procs (fun _ ->
+      Array.init p.ops_per_proc (fun _ ->
+          let var = Rng.int rng p.vars in
+          if Rng.coin rng p.read_ratio then (Op.Read, var, Op.Init (* filled later *))
+          else begin
+            incr counter;
+            (Op.Write, var, Op.Val !counter)
+          end))
+
+let to_history program =
+  History.of_lists (Array.to_list (Array.map Array.to_list program))
+
+let arbitrary rng p =
+  let program = skeleton rng p in
+  (* Candidate values per variable: Init plus everything written. *)
+  let candidates = Array.make p.vars [ Op.Init ] in
+  Array.iter
+    (Array.iter (fun (kind, var, value) ->
+         if kind = Op.Write then candidates.(var) <- value :: candidates.(var)))
+    program;
+  let filled =
+    Array.map
+      (Array.map (fun (kind, var, value) ->
+           if kind = Op.Read then (kind, var, Rng.pick_list rng candidates.(var))
+           else (kind, var, value)))
+      program
+  in
+  to_history filled
+
+(* --- consistent-by-construction executions ------------------------------ *)
+
+(* Shared simulation scaffolding: every process has a local copy of every
+   variable, a cursor into its own program, and pending update queues from
+   every other process.  [apply_ready j] must say whether process [i] may
+   apply the next pending update from [j]; scheduling picks random enabled
+   moves until all programs finish and all queues drain. *)
+
+type update = { writer : int; seq : int; var : int; value : Op.value }
+
+let execute rng p ~delivery_condition =
+  let program = skeleton rng p in
+  let store = Array.make_matrix p.procs p.vars Op.Init in
+  let cursor = Array.make p.procs 0 in
+  let results = Array.map Array.copy program in
+  (* pending.(i).(j): queue of updates from j not yet applied at i *)
+  let pending = Array.init p.procs (fun _ -> Array.make p.procs []) in
+  let applied_count = Array.make_matrix p.procs p.procs 0 in
+  let write_seq = Array.make p.procs 0 in
+  let enabled_program i = cursor.(i) < Array.length program.(i) in
+  let enabled_apply i j =
+    match pending.(i).(j) with
+    | [] -> false
+    | u :: _ -> delivery_condition ~at:i ~applied:applied_count.(i) u
+  in
+  let apply i j =
+    match pending.(i).(j) with
+    | [] -> assert false
+    | u :: rest ->
+        pending.(i).(j) <- rest;
+        store.(i).(u.var) <- u.value;
+        applied_count.(i).(j) <- applied_count.(i).(j) + 1
+  in
+  let step_program i =
+    let k = cursor.(i) in
+    let kind, var, value = program.(i).(k) in
+    (match kind with
+    | Op.Read -> results.(i).(k) <- (Op.Read, var, store.(i).(var))
+    | Op.Write ->
+        store.(i).(var) <- value;
+        let u = { writer = i; seq = write_seq.(i); var; value } in
+        write_seq.(i) <- write_seq.(i) + 1;
+        applied_count.(i).(i) <- applied_count.(i).(i) + 1;
+        for j = 0 to p.procs - 1 do
+          if j <> i then pending.(j).(i) <- pending.(j).(i) @ [ u ]
+        done);
+    cursor.(i) <- k + 1
+  in
+  let rec loop () =
+    let moves = ref [] in
+    for i = 0 to p.procs - 1 do
+      if enabled_program i then moves := `Program i :: !moves;
+      for j = 0 to p.procs - 1 do
+        if j <> i && enabled_apply i j then moves := `Apply (i, j) :: !moves
+      done
+    done;
+    match !moves with
+    | [] -> ()
+    | moves ->
+        (match Rng.pick_list rng moves with
+        | `Program i -> step_program i
+        | `Apply (i, j) -> apply i j);
+        loop ()
+  in
+  loop ();
+  (* All programs must have finished; a leftover cursor means the delivery
+     condition deadlocked, which would be a generator bug. *)
+  Array.iteri
+    (fun i c ->
+      if c < Array.length program.(i) then
+        failwith "Generator.execute: schedule did not finish (delivery deadlock)")
+    cursor;
+  to_history results
+
+let pram_consistent rng p =
+  (* Per-writer FIFO: the next queued update from j is always applicable. *)
+  execute rng p ~delivery_condition:(fun ~at:_ ~applied:_ _ -> true)
+
+let causal_consistent rng p =
+  (* Vector-clock causal delivery: each update carries the writer's applied
+     vector at emission and may be applied only once the receiver's vector
+     dominates it.  The dependency vector cannot be threaded through
+     [execute]'s per-update condition, so the loop is restated here. *)
+  let program = skeleton rng p in
+  let store = Array.make_matrix p.procs p.vars Op.Init in
+  let cursor = Array.make p.procs 0 in
+  let results = Array.map Array.copy program in
+  let pending = Array.init p.procs (fun _ -> Array.make p.procs []) in
+  (* vclock.(i).(j): number of j's writes applied at i (own writes count
+     immediately). *)
+  let vclock = Array.make_matrix p.procs p.procs 0 in
+  let enabled_program i = cursor.(i) < Array.length program.(i) in
+  let dominates a b =
+    (* a >= b pointwise *)
+    let ok = ref true in
+    Array.iteri (fun k bk -> if a.(k) < bk then ok := false) b;
+    !ok
+  in
+  let enabled_apply i j =
+    match pending.(i).(j) with
+    | [] -> false
+    | (_, dep) :: _ -> dominates vclock.(i) dep
+  in
+  let apply i j =
+    match pending.(i).(j) with
+    | [] -> assert false
+    | ((var, value), _) :: rest ->
+        pending.(i).(j) <- rest;
+        store.(i).(var) <- value;
+        vclock.(i).(j) <- vclock.(i).(j) + 1
+  in
+  let step_program i =
+    let k = cursor.(i) in
+    let kind, var, value = program.(i).(k) in
+    (match kind with
+    | Op.Read -> results.(i).(k) <- (Op.Read, var, store.(i).(var))
+    | Op.Write ->
+        (* Dependency vector: everything applied at i before this write,
+           excluding the write itself. *)
+        let dep = Array.copy vclock.(i) in
+        store.(i).(var) <- value;
+        vclock.(i).(i) <- vclock.(i).(i) + 1;
+        for j = 0 to p.procs - 1 do
+          if j <> i then pending.(j).(i) <- pending.(j).(i) @ [ ((var, value), dep) ]
+        done);
+    cursor.(i) <- k + 1
+  in
+  let rec loop () =
+    let moves = ref [] in
+    for i = 0 to p.procs - 1 do
+      if enabled_program i then moves := `Program i :: !moves;
+      for j = 0 to p.procs - 1 do
+        if j <> i && enabled_apply i j then moves := `Apply (i, j) :: !moves
+      done
+    done;
+    match !moves with
+    | [] -> ()
+    | moves ->
+        (match Rng.pick_list rng moves with
+        | `Program i -> step_program i
+        | `Apply (i, j) -> apply i j);
+        loop ()
+  in
+  loop ();
+  Array.iteri
+    (fun i c ->
+      if c < Array.length program.(i) then
+        failwith "Generator.causal_consistent: delivery deadlock")
+    cursor;
+  to_history results
+
+let sequential_consistent rng p =
+  let program = skeleton rng p in
+  let store = Array.make p.vars Op.Init in
+  let cursor = Array.make p.procs 0 in
+  let results = Array.map Array.copy program in
+  let rec loop () =
+    let movable =
+      List.filter
+        (fun i -> cursor.(i) < Array.length program.(i))
+        (List.init p.procs Fun.id)
+    in
+    match movable with
+    | [] -> ()
+    | _ ->
+        let i = Rng.pick_list rng movable in
+        let k = cursor.(i) in
+        let kind, var, value = program.(i).(k) in
+        (match kind with
+        | Op.Read -> results.(i).(k) <- (Op.Read, var, store.(var))
+        | Op.Write -> store.(var) <- value);
+        cursor.(i) <- k + 1;
+        loop ()
+  in
+  loop ();
+  to_history results

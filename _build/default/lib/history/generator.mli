@@ -1,0 +1,42 @@
+(** Random history generation for property-based testing.
+
+    Three families:
+
+    - {!arbitrary}: reads return any written value (or [Init]) — usually
+      inconsistent; exercises the negative paths of the checkers.
+    - consistent-by-construction generators ({!pram_consistent},
+      {!causal_consistent}, {!sequential_consistent}): the history is
+      produced by actually executing the program against an abstract
+      replicated memory whose update application discipline realizes the
+      criterion, so the checker must accept it.  All produce differentiated
+      histories (unique written values).
+
+    Programs: each process performs [ops_per_proc] operations over variables
+    drawn from its own slice of [0 .. vars-1] (or all variables when
+    [shared] is [true]); each operation is a read with probability
+    [read_ratio]. *)
+
+type profile = {
+  procs : int;
+  vars : int;
+  ops_per_proc : int;
+  read_ratio : float;  (** in [\[0,1\]] *)
+}
+
+val default_profile : profile
+(** 4 processes, 3 variables, 6 ops per process, 50% reads. *)
+
+val arbitrary : Repro_util.Rng.t -> profile -> History.t
+
+val pram_consistent : Repro_util.Rng.t -> profile -> History.t
+(** Executes the program against per-writer-FIFO replicated memory (each
+    process applies each writer's updates in that writer's program order, at
+    random merge points).  PRAM-consistent by construction. *)
+
+val causal_consistent : Repro_util.Rng.t -> profile -> History.t
+(** Executes against a causal-broadcast replicated memory (vector-clock
+    delivery condition).  Causally consistent by construction. *)
+
+val sequential_consistent : Repro_util.Rng.t -> profile -> History.t
+(** Executes all programs against a single store in a random interleaving
+    respecting program order.  Sequentially consistent by construction. *)

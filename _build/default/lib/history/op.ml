@@ -1,0 +1,57 @@
+type value = Init | Val of int
+
+type kind = Read | Write
+
+type t = { proc : int; index : int; kind : kind; var : int; value : value }
+
+let equal_value a b =
+  match (a, b) with
+  | Init, Init -> true
+  | Val x, Val y -> x = y
+  | Init, Val _ | Val _, Init -> false
+
+let compare_value a b =
+  match (a, b) with
+  | Init, Init -> 0
+  | Init, Val _ -> -1
+  | Val _, Init -> 1
+  | Val x, Val y -> compare x y
+
+let pp_value ppf = function
+  | Init -> Format.pp_print_string ppf "\xe2\x8a\xa5" (* ⊥ *)
+  | Val v -> Format.pp_print_int ppf v
+
+let equal a b =
+  a.proc = b.proc && a.index = b.index && a.kind = b.kind && a.var = b.var
+  && equal_value a.value b.value
+
+let compare a b =
+  let c = compare a.proc b.proc in
+  if c <> 0 then c
+  else
+    let c = compare a.index b.index in
+    if c <> 0 then c
+    else
+      let c = compare a.kind b.kind in
+      if c <> 0 then c
+      else
+        let c = compare a.var b.var in
+        if c <> 0 then c else compare_value a.value b.value
+
+let pp ppf t =
+  Format.fprintf ppf "%c%d(x%d)%a"
+    (match t.kind with Read -> 'r' | Write -> 'w')
+    t.proc t.var pp_value t.value
+
+let to_string t = Format.asprintf "%a" pp t
+
+let is_read t = t.kind = Read
+
+let is_write t = t.kind = Write
+
+let read ~var value = (Read, var, value)
+
+let write ~var value =
+  match value with
+  | Init -> invalid_arg "Op.write: cannot write the initial value"
+  | Val _ -> (Write, var, value)

@@ -1,0 +1,41 @@
+(** Read and write operations on the shared memory (paper §2).
+
+    A write [w_i(x)v] stores value [v] in variable [x]; a read [r_i(x)v]
+    returns [v] to process [ap_i].  Every variable initially holds [⊥],
+    represented by {!value} [Init]. *)
+
+type value = Init | Val of int
+
+type kind = Read | Write
+
+type t = {
+  proc : int;  (** Invoking application process. *)
+  index : int;  (** Position in the invoking process's local history. *)
+  kind : kind;
+  var : int;
+  value : value;
+}
+
+val equal_value : value -> value -> bool
+val compare_value : value -> value -> int
+val pp_value : Format.formatter -> value -> unit
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val pp : Format.formatter -> t -> unit
+(** Paper notation: [w1(x2)5], [r0(x1)⊥]. *)
+
+val to_string : t -> string
+
+val is_read : t -> bool
+val is_write : t -> bool
+
+val read : var:int -> value -> kind * int * value
+(** Spec constructor for {!History.of_lists}: a read of [var] returning the
+    value. *)
+
+val write : var:int -> value -> kind * int * value
+(** Spec constructor: a write of the value to [var].
+    @raise Invalid_argument when the value is [Init] — processes cannot
+    write [⊥]. *)

@@ -1,0 +1,127 @@
+module Graph = Repro_util.Graph
+
+type relation = Graph.t
+
+let program_order_base h =
+  let g = Graph.create (History.n_ops h) in
+  for p = 0 to History.n_procs h - 1 do
+    let line = History.local h p in
+    for k = 0 to Array.length line - 2 do
+      Graph.add_edge g (History.id h line.(k)) (History.id h line.(k + 1))
+    done
+  done;
+  g
+
+let program_order h = Graph.transitive_closure (program_order_base h)
+
+let read_from_relation h rf =
+  let g = Graph.create (History.n_ops h) in
+  Array.iteri (fun r w -> match w with Some w -> Graph.add_edge g w r | None -> ()) rf;
+  g
+
+let causal_base h rf = Graph.union (program_order_base h) (read_from_relation h rf)
+
+let causal h rf = Graph.transitive_closure (causal_base h rf)
+
+let lazy_program_order h =
+  (* Definition 5: o1 →li o2 when o1 is invoked before o2 by the same
+     process and (o1 read, o2 read on the same variable or any write) or
+     (o1 write, o2 any operation on the same variable); closed
+     transitively. *)
+  let g = Graph.create (History.n_ops h) in
+  for p = 0 to History.n_procs h - 1 do
+    let line = History.local h p in
+    let len = Array.length line in
+    for a = 0 to len - 2 do
+      for b = a + 1 to len - 1 do
+        let o1 = line.(a) and o2 = line.(b) in
+        let related =
+          match (o1.Op.kind, o2.Op.kind) with
+          | Op.Read, Op.Read -> o1.Op.var = o2.Op.var
+          | Op.Read, Op.Write -> true
+          | Op.Write, (Op.Read | Op.Write) -> o1.Op.var = o2.Op.var
+        in
+        if related then Graph.add_edge g (History.id h o1) (History.id h o2)
+      done
+    done
+  done;
+  Graph.transitive_closure g
+
+let lazy_causal_base h rf = Graph.union (lazy_program_order h) (read_from_relation h rf)
+
+let lazy_causal h rf = Graph.transitive_closure (lazy_causal_base h rf)
+
+(* Writes-before, parameterized by the intra-process order: for the read
+   o2 taking its value from o' (writer_id), add w → o2 for every write w of
+   the same process ordered before o'. *)
+let writes_before_with intra h rf =
+  let g = Graph.create (History.n_ops h) in
+  let all = History.ops h in
+  Array.iteri
+    (fun read_id source ->
+      match source with
+      | None -> ()
+      | Some writer_id ->
+          let o' = all.(writer_id) in
+          let line = History.local h o'.Op.proc in
+          Array.iter
+            (fun (w : Op.t) ->
+              if Op.is_write w then begin
+                let wid = History.id h w in
+                if wid <> writer_id && Graph.mem_edge intra wid writer_id then
+                  Graph.add_edge g wid read_id
+              end)
+            line)
+    rf;
+  g
+
+let lazy_writes_before h rf = writes_before_with (lazy_program_order h) h rf
+
+let lazy_semi_causal_base h rf =
+  Graph.union (lazy_program_order h) (lazy_writes_before h rf)
+
+let lazy_semi_causal h rf = Graph.transitive_closure (lazy_semi_causal_base h rf)
+
+let weak_program_order h =
+  (* Every program-order pair except write followed by a read of another
+     variable (Ahamad et al.'s weak ordering); closed transitively.  Note
+     the closure can re-introduce some w→r pairs through intermediaries. *)
+  let g = Graph.create (History.n_ops h) in
+  for p = 0 to History.n_procs h - 1 do
+    let line = History.local h p in
+    let len = Array.length line in
+    for a = 0 to len - 2 do
+      for b = a + 1 to len - 1 do
+        let o1 = line.(a) and o2 = line.(b) in
+        let relaxed =
+          Op.is_write o1 && Op.is_read o2 && o1.Op.var <> o2.Op.var
+        in
+        if not relaxed then Graph.add_edge g (History.id h o1) (History.id h o2)
+      done
+    done
+  done;
+  Graph.transitive_closure g
+
+let weak_writes_before h rf = writes_before_with (weak_program_order h) h rf
+
+let semi_causal_base h rf =
+  Graph.union (weak_program_order h) (weak_writes_before h rf)
+
+let semi_causal h rf = Graph.transitive_closure (semi_causal_base h rf)
+
+let pram h rf = Graph.union (program_order h) (read_from_relation h rf)
+
+let concurrent r a b = not (Graph.mem_edge r a b || Graph.mem_edge r b a)
+
+let respects ~order r =
+  (* position of each listed op; absent ops are ignored *)
+  let pos = Hashtbl.create 64 in
+  List.iteri (fun i gid -> Hashtbl.replace pos gid i) order;
+  let ok = ref true in
+  List.iter
+    (fun (u, v) ->
+      match (Hashtbl.find_opt pos u, Hashtbl.find_opt pos v) with
+      | Some pu, Some pv -> if pu >= pv then ok := false
+      | _ -> ())
+    (Graph.edges r);
+  !ok

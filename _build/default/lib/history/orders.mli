@@ -1,0 +1,90 @@
+(** The order relations of the paper, as directed graphs over global
+    operation ids.
+
+    - program order [7→_i] and its union over processes (§2);
+    - read-from order [7→_ro] (§2, a.k.a. writes-into);
+    - causality order [7→_co] = tc(program ∪ read-from) (§2);
+    - lazy program order [→_li] (Definition 5);
+    - lazy causality order [7→_lco] = tc(li ∪ read-from) (Definition 6);
+    - lazy writes-before [→_lwb] (Definition 8);
+    - lazy semi-causality [7→_lsc] = tc(li ∪ lwb) (Definition 9);
+    - the PRAM relation [7→_pram] = program ∪ read-from, {e not} closed
+      (Definition 11).
+
+    All functions take the inferred read-from map of
+    {!History.read_from}. *)
+
+type relation = Repro_util.Graph.t
+
+val program_order : History.t -> relation
+(** Full program order: [(o1, o2)] whenever both are by the same process and
+    [o1] is invoked first.  A transitive total order per process. *)
+
+val program_order_base : History.t -> relation
+(** Only consecutive-operation edges; the transitive reduction of
+    {!program_order}.  Used to decompose causality paths into elementary
+    steps. *)
+
+val read_from_relation : History.t -> int option array -> relation
+(** One edge per read that takes its value from a write. *)
+
+val causal : History.t -> int option array -> relation
+(** [7→_co]: transitive closure of program order union read-from. *)
+
+val causal_base : History.t -> int option array -> relation
+(** Elementary steps of causality: consecutive program order union
+    read-from.  [causal] is its transitive closure. *)
+
+val lazy_program_order : History.t -> relation
+(** [→_li] per Definition 5, already transitively closed (the definition
+    includes transitivity).  A subrelation of {!program_order}. *)
+
+val lazy_causal : History.t -> int option array -> relation
+(** [7→_lco] = tc(li ∪ ro). *)
+
+val lazy_causal_base : History.t -> int option array -> relation
+
+val lazy_writes_before : History.t -> int option array -> relation
+(** [→_lwb] per Definition 8: [w_i(x)v →_lwb r_j(y)u] when process [i] also
+    wrote [u] to [y] by an operation [o'] with [w_i(x)v →_li o'], and the
+    read takes its value from [o'].  (The published definition leaves the
+    read's source implicit; we follow the original weak writes-before of
+    Ahamad et al. and require [o' 7→_ro r_j(y)u].) *)
+
+val lazy_semi_causal : History.t -> int option array -> relation
+(** [7→_lsc] = tc(li ∪ lwb). *)
+
+val lazy_semi_causal_base : History.t -> int option array -> relation
+
+val weak_program_order : History.t -> relation
+(** The weak program order of Ahamad et al. [1] (§4.2): program order with
+    only the write-followed-by-read-of-a-{e different}-variable pairs
+    relaxed.  Strictly between {!lazy_program_order} and
+    {!program_order} — in particular it orders every pair of writes by the
+    same process. *)
+
+val weak_writes_before : History.t -> int option array -> relation
+(** Ahamad et al.'s weak writes-before: as {!lazy_writes_before} but with
+    {!weak_program_order} in place of the lazy one. *)
+
+val semi_causal : History.t -> int option array -> relation
+(** The semi-causality order of [1]: tc(weak-program ∪ weak-writes-before).
+    Stronger than {!lazy_semi_causal} (the paper notes this when
+    introducing the lazy variant) and weaker than {!causal}. *)
+
+val semi_causal_base : History.t -> int option array -> relation
+
+val pram : History.t -> int option array -> relation
+(** [7→_pram] = program order ∪ read-from, deliberately not transitively
+    closed (Definition 11). *)
+
+val concurrent : relation -> int -> int -> bool
+(** [concurrent r a b] iff neither [(a,b)] nor [(b,a)] is in [r]. *)
+
+val respects : order:int list -> relation -> bool
+(** [respects ~order r] checks that the total order given as a list of
+    global ids (earliest first) contains no pair contradicting [r];
+    operations absent from [order] are ignored — i.e. [r] is restricted to
+    the listed operations, {e without} closing through absent ones.  This is
+    exactly the "serialization respecting an order" of §2 generalized to
+    non-transitive relations such as [7→_pram]. *)

@@ -1,0 +1,81 @@
+module Graph = Repro_util.Graph
+
+type guarantee =
+  | Read_your_writes
+  | Monotonic_reads
+  | Monotonic_writes
+  | Writes_follow_reads
+
+let all_guarantees =
+  [ Read_your_writes; Monotonic_reads; Monotonic_writes; Writes_follow_reads ]
+
+let guarantee_name = function
+  | Read_your_writes -> "read-your-writes"
+  | Monotonic_reads -> "monotonic-reads"
+  | Monotonic_writes -> "monotonic-writes"
+  | Writes_follow_reads -> "writes-follow-reads"
+
+type verdict = Holds | Violated | Undecidable of History.rf_error
+
+(* Characteristic order for one observer: read-from plus the guarantee's
+   program-order pairs.  RYW and MR only constrain the observer's own
+   session; MW and WFR constrain every writer's session as seen by the
+   observer. *)
+let relation guarantee ~observer h rf =
+  let g = Graph.create (History.n_ops h) in
+  Array.iteri (fun r w -> match w with Some w -> Graph.add_edge g w r | None -> ()) rf;
+  for p = 0 to History.n_procs h - 1 do
+    let line = History.local h p in
+    let len = Array.length line in
+    for a = 0 to len - 2 do
+      let o1 = line.(a) in
+      for b = a + 1 to len - 1 do
+        let o2 = line.(b) in
+        let observer_reads =
+          p = observer && Op.is_read o1 && Op.is_read o2
+        in
+        let keep =
+          match guarantee with
+          | Read_your_writes -> p = observer && Op.is_write o1
+          | Monotonic_reads -> observer_reads
+          | Monotonic_writes ->
+              (* writer-side order, witnessed through the session's reads
+                 taken in order *)
+              (Op.is_write o1 && Op.is_write o2) || observer_reads
+          | Writes_follow_reads -> observer_reads (* plus sources, below *)
+        in
+        if keep then Graph.add_edge g (History.id h o1) (History.id h o2)
+      done;
+      if guarantee = Writes_follow_reads && Op.is_read o1 then
+        match rf.(History.id h o1) with
+        | None -> ()
+        | Some source ->
+            for b = a + 1 to len - 1 do
+              let o2 = line.(b) in
+              if Op.is_write o2 then Graph.add_edge g source (History.id h o2)
+            done
+    done
+  done;
+  g
+
+let check guarantee h =
+  match History.read_from h with
+  | Error (History.Dangling_read _) -> Violated
+  | Error (History.Ambiguous_read _ as e) -> Undecidable e
+  | Ok rf ->
+      let ok =
+        List.for_all
+          (fun observer ->
+            let rel = relation guarantee ~observer h rf in
+            let subset = List.map (History.id h) (History.sub_history h observer) in
+            Checker.find_serialization h ~subset ~relation:rel <> None)
+          (List.init (History.n_procs h) Fun.id)
+      in
+      if ok then Holds else Violated
+
+let holds guarantee h =
+  match check guarantee h with
+  | Holds -> true
+  | Violated -> false
+  | Undecidable e ->
+      invalid_arg (Format.asprintf "Session.holds: %a" History.pp_rf_error e)

@@ -1,0 +1,56 @@
+(** Session guarantees (Terry et al.), as serialization criteria over the
+    same machinery as {!Checker}.
+
+    A "session" here is a process.  Each guarantee asks, for every observer
+    process [i], for a legal serialization of [H_{i+w}] respecting
+    read-from plus a characteristic sub-order:
+
+    - {b Read_your_writes}: [i]'s own writes precede [i]'s subsequent
+      operations;
+    - {b Monotonic_reads}: [i]'s reads keep their program order;
+    - {b Monotonic_writes}: {e every} process's writes keep their program
+      order, as witnessed by [i]'s reads taken in order (without the
+      witness order an isolated writer-side constraint is vacuous — the
+      observer's unordered reads could always be placed inside their
+      sources' windows);
+    - {b Writes_follow_reads}: when any process writes after reading, the
+      read's source write stays before the new write — again witnessed by
+      [i]'s reads in order.
+
+    Under this formalization MW and WFR each subsume MR (their relations
+    contain the read order); the four remain pairwise distinguishable by
+    the violating histories in the tests.
+
+    Because every characteristic sub-order is contained in program order ∪
+    read-from, {b PRAM implies RYW, MR and MW}, and causal consistency
+    additionally implies WFR.  The converse fails in this formalization:
+    each guarantee gets its {e own} serialization per observer, and three
+    separately satisfiable orders need not be jointly satisfiable — random
+    search finds histories satisfying RYW ∧ MR ∧ MW but not PRAM (the
+    classical equivalence of Brzeziński, Sobaniec & Wawrzyniak holds for a
+    joint-witness formulation, which is exactly PRAM's own definition).
+    The tests pin the implications, a conjunction-without-PRAM
+    counterexample, and a violating history per guarantee. *)
+
+type guarantee =
+  | Read_your_writes
+  | Monotonic_reads
+  | Monotonic_writes
+  | Writes_follow_reads
+
+val all_guarantees : guarantee list
+
+val guarantee_name : guarantee -> string
+
+type verdict = Holds | Violated | Undecidable of History.rf_error
+
+val check : guarantee -> History.t -> verdict
+
+val holds : guarantee -> History.t -> bool
+(** @raise Invalid_argument on an ambiguous (non-differentiated) history. *)
+
+val relation :
+  guarantee -> observer:int -> History.t -> int option array -> Orders.relation
+(** The characteristic sub-order one observer's serialization must respect
+    (including read-from), exposed for tests and tooling.  [observer] only
+    affects the session-local guarantees (RYW, MR). *)

@@ -1,0 +1,75 @@
+module Graph = Repro_util.Graph
+
+type op = { op : Op.t; invoked : int; responded : int }
+
+type t = { timed : op array array; plain : History.t }
+
+let of_lists specs =
+  let plain =
+    History.of_lists
+      (List.map (List.map (fun (kind, var, value, _, _) -> (kind, var, value))) specs)
+  in
+  let timed =
+    Array.of_list
+      (List.mapi
+         (fun proc spec ->
+           let last_response = ref (-1) in
+           Array.of_list
+             (List.mapi
+                (fun index (kind, var, value, invoked, responded) ->
+                  if invoked < 0 || responded < invoked then
+                    invalid_arg "Timed.of_lists: bad interval";
+                  if invoked < !last_response then
+                    invalid_arg
+                      "Timed.of_lists: overlapping intervals in a sequential process";
+                  last_response := responded;
+                  { op = { Op.proc; index; kind; var; value }; invoked; responded })
+                spec))
+         specs)
+  in
+  { timed; plain }
+
+let n_procs t = Array.length t.timed
+
+let n_ops t = History.n_ops t.plain
+
+let ops t =
+  Array.init (n_ops t) (fun gid ->
+      let o = History.op t.plain gid in
+      t.timed.(o.Op.proc).(o.Op.index))
+
+let history t = t.plain
+
+let real_time_precedence t =
+  let all = ops t in
+  let n = Array.length all in
+  let g = Graph.create n in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if i <> j && all.(i).responded < all.(j).invoked then Graph.add_edge g i j
+    done
+  done;
+  g
+
+type verdict = Linearizable | Not_linearizable | Undecidable of History.rf_error
+
+let check_linearizable t =
+  match History.read_from t.plain with
+  | Error (History.Dangling_read _) -> Not_linearizable
+  | Error (History.Ambiguous_read _ as e) -> Undecidable e
+  | Ok _ ->
+      let relation = real_time_precedence t in
+      let subset = List.init (n_ops t) Fun.id in
+      if Checker.find_serialization t.plain ~subset ~relation <> None then Linearizable
+      else Not_linearizable
+
+let pp ppf t =
+  Array.iteri
+    (fun p line ->
+      Format.fprintf ppf "p%d: %a@." p
+        (Format.pp_print_seq
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "  ")
+           (fun ppf o ->
+             Format.fprintf ppf "%a@@[%d,%d]" Op.pp o.op o.invoked o.responded))
+        (Array.to_seq line))
+    t.timed

@@ -1,0 +1,49 @@
+(** Timed histories and atomicity (linearizability).
+
+    The strongest criterion the paper discusses (atomic consistency,
+    Lamport [12]) constrains operations by {e real time}: there must be one
+    legal serialization of all operations in which every operation appears
+    to take effect at some instant between its invocation and its response.
+    Plain {!History.t} carries no timing, so runs that should be checked
+    for atomicity are recorded as timed histories.
+
+    Simulation timestamps serve as real time; a process is sequential, so
+    its operations' intervals must be non-overlapping and in program
+    order. *)
+
+type op = {
+  op : Op.t;
+  invoked : int;
+  responded : int;  (** [responded >= invoked]. *)
+}
+
+type t
+
+val of_lists : (Op.kind * int * Op.value * int * int) list list -> t
+(** Per-process [(kind, var, value, invoked, responded)] specs, in program
+    order.  @raise Invalid_argument on negative or decreasing times,
+    overlapping intervals within a process, or an [Init] write. *)
+
+val n_procs : t -> int
+val n_ops : t -> int
+
+val ops : t -> op array
+(** In global-id order (matching {!history}). *)
+
+val history : t -> History.t
+(** Forget the timing. *)
+
+val real_time_precedence : t -> Orders.relation
+(** [(o1, o2)] whenever [o1.responded < o2.invoked]: the happens-before
+    skeleton linearizability must respect. *)
+
+type verdict = Linearizable | Not_linearizable | Undecidable of History.rf_error
+
+val check_linearizable : t -> verdict
+(** One legal serialization of {e all} operations respecting
+    {!real_time_precedence}.  (Program order is subsumed: a sequential
+    process's intervals are disjoint and increasing.)  Like the other
+    checkers this requires a differentiated history. *)
+
+val pp : Format.formatter -> t -> unit
+(** One process per line, each op as [w0(x1)5@[3,7]]. *)

@@ -1,0 +1,1 @@
+lib/msgpass/fiber.ml: Effect Stdlib

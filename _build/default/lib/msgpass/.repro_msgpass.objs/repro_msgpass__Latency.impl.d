@@ -1,0 +1,1 @@
+lib/msgpass/latency.ml: Float Repro_util Stdlib

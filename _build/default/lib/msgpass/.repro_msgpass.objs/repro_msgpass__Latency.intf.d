@@ -1,0 +1,1 @@
+lib/msgpass/latency.mli: Repro_util

@@ -1,0 +1,1 @@
+lib/msgpass/msc.ml: Array Buffer Bytes List Net Printf Stdlib

@@ -1,0 +1,1 @@
+lib/msgpass/msc.mli: Net

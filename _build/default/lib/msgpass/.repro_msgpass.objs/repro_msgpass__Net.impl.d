@@ -1,0 +1,1 @@
+lib/msgpass/net.ml: Array Fault Latency List Repro_util Stdlib

@@ -1,0 +1,15 @@
+type t = { drop : float; duplicate : float; reorder : bool }
+
+let none = { drop = 0.0; duplicate = 0.0; reorder = false }
+
+let lossy p = { drop = p; duplicate = 0.0; reorder = false }
+
+let chaotic = { drop = 0.05; duplicate = 0.05; reorder = true }
+
+let validate t =
+  let check name p =
+    if p < 0.0 || p > 1.0 then
+      invalid_arg (Printf.sprintf "Fault.validate: %s probability %f out of [0,1]" name p)
+  in
+  check "drop" t.drop;
+  check "duplicate" t.duplicate

@@ -1,0 +1,27 @@
+(** Fault-injection configuration for the simulated network.
+
+    The DSM protocols in this repository assume the reliable channels of the
+    paper's model; fault injection exists to test the substrate itself and to
+    demonstrate which protocols tolerate duplication or reordering. *)
+
+type t = {
+  drop : float;  (** Probability a message is silently lost. *)
+  duplicate : float;
+      (** Probability a message is delivered twice (second copy re-samples
+          its latency). *)
+  reorder : bool;
+      (** When [true], per-channel FIFO enforcement is disabled and messages
+          race freely. *)
+}
+
+val none : t
+(** Reliable FIFO channels — the paper's model. *)
+
+val lossy : float -> t
+(** Drop with the given probability, no duplication, FIFO kept. *)
+
+val chaotic : t
+(** 5% drop, 5% duplication, no FIFO.  Stress-testing profile. *)
+
+val validate : t -> unit
+(** @raise Invalid_argument when probabilities fall outside [\[0,1\]]. *)

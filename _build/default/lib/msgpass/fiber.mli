@@ -1,0 +1,33 @@
+(** Cooperative fibers over the discrete-event scheduler.
+
+    Application processes in the paper (e.g. the Bellman-Ford pseudocode of
+    Fig. 7) are sequential programs that busy-wait on shared variables.
+    Fibers let such programs be written in direct style: [yield] and [await]
+    suspend the program and re-enter it from a scheduler timer, so simulated
+    time passes while the program "spins".
+
+    Implemented with OCaml 5 effect handlers; each suspended continuation is
+    resumed exactly once. *)
+
+val yield : unit -> unit
+(** Suspend the current fiber for one polling interval.  Must be called from
+    inside a fiber; @raise Effect.Unhandled otherwise. *)
+
+val await : (unit -> bool) -> unit
+(** [await p] returns when [p ()] holds, checking once per polling interval.
+    [p] must be cheap and must not perform fiber effects. *)
+
+val sleep : int -> unit
+(** [sleep ticks] suspends the fiber for at least [ticks] simulation time. *)
+
+val spawn :
+  schedule:(delay:int -> (unit -> unit) -> unit) ->
+  ?poll_interval:int ->
+  ?on_done:(unit -> unit) ->
+  (unit -> unit) ->
+  unit
+(** [spawn ~schedule f] starts [f] as a fiber.  [schedule ~delay k] must run
+    [k] once after [delay] ticks — {!Net.at} partially applied is the
+    intended argument.  [poll_interval] (default 1) spaces out [yield]/
+    [await] re-checks.  [on_done] runs after [f] returns.  Exceptions raised
+    by [f] propagate out of the scheduler step that resumed it. *)

@@ -1,0 +1,31 @@
+(** Link-latency models for the simulated network.
+
+    Latencies are in abstract simulation ticks.  All sampling is driven by
+    the network's own deterministic generator, so a given seed yields a
+    byte-identical schedule. *)
+
+type t
+
+val constant : int -> t
+(** Every message takes exactly this many ticks. @raise Invalid_argument if
+    negative. *)
+
+val uniform : lo:int -> hi:int -> t
+(** Uniform in [\[lo, hi\]]. *)
+
+val exponential : mean:float -> cap:int -> t
+(** Exponential with the given mean, truncated to [\[1, cap\]]; models
+    heavy-tailish queueing delay without unbounded outliers. *)
+
+val lan : t
+(** A small-cluster profile: uniform 1–5 ticks. *)
+
+val wan : t
+(** A wide-area profile: exponential, mean 50, capped at 500 ticks. *)
+
+val per_link : (src:int -> dst:int -> t) -> t
+(** Choose a model per directed link; lets tests build asymmetric or
+    cluster-structured topologies. *)
+
+val sample : t -> Repro_util.Rng.t -> src:int -> dst:int -> int
+(** Draw a latency (always ≥ 0). *)

@@ -1,0 +1,27 @@
+(** Message sequence charts from network traces.
+
+    Turn a {!Net.trace} into a readable, chronologically ordered chart:
+    one lane per node, one row per send/delivery/drop.  Intended for
+    debugging protocols and for the examples' narrative output; enable
+    {!Net.set_tracing} before the run. *)
+
+val render :
+  ?show_sends:bool ->
+  n_nodes:int ->
+  label:('msg -> string) ->
+  'msg Net.event list ->
+  string
+(** Each delivery prints as an arrow row under its time:
+
+    {v
+    t=6    p0 ············> p2   Update(x1:=5)
+    v}
+
+    with the arrow spanning the lanes between source and destination.
+    [show_sends] (default false) also prints send and drop events.
+    [label] renders the protocol message. *)
+
+val summarize :
+  n_nodes:int -> 'msg Net.event list -> (int * int * int) list
+(** Per (src, dst) delivered-message counts, lexicographic; a cheap
+    traffic-matrix view of the same trace. *)

@@ -1,0 +1,212 @@
+module Rng = Repro_util.Rng
+module Pqueue = Repro_util.Pqueue
+
+type 'msg envelope = {
+  src : int;
+  dst : int;
+  send_time : int;
+  deliver_time : int;
+  control_bytes : int;
+  payload_bytes : int;
+  msg : 'msg;
+}
+
+type 'msg event = Sent of 'msg envelope | Delivered of 'msg envelope | Dropped of 'msg envelope
+
+type 'msg pending = Deliver of 'msg envelope | Timer of (unit -> unit)
+
+type stats = {
+  sent : int;
+  delivered : int;
+  dropped : int;
+  duplicated : int;
+  total_control_bytes : int;
+  total_payload_bytes : int;
+  per_node_sent : int array;
+  per_node_received : int array;
+}
+
+type 'msg t = {
+  n : int;
+  latency : Latency.t;
+  service_time : int;
+  faults : Fault.t;
+  rng : Rng.t;
+  queue : (int * int, 'msg pending) Pqueue.t; (* key: (time, tie-break seq) *)
+  mutable seq : int;
+  mutable clock : int;
+  handlers : ('msg envelope -> unit) array;
+  fifo_horizon : int array array;
+      (* fifo_horizon.(src).(dst): earliest delivery time that keeps the
+         channel FIFO w.r.t. messages already scheduled. *)
+  service_horizon : int array;
+      (* service_horizon.(dst): earliest delivery time that respects the
+         destination's service rate. *)
+  (* accounting *)
+  mutable sent : int;
+  mutable delivered : int;
+  mutable dropped : int;
+  mutable duplicated : int;
+  mutable control_bytes : int;
+  mutable payload_bytes : int;
+  node_sent : int array;
+  node_received : int array;
+  mutable tracing : bool;
+  mutable events : 'msg event list; (* reversed *)
+}
+
+let key_compare (t1, s1) (t2, s2) =
+  let c = compare t1 t2 in
+  if c <> 0 then c else compare s1 s2
+
+let create ?(faults = Fault.none) ?(service_time = 0) ~n ~latency ~seed () =
+  if n <= 0 then invalid_arg "Net.create: need at least one node";
+  if service_time < 0 then invalid_arg "Net.create: negative service time";
+  Fault.validate faults;
+  {
+    n;
+    latency;
+    service_time;
+    faults;
+    rng = Rng.create seed;
+    queue = Pqueue.create ~cmp:key_compare ();
+    seq = 0;
+    clock = 0;
+    handlers = Array.make n (fun _ -> ());
+    fifo_horizon = Array.make_matrix n n 0;
+    service_horizon = Array.make n 0;
+    sent = 0;
+    delivered = 0;
+    dropped = 0;
+    duplicated = 0;
+    control_bytes = 0;
+    payload_bytes = 0;
+    node_sent = Array.make n 0;
+    node_received = Array.make n 0;
+    tracing = false;
+    events = [];
+  }
+
+let n_nodes t = t.n
+
+let now t = t.clock
+
+let set_handler t node f =
+  if node < 0 || node >= t.n then invalid_arg "Net.set_handler: bad node";
+  t.handlers.(node) <- f
+
+let record t event = if t.tracing then t.events <- event :: t.events
+
+let push t time pending =
+  t.seq <- t.seq + 1;
+  Pqueue.push t.queue (time, t.seq) pending
+
+let schedule_delivery t envelope =
+  let deliver_time =
+    if t.faults.Fault.reorder then envelope.deliver_time
+    else begin
+      (* Clamp to the channel horizon so per-link delivery order matches
+         send order, then advance the horizon past this message. *)
+      let horizon = t.fifo_horizon.(envelope.src).(envelope.dst) in
+      let time = Stdlib.max envelope.deliver_time horizon in
+      t.fifo_horizon.(envelope.src).(envelope.dst) <- time + 1;
+      time
+    end
+  in
+  let deliver_time =
+    if t.service_time = 0 then deliver_time
+    else begin
+      (* queue at the destination: one delivery per service interval *)
+      let time = Stdlib.max deliver_time t.service_horizon.(envelope.dst) in
+      t.service_horizon.(envelope.dst) <- time + t.service_time;
+      time
+    end
+  in
+  let envelope = { envelope with deliver_time } in
+  push t deliver_time (Deliver envelope)
+
+let send t ~src ~dst ?(control_bytes = 0) ?(payload_bytes = 0) msg =
+  if src < 0 || src >= t.n || dst < 0 || dst >= t.n then
+    invalid_arg "Net.send: bad endpoint";
+  let latency = Latency.sample t.latency t.rng ~src ~dst in
+  let envelope =
+    {
+      src;
+      dst;
+      send_time = t.clock;
+      deliver_time = t.clock + latency;
+      control_bytes;
+      payload_bytes;
+      msg;
+    }
+  in
+  t.sent <- t.sent + 1;
+  t.node_sent.(src) <- t.node_sent.(src) + 1;
+  t.control_bytes <- t.control_bytes + control_bytes;
+  t.payload_bytes <- t.payload_bytes + payload_bytes;
+  record t (Sent envelope);
+  if Rng.coin t.rng t.faults.Fault.drop then begin
+    t.dropped <- t.dropped + 1;
+    record t (Dropped envelope)
+  end
+  else begin
+    schedule_delivery t envelope;
+    if Rng.coin t.rng t.faults.Fault.duplicate then begin
+      t.duplicated <- t.duplicated + 1;
+      let extra = Latency.sample t.latency t.rng ~src ~dst in
+      schedule_delivery t { envelope with deliver_time = t.clock + extra }
+    end
+  end
+
+let at t ~delay f =
+  if delay < 0 then invalid_arg "Net.at: negative delay";
+  push t (t.clock + delay) (Timer f)
+
+let step t =
+  match Pqueue.pop t.queue with
+  | None -> false
+  | Some ((time, _), pending) ->
+      t.clock <- Stdlib.max t.clock time;
+      (match pending with
+      | Timer f -> f ()
+      | Deliver envelope ->
+          t.delivered <- t.delivered + 1;
+          t.node_received.(envelope.dst) <- t.node_received.(envelope.dst) + 1;
+          record t (Delivered envelope);
+          t.handlers.(envelope.dst) envelope);
+      true
+
+let run ?(max_events = 10_000_000) t =
+  let rec loop budget =
+    if budget = 0 then
+      failwith "Net.run: event budget exhausted (livelock or unbounded polling?)"
+    else if step t then loop (budget - 1)
+  in
+  loop max_events
+
+let run_until t deadline =
+  let rec loop () =
+    match Pqueue.peek t.queue with
+    | Some ((time, _), _) when time <= deadline ->
+        ignore (step t);
+        loop ()
+    | _ -> ()
+  in
+  loop ();
+  t.clock <- Stdlib.max t.clock deadline
+
+let stats t =
+  {
+    sent = t.sent;
+    delivered = t.delivered;
+    dropped = t.dropped;
+    duplicated = t.duplicated;
+    total_control_bytes = t.control_bytes;
+    total_payload_bytes = t.payload_bytes;
+    per_node_sent = Array.copy t.node_sent;
+    per_node_received = Array.copy t.node_received;
+  }
+
+let set_tracing t flag = t.tracing <- flag
+
+let trace t = List.rev t.events

@@ -1,0 +1,108 @@
+(** Deterministic discrete-event message-passing network.
+
+    This is the substrate the paper assumes: a set of [n] nodes exchanging
+    point-to-point messages over reliable channels, here simulated so that
+    every run is reproducible from a seed and so that message and
+    control-information volumes can be counted exactly.
+
+    Channels are FIFO by default (delivery order per directed link matches
+    send order), matching the quality of service the protocols in
+    {!Repro_dsm} are designed against; fault injection can relax this. *)
+
+type 'msg t
+
+type 'msg envelope = {
+  src : int;
+  dst : int;
+  send_time : int;
+  deliver_time : int;
+  control_bytes : int;
+      (** Bytes of consistency metadata carried, as declared by the sender.
+          The efficiency experiments aggregate this field. *)
+  payload_bytes : int;  (** Bytes of application data carried. *)
+  msg : 'msg;
+}
+
+val create :
+  ?faults:Fault.t ->
+  ?service_time:int ->
+  n:int ->
+  latency:Latency.t ->
+  seed:int ->
+  unit ->
+  'msg t
+(** [create ~n ~latency ~seed ()] builds an [n]-node network.  Handlers
+    default to ignoring messages; real nodes install theirs with
+    {!set_handler}.
+
+    [service_time] (default 0) makes each node a queueing server: at most
+    one delivery every [service_time] ticks per destination, later arrivals
+    waiting in line.  This is how centralization bottlenecks (e.g. a
+    sequencer) become visible in completion times. *)
+
+val n_nodes : 'msg t -> int
+
+val now : 'msg t -> int
+(** Current simulation time (ticks). *)
+
+val set_handler : 'msg t -> int -> ('msg envelope -> unit) -> unit
+(** [set_handler t node f] installs the delivery callback for [node].
+    Handlers run inside {!step}; they may send messages and set timers. *)
+
+val send :
+  'msg t ->
+  src:int ->
+  dst:int ->
+  ?control_bytes:int ->
+  ?payload_bytes:int ->
+  'msg ->
+  unit
+(** Enqueue a message.  Self-sends are allowed and still travel through the
+    event queue (no synchronous shortcut), so a node's own updates interleave
+    with remote ones exactly as the protocol schedules them.  Byte counts
+    default to 0. *)
+
+val at : 'msg t -> delay:int -> (unit -> unit) -> unit
+(** [at t ~delay f] schedules [f] to run at [now t + delay].
+    @raise Invalid_argument if [delay < 0]. *)
+
+val step : 'msg t -> bool
+(** Process the single earliest pending event.  Returns [false] when the
+    queue is empty. *)
+
+val run : ?max_events:int -> 'msg t -> unit
+(** Run until quiescence (empty queue) or until [max_events] (default
+    10_000_000) events have been processed.
+    @raise Failure when the event budget is exhausted, which indicates a
+    livelock such as an unbounded polling loop. *)
+
+val run_until : 'msg t -> int -> unit
+(** [run_until t deadline] processes events with time ≤ [deadline], then
+    advances the clock to [deadline] if it is ahead of the last event. *)
+
+(** {1 Accounting} *)
+
+type stats = {
+  sent : int;
+  delivered : int;
+  dropped : int;
+  duplicated : int;
+  total_control_bytes : int;
+  total_payload_bytes : int;
+  per_node_sent : int array;
+  per_node_received : int array;
+}
+
+val stats : 'msg t -> stats
+(** A snapshot; arrays are fresh copies. *)
+
+(** {1 Tracing} *)
+
+type 'msg event = Sent of 'msg envelope | Delivered of 'msg envelope | Dropped of 'msg envelope
+
+val set_tracing : 'msg t -> bool -> unit
+(** Off by default; when on, every send/delivery/drop is appended to the
+    trace. *)
+
+val trace : 'msg t -> 'msg event list
+(** Trace in chronological (processing) order. *)

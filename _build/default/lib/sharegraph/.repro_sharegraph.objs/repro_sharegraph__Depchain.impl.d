@@ -1,0 +1,1 @@
+lib/sharegraph/depchain.ml: Array Distribution Format Fun Hashtbl List Repro_history Repro_util Share_graph Stdlib

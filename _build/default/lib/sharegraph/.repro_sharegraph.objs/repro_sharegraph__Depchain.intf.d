@@ -1,0 +1,1 @@
+lib/sharegraph/depchain.mli: Format Repro_history Share_graph

@@ -1,0 +1,1 @@
+lib/sharegraph/distribution.ml: Array Format Fun List Printf Repro_history Repro_util Stdlib

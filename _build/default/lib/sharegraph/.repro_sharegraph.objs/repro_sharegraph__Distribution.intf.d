@@ -1,0 +1,1 @@
+lib/sharegraph/distribution.mli: Format Repro_history Repro_util

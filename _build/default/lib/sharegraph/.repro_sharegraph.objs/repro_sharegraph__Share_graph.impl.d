@@ -1,0 +1,1 @@
+lib/sharegraph/share_graph.ml: Array Distribution Format Fun Hashtbl List Repro_util

@@ -1,0 +1,1 @@
+lib/sharegraph/share_graph.mli: Distribution Format Repro_util

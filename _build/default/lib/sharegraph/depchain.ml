@@ -1,0 +1,113 @@
+module History = Repro_history.History
+module Op = Repro_history.Op
+module Orders = Repro_history.Orders
+
+module Graph = Repro_util.Graph
+module Bitset = Repro_util.Bitset
+
+type witness = {
+  var : int;
+  hoop : int list;
+  initial : int;
+  final : int;
+  path : int list;
+}
+
+let pp_witness h ppf w =
+  Format.fprintf ppf "x%d-dependency chain along hoop [%a]: %a"
+    w.var
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+       (fun ppf p -> Format.fprintf ppf "p%d" p))
+    w.hoop
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " -> ")
+       (fun ppf gid -> Op.pp ppf (History.op h gid)))
+    w.path
+
+let hoop_endpoints hoop =
+  match hoop with
+  | a :: (_ :: _ as rest) -> (a, List.nth rest (List.length rest - 1))
+  | _ -> invalid_arg "Depchain: a hoop has at least two processes"
+
+(* Does the history contain a base-edge path from [initial] to some
+   operation on [var] by [pb], visiting at least one operation of every
+   hoop process?  DFS over (operation, covered-processes) states. *)
+let covering_path h ~base ~hoop_set ~initial ~var ~pb =
+  let n_hoop = Bitset.capacity hoop_set in
+  let cover_of gid =
+    let p = (History.op h gid).Op.proc in
+    if p < n_hoop && Bitset.mem hoop_set p then Some p else None
+  in
+  let add_cover covered gid =
+    match cover_of gid with
+    | None -> covered
+    | Some p ->
+        let c = Bitset.copy covered in
+        Bitset.add c p;
+        c
+  in
+  let full = Bitset.copy hoop_set in
+  let visited = Hashtbl.create 256 in
+  let is_final gid =
+    let o = History.op h gid in
+    gid <> initial && o.Op.proc = pb && o.Op.var = var
+  in
+  let rec dfs gid covered path =
+    let key = (gid, Bitset.elements covered) in
+    if Hashtbl.mem visited key then None
+    else begin
+      Hashtbl.add visited key ();
+      if is_final gid && Bitset.equal covered full then Some (List.rev (gid :: path))
+      else
+        let rec try_succs = function
+          | [] -> None
+          | next :: rest -> (
+              match dfs next (add_cover covered next) (gid :: path) with
+              | Some found -> Some found
+              | None -> try_succs rest)
+        in
+        try_succs (Graph.succ base gid)
+    end
+  in
+  dfs initial (add_cover (Bitset.create n_hoop) initial) []
+
+let chain_along_hoop h ~base ~transitive ~var ~hoop =
+  let pa, pb = hoop_endpoints hoop in
+  let max_proc = List.fold_left Stdlib.max 0 hoop in
+  let hoop_set = Bitset.of_list (max_proc + 1) hoop in
+  let initials =
+    History.ops h |> Array.to_list
+    |> List.filter (fun (o : Op.t) -> Op.is_write o && o.proc = pa && o.var = var)
+    |> List.map (History.id h)
+  in
+  let search initial =
+    if transitive then
+      match covering_path h ~base ~hoop_set ~initial ~var ~pb with
+      | Some path ->
+          Some { var; hoop; initial; final = List.nth path (List.length path - 1); path }
+      | None -> None
+    else begin
+      (* Non-transitive (PRAM): the dependency must be one base edge, and
+         the two endpoint operations must cover the whole hoop. *)
+      let covers = List.for_all (fun p -> p = pa || p = pb) hoop in
+      if not covers then None
+      else
+        Graph.succ base initial
+        |> List.find_map (fun next ->
+               let o = History.op h next in
+               if o.Op.proc = pb && o.Op.var = var then
+                 Some { var; hoop; initial; final = next; path = [ initial; next ] }
+               else None)
+    end
+  in
+  List.find_map search initials
+
+let exists_chain sg h ~base ~transitive ~var ?max_hoops () =
+  Share_graph.hoops ?max_hoops sg ~var
+  |> List.find_map (fun hoop -> chain_along_hoop h ~base ~transitive ~var ~hoop)
+
+let exists_any_chain sg h ~base ~transitive ?max_hoops () =
+  let n_vars = Distribution.n_vars (Share_graph.distribution sg) in
+  List.init n_vars Fun.id
+  |> List.find_map (fun var -> exists_chain sg h ~base ~transitive ~var ?max_hoops ())

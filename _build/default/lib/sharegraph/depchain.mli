@@ -1,0 +1,59 @@
+(** x-dependency chains along hoops (Definition 4).
+
+    A history [H] includes an x-dependency chain along an x-hoop
+    [p_a; …; p_b] when [H] contains a write [w_a(x)v], an operation
+    [o_b(x)], and a pattern of operations — at least one per hoop process —
+    implying [w_a(x)v 7→ o_b(x)] in the order relation under consideration.
+
+    For the transitive relations (causal, lazy-causal, lazy-semi-causal) a
+    "pattern implying the dependency" is a path of elementary steps (the
+    [base] relation: program-order and read-from / lazy-writes-before
+    edges) from the write to the final operation; the chain exists when some
+    such path visits an operation of every hoop process.
+
+    For the non-transitive PRAM relation, only a direct
+    [w_a(x)v 7→_pram o_b(x)] edge counts, so the pattern covers the hoop
+    only when the hoop has no interior — this is Theorem 2. *)
+
+type witness = {
+  var : int;
+  hoop : int list;
+  initial : int;  (** global id of the initial write [w_a(x)v] *)
+  final : int;  (** global id of the final operation [o_b(x)] *)
+  path : int list;  (** base-edge path of global ids, [initial] to [final] *)
+}
+
+val pp_witness : Repro_history.History.t -> Format.formatter -> witness -> unit
+
+val chain_along_hoop :
+  Repro_history.History.t ->
+  base:Repro_history.Orders.relation ->
+  transitive:bool ->
+  var:int ->
+  hoop:int list ->
+  witness option
+(** Search for an x-dependency chain along the given hoop.  [base] holds the
+    elementary steps of the relation; when [transitive] is false only a
+    single base edge may link the initial and final operations (PRAM). *)
+
+val exists_chain :
+  Share_graph.t ->
+  Repro_history.History.t ->
+  base:Repro_history.Orders.relation ->
+  transitive:bool ->
+  var:int ->
+  ?max_hoops:int ->
+  unit ->
+  witness option
+(** [chain_along_hoop] over every x-hoop of the share graph; first witness
+    found, scanning hoops in {!Share_graph.hoops} order. *)
+
+val exists_any_chain :
+  Share_graph.t ->
+  Repro_history.History.t ->
+  base:Repro_history.Orders.relation ->
+  transitive:bool ->
+  ?max_hoops:int ->
+  unit ->
+  witness option
+(** [exists_chain] over every variable of the distribution. *)

@@ -1,0 +1,75 @@
+(** Variable distributions: which process replicates which variable.
+
+    In the paper's partial-replication model, MCS process [p_i] manages a
+    replica of variable [x] iff [x ∈ X_i], where [X_i] is the set of
+    variables the application process [ap_i] accesses (§3). *)
+
+type t
+
+val make : n_procs:int -> n_vars:int -> int list array -> t
+(** [make ~n_procs ~n_vars x] where [x.(i)] lists the variables of process
+    [i].  @raise Invalid_argument on out-of-range variables or a mismatched
+    array length. *)
+
+val of_lists : n_vars:int -> int list list -> t
+(** [make] with the process count taken from the list length. *)
+
+val n_procs : t -> int
+val n_vars : t -> int
+
+val holds : t -> proc:int -> var:int -> bool
+
+val vars_of : t -> int -> int list
+(** [X_i], ascending. *)
+
+val holders : t -> int -> int list
+(** [holders d x] is the vertex set of the clique [C(x)], ascending. *)
+
+val holders_set : t -> int -> Repro_util.Bitset.t
+
+val is_full_replication : t -> bool
+(** Every process holds every variable. *)
+
+val restrict_history : t -> Repro_history.History.t -> (unit, string) result
+(** Check that every operation of the history touches only variables its
+    process holds; [Error] describes the first violation.  Protocol runners
+    use this as a precondition. *)
+
+val pp : Format.formatter -> t -> unit
+
+(** {1 Generators} *)
+
+val full : n_procs:int -> n_vars:int -> t
+
+val random :
+  Repro_util.Rng.t -> n_procs:int -> n_vars:int -> replicas_per_var:int -> t
+(** Each variable is placed on a uniform random set of [replicas_per_var]
+    distinct processes (clamped to [n_procs]). *)
+
+val ring : n_procs:int -> t
+(** [n_procs] variables; variable [i] is shared by processes [i] and
+    [(i+1) mod n_procs].  The whole share graph is one cycle: every
+    variable has exactly one hoop (the long way around). *)
+
+val clustered : n_procs:int -> n_vars:int -> clusters:int -> t
+(** Processes are split into [clusters] contiguous groups; each variable
+    lives entirely inside one group (round-robin).  Hoop-free across
+    groups: the ablation distribution A1 of DESIGN.md. *)
+
+val chain : n_procs:int -> t
+(** [n_procs - 1] variables; variable [i] shared by processes [i] and
+    [i+1] — a path graph.  No variable has a hoop (removing C(x)
+    disconnects the path), useful as a hoop-free but connected case. *)
+
+val star : n_procs:int -> t
+(** [n_procs - 1] variables; variable [i] shared by the hub (process 0)
+    and leaf [i+1].  Hoop-free: every path between two holders passes
+    through the hub, which is itself a holder. *)
+
+val grid : rows:int -> cols:int -> t
+(** A [rows × cols] mesh of processes; one variable per mesh edge, shared
+    by its two endpoints.  Process [(i,j)] is index [i*cols + j].
+    Horizontal edge variables come first (row-major), then vertical ones.
+    Every inner face is a 4-cycle, so interior edge variables have hoops —
+    the standard "grid computation" topology on which causal consistency is
+    not efficiently implementable. *)

@@ -1,0 +1,218 @@
+module Bitset = Repro_util.Bitset
+module Graph = Repro_util.Graph
+module Flow = Repro_util.Flow
+
+type t = {
+  dist : Distribution.t;
+  labels : Bitset.t array array; (* labels.(i).(j) = X_i ∩ X_j, i <> j *)
+  graph : Graph.t; (* undirected: both directions *)
+}
+
+let of_distribution dist =
+  let n = Distribution.n_procs dist in
+  let n_vars = Distribution.n_vars dist in
+  let var_sets =
+    Array.init n (fun i -> Bitset.of_list n_vars (Distribution.vars_of dist i))
+  in
+  let labels = Array.init n (fun _ -> Array.init n (fun _ -> Bitset.create n_vars)) in
+  let graph = Graph.create n in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let shared = Bitset.inter var_sets.(i) var_sets.(j) in
+      labels.(i).(j) <- shared;
+      labels.(j).(i) <- shared;
+      if not (Bitset.is_empty shared) then Graph.add_undirected_edge graph i j
+    done
+  done;
+  { dist; labels; graph }
+
+let distribution t = t.dist
+
+let n_procs t = Distribution.n_procs t.dist
+
+let neighbours t i = List.sort compare (Graph.succ t.graph i)
+
+let edge_label t i j = if i = j then [] else Bitset.elements t.labels.(i).(j)
+
+let edges t =
+  let acc = ref [] in
+  let n = n_procs t in
+  for i = n - 1 downto 0 do
+    for j = n - 1 downto i + 1 do
+      if Graph.mem_edge t.graph i j then acc := (i, j, edge_label t i j) :: !acc
+    done
+  done;
+  !acc
+
+let clique t x = Distribution.holders t.dist x
+
+(* The x-filtered graph: only edges whose label contains a variable other
+   than x (Definition 3 condition ii). *)
+let filtered_edge t ~var i j =
+  Graph.mem_edge t.graph i j
+  &&
+  let label = t.labels.(i).(j) in
+  Bitset.fold (fun v acc -> acc || v <> var) label false
+
+let hoops ?(max_hoops = 100_000) t ~var =
+  let clique_set = Distribution.holders_set t.dist var in
+  let members = Distribution.holders t.dist var in
+  let n = n_procs t in
+  (* Build, per endpoint pair (a, b), the graph whose vertices are
+     non-clique processes plus a and b, with x-filtered edges; enumerate
+     simple a→b paths. *)
+  let collect (a, b) acc =
+    if List.length acc >= max_hoops then acc
+    else begin
+      let g = Graph.create n in
+      for i = 0 to n - 1 do
+        for j = i + 1 to n - 1 do
+          let endpoint v = v = a || v = b in
+          let allowed v = endpoint v || not (Bitset.mem clique_set v) in
+          if allowed i && allowed j && filtered_edge t ~var i j then
+            Graph.add_undirected_edge g i j
+        done
+      done;
+      let paths = Graph.simple_paths ~max_paths:(max_hoops - List.length acc) g ~src:a ~dst:b in
+      (* Drop paths that bounce through the other endpoint as an interior
+         vertex (simple_paths already forbids revisits, but b can appear
+         only as the terminus, and a cannot reappear; also forbid paths
+         whose interior touches a or b). *)
+      let valid path =
+        match path with
+        | [] | [ _ ] -> false
+        | _ :: rest ->
+            let interior = List.filteri (fun k _ -> k < List.length rest - 1) rest in
+            List.for_all (fun v -> v <> a && v <> b) interior
+      in
+      acc @ List.filter valid paths
+    end
+  in
+  let rec pairs = function
+    | [] -> []
+    | a :: rest -> List.map (fun b -> (a, b)) rest @ pairs rest
+  in
+  List.fold_left (fun acc pair -> collect pair acc) [] (pairs members)
+
+let on_hoop t ~var ~proc =
+  let clique_set = Distribution.holders_set t.dist var in
+  if Bitset.mem clique_set proc then
+    (* Clique members are hoop endpoints whenever any hoop exists touching
+       them; Theorem 1 already makes them x-relevant, and [on_hoop] is
+       specified as the interior test. *)
+    false
+  else begin
+    let n = n_procs t in
+    (* Flow network: vertex split for non-clique vertices (except proc);
+       source = proc's out node; each clique member is a collapsed node
+       feeding the sink with capacity 1 (distinct endpoints). *)
+    let v_in v = 2 * v in
+    let v_out v = (2 * v) + 1 in
+    let sink = 2 * n in
+    let net = Flow.create ((2 * n) + 1) in
+    for v = 0 to n - 1 do
+      if not (Bitset.mem clique_set v) then
+        Flow.add_edge net ~src:(v_in v) ~dst:(v_out v)
+          ~cap:(if v = proc then 2 else 1)
+    done;
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        if filtered_edge t ~var i j then begin
+          let ci = Bitset.mem clique_set i and cj = Bitset.mem clique_set j in
+          match (ci, cj) with
+          | false, false ->
+              Flow.add_edge net ~src:(v_out i) ~dst:(v_in j) ~cap:1;
+              Flow.add_edge net ~src:(v_out j) ~dst:(v_in i) ~cap:1
+          | false, true -> Flow.add_edge net ~src:(v_out i) ~dst:(v_in j) ~cap:1
+          | true, false -> Flow.add_edge net ~src:(v_out j) ~dst:(v_in i) ~cap:1
+          | true, true -> () (* clique-to-clique edges are irrelevant here *)
+        end
+      done
+    done;
+    (* Each clique vertex may serve as at most one endpoint. *)
+    Bitset.iter
+      (fun c ->
+        Flow.add_edge net ~src:(v_in c) ~dst:sink ~cap:1)
+      clique_set;
+    Flow.max_flow net ~source:(v_out proc) ~sink >= 2
+  end
+
+let x_relevant t ~var =
+  let set = Distribution.holders_set t.dist var in
+  for p = 0 to n_procs t - 1 do
+    if (not (Bitset.mem set p)) && on_hoop t ~var ~proc:p then Bitset.add set p
+  done;
+  set
+
+let x_relevant_by_enumeration ?max_hoops t ~var =
+  let set = Distribution.holders_set t.dist var in
+  List.iter
+    (fun path -> List.iter (Bitset.add set) path)
+    (hoops ?max_hoops t ~var);
+  set
+
+let hoop_free t ~var =
+  let clique_set = Distribution.holders_set t.dist var in
+  let n = n_procs t in
+  (* A hoop exists iff (a) two clique members share an x-filtered edge
+     directly, or (b) some component of the x-filtered graph deprived of
+     C(x) is adjacent (via filtered edges) to two distinct clique members. *)
+  let direct = ref false in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if
+        Bitset.mem clique_set i && Bitset.mem clique_set j
+        && filtered_edge t ~var i j
+      then direct := true
+    done
+  done;
+  if !direct then false
+  else begin
+    let uf = Repro_util.Union_find.create n in
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        if
+          (not (Bitset.mem clique_set i))
+          && (not (Bitset.mem clique_set j))
+          && filtered_edge t ~var i j
+        then Repro_util.Union_find.union uf i j
+      done
+    done;
+    (* clique neighbours per component root *)
+    let neighbours_of_root = Hashtbl.create 16 in
+    let two_reached = ref false in
+    for v = 0 to n - 1 do
+      if not (Bitset.mem clique_set v) then
+        Bitset.iter
+          (fun c ->
+            if filtered_edge t ~var v c then begin
+              let root = Repro_util.Union_find.find uf v in
+              match Hashtbl.find_opt neighbours_of_root root with
+              | None -> Hashtbl.add neighbours_of_root root c
+              | Some c0 -> if c0 <> c then two_reached := true
+            end)
+          clique_set
+    done;
+    not !two_reached
+  end
+
+let fully_hoop_free t =
+  List.for_all
+    (fun x -> hoop_free t ~var:x)
+    (List.init (Distribution.n_vars t.dist) Fun.id)
+
+let no_external_relevance t =
+  List.for_all
+    (fun x -> Bitset.equal (x_relevant t ~var:x) (Distribution.holders_set t.dist x))
+    (List.init (Distribution.n_vars t.dist) Fun.id)
+
+let pp ppf t =
+  Format.fprintf ppf "share graph on %d processes:@." (n_procs t);
+  List.iter
+    (fun (i, j, label) ->
+      Format.fprintf ppf "  p%d -- p%d  {%a}@." i j
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+           (fun ppf v -> Format.fprintf ppf "x%d" v))
+        label)
+    (edges t)

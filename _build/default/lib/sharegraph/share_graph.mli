@@ -1,0 +1,72 @@
+(** The share graph, hoops and x-relevance (paper §3.1–3.2).
+
+    The share graph [SG] is the undirected graph on MCS processes with an
+    edge [(i,j)] labelled by [X_i ∩ X_j] whenever that intersection is
+    non-empty.  [SG] is the union of the cliques [C(x)] spanned by the
+    holders of each variable [x].
+
+    An {e x-hoop} is a path between two distinct members of [C(x)] whose
+    interior vertices avoid [C(x)] and each of whose edges shares some
+    variable other than [x] (Definition 3).
+
+    {b Theorem 1}: process [p] is {e x-relevant} — it must, in some history,
+    transmit control information about operations on [x] — iff
+    [p ∈ C(x)] or [p] lies on an x-hoop. *)
+
+type t
+
+val of_distribution : Distribution.t -> t
+
+val distribution : t -> Distribution.t
+
+val n_procs : t -> int
+
+val neighbours : t -> int -> int list
+(** Adjacent processes, ascending. *)
+
+val edge_label : t -> int -> int -> int list
+(** Variables shared by the two processes (the edge label), ascending;
+    [[]] when no edge. *)
+
+val edges : t -> (int * int * int list) list
+(** All undirected edges [(i, j, label)] with [i < j]. *)
+
+val clique : t -> int -> int list
+(** Vertex set of [C(x)], ascending. *)
+
+val hoops : ?max_hoops:int -> t -> var:int -> int list list
+(** All x-hoops as vertex paths [p_a; p_1; …; p_b] (endpoints in [C(x)]).
+    Paths are simple; each returned path is reported once per direction
+    class (the reverse of a reported path is not also reported).
+    Exponential in general — [max_hoops] (default 100_000) truncates. *)
+
+val on_hoop : t -> var:int -> proc:int -> bool
+(** Polynomial-time test: is [proc] an interior vertex of some x-hoop?
+    Implemented via connected components of the share graph restricted to
+    non-[x] edge labels and deprived of [C(x)]: an interior component gives
+    hoops iff it is adjacent to at least two distinct members of [C(x)]. *)
+
+val x_relevant : t -> var:int -> Repro_util.Bitset.t
+(** Theorem 1's characterization: [C(x)] plus every process on an x-hoop
+    (interior or endpoint). *)
+
+val x_relevant_by_enumeration : ?max_hoops:int -> t -> var:int -> Repro_util.Bitset.t
+(** Same set computed by explicitly enumerating hoops; exponential.  Used to
+    cross-validate {!x_relevant} in tests. *)
+
+val hoop_free : t -> var:int -> bool
+(** No x-hoop exists: an efficient causal implementation need not involve
+    any process outside [C(x)] for [x] (§3.3 discussion). *)
+
+val fully_hoop_free : t -> bool
+(** [hoop_free] for every variable. *)
+
+val no_external_relevance : t -> bool
+(** For every variable [x], [x_relevant] equals [C(x)]: no process outside
+    the clique ever needs information about [x].  Weaker than
+    {!fully_hoop_free} — direct (interior-free) hoops between two clique
+    members are allowed, since they add no external x-relevant process.
+    This is the property that makes a distribution amenable to efficient
+    causal implementation (§3.3). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/util/flow.ml: Array List Stdlib

@@ -1,0 +1,1 @@
+lib/util/graph.ml: Array Bitset List Pqueue Union_find

@@ -1,0 +1,128 @@
+type t = { n : int; words : Bytes.t }
+
+let words_for n = (n + 7) / 8
+
+let create n =
+  if n < 0 then invalid_arg "Bitset.create: negative capacity";
+  { n; words = Bytes.make (words_for n) '\000' }
+
+let capacity t = t.n
+
+let copy t = { n = t.n; words = Bytes.copy t.words }
+
+let check t i =
+  if i < 0 || i >= t.n then invalid_arg "Bitset: index out of bounds"
+
+let add t i =
+  check t i;
+  let byte = i lsr 3 and bit = i land 7 in
+  Bytes.unsafe_set t.words byte
+    (Char.chr (Char.code (Bytes.unsafe_get t.words byte) lor (1 lsl bit)))
+
+let remove t i =
+  check t i;
+  let byte = i lsr 3 and bit = i land 7 in
+  Bytes.unsafe_set t.words byte
+    (Char.chr (Char.code (Bytes.unsafe_get t.words byte) land lnot (1 lsl bit) land 0xff))
+
+let mem t i =
+  check t i;
+  let byte = i lsr 3 and bit = i land 7 in
+  Char.code (Bytes.unsafe_get t.words byte) land (1 lsl bit) <> 0
+
+let popcount_byte =
+  let table = Array.make 256 0 in
+  for i = 1 to 255 do
+    table.(i) <- table.(i lsr 1) + (i land 1)
+  done;
+  fun c -> table.(Char.code c)
+
+let cardinal t =
+  let total = ref 0 in
+  for i = 0 to Bytes.length t.words - 1 do
+    total := !total + popcount_byte (Bytes.unsafe_get t.words i)
+  done;
+  !total
+
+let is_empty t =
+  let rec scan i =
+    i >= Bytes.length t.words
+    || (Bytes.unsafe_get t.words i = '\000' && scan (i + 1))
+  in
+  scan 0
+
+let check_same a b =
+  if a.n <> b.n then invalid_arg "Bitset: capacity mismatch"
+
+let map2_into ~dst src f =
+  check_same dst src;
+  for i = 0 to Bytes.length dst.words - 1 do
+    let merged =
+      f (Char.code (Bytes.unsafe_get dst.words i)) (Char.code (Bytes.unsafe_get src.words i))
+    in
+    Bytes.unsafe_set dst.words i (Char.chr (merged land 0xff))
+  done
+
+let union_into ~dst src = map2_into ~dst src (fun a b -> a lor b)
+let inter_into ~dst src = map2_into ~dst src (fun a b -> a land b)
+let diff_into ~dst src = map2_into ~dst src (fun a b -> a land lnot b)
+
+let union a b =
+  let r = copy a in
+  union_into ~dst:r b;
+  r
+
+let inter a b =
+  let r = copy a in
+  inter_into ~dst:r b;
+  r
+
+let equal a b = a.n = b.n && Bytes.equal a.words b.words
+
+let subset a b =
+  check_same a b;
+  let rec scan i =
+    i >= Bytes.length a.words
+    ||
+    let wa = Char.code (Bytes.unsafe_get a.words i)
+    and wb = Char.code (Bytes.unsafe_get b.words i) in
+    wa land lnot wb = 0 && scan (i + 1)
+  in
+  scan 0
+
+let disjoint a b =
+  check_same a b;
+  let rec scan i =
+    i >= Bytes.length a.words
+    ||
+    let wa = Char.code (Bytes.unsafe_get a.words i)
+    and wb = Char.code (Bytes.unsafe_get b.words i) in
+    wa land wb = 0 && scan (i + 1)
+  in
+  scan 0
+
+let iter f t =
+  for i = 0 to t.n - 1 do
+    if mem t i then f i
+  done
+
+let fold f t init =
+  let acc = ref init in
+  iter (fun i -> acc := f i !acc) t;
+  !acc
+
+let elements t = List.rev (fold (fun i acc -> i :: acc) t [])
+
+let of_list n elems =
+  let t = create n in
+  List.iter (add t) elems;
+  t
+
+let to_raw_string t = Bytes.to_string t.words
+
+let pp ppf t =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+       Format.pp_print_int)
+    (elements t)

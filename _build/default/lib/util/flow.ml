@@ -1,0 +1,90 @@
+type t = {
+  n : int;
+  mutable heads : int array; (* vertex -> first arc index or -1 *)
+  mutable nexts : int array; (* arc -> next arc of same vertex *)
+  mutable dsts : int array; (* arc -> destination *)
+  mutable caps : int array; (* arc -> residual capacity *)
+  mutable n_arcs : int;
+}
+
+let create n =
+  {
+    n;
+    heads = Array.make n (-1);
+    nexts = [||];
+    dsts = [||];
+    caps = [||];
+    n_arcs = 0;
+  }
+
+let ensure_arc_room t =
+  if t.n_arcs + 2 > Array.length t.dsts then begin
+    let capacity = Stdlib.max 16 (2 * Array.length t.dsts) in
+    let grow a = Array.append a (Array.make (capacity - Array.length a) 0) in
+    t.nexts <- grow t.nexts;
+    t.dsts <- grow t.dsts;
+    t.caps <- grow t.caps
+  end
+
+let add_arc t src dst cap =
+  t.nexts.(t.n_arcs) <- t.heads.(src);
+  t.dsts.(t.n_arcs) <- dst;
+  t.caps.(t.n_arcs) <- cap;
+  t.heads.(src) <- t.n_arcs;
+  t.n_arcs <- t.n_arcs + 1
+
+let add_edge t ~src ~dst ~cap =
+  if src < 0 || src >= t.n || dst < 0 || dst >= t.n then
+    invalid_arg "Flow.add_edge: bad endpoint";
+  if cap < 0 then invalid_arg "Flow.add_edge: negative capacity";
+  ensure_arc_room t;
+  (* Paired arcs: arc k and k lxor 1 are each other's residual. *)
+  add_arc t src dst cap;
+  add_arc t dst src 0
+
+let max_flow t ~source ~sink =
+  let parent_arc = Array.make t.n (-1) in
+  let rec bfs_level queue =
+    match queue with
+    | [] -> false
+    | u :: rest ->
+        if u = sink then true
+        else begin
+          let additions = ref [] in
+          let arc = ref t.heads.(u) in
+          while !arc >= 0 do
+            let v = t.dsts.(!arc) in
+            if t.caps.(!arc) > 0 && parent_arc.(v) < 0 && v <> source then begin
+              parent_arc.(v) <- !arc;
+              additions := v :: !additions
+            end;
+            arc := t.nexts.(!arc)
+          done;
+          bfs_level (rest @ List.rev !additions)
+        end
+  in
+  let rec augment total =
+    Array.fill parent_arc 0 t.n (-1);
+    if not (bfs_level [ source ]) then total
+    else begin
+      (* Bottleneck along the parent chain. *)
+      let rec bottleneck v acc =
+        if v = source then acc
+        else
+          let arc = parent_arc.(v) in
+          bottleneck t.dsts.(arc lxor 1) (Stdlib.min acc t.caps.(arc))
+      in
+      let delta = bottleneck sink max_int in
+      let rec apply v =
+        if v <> source then begin
+          let arc = parent_arc.(v) in
+          t.caps.(arc) <- t.caps.(arc) - delta;
+          t.caps.(arc lxor 1) <- t.caps.(arc lxor 1) + delta;
+          apply t.dsts.(arc lxor 1)
+        end
+      in
+      apply sink;
+      augment (total + delta)
+    end
+  in
+  if source = sink then 0 else augment 0

@@ -1,0 +1,18 @@
+(** Integer maximum flow (Edmonds–Karp).
+
+    Small and exact; used by the share-graph analysis to decide whether a
+    process lies on a hoop (two vertex-disjoint paths to two distinct clique
+    vertices). *)
+
+type t
+
+val create : int -> t
+(** [create n] is an empty flow network on vertices [0 .. n-1]. *)
+
+val add_edge : t -> src:int -> dst:int -> cap:int -> unit
+(** Adds a directed edge; parallel edges accumulate.  A reverse residual
+    edge of capacity 0 is created automatically. *)
+
+val max_flow : t -> source:int -> sink:int -> int
+(** Value of a maximum [source]→[sink] flow.  Destructive: consumes the
+    capacities; build a fresh network per query. *)

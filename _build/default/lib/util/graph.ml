@@ -1,0 +1,146 @@
+type t = {
+  n : int;
+  adj : int list array; (* reversed insertion order *)
+  matrix : Bitset.t array; (* matrix.(u) = successor set of u *)
+}
+
+let create n =
+  {
+    n;
+    adj = Array.make n [];
+    matrix = Array.init n (fun _ -> Bitset.create n);
+  }
+
+let n_vertices t = t.n
+
+let mem_edge t u v = Bitset.mem t.matrix.(u) v
+
+let add_edge t u v =
+  if not (mem_edge t u v) then begin
+    Bitset.add t.matrix.(u) v;
+    t.adj.(u) <- v :: t.adj.(u)
+  end
+
+let succ t u = List.rev t.adj.(u)
+
+let edges t =
+  let acc = ref [] in
+  for u = t.n - 1 downto 0 do
+    List.iter (fun v -> acc := (u, v) :: !acc) t.adj.(u)
+  done;
+  List.sort compare !acc
+
+let n_edges t = Array.fold_left (fun acc l -> acc + List.length l) 0 t.adj
+
+let copy t =
+  { n = t.n; adj = Array.copy t.adj; matrix = Array.map Bitset.copy t.matrix }
+
+let union a b =
+  if a.n <> b.n then invalid_arg "Graph.union: size mismatch";
+  let r = copy a in
+  for u = 0 to b.n - 1 do
+    List.iter (fun v -> add_edge r u v) (succ b u)
+  done;
+  r
+
+let reachable_from t src =
+  let seen = Bitset.create t.n in
+  let rec visit u =
+    List.iter
+      (fun v ->
+        if not (Bitset.mem seen v) then begin
+          Bitset.add seen v;
+          visit v
+        end)
+      t.adj.(u)
+  in
+  visit src;
+  seen
+
+let transitive_closure t =
+  (* Propagate successor sets in reverse topological order when acyclic;
+     fall back to per-vertex DFS reachability otherwise.  Both are exact. *)
+  let r = create t.n in
+  for u = 0 to t.n - 1 do
+    let reach = reachable_from t u in
+    Bitset.iter
+      (fun v ->
+        Bitset.add r.matrix.(u) v;
+        r.adj.(u) <- v :: r.adj.(u))
+      reach
+  done;
+  r
+
+let has_path t u v = Bitset.mem (reachable_from t u) v
+
+let is_acyclic t =
+  let check u = not (Bitset.mem (reachable_from t u) u) in
+  let rec scan u = u >= t.n || (check u && scan (u + 1)) in
+  scan 0
+
+let topological_sort t =
+  let indegree = Array.make t.n 0 in
+  for u = 0 to t.n - 1 do
+    List.iter (fun v -> indegree.(v) <- indegree.(v) + 1) t.adj.(u)
+  done;
+  let ready = Pqueue.create ~cmp:compare () in
+  for u = 0 to t.n - 1 do
+    if indegree.(u) = 0 then Pqueue.push ready u ()
+  done;
+  let rec drain acc placed =
+    match Pqueue.pop ready with
+    | None -> if placed = t.n then Some (List.rev acc) else None
+    | Some (u, ()) ->
+        List.iter
+          (fun v ->
+            indegree.(v) <- indegree.(v) - 1;
+            if indegree.(v) = 0 then Pqueue.push ready v ())
+          t.adj.(u);
+        drain (u :: acc) (placed + 1)
+  in
+  drain [] 0
+
+let transitive_reduction_edges t =
+  if not (is_acyclic t) then invalid_arg "Graph.transitive_reduction_edges: cyclic";
+  let closure = transitive_closure t in
+  edges t
+  |> List.filter (fun (u, v) ->
+         (* (u,v) is redundant iff some other successor w of u reaches v. *)
+         not
+           (List.exists
+              (fun w -> w <> v && Bitset.mem closure.matrix.(w) v)
+              (succ t u)))
+
+let simple_paths ?(max_paths = 10_000) t ~src ~dst =
+  let found = ref [] in
+  let n_found = ref 0 in
+  let on_path = Bitset.create t.n in
+  let rec explore u prefix =
+    if !n_found < max_paths then begin
+      if u = dst && prefix <> [] then begin
+        found := List.rev (dst :: prefix) :: !found;
+        incr n_found
+      end
+      else begin
+        Bitset.add on_path u;
+        List.iter
+          (fun v ->
+            if v = dst || not (Bitset.mem on_path v) then explore v (u :: prefix))
+          (succ t u);
+        Bitset.remove on_path u
+      end
+    end
+  in
+  explore src [];
+  List.rev !found
+
+let add_undirected_edge t u v =
+  add_edge t u v;
+  add_edge t v u
+
+let components t =
+  let uf = Union_find.create t.n in
+  for u = 0 to t.n - 1 do
+    List.iter (fun v -> Union_find.union uf u v) t.adj.(u)
+  done;
+  Union_find.classes uf

@@ -1,0 +1,34 @@
+(** Binary-heap priority queue.
+
+    The discrete-event scheduler is built on this queue; priorities are
+    supplied with an explicit comparison so that composite keys (time,
+    tie-breaking sequence number) stay deterministic. *)
+
+type ('p, 'a) t
+(** Mutable min-queue holding elements of type ['a] keyed by priorities of
+    type ['p]. *)
+
+val create : cmp:('p -> 'p -> int) -> unit -> ('p, 'a) t
+(** [create ~cmp ()] is an empty queue ordered by [cmp] (smallest first). *)
+
+val length : ('p, 'a) t -> int
+
+val is_empty : ('p, 'a) t -> bool
+
+val push : ('p, 'a) t -> 'p -> 'a -> unit
+(** O(log n). *)
+
+val peek : ('p, 'a) t -> ('p * 'a) option
+(** Smallest binding, without removing it.  O(1). *)
+
+val pop : ('p, 'a) t -> ('p * 'a) option
+(** Remove and return the smallest binding.  O(log n). *)
+
+val pop_exn : ('p, 'a) t -> 'p * 'a
+(** @raise Invalid_argument on an empty queue. *)
+
+val clear : ('p, 'a) t -> unit
+
+val to_sorted_list : ('p, 'a) t -> ('p * 'a) list
+(** Drain a copy of the queue in priority order; the queue is unchanged.
+    O(n log n); intended for tests and debugging. *)

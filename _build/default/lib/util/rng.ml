@@ -1,0 +1,79 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let create seed = { state = mix64 (Int64.of_int seed) }
+
+let copy g = { state = g.state }
+
+let next_int64 g =
+  g.state <- Int64.add g.state golden_gamma;
+  mix64 g.state
+
+let split g =
+  let seed = next_int64 g in
+  { state = mix64 seed }
+
+let int g bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Rejection sampling to avoid modulo bias: retry when the draw falls in
+     the truncated top interval, detected by overflow of r - v + (bound-1). *)
+  let bound64 = Int64.of_int bound in
+  let rec draw () =
+    let r = Int64.shift_right_logical (next_int64 g) 1 in
+    let v = Int64.rem r bound64 in
+    if Int64.compare (Int64.add (Int64.sub r v) (Int64.sub bound64 1L)) 0L < 0
+    then draw ()
+    else Int64.to_int v
+  in
+  draw ()
+
+let int_in g lo hi =
+  if hi < lo then invalid_arg "Rng.int_in: empty range";
+  lo + int g (hi - lo + 1)
+
+let float g bound =
+  let r = Int64.shift_right_logical (next_int64 g) 11 in
+  Int64.to_float r *. (1.0 /. 9007199254740992.0) *. bound
+
+let bool g = Int64.compare (Int64.logand (next_int64 g) 1L) 0L <> 0
+
+let coin g p = float g 1.0 < p
+
+let exponential g mean =
+  let u = float g 1.0 in
+  let u = if u <= 0.0 then epsilon_float else u in
+  -.mean *. log u
+
+let pick g a =
+  if Array.length a = 0 then invalid_arg "Rng.pick: empty array";
+  a.(int g (Array.length a))
+
+let pick_list g l =
+  match l with
+  | [] -> invalid_arg "Rng.pick_list: empty list"
+  | _ -> List.nth l (int g (List.length l))
+
+let shuffle g a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int g (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let sample_without_replacement g k n =
+  if k < 0 || k > n then invalid_arg "Rng.sample_without_replacement";
+  (* Selection sampling (Knuth algorithm S): O(n), increasing output. *)
+  let rec loop i remaining acc =
+    if remaining = 0 then List.rev acc
+    else if n - i <= remaining then loop (i + 1) (remaining - 1) (i :: acc)
+    else if int g (n - i) < remaining then loop (i + 1) (remaining - 1) (i :: acc)
+    else loop (i + 1) remaining acc
+  in
+  loop 0 k []

@@ -1,0 +1,100 @@
+type t = {
+  mutable n : int;
+  mutable mean : float;
+  mutable m2 : float;
+  mutable sum : float;
+  mutable minimum : float;
+  mutable maximum : float;
+  mutable samples : float array;
+  mutable filled : int;
+  mutable sorted : bool;
+}
+
+let create () =
+  {
+    n = 0;
+    mean = 0.0;
+    m2 = 0.0;
+    sum = 0.0;
+    minimum = infinity;
+    maximum = neg_infinity;
+    samples = [||];
+    filled = 0;
+    sorted = true;
+  }
+
+let add t x =
+  t.n <- t.n + 1;
+  t.sum <- t.sum +. x;
+  let delta = x -. t.mean in
+  t.mean <- t.mean +. (delta /. float_of_int t.n);
+  t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+  if x < t.minimum then t.minimum <- x;
+  if x > t.maximum then t.maximum <- x;
+  if t.filled = Array.length t.samples then begin
+    let capacity = Stdlib.max 16 (2 * Array.length t.samples) in
+    let samples = Array.make capacity 0.0 in
+    Array.blit t.samples 0 samples 0 t.filled;
+    t.samples <- samples
+  end;
+  t.samples.(t.filled) <- x;
+  t.filled <- t.filled + 1;
+  t.sorted <- false
+
+let add_int t x = add t (float_of_int x)
+
+let count t = t.n
+
+let total t = t.sum
+
+let mean t = if t.n = 0 then 0.0 else t.mean
+
+let variance t = if t.n < 2 then 0.0 else t.m2 /. float_of_int (t.n - 1)
+
+let stddev t = sqrt (variance t)
+
+let min t =
+  if t.n = 0 then invalid_arg "Stats.min: empty accumulator";
+  t.minimum
+
+let max t =
+  if t.n = 0 then invalid_arg "Stats.max: empty accumulator";
+  t.maximum
+
+let ensure_sorted t =
+  if not t.sorted then begin
+    let live = Array.sub t.samples 0 t.filled in
+    Array.sort compare live;
+    Array.blit live 0 t.samples 0 t.filled;
+    t.sorted <- true
+  end
+
+let percentile t p =
+  if t.n = 0 then invalid_arg "Stats.percentile: empty accumulator";
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
+  ensure_sorted t;
+  let rank = p /. 100.0 *. float_of_int (t.filled - 1) in
+  let lo = int_of_float (Float.floor rank) in
+  let hi = int_of_float (Float.ceil rank) in
+  if lo = hi then t.samples.(lo)
+  else begin
+    let w = rank -. float_of_int lo in
+    (t.samples.(lo) *. (1.0 -. w)) +. (t.samples.(hi) *. w)
+  end
+
+let merge a b =
+  let t = create () in
+  for i = 0 to a.filled - 1 do
+    add t a.samples.(i)
+  done;
+  for i = 0 to b.filled - 1 do
+    add t b.samples.(i)
+  done;
+  t
+
+let pp_summary ppf t =
+  if t.n = 0 then Format.fprintf ppf "n=0"
+  else
+    Format.fprintf ppf "n=%d mean=%.3f sd=%.3f min=%.3f p50=%.3f p99=%.3f max=%.3f"
+      t.n (mean t) (stddev t) t.minimum (percentile t 50.0) (percentile t 99.0)
+      t.maximum

@@ -1,0 +1,40 @@
+(** Streaming and batch statistics for experiment reporting. *)
+
+type t
+(** A mutable accumulator of float observations (Welford's algorithm for
+    mean/variance, exact min/max, plus a retained sample for percentiles). *)
+
+val create : unit -> t
+
+val add : t -> float -> unit
+
+val add_int : t -> int -> unit
+
+val count : t -> int
+
+val total : t -> float
+
+val mean : t -> float
+(** 0 when empty. *)
+
+val variance : t -> float
+(** Unbiased sample variance; 0 when fewer than two observations. *)
+
+val stddev : t -> float
+
+val min : t -> float
+(** @raise Invalid_argument when empty. *)
+
+val max : t -> float
+(** @raise Invalid_argument when empty. *)
+
+val percentile : t -> float -> float
+(** [percentile t p] with [p] in [\[0,100\]], linear interpolation between
+    order statistics.  @raise Invalid_argument when empty or [p] is out of
+    range. *)
+
+val merge : t -> t -> t
+(** Combine two accumulators (observations of both). *)
+
+val pp_summary : Format.formatter -> t -> unit
+(** One-line [n/mean/σ/min/p50/p99/max] summary. *)

@@ -1,0 +1,68 @@
+type align = Left | Right
+
+let pad align width s =
+  let gap = width - String.length s in
+  if gap <= 0 then s
+  else
+    match align with
+    | Left -> s ^ String.make gap ' '
+    | Right -> String.make gap ' ' ^ s
+
+let render ?(aligns = []) ~header ~rows () =
+  let n_cols =
+    List.fold_left
+      (fun acc row -> Stdlib.max acc (List.length row))
+      (List.length header) rows
+  in
+  let normalize row =
+    let len = List.length row in
+    if len >= n_cols then row else row @ List.init (n_cols - len) (fun _ -> "")
+  in
+  let header = normalize header in
+  let rows = List.map normalize rows in
+  let widths = Array.make n_cols 0 in
+  let measure row =
+    List.iteri (fun i cell -> widths.(i) <- Stdlib.max widths.(i) (String.length cell)) row
+  in
+  measure header;
+  List.iter measure rows;
+  let align_of i = match List.nth_opt aligns i with Some a -> a | None -> Left in
+  let rstrip s =
+    let n = ref (String.length s) in
+    while !n > 0 && s.[!n - 1] = ' ' do
+      decr n
+    done;
+    String.sub s 0 !n
+  in
+  let render_row row =
+    row
+    |> List.mapi (fun i cell -> pad (align_of i) widths.(i) cell)
+    |> String.concat "  " |> rstrip
+  in
+  let rule =
+    Array.to_list widths |> List.map (fun w -> String.make w '-') |> String.concat "  "
+  in
+  let buffer = Buffer.create 256 in
+  Buffer.add_string buffer (render_row header);
+  Buffer.add_char buffer '\n';
+  Buffer.add_string buffer rule;
+  Buffer.add_char buffer '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string buffer (render_row row);
+      Buffer.add_char buffer '\n')
+    rows;
+  Buffer.contents buffer
+
+let print ?aligns ~header ~rows () = print_string (render ?aligns ~header ~rows ())
+
+let fmt_float ?(decimals = 2) f = Printf.sprintf "%.*f" decimals f
+
+let fmt_ratio a b = if b = 0.0 then "inf" else Printf.sprintf "%.2fx" (a /. b)
+
+let fmt_bytes n =
+  let f = float_of_int n in
+  if n < 1024 then Printf.sprintf "%d B" n
+  else if n < 1024 * 1024 then Printf.sprintf "%.1f KiB" (f /. 1024.0)
+  else if n < 1024 * 1024 * 1024 then Printf.sprintf "%.1f MiB" (f /. (1024.0 *. 1024.0))
+  else Printf.sprintf "%.1f GiB" (f /. (1024.0 *. 1024.0 *. 1024.0))

@@ -1,0 +1,28 @@
+(** Plain-text table rendering for benchmark and experiment reports. *)
+
+type align = Left | Right
+
+val render :
+  ?aligns:align list ->
+  header:string list ->
+  rows:string list list ->
+  unit ->
+  string
+(** [render ~header ~rows ()] lays the table out with a column per header
+    entry, padded so that columns line up, with a separator rule under the
+    header.  Ragged rows are padded with empty cells.  [aligns] defaults to
+    [Left] for every column. *)
+
+val print :
+  ?aligns:align list -> header:string list -> rows:string list list -> unit -> unit
+(** [render] followed by [print_string]. *)
+
+val fmt_float : ?decimals:int -> float -> string
+(** Fixed-point rendering, default 2 decimals. *)
+
+val fmt_ratio : float -> float -> string
+(** [fmt_ratio a b] renders [a /. b] as e.g. ["3.42x"]; ["inf"] when [b] is
+    zero. *)
+
+val fmt_bytes : int -> string
+(** Human-readable byte count: ["512 B"], ["4.0 KiB"], ["3.2 MiB"]. *)

@@ -1,0 +1,42 @@
+type t = { parent : int array; rank : int array; mutable count : int }
+
+let create n = { parent = Array.init n (fun i -> i); rank = Array.make n 0; count = n }
+
+let rec find t i =
+  let p = t.parent.(i) in
+  if p = i then i
+  else begin
+    let root = find t p in
+    t.parent.(i) <- root;
+    root
+  end
+
+let union t a b =
+  let ra = find t a and rb = find t b in
+  if ra <> rb then begin
+    t.count <- t.count - 1;
+    if t.rank.(ra) < t.rank.(rb) then t.parent.(ra) <- rb
+    else if t.rank.(ra) > t.rank.(rb) then t.parent.(rb) <- ra
+    else begin
+      t.parent.(rb) <- ra;
+      t.rank.(ra) <- t.rank.(ra) + 1
+    end
+  end
+
+let same t a b = find t a = find t b
+
+let n_classes t = t.count
+
+let classes t =
+  let n = Array.length t.parent in
+  let table = Hashtbl.create 16 in
+  for i = n - 1 downto 0 do
+    let root = find t i in
+    let existing = try Hashtbl.find table root with Not_found -> [] in
+    Hashtbl.replace table root (i :: existing)
+  done;
+  Hashtbl.fold (fun _ members acc -> members :: acc) table []
+  |> List.sort (fun a b ->
+         match (a, b) with
+         | x :: _, y :: _ -> compare x y
+         | _ -> 0)

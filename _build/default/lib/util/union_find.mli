@@ -1,0 +1,22 @@
+(** Disjoint-set forest with union by rank and path compression.
+
+    Used to compute connected components of share graphs. *)
+
+type t
+
+val create : int -> t
+(** [create n] has [n] singleton classes [0 .. n-1]. *)
+
+val find : t -> int -> int
+(** Canonical representative. *)
+
+val union : t -> int -> int -> unit
+(** Merge the classes of the two elements. *)
+
+val same : t -> int -> int -> bool
+
+val n_classes : t -> int
+
+val classes : t -> int list list
+(** The partition, each class sorted increasingly, classes sorted by their
+    smallest element. *)

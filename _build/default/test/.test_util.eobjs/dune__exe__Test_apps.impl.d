@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Array Float Fun List Printf QCheck QCheck_alcotest Repro_apps Repro_core Repro_history Repro_msgpass Repro_sharegraph Repro_util

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Fun List Option Printf QCheck QCheck_alcotest Repro_core Repro_experiments Repro_history Repro_msgpass Repro_sharegraph Repro_util Result String

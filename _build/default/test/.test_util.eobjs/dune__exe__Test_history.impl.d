@@ -1,0 +1,1 @@
+test/test_history.ml: Alcotest Array Fun List Option Printf QCheck QCheck_alcotest Repro_history Repro_util Result String

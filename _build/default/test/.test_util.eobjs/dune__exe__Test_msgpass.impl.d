@@ -1,0 +1,1 @@
+test/test_msgpass.ml: Alcotest Fun List Printf QCheck QCheck_alcotest Repro_msgpass Repro_util String

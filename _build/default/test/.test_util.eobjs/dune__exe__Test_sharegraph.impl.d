@@ -1,0 +1,1 @@
+test/test_sharegraph.ml: Alcotest Array Fun List Printf QCheck QCheck_alcotest Repro_history Repro_sharegraph Repro_util Result

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Fun Int Int64 List QCheck QCheck_alcotest Repro_util Set String

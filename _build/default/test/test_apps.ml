@@ -1,0 +1,517 @@
+(* Tests for Repro_apps: the Bellman-Ford case study (paper §6, Figs 7-9),
+   matrix product, LCS pipeline, and the asynchronous Jacobi fixpoint. *)
+
+module Wgraph = Repro_apps.Wgraph
+module Bellman_ford = Repro_apps.Bellman_ford
+module Matrix = Repro_apps.Matrix
+module Lcs = Repro_apps.Lcs
+module Jacobi = Repro_apps.Jacobi
+module Memory = Repro_core.Memory
+module Runner = Repro_core.Runner
+module Registry = Repro_core.Registry
+module Pram_partial = Repro_core.Pram_partial
+module Slow_partial = Repro_core.Slow_partial
+module Causal_partial = Repro_core.Causal_partial
+module Distribution = Repro_sharegraph.Distribution
+module Share_graph = Repro_sharegraph.Share_graph
+module History = Repro_history.History
+module Op = Repro_history.Op
+module Rng = Repro_util.Rng
+
+let check = Alcotest.check
+let qcheck = QCheck_alcotest.to_alcotest
+
+(* --- wgraph ----------------------------------------------------------------- *)
+
+let test_wgraph_basics () =
+  let g = Wgraph.fig8 in
+  check Alcotest.int "nodes" 5 (Wgraph.n_nodes g);
+  check Alcotest.(list int) "preds of 1 (paper node 2)" [ 0; 2 ] (Wgraph.predecessors g 1);
+  check Alcotest.(list int) "preds of 4 (paper node 5)" [ 2; 3 ] (Wgraph.predecessors g 4);
+  check Alcotest.(option int) "w(0,1)" (Some 4) (Wgraph.weight g ~src:0 ~dst:1);
+  check Alcotest.(option int) "absent edge" None (Wgraph.weight g ~src:4 ~dst:0);
+  check Alcotest.(list int) "succ of 2" [ 1; 3; 4 ] (Wgraph.successors g 2)
+
+let test_wgraph_validation () =
+  Alcotest.check_raises "negative weight" (Invalid_argument "Wgraph.make: negative weight")
+    (fun () -> ignore (Wgraph.make ~n:2 ~edges:[ (0, 1, -3) ]));
+  Alcotest.check_raises "duplicate" (Invalid_argument "Wgraph.make: duplicate edge")
+    (fun () -> ignore (Wgraph.make ~n:2 ~edges:[ (0, 1, 1); (0, 1, 2) ]))
+
+let test_fig8_reference_distances () =
+  check Alcotest.(array int) "paper distances" [| 0; 2; 1; 3; 4 |]
+    (Wgraph.reference_distances Wgraph.fig8 ~source:0)
+
+let test_wgraph_random_reachable =
+  qcheck
+    (QCheck.Test.make ~name:"random_graphs_reach_all_nodes" ~count:100
+       QCheck.(pair small_int (int_range 2 12))
+       (fun (seed, n) ->
+         let g = Wgraph.random (Rng.create seed) ~n ~extra_edges:n ~max_weight:9 in
+         let d = Wgraph.reference_distances g ~source:0 in
+         Array.for_all (fun v -> v < Wgraph.infinity_cost) d))
+
+(* --- Bellman-Ford (F7/F8/E2) -------------------------------------------------- *)
+
+let test_fig8_variable_distribution () =
+  (* The distribution printed in §6.1 (paper numbering 1-5 -> 0-4):
+     X_1 = {x1,k1}, X_2 = {x1,x2,x3,k1,k2,k3}, X_3 = {x1,x2,x3,k1,k2,k3},
+     X_4 = {x2,x3,x4,k2,k3,k4}, X_5 = {x3,x4,x5,k3,k4,k5}. *)
+  let g = Wgraph.fig8 in
+  let d = Bellman_ford.variable_distribution g in
+  let xk l = List.sort compare (List.concat_map (fun h -> [ h; 5 + h ]) l) in
+  check Alcotest.(list int) "X_1" (xk [ 0 ]) (Distribution.vars_of d 0);
+  check Alcotest.(list int) "X_2" (xk [ 0; 1; 2 ]) (Distribution.vars_of d 1);
+  check Alcotest.(list int) "X_3" (xk [ 0; 1; 2 ]) (Distribution.vars_of d 2);
+  check Alcotest.(list int) "X_4" (xk [ 1; 2; 3 ]) (Distribution.vars_of d 3);
+  check Alcotest.(list int) "X_5" (xk [ 2; 3; 4 ]) (Distribution.vars_of d 4)
+
+let test_fig8_bellman_ford_on_pram () =
+  let result = Bellman_ford.run Wgraph.fig8 ~source:0 in
+  check Alcotest.(array int) "distances" [| 0; 2; 1; 3; 4 |] result.Bellman_ford.distances;
+  check Alcotest.int "rounds = N" 5 result.Bellman_ford.rounds
+
+let test_bf_random_graphs_pram =
+  qcheck
+    (QCheck.Test.make ~name:"bellman_ford_matches_reference_on_pram" ~count:30
+       QCheck.(pair small_int (int_range 2 8))
+       (fun (seed, n) ->
+         let g = Wgraph.random (Rng.create seed) ~n ~extra_edges:n ~max_weight:9 in
+         let result = Bellman_ford.run ~seed:(seed + 1) g ~source:0 in
+         result.Bellman_ford.distances = Wgraph.reference_distances g ~source:0))
+
+let test_bf_on_every_nonblocking_protocol () =
+  (* E2 on each protocol at least as strong as PRAM; slow is excluded
+     (only upper bounds, tested below). *)
+  List.iter
+    (fun spec ->
+      if
+        (not spec.Registry.requires_full_replication)
+        && (not spec.Registry.blocking)
+        && spec.Registry.name <> "slow-partial"
+      then begin
+        let make ~dist ~seed = spec.Registry.make ~dist ~seed () in
+        let result = Bellman_ford.run ~make ~seed:3 Wgraph.fig8 ~source:0 in
+        check Alcotest.(array int)
+          (Printf.sprintf "distances on %s" spec.Registry.name)
+          [| 0; 2; 1; 3; 4 |] result.Bellman_ford.distances
+      end)
+    Registry.all
+
+let test_bf_on_slow_memory_upper_bound =
+  (* On slow memory the barrier can admit stale x values: the result is
+     still an upper bound on the true distances (values only shrink). *)
+  qcheck
+    (QCheck.Test.make ~name:"bellman_ford_on_slow_is_upper_bound" ~count:20
+       QCheck.small_int (fun seed ->
+         let g = Wgraph.random (Rng.create seed) ~n:6 ~extra_edges:6 ~max_weight:9 in
+         let make ~dist ~seed = Slow_partial.create ~dist ~seed () in
+         let result = Bellman_ford.run ~make ~seed:(seed + 1) g ~source:0 in
+         let reference = Wgraph.reference_distances g ~source:0 in
+         Array.for_all2 (fun got want -> got >= want) result.Bellman_ford.distances reference))
+
+let test_bf_deadlock_freedom () =
+  (* §6.1: mutually-predecessor processes cannot block each other.  A
+     2-cycle (plus source) is the tightest case. *)
+  let g = Wgraph.make ~n:3 ~edges:[ (0, 1, 1); (1, 2, 1); (2, 1, 1); (0, 2, 5) ] in
+  let result = Bellman_ford.run g ~source:0 in
+  check Alcotest.(array int) "terminates with exact distances" [| 0; 1; 2 |]
+    result.Bellman_ford.distances
+
+let test_bf_source_not_zero () =
+  let g = Wgraph.fig8 in
+  let result = Bellman_ford.run g ~source:2 in
+  check Alcotest.(array int) "source 2" (Wgraph.reference_distances g ~source:2)
+    result.Bellman_ford.distances
+
+let test_bf_unreachable_nodes () =
+  let g = Wgraph.make ~n:3 ~edges:[ (0, 1, 2) ] in
+  let result = Bellman_ford.run g ~source:0 in
+  check Alcotest.int "reachable" 2 result.Bellman_ford.distances.(1);
+  check Alcotest.bool "unreachable stays infinite" true
+    (result.Bellman_ford.distances.(2) >= Wgraph.infinity_cost)
+
+let test_bf_bad_source () =
+  Alcotest.check_raises "bad source" (Invalid_argument "Bellman_ford.run: bad source")
+    (fun () -> ignore (Bellman_ford.run Wgraph.fig8 ~source:9))
+
+(* F9: the per-step operation pattern.  Each process's recorded history
+   must be: w(k)0, w(x)init, then per round: reads of predecessors' x,
+   w(x), w(k). *)
+let test_fig9_step_pattern () =
+  let g = Wgraph.fig8 in
+  let result = Bellman_ford.run g ~source:0 in
+  let h = result.Bellman_ford.history in
+  let n = Wgraph.n_nodes g in
+  for i = 0 to n - 1 do
+    let ops = History.local h i in
+    let preds = Wgraph.predecessors g i in
+    let expected_len = 2 + (n * (List.length preds + 2)) in
+    check Alcotest.int (Printf.sprintf "p%d op count" i) expected_len (Array.length ops);
+    (* prefix: x initialization, then the k counter (see the .ml for why
+       this order, not the paper's, is the PRAM-safe one) *)
+    check Alcotest.bool "x init first" true
+      (ops.(0).Op.kind = Op.Write && ops.(0).Op.var = Bellman_ford.x_var i);
+    check Alcotest.bool "k init second" true
+      (ops.(1).Op.kind = Op.Write && ops.(1).Op.var = Bellman_ford.k_var g i);
+    (* rounds *)
+    let stride = List.length preds + 2 in
+    for round = 0 to n - 1 do
+      let base = 2 + (round * stride) in
+      List.iteri
+        (fun idx j ->
+          let o = ops.(base + idx) in
+          check Alcotest.bool
+            (Printf.sprintf "p%d round %d reads x_%d" i round j)
+            true
+            (o.Op.kind = Op.Read && o.Op.var = Bellman_ford.x_var j))
+        preds;
+      let wx = ops.(base + List.length preds) in
+      check Alcotest.bool "x write" true
+        (wx.Op.kind = Op.Write && wx.Op.var = Bellman_ford.x_var i);
+      let wk = ops.(base + List.length preds + 1) in
+      check Alcotest.bool "k write" true
+        (wk.Op.kind = Op.Write
+        && wk.Op.var = Bellman_ford.k_var g i
+        && wk.Op.value = Op.Val (round + 1))
+    done
+  done
+
+(* §6.1's "reads the new values written by his predecessors": in round k
+   each process must read x values at least as fresh as the predecessor's
+   round-(k-1) write — equivalently, the read value never exceeds the
+   predecessor's round-(k-1) value. *)
+let test_fig9_barrier_freshness () =
+  let g = Wgraph.fig8 in
+  let result = Bellman_ford.run g ~source:0 in
+  let h = result.Bellman_ford.history in
+  (* collect each process's successive x writes *)
+  let n = Wgraph.n_nodes g in
+  let x_writes =
+    Array.init n (fun i ->
+        History.local h i |> Array.to_list
+        |> List.filter_map (fun (o : Op.t) ->
+               if o.Op.kind = Op.Write && o.Op.var = Bellman_ford.x_var i then
+                 Some (match o.Op.value with Op.Val v -> v | Op.Init -> assert false)
+               else None)
+        |> Array.of_list)
+  in
+  Array.iteri
+    (fun i _ ->
+      let preds = Wgraph.predecessors g i in
+      (* -1 because the initialization write k_i := 0 also bumps this *)
+      let round = ref (-1) in
+      Array.iter
+        (fun (o : Op.t) ->
+          (match (o.Op.kind, List.mem o.Op.var (List.map Bellman_ford.x_var preds)) with
+          | Op.Read, true ->
+              let j = o.Op.var in
+              let got = match o.Op.value with Op.Val v -> v | Op.Init -> max_int in
+              (* predecessor value after its round !round (index !round
+                 among its writes, 0 = initialization write) *)
+              let fresh_enough = x_writes.(j).(!round) in
+              if got > fresh_enough then
+                Alcotest.failf "p%d round %d read x_%d=%d, staler than %d" i !round j
+                  got fresh_enough
+          | Op.Write, _ when o.Op.var = Bellman_ford.k_var g i -> incr round
+          | _ -> ()))
+        (History.local h i))
+    x_writes
+  |> ignore
+
+(* --- matrix product ------------------------------------------------------------ *)
+
+let test_matrix_reference () =
+  let a = [| [| 1; 2 |]; [| 3; 4 |] |] in
+  let b = [| [| 5; 6 |]; [| 7; 8 |] |] in
+  check
+    Alcotest.(array (array int))
+    "2x2" [| [| 19; 22 |]; [| 43; 50 |] |] (Matrix.reference a b)
+
+let test_matrix_on_pram () =
+  let a = [| [| 1; 2; 3 |]; [| 4; 5; 6 |] |] in
+  let b = [| [| 7; 8 |]; [| 9; 10 |]; [| 11; 12 |] |] in
+  let result = Matrix.run ~a ~b () in
+  check
+    Alcotest.(array (array int))
+    "product" (Matrix.reference a b) result.Matrix.product
+
+let test_matrix_random =
+  qcheck
+    (QCheck.Test.make ~name:"matrix_product_matches_reference" ~count:20
+       QCheck.(pair small_int (triple (int_range 1 4) (int_range 1 4) (int_range 1 4)))
+       (fun (seed, (p, q, r)) ->
+         let rng = Rng.create seed in
+         let mk rows cols = Array.init rows (fun _ -> Array.init cols (fun _ -> Rng.int_in rng (-9) 9)) in
+         let a = mk p q and b = mk q r in
+         let result = Matrix.run ~seed:(seed + 1) ~a ~b () in
+         result.Matrix.product = Matrix.reference a b))
+
+let test_matrix_dimension_mismatch () =
+  Alcotest.check_raises "mismatch" (Invalid_argument "Matrix.run: dimension mismatch")
+    (fun () -> ignore (Matrix.run ~a:[| [| 1 |] |] ~b:[| [| 1 |]; [| 2 |] |] ()))
+
+let test_matrix_share_graph_shape () =
+  (* worker cliques share B and the flags through the source: the source
+     is in every clique, workers only in their rows' *)
+  let d = Matrix.distribution_for ~p:3 ~q:2 ~r:2 in
+  check Alcotest.int "procs" 4 (Distribution.n_procs d);
+  (* A(1,0) has id 1*2+0 = 2; held by source and worker 1 (process 2) *)
+  check Alcotest.(list int) "A(1,0) clique" [ 0; 2 ] (Distribution.holders d 2)
+
+(* --- LCS ------------------------------------------------------------------------ *)
+
+let test_lcs_empty_first_string () =
+  Alcotest.check_raises "empty" (Invalid_argument "Lcs.run: empty first string")
+    (fun () -> ignore (Lcs.run "" "AB"))
+
+let test_lcs_reference () =
+  check Alcotest.int "classic" 4 (Lcs.reference "ABCBDAB" "BDCABA");
+  check Alcotest.int "disjoint" 0 (Lcs.reference "AAA" "BBB");
+  check Alcotest.int "identical" 5 (Lcs.reference "HELLO" "HELLO")
+
+let test_lcs_on_pram () =
+  let result = Lcs.run "ABCBDAB" "BDCABA" in
+  check Alcotest.int "length" 4 result.Lcs.length;
+  check Alcotest.int "table corner" 0 result.Lcs.table.(0).(0)
+
+let test_lcs_random =
+  qcheck
+    (QCheck.Test.make ~name:"lcs_pipeline_matches_reference" ~count:20
+       (let letters lo =
+          QCheck.string_gen_of_size (QCheck.Gen.int_range lo 6)
+            (QCheck.Gen.char_range 'A' 'D')
+        in
+        QCheck.(pair small_int (pair (letters 1) (letters 0))))
+       (fun (seed, (s1, s2)) ->
+         let result = Lcs.run ~seed:(seed + 1) s1 s2 in
+         result.Lcs.length = Lcs.reference s1 s2))
+
+let test_lcs_chain_share_graph () =
+  (* the LCS distribution is a chain: no external x-relevance anywhere *)
+  let d = Lcs.distribution_for ~rows:5 ~cols:4 in
+  let sg = Share_graph.of_distribution d in
+  check Alcotest.bool "no external relevance" true (Share_graph.no_external_relevance sg)
+
+(* --- NTT (FFT over a prime field) -------------------------------------------------- *)
+
+module Ntt = Repro_apps.Ntt
+
+let test_ntt_reference_basics () =
+  (* DFT of a delta at 0 is the all-ones vector *)
+  check Alcotest.(array int) "delta" [| 1; 1; 1; 1 |] (Ntt.reference [| 1; 0; 0; 0 |]);
+  (* DFT of the constant-1 vector is n at frequency 0 *)
+  check Alcotest.(array int) "constant" [| 4; 0; 0; 0 |] (Ntt.reference [| 1; 1; 1; 1 |])
+
+let test_ntt_on_pram () =
+  let input = [| 5; 1; 4; 1; 5; 9; 2; 6 |] in
+  let result = Ntt.run input in
+  check Alcotest.(array int) "matches naive DFT" (Ntt.reference input)
+    result.Ntt.transform;
+  check Alcotest.int "stages" 3 result.Ntt.stages
+
+let test_ntt_random =
+  qcheck
+    (QCheck.Test.make ~name:"ntt_matches_reference" ~count:25
+       QCheck.(pair small_int (int_range 1 4))
+       (fun (seed, bits) ->
+         let n = 1 lsl bits in
+         let rng = Rng.create seed in
+         let input = Array.init n (fun _ -> Rng.int rng 1000) in
+         (Ntt.run ~seed:(seed + 1) input).Ntt.transform = Ntt.reference input))
+
+let test_ntt_inverse_roundtrip =
+  qcheck
+    (QCheck.Test.make ~name:"ntt_inverse_roundtrips" ~count:20
+       QCheck.(pair small_int (int_range 1 3))
+       (fun (seed, bits) ->
+         let n = 1 lsl bits in
+         let rng = Rng.create seed in
+         let input = Array.init n (fun _ -> Rng.int rng 1000) in
+         let forward = (Ntt.run ~seed:(seed + 1) input).Ntt.transform in
+         let back = (Ntt.run ~seed:(seed + 2) ~inverse:true forward).Ntt.transform in
+         back = input))
+
+let test_ntt_convolution =
+  qcheck
+    (QCheck.Test.make ~name:"ntt_convolution_theorem" ~count:15
+       QCheck.small_int (fun seed ->
+         let n = 8 in
+         let rng = Rng.create seed in
+         let a = Array.init n (fun _ -> Rng.int rng 100) in
+         let b = Array.init n (fun _ -> Rng.int rng 100) in
+         Ntt.convolve ~seed:(seed + 1) a b = Ntt.reference_convolution a b))
+
+let test_ntt_validation () =
+  Alcotest.check_raises "not a power of two"
+    (Invalid_argument "Ntt.run: length not a power of two") (fun () ->
+      ignore (Ntt.run [| 1; 2; 3 |]))
+
+let test_ntt_share_graph_is_hypercube () =
+  let d = Ntt.distribution_for ~n:8 in
+  let sg = Share_graph.of_distribution d in
+  (* slot variables link butterfly partners (Hamming distance 1); counter
+     variables additionally link partners-of-partners (distance 2).  The
+     antipode (distance 3) is never shared with. *)
+  check Alcotest.(list int) "p0 neighbours" [ 1; 2; 3; 4; 5; 6 ]
+    (Share_graph.neighbours sg 0);
+  check Alcotest.(list int) "p0-p7 not adjacent" []
+    (Share_graph.edge_label sg 0 7);
+  (* each stage-value variable is shared by exactly its two butterfly
+     partners: slot(1, 0) = 8 is held by 0 and its stage-2 partner 2 *)
+  check Alcotest.(list int) "slot clique" [ 0; 2 ] (Distribution.holders d 8)
+
+(* --- Peterson's lock (negative app) ------------------------------------------------ *)
+
+module Peterson = Repro_apps.Peterson
+module Seq_sequencer = Repro_core.Seq_sequencer
+module Atomic_primary = Repro_core.Atomic_primary
+
+let test_peterson_safe_on_sequential =
+  qcheck
+    (QCheck.Test.make ~name:"peterson_safe_on_sequentially_consistent_memory"
+       ~count:15 QCheck.small_int (fun seed ->
+         let make ~dist ~seed = Seq_sequencer.create ~dist ~seed () in
+         let r = Peterson.run ~make ~seed ~rounds:4 () in
+         r.Peterson.violations = 0 && not r.Peterson.deadlocked))
+
+let test_peterson_safe_on_atomic =
+  qcheck
+    (QCheck.Test.make ~name:"peterson_safe_on_atomic_memory" ~count:15
+       QCheck.small_int (fun seed ->
+         let make ~dist ~seed = Atomic_primary.create ~dist ~seed () in
+         let r = Peterson.run ~make ~seed ~rounds:4 () in
+         r.Peterson.violations = 0 && not r.Peterson.deadlocked))
+
+let test_peterson_breaks_on_pram () =
+  (* some seed produces overlapping critical sections (or a deadlock —
+     also a failure of the algorithm's assumptions) on PRAM memory *)
+  let make ~dist ~seed =
+    Pram_partial.create ~latency:(Repro_msgpass.Latency.uniform ~lo:1 ~hi:15) ~dist
+      ~seed ()
+  in
+  let broken seed =
+    let r = Peterson.run ~make ~seed ~rounds:5 () in
+    r.Peterson.violations > 0 || r.Peterson.deadlocked
+  in
+  check Alcotest.bool "mutual exclusion violated on PRAM" true
+    (List.exists broken (List.init 30 Fun.id))
+
+let test_peterson_sections_recorded () =
+  let make ~dist ~seed = Seq_sequencer.create ~dist ~seed () in
+  let r = Peterson.run ~make ~seed:3 ~rounds:3 () in
+  check Alcotest.int "all sections completed" 6 (List.length r.Peterson.sections);
+  (* intervals are well-formed *)
+  List.iter
+    (fun (_, enter, exit) ->
+      check Alcotest.bool "enter < exit" true (enter < exit))
+    r.Peterson.sections
+
+(* --- Jacobi ---------------------------------------------------------------------- *)
+
+let test_jacobi_reference_is_fixpoint () =
+  let problem = Jacobi.random_contraction (Rng.create 7) ~n:4 in
+  let x = Jacobi.reference_solution problem in
+  (* verify x ≈ A x + b componentwise *)
+  let x' =
+    Array.init 4 (fun i ->
+        let acc = ref problem.Jacobi.b.(i) in
+        for j = 0 to 3 do
+          acc := !acc +. (problem.Jacobi.a.(i).(j) *. x.(j))
+        done;
+        !acc)
+  in
+  Array.iteri
+    (fun i v ->
+      if Float.abs (v -. x.(i)) > 1e-6 then Alcotest.failf "component %d not fixed" i)
+    x'
+
+let test_jacobi_converges_on_slow =
+  qcheck
+    (QCheck.Test.make ~name:"jacobi_converges_on_slow_memory" ~count:10
+       QCheck.small_int (fun seed ->
+         let problem = Jacobi.random_contraction (Rng.create seed) ~n:4 in
+         let result = Jacobi.run ~seed:(seed + 1) problem in
+         result.Jacobi.max_error < 0.05))
+
+let test_jacobi_converges_on_pram () =
+  let problem = Jacobi.random_contraction (Rng.create 11) ~n:5 in
+  let make ~dist ~seed = Pram_partial.create ~dist ~seed () in
+  let result = Jacobi.run ~make ~seed:12 problem in
+  check Alcotest.bool "converged" true (result.Jacobi.max_error < 0.05)
+
+let test_jacobi_validation () =
+  Alcotest.check_raises "ragged" (Invalid_argument "Jacobi.run: ragged matrix")
+    (fun () ->
+      ignore
+        (Jacobi.run { Jacobi.a = [| [| 0.1 |]; [| 0.2; 0.3 |] |]; b = [| 0.0; 0.0 |] }))
+
+let () =
+  Alcotest.run "repro_apps"
+    [
+      ( "wgraph",
+        [
+          Alcotest.test_case "basics" `Quick test_wgraph_basics;
+          Alcotest.test_case "validation" `Quick test_wgraph_validation;
+          Alcotest.test_case "fig8 reference distances" `Quick
+            test_fig8_reference_distances;
+          test_wgraph_random_reachable;
+        ] );
+      ( "bellman-ford",
+        [
+          Alcotest.test_case "fig8 variable distribution" `Quick
+            test_fig8_variable_distribution;
+          Alcotest.test_case "fig8 on pram" `Quick test_fig8_bellman_ford_on_pram;
+          test_bf_random_graphs_pram;
+          Alcotest.test_case "every non-blocking protocol" `Quick
+            test_bf_on_every_nonblocking_protocol;
+          test_bf_on_slow_memory_upper_bound;
+          Alcotest.test_case "deadlock freedom (E3)" `Quick test_bf_deadlock_freedom;
+          Alcotest.test_case "other sources" `Quick test_bf_source_not_zero;
+          Alcotest.test_case "unreachable nodes" `Quick test_bf_unreachable_nodes;
+          Alcotest.test_case "bad source" `Quick test_bf_bad_source;
+          Alcotest.test_case "fig9 step pattern" `Quick test_fig9_step_pattern;
+          Alcotest.test_case "fig9 barrier freshness" `Quick test_fig9_barrier_freshness;
+        ] );
+      ( "matrix",
+        [
+          Alcotest.test_case "reference" `Quick test_matrix_reference;
+          Alcotest.test_case "on pram" `Quick test_matrix_on_pram;
+          test_matrix_random;
+          Alcotest.test_case "dimension mismatch" `Quick test_matrix_dimension_mismatch;
+          Alcotest.test_case "share graph shape" `Quick test_matrix_share_graph_shape;
+        ] );
+      ( "lcs",
+        [
+          Alcotest.test_case "reference" `Quick test_lcs_reference;
+          Alcotest.test_case "on pram" `Quick test_lcs_on_pram;
+          test_lcs_random;
+          Alcotest.test_case "chain share graph" `Quick test_lcs_chain_share_graph;
+          Alcotest.test_case "empty first string" `Quick test_lcs_empty_first_string;
+        ] );
+      ( "ntt",
+        [
+          Alcotest.test_case "reference basics" `Quick test_ntt_reference_basics;
+          Alcotest.test_case "on pram" `Quick test_ntt_on_pram;
+          test_ntt_random;
+          test_ntt_inverse_roundtrip;
+          test_ntt_convolution;
+          Alcotest.test_case "validation" `Quick test_ntt_validation;
+          Alcotest.test_case "hypercube share graph" `Quick
+            test_ntt_share_graph_is_hypercube;
+        ] );
+      ( "peterson",
+        [
+          test_peterson_safe_on_sequential;
+          test_peterson_safe_on_atomic;
+          Alcotest.test_case "breaks on pram" `Quick test_peterson_breaks_on_pram;
+          Alcotest.test_case "sections recorded" `Quick test_peterson_sections_recorded;
+        ] );
+      ( "jacobi",
+        [
+          Alcotest.test_case "reference fixpoint" `Quick test_jacobi_reference_is_fixpoint;
+          test_jacobi_converges_on_slow;
+          Alcotest.test_case "converges on pram" `Quick test_jacobi_converges_on_pram;
+          Alcotest.test_case "validation" `Quick test_jacobi_validation;
+        ] );
+    ]

@@ -1,0 +1,407 @@
+(* Tests for Repro_sharegraph: distributions, the share graph, hoops,
+   Theorem 1's x-relevance characterization, and dependency chains. *)
+
+module Distribution = Repro_sharegraph.Distribution
+module Share_graph = Repro_sharegraph.Share_graph
+module Depchain = Repro_sharegraph.Depchain
+module History = Repro_history.History
+module Op = Repro_history.Op
+module Orders = Repro_history.Orders
+module Bitset = Repro_util.Bitset
+module Rng = Repro_util.Rng
+
+let check = Alcotest.check
+let qcheck = QCheck_alcotest.to_alcotest
+
+(* --- distribution ---------------------------------------------------------- *)
+
+let test_distribution_basic () =
+  let d = Distribution.of_lists ~n_vars:3 [ [ 0; 1 ]; [ 1; 2 ]; [ 2 ] ] in
+  check Alcotest.int "procs" 3 (Distribution.n_procs d);
+  check Alcotest.int "vars" 3 (Distribution.n_vars d);
+  check Alcotest.bool "holds" true (Distribution.holds d ~proc:0 ~var:1);
+  check Alcotest.bool "not holds" false (Distribution.holds d ~proc:0 ~var:2);
+  check Alcotest.(list int) "X_1" [ 1; 2 ] (Distribution.vars_of d 1);
+  check Alcotest.(list int) "C(x1)" [ 0; 1 ] (Distribution.holders d 1);
+  check Alcotest.bool "partial" false (Distribution.is_full_replication d)
+
+let test_distribution_validation () =
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Distribution.make: variable out of range") (fun () ->
+      ignore (Distribution.of_lists ~n_vars:1 [ [ 3 ] ]))
+
+let test_distribution_full () =
+  let d = Distribution.full ~n_procs:3 ~n_vars:2 in
+  check Alcotest.bool "full" true (Distribution.is_full_replication d);
+  check Alcotest.(list int) "all hold" [ 0; 1; 2 ] (Distribution.holders d 0)
+
+let test_distribution_random_replicas =
+  qcheck
+    (QCheck.Test.make ~name:"random_distribution_replica_count" ~count:100
+       QCheck.(triple small_int (int_range 2 8) (int_range 1 6))
+       (fun (seed, n_procs, n_vars) ->
+         let d =
+           Distribution.random (Rng.create seed) ~n_procs ~n_vars ~replicas_per_var:2
+         in
+         List.for_all
+           (fun x -> List.length (Distribution.holders d x) = min 2 n_procs)
+           (List.init n_vars Fun.id)))
+
+let test_distribution_restrict_history () =
+  let d = Distribution.of_lists ~n_vars:2 [ [ 0 ]; [ 1 ] ] in
+  let ok = History.of_lists [ [ Op.write ~var:0 (Op.Val 1) ]; [] ] in
+  check Alcotest.bool "ok" true (Result.is_ok (Distribution.restrict_history d ok));
+  let bad = History.of_lists [ [ Op.write ~var:1 (Op.Val 1) ]; [] ] in
+  check Alcotest.bool "violation" true (Result.is_error (Distribution.restrict_history d bad))
+
+let test_distribution_ring_chain_clustered () =
+  let ring = Distribution.ring ~n_procs:5 in
+  check Alcotest.(list int) "ring C(x0)" [ 0; 1 ] (Distribution.holders ring 0);
+  check Alcotest.(list int) "ring wraps" [ 0; 4 ] (Distribution.holders ring 4);
+  let chain = Distribution.chain ~n_procs:4 in
+  check Alcotest.int "chain vars" 3 (Distribution.n_vars chain);
+  check Alcotest.(list int) "chain C(x1)" [ 1; 2 ] (Distribution.holders chain 1);
+  let clustered = Distribution.clustered ~n_procs:6 ~n_vars:4 ~clusters:2 in
+  check Alcotest.(list int) "cluster 0 vars" [ 0; 2 ] (Distribution.vars_of clustered 0);
+  check Alcotest.(list int) "cluster 1 vars" [ 1; 3 ] (Distribution.vars_of clustered 1)
+
+(* --- figure 1 -------------------------------------------------------------- *)
+
+(* Paper Fig. 1: three processes, X_i = {x1, x2}, X_j = {x1}, X_k = {x2}.
+   Here: p0 = p_i, p1 = p_j, p2 = p_k; var 0 = x1, var 1 = x2. *)
+let fig1 = Distribution.of_lists ~n_vars:2 [ [ 0; 1 ]; [ 0 ]; [ 1 ] ]
+
+let test_fig1_share_graph () =
+  let sg = Share_graph.of_distribution fig1 in
+  check
+    Alcotest.(list (triple int int (list int)))
+    "edges"
+    [ (0, 1, [ 0 ]); (0, 2, [ 1 ]) ]
+    (Share_graph.edges sg);
+  check Alcotest.(list int) "C(x1)" [ 0; 1 ] (Share_graph.clique sg 0);
+  check Alcotest.(list int) "C(x2)" [ 0; 2 ] (Share_graph.clique sg 1);
+  (* no hoops anywhere: removing C(x) disconnects *)
+  check Alcotest.bool "hoop free" true (Share_graph.fully_hoop_free sg);
+  check Alcotest.(list (list int)) "no x1 hoops" [] (Share_graph.hoops sg ~var:0)
+
+(* --- figure 2 style hoop -------------------------------------------------- *)
+
+(* A concrete x-hoop: C(x) = {0, 3}; interior 1, 2 connected by other
+   variables.  vars: x=0, u=1 (0-1), v=2 (1-2), t=3 (2-3). *)
+let hoop_dist =
+  Distribution.of_lists ~n_vars:4 [ [ 0; 1 ]; [ 1; 2 ]; [ 2; 3 ]; [ 0; 3 ] ]
+
+let test_fig2_hoop_enumeration () =
+  let sg = Share_graph.of_distribution hoop_dist in
+  check
+    Alcotest.(list (list int))
+    "one x-hoop via the interior"
+    [ [ 0; 1; 2; 3 ] ]
+    (Share_graph.hoops sg ~var:0);
+  check Alcotest.bool "p1 interior" true (Share_graph.on_hoop sg ~var:0 ~proc:1);
+  check Alcotest.bool "p2 interior" true (Share_graph.on_hoop sg ~var:0 ~proc:2);
+  check Alcotest.bool "clique member not interior" false
+    (Share_graph.on_hoop sg ~var:0 ~proc:0);
+  check Alcotest.(list int) "x-relevant = everyone" [ 0; 1; 2; 3 ]
+    (Bitset.elements (Share_graph.x_relevant sg ~var:0));
+  check Alcotest.bool "x0 not hoop free" false (Share_graph.hoop_free sg ~var:0);
+  (* the cycle topology gives every variable its own hoop the long way
+     around, e.g. x1 between C(x1) = {0, 1} via [0; 3; 2; 1] *)
+  check Alcotest.(list (list int)) "x1 hoop" [ [ 0; 3; 2; 1 ] ]
+    (Share_graph.hoops sg ~var:1)
+
+let test_direct_edge_hoop () =
+  (* two clique members also sharing another variable: a length-1 hoop,
+     no interior processes *)
+  let d = Distribution.of_lists ~n_vars:2 [ [ 0; 1 ]; [ 0; 1 ] ] in
+  let sg = Share_graph.of_distribution d in
+  check Alcotest.(list (list int)) "direct hoop" [ [ 0; 1 ] ] (Share_graph.hoops sg ~var:0);
+  check Alcotest.bool "not hoop free" false (Share_graph.hoop_free sg ~var:0);
+  (* but nobody outside the clique is x-relevant *)
+  check Alcotest.(list int) "x-relevant stays in clique" [ 0; 1 ]
+    (Bitset.elements (Share_graph.x_relevant sg ~var:0))
+
+let test_dangling_component_not_on_hoop () =
+  (* component adjacent to only ONE clique vertex: its members are not on
+     any hoop even though the component touches the clique.
+     C(x)={0,1} via var 0; p2 hangs off p0 via var 1; p3 hangs off p2. *)
+  let d = Distribution.of_lists ~n_vars:3 [ [ 0; 1 ]; [ 0 ]; [ 1; 2 ]; [ 2 ] ] in
+  let sg = Share_graph.of_distribution d in
+  check Alcotest.bool "p2 not on hoop" false (Share_graph.on_hoop sg ~var:0 ~proc:2);
+  check Alcotest.bool "p3 not on hoop" false (Share_graph.on_hoop sg ~var:0 ~proc:3);
+  check Alcotest.(list int) "x-relevant = C(x)" [ 0; 1 ]
+    (Bitset.elements (Share_graph.x_relevant sg ~var:0));
+  check Alcotest.bool "hoop free" true (Share_graph.hoop_free sg ~var:0)
+
+let test_junction_vertex_disjointness () =
+  (* Both clique vertices attach to the component through the SAME cut
+     vertex p2; p3 behind the cut cannot be on a hoop (paths to the two
+     endpoints are not vertex-disjoint), while p2 itself can.
+     C(x)={0,1}; edges: 0-2 (u), 1-2 (v), 2-3 (t). *)
+  let d =
+    Distribution.of_lists ~n_vars:4 [ [ 0; 1 ]; [ 0; 2 ]; [ 1; 2; 3 ]; [ 3 ] ]
+  in
+  let sg = Share_graph.of_distribution d in
+  check Alcotest.bool "cut vertex on hoop" true (Share_graph.on_hoop sg ~var:0 ~proc:2);
+  check Alcotest.bool "behind cut not on hoop" false
+    (Share_graph.on_hoop sg ~var:0 ~proc:3);
+  (* enumeration agrees *)
+  let by_enum = Share_graph.x_relevant_by_enumeration sg ~var:0 in
+  check Alcotest.(list int) "enumeration agrees" [ 0; 1; 2 ] (Bitset.elements by_enum)
+
+let test_label_filter_matters () =
+  (* An edge labelled ONLY with x cannot be part of an x-hoop (Definition 3
+     condition ii).  Triangle: C(x) = {0,1,2}? no — make x shared by 0,1;
+     0-2 and 1-2 both share only x... then 2 holds x and is in C(x).
+     Instead: path 0-2-1 where 0-2 shares y but 2-1 shares x only is
+     impossible (sharing x puts 2 in C(x)).  The real filtered case: two
+     C(x) members directly connected by an edge whose label is {x} only —
+     no hoop. *)
+  let d = Distribution.of_lists ~n_vars:1 [ [ 0 ]; [ 0 ] ] in
+  let sg = Share_graph.of_distribution d in
+  check Alcotest.(list (list int)) "label {x} gives no x-hoop" []
+    (Share_graph.hoops sg ~var:0);
+  check Alcotest.bool "hoop free" true (Share_graph.hoop_free sg ~var:0)
+
+let test_ring_hoops () =
+  (* On a ring every variable has exactly one hoop: the long way around. *)
+  let sg = Share_graph.of_distribution (Distribution.ring ~n_procs:5) in
+  let hs = Share_graph.hoops sg ~var:0 in
+  check Alcotest.(list (list int)) "the long way" [ [ 0; 4; 3; 2; 1 ] ] hs;
+  check Alcotest.(list int) "everyone x-relevant" [ 0; 1; 2; 3; 4 ]
+    (Bitset.elements (Share_graph.x_relevant sg ~var:0))
+
+(* --- Theorem 1 cross-validation ------------------------------------------- *)
+
+let random_dist_arb =
+  QCheck.make
+    ~print:(fun (seed, n_procs, n_vars, replicas) ->
+      Printf.sprintf "seed=%d procs=%d vars=%d replicas=%d" seed n_procs n_vars replicas)
+    QCheck.Gen.(
+      let* seed = small_int in
+      let* n_procs = int_range 2 7 in
+      let* n_vars = int_range 1 6 in
+      let* replicas = int_range 1 3 in
+      return (seed, n_procs, n_vars, replicas))
+
+let test_theorem1_flow_vs_enumeration =
+  qcheck
+    (QCheck.Test.make ~name:"x_relevant_flow_equals_enumeration" ~count:150
+       random_dist_arb (fun (seed, n_procs, n_vars, replicas) ->
+         let d =
+           Distribution.random (Rng.create seed) ~n_procs ~n_vars
+             ~replicas_per_var:replicas
+         in
+         let sg = Share_graph.of_distribution d in
+         List.for_all
+           (fun x ->
+             Bitset.equal
+               (Share_graph.x_relevant sg ~var:x)
+               (Share_graph.x_relevant_by_enumeration sg ~var:x))
+           (List.init n_vars Fun.id)))
+
+let test_hoop_free_equals_no_hoops =
+  qcheck
+    (QCheck.Test.make ~name:"hoop_free_agrees_with_enumeration" ~count:150
+       random_dist_arb (fun (seed, n_procs, n_vars, replicas) ->
+         let d =
+           Distribution.random (Rng.create seed) ~n_procs ~n_vars
+             ~replicas_per_var:replicas
+         in
+         let sg = Share_graph.of_distribution d in
+         List.for_all
+           (fun x -> Share_graph.hoop_free sg ~var:x = (Share_graph.hoops sg ~var:x = []))
+           (List.init n_vars Fun.id)))
+
+let test_clustered_distributions_no_external_relevance =
+  (* Clustered distributions have direct (interior-free) hoops between
+     clique members sharing several variables, but x-relevance never leaves
+     C(x): the ablation property that admits efficient causal
+     implementations. *)
+  qcheck
+    (QCheck.Test.make ~name:"clustered_distributions_have_no_external_relevance"
+       ~count:50
+       QCheck.(pair (int_range 2 8) (int_range 1 8))
+       (fun (n_procs, n_vars) ->
+         let clusters = max 1 (n_procs / 2) in
+         let d = Distribution.clustered ~n_procs ~n_vars ~clusters in
+         Share_graph.no_external_relevance (Share_graph.of_distribution d)))
+
+let test_chain_distribution_hoop_free () =
+  let sg = Share_graph.of_distribution (Distribution.chain ~n_procs:6) in
+  check Alcotest.bool "chain hoop free" true (Share_graph.fully_hoop_free sg)
+
+let test_star_distribution_hoop_free () =
+  let d = Distribution.star ~n_procs:6 in
+  check Alcotest.(list int) "hub holds everything" [ 0; 1; 2; 3; 4 ]
+    (Distribution.vars_of d 0);
+  check Alcotest.(list int) "leaf holds one" [ 2 ] (Distribution.vars_of d 3);
+  let sg = Share_graph.of_distribution d in
+  check Alcotest.bool "star hoop free" true (Share_graph.fully_hoop_free sg);
+  check Alcotest.bool "star efficiently implementable" true
+    (Share_graph.no_external_relevance sg)
+
+let test_grid_distribution_hoops () =
+  let d = Distribution.grid ~rows:3 ~cols:3 in
+  check Alcotest.int "procs" 9 (Distribution.n_procs d);
+  check Alcotest.int "vars = edges" 12 (Distribution.n_vars d);
+  (* the top-left horizontal edge variable h(0,0) = 0 is held by (0,0) and
+     (0,1) = procs 0 and 1 *)
+  check Alcotest.(list int) "h(0,0) clique" [ 0; 1 ] (Distribution.holders d 0);
+  let sg = Share_graph.of_distribution d in
+  check Alcotest.bool "grid has hoops" false (Share_graph.fully_hoop_free sg);
+  (* the face below h(0,0): 0 - 3 - 4 - 1 *)
+  check Alcotest.bool "face hoop" true
+    (List.mem [ 0; 3; 4; 1 ] (Share_graph.hoops sg ~var:0));
+  (* corner process 8 is NOT x0-relevant (all its paths to C(x0) merge) *)
+  check Alcotest.bool "far corner relevant too" true
+    (* actually in a 3x3 grid every process lies on some hoop between 0
+       and 1 going the long way around; verify against enumeration *)
+    (Repro_util.Bitset.equal
+       (Share_graph.x_relevant sg ~var:0)
+       (Share_graph.x_relevant_by_enumeration sg ~var:0))
+
+(* --- dependency chains ----------------------------------------------------- *)
+
+(* The Fig. 3 history over the hoop distribution: C(x0) = {0, 3}, hoop
+   through 1 and 2. *)
+let fig3_history =
+  History.of_lists
+    [
+      [ Op.write ~var:0 (Op.Val 1); Op.write ~var:1 (Op.Val 11) ];
+      [ Op.read ~var:1 (Op.Val 11); Op.write ~var:2 (Op.Val 12) ];
+      [ Op.read ~var:2 (Op.Val 12); Op.write ~var:3 (Op.Val 13) ];
+      [ Op.read ~var:3 (Op.Val 13); Op.read ~var:0 (Op.Val 1) ];
+    ]
+
+let test_fig3_chain_detected () =
+  let sg = Share_graph.of_distribution hoop_dist in
+  let h = fig3_history in
+  let rf = Result.get_ok (History.read_from h) in
+  let base = Orders.causal_base h rf in
+  (match Depchain.exists_chain sg h ~base ~transitive:true ~var:0 () with
+  | None -> Alcotest.fail "expected an x0-dependency chain along the hoop"
+  | Some witness ->
+      check Alcotest.(list int) "hoop" [ 0; 1; 2; 3 ] witness.Depchain.hoop;
+      check Alcotest.int "initial is w0(x0)" 0 witness.Depchain.initial;
+      let final_op = History.op h witness.Depchain.final in
+      check Alcotest.int "final on x" 0 final_op.Op.var;
+      check Alcotest.int "final by p3" 3 final_op.Op.proc);
+  (* under the PRAM relation the same history has no chain along the hoop:
+     the only w->o(x) pram edge is the direct read-from, and the hoop has
+     interior processes *)
+  let pram_base = Orders.pram h rf in
+  check Alcotest.bool "no pram chain" true
+    (Depchain.exists_chain sg h ~base:pram_base ~transitive:false ~var:0 () = None)
+
+let test_no_chain_without_pattern () =
+  (* Same distribution, but the intermediate pattern is missing: no chain. *)
+  let h =
+    History.of_lists
+      [
+        [ Op.write ~var:0 (Op.Val 1) ];
+        [ Op.write ~var:2 (Op.Val 12) ];
+        [];
+        [ Op.read ~var:0 (Op.Val 1) ];
+      ]
+  in
+  let sg = Share_graph.of_distribution hoop_dist in
+  let rf = Result.get_ok (History.read_from h) in
+  let base = Orders.causal_base h rf in
+  check Alcotest.bool "no chain" true
+    (Depchain.exists_chain sg h ~base ~transitive:true ~var:0 () = None)
+
+let test_direct_rf_chain_on_interior_free_hoop () =
+  (* With a direct (length-1) hoop, a plain write/read pair IS a chain even
+     under PRAM: both endpoint processes are covered. *)
+  let d = Distribution.of_lists ~n_vars:2 [ [ 0; 1 ]; [ 0; 1 ] ] in
+  let sg = Share_graph.of_distribution d in
+  let h =
+    History.of_lists
+      [ [ Op.write ~var:0 (Op.Val 1) ]; [ Op.read ~var:0 (Op.Val 1) ] ]
+  in
+  let rf = Result.get_ok (History.read_from h) in
+  let pram_base = Orders.pram h rf in
+  check Alcotest.bool "direct chain exists" true
+    (Depchain.exists_chain sg h ~base:pram_base ~transitive:false ~var:0 () <> None)
+
+(* Theorem 2 as a property: histories produced by the PRAM generator never
+   contain dependency chains along hoops with interior processes, under the
+   PRAM relation. *)
+let test_theorem2_property =
+  qcheck
+    (QCheck.Test.make ~name:"theorem2_no_pram_chain_along_interior_hoops" ~count:100
+       QCheck.small_int (fun seed ->
+         let rng = Rng.create seed in
+         (* the hoop distribution, programs restricted to held variables *)
+         let h =
+           (* build a PRAM-consistent history over 4 procs / 4 vars, then
+              filter each process's ops to variables it holds so the
+              distribution applies *)
+           let full =
+             Repro_history.Generator.pram_consistent rng
+               { Repro_history.Generator.procs = 4; vars = 4; ops_per_proc = 6; read_ratio = 0.4 }
+           in
+           let keep (o : Op.t) = Distribution.holds hoop_dist ~proc:o.Op.proc ~var:o.Op.var in
+           History.of_lists
+             (List.init 4 (fun p ->
+                  History.local full p |> Array.to_list
+                  |> List.filter keep
+                  |> List.map (fun (o : Op.t) -> (o.Op.kind, o.Op.var, o.Op.value))))
+         in
+         match History.read_from h with
+         | Error _ -> QCheck.assume_fail ()
+         | Ok rf ->
+             let pram_base = Orders.pram h rf in
+             (* interior hoops only: the hoop [0;1;2;3] *)
+             Depchain.chain_along_hoop h ~base:pram_base ~transitive:false ~var:0
+               ~hoop:[ 0; 1; 2; 3 ]
+             = None))
+
+let () =
+  Alcotest.run "repro_sharegraph"
+    [
+      ( "distribution",
+        [
+          Alcotest.test_case "basic" `Quick test_distribution_basic;
+          Alcotest.test_case "validation" `Quick test_distribution_validation;
+          Alcotest.test_case "full" `Quick test_distribution_full;
+          test_distribution_random_replicas;
+          Alcotest.test_case "restrict history" `Quick test_distribution_restrict_history;
+          Alcotest.test_case "ring/chain/clustered" `Quick
+            test_distribution_ring_chain_clustered;
+        ] );
+      ( "share_graph",
+        [
+          Alcotest.test_case "fig1" `Quick test_fig1_share_graph;
+          Alcotest.test_case "fig2 hoop enumeration" `Quick test_fig2_hoop_enumeration;
+          Alcotest.test_case "direct edge hoop" `Quick test_direct_edge_hoop;
+          Alcotest.test_case "dangling component" `Quick
+            test_dangling_component_not_on_hoop;
+          Alcotest.test_case "junction vertex disjointness" `Quick
+            test_junction_vertex_disjointness;
+          Alcotest.test_case "label filter" `Quick test_label_filter_matters;
+          Alcotest.test_case "ring hoops" `Quick test_ring_hoops;
+        ] );
+      ( "theorem1",
+        [
+          test_theorem1_flow_vs_enumeration;
+          test_hoop_free_equals_no_hoops;
+          test_clustered_distributions_no_external_relevance;
+          Alcotest.test_case "chain distribution hoop free" `Quick
+            test_chain_distribution_hoop_free;
+          Alcotest.test_case "star distribution hoop free" `Quick
+            test_star_distribution_hoop_free;
+          Alcotest.test_case "grid distribution hoops" `Quick
+            test_grid_distribution_hoops;
+        ] );
+      ( "depchain",
+        [
+          Alcotest.test_case "fig3 chain detected" `Quick test_fig3_chain_detected;
+          Alcotest.test_case "no chain without pattern" `Quick
+            test_no_chain_without_pattern;
+          Alcotest.test_case "direct rf chain" `Quick
+            test_direct_rf_chain_on_interior_free_hoop;
+          test_theorem2_property;
+        ] );
+    ]
