@@ -1,12 +1,15 @@
 (* Benchmark harness: regenerates every experiment table of DESIGN.md's
    per-experiment index (E1, R1, T1, A2, E2, A1, H1, B1, L1, C1) and times
-   the pieces with Bechamel — one Test.make per table, plus
-   micro-benchmarks of the library's hot paths.
+   the pieces with Bechamel — one Test.make per table, micro-benchmarks of
+   the library's hot paths, and a sequential-vs-parallel consistency-checker
+   comparison group on the E1-scaling workload.
 
    Usage:
-     dune exec bench/main.exe                 # tables + timings
-     dune exec bench/main.exe -- --tables     # tables only
+     dune exec bench/main.exe                      # tables + timings
+     dune exec bench/main.exe -- --tables          # tables only
      dune exec bench/main.exe -- --experiment E1
+     dune exec bench/main.exe -- --jobs 4          # pool size for par runs
+     dune exec bench/main.exe -- --json bench.json # machine-readable record
 *)
 
 module Experiment = Repro_experiments.Experiment
@@ -16,11 +19,14 @@ module Generator = Repro_history.Generator
 module Share_graph = Repro_sharegraph.Share_graph
 module Distribution = Repro_sharegraph.Distribution
 module Workload = Repro_core.Workload
+module Registry = Repro_core.Registry
 module Pram_partial = Repro_core.Pram_partial
 module Bellman_ford = Repro_apps.Bellman_ford
 module Wgraph = Repro_apps.Wgraph
 module Rng = Repro_util.Rng
 module Table = Repro_util.Table
+module Pool = Repro_util.Pool
+module Jsonout = Repro_util.Jsonout
 
 let seed = 20_240_601
 
@@ -112,37 +118,168 @@ let micro_tests =
       (Staged.stage (fun () -> Bellman_ford.run ~seed Wgraph.fig8 ~source:0));
   ]
 
-let run_benchmarks () =
-  let tests = Test.make_grouped ~name:"repro" ~fmt:"%s %s" (table_tests @ micro_tests) in
-  let instances = Instance.[ monotonic_clock ] in
-  let cfg =
-    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true ~kde:None ()
+(* The sequential-vs-parallel comparison group: the E1-scaling workload at
+   n = 8 (2n variables, 3 replicas each, the table's profile) produces a
+   history whose causal/PRAM checks decompose into one serialization unit
+   per process — exactly the fan-out [Checker.check_par] farms across the
+   domain pool.  [check-seq:*] and [check-par:*] differ only in that
+   farming; the ratio is the pool's speedup on this box. *)
+let e1_check_history =
+  let n = 8 in
+  let dist =
+    Distribution.random (Rng.create (seed + n)) ~n_procs:n ~n_vars:(2 * n)
+      ~replicas_per_var:3
   in
-  let raw = Benchmark.all cfg instances tests in
+  let spec =
+    match Registry.find "pram-partial" with
+    | Some spec -> spec
+    | None -> failwith "pram-partial not registered"
+  in
+  let profile = { Workload.ops_per_proc = 6; read_ratio = 0.4; max_think = 3 } in
+  let memory = spec.Registry.make ~dist ~seed () in
+  Workload.run_random ~profile ~seed:(seed + 1) memory
+
+let comparison_tests =
+  let h = e1_check_history in
+  [
+    Test.make ~name:"check-seq:causal-e1"
+      (Staged.stage (fun () -> Checker.check Checker.Causal h));
+    Test.make ~name:"check-par:causal-e1"
+      (Staged.stage (fun () -> Checker.check_par Checker.Causal h));
+    Test.make ~name:"check-seq:pram-e1"
+      (Staged.stage (fun () -> Checker.check Checker.Pram h));
+    Test.make ~name:"check-par:pram-e1"
+      (Staged.stage (fun () -> Checker.check_par Checker.Pram h));
+  ]
+
+let analyze_raw raw =
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
   let results = Analyze.all ols Instance.monotonic_clock raw in
   let rows = ref [] in
   Hashtbl.iter
     (fun name ols_result ->
-      let cell =
+      let estimate =
         match Analyze.OLS.estimates ols_result with
-        | Some [ est ] ->
-            if est > 1_000_000.0 then Printf.sprintf "%.2f ms" (est /. 1_000_000.0)
-            else if est > 1_000.0 then Printf.sprintf "%.2f us" (est /. 1_000.0)
-            else Printf.sprintf "%.0f ns" est
-        | _ -> "n/a"
+        | Some [ est ] -> Some est
+        | _ -> None
       in
-      rows := [ name; cell ] :: !rows)
+      rows := (name, estimate) :: !rows)
     results;
-  let rows = List.sort compare !rows in
+  List.sort compare !rows
+
+let bench_group ~quota tests =
+  let tests = Test.make_grouped ~name:"repro" ~fmt:"%s %s" tests in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~stabilize:true
+      ~kde:None ()
+  in
+  analyze_raw (Benchmark.all cfg instances tests)
+
+let fmt_ns est =
+  if est > 1_000_000.0 then Printf.sprintf "%.2f ms" (est /. 1_000_000.0)
+  else if est > 1_000.0 then Printf.sprintf "%.2f us" (est /. 1_000.0)
+  else Printf.sprintf "%.0f ns" est
+
+let json_record rows =
+  let results =
+    List.map
+      (fun (name, estimate) ->
+        Jsonout.Obj
+          [
+            ("benchmark", Jsonout.String name);
+            ( "time_per_run_ns",
+              match estimate with
+              | Some ns -> Jsonout.Float ns
+              | None -> Jsonout.Null );
+          ])
+      rows
+  in
+  let find suffix =
+    List.find_map
+      (fun (name, estimate) ->
+        if String.ends_with ~suffix name then estimate else None)
+      rows
+  in
+  let comparison =
+    match (find "check-seq:causal-e1", find "check-par:causal-e1") with
+    | Some seq_ns, Some par_ns ->
+        Jsonout.Obj
+          [
+            ("benchmark", Jsonout.String "causal-e1");
+            ("seq_ns", Jsonout.Float seq_ns);
+            ("par_ns", Jsonout.Float par_ns);
+            ("speedup", Jsonout.Float (seq_ns /. par_ns));
+          ]
+    | _ -> Jsonout.Null
+  in
+  Jsonout.Obj
+    [
+      ("schema", Jsonout.String "repro-bench/1");
+      ("seed", Jsonout.Int seed);
+      ("jobs", Jsonout.Int (Pool.default_jobs ()));
+      ("seq_vs_par", comparison);
+      ("results", Jsonout.List results);
+    ]
+
+let run_benchmarks ?json () =
+  (* the seq-vs-par probes take hundreds of ms each; give that group a
+     larger quota so OLS sees enough runs *)
+  let rows =
+    bench_group ~quota:0.5 (table_tests @ micro_tests)
+    @ bench_group ~quota:2.0 comparison_tests
+  in
+  let rows = List.sort compare rows in
   print_endline "== Bechamel timings (monotonic clock, OLS per run) ==";
-  Table.print ~header:[ "benchmark"; "time/run" ] ~rows ()
+  Table.print ~header:[ "benchmark"; "time/run" ]
+    ~rows:
+      (List.map
+         (fun (name, estimate) ->
+           [ name; (match estimate with Some e -> fmt_ns e | None -> "n/a") ])
+         rows)
+    ();
+  match json with
+  | None -> ()
+  | Some path ->
+      Out_channel.with_open_text path (fun oc ->
+          Jsonout.to_channel oc (json_record rows));
+      Printf.printf "wrote %s\n" path
+
+(* --- argument parsing ---------------------------------------------------------- *)
+
+type mode = Default | Tables_only | One_experiment of string
 
 let () =
-  let args = Array.to_list Sys.argv in
-  match args with
-  | _ :: "--tables" :: _ -> print_tables ()
-  | _ :: "--experiment" :: id :: _ -> if not (print_one id) then exit 1
-  | _ ->
+  let mode = ref Default in
+  let json = ref None in
+  let usage () =
+    prerr_endline
+      "usage: bench [--tables] [--experiment ID] [--jobs N] [--json FILE]";
+    exit 1
+  in
+  let rec parse = function
+    | [] -> ()
+    | "--tables" :: rest ->
+        mode := Tables_only;
+        parse rest
+    | "--experiment" :: id :: rest ->
+        mode := One_experiment id;
+        parse rest
+    | "--jobs" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some n when n >= 1 ->
+            Pool.set_default_jobs n;
+            parse rest
+        | _ -> usage ())
+    | "--json" :: path :: rest ->
+        json := Some path;
+        parse rest
+    | _ -> usage ()
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  match !mode with
+  | Tables_only -> print_tables ()
+  | One_experiment id -> if not (print_one id) then exit 1
+  | Default ->
       print_tables ();
-      run_benchmarks ()
+      run_benchmarks ?json:!json ()

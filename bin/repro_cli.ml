@@ -21,6 +21,8 @@ module Experiment = Repro_experiments.Experiment
 module Table = Repro_util.Table
 module Bitset = Repro_util.Bitset
 module Rng = Repro_util.Rng
+module Pool = Repro_util.Pool
+module Jsonout = Repro_util.Jsonout
 
 open Cmdliner
 
@@ -136,6 +138,23 @@ let dist_arg =
 let seed_arg =
   Arg.(value & opt int 1 & info [ "s"; "seed" ] ~docv:"SEED" ~doc:"Random seed.")
 
+(* [--jobs N] sizes the shared domain pool used by the parallel checker and
+   the experiment harness; without it the pool follows $(b,REPRO_JOBS) or
+   [Domain.recommended_domain_count].  Applying it is a side effect on the
+   process-wide default pool, done before the command body runs. *)
+let jobs_arg =
+  Arg.(value & opt (some int) None
+       & info [ "j"; "jobs" ] ~docv:"N"
+           ~doc:"Worker domains for parallel checking/experiments (default: \
+                 $(b,REPRO_JOBS) or the recommended domain count).")
+
+let apply_jobs = function
+  | None -> ()
+  | Some n when n >= 1 -> Pool.set_default_jobs n
+  | Some _ ->
+      prerr_endline "jobs must be >= 1";
+      exit 2
+
 (* --- protocols ---------------------------------------------------------------- *)
 
 let protocols_cmd =
@@ -208,7 +227,8 @@ let protocol_arg =
            ~doc:"Protocol implementation (see $(b,protocols)).")
 
 let run_cmd =
-  let run spec dist seed ops read_ratio timed diagram =
+  let run spec dist seed ops read_ratio timed diagram jobs =
+    apply_jobs jobs;
     let dist =
       if spec.Registry.requires_full_replication then
         Distribution.full ~n_procs:(Distribution.n_procs dist)
@@ -245,7 +265,7 @@ let run_cmd =
         (fun criterion ->
           [
             Checker.criterion_name criterion;
-            (match Checker.check criterion h with
+            (match Checker.check_par criterion h with
             | Checker.Consistent -> "yes"
             | Checker.Inconsistent -> "no"
             | Checker.Undecidable _ -> "?");
@@ -286,12 +306,13 @@ let run_cmd =
     (Cmd.info "run"
        ~doc:"Run a random workload on a protocol and check the recorded history.")
     Term.(const run $ protocol_arg $ dist_arg $ seed_arg $ ops_arg $ reads_arg
-          $ timed_arg $ diagram_arg)
+          $ timed_arg $ diagram_arg $ jobs_arg)
 
 (* --- check ------------------------------------------------------------------------ *)
 
 let check_cmd =
-  let run path diagram =
+  let run path diagram jobs =
+    apply_jobs jobs;
     let text =
       match path with
       | "-" -> In_channel.input_all stdin
@@ -310,7 +331,7 @@ let check_cmd =
             (fun criterion ->
               [
                 Checker.criterion_name criterion;
-                (match Checker.check criterion h with
+                (match Checker.check_par criterion h with
                 | Checker.Consistent -> "yes"
                 | Checker.Inconsistent -> "no"
                 | Checker.Undecidable _ -> "undecidable (non-differentiated)");
@@ -340,7 +361,7 @@ let check_cmd =
   in
   Cmd.v
     (Cmd.info "check" ~doc:"Check a textual history against every criterion.")
-    Term.(const run $ path_arg $ diagram_arg)
+    Term.(const run $ path_arg $ diagram_arg $ jobs_arg)
 
 (* --- bellman-ford ------------------------------------------------------------------ *)
 
@@ -376,17 +397,50 @@ let bellman_ford_cmd =
 (* --- experiment --------------------------------------------------------------------- *)
 
 let experiment_cmd =
-  let run id seed =
+  let table_json (t : Experiment.table) =
+    Jsonout.Obj
+      [
+        ("id", Jsonout.String t.Experiment.id);
+        ("title", Jsonout.String t.Experiment.title);
+        ( "header",
+          Jsonout.List (List.map (fun s -> Jsonout.String s) t.Experiment.header)
+        );
+        ( "rows",
+          Jsonout.List
+            (List.map
+               (fun row -> Jsonout.List (List.map (fun s -> Jsonout.String s) row))
+               t.Experiment.rows) );
+        ( "notes",
+          Jsonout.List (List.map (fun s -> Jsonout.String s) t.Experiment.notes)
+        );
+      ]
+  in
+  let emit json seed tables =
+    List.iter
+      (fun t ->
+        print_string (Experiment.render t);
+        print_newline ())
+      tables;
+    match json with
+    | None -> ()
+    | Some path ->
+        Out_channel.with_open_text path (fun oc ->
+            Jsonout.to_channel oc
+              (Jsonout.Obj
+                 [
+                   ("schema", Jsonout.String "repro-experiments/1");
+                   ("seed", Jsonout.Int seed);
+                   ("tables", Jsonout.List (List.map table_json tables));
+                 ]));
+        Printf.printf "wrote %s\n" path
+  in
+  let run id seed jobs json =
+    apply_jobs jobs;
     match id with
-    | None ->
-        List.iter
-          (fun t ->
-            print_string (Experiment.render t);
-            print_newline ())
-          (Experiment.all ~seed ())
+    | None -> emit json seed (Experiment.all ~seed ())
     | Some id -> (
         match Experiment.find id with
-        | Some f -> print_string (Experiment.render (f ~seed ()))
+        | Some f -> emit json seed [ f ~seed () ]
         | None ->
             Printf.eprintf "unknown experiment %s (known: %s)\n" id
               (String.concat ", " Experiment.ids);
@@ -396,9 +450,14 @@ let experiment_cmd =
     Arg.(value & pos 0 (some string) None
          & info [] ~docv:"ID" ~doc:"Experiment id (E1, T1, A2, E2, A1, C1); all when omitted.")
   in
+  let json_arg =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE"
+             ~doc:"Also dump the rendered tables as a JSON record to $(docv).")
+  in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Regenerate an experiment table from DESIGN.md.")
-    Term.(const run $ id_arg $ seed_arg)
+    Term.(const run $ id_arg $ seed_arg $ jobs_arg $ json_arg)
 
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in

@@ -12,6 +12,9 @@ module Wgraph = Repro_apps.Wgraph
 module Table = Repro_util.Table
 module Bitset = Repro_util.Bitset
 module Rng = Repro_util.Rng
+module Pool = Repro_util.Pool
+
+let pool_of = function Some p -> p | None -> Pool.default ()
 
 type table = {
   id : string;
@@ -38,10 +41,11 @@ let n_writes h = List.length (History.writes h)
 
 (* --- E1: scaling ------------------------------------------------------------ *)
 
-let scaling ?(sizes = [ 4; 8; 16; 24 ]) ~seed () =
+let scaling ?(sizes = [ 4; 8; 16; 24 ]) ?pool ~seed () =
   let profile = { Workload.ops_per_proc = 8; read_ratio = 0.4; max_think = 3 } in
   let rows =
-    List.concat_map
+    List.concat
+    @@ Pool.map (pool_of pool)
       (fun n ->
         let partial_dist =
           Distribution.random (Rng.create (seed + n)) ~n_procs:n ~n_vars:(2 * n)
@@ -280,7 +284,7 @@ let adversarial_histories spec ~seed =
         (name, Runner.run memory ~programs))
       [ scenario_hoop_leak; scenario_fig5; scenario_fig6 ]
 
-let criterion_matrix ~seed () =
+let criterion_matrix ?pool ~seed () =
   (* A contended configuration: few variables, everyone replicating
      everything, jittery links — gives the weaker protocols every chance
      to exhibit the behaviours their criterion permits. *)
@@ -289,7 +293,7 @@ let criterion_matrix ~seed () =
   let latency = Repro_msgpass.Latency.uniform ~lo:1 ~hi:25 in
   let criteria = Checker.all_criteria in
   let rows =
-    List.map
+    Pool.map (pool_of pool)
       (fun spec ->
         let histories =
           List.init 16 (fun k ->
@@ -543,7 +547,7 @@ let loss_sweep ~seed () =
 
 (* --- H1: hoop census ----------------------------------------------------------------- *)
 
-let hoop_census ~seed () =
+let hoop_census ?pool ~seed () =
   (* §3.3: "in a more general setting … any process is likely to belong to
      any hoop".  Quantify: over random distributions, how many variables
      have hoops, and how far beyond C(x) does x-relevance spread? *)
@@ -569,20 +573,22 @@ let hoop_census ~seed () =
     ( float_of_int !with_hoops /. float_of_int !total_vars,
       Repro_util.Stats.mean stats )
   in
-  let rows =
+  let cells =
     List.concat_map
-      (fun replicas ->
-        List.map
-          (fun n_vars ->
-            let hoop_fraction, extra_relevant = census ~replicas ~n_vars in
-            [
-              string_of_int replicas;
-              string_of_int n_vars;
-              Table.fmt_float hoop_fraction;
-              Table.fmt_float extra_relevant;
-            ])
-          [ 6; 12; 24 ])
+      (fun replicas -> List.map (fun n_vars -> (replicas, n_vars)) [ 6; 12; 24 ])
       [ 2; 3; 4 ]
+  in
+  let rows =
+    Pool.map (pool_of pool)
+      (fun (replicas, n_vars) ->
+        let hoop_fraction, extra_relevant = census ~replicas ~n_vars in
+        [
+          string_of_int replicas;
+          string_of_int n_vars;
+          Table.fmt_float hoop_fraction;
+          Table.fmt_float extra_relevant;
+        ])
+      cells
   in
   {
     id = "H1";
@@ -637,19 +643,24 @@ let op_costs ~seed () =
       ];
   }
 
-let all ~seed () =
-  [
-    scaling ~seed ();
-    replication_sweep ~seed ();
-    mention_audit ~seed ();
-    criterion_matrix ~seed ();
-    bellman_ford ~seed ();
-    adhoc_ablation ~seed ();
-    hoop_census ~seed ();
-    bottleneck ~seed ();
-    loss_sweep ~seed ();
-    op_costs ~seed ();
-  ]
+let all ?pool ~seed () =
+  let pool = pool_of pool in
+  (* the tables run concurrently, each one farming its own inner sweep
+     through the same pool; joining in submission order keeps the output
+     deterministic and in DESIGN.md order *)
+  Pool.run pool
+    [
+      (fun () -> scaling ~pool ~seed ());
+      (fun () -> replication_sweep ~seed ());
+      (fun () -> mention_audit ~seed ());
+      (fun () -> criterion_matrix ~pool ~seed ());
+      (fun () -> bellman_ford ~seed ());
+      (fun () -> adhoc_ablation ~seed ());
+      (fun () -> hoop_census ~pool ~seed ());
+      (fun () -> bottleneck ~seed ());
+      (fun () -> loss_sweep ~seed ());
+      (fun () -> op_costs ~seed ());
+    ]
 
 let catalogue =
   [

@@ -23,7 +23,8 @@ type table = {
 val render : table -> string
 (** Title, aligned table, and notes, ready to print. *)
 
-val scaling : ?sizes:int list -> seed:int -> unit -> table
+val scaling :
+  ?sizes:int list -> ?pool:Repro_util.Pool.t -> seed:int -> unit -> table
 (** {b E1} — control-information scaling.  For each system size [n]
     (default 4, 8, 16, 24 processes; 2·n variables, 3 replicas each), run
     the same per-process workload on causal-full (full replication),
@@ -44,7 +45,7 @@ val mention_audit : seed:int -> unit -> table
     each variable: [C(x)], the x-relevant set predicted by Theorem 1, and
     the processes actually informed about [x] by each protocol. *)
 
-val criterion_matrix : seed:int -> unit -> table
+val criterion_matrix : ?pool:Repro_util.Pool.t -> seed:int -> unit -> table
 (** {b A2} — protocols × criteria.  Run one workload per protocol and
     check the history under every criterion; cells hold ✓/✗.  The staircase
     shape is the paper's criterion lattice. *)
@@ -60,7 +61,7 @@ val adhoc_ablation : seed:int -> unit -> table
     off-clique traffic.  The efficient protocol is causal exactly where
     Theorem 1 allows it. *)
 
-val hoop_census : seed:int -> unit -> table
+val hoop_census : ?pool:Repro_util.Pool.t -> seed:int -> unit -> table
 (** {b H1} — hoop census.  Over random distributions (12 processes, 20
     samples per cell), the fraction of variables with at least one hoop
     and the average number of x-relevant processes beyond [C(x)], as the
@@ -104,8 +105,12 @@ val adversarial_histories :
     full replication).  The histories feed {!criterion_matrix} and the
     test suite. *)
 
-val all : seed:int -> unit -> table list
-(** Every table above, in DESIGN.md order. *)
+val all : ?pool:Repro_util.Pool.t -> seed:int -> unit -> table list
+(** Every table above, in DESIGN.md order.  The tables (and, inside the
+    heavier ones, their per-size / per-protocol / per-cell sweeps) run
+    concurrently on [pool] ({!Repro_util.Pool.default} unless given);
+    results are joined in submission order, so the output is deterministic
+    for a given seed regardless of the worker count. *)
 
 val find : string -> (seed:int -> unit -> table) option
 (** Look an experiment up by id (["E1"], ["T1"], …), case-insensitive. *)

@@ -1,5 +1,5 @@
 module Graph = Repro_util.Graph
-module Bitset = Repro_util.Bitset
+module Pool = Repro_util.Pool
 
 type criterion =
   | Sequential
@@ -26,14 +26,133 @@ let criterion_name = function
 
 type verdict = Consistent | Inconsistent | Undecidable of History.rf_error
 
+(* --- int-array bitsets ---------------------------------------------------- *)
+
+(* The search state lives in flat [int array] bit words (32 bits per word)
+   rather than {!Repro_util.Bitset}'s bytes: membership, subset and the
+   packed memo key below all touch machine words with no bounds checks
+   beyond the array's own, and the placed-set words double as the first
+   half of the memo key with a single [Array.blit]. *)
+
+let words_for k = (k + 31) lsr 5
+
+let iset_mem w i = w.(i lsr 5) land (1 lsl (i land 31)) <> 0
+
+let iset_add w i = w.(i lsr 5) <- w.(i lsr 5) lor (1 lsl (i land 31))
+
+let iset_remove w i = w.(i lsr 5) <- w.(i lsr 5) land lnot (1 lsl (i land 31))
+
+(* a ⊆ b, same word count *)
+let iset_subset a b =
+  let rec scan i = i < 0 || (a.(i) land lnot b.(i) = 0 && scan (i - 1)) in
+  scan (Array.length a - 1)
+
+(* --- packed state keys ---------------------------------------------------- *)
+
+(* A search state is (placed set, last write per variable slot).  The memo
+   key packs both into one [int array]: the placed bit words verbatim,
+   then the last-write slots, 16 bits each, three per word (a slot stores
+   [w + 1] ∈ [0, k], so 16 bits suffice whenever [k ≤ 0xffff]; larger
+   subsets fall back to one slot per word, keeping the encoding injective
+   for every [k]). *)
+
+let slots_fit_16 k = k <= 0xffff
+
+let slot_words_for ~k n_vars = if slots_fit_16 k then (n_vars + 2) / 3 else n_vars
+
+(* Fill [scratch] (of length [n_placed_words + slot_words]) from the
+   current state; allocation-free. *)
+let pack_into ~k ~n_placed_words scratch placed last_write =
+  Array.blit placed 0 scratch 0 n_placed_words;
+  let n_vars = Array.length last_write in
+  if slots_fit_16 k then begin
+    Array.fill scratch n_placed_words ((n_vars + 2) / 3) 0;
+    for j = 0 to n_vars - 1 do
+      let word = n_placed_words + (j / 3) and shift = 16 * (j mod 3) in
+      scratch.(word) <- scratch.(word) lor ((last_write.(j) + 1) lsl shift)
+    done
+  end
+  else
+    for j = 0 to n_vars - 1 do
+      scratch.(n_placed_words + j) <- last_write.(j) + 1
+    done
+
+(* Open-addressing set of packed keys.  [add_if_absent] hashes the caller's
+   scratch array (FNV-1a over the words) and compares against stored keys
+   in place: the probe path allocates nothing; only a genuinely new state
+   pays one [Array.copy]. *)
+module Packed_tbl = struct
+  type t = { mutable keys : int array array; mutable count : int }
+
+  let empty_key : int array = [||]
+
+  (* physical [empty_key] marks free buckets; real keys are never empty
+     (k = 0 histories short-circuit before the search) *)
+
+  let create () = { keys = Array.make 64 empty_key; count = 0 }
+
+  (* 64-bit FNV-1a offset basis truncated to OCaml's int range *)
+  let fnv_offset = 0x0bf29ce484222325
+  let fnv_prime = 0x100000001b3
+
+  (* FNV-1a folded over whole words mixes upward only (the low bits of
+     the product never feel the high bits), and open addressing indexes by
+     the LOW bits — finalize with an avalanche step (splitmix64-style) so
+     single-bit key differences reach the bucket index. *)
+  let hash key =
+    let h = ref fnv_offset in
+    for i = 0 to Array.length key - 1 do
+      h := (!h lxor key.(i)) * fnv_prime
+    done;
+    let h = !h in
+    let h = h lxor (h lsr 31) in
+    let h = h * 0x2545F4914F6CDD1D in
+    let h = h lxor (h lsr 29) in
+    h land max_int
+
+  let key_equal a b =
+    let rec eq i = i < 0 || (a.(i) = b.(i) && eq (i - 1)) in
+    Array.length a = Array.length b && eq (Array.length a - 1)
+
+  let resize t =
+    let old = t.keys in
+    t.keys <- Array.make (2 * Array.length old) empty_key;
+    let mask = Array.length t.keys - 1 in
+    Array.iter
+      (fun key ->
+        if key != empty_key then begin
+          let rec probe i =
+            if t.keys.(i) == empty_key then t.keys.(i) <- key
+            else probe ((i + 1) land mask)
+          in
+          probe (hash key land mask)
+        end)
+      old
+
+  let add_if_absent t scratch =
+    if 2 * (t.count + 1) > Array.length t.keys then resize t;
+    let mask = Array.length t.keys - 1 in
+    let rec probe i =
+      let stored = t.keys.(i) in
+      if stored == empty_key then begin
+        t.keys.(i) <- Array.copy scratch;
+        t.count <- t.count + 1;
+        true
+      end
+      else if key_equal stored scratch then false
+      else probe ((i + 1) land mask)
+    in
+    probe (hash scratch land mask)
+end
+
 (* --- serialization search ------------------------------------------------ *)
 
 (* Dense local view of a subset of operations. *)
 type view = {
   ops : Op.t array; (* local idx -> op *)
   gids : int array; (* local idx -> global id *)
-  preds : Bitset.t array; (* local idx -> relation predecessors (local) *)
-  var_index : (int, int) Hashtbl.t; (* variable -> dense var slot *)
+  preds : int array array; (* local idx -> relation predecessors (bit words) *)
+  var_slot_of : int array; (* variable -> dense var slot, -1 when absent *)
   n_vars : int;
   source : int array;
       (* local idx -> for reads: local idx of the write supplying the
@@ -43,26 +162,31 @@ type view = {
 }
 
 let make_view h ~subset ~relation =
+  let all_ops = History.ops h in
   let gids = Array.of_list subset in
   let k = Array.length gids in
-  let local_of = Hashtbl.create (2 * k) in
-  Array.iteri (fun i gid -> Hashtbl.replace local_of gid i) gids;
-  let ops = Array.map (History.op h) gids in
-  let preds = Array.init k (fun _ -> Bitset.create k) in
+  let local_of = Array.make (History.n_ops h) (-1) in
+  Array.iteri (fun i gid -> local_of.(gid) <- i) gids;
+  let ops = Array.map (fun gid -> all_ops.(gid)) gids in
+  let nw = words_for k in
+  let preds = Array.init k (fun _ -> Array.make nw 0) in
   Array.iteri
     (fun i gid ->
       List.iter
         (fun succ_gid ->
-          match Hashtbl.find_opt local_of succ_gid with
-          | Some j -> Bitset.add preds.(j) i
-          | None -> ())
+          let j = local_of.(succ_gid) in
+          if j >= 0 then iset_add preds.(j) i)
         (Graph.succ relation gid))
     gids;
-  let var_index = Hashtbl.create 16 in
+  let max_var = Array.fold_left (fun m (o : Op.t) -> Stdlib.max m o.var) (-1) ops in
+  let var_slot_of = Array.make (max_var + 1) (-1) in
+  let n_vars = ref 0 in
   Array.iter
     (fun (o : Op.t) ->
-      if not (Hashtbl.mem var_index o.var) then
-        Hashtbl.add var_index o.var (Hashtbl.length var_index))
+      if var_slot_of.(o.var) < 0 then begin
+        var_slot_of.(o.var) <- !n_vars;
+        incr n_vars
+      end)
     ops;
   let writer_of = Hashtbl.create 16 in
   Array.iteri
@@ -83,9 +207,9 @@ let make_view h ~subset ~relation =
                 | None -> -2)))
       ops
   in
-  { ops; gids; preds; var_index; n_vars = Hashtbl.length var_index; source }
+  { ops; gids; preds; var_slot_of; n_vars = !n_vars; source }
 
-let var_slot view (o : Op.t) = Hashtbl.find view.var_index o.var
+let var_slot view (o : Op.t) = view.var_slot_of.(o.var)
 
 (* Legality of placing a read given the last placed write per variable
    slot (-1 = none). *)
@@ -97,31 +221,22 @@ let read_legal view last_write (o : Op.t) =
       last_write.(slot) >= 0
       && Op.equal_value view.ops.(last_write.(slot)).Op.value o.value
 
-let state_key placed last_write =
-  let buffer = Buffer.create 32 in
-  Buffer.add_string buffer (Bitset.to_raw_string placed);
-  Array.iter
-    (fun w ->
-      (* last-write indices fit 16 bits for any realistic subset *)
-      Buffer.add_char buffer (Char.chr ((w + 1) land 0xff));
-      Buffer.add_char buffer (Char.chr (((w + 1) lsr 8) land 0xff)))
-    last_write;
-  Buffer.contents buffer
-
 let find_serialization h ~subset ~relation =
   let view = make_view h ~subset ~relation in
   let k = Array.length view.ops in
   if k = 0 then Some []
   else begin
-    let placed = Bitset.create k in
+    let nw = words_for k in
+    let placed = Array.make nw 0 in
     let last_write = Array.make view.n_vars (-1) in
     let order = ref [] in
-    let memo = Hashtbl.create 256 in
+    let memo = Packed_tbl.create () in
+    let scratch = Array.make (nw + slot_words_for ~k view.n_vars) 0 in
     let ready i =
-      (not (Bitset.mem placed i)) && Bitset.subset view.preds.(i) placed
+      (not (iset_mem placed i)) && iset_subset view.preds.(i) placed
     in
     let place i =
-      Bitset.add placed i;
+      iset_add placed i;
       order := i :: !order;
       if Op.is_write view.ops.(i) then last_write.(var_slot view view.ops.(i)) <- i
     in
@@ -150,7 +265,7 @@ let find_serialization h ~subset ~relation =
     let unplace_reads reads =
       List.iter
         (fun i ->
-          Bitset.remove placed i;
+          iset_remove placed i;
           order := List.tl !order)
         reads
     in
@@ -162,16 +277,20 @@ let find_serialization h ~subset ~relation =
     let doomed () =
       let rec scan i =
         if i >= k then false
-        else if Bitset.mem placed i || Op.is_write view.ops.(i) then scan (i + 1)
+        else if iset_mem placed i || Op.is_write view.ops.(i) then scan (i + 1)
         else begin
           let slot = var_slot view view.ops.(i) in
           match view.source.(i) with
           | -1 -> last_write.(slot) <> -1 || scan (i + 1)
           | -2 -> true (* no candidate writer at all *)
-          | w -> (Bitset.mem placed w && last_write.(slot) <> w) || scan (i + 1)
+          | w -> (iset_mem placed w && last_write.(slot) <> w) || scan (i + 1)
         end
       in
       scan 0
+    in
+    let state_unvisited () =
+      pack_into ~k ~n_placed_words:nw scratch placed last_write;
+      Packed_tbl.add_if_absent memo scratch
     in
     let rec search n_placed =
       let reads = place_ready_reads () in
@@ -179,42 +298,38 @@ let find_serialization h ~subset ~relation =
       let result =
         if n_placed = k then true
         else if doomed () then false
+        else if not (state_unvisited ()) then false
         else begin
-          let key = state_key placed last_write in
-          if Hashtbl.mem memo key then false
-          else begin
-            Hashtbl.add memo key ();
-            (* branch over ready writes, trying sources of pending reads
-               first: they are the only writes that unblock progress *)
-            let wanted = Array.make k false in
-            for i = 0 to k - 1 do
-              if
-                (not (Bitset.mem placed i))
-                && Op.is_read view.ops.(i)
-                && view.source.(i) >= 0
-              then wanted.(view.source.(i)) <- true
-            done;
-            let candidates = ref [] in
-            for i = k - 1 downto 0 do
-              if ready i && Op.is_write view.ops.(i) then candidates := i :: !candidates
-            done;
-            let preferred, rest = List.partition (fun i -> wanted.(i)) !candidates in
-            let rec try_writes = function
-              | [] -> false
-              | i :: tl ->
-                  let slot = var_slot view view.ops.(i) in
-                  let saved = last_write.(slot) in
-                  place i;
-                  if search (n_placed + 1) then true
-                  else begin
-                    Bitset.remove placed i;
-                    order := List.tl !order;
-                    last_write.(slot) <- saved;
-                    try_writes tl
-                  end
-            in
-            try_writes (preferred @ rest)
-          end
+          (* branch over ready writes, trying sources of pending reads
+             first: they are the only writes that unblock progress *)
+          let wanted = Array.make k false in
+          for i = 0 to k - 1 do
+            if
+              (not (iset_mem placed i))
+              && Op.is_read view.ops.(i)
+              && view.source.(i) >= 0
+            then wanted.(view.source.(i)) <- true
+          done;
+          let candidates = ref [] in
+          for i = k - 1 downto 0 do
+            if ready i && Op.is_write view.ops.(i) then candidates := i :: !candidates
+          done;
+          let preferred, rest = List.partition (fun i -> wanted.(i)) !candidates in
+          let rec try_writes = function
+            | [] -> false
+            | i :: tl ->
+                let slot = var_slot view view.ops.(i) in
+                let saved = last_write.(slot) in
+                place i;
+                if search (n_placed + 1) then true
+                else begin
+                  iset_remove placed i;
+                  order := List.tl !order;
+                  last_write.(slot) <- saved;
+                  try_writes tl
+                end
+          in
+          try_writes (preferred @ rest)
         end
       in
       if not result then unplace_reads reads;
@@ -248,6 +363,18 @@ let validate_serialization h ~subset ~relation ~order =
 
 (* --- criterion decomposition --------------------------------------------- *)
 
+(* One pass over the history building the var → operations index used by
+   the per-variable criteria (the lists come out in global-id order). *)
+let ops_by_var h =
+  let tbl = Hashtbl.create 16 in
+  Array.iter
+    (fun (o : Op.t) ->
+      let tail = match Hashtbl.find_opt tbl o.var with Some l -> l | None -> [] in
+      Hashtbl.replace tbl o.var (o :: tail))
+    (History.ops h);
+  fun x ->
+    match Hashtbl.find_opt tbl x with Some l -> List.rev l | None -> []
+
 (* Each criterion is a conjunction of (subset, relation) serialization
    units; [units] returns them with a diagnostic key. *)
 let units criterion h rf =
@@ -270,43 +397,43 @@ let units criterion h rf =
           (p, ids (History.sub_history h p), relation))
   | Cache ->
       let relation = Orders.program_order h in
-      History.vars h
-      |> List.map (fun x ->
-             let subset =
-               History.ops h |> Array.to_list
-               |> List.filter (fun (o : Op.t) -> o.var = x)
-               |> ids
-             in
-             (x, subset, relation))
+      let of_var = ops_by_var h in
+      History.vars h |> List.map (fun x -> (x, ids (of_var x), relation))
   | Slow ->
       let relation =
         Graph.union (Orders.program_order h) (Orders.read_from_relation h rf)
       in
+      let of_var = ops_by_var h in
       List.concat_map
         (fun p ->
           History.vars h
           |> List.filter_map (fun x ->
                  let subset =
-                   History.ops h |> Array.to_list
-                   |> List.filter (fun (o : Op.t) ->
-                          o.var = x && (Op.is_write o || o.proc = p))
+                   of_var x
+                   |> List.filter (fun (o : Op.t) -> Op.is_write o || o.proc = p)
                    |> ids
                  in
                  if subset = [] then None else Some ((p * 1_000_000) + x, subset, relation)))
         (List.init (History.n_procs h) Fun.id)
 
-let check criterion h =
+let check_with ~for_all criterion h =
   match History.read_from h with
   | Error (History.Dangling_read _) -> Inconsistent
   | Error (History.Ambiguous_read _ as e) -> Undecidable e
   | Ok rf ->
       let consistent =
-        List.for_all
+        for_all
           (fun (_, subset, relation) ->
             find_serialization h ~subset ~relation <> None)
           (units criterion h rf)
       in
       if consistent then Consistent else Inconsistent
+
+let check criterion h = check_with ~for_all:List.for_all criterion h
+
+let check_par ?pool criterion h =
+  let pool = match pool with Some p -> p | None -> Pool.default () in
+  check_with ~for_all:(fun pred l -> Pool.for_all pool pred l) criterion h
 
 let is_consistent criterion h =
   match check criterion h with
@@ -328,3 +455,18 @@ let witness criterion h =
             | Some order -> collect ((key, order) :: acc) rest)
       in
       collect [] (units criterion h rf)
+
+module Private = struct
+  let pack_state ~k ~placed ~last_write =
+    if k < 0 then invalid_arg "pack_state: negative k";
+    let nw = words_for k in
+    let words = Array.make nw 0 in
+    List.iter
+      (fun i ->
+        if i < 0 || i >= k then invalid_arg "pack_state: placed index out of range";
+        iset_add words i)
+      placed;
+    let scratch = Array.make (nw + slot_words_for ~k (Array.length last_write)) 0 in
+    pack_into ~k ~n_placed_words:nw scratch words last_write;
+    scratch
+end

@@ -50,6 +50,13 @@ val check : criterion -> History.t -> verdict
 (** [Undecidable] only for ambiguous (non-differentiated) histories; a
     dangling read yields [Inconsistent]. *)
 
+val check_par : ?pool:Repro_util.Pool.t -> criterion -> History.t -> verdict
+(** [check] with the criterion's serialization units (per process for the
+    causal family, per process × variable for Slow, per variable for Cache)
+    farmed across a domain pool ({!Repro_util.Pool.default} unless [pool]
+    is given), with early exit on the first inconsistent unit.  Always
+    returns the same verdict as {!check}. *)
+
 val is_consistent : criterion -> History.t -> bool
 (** [check] collapsed to a boolean.
     @raise Invalid_argument on an ambiguous history. *)
@@ -77,3 +84,14 @@ val witness : criterion -> History.t -> (int * int list) list option
     packed [(proc, var)] or var key for Slow/Cache, [0] for Sequential.
     [None] when inconsistent or undecidable.  Intended for debugging and for
     tests that cross-validate with {!validate_serialization}. *)
+
+(**/**)
+
+module Private : sig
+  val pack_state : k:int -> placed:int list -> last_write:int array -> int array
+  (** The packed memo-key encoding of a search state over a [k]-operation
+      subset: [placed] lists the placed local indices, [last_write.(slot)]
+      is the local index of the last placed write per variable slot ([-1]
+      for none).  Exposed only so tests can assert injectivity of the
+      encoding (notably around the 16-bit slot-packing boundary). *)
+end

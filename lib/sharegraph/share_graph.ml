@@ -60,9 +60,11 @@ let hoops ?(max_hoops = 100_000) t ~var =
   let n = n_procs t in
   (* Build, per endpoint pair (a, b), the graph whose vertices are
      non-clique processes plus a and b, with x-filtered edges; enumerate
-     simple a→b paths. *)
-  let collect (a, b) acc =
-    if List.length acc >= max_hoops then acc
+     simple a→b paths.  The accumulator carries its own length and is
+     grown by prepending (reversed at the end), keeping the whole
+     enumeration linear in the number of hoops rather than quadratic. *)
+  let collect (a, b) (count, acc) =
+    if count >= max_hoops then (count, acc)
     else begin
       let g = Graph.create n in
       for i = 0 to n - 1 do
@@ -73,7 +75,7 @@ let hoops ?(max_hoops = 100_000) t ~var =
             Graph.add_undirected_edge g i j
         done
       done;
-      let paths = Graph.simple_paths ~max_paths:(max_hoops - List.length acc) g ~src:a ~dst:b in
+      let paths = Graph.simple_paths ~max_paths:(max_hoops - count) g ~src:a ~dst:b in
       (* Drop paths that bounce through the other endpoint as an interior
          vertex (simple_paths already forbids revisits, but b can appear
          only as the terminus, and a cannot reappear; also forbid paths
@@ -85,14 +87,18 @@ let hoops ?(max_hoops = 100_000) t ~var =
             let interior = List.filteri (fun k _ -> k < List.length rest - 1) rest in
             List.for_all (fun v -> v <> a && v <> b) interior
       in
-      acc @ List.filter valid paths
+      List.fold_left
+        (fun (count, acc) path ->
+          if valid path then (count + 1, path :: acc) else (count, acc))
+        (count, acc) paths
     end
   in
   let rec pairs = function
     | [] -> []
     | a :: rest -> List.map (fun b -> (a, b)) rest @ pairs rest
   in
-  List.fold_left (fun acc pair -> collect pair acc) [] (pairs members)
+  let _, acc = List.fold_left (fun acc pair -> collect pair acc) (0, []) (pairs members) in
+  List.rev acc
 
 let on_hoop t ~var ~proc =
   let clique_set = Distribution.holders_set t.dist var in

@@ -1,0 +1,73 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+let add_escaped buffer s =
+  Buffer.add_char buffer '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buffer "\\\""
+      | '\\' -> Buffer.add_string buffer "\\\\"
+      | '\n' -> Buffer.add_string buffer "\\n"
+      | '\r' -> Buffer.add_string buffer "\\r"
+      | '\t' -> Buffer.add_string buffer "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buffer (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buffer c)
+    s;
+  Buffer.add_char buffer '"'
+
+let add_float buffer f =
+  match Float.classify_float f with
+  | FP_nan | FP_infinite -> Buffer.add_string buffer "null"
+  | _ -> Buffer.add_string buffer (Printf.sprintf "%.17g" f)
+
+let rec add ~indent buffer v =
+  let pad n = String.make (2 * n) ' ' in
+  match v with
+  | Null -> Buffer.add_string buffer "null"
+  | Bool b -> Buffer.add_string buffer (string_of_bool b)
+  | Int i -> Buffer.add_string buffer (string_of_int i)
+  | Float f -> add_float buffer f
+  | String s -> add_escaped buffer s
+  | List [] -> Buffer.add_string buffer "[]"
+  | List items ->
+      Buffer.add_string buffer "[\n";
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_string buffer ",\n";
+          Buffer.add_string buffer (pad (indent + 1));
+          add ~indent:(indent + 1) buffer item)
+        items;
+      Buffer.add_char buffer '\n';
+      Buffer.add_string buffer (pad indent);
+      Buffer.add_char buffer ']'
+  | Obj [] -> Buffer.add_string buffer "{}"
+  | Obj fields ->
+      Buffer.add_string buffer "{\n";
+      List.iteri
+        (fun i (name, value) ->
+          if i > 0 then Buffer.add_string buffer ",\n";
+          Buffer.add_string buffer (pad (indent + 1));
+          add_escaped buffer name;
+          Buffer.add_string buffer ": ";
+          add ~indent:(indent + 1) buffer value)
+        fields;
+      Buffer.add_char buffer '\n';
+      Buffer.add_string buffer (pad indent);
+      Buffer.add_char buffer '}'
+
+let to_string v =
+  let buffer = Buffer.create 256 in
+  add ~indent:0 buffer v;
+  Buffer.contents buffer
+
+let to_channel oc v =
+  output_string oc (to_string v);
+  output_char oc '\n'

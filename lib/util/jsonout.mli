@@ -1,0 +1,21 @@
+(** Minimal JSON emission (no external dependency) for the benchmark
+    trajectory records and the CLI's machine-readable table dumps.
+
+    Output is deterministic: object fields print in the order given,
+    floats with ["%.17g"] (round-trippable), non-finite floats as
+    [null]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+
+val to_channel : out_channel -> t -> unit
+(** Pretty-printed with two-space indentation and a trailing newline —
+    the files are meant to be diffed and accumulated in git. *)

@@ -1,0 +1,65 @@
+(** A work-stealing pool of OCaml 5 domains for CPU-bound fan-out.
+
+    The pool owns [jobs - 1] worker domains; the caller of {!run} / {!map} /
+    {!for_all} is the remaining worker, so a pool with [jobs = 1] spawns no
+    domains and executes everything inline with zero scheduling overhead.
+
+    Scheduling: each parallel call publishes a batch of tasks.  Idle workers
+    steal tasks from the newest published batch first (LIFO over batches,
+    FIFO within a batch), which keeps nested batches hot and bounds the
+    number of live batches by the nesting depth.  The submitting worker
+    participates in its own batch and only blocks once every task of the
+    batch has been claimed; a worker blocked on a nested batch always
+    drains that batch's unclaimed tasks itself first, so nesting parallel
+    calls (an experiment table farming per-unit consistency checks, say)
+    cannot deadlock.
+
+    Results are joined in submission order, so the output of a parallel map
+    is deterministic no matter how tasks were scheduled.  Exceptions raised
+    by tasks cancel the rest of the batch and are re-raised in the
+    submitter. *)
+
+type t
+
+val create : ?jobs:int -> unit -> t
+(** [create ~jobs ()] makes a pool of [jobs] workers ([jobs - 1] spawned
+    domains plus the caller).  Default: {!Domain.recommended_domain_count}.
+    @raise Invalid_argument when [jobs < 1]. *)
+
+val jobs : t -> int
+
+val run : t -> (unit -> 'a) list -> 'a list
+(** Execute the thunks, possibly in parallel, and return their results in
+    submission order.  Re-raises the first exception (in submission order)
+    raised by a thunk, after the whole batch has settled. *)
+
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** [map t f xs] is [run t (List.map (fun x () -> f x) xs)]. *)
+
+val for_all : t -> ('a -> bool) -> 'a list -> bool
+(** Parallel conjunction with early exit: once any task returns [false],
+    unclaimed tasks of the batch are abandoned.  The predicate may run on
+    elements past the first failing one (tasks already in flight are not
+    interrupted). *)
+
+val shutdown : t -> unit
+(** Join the worker domains.  Idempotent; the pool must be idle.  Calling
+    {!run} on a shut-down pool raises [Invalid_argument]. *)
+
+(** {1 Default pool}
+
+    A process-wide pool shared by the checker, the experiment harness and
+    the benchmark driver, created on first use and resized by [--jobs]. *)
+
+val default : unit -> t
+(** The shared pool, created on first call with the default worker count
+    (or [$REPRO_JOBS] when set to a positive integer). *)
+
+val set_default_jobs : int -> unit
+(** Replace the default pool with one of the given size (shutting the old
+    one down).  This is what [--jobs N] calls.
+    @raise Invalid_argument when [jobs < 1]. *)
+
+val default_jobs : unit -> int
+(** Worker count of the pool {!default} returns (without forcing its
+    creation beyond reading the configuration). *)

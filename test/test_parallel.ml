@@ -1,0 +1,272 @@
+(* Tests for the multicore layer: the work-stealing domain pool (ordering,
+   early exit, nesting, exception propagation), the [Checker.check_par] ≡
+   [Checker.check] parity property over random histories for every
+   criterion, and injectivity of the packed memo-state encoding — in
+   particular around the 16-bit slot-packing boundary where the previous
+   string-based encoding collided. *)
+
+module Pool = Repro_util.Pool
+module Checker = Repro_history.Checker
+module Generator = Repro_history.Generator
+module History = Repro_history.History
+module Rng = Repro_util.Rng
+
+let check = Alcotest.check
+let qcheck = QCheck_alcotest.to_alcotest
+
+let with_pool jobs f =
+  let pool = Pool.create ~jobs () in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) (fun () -> f pool)
+
+(* --- pool ----------------------------------------------------------------- *)
+
+let test_pool_jobs () =
+  with_pool 3 (fun pool -> check Alcotest.int "jobs" 3 (Pool.jobs pool));
+  with_pool 1 (fun pool -> check Alcotest.int "jobs one" 1 (Pool.jobs pool))
+
+let test_pool_map_order () =
+  with_pool 3 (fun pool ->
+      let input = List.init 100 Fun.id in
+      check
+        Alcotest.(list int)
+        "squares in submission order"
+        (List.map (fun x -> x * x) input)
+        (Pool.map pool (fun x -> x * x) input));
+  (* jobs = 1 runs inline and must agree *)
+  with_pool 1 (fun pool ->
+      check
+        Alcotest.(list int)
+        "inline map" [ 2; 4; 6 ]
+        (Pool.map pool (fun x -> 2 * x) [ 1; 2; 3 ]))
+
+let test_pool_run_order () =
+  with_pool 2 (fun pool ->
+      let results =
+        Pool.run pool
+          (List.init 20 (fun i () ->
+               (* stagger the work so completion order differs from
+                  submission order *)
+               let n = if i mod 2 = 0 then 10_000 else 10 in
+               let acc = ref 0 in
+               for j = 1 to n do
+                 acc := !acc + j
+               done;
+               ignore !acc;
+               i))
+      in
+      check Alcotest.(list int) "submission order" (List.init 20 Fun.id) results)
+
+let test_pool_empty_and_singleton () =
+  with_pool 2 (fun pool ->
+      check Alcotest.(list int) "empty" [] (Pool.map pool Fun.id []);
+      check Alcotest.(list int) "singleton" [ 7 ] (Pool.map pool Fun.id [ 7 ]))
+
+let test_pool_for_all () =
+  with_pool 2 (fun pool ->
+      let l = List.init 50 Fun.id in
+      check Alcotest.bool "all pass" true (Pool.for_all pool (fun x -> x >= 0) l);
+      check Alcotest.bool "one fails" false
+        (Pool.for_all pool (fun x -> x <> 37) l);
+      check Alcotest.bool "vacuous" true (Pool.for_all pool (fun _ -> false) []))
+
+let test_pool_for_all_matches_sequential () =
+  with_pool 3 (fun pool ->
+      let rng = Rng.create 42 in
+      for _ = 1 to 20 do
+        let l = List.init (1 + Rng.int rng 10) (fun _ -> Rng.int rng 100) in
+        let pred x = x mod 7 <> 0 in
+        check Alcotest.bool "matches List.for_all" (List.for_all pred l)
+          (Pool.for_all pool pred l)
+      done)
+
+let test_pool_nested () =
+  (* tasks submitted from inside pool tasks must not deadlock, and outer
+     ordering must survive inner parallelism *)
+  with_pool 2 (fun pool ->
+      let result =
+        Pool.map pool
+          (fun i ->
+            List.fold_left ( + ) 0
+              (Pool.map pool (fun j -> (10 * i) + j) [ 1; 2; 3 ]))
+          [ 1; 2; 3; 4 ]
+      in
+      check
+        Alcotest.(list int)
+        "nested sums" [ 36; 66; 96; 126 ] result)
+
+let test_pool_exception () =
+  with_pool 2 (fun pool ->
+      Alcotest.check_raises "first submission-order failure wins"
+        (Failure "first") (fun () ->
+          ignore
+            (Pool.run pool
+               [
+                 (fun () -> failwith "first");
+                 (fun () -> failwith "second");
+                 (fun () -> 3);
+               ]));
+      (* the pool survives a failed batch *)
+      check Alcotest.(list int) "pool still works" [ 1; 2 ]
+        (Pool.map pool Fun.id [ 1; 2 ]))
+
+let test_default_pool_jobs () =
+  Pool.set_default_jobs 2;
+  check Alcotest.int "default jobs" 2 (Pool.default_jobs ());
+  check Alcotest.int "default pool sized" 2 (Pool.jobs (Pool.default ()));
+  Pool.set_default_jobs 1;
+  check Alcotest.int "resized down" 1 (Pool.default_jobs ())
+
+(* --- check_par ≡ check ---------------------------------------------------- *)
+
+let shared_pool = Pool.create ~jobs:2 ()
+let () = at_exit (fun () -> Pool.shutdown shared_pool)
+
+let verdict_equal a b =
+  match (a, b) with
+  | Checker.Consistent, Checker.Consistent
+  | Checker.Inconsistent, Checker.Inconsistent
+  | Checker.Undecidable _, Checker.Undecidable _ ->
+      true
+  | _ -> false
+
+let parity_on h =
+  List.for_all
+    (fun criterion ->
+      verdict_equal
+        (Checker.check criterion h)
+        (Checker.check_par ~pool:shared_pool criterion h))
+    Checker.all_criteria
+
+let test_par_parity_arbitrary =
+  qcheck
+    (QCheck.Test.make ~name:"check_par_equals_check_on_arbitrary" ~count:60
+       QCheck.small_int (fun seed ->
+         parity_on
+           (Generator.arbitrary (Rng.create seed)
+              { Generator.procs = 3; vars = 2; ops_per_proc = 3; read_ratio = 0.5 })))
+
+let test_par_parity_consistent =
+  qcheck
+    (QCheck.Test.make ~name:"check_par_equals_check_on_consistent" ~count:30
+       QCheck.small_int (fun seed ->
+         let profile =
+           { Generator.procs = 3; vars = 3; ops_per_proc = 4; read_ratio = 0.5 }
+         in
+         parity_on (Generator.pram_consistent (Rng.create seed) profile)
+         && parity_on (Generator.causal_consistent (Rng.create (seed + 500)) profile)
+         && parity_on
+              (Generator.sequential_consistent (Rng.create (seed + 1000)) profile)))
+
+(* --- packed state-key injectivity ---------------------------------------- *)
+
+let pack = Checker.Private.pack_state
+
+let distinct name a b =
+  check Alcotest.bool name true (a <> b)
+
+let test_pack_distinct_placed () =
+  let last_write = [| 3; -1 |] in
+  distinct "placed differ within a word"
+    (pack ~k:64 ~placed:[ 0; 5; 31 ] ~last_write)
+    (pack ~k:64 ~placed:[ 0; 5; 30 ] ~last_write);
+  distinct "placed differ across words"
+    (pack ~k:64 ~placed:[ 0; 5; 32 ] ~last_write)
+    (pack ~k:64 ~placed:[ 0; 5; 33 ] ~last_write);
+  distinct "subset vs superset"
+    (pack ~k:64 ~placed:[ 0; 5 ] ~last_write)
+    (pack ~k:64 ~placed:[ 0; 5; 63 ] ~last_write)
+
+let test_pack_distinct_slots () =
+  (* three 16-bit slots share a word: permutations and single-slot shifts
+     must stay distinct *)
+  distinct "slot permutation"
+    (pack ~k:8 ~placed:[ 0 ] ~last_write:[| 0; 1; 2; 3 |])
+    (pack ~k:8 ~placed:[ 0 ] ~last_write:[| 3; 2; 1; 0 |]);
+  distinct "slot shift"
+    (pack ~k:8 ~placed:[ 0 ] ~last_write:[| 1; -1; -1; -1 |])
+    (pack ~k:8 ~placed:[ 0 ] ~last_write:[| -1; 1; -1; -1 |]);
+  distinct "none vs first op"
+    (pack ~k:8 ~placed:[ 0 ] ~last_write:[| -1 |])
+    (pack ~k:8 ~placed:[ 0 ] ~last_write:[| 0 |])
+
+let test_pack_16bit_boundary () =
+  (* k = 0xffff is the largest subset whose slots fit 16 bits: the extreme
+     index must still be distinguishable from its neighbours and from
+     "no write placed" *)
+  let k = 0xffff in
+  distinct "max slot vs none"
+    (pack ~k ~placed:[] ~last_write:[| k - 1 |])
+    (pack ~k ~placed:[] ~last_write:[| -1 |]);
+  distinct "max slot vs predecessor"
+    (pack ~k ~placed:[] ~last_write:[| k - 1 |])
+    (pack ~k ~placed:[] ~last_write:[| k - 2 |]);
+  (* beyond the boundary the encoding switches to one slot per word; the
+     pair that collided under 16-bit wrapping (w + 1 ≡ 0 mod 2^16) must now
+     differ *)
+  let k = 0x10000 + 1 in
+  distinct "wide mode: wrap pair"
+    (pack ~k ~placed:[] ~last_write:[| 0xffff |])
+    (pack ~k ~placed:[] ~last_write:[| -1 |]);
+  distinct "wide mode: wrap pair shifted"
+    (pack ~k ~placed:[] ~last_write:[| 0x10000 |])
+    (pack ~k ~placed:[] ~last_write:[| 0 |])
+
+let test_pack_exhaustive_small () =
+  (* every (placed ⊆ {0..5}, last_write ∈ {-1..5}²) state gets a unique
+     key: 64 × 49 = 3136 distinct encodings *)
+  let k = 6 in
+  let keys = Hashtbl.create 4096 in
+  let subsets =
+    List.init 64 (fun mask ->
+        List.filter (fun i -> mask land (1 lsl i) <> 0) (List.init 6 Fun.id))
+  in
+  List.iter
+    (fun placed ->
+      for w0 = -1 to 5 do
+        for w1 = -1 to 5 do
+          let key = Array.to_list (pack ~k ~placed ~last_write:[| w0; w1 |]) in
+          (match Hashtbl.find_opt keys key with
+          | Some other ->
+              Alcotest.failf "collision: (%s, %d, %d) with %s"
+                (String.concat "," (List.map string_of_int placed))
+                w0 w1 other
+          | None -> ());
+          Hashtbl.add keys key
+            (Printf.sprintf "(%s, %d, %d)"
+               (String.concat "," (List.map string_of_int placed))
+               w0 w1)
+        done
+      done)
+    subsets;
+  check Alcotest.int "all keys distinct" (64 * 7 * 7) (Hashtbl.length keys)
+
+(* --- suite ---------------------------------------------------------------- *)
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "jobs" `Quick test_pool_jobs;
+          Alcotest.test_case "map order" `Quick test_pool_map_order;
+          Alcotest.test_case "run order" `Quick test_pool_run_order;
+          Alcotest.test_case "empty and singleton" `Quick
+            test_pool_empty_and_singleton;
+          Alcotest.test_case "for_all" `Quick test_pool_for_all;
+          Alcotest.test_case "for_all matches sequential" `Quick
+            test_pool_for_all_matches_sequential;
+          Alcotest.test_case "nested" `Quick test_pool_nested;
+          Alcotest.test_case "exception" `Quick test_pool_exception;
+          Alcotest.test_case "default pool jobs" `Quick test_default_pool_jobs;
+        ] );
+      ( "check_par",
+        [ test_par_parity_arbitrary; test_par_parity_consistent ] );
+      ( "packed state key",
+        [
+          Alcotest.test_case "distinct placed" `Quick test_pack_distinct_placed;
+          Alcotest.test_case "distinct slots" `Quick test_pack_distinct_slots;
+          Alcotest.test_case "16-bit boundary" `Quick test_pack_16bit_boundary;
+          Alcotest.test_case "exhaustive small space" `Quick
+            test_pack_exhaustive_small;
+        ] );
+    ]
