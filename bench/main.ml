@@ -21,6 +21,12 @@ module Distribution = Repro_sharegraph.Distribution
 module Workload = Repro_core.Workload
 module Registry = Repro_core.Registry
 module Pram_partial = Repro_core.Pram_partial
+module Pram_reliable = Repro_core.Pram_reliable
+module Causal_partial = Repro_core.Causal_partial
+module Memory = Repro_core.Memory
+module Net = Repro_msgpass.Net
+module Latency = Repro_msgpass.Latency
+module Fault = Repro_msgpass.Fault
 module Bellman_ford = Repro_apps.Bellman_ford
 module Wgraph = Repro_apps.Wgraph
 module Rng = Repro_util.Rng
@@ -118,6 +124,82 @@ let micro_tests =
       (Staged.stage (fun () -> Bellman_ford.run ~seed Wgraph.fig8 ~source:0));
   ]
 
+(* --- sim: simulation-throughput group ----------------------------------------
+   The discrete-event engine bounds every experiment table, so its raw
+   throughput gets its own benchmark tier.  Each probe returns the number
+   of deliveries it processed (deterministic in the seed), so the JSON
+   record can report events/second alongside the per-run time. *)
+
+(* Dense broadcast storm: every delivery fans out to all peers until the
+   round budget is spent, keeping the scheduler heap deep — this measures
+   pure Net.push/pop plus envelope handling, no protocol logic. *)
+let sim_dense_broadcast () =
+  let n = 16 in
+  let net = Net.create ~n ~latency:(Latency.uniform ~lo:1 ~hi:16) ~seed:97 () in
+  let budget = ref 2_000 in
+  for p = 0 to n - 1 do
+    Net.set_handler net p (fun _ ->
+        if !budget > 0 then begin
+          decr budget;
+          for q = 0 to n - 1 do
+            if q <> p then Net.send net ~src:p ~dst:q ~control_bytes:8 ()
+          done
+        end)
+  done;
+  for q = 1 to n - 1 do
+    Net.send net ~src:0 ~dst:q ()
+  done;
+  Net.run net;
+  (Net.stats net).Net.delivered
+
+(* End-to-end E1 row at n=24: causal-partial broadcasts Θ(n) vector stamps
+   to every process, so this drives the causal pending buffers at the
+   depth the scaling sweeps reach. *)
+let sim_causal_e1 () =
+  let n = 24 in
+  let dist =
+    Distribution.random (Rng.create (seed + n)) ~n_procs:n ~n_vars:(2 * n)
+      ~replicas_per_var:3
+  in
+  let memory = Causal_partial.create ~dist ~seed () in
+  let profile = { Workload.ops_per_proc = 8; read_ratio = 0.4; max_think = 3 } in
+  let _h = Workload.run_random ~profile ~seed:(seed + 1) memory in
+  (memory.Memory.metrics ()).Memory.messages_delivered
+
+(* End-to-end lossy run: pram-reliable under 30% drop + duplication keeps
+   large go-back-N buffers and many retransmission timers in flight. *)
+let sim_pram_loss () =
+  let n = 12 in
+  let dist =
+    Distribution.random (Rng.create (seed + 5)) ~n_procs:n ~n_vars:(2 * n)
+      ~replicas_per_var:3
+  in
+  let faults = { Fault.drop = 0.3; duplicate = 0.05; reorder = false } in
+  let memory = Pram_reliable.create ~faults ~dist ~seed () in
+  let profile = { Workload.ops_per_proc = 12; read_ratio = 0.4; max_think = 3 } in
+  let _h = Workload.run_random ~profile ~seed:(seed + 1) memory in
+  (memory.Memory.metrics ()).Memory.messages_delivered
+
+let sim_cases =
+  [
+    ("sim:dense-broadcast", sim_dense_broadcast);
+    ("sim:causal-e1", sim_causal_e1);
+    ("sim:pram-loss", sim_pram_loss);
+  ]
+
+let sim_events = lazy (List.map (fun (name, f) -> (name, f ())) sim_cases)
+
+(* bechamel reports grouped names ("repro sim:..."): match on the suffix *)
+let sim_events_of name =
+  List.find_map
+    (fun (n, e) -> if String.ends_with ~suffix:n name then Some e else None)
+    (Lazy.force sim_events)
+
+let sim_tests =
+  List.map
+    (fun (name, f) -> Test.make ~name (Staged.stage (fun () -> ignore (f ()))))
+    sim_cases
+
 (* The sequential-vs-parallel comparison group: the E1-scaling workload at
    n = 8 (2n variables, 3 replicas each, the table's profile) produces a
    history whose causal/PRAM checks decompose into one serialization unit
@@ -185,14 +267,26 @@ let json_record rows =
   let results =
     List.map
       (fun (name, estimate) ->
+        let events =
+          match sim_events_of name with
+          | Some e when e > 0 -> [ ("events", Jsonout.Int e) ]
+          | _ -> []
+        in
+        let throughput =
+          match (estimate, sim_events_of name) with
+          | Some ns, Some e when e > 0 && ns > 0.0 ->
+              [ ("events_per_sec", Jsonout.Float (float_of_int e /. ns *. 1e9)) ]
+          | _ -> []
+        in
         Jsonout.Obj
-          [
-            ("benchmark", Jsonout.String name);
-            ( "time_per_run_ns",
-              match estimate with
-              | Some ns -> Jsonout.Float ns
-              | None -> Jsonout.Null );
-          ])
+          ([
+             ("benchmark", Jsonout.String name);
+             ( "time_per_run_ns",
+               match estimate with
+               | Some ns -> Jsonout.Float ns
+               | None -> Jsonout.Null );
+           ]
+          @ events @ throughput))
       rows
   in
   let find suffix =
@@ -222,45 +316,68 @@ let json_record rows =
       ("results", Jsonout.List results);
     ]
 
-let run_benchmarks ?json () =
-  (* the seq-vs-par probes take hundreds of ms each; give that group a
-     larger quota so OLS sees enough runs *)
-  let rows =
-    bench_group ~quota:0.5 (table_tests @ micro_tests)
-    @ bench_group ~quota:2.0 comparison_tests
-  in
-  let rows = List.sort compare rows in
+let print_rows rows =
   print_endline "== Bechamel timings (monotonic clock, OLS per run) ==";
-  Table.print ~header:[ "benchmark"; "time/run" ]
+  Table.print ~header:[ "benchmark"; "time/run"; "events/sec" ]
     ~rows:
       (List.map
          (fun (name, estimate) ->
-           [ name; (match estimate with Some e -> fmt_ns e | None -> "n/a") ])
+           let throughput =
+             match (estimate, sim_events_of name) with
+             | Some ns, Some e when e > 0 && ns > 0.0 ->
+                 Printf.sprintf "%.0f" (float_of_int e /. ns *. 1e9)
+             | _ -> ""
+           in
+           [
+             name;
+             (match estimate with Some e -> fmt_ns e | None -> "n/a");
+             throughput;
+           ])
          rows)
-    ();
-  match json with
+    ()
+
+let write_json rows = function
   | None -> ()
   | Some path ->
       Out_channel.with_open_text path (fun oc ->
           Jsonout.to_channel oc (json_record rows));
       Printf.printf "wrote %s\n" path
 
+let run_benchmarks ?json () =
+  (* the seq-vs-par probes take hundreds of ms each; give that group a
+     larger quota so OLS sees enough runs *)
+  let rows =
+    bench_group ~quota:0.5 (table_tests @ micro_tests @ sim_tests)
+    @ bench_group ~quota:2.0 comparison_tests
+  in
+  let rows = List.sort compare rows in
+  print_rows rows;
+  write_json rows json
+
+let run_sim_benchmarks ?json () =
+  let rows = List.sort compare (bench_group ~quota:1.0 sim_tests) in
+  print_rows rows;
+  write_json rows json
+
 (* --- argument parsing ---------------------------------------------------------- *)
 
-type mode = Default | Tables_only | One_experiment of string
+type mode = Default | Tables_only | One_experiment of string | Sim_only
 
 let () =
   let mode = ref Default in
   let json = ref None in
   let usage () =
     prerr_endline
-      "usage: bench [--tables] [--experiment ID] [--jobs N] [--json FILE]";
+      "usage: bench [--tables] [--sim] [--experiment ID] [--jobs N] [--json FILE]";
     exit 1
   in
   let rec parse = function
     | [] -> ()
     | "--tables" :: rest ->
         mode := Tables_only;
+        parse rest
+    | "--sim" :: rest ->
+        mode := Sim_only;
         parse rest
     | "--experiment" :: id :: rest ->
         mode := One_experiment id;
@@ -279,6 +396,7 @@ let () =
   parse (List.tl (Array.to_list Sys.argv));
   match !mode with
   | Tables_only -> print_tables ()
+  | Sim_only -> run_sim_benchmarks ?json:!json ()
   | One_experiment id -> if not (print_one id) then exit 1
   | Default ->
       print_tables ();

@@ -1,0 +1,147 @@
+(* Round-exact causal delivery buffering.
+
+   The protocols used to keep one pending list per process and, on every
+   arrival, repeatedly [List.partition] it against the vector clock —
+   O(pending²) per drain.  This module reproduces that drain order exactly
+   (see "round semantics" below) in amortized O(1) per applied update:
+
+   - Per-writer ring windows.  An update from [writer] stamped [ts] can
+     only become deliverable when it is the writer's next unapplied write,
+     i.e. [ts.(writer) = vc.(writer) + 1].  Updates are therefore filed in
+     a circular window per writer, indexed by [ts.(writer)] relative to the
+     window base [vc.(writer) + 1]; only the window head is ever a
+     delivery candidate.  Gossip floods can deliver a writer's notices out
+     of order, which the sparse slots absorb.
+
+   - Counter-indexed readiness.  A blocked head scans its dependency
+     vector left to right and parks on the first entry [k] with
+     [vc.(k) < ts.(k)].  It is re-examined only when [vc.(k)] advances,
+     resuming the scan where it parked (vector clocks only grow, so
+     entries already satisfied stay satisfied).  Each update is thus
+     scanned O(n) total over its lifetime instead of O(n) per drain pass.
+
+   Round semantics.  The historical drain applied, in arrival order, every
+   update ready against the vector clock as it stood at the start of the
+   pass, then re-partitioned.  An update unblocked mid-pass waited for the
+   next pass even if it arrived before a later update of the same pass.
+   Apply order is observable (last-writer-wins stores), so the engine
+   emulates passes: heads unblocked while a round is applied are collected
+   and sorted by arrival index to form the next round.  Between arrivals
+   the buffer is at fixpoint, and a fresh arrival can unblock nothing but
+   itself, so its round is the singleton historical partition produced. *)
+
+type 'a entry = {
+  e_ts : int array;
+  e_arrival : int;
+  e_payload : 'a;
+  mutable e_scan : int; (* dependency-scan resume position *)
+}
+
+(* Circular per-writer window; slot [ (head + i) mod capacity ] holds the
+   update with ts.(writer) = base + i, where base = vc.(writer) + 1. *)
+type 'a window = {
+  mutable slots : 'a entry option array;
+  mutable head : int;
+}
+
+type 'a t = {
+  n : int;
+  vc : int array; (* vc.(k): number of k's writes processed here *)
+  windows : 'a window array;
+  waiters : int list array; (* waiters.(k): writers parked on entry k *)
+  mutable next_round : (int * 'a entry) list;
+  mutable arrivals : int;
+  apply : 'a -> unit;
+  release : int array -> unit;
+}
+
+let create ?(release = fun _ -> ()) ~n ~apply () =
+  {
+    n;
+    vc = Array.make n 0;
+    windows = Array.init n (fun _ -> { slots = [||]; head = 0 });
+    waiters = Array.make n [];
+    next_round = [];
+    arrivals = 0;
+    apply;
+    release;
+  }
+
+let vc t = t.vc
+
+let tick t k = t.vc.(k) <- t.vc.(k) + 1
+
+let window_get w off =
+  let cap = Array.length w.slots in
+  if off >= cap then None else w.slots.((w.head + off) mod cap)
+
+let window_set w off entry =
+  let cap = Array.length w.slots in
+  if off >= cap then begin
+    let rec fit c = if c > off then c else fit (2 * c) in
+    let slots = Array.make (fit (max 4 cap)) None in
+    for i = 0 to cap - 1 do
+      slots.(i) <- w.slots.((w.head + i) mod cap)
+    done;
+    w.slots <- slots;
+    w.head <- 0
+  end;
+  w.slots.((w.head + off) mod Array.length w.slots) <- Some entry
+
+let window_advance w =
+  w.slots.(w.head) <- None;
+  w.head <- (w.head + 1) mod Array.length w.slots
+
+(* Examine the head of [writer]'s window: queue it for the next round if
+   every dependency is met, otherwise park it on the first unmet entry.
+   Callers guarantee the head is neither parked nor queued already. *)
+let check_head t writer =
+  match window_get t.windows.(writer) 0 with
+  | None -> ()
+  | Some entry ->
+      let rec scan k =
+        if k >= t.n then t.next_round <- (writer, entry) :: t.next_round
+        else if k = writer || t.vc.(k) >= entry.e_ts.(k) then scan (k + 1)
+        else begin
+          entry.e_scan <- k;
+          t.waiters.(k) <- writer :: t.waiters.(k)
+        end
+      in
+      scan entry.e_scan
+
+let apply_entry t writer entry =
+  t.apply entry.e_payload;
+  t.vc.(writer) <- t.vc.(writer) + 1;
+  window_advance t.windows.(writer);
+  t.release entry.e_ts;
+  check_head t writer;
+  match t.waiters.(writer) with
+  | [] -> ()
+  | woken ->
+      t.waiters.(writer) <- [];
+      List.iter (check_head t) woken
+
+let by_arrival (_, a) (_, b) = compare a.e_arrival b.e_arrival
+
+let rec run_rounds t =
+  match t.next_round with
+  | [] -> ()
+  | batch ->
+      t.next_round <- [];
+      let batch = List.sort by_arrival batch in
+      List.iter (fun (writer, entry) -> apply_entry t writer entry) batch;
+      run_rounds t
+
+let add t ~writer ~ts payload =
+  let off = ts.(writer) - (t.vc.(writer) + 1) in
+  (* off < 0: already applied (a late duplicate); occupied slot: queued
+     duplicate.  Both were inert in the historical pending list. *)
+  if off >= 0 && window_get t.windows.(writer) off = None then begin
+    let entry =
+      { e_ts = ts; e_arrival = t.arrivals; e_payload = payload; e_scan = 0 }
+    in
+    t.arrivals <- t.arrivals + 1;
+    window_set t.windows.(writer) off entry;
+    if off = 0 then check_head t writer;
+    run_rounds t
+  end

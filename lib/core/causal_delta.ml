@@ -25,33 +25,22 @@ let create ?(latency = Latency.lan) ~dist ~seed () =
   let n = Distribution.n_procs dist in
   let n_vars = Distribution.n_vars dist in
   let store = Array.make_matrix n n_vars Repro_history.Op.Init in
-  (* vc.(p).(k): number of k's writes applied at p (own writes immediate) *)
-  let vc = Array.make_matrix n n 0 in
   (* last vector stamp transmitted per (sender, receiver) channel, and its
      mirror per (receiver, sender); FIFO keeps them in sync *)
   let sent_stamp = Array.init n (fun _ -> Array.make_matrix n n 0) in
   let recv_stamp = Array.init n (fun _ -> Array.make_matrix n n 0) in
-  let pending = Array.make n [] in
-  let ready p ~writer ~ts =
-    let ok = ref (vc.(p).(writer) = ts.(writer) - 1) in
-    Array.iteri (fun k tk -> if k <> writer && vc.(p).(k) < tk then ok := false) ts;
-    !ok
-  in
-  let apply p (var, value, writer) =
-    store.(p).(var) <- value;
-    vc.(p).(writer) <- vc.(p).(writer) + 1;
-    Proto_base.count_apply base
-  in
-  let rec drain p =
-    let appliable, blocked =
-      List.partition (fun (_, _, writer, ts) -> ready p ~writer ~ts) pending.(p)
-    in
-    match appliable with
-    | [] -> ()
-    | _ ->
-        pending.(p) <- blocked;
-        List.iter (fun (var, value, writer, _) -> apply p (var, value, writer)) appliable;
-        drain p
+  (* Stamps are reconstructed per received message (the wire carries only
+     deltas), so each is uniquely owned by its buffer entry and recycles. *)
+  let pool = Stamp_pool.create ~width:n in
+  let bufs =
+    Array.init n (fun p ->
+        Causal_buf.create
+          ~release:(Stamp_pool.release pool)
+          ~n
+          ~apply:(fun (var, value) ->
+            store.(p).(var) <- value;
+            Proto_base.count_apply base)
+          ())
   in
   let on_message p (envelope : msg Net.envelope) =
     match envelope.Net.msg with
@@ -59,9 +48,8 @@ let create ?(latency = Latency.lan) ~dist ~seed () =
         (* reconstruct the full stamp from the per-channel mirror *)
         let mirror = recv_stamp.(p).(writer) in
         List.iter (fun (k, v) -> mirror.(k) <- v) deltas;
-        let ts = Array.copy mirror in
-        pending.(p) <- pending.(p) @ [ (var, value, writer, ts) ];
-        drain p
+        Causal_buf.add bufs.(p) ~writer ~ts:(Stamp_pool.alloc pool mirror)
+          (var, value)
   in
   for p = 0 to n - 1 do
     Net.set_handler (Proto_base.net base) p (on_message p)
@@ -69,8 +57,8 @@ let create ?(latency = Latency.lan) ~dist ~seed () =
   let read ~proc ~var = store.(proc).(var) in
   let write ~proc ~var value =
     store.(proc).(var) <- value;
-    vc.(proc).(proc) <- vc.(proc).(proc) + 1;
-    let ts = vc.(proc) in
+    Causal_buf.tick bufs.(proc) proc;
+    let ts = Causal_buf.vc bufs.(proc) in
     for peer = 0 to n - 1 do
       if peer <> proc then begin
         let last = sent_stamp.(proc).(peer) in
@@ -89,4 +77,6 @@ let create ?(latency = Latency.lan) ~dist ~seed () =
     done
   in
   Proto_base.finish base ~name:"causal-delta" ~read ~write ~blocking_writes:false
-    ~label ()
+    ~label
+    ~on_set_tracing:(fun flag -> if flag then Stamp_pool.freeze pool)
+    ()

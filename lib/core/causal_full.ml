@@ -13,14 +13,6 @@ let label = function
       Printf.sprintf "upd x%d:=%s w%d vc[%s]" var (value_text value) writer
         (String.concat "," (Array.to_list (Array.map string_of_int ts)))
 
-(* Causal broadcast delivery condition: apply the update from [writer]
-   stamped [ts] at a process whose applied-writes vector is [vc] iff it is
-   the next write of [writer] and every dependency is satisfied. *)
-let ready ~vc ~writer ~ts =
-  let ok = ref (vc.(writer) = ts.(writer) - 1) in
-  Array.iteri (fun k tk -> if k <> writer && vc.(k) < tk then ok := false) ts;
-  !ok
-
 let create ?(latency = Latency.lan) ~dist ~seed () =
   if not (Distribution.is_full_replication dist) then
     invalid_arg "Causal_full.create: requires full replication";
@@ -28,44 +20,25 @@ let create ?(latency = Latency.lan) ~dist ~seed () =
   let n = Distribution.n_procs dist in
   let n_vars = Distribution.n_vars dist in
   let store = Array.make_matrix n n_vars Repro_history.Op.Init in
-  (* vc.(p).(k): number of k's writes applied at p (own writes immediate) *)
-  let vc = Array.make_matrix n n 0 in
-  let pending : (int, (int * Memory.value * int * int array) list ref) Hashtbl.t =
-    Hashtbl.create 16
-  in
-  let pending_of p =
-    match Hashtbl.find_opt pending p with
-    | Some l -> l
-    | None ->
-        let l = ref [] in
-        Hashtbl.add pending p l;
-        l
-  in
-  let apply p (var, value, writer, _ts) =
-    store.(p).(var) <- value;
-    vc.(p).(writer) <- vc.(p).(writer) + 1;
-    Proto_base.count_apply base
-  in
-  let rec drain p =
-    let queue = pending_of p in
-    let appliable, blocked =
-      List.partition
-        (fun (_, _, writer, ts) -> ready ~vc:vc.(p) ~writer ~ts)
-        !queue
-    in
-    match appliable with
-    | [] -> ()
-    | _ ->
-        queue := blocked;
-        List.iter (apply p) appliable;
-        drain p
+  let pool = Stamp_pool.create ~width:n in
+  (* Causal broadcast delivery: [bufs.(p)] applies the update from [writer]
+     stamped [ts] once it is the next write of [writer] and every
+     dependency is satisfied; its vector clock counts writes applied at [p]
+     (own writes immediate, via [tick]). *)
+  let bufs =
+    Array.init n (fun p ->
+        Causal_buf.create
+          ~release:(Stamp_pool.release pool)
+          ~n
+          ~apply:(fun (var, value) ->
+            store.(p).(var) <- value;
+            Proto_base.count_apply base)
+          ())
   in
   let on_message p (envelope : msg Net.envelope) =
     match envelope.Net.msg with
     | Update { var; value; writer; ts } ->
-        let queue = pending_of p in
-        queue := !queue @ [ (var, value, writer, ts) ];
-        drain p
+        Causal_buf.add bufs.(p) ~writer ~ts (var, value)
   in
   for p = 0 to n - 1 do
     Net.set_handler (Proto_base.net base) p (on_message p)
@@ -73,15 +46,18 @@ let create ?(latency = Latency.lan) ~dist ~seed () =
   let read ~proc ~var = store.(proc).(var) in
   let write ~proc ~var value =
     store.(proc).(var) <- value;
-    vc.(proc).(proc) <- vc.(proc).(proc) + 1;
-    let ts = Array.copy vc.(proc) in
+    Causal_buf.tick bufs.(proc) proc;
+    let vc = Causal_buf.vc bufs.(proc) in
     for peer = 0 to n - 1 do
       if peer <> proc then
+        (* each recipient gets a private stamp so its buffer can recycle it *)
         Proto_base.send base ~src:proc ~dst:peer
           ~control_bytes:(8 * n) (* the vector clock *)
           ~payload_bytes:Memory.value_bytes ~mentions:[ var ]
-          (Update { var; value; writer = proc; ts })
+          (Update { var; value; writer = proc; ts = Stamp_pool.alloc pool vc })
     done
   in
   Proto_base.finish base ~name:"causal-full" ~read ~write ~blocking_writes:false
-    ~label ()
+    ~label
+    ~on_set_tracing:(fun flag -> if flag then Stamp_pool.freeze pool)
+    ()

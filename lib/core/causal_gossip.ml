@@ -36,35 +36,25 @@ let create ?(latency = Latency.lan) ~dist ~seed () =
     Array.init n (fun p -> Share_graph.neighbours sg p)
   in
   let store = Array.make_matrix n n_vars Repro_history.Op.Init in
-  (* vc.(p).(k): number of k's writes processed (applied or noted) at p *)
-  let vc = Array.make_matrix n n 0 in
-  let pending = Array.make n [] in
+  (* bufs.(p)'s vector clock counts writes processed (applied or noted) at
+     [p].  Flooded notices reach a process along several paths, so a
+     writer's notices can arrive out of order; the buffer's seq-indexed
+     windows absorb that, and its duplicate dropping replaces the explicit
+     pending-list membership test.  Stamps are aliased by every forwarded
+     copy of a notice, so they are not pooled here. *)
+  let bufs =
+    Array.init n (fun p ->
+        Causal_buf.create ~n
+          ~apply:(fun notice ->
+            match notice.n_value with
+            | Some value ->
+                store.(p).(notice.n_var) <- value;
+                Proto_base.count_apply base
+            | None -> ())
+          ())
+  in
   (* seen.(p): notices already received (for gossip dedup), (writer, seq) *)
   let seen = Array.init n (fun _ -> Hashtbl.create 64) in
-  let ready p notice =
-    let ok = ref (vc.(p).(notice.n_writer) = notice.n_ts.(notice.n_writer) - 1) in
-    Array.iteri
-      (fun k tk -> if k <> notice.n_writer && vc.(p).(k) < tk then ok := false)
-      notice.n_ts;
-    !ok
-  in
-  let process p notice =
-    (match notice.n_value with
-    | Some value ->
-        store.(p).(notice.n_var) <- value;
-        Proto_base.count_apply base
-    | None -> ());
-    vc.(p).(notice.n_writer) <- vc.(p).(notice.n_writer) + 1
-  in
-  let rec drain p =
-    let appliable, blocked = List.partition (ready p) pending.(p) in
-    match appliable with
-    | [] -> ()
-    | _ ->
-        pending.(p) <- blocked;
-        List.iter (process p) appliable;
-        drain p
-  in
   let forward p ~came_from notice =
     List.iter
       (fun peer ->
@@ -80,6 +70,9 @@ let create ?(latency = Latency.lan) ~dist ~seed () =
                  ts = notice.n_ts;
                }))
       neighbours.(p)
+  in
+  let consume p notice =
+    Causal_buf.add bufs.(p) ~writer:notice.n_writer ~ts:notice.n_ts notice
   in
   let on_message p (envelope : msg Net.envelope) =
     let notice, has_value =
@@ -97,21 +90,12 @@ let create ?(latency = Latency.lan) ~dist ~seed () =
          flood still spreads exactly once. *)
       Hashtbl.add seen.(p) key ();
       forward p ~came_from:envelope.Net.src notice;
-      if (not holder) || has_value then begin
-        pending.(p) <- pending.(p) @ [ notice ];
-        drain p
-      end
-      else
-        (* holder heard a value-free notice first: remember that the
-           valued update must still be consumed *)
-        Hashtbl.replace seen.(p) key ()
+      if (not holder) || has_value then consume p notice
     end
-    else if holder && has_value && not (List.exists (fun q -> q.n_writer = notice.n_writer && q.n_seq = notice.n_seq) pending.(p)) then begin
-      (* the valued form arriving after the gossip copy: consume it unless
-         it was already queued *)
-      pending.(p) <- pending.(p) @ [ notice ];
-      drain p
-    end
+    else if holder && has_value then
+      (* the valued form arriving after the gossip copy: consume it; the
+         buffer ignores it if it was already queued or applied *)
+      consume p notice
   in
   for p = 0 to n - 1 do
     Net.set_handler (Proto_base.net base) p (on_message p)
@@ -120,10 +104,10 @@ let create ?(latency = Latency.lan) ~dist ~seed () =
   let read ~proc ~var = store.(proc).(var) in
   let write ~proc ~var value =
     store.(proc).(var) <- value;
-    vc.(proc).(proc) <- vc.(proc).(proc) + 1;
+    Causal_buf.tick bufs.(proc) proc;
     let seq = write_seq.(proc) in
     write_seq.(proc) <- seq + 1;
-    let ts = Array.copy vc.(proc) in
+    let ts = Array.copy (Causal_buf.vc bufs.(proc)) in
     Hashtbl.add seen.(proc) (proc, seq) ();
     (* value to the other replica holders *)
     List.iter

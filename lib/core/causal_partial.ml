@@ -20,40 +20,28 @@ let create ?(latency = Latency.lan) ~dist ~seed () =
   let n = Distribution.n_procs dist in
   let n_vars = Distribution.n_vars dist in
   let store = Array.make_matrix n n_vars Repro_history.Op.Init in
-  (* vc.(p).(k): number of k's writes processed (applied or noted) at p *)
-  let vc = Array.make_matrix n n 0 in
-  let pending = Array.make n [] in
-  let ready p ~writer ~ts =
-    let ok = ref (vc.(p).(writer) = ts.(writer) - 1) in
-    Array.iteri (fun k tk -> if k <> writer && vc.(p).(k) < tk then ok := false) ts;
-    !ok
-  in
-  let process p = function
-    | Update { var; value; writer; ts = _ } ->
-        store.(p).(var) <- value;
-        vc.(p).(writer) <- vc.(p).(writer) + 1;
-        Proto_base.count_apply base
-    | Meta { writer; _ } -> vc.(p).(writer) <- vc.(p).(writer) + 1
-  in
-  let stamp_of = function Update { writer; ts; _ } | Meta { writer; ts; _ } -> (writer, ts) in
-  let rec drain p =
-    let appliable, blocked =
-      List.partition
-        (fun m ->
-          let writer, ts = stamp_of m in
-          ready p ~writer ~ts)
-        pending.(p)
-    in
-    match appliable with
-    | [] -> ()
-    | _ ->
-        pending.(p) <- blocked;
-        List.iter (process p) appliable;
-        drain p
+  let pool = Stamp_pool.create ~width:n in
+  (* bufs.(p)'s vector clock counts writes processed (applied or noted) at
+     [p]; [Meta] notices advance it without touching the store. *)
+  let bufs =
+    Array.init n (fun p ->
+        Causal_buf.create
+          ~release:(Stamp_pool.release pool)
+          ~n
+          ~apply:(fun m ->
+            match m with
+            | Update { var; value; _ } ->
+                store.(p).(var) <- value;
+                Proto_base.count_apply base
+            | Meta _ -> ())
+          ())
   in
   let on_message p (envelope : msg Net.envelope) =
-    pending.(p) <- pending.(p) @ [ envelope.Net.msg ];
-    drain p
+    let m = envelope.Net.msg in
+    let writer, ts =
+      match m with Update { writer; ts; _ } | Meta { writer; ts; _ } -> (writer, ts)
+    in
+    Causal_buf.add bufs.(p) ~writer ~ts m
   in
   for p = 0 to n - 1 do
     Net.set_handler (Proto_base.net base) p (on_message p)
@@ -61,10 +49,12 @@ let create ?(latency = Latency.lan) ~dist ~seed () =
   let read ~proc ~var = store.(proc).(var) in
   let write ~proc ~var value =
     store.(proc).(var) <- value;
-    vc.(proc).(proc) <- vc.(proc).(proc) + 1;
-    let ts = Array.copy vc.(proc) in
+    Causal_buf.tick bufs.(proc) proc;
+    let vc = Causal_buf.vc bufs.(proc) in
     for peer = 0 to n - 1 do
-      if peer <> proc then
+      if peer <> proc then begin
+        (* each recipient gets a private stamp so its buffer can recycle it *)
+        let ts = Stamp_pool.alloc pool vc in
         if Distribution.holds dist ~proc:peer ~var then
           Proto_base.send base ~src:proc ~dst:peer
             ~control_bytes:(8 * n)
@@ -75,7 +65,10 @@ let create ?(latency = Latency.lan) ~dist ~seed () =
             ~control_bytes:((8 * n) + 8) (* vector clock + variable id *)
             ~payload_bytes:0 ~mentions:[ var ]
             (Meta { var; writer = proc; ts })
+      end
     done
   in
   Proto_base.finish base ~name:"causal-partial" ~read ~write ~blocking_writes:false
-    ~label ()
+    ~label
+    ~on_set_tracing:(fun flag -> if flag then Stamp_pool.freeze pool)
+    ()

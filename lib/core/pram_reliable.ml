@@ -2,6 +2,7 @@ module Net = Repro_msgpass.Net
 module Latency = Repro_msgpass.Latency
 module Fault = Repro_msgpass.Fault
 module Distribution = Repro_sharegraph.Distribution
+module Ringbuf = Repro_util.Ringbuf
 
 type msg =
   | Data of { var : int; value : Memory.value; seq : int }
@@ -25,9 +26,10 @@ let create ?(faults = default_faults) ?(latency = Latency.lan)
   let n = Distribution.n_procs dist in
   let n_vars = Distribution.n_vars dist in
   let store = Array.make_matrix n n_vars Repro_history.Op.Init in
-  (* go-back-N sender state, per (src, dst) channel *)
-  let out_buf : (int * (int * Memory.value)) list array array =
-    Array.make_matrix n n []
+  (* go-back-N sender state, per (src, dst) channel; the retransmission
+     window is a deque — sends append, cumulative acks pop the prefix *)
+  let out_buf : (int * (int * Memory.value)) Ringbuf.t array array =
+    Array.init n (fun _ -> Array.init n (fun _ -> Ringbuf.create ()))
   in
   let next_seq = Array.make_matrix n n 0 in
   let timer_armed = Array.make_matrix n n false in
@@ -47,11 +49,12 @@ let create ?(faults = default_faults) ?(latency = Latency.lan)
       timer_armed.(src).(dst) <- true;
       Net.at net ~delay:retransmit_after (fun () ->
           timer_armed.(src).(dst) <- false;
-          match out_buf.(src).(dst) with
-          | [] -> () (* everything acknowledged; stay quiet *)
-          | pending ->
-              List.iter (send_data ~src ~dst) pending;
-              arm_timer src dst)
+          let pending = out_buf.(src).(dst) in
+          if not (Ringbuf.is_empty pending) then begin
+            (* everything acknowledged: stay quiet instead *)
+            Ringbuf.iter pending (send_data ~src ~dst);
+            arm_timer src dst
+          end)
     end
   in
   let on_message p (envelope : msg Net.envelope) =
@@ -67,9 +70,17 @@ let create ?(faults = default_faults) ?(latency = Latency.lan)
            the current cumulative position *)
         send_ack ~src:p ~dst:src
     | Ack { next } ->
-        (* p is the original sender; prune everything below [next] *)
-        out_buf.(p).(src) <-
-          List.filter (fun (seq, _) -> seq >= next) out_buf.(p).(src)
+        (* p is the original sender; sequence numbers sit in the window in
+           ascending order, so a cumulative ack prunes a prefix *)
+        let window = out_buf.(p).(src) in
+        let rec prune () =
+          match Ringbuf.peek_front window with
+          | Some (seq, _) when seq < next ->
+              ignore (Ringbuf.pop_front window);
+              prune ()
+          | _ -> ()
+        in
+        prune ()
   in
   for p = 0 to n - 1 do
     Net.set_handler net p (on_message p)
@@ -82,7 +93,7 @@ let create ?(faults = default_faults) ?(latency = Latency.lan)
         if peer <> proc then begin
           let seq = next_seq.(proc).(peer) in
           next_seq.(proc).(peer) <- seq + 1;
-          out_buf.(proc).(peer) <- out_buf.(proc).(peer) @ [ (seq, (var, value)) ];
+          Ringbuf.push_back out_buf.(proc).(peer) (seq, (var, value));
           send_data ~src:proc ~dst:peer (seq, (var, value));
           arm_timer proc peer
         end)

@@ -45,7 +45,7 @@ let metrics t =
   }
 
 let finish t ~name ~read ~write ~blocking_writes ?(blocking_reads = false)
-    ?(label = fun _ -> "msg") () =
+    ?(label = fun _ -> "msg") ?(on_set_tracing = fun _ -> ()) () =
   let check proc var =
     if not (Distribution.holds t.dist ~proc ~var) then
       invalid_arg
@@ -69,7 +69,10 @@ let finish t ~name ~read ~write ~blocking_writes ?(blocking_reads = false)
     metrics = (fun () -> metrics t);
     blocking_writes;
     blocking_reads;
-    set_tracing = (fun flag -> Net.set_tracing t.net flag);
+    set_tracing =
+      (fun flag ->
+        on_set_tracing flag;
+        Net.set_tracing t.net flag);
     msc =
       (fun () ->
         Repro_msgpass.Msc.render ~n_nodes:(Net.n_nodes t.net) ~label

@@ -55,8 +55,12 @@ val finish :
   blocking_writes:bool ->
   ?blocking_reads:bool ->
   ?label:('msg -> string) ->
+  ?on_set_tracing:(bool -> unit) ->
   unit ->
   Memory.t
 (** Assemble the {!Memory.t} record: [step]/[quiesce]/[now]/[schedule] are
     wired to the network, and [read]/[write] are wrapped with
-    {!Memory.check_access}. *)
+    {!Memory.check_access}.  [on_set_tracing] runs before each tracing
+    toggle reaches the network — protocols recycling message stamps use it
+    to {!Stamp_pool.freeze} their pool, since traced envelopes alias the
+    stamps. *)

@@ -1,0 +1,24 @@
+type t = {
+  width : int;
+  mutable free : int array list;
+  mutable frozen : bool;
+}
+
+let create ~width = { width; free = []; frozen = false }
+
+let alloc t src =
+  if Array.length src <> t.width then invalid_arg "Stamp_pool.alloc: bad width";
+  match t.free with
+  | dst :: rest when not t.frozen ->
+      t.free <- rest;
+      Array.blit src 0 dst 0 t.width;
+      dst
+  | _ -> Array.copy src
+
+let release t stamp =
+  if (not t.frozen) && Array.length stamp = t.width then
+    t.free <- stamp :: t.free
+
+let freeze t =
+  t.frozen <- true;
+  t.free <- []

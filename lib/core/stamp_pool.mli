@@ -1,0 +1,29 @@
+(** Freelist of fixed-width vector-clock stamps.
+
+    Causal protocols copy a writer's vector clock into every update they
+    emit; at steady state those copies dominate the allocation profile.
+    The pool recycles stamp arrays whose ownership is provably unique —
+    each message carries its own copy, and the receiving delivery buffer
+    returns it here once the update has been applied.
+
+    Recycling must stop the moment the network trace can observe stamps:
+    traced envelopes alias the arrays, and overwriting them would corrupt
+    rendered message labels.  {!freeze} is therefore permanent; protocols
+    call it the first time tracing is switched on. *)
+
+type t
+
+val create : width:int -> t
+(** [width] is the vector-clock length (number of processes). *)
+
+val alloc : t -> int array -> int array
+(** [alloc t src] returns a private copy of [src]: a recycled array when
+    one is available, a fresh one otherwise. *)
+
+val release : t -> int array -> unit
+(** Return a stamp whose last reader is done with it.  The caller must be
+    the unique owner.  No-op once frozen. *)
+
+val freeze : t -> unit
+(** Permanently disable recycling and drop the freelist (stamps may now be
+    aliased by trace envelopes with unbounded lifetime). *)

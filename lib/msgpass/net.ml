@@ -1,5 +1,7 @@
 module Rng = Repro_util.Rng
 module Pqueue = Repro_util.Pqueue
+module Intheap = Repro_util.Intheap
+module Ringbuf = Repro_util.Ringbuf
 
 type 'msg envelope = {
   src : int;
@@ -26,13 +28,28 @@ type stats = {
   per_node_received : int array;
 }
 
+(* Scheduler keys pack (deliver_time, tie-break seq) into one immediate int:
+   31 bits of time above 31 bits of sequence number, so the heap compares
+   keys with a single unboxed [<] and pushes allocate nothing.  The first
+   event whose time or sequence number leaves that range flips the engine
+   onto [wide], a tuple-keyed queue with the identical ordering, carrying
+   every still-pending event along — behaviour is unchanged, only the
+   constant factor. *)
+let time_bits = 31
+
+let packed_limit = 1 lsl time_bits
+
+let seq_mask = packed_limit - 1
+
 type 'msg t = {
   n : int;
   latency : Latency.t;
   service_time : int;
   faults : Fault.t;
   rng : Rng.t;
-  queue : (int * int, 'msg pending) Pqueue.t; (* key: (time, tie-break seq) *)
+  queue : 'msg pending Intheap.t; (* key: (time lsl 31) lor seq *)
+  mutable wide : (int * int, 'msg pending) Pqueue.t option;
+      (* overflow fallback: explicit (time, seq) keys, same order *)
   mutable seq : int;
   mutable clock : int;
   handlers : ('msg envelope -> unit) array;
@@ -52,12 +69,12 @@ type 'msg t = {
   node_sent : int array;
   node_received : int array;
   mutable tracing : bool;
-  mutable events : 'msg event list; (* reversed *)
+  events : 'msg event Ringbuf.t;
 }
 
 let key_compare (t1, s1) (t2, s2) =
-  let c = compare t1 t2 in
-  if c <> 0 then c else compare s1 s2
+  let c = compare (t1 : int) t2 in
+  if c <> 0 then c else compare (s1 : int) s2
 
 let create ?(faults = Fault.none) ?(service_time = 0) ~n ~latency ~seed () =
   if n <= 0 then invalid_arg "Net.create: need at least one node";
@@ -69,7 +86,8 @@ let create ?(faults = Fault.none) ?(service_time = 0) ~n ~latency ~seed () =
     service_time;
     faults;
     rng = Rng.create seed;
-    queue = Pqueue.create ~cmp:key_compare ();
+    queue = Intheap.create ();
+    wide = None;
     seq = 0;
     clock = 0;
     handlers = Array.make n (fun _ -> ());
@@ -84,7 +102,7 @@ let create ?(faults = Fault.none) ?(service_time = 0) ~n ~latency ~seed () =
     node_sent = Array.make n 0;
     node_received = Array.make n 0;
     tracing = false;
-    events = [];
+    events = Ringbuf.create ();
   }
 
 let n_nodes t = t.n
@@ -95,11 +113,26 @@ let set_handler t node f =
   if node < 0 || node >= t.n then invalid_arg "Net.set_handler: bad node";
   t.handlers.(node) <- f
 
-let record t event = if t.tracing then t.events <- event :: t.events
+(* Call sites guard on [t.tracing] BEFORE building the event, so tracing
+   costs one branch — no allocation — when off. *)
+let record t event = Ringbuf.push_back t.events event
+
+let widen t =
+  let q = Pqueue.create ~cmp:key_compare () in
+  Intheap.iter t.queue (fun key pending ->
+      Pqueue.push q (key lsr time_bits, key land seq_mask) pending);
+  Intheap.clear t.queue;
+  t.wide <- Some q;
+  q
 
 let push t time pending =
   t.seq <- t.seq + 1;
-  Pqueue.push t.queue (time, t.seq) pending
+  match t.wide with
+  | Some q -> Pqueue.push q (time, t.seq) pending
+  | None ->
+      if time < packed_limit && t.seq < packed_limit then
+        Intheap.push t.queue ((time lsl time_bits) lor t.seq) pending
+      else Pqueue.push (widen t) (time, t.seq) pending
 
 let schedule_delivery t envelope =
   let deliver_time =
@@ -122,7 +155,10 @@ let schedule_delivery t envelope =
       time
     end
   in
-  let envelope = { envelope with deliver_time } in
+  let envelope =
+    if deliver_time = envelope.deliver_time then envelope
+    else { envelope with deliver_time }
+  in
   push t deliver_time (Deliver envelope)
 
 let send t ~src ~dst ?(control_bytes = 0) ?(payload_bytes = 0) msg =
@@ -144,10 +180,10 @@ let send t ~src ~dst ?(control_bytes = 0) ?(payload_bytes = 0) msg =
   t.node_sent.(src) <- t.node_sent.(src) + 1;
   t.control_bytes <- t.control_bytes + control_bytes;
   t.payload_bytes <- t.payload_bytes + payload_bytes;
-  record t (Sent envelope);
+  if t.tracing then record t (Sent envelope);
   if Rng.coin t.rng t.faults.Fault.drop then begin
     t.dropped <- t.dropped + 1;
-    record t (Dropped envelope)
+    if t.tracing then record t (Dropped envelope)
   end
   else begin
     schedule_delivery t envelope;
@@ -162,19 +198,43 @@ let at t ~delay f =
   if delay < 0 then invalid_arg "Net.at: negative delay";
   push t (t.clock + delay) (Timer f)
 
+let dispatch t time pending =
+  t.clock <- Stdlib.max t.clock time;
+  match pending with
+  | Timer f -> f ()
+  | Deliver envelope ->
+      t.delivered <- t.delivered + 1;
+      t.node_received.(envelope.dst) <- t.node_received.(envelope.dst) + 1;
+      if t.tracing then record t (Delivered envelope);
+      t.handlers.(envelope.dst) envelope
+
 let step t =
-  match Pqueue.pop t.queue with
-  | None -> false
-  | Some ((time, _), pending) ->
-      t.clock <- Stdlib.max t.clock time;
-      (match pending with
-      | Timer f -> f ()
-      | Deliver envelope ->
-          t.delivered <- t.delivered + 1;
-          t.node_received.(envelope.dst) <- t.node_received.(envelope.dst) + 1;
-          record t (Delivered envelope);
-          t.handlers.(envelope.dst) envelope);
-      true
+  match t.wide with
+  | Some q -> (
+      match Pqueue.pop q with
+      | None -> false
+      | Some ((time, _), pending) ->
+          dispatch t time pending;
+          true)
+  | None ->
+      if Intheap.is_empty t.queue then false
+      else begin
+        let time = Intheap.min_key t.queue lsr time_bits in
+        let pending = Intheap.pop_min t.queue in
+        dispatch t time pending;
+        true
+      end
+
+(* Earliest pending event time, or min_int when the queue is empty. *)
+let next_time t =
+  match t.wide with
+  | Some q -> (
+      match Pqueue.peek q with
+      | Some ((time, _), _) -> time
+      | None -> min_int)
+  | None ->
+      if Intheap.is_empty t.queue then min_int
+      else Intheap.min_key t.queue lsr time_bits
 
 let run ?(max_events = 10_000_000) t =
   let rec loop budget =
@@ -184,15 +244,17 @@ let run ?(max_events = 10_000_000) t =
   in
   loop max_events
 
-let run_until t deadline =
-  let rec loop () =
-    match Pqueue.peek t.queue with
-    | Some ((time, _), _) when time <= deadline ->
-        ignore (step t);
-        loop ()
-    | _ -> ()
+let run_until ?(max_events = 10_000_000) t deadline =
+  let rec loop budget =
+    if next_time t <> min_int && next_time t <= deadline then begin
+      if budget = 0 then
+        failwith
+          "Net.run_until: event budget exhausted (livelock or unbounded polling?)";
+      ignore (step t);
+      loop (budget - 1)
+    end
   in
-  loop ();
+  loop max_events;
   t.clock <- Stdlib.max t.clock deadline
 
 let stats t =
@@ -209,4 +271,4 @@ let stats t =
 
 let set_tracing t flag = t.tracing <- flag
 
-let trace t = List.rev t.events
+let trace t = Ringbuf.to_list t.events

@@ -76,9 +76,12 @@ val run : ?max_events:int -> 'msg t -> unit
     @raise Failure when the event budget is exhausted, which indicates a
     livelock such as an unbounded polling loop. *)
 
-val run_until : 'msg t -> int -> unit
+val run_until : ?max_events:int -> 'msg t -> int -> unit
 (** [run_until t deadline] processes events with time ≤ [deadline], then
-    advances the clock to [deadline] if it is ahead of the last event. *)
+    advances the clock to [deadline] if it is ahead of the last event.
+    Like {!run}, it is bounded by [max_events] (default 10_000_000).
+    @raise Failure when the event budget is exhausted, which indicates a
+    livelock such as an unbounded polling loop. *)
 
 (** {1 Accounting} *)
 

@@ -1,0 +1,109 @@
+type 'a t = {
+  mutable size : int;
+  mutable keys : int array;
+  mutable vals : 'a array;
+}
+
+let create () = { size = 0; keys = [||]; vals = [||] }
+
+let length t = t.size
+
+let is_empty t = t.size = 0
+
+let grow t value =
+  (* Seed fresh value storage with the pushed element so no dummy is needed
+     for the polymorphic array; keys are plain ints. *)
+  let capacity = max 16 (2 * Array.length t.keys) in
+  let keys = Array.make capacity 0 in
+  let vals = Array.make capacity value in
+  Array.blit t.keys 0 keys 0 t.size;
+  Array.blit t.vals 0 vals 0 t.size;
+  t.keys <- keys;
+  t.vals <- vals
+
+(* Sift loops move the hole instead of swapping, so each step is two array
+   writes and an unboxed int comparison — no closure dispatch, no boxing. *)
+let sift_up t i key value =
+  let i = ref i in
+  let continue_ = ref true in
+  while !continue_ && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    if key < t.keys.(parent) then begin
+      t.keys.(!i) <- t.keys.(parent);
+      t.vals.(!i) <- t.vals.(parent);
+      i := parent
+    end
+    else continue_ := false
+  done;
+  t.keys.(!i) <- key;
+  t.vals.(!i) <- value
+
+let sift_down t key value =
+  let i = ref 0 in
+  let continue_ = ref true in
+  while !continue_ do
+    let l = (2 * !i) + 1 in
+    if l >= t.size then continue_ := false
+    else begin
+      let r = l + 1 in
+      let child = if r < t.size && t.keys.(r) < t.keys.(l) then r else l in
+      if t.keys.(child) < key then begin
+        t.keys.(!i) <- t.keys.(child);
+        t.vals.(!i) <- t.vals.(child);
+        i := child
+      end
+      else continue_ := false
+    end
+  done;
+  t.keys.(!i) <- key;
+  t.vals.(!i) <- value
+
+let push t key value =
+  if t.size = Array.length t.keys then grow t value;
+  let i = t.size in
+  t.size <- t.size + 1;
+  sift_up t i key value
+
+let min_key t =
+  if t.size = 0 then invalid_arg "Intheap.min_key: empty heap";
+  t.keys.(0)
+
+let pop_min t =
+  if t.size = 0 then invalid_arg "Intheap.pop_min: empty heap";
+  let v = t.vals.(0) in
+  t.size <- t.size - 1;
+  if t.size > 0 then begin
+    sift_down t t.keys.(t.size) t.vals.(t.size);
+    (* release the vacated tail slot so the heap does not retain the value *)
+    t.vals.(t.size) <- t.vals.(0)
+  end;
+  v
+
+let pop t =
+  if t.size = 0 then None
+  else
+    let k = t.keys.(0) in
+    let v = pop_min t in
+    Some (k, v)
+
+let peek t = if t.size = 0 then None else Some (t.keys.(0), t.vals.(0))
+
+let clear t = t.size <- 0
+
+let iter t f =
+  for i = 0 to t.size - 1 do
+    f t.keys.(i) t.vals.(i)
+  done
+
+let to_sorted_list t =
+  let copy =
+    {
+      size = t.size;
+      keys = Array.sub t.keys 0 t.size;
+      vals = Array.sub t.vals 0 t.size;
+    }
+  in
+  let rec drain acc =
+    match pop copy with None -> List.rev acc | Some binding -> drain (binding :: acc)
+  in
+  drain []

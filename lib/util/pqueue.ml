@@ -83,8 +83,8 @@ let to_sorted_list t =
     {
       cmp = t.cmp;
       size = t.size;
-      keys = Array.sub t.keys 0 (Array.length t.keys);
-      vals = Array.sub t.vals 0 (Array.length t.vals);
+      keys = Array.sub t.keys 0 t.size;
+      vals = Array.sub t.vals 0 t.size;
     }
   in
   let rec drain acc =

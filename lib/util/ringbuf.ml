@@ -1,0 +1,51 @@
+type 'a t = {
+  mutable buf : 'a array;
+  mutable head : int; (* index of the front element *)
+  mutable size : int;
+}
+
+let create () = { buf = [||]; head = 0; size = 0 }
+
+let length t = t.size
+
+let is_empty t = t.size = 0
+
+let grow t seed =
+  (* Seed fresh storage with the pushed element so no dummy is needed for
+     the polymorphic array (popped slots retain their last element until
+     overwritten, as in Pqueue). *)
+  let capacity = max 8 (2 * Array.length t.buf) in
+  let buf = Array.make capacity seed in
+  for i = 0 to t.size - 1 do
+    buf.(i) <- t.buf.((t.head + i) mod Array.length t.buf)
+  done;
+  t.buf <- buf;
+  t.head <- 0
+
+let push_back t x =
+  if t.size = Array.length t.buf then grow t x;
+  t.buf.((t.head + t.size) mod Array.length t.buf) <- x;
+  t.size <- t.size + 1
+
+let peek_front t = if t.size = 0 then None else Some t.buf.(t.head)
+
+let pop_front t =
+  if t.size = 0 then None
+  else begin
+    let x = t.buf.(t.head) in
+    t.head <- (t.head + 1) mod Array.length t.buf;
+    t.size <- t.size - 1;
+    Some x
+  end
+
+let iter t f =
+  for i = 0 to t.size - 1 do
+    f t.buf.((t.head + i) mod Array.length t.buf)
+  done
+
+let clear t =
+  t.head <- 0;
+  t.size <- 0
+
+let to_list t =
+  List.init t.size (fun i -> t.buf.((t.head + i) mod Array.length t.buf))

@@ -1,0 +1,32 @@
+(** Growable circular FIFO queue (amortized O(1) at both ends it supports).
+
+    Replaces the [!queue @ [x]] list-append idiom in protocol buffers:
+    go-back-N retransmission windows, per-writer pending queues, and the
+    simulator's trace buffer.  Popped slots keep their last element until
+    overwritten (no dummy value exists for a polymorphic array); capacity
+    never shrinks. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val push_back : 'a t -> 'a -> unit
+(** Amortized O(1). *)
+
+val peek_front : 'a t -> 'a option
+
+val pop_front : 'a t -> 'a option
+(** O(1). *)
+
+val iter : 'a t -> ('a -> unit) -> unit
+(** Front to back. *)
+
+val clear : 'a t -> unit
+(** Keeps the backing storage. *)
+
+val to_list : 'a t -> 'a list
+(** Front to back; O(n). *)

@@ -1,0 +1,154 @@
+(* Golden determinism tests: every registry protocol, run on a fixed
+   distribution and workload, must keep producing byte-identical histories
+   and network statistics.  The digests below were captured from the seed
+   event engine (tuple-keyed Pqueue scheduler, list-based causal pending
+   buffers) immediately before the int-keyed/ring-buffer rewrite; the
+   rewrite's behaviour contract is that none of them move.
+
+   Regenerate with:  GOLDEN_DUMP=1 dune exec test/test_golden.exe  *)
+
+module Memory = Repro_core.Memory
+module Registry = Repro_core.Registry
+module Workload = Repro_core.Workload
+module Pram_reliable = Repro_core.Pram_reliable
+module Distribution = Repro_sharegraph.Distribution
+module History = Repro_history.History
+module Experiment = Repro_experiments.Experiment
+module Rng = Repro_util.Rng
+module Bitset = Repro_util.Bitset
+
+let seeds = [ 11; 22; 33 ]
+
+let hoopy = Distribution.of_lists ~n_vars:4 [ [ 0; 1 ]; [ 1; 2 ]; [ 2; 3 ]; [ 0; 3 ] ]
+
+let fingerprint name seed (memory : Memory.t) (h : History.t) =
+  let m = memory.Memory.metrics () in
+  let mentioned =
+    Array.to_list m.Memory.mentioned_at
+    |> List.map (fun set -> Format.asprintf "%a" Bitset.pp set)
+    |> String.concat ";"
+  in
+  let payload =
+    Printf.sprintf "%s/%d\n%s\nsent=%d delivered=%d ctrl=%d payload=%d applied=%d now=%d\nmentioned=%s"
+      name seed (History.to_string h) m.Memory.messages_sent
+      m.Memory.messages_delivered m.Memory.control_bytes m.Memory.payload_bytes
+      m.Memory.applied_writes
+      (memory.Memory.now ())
+      mentioned
+  in
+  Digest.to_hex (Digest.string payload)
+
+let run_spec (spec : Registry.spec) seed =
+  let dist =
+    if spec.Registry.requires_full_replication then
+      Distribution.full ~n_procs:6 ~n_vars:8
+    else
+      Distribution.random (Rng.create (777 + seed)) ~n_procs:6 ~n_vars:8
+        ~replicas_per_var:3
+  in
+  let memory = spec.Registry.make ~dist ~seed () in
+  let h = Workload.run_random ~seed:(seed + 1) memory in
+  fingerprint spec.Registry.name seed memory h
+
+let run_lossy seed =
+  (* the rewrite touches pram-reliable's go-back-N buffers; pin its lossy
+     behaviour too (the registry entry runs it over clean channels) *)
+  let memory = Pram_reliable.create ~dist:hoopy ~seed () in
+  let h = Workload.run_random ~seed:(seed + 1) memory in
+  fingerprint "pram-reliable-lossy" seed memory h
+
+let cases () =
+  List.concat_map
+    (fun seed ->
+      List.map
+        (fun spec -> (spec.Registry.name, seed, run_spec spec seed))
+        Registry.all
+      @ [ ("pram-reliable-lossy", seed, run_lossy seed) ])
+    seeds
+
+let tables_digest () =
+  let rendered =
+    Experiment.all ~seed:20_240_601 ()
+    |> List.map Experiment.render
+    |> String.concat "\n"
+  in
+  Digest.to_hex (Digest.string rendered)
+
+(* --- expected digests (seed engine, captured pre-rewrite) ----------------- *)
+
+let expected =
+  [
+    ("atomic-primary", 11, "1aacd079ad6ffef6baec9d35715ebe09");
+    ("seq-sequencer", 11, "a2b1eb67df5f1640674de077c377713f");
+    ("causal-full", 11, "537acdadc809dba41c77b20505f929d6");
+    ("causal-delta", 11, "198173d447d5337b13989ce7e2d4c52a");
+    ("causal-partial", 11, "f6a283ec000d607e0a7f47409169d61d");
+    ("causal-gossip", 11, "4dd47ad570962814cfe76c04a7cde69b");
+    ("causal-adhoc", 11, "bb5ffe92e6a63fe65799cf51a1ca1420");
+    ("pram-partial", 11, "dd9af8c742376361dc0b6c63ee69d435");
+    ("pram-reliable", 11, "91c9ec6f726371d5f33225d215652d6e");
+    ("slow-partial", 11, "96a07d3952847727f594ebfcc69b52dd");
+    ("pram-reliable-lossy", 11, "9e7eb44d7d9bf9ddb7d3efce691a9e8f");
+    ("atomic-primary", 22, "e82394d6cbdd9bde11aacc426de30b8e");
+    ("seq-sequencer", 22, "26e2260a6ea50201b44d709441148d5a");
+    ("causal-full", 22, "b620a1371aaf14099a3b22ff290601f1");
+    ("causal-delta", 22, "813482e61bad8b9f735c84fbeef69c8f");
+    ("causal-partial", 22, "c4e36db8f017498ef128dde68d995609");
+    ("causal-gossip", 22, "1bbfcf5a9447e3f98083db451e5d1f2b");
+    ("causal-adhoc", 22, "b8ac6ab77100a7d9cc09a5daddf2f8e6");
+    ("pram-partial", 22, "6ff7b5c9d7bfe1dd2f9f967292062599");
+    ("pram-reliable", 22, "3d8c97c01ee8bd9993bf32c65eca4bb2");
+    ("slow-partial", 22, "7f81b8459dfed262e5800f3df13c39e3");
+    ("pram-reliable-lossy", 22, "0028320945893e9f20a811b240543600");
+    ("atomic-primary", 33, "625b90fec005afc2f43d7960f59712a2");
+    ("seq-sequencer", 33, "60c1ab47170eafdd8540af2923e87931");
+    ("causal-full", 33, "862d32cca0a986903af1d8cb0f30e6dd");
+    ("causal-delta", 33, "482d52ca41cd4cc854c2ee2d6148c8f6");
+    ("causal-partial", 33, "42a37bbcc619a7b441951c5b57e8c4fc");
+    ("causal-gossip", 33, "35d5bdaf1016491c87d0dcde6b1ad96e");
+    ("causal-adhoc", 33, "815562b15314d0c87e493596cd4afa9e");
+    ("pram-partial", 33, "1da96f1ffc0b97ff1e28548bb5faad66");
+    ("pram-reliable", 33, "01ef458fa6e3a73b6abe1df478a1969f");
+    ("slow-partial", 33, "0c86a7db19b0cb7f4617da214c4fd4c9");
+    ("pram-reliable-lossy", 33, "e282a259c88cb7378fe03a5e002c5c22");
+  ]
+
+let expected_tables = "115774148b027b7e0aca3e61642bd6c5"
+
+let dump () =
+  List.iter
+    (fun (name, seed, digest) ->
+      Printf.printf "    (%S, %d, %S);\n" name seed digest)
+    (cases ());
+  Printf.printf "  tables: %S\n" (tables_digest ())
+
+let test_protocol_digests () =
+  List.iter
+    (fun (name, seed, digest) ->
+      let expect =
+        List.find_opt (fun (n, s, _) -> n = name && s = seed) expected
+      in
+      match expect with
+      | None -> Alcotest.failf "no golden digest recorded for %s/%d" name seed
+      | Some (_, _, d) ->
+          Alcotest.(check string)
+            (Printf.sprintf "%s seed %d history+stats digest" name seed)
+            d digest)
+    (cases ())
+
+let test_tables_digest () =
+  Alcotest.(check string) "experiment tables byte-identical" expected_tables
+    (tables_digest ())
+
+let () =
+  if Sys.getenv_opt "GOLDEN_DUMP" <> None then dump ()
+  else
+    Alcotest.run "repro_golden"
+      [
+        ( "golden",
+          [
+            Alcotest.test_case "protocol histories and stats" `Quick
+              test_protocol_digests;
+            Alcotest.test_case "experiment tables" `Slow test_tables_digest;
+          ] );
+      ]

@@ -146,6 +146,31 @@ let test_net_run_until () =
   Net.run net;
   check Alcotest.int "second eventually" 2 !fired
 
+let test_net_run_until_budget () =
+  let net = make_net () in
+  (* a poller that reschedules itself at the current instant never drains
+     the queue; run_until must hit its budget rather than spin forever *)
+  let rec poll () = Net.at net ~delay:0 (fun () -> poll ()) in
+  poll ();
+  Alcotest.check_raises "budget"
+    (Failure "Net.run_until: event budget exhausted (livelock or unbounded polling?)")
+    (fun () -> Net.run_until ~max_events:100 net 5)
+
+let test_net_packed_key_overflow () =
+  (* timers beyond 2^31 ticks force the scheduler off its packed int keys
+     onto widened (time, seq) keys, migrating what is already queued *)
+  let far = 1 lsl 31 in
+  let net = make_net () in
+  let log = ref [] in
+  Net.at net ~delay:3 (fun () -> log := "a" :: !log);
+  Net.at net ~delay:(far + 1) (fun () -> log := "c" :: !log);
+  Net.at net ~delay:5 (fun () -> log := "b" :: !log);
+  Net.at net ~delay:(far + 1) (fun () -> log := "d" :: !log);
+  Net.run net;
+  check Alcotest.(list string) "time then insertion order" [ "a"; "b"; "c"; "d" ]
+    (List.rev !log);
+  check Alcotest.int "clock past boundary" (far + 1) (Net.now net)
+
 let test_net_drop_faults () =
   let net =
     Net.create ~faults:(Fault.lossy 1.0) ~n:2 ~latency:(Latency.constant 1) ~seed:3 ()
@@ -362,6 +387,9 @@ let () =
           Alcotest.test_case "timer ordering" `Quick test_net_timer_ordering;
           Alcotest.test_case "timer negative delay" `Quick test_net_timer_negative;
           Alcotest.test_case "run_until" `Quick test_net_run_until;
+          Alcotest.test_case "run_until budget" `Quick test_net_run_until_budget;
+          Alcotest.test_case "packed key overflow" `Quick
+            test_net_packed_key_overflow;
           Alcotest.test_case "drop faults" `Quick test_net_drop_faults;
           Alcotest.test_case "duplicate faults" `Quick test_net_duplicate_faults;
           Alcotest.test_case "stats accounting" `Quick test_net_stats_accounting;

@@ -3,6 +3,8 @@
 
 module Rng = Repro_util.Rng
 module Pqueue = Repro_util.Pqueue
+module Intheap = Repro_util.Intheap
+module Ringbuf = Repro_util.Ringbuf
 module Bitset = Repro_util.Bitset
 module Union_find = Repro_util.Union_find
 module Stats = Repro_util.Stats
@@ -168,6 +170,139 @@ let test_pqueue_clear () =
   Pqueue.push q 1 ();
   Pqueue.clear q;
   check Alcotest.bool "cleared" true (Pqueue.is_empty q)
+
+let test_pqueue_growth_and_clear () =
+  let q = Pqueue.create ~cmp:compare () in
+  for i = 49 downto 0 do
+    Pqueue.push q i i
+  done;
+  check Alcotest.int "length after growth" 50 (Pqueue.length q);
+  check
+    Alcotest.(list (pair int int))
+    "sorted across growth"
+    (List.init 50 (fun i -> (i, i)))
+    (Pqueue.to_sorted_list q);
+  ignore (Pqueue.pop q);
+  ignore (Pqueue.pop q);
+  (* only live bindings are listed, not stale slots left by pops *)
+  check Alcotest.int "after pops" 48 (List.length (Pqueue.to_sorted_list q));
+  Pqueue.clear q;
+  check Alcotest.(list (pair int int)) "cleared lists empty" []
+    (Pqueue.to_sorted_list q);
+  Pqueue.push q 9 9;
+  check Alcotest.(option (pair int int)) "usable after clear" (Some (9, 9))
+    (Pqueue.pop q)
+
+(* --- intheap ------------------------------------------------------------- *)
+
+let test_intheap_basic () =
+  let h = Intheap.create () in
+  check Alcotest.bool "empty" true (Intheap.is_empty h);
+  check Alcotest.(option (pair int string)) "peek empty" None (Intheap.peek h);
+  check Alcotest.(option (pair int string)) "pop empty" None (Intheap.pop h);
+  Intheap.push h 3 "c";
+  Intheap.push h 1 "a";
+  Intheap.push h 2 "b";
+  check Alcotest.int "length" 3 (Intheap.length h);
+  check Alcotest.int "min_key" 1 (Intheap.min_key h);
+  check Alcotest.(option (pair int string)) "peek" (Some (1, "a")) (Intheap.peek h);
+  check Alcotest.string "pop1" "a" (Intheap.pop_min h);
+  check Alcotest.(option (pair int string)) "pop2" (Some (2, "b")) (Intheap.pop h);
+  check Alcotest.string "pop3" "c" (Intheap.pop_min h);
+  check Alcotest.bool "drained" true (Intheap.is_empty h)
+
+let test_intheap_growth_and_clear () =
+  let h = Intheap.create () in
+  for i = 99 downto 0 do
+    Intheap.push h i i
+  done;
+  check Alcotest.int "length after growth" 100 (Intheap.length h);
+  check
+    Alcotest.(list (pair int int))
+    "to_sorted_list"
+    (List.init 100 (fun i -> (i, i)))
+    (Intheap.to_sorted_list h);
+  check Alcotest.int "to_sorted_list preserves" 100 (Intheap.length h);
+  for i = 0 to 99 do
+    check Alcotest.int "min_key in order" i (Intheap.min_key h);
+    check Alcotest.int "pop_min in order" i (Intheap.pop_min h)
+  done;
+  Alcotest.check_raises "min_key empty"
+    (Invalid_argument "Intheap.min_key: empty heap") (fun () ->
+      ignore (Intheap.min_key h));
+  Alcotest.check_raises "pop_min empty"
+    (Invalid_argument "Intheap.pop_min: empty heap") (fun () ->
+      ignore (Intheap.pop_min h));
+  Intheap.push h 7 7;
+  Intheap.push h 4 4;
+  Intheap.clear h;
+  check Alcotest.bool "cleared" true (Intheap.is_empty h);
+  Intheap.push h 3 30;
+  Intheap.push h 1 10;
+  check Alcotest.int "usable after clear" 10 (Intheap.pop_min h)
+
+(* The scheduler packs (time, seq) into (time lsl 31) lor seq; popping the
+   packed keys from an Intheap must reproduce the order the generic Pqueue
+   gives the unpacked tuples, including at the top of the packable time
+   range where the Net engine switches to widened keys. *)
+let test_intheap_matches_pqueue =
+  qcheck
+    (QCheck.Test.make ~name:"intheap_matches_tuple_pqueue" ~count:300
+       QCheck.(list (pair bool (int_bound ((1 lsl 31) - 1))))
+       (fun draws ->
+         let times =
+           List.map
+             (fun (boundary, raw) ->
+               if boundary then ((1 lsl 31) - 1) - (raw land 0x3) else raw)
+             draws
+         in
+         let h = Intheap.create () in
+         let q = Pqueue.create ~cmp:compare () in
+         List.iteri
+           (fun seq time ->
+             Intheap.push h ((time lsl 31) lor seq) seq;
+             Pqueue.push q (time, seq) seq)
+           times;
+         let rec drain_h acc =
+           match Intheap.pop h with
+           | None -> List.rev acc
+           | Some (_, v) -> drain_h (v :: acc)
+         in
+         let rec drain_q acc =
+           match Pqueue.pop q with
+           | None -> List.rev acc
+           | Some (_, v) -> drain_q (v :: acc)
+         in
+         drain_h [] = drain_q []))
+
+(* --- ringbuf ------------------------------------------------------------- *)
+
+let test_ringbuf_fifo_growth () =
+  let r = Ringbuf.create () in
+  check Alcotest.bool "empty" true (Ringbuf.is_empty r);
+  check Alcotest.(option int) "peek empty" None (Ringbuf.peek_front r);
+  check Alcotest.(option int) "pop empty" None (Ringbuf.pop_front r);
+  (* interleave pushes and pops so the window wraps across a grow *)
+  for i = 0 to 4 do
+    Ringbuf.push_back r i
+  done;
+  for i = 0 to 2 do
+    check Alcotest.(option int) "fifo" (Some i) (Ringbuf.pop_front r)
+  done;
+  for i = 5 to 24 do
+    Ringbuf.push_back r i
+  done;
+  check Alcotest.int "length" 22 (Ringbuf.length r);
+  check Alcotest.(option int) "peek" (Some 3) (Ringbuf.peek_front r);
+  check
+    Alcotest.(list int)
+    "order across wrap and growth"
+    (List.init 22 (fun i -> i + 3))
+    (Ringbuf.to_list r);
+  Ringbuf.clear r;
+  check Alcotest.bool "cleared" true (Ringbuf.is_empty r);
+  Ringbuf.push_back r 99;
+  check Alcotest.(option int) "usable after clear" (Some 99) (Ringbuf.pop_front r)
 
 (* --- bitset -------------------------------------------------------------- *)
 
@@ -515,7 +650,18 @@ let () =
           Alcotest.test_case "composite keys break ties" `Quick
             test_pqueue_stability_via_composite_keys;
           Alcotest.test_case "clear" `Quick test_pqueue_clear;
+          Alcotest.test_case "growth and clear bounds" `Quick
+            test_pqueue_growth_and_clear;
         ] );
+      ( "intheap",
+        [
+          Alcotest.test_case "basic order" `Quick test_intheap_basic;
+          Alcotest.test_case "growth and clear bounds" `Quick
+            test_intheap_growth_and_clear;
+          test_intheap_matches_pqueue;
+        ] );
+      ( "ringbuf",
+        [ Alcotest.test_case "fifo across growth" `Quick test_ringbuf_fifo_growth ] );
       ( "bitset",
         [
           Alcotest.test_case "basic" `Quick test_bitset_basic;
