@@ -14,6 +14,8 @@
 
 module Experiment = Repro_experiments.Experiment
 module Checker = Repro_history.Checker
+module Relcache = Repro_history.Relcache
+module Saturation = Repro_history.Saturation
 module History = Repro_history.History
 module Generator = Repro_history.Generator
 module Share_graph = Repro_sharegraph.Share_graph
@@ -234,6 +236,89 @@ let comparison_tests =
       (Staged.stage (fun () -> Checker.check_par Checker.Pram h));
   ]
 
+(* --- check: engine-comparison group -------------------------------------------
+   The saturation front-end vs the backtracking search on the checker's
+   heaviest production workload: the A2 criterion matrix's all-criteria
+   sweep.  The bank reproduces A2's contended histories (16 seeded runs plus
+   the adversarial scenario bank) for one representative efficient protocol;
+   sweeping it under a pinned engine isolates the decision procedure — both
+   engines share one relation cache per history, exactly as the table code
+   does.  The scaled probes (E1X / A2X sizes) run on the saturation engine
+   only: the search cannot decide them within any reasonable quota, which is
+   the point of the tier. *)
+
+let a2_bank =
+  lazy
+    (let profile = { Workload.ops_per_proc = 12; read_ratio = 0.5; max_think = 5 } in
+     let dist = Distribution.full ~n_procs:4 ~n_vars:2 in
+     let latency = Latency.uniform ~lo:1 ~hi:25 in
+     let spec =
+       match Registry.find "pram-partial" with
+       | Some spec -> spec
+       | None -> failwith "pram-partial not registered"
+     in
+     List.init 16 (fun k ->
+         let memory = spec.Registry.make ~latency ~dist ~seed:(seed + k) () in
+         Workload.run_random ~profile ~seed:(seed + k + 100) memory)
+     @ List.map snd (Experiment.adversarial_histories spec ~seed))
+
+let a2x_bank =
+  lazy
+    (let profile = { Workload.ops_per_proc = 20; read_ratio = 0.5; max_think = 5 } in
+     let dist = Distribution.full ~n_procs:6 ~n_vars:3 in
+     let latency = Latency.uniform ~lo:1 ~hi:25 in
+     let spec =
+       match Registry.find "pram-partial" with
+       | Some spec -> spec
+       | None -> failwith "pram-partial not registered"
+     in
+     List.init 4 (fun k ->
+         let memory = spec.Registry.make ~latency ~dist ~seed:(seed + k) () in
+         Workload.run_random ~profile ~seed:(seed + k + 100) memory))
+
+let e1x_history =
+  lazy
+    (let n = 32 in
+     let dist =
+       Distribution.random (Rng.create (seed + n)) ~n_procs:n ~n_vars:(2 * n)
+         ~replicas_per_var:3
+     in
+     let spec =
+       match Registry.find "causal-partial" with
+       | Some spec -> spec
+       | None -> failwith "causal-partial not registered"
+     in
+     let profile = { Workload.ops_per_proc = 8; read_ratio = 0.4; max_think = 3 } in
+     let memory = spec.Registry.make ~dist ~seed () in
+     Workload.run_random ~profile ~seed:(seed + 1) memory)
+
+let sweep_bank ~engine bank =
+  List.iter
+    (fun h ->
+      let rc = Relcache.create h in
+      List.iter
+        (fun criterion -> ignore (Checker.check_cached ~engine rc criterion))
+        Checker.all_criteria)
+    bank
+
+let check_tests =
+  [
+    Test.make ~name:"check:a2-sweep-search"
+      (Staged.stage (fun () ->
+           sweep_bank ~engine:Checker.Search (Lazy.force a2_bank)));
+    Test.make ~name:"check:a2-sweep-saturation"
+      (Staged.stage (fun () ->
+           sweep_bank ~engine:Checker.Saturation (Lazy.force a2_bank)));
+    Test.make ~name:"check:a2x-sweep-saturation"
+      (Staged.stage (fun () ->
+           sweep_bank ~engine:Checker.Saturation (Lazy.force a2x_bank)));
+    Test.make ~name:"check:e1x-causal-n32-saturation"
+      (Staged.stage (fun () ->
+           ignore
+             (Checker.check ~engine:Checker.Saturation Checker.Causal
+                (Lazy.force e1x_history))));
+  ]
+
 let analyze_raw raw =
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
   let results = Analyze.all ols Instance.monotonic_clock raw in
@@ -263,7 +348,7 @@ let fmt_ns est =
   else if est > 1_000.0 then Printf.sprintf "%.2f us" (est /. 1_000.0)
   else Printf.sprintf "%.0f ns" est
 
-let json_record rows =
+let json_record ?(notes = []) rows =
   let results =
     List.map
       (fun (name, estimate) ->
@@ -307,14 +392,50 @@ let json_record rows =
           ]
     | _ -> Jsonout.Null
   in
+  let engine_comparison =
+    match (find "check:a2-sweep-search", find "check:a2-sweep-saturation") with
+    | Some search_ns, Some sat_ns ->
+        Jsonout.Obj
+          [
+            ("benchmark", Jsonout.String "a2-all-criteria-sweep");
+            ("search_ns", Jsonout.Float search_ns);
+            ("saturation_ns", Jsonout.Float sat_ns);
+            ("speedup", Jsonout.Float (search_ns /. sat_ns));
+          ]
+    | _ -> Jsonout.Null
+  in
+  let saturation_counters =
+    let c = Saturation.counters () in
+    let total =
+      c.Saturation.merge_hits + c.Saturation.cycle_refutations
+      + c.Saturation.greedy_hits + c.Saturation.unknowns
+    in
+    if total = 0 then Jsonout.Null
+    else
+      Jsonout.Obj
+        [
+          ("merge_hits", Jsonout.Int c.Saturation.merge_hits);
+          ("cycle_refutations", Jsonout.Int c.Saturation.cycle_refutations);
+          ("greedy_hits", Jsonout.Int c.Saturation.greedy_hits);
+          ("search_fallbacks", Jsonout.Int c.Saturation.unknowns);
+          ( "fallback_rate",
+            Jsonout.Float (float_of_int c.Saturation.unknowns /. float_of_int total) );
+        ]
+  in
   Jsonout.Obj
-    [
-      ("schema", Jsonout.String "repro-bench/1");
-      ("seed", Jsonout.Int seed);
-      ("jobs", Jsonout.Int (Pool.default_jobs ()));
-      ("seq_vs_par", comparison);
-      ("results", Jsonout.List results);
-    ]
+    ([
+       ("schema", Jsonout.String "repro-bench/1");
+       ("seed", Jsonout.Int seed);
+       ("jobs", Jsonout.Int (Pool.default_jobs ()));
+       ("seq_vs_par", comparison);
+       ("search_vs_saturation", engine_comparison);
+       ("saturation_counters", saturation_counters);
+     ]
+    @ (match notes with
+      | [] -> []
+      | notes ->
+          [ ("notes", Jsonout.List (List.map (fun n -> Jsonout.String n) notes)) ])
+    @ [ ("results", Jsonout.List results) ])
 
 let print_rows rows =
   print_endline "== Bechamel timings (monotonic clock, OLS per run) ==";
@@ -336,19 +457,61 @@ let print_rows rows =
          rows)
     ()
 
+(* When --json names a directory, the record auto-numbers itself into the
+   trajectory (bench/records/BENCH_NNNN.json): next free slot after the
+   highest existing record, with a note listing any gaps below it so the
+   history stays honest (BENCH_0001 was never recorded). *)
+let resolve_json_path path =
+  if Sys.file_exists path && Sys.is_directory path then begin
+    let recorded =
+      Sys.readdir path |> Array.to_list
+      |> List.filter_map (fun f ->
+             if
+               String.length f = 15
+               && String.sub f 0 6 = "BENCH_"
+               && Filename.check_suffix f ".json"
+             then int_of_string_opt (String.sub f 6 4)
+             else None)
+      |> List.sort_uniq compare
+    in
+    let next = 1 + List.fold_left Stdlib.max (-1) recorded in
+    (* the trajectory starts at BENCH_0001; flag any earlier slot that was
+       skipped so the numbering stays explainable *)
+    let gaps =
+      List.filter
+        (fun i -> i >= 1 && not (List.mem i recorded))
+        (List.init next Fun.id)
+    in
+    let notes =
+      match gaps with
+      | [] -> []
+      | gaps ->
+          [
+            Printf.sprintf
+              "trajectory gap: %s never recorded; numbering continues at the \
+               next free slot"
+              (String.concat ", "
+                 (List.map (Printf.sprintf "BENCH_%04d") gaps));
+          ]
+    in
+    (Filename.concat path (Printf.sprintf "BENCH_%04d.json" next), notes)
+  end
+  else (path, [])
+
 let write_json rows = function
   | None -> ()
   | Some path ->
+      let path, notes = resolve_json_path path in
       Out_channel.with_open_text path (fun oc ->
-          Jsonout.to_channel oc (json_record rows));
+          Jsonout.to_channel oc (json_record ~notes rows));
       Printf.printf "wrote %s\n" path
 
 let run_benchmarks ?json () =
-  (* the seq-vs-par probes take hundreds of ms each; give that group a
-     larger quota so OLS sees enough runs *)
+  (* the seq-vs-par and engine-comparison probes take hundreds of ms each;
+     give those groups a larger quota so OLS sees enough runs *)
   let rows =
     bench_group ~quota:0.5 (table_tests @ micro_tests @ sim_tests)
-    @ bench_group ~quota:2.0 comparison_tests
+    @ bench_group ~quota:2.0 (comparison_tests @ check_tests)
   in
   let rows = List.sort compare rows in
   print_rows rows;
@@ -359,16 +522,28 @@ let run_sim_benchmarks ?json () =
   print_rows rows;
   write_json rows json
 
+let run_check_benchmarks ?json () =
+  Saturation.reset_counters ();
+  let rows = List.sort compare (bench_group ~quota:2.0 check_tests) in
+  print_rows rows;
+  (let c = Saturation.counters () in
+   Printf.printf
+     "saturation counters: merge=%d cycle=%d greedy=%d fallback-to-search=%d\n"
+     c.Saturation.merge_hits c.Saturation.cycle_refutations
+     c.Saturation.greedy_hits c.Saturation.unknowns);
+  write_json rows json
+
 (* --- argument parsing ---------------------------------------------------------- *)
 
-type mode = Default | Tables_only | One_experiment of string | Sim_only
+type mode = Default | Tables_only | One_experiment of string | Sim_only | Check_only
 
 let () =
   let mode = ref Default in
   let json = ref None in
   let usage () =
     prerr_endline
-      "usage: bench [--tables] [--sim] [--experiment ID] [--jobs N] [--json FILE]";
+      "usage: bench [--tables] [--sim] [--check] [--experiment ID] [--jobs N] \
+       [--json FILE|DIR]";
     exit 1
   in
   let rec parse = function
@@ -378,6 +553,9 @@ let () =
         parse rest
     | "--sim" :: rest ->
         mode := Sim_only;
+        parse rest
+    | "--check" :: rest ->
+        mode := Check_only;
         parse rest
     | "--experiment" :: id :: rest ->
         mode := One_experiment id;
@@ -397,6 +575,7 @@ let () =
   match !mode with
   | Tables_only -> print_tables ()
   | Sim_only -> run_sim_benchmarks ?json:!json ()
+  | Check_only -> run_check_benchmarks ?json:!json ()
   | One_experiment id -> if not (print_one id) then exit 1
   | Default ->
       print_tables ();

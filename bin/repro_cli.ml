@@ -155,6 +155,28 @@ let apply_jobs = function
       prerr_endline "jobs must be >= 1";
       exit 2
 
+(* [--engine] selects the checker's decision procedure; like [--jobs] it is
+   a side effect on the process-wide default, applied before the command
+   body.  Without it the default follows $(b,REPRO_CHECK_ENGINE). *)
+let engine_arg =
+  let engine_conv =
+    Arg.conv
+      ( (fun name ->
+          match String.lowercase_ascii name with
+          | "search" -> Ok Checker.Search
+          | "saturation" -> Ok Checker.Saturation
+          | _ -> Error (`Msg "engine must be 'search' or 'saturation'")),
+        fun ppf e -> Format.pp_print_string ppf (Checker.engine_name e) )
+  in
+  Arg.(value & opt (some engine_conv) None
+       & info [ "engine" ] ~docv:"ENGINE"
+           ~doc:"Checker engine: $(b,saturation) (polynomial front-end, the \
+                 default) or $(b,search) (backtracking).")
+
+let apply_engine = function
+  | None -> ()
+  | Some e -> Checker.set_default_engine e
+
 (* --- protocols ---------------------------------------------------------------- *)
 
 let protocols_cmd =
@@ -227,8 +249,9 @@ let protocol_arg =
            ~doc:"Protocol implementation (see $(b,protocols)).")
 
 let run_cmd =
-  let run spec dist seed ops read_ratio timed diagram jobs =
+  let run spec dist seed ops read_ratio timed diagram jobs engine =
     apply_jobs jobs;
+    apply_engine engine;
     let dist =
       if spec.Registry.requires_full_replication then
         Distribution.full ~n_procs:(Distribution.n_procs dist)
@@ -306,13 +329,14 @@ let run_cmd =
     (Cmd.info "run"
        ~doc:"Run a random workload on a protocol and check the recorded history.")
     Term.(const run $ protocol_arg $ dist_arg $ seed_arg $ ops_arg $ reads_arg
-          $ timed_arg $ diagram_arg $ jobs_arg)
+          $ timed_arg $ diagram_arg $ jobs_arg $ engine_arg)
 
 (* --- check ------------------------------------------------------------------------ *)
 
 let check_cmd =
-  let run path diagram jobs =
+  let run path diagram jobs engine =
     apply_jobs jobs;
+    apply_engine engine;
     let text =
       match path with
       | "-" -> In_channel.input_all stdin
@@ -361,7 +385,7 @@ let check_cmd =
   in
   Cmd.v
     (Cmd.info "check" ~doc:"Check a textual history against every criterion.")
-    Term.(const run $ path_arg $ diagram_arg $ jobs_arg)
+    Term.(const run $ path_arg $ diagram_arg $ jobs_arg $ engine_arg)
 
 (* --- bellman-ford ------------------------------------------------------------------ *)
 

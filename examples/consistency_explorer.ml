@@ -98,8 +98,13 @@ let () =
   | Some units ->
       print_endline "witness serializations for Fig. 4 under lazy causality:";
       List.iter
-        (fun (p, order) ->
-          Printf.printf "  S%d = %s\n" (p + 1)
+        (fun (key, order) ->
+          let label =
+            match key with
+            | Checker.Proc p -> Printf.sprintf "S%d" (p + 1)
+            | key -> Checker.unit_key_name key
+          in
+          Printf.printf "  %s = %s\n" label
             (String.concat "; "
                (List.map (fun gid -> Op.to_string (History.op fig4 gid)) order)))
         units

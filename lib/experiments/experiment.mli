@@ -48,7 +48,21 @@ val mention_audit : seed:int -> unit -> table
 val criterion_matrix : ?pool:Repro_util.Pool.t -> seed:int -> unit -> table
 (** {b A2} — protocols × criteria.  Run one workload per protocol and
     check the history under every criterion; cells hold ✓/✗.  The staircase
-    shape is the paper's criterion lattice. *)
+    shape is the paper's criterion lattice.  Each history's eight-criteria
+    sweep shares one {!Repro_history.Relcache}. *)
+
+val scaling_checked :
+  ?sizes:int list -> ?pool:Repro_util.Pool.t -> seed:int -> unit -> table
+(** {b E1X} — E1's workload at previously infeasible sizes (default n=32
+    and n=48, ~380-operation histories), with every produced history
+    checked against its protocol's guaranteed criterion by the saturation
+    engine.  Catalogue-only: not part of {!all} (whose rendering is pinned
+    byte-for-byte by the golden tests). *)
+
+val criterion_matrix_scaled :
+  ?pool:Repro_util.Pool.t -> seed:int -> unit -> table
+(** {b A2X} — the A2 matrix on long contended histories (6 processes × 20
+    operations, 8 runs per protocol).  Catalogue-only, like {!scaling_checked}. *)
 
 val bellman_ford : seed:int -> unit -> table
 (** {b E2} — the §6 case study.  Fig. 8 and random networks on every

@@ -361,79 +361,117 @@ let validate_serialization h ~subset ~relation ~order =
           | Some v -> Op.equal_value v o.Op.value))
     order
 
+(* --- engine selection ----------------------------------------------------- *)
+
+type engine = Search | Saturation
+
+let engine_name = function Search -> "search" | Saturation -> "saturation"
+
+let default_engine =
+  ref
+    (match Sys.getenv_opt "REPRO_CHECK_ENGINE" with
+    | Some "search" -> Search
+    | _ -> Saturation)
+
+let set_default_engine e = default_engine := e
+
+(* With REPRO_CHECK_ORACLE set, every saturation-engine decision is
+   re-derived by the search and a disagreement aborts the process: the
+   polynomial front-end is sound by construction, and this flag (plus the
+   qcheck parity suite) is the standing proof obligation. *)
+let oracle = lazy (Sys.getenv_opt "REPRO_CHECK_ORACLE" <> None)
+
+(* Decide one unit: the saturation front-end answers directly when it can
+   prove the verdict, and punts to the exact search otherwise, so both
+   engines decide identically on every input. *)
+let serializable ?engine h ~subset ~relation =
+  let engine = match engine with Some e -> e | None -> !default_engine in
+  let search () = find_serialization h ~subset ~relation <> None in
+  let verdict =
+    match engine with
+    | Search -> search ()
+    | Saturation -> (
+        match Saturation.serializable h ~subset ~relation with
+        | Saturation.Consistent -> true
+        | Saturation.Inconsistent -> false
+        | Saturation.Unknown -> search ())
+  in
+  (if engine = Saturation && Lazy.force oracle then
+     let reference = search () in
+     if reference <> verdict then
+       failwith
+         (Printf.sprintf
+            "Checker: engine mismatch on a %d-op unit (saturation=%b search=%b)"
+            (List.length subset) verdict reference));
+  verdict
+
 (* --- criterion decomposition --------------------------------------------- *)
 
-(* One pass over the history building the var → operations index used by
-   the per-variable criteria (the lists come out in global-id order). *)
-let ops_by_var h =
-  let tbl = Hashtbl.create 16 in
-  Array.iter
-    (fun (o : Op.t) ->
-      let tail = match Hashtbl.find_opt tbl o.var with Some l -> l | None -> [] in
-      Hashtbl.replace tbl o.var (o :: tail))
-    (History.ops h);
-  fun x ->
-    match Hashtbl.find_opt tbl x with Some l -> List.rev l | None -> []
+type unit_key = Whole | Proc of int | Var of int | Proc_var of int * int
+
+let unit_key_name = function
+  | Whole -> "all"
+  | Proc p -> Printf.sprintf "p%d" p
+  | Var x -> Printf.sprintf "x%d" x
+  | Proc_var (p, x) -> Printf.sprintf "p%d/x%d" p x
 
 (* Each criterion is a conjunction of (subset, relation) serialization
-   units; [units] returns them with a diagnostic key. *)
-let units criterion h rf =
-  let ids list = List.map (History.id h) list in
+   units; [units] returns them with a diagnostic key.  All relations and
+   operation indexes come from the per-history cache, so an 8-criteria
+   sweep over one history computes each of them exactly once. *)
+let units criterion rc =
+  let h = Relcache.history rc in
   match criterion with
-  | Sequential ->
-      let relation = Orders.program_order h in
-      [ (0, List.init (History.n_ops h) Fun.id, relation) ]
+  | Sequential -> [ (Whole, Relcache.all_ids rc, Relcache.program_order rc) ]
   | Causal | Semi_causal | Lazy_causal | Lazy_semi_causal | Pram ->
       let relation =
         match criterion with
-        | Causal -> Orders.causal h rf
-        | Semi_causal -> Orders.semi_causal h rf
-        | Lazy_causal -> Orders.lazy_causal h rf
-        | Lazy_semi_causal -> Orders.lazy_semi_causal h rf
-        | Pram -> Orders.pram h rf
+        | Causal -> Relcache.causal rc
+        | Semi_causal -> Relcache.semi_causal rc
+        | Lazy_causal -> Relcache.lazy_causal rc
+        | Lazy_semi_causal -> Relcache.lazy_semi_causal rc
+        | Pram -> Relcache.pram rc
         | Sequential | Slow | Cache -> assert false
       in
-      List.init (History.n_procs h) (fun p ->
-          (p, ids (History.sub_history h p), relation))
+      List.init (History.n_procs h) (fun p -> (Proc p, Relcache.proc_ids rc p, relation))
   | Cache ->
-      let relation = Orders.program_order h in
-      let of_var = ops_by_var h in
-      History.vars h |> List.map (fun x -> (x, ids (of_var x), relation))
+      let relation = Relcache.program_order rc in
+      History.vars h |> List.map (fun x -> (Var x, Relcache.var_ids rc x, relation))
   | Slow ->
-      let relation =
-        Graph.union (Orders.program_order h) (Orders.read_from_relation h rf)
-      in
-      let of_var = ops_by_var h in
+      let relation = Relcache.slow rc in
       List.concat_map
         (fun p ->
           History.vars h
           |> List.filter_map (fun x ->
-                 let subset =
-                   of_var x
-                   |> List.filter (fun (o : Op.t) -> Op.is_write o || o.proc = p)
-                   |> ids
-                 in
-                 if subset = [] then None else Some ((p * 1_000_000) + x, subset, relation)))
+                 match Relcache.proc_var_ids rc p x with
+                 | [] -> None
+                 | subset -> Some (Proc_var (p, x), subset, relation)))
         (List.init (History.n_procs h) Fun.id)
 
-let check_with ~for_all criterion h =
-  match History.read_from h with
+let check_with ~for_all ?engine criterion rc =
+  match Relcache.read_from rc with
   | Error (History.Dangling_read _) -> Inconsistent
   | Error (History.Ambiguous_read _ as e) -> Undecidable e
-  | Ok rf ->
+  | Ok _ ->
+      let h = Relcache.history rc in
       let consistent =
         for_all
-          (fun (_, subset, relation) ->
-            find_serialization h ~subset ~relation <> None)
-          (units criterion h rf)
+          (fun (_, subset, relation) -> serializable ?engine h ~subset ~relation)
+          (units criterion rc)
       in
       if consistent then Consistent else Inconsistent
 
-let check criterion h = check_with ~for_all:List.for_all criterion h
+let check_cached ?engine rc criterion =
+  check_with ~for_all:List.for_all ?engine criterion rc
 
-let check_par ?pool criterion h =
+let check ?engine criterion h =
+  check_with ~for_all:List.for_all ?engine criterion (Relcache.create h)
+
+let check_par ?pool ?engine criterion h =
   let pool = match pool with Some p -> p | None -> Pool.default () in
-  check_with ~for_all:(fun pred l -> Pool.for_all pool pred l) criterion h
+  check_with
+    ~for_all:(fun pred l -> Pool.for_all pool pred l)
+    ?engine criterion (Relcache.create h)
 
 let is_consistent criterion h =
   match check criterion h with
@@ -444,9 +482,10 @@ let is_consistent criterion h =
         (Format.asprintf "Checker.is_consistent: %a" History.pp_rf_error e)
 
 let witness criterion h =
-  match History.read_from h with
+  let rc = Relcache.create h in
+  match Relcache.read_from rc with
   | Error _ -> None
-  | Ok rf ->
+  | Ok _ ->
       let rec collect acc = function
         | [] -> Some (List.rev acc)
         | (key, subset, relation) :: rest -> (
@@ -454,7 +493,7 @@ let witness criterion h =
             | None -> None
             | Some order -> collect ((key, order) :: acc) rest)
       in
-      collect [] (units criterion h rf)
+      collect [] (units criterion rc)
 
 module Private = struct
   let pack_state ~k ~placed ~last_write =

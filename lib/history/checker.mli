@@ -20,13 +20,22 @@
     - {b Cache} — per variable [x], one serialization of all operations on
       [x] respecting program order (Goodman's cache consistency).
 
-    Deciding existence is a backtracking search over legal linear
-    extensions; it is exponential in the worst case but fast on the history
-    sizes produced here (reads are placed greedily — which is always safe —
-    and explored states are memoized).  Histories must be {e differentiated}
-    (unique written values per variable, {!History.is_differentiated});
-    protocol runs and generators in this repository always produce such
-    histories. *)
+    Two engines decide existence.  The default {b saturation} engine
+    ({!Saturation}) derives the write-order constraints forced by every
+    legal serialization and refutes by cycle, proves by guided
+    construction, and falls back to the search only when neither side can
+    prove — polynomial on virtually every unit this repository produces.
+    The {b search} engine is the original backtracking search over legal
+    linear extensions: exponential in the worst case (reads are placed
+    greedily — which is always safe — and explored states are memoized),
+    and still the witness extractor and cross-check oracle.  Both engines
+    return identical verdicts on every input; setting the
+    [REPRO_CHECK_ORACLE] environment variable makes every
+    saturation-engine decision assert agreement with the search.
+
+    Histories must be {e differentiated} (unique written values per
+    variable, {!History.is_differentiated}); protocol runs and generators
+    in this repository always produce such histories. *)
 
 type criterion =
   | Sequential
@@ -46,11 +55,30 @@ val criterion_name : criterion -> string
 
 type verdict = Consistent | Inconsistent | Undecidable of History.rf_error
 
-val check : criterion -> History.t -> verdict
+type engine = Search | Saturation
+(** [Search]: the exact backtracking serialization search.  [Saturation]:
+    the polynomial front-end of {!Saturation}, falling back to the search
+    on the rare unit it cannot prove.  Identical verdicts, different
+    asymptotics. *)
+
+val engine_name : engine -> string
+
+val set_default_engine : engine -> unit
+(** The engine used when a checking entry point is not passed [?engine].
+    Starts as [Saturation] unless the [REPRO_CHECK_ENGINE] environment
+    variable says [search]. *)
+
+val check : ?engine:engine -> criterion -> History.t -> verdict
 (** [Undecidable] only for ambiguous (non-differentiated) histories; a
     dangling read yields [Inconsistent]. *)
 
-val check_par : ?pool:Repro_util.Pool.t -> criterion -> History.t -> verdict
+val check_cached : ?engine:engine -> Relcache.t -> criterion -> verdict
+(** [check] against a shared relation cache: sweeping several criteria over
+    one history computes read-from, program order and each closure once
+    instead of once per criterion.  Same verdicts as {!check}. *)
+
+val check_par :
+  ?pool:Repro_util.Pool.t -> ?engine:engine -> criterion -> History.t -> verdict
 (** [check] with the criterion's serialization units (per process for the
     causal family, per process × variable for Slow, per variable for Cache)
     farmed across a domain pool ({!Repro_util.Pool.default} unless [pool]
@@ -62,6 +90,13 @@ val is_consistent : criterion -> History.t -> bool
     @raise Invalid_argument on an ambiguous history. *)
 
 (** {1 Serialization primitives} *)
+
+val serializable :
+  ?engine:engine -> History.t -> subset:int list -> relation:Orders.relation -> bool
+(** Decide whether a legal serialization exists, without extracting one:
+    [serializable h ~subset ~relation = (find_serialization h ~subset
+    ~relation <> None)] for every input, but polynomial on almost all units
+    under the saturation engine. *)
 
 val find_serialization :
   History.t -> subset:int list -> relation:Orders.relation -> int list option
@@ -78,12 +113,19 @@ val validate_serialization :
     respects [relation].  Used to audit witness serializations extracted
     from protocol runs. *)
 
-val witness : criterion -> History.t -> (int * int list) list option
-(** When consistent, the per-unit serializations found by the search: a list
-    of [(unit_key, order)] — process id for the per-process criteria, a
-    packed [(proc, var)] or var key for Slow/Cache, [0] for Sequential.
-    [None] when inconsistent or undecidable.  Intended for debugging and for
-    tests that cross-validate with {!validate_serialization}. *)
+type unit_key = Whole | Proc of int | Var of int | Proc_var of int * int
+(** Diagnostic key of a serialization unit: the whole history for
+    Sequential, a process for the causal family and PRAM, a variable for
+    Cache, a (process, variable) pair for Slow. *)
+
+val unit_key_name : unit_key -> string
+
+val witness : criterion -> History.t -> (unit_key * int list) list option
+(** When consistent, the per-unit serializations found by the search,
+    keyed by {!unit_key}.  [None] when inconsistent or undecidable.
+    Intended for debugging and for tests that cross-validate with
+    {!validate_serialization}.  Always uses the search engine: the
+    saturation front-end only decides, it does not enumerate. *)
 
 (**/**)
 

@@ -1,0 +1,397 @@
+module Graph = Repro_util.Graph
+
+type outcome = Consistent | Inconsistent | Unknown
+
+type counters = {
+  merge_hits : int;
+  cycle_refutations : int;
+  greedy_hits : int;
+  unknowns : int;
+}
+
+let c_merge = Atomic.make 0
+let c_cycle = Atomic.make 0
+let c_greedy = Atomic.make 0
+let c_unknown = Atomic.make 0
+
+let counters () =
+  {
+    merge_hits = Atomic.get c_merge;
+    cycle_refutations = Atomic.get c_cycle;
+    greedy_hits = Atomic.get c_greedy;
+    unknowns = Atomic.get c_unknown;
+  }
+
+let reset_counters () =
+  Atomic.set c_merge 0;
+  Atomic.set c_cycle 0;
+  Atomic.set c_greedy 0;
+  Atomic.set c_unknown 0
+
+(* --- int-array bit rows (32 bits per word, as in the search engine) ------- *)
+
+let words_for k = (k + 31) lsr 5
+let iset_mem w i = w.(i lsr 5) land (1 lsl (i land 31)) <> 0
+let iset_add w i = w.(i lsr 5) <- w.(i lsr 5) lor (1 lsl (i land 31))
+
+let iset_subset a b =
+  let rec scan i = i < 0 || (a.(i) land lnot b.(i) = 0 && scan (i - 1)) in
+  scan (Array.length a - 1)
+
+let row_union_into dst src =
+  for i = 0 to Array.length dst - 1 do
+    dst.(i) <- dst.(i) lor src.(i)
+  done
+
+let iter_row f row k =
+  for i = 0 to k - 1 do
+    if iset_mem row i then f i
+  done
+
+(* --- dense local view ----------------------------------------------------- *)
+
+(* Mirrors the search engine's view, with two extra flags: a read whose
+   (var, value) has no writer in the subset dooms the unit outright, and a
+   subset with two writers of the same (var, value) is not differentiated
+   within the unit — the value-based legality the engines share is then
+   source-ambiguous, so we punt to the search. *)
+type view = {
+  ops : Op.t array;
+  preds : int array array; (* local idx -> relation predecessors (bit words) *)
+  var_slot_of : int array;
+  n_vars : int;
+  source : int array; (* reads: source local idx, -1 Init; writes: -2 *)
+  missing_source : bool;
+  dup_writer : bool;
+}
+
+let make_view h ~subset ~relation =
+  let all_ops = History.ops h in
+  let gids = Array.of_list subset in
+  let k = Array.length gids in
+  let local_of = Array.make (History.n_ops h) (-1) in
+  Array.iteri (fun i gid -> local_of.(gid) <- i) gids;
+  let ops = Array.map (fun gid -> all_ops.(gid)) gids in
+  let nw = words_for k in
+  let preds = Array.init k (fun _ -> Array.make nw 0) in
+  Array.iteri
+    (fun i gid ->
+      List.iter
+        (fun succ_gid ->
+          let j = local_of.(succ_gid) in
+          if j >= 0 then iset_add preds.(j) i)
+        (Graph.succ relation gid))
+    gids;
+  let max_var = Array.fold_left (fun m (o : Op.t) -> Stdlib.max m o.var) (-1) ops in
+  let var_slot_of = Array.make (max_var + 1) (-1) in
+  let n_vars = ref 0 in
+  Array.iter
+    (fun (o : Op.t) ->
+      if var_slot_of.(o.var) < 0 then begin
+        var_slot_of.(o.var) <- !n_vars;
+        incr n_vars
+      end)
+    ops;
+  let writer_of = Hashtbl.create 16 in
+  let dup_writer = ref false in
+  Array.iteri
+    (fun i (o : Op.t) ->
+      if Op.is_write o then begin
+        if Hashtbl.mem writer_of (o.var, o.value) then dup_writer := true;
+        Hashtbl.replace writer_of (o.var, o.value) i
+      end)
+    ops;
+  let missing_source = ref false in
+  let source =
+    Array.map
+      (fun (o : Op.t) ->
+        match o.kind with
+        | Op.Write -> -2
+        | Op.Read -> (
+            match o.value with
+            | Op.Init -> -1
+            | Op.Val _ -> (
+                match Hashtbl.find_opt writer_of (o.var, o.value) with
+                | Some w -> w
+                | None ->
+                    missing_source := true;
+                    -2)))
+      ops
+  in
+  {
+    ops;
+    preds;
+    var_slot_of;
+    n_vars = !n_vars;
+    source;
+    missing_source = !missing_source;
+    dup_writer = !dup_writer;
+  }
+
+let var_slot view (o : Op.t) = view.var_slot_of.(o.var)
+
+(* --- stream merge (single-reader units: the PRAM/slow decomposition) ------ *)
+
+(* Schedule the reader's operations in program order; whenever a read needs a
+   value from another process, apply that process's write stream up to and
+   including the source (FIFO, never reordered), then drain the leftover
+   stream suffixes.  The candidate is legal by construction; it is accepted
+   only if it also respects the full unit relation, which keeps the merge
+   sound for any relation handed to it.  Failure proves nothing — the caller
+   falls through to saturation. *)
+let try_merge view k =
+  let reader = ref (-1) and multi = ref false and max_proc = ref (-1) in
+  Array.iter
+    (fun (o : Op.t) ->
+      if o.proc > !max_proc then max_proc := o.proc;
+      if Op.is_read o then
+        if !reader < 0 then reader := o.proc
+        else if o.proc <> !reader then multi := true)
+    view.ops;
+  if !multi || !reader < 0 then false
+  else begin
+    let reader = !reader in
+    let chain = ref [] and streams = Array.make (!max_proc + 1) [] in
+    for i = k - 1 downto 0 do
+      let o = view.ops.(i) in
+      if o.Op.proc = reader then chain := i :: !chain
+      else streams.(o.Op.proc) <- i :: streams.(o.Op.proc)
+    done;
+    let streams = Array.map Array.of_list streams in
+    let ptr = Array.make (!max_proc + 1) 0 in
+    let pos = Array.make k (-1) in
+    let next_pos = ref 0 in
+    let last = Array.make view.n_vars (-1) in
+    let place i =
+      pos.(i) <- !next_pos;
+      incr next_pos;
+      let o = view.ops.(i) in
+      if Op.is_write o then last.(var_slot view o) <- i
+    in
+    let legal_now (o : Op.t) =
+      let sl = var_slot view o in
+      match o.Op.value with
+      | Op.Init -> last.(sl) = -1
+      | Op.Val _ ->
+          last.(sl) >= 0
+          && Op.equal_value view.ops.(last.(sl)).Op.value o.Op.value
+    in
+    try
+      List.iter
+        (fun r ->
+          let o = view.ops.(r) in
+          if Op.is_write o then place r
+          else begin
+            let s = view.source.(r) in
+            if legal_now o then place r
+            else if s >= 0 && view.ops.(s).Op.proc <> reader && pos.(s) < 0
+            then begin
+              let q = view.ops.(s).Op.proc in
+              let rec advance () =
+                if ptr.(q) >= Array.length streams.(q) then raise Exit;
+                let w = streams.(q).(ptr.(q)) in
+                ptr.(q) <- ptr.(q) + 1;
+                place w;
+                if w <> s then advance ()
+              in
+              advance ();
+              if legal_now o then place r else raise Exit
+            end
+            else raise Exit
+          end)
+        !chain;
+      for q = 0 to !max_proc do
+        while ptr.(q) < Array.length streams.(q) do
+          place streams.(q).(ptr.(q));
+          ptr.(q) <- ptr.(q) + 1
+        done
+      done;
+      for v = 0 to k - 1 do
+        iter_row (fun u -> if pos.(u) >= pos.(v) then raise Exit) view.preds.(v) k
+      done;
+      true
+    with Exit -> false
+  end
+
+(* --- write-order saturation ----------------------------------------------- *)
+
+(* Closure rows over forced precedence: the unit relation, each read after
+   its source, each Init-read before every same-variable write, then the two
+   derivation rules to a fixpoint.  Every edge holds in every legal
+   serialization, so a cycle is a proof of inconsistency. *)
+let saturate view k =
+  let nw = words_for k in
+  let rows = Array.init k (fun _ -> Array.make nw 0) in
+  for v = 0 to k - 1 do
+    iter_row (fun u -> iset_add rows.(u) v) view.preds.(v) k
+  done;
+  let writes_of_slot = Array.make (Stdlib.max view.n_vars 1) [] in
+  for i = k - 1 downto 0 do
+    let o = view.ops.(i) in
+    if Op.is_write o then
+      writes_of_slot.(var_slot view o) <- i :: writes_of_slot.(var_slot view o)
+  done;
+  Array.iteri
+    (fun r (o : Op.t) ->
+      if Op.is_read o then
+        match view.source.(r) with
+        | -1 ->
+            List.iter (fun w' -> iset_add rows.(r) w') writes_of_slot.(var_slot view o)
+        | s -> iset_add rows.(s) r)
+    view.ops;
+  for via = 0 to k - 1 do
+    let row_via = rows.(via) in
+    for u = 0 to k - 1 do
+      if u <> via && iset_mem rows.(u) via then row_union_into rows.(u) row_via
+    done
+  done;
+  let cyclic = ref false in
+  for u = 0 to k - 1 do
+    if iset_mem rows.(u) u then cyclic := true
+  done;
+  if !cyclic then `Cycle
+  else begin
+    let exception Cycle in
+    let tmp = Array.make nw 0 in
+    (* add u→v and restore exact closure; raises on a back-path *)
+    let add_edge u v =
+      if iset_mem rows.(u) v then false
+      else begin
+        if u = v || iset_mem rows.(v) u then raise Cycle;
+        Array.blit rows.(v) 0 tmp 0 nw;
+        iset_add tmp v;
+        for a = 0 to k - 1 do
+          if a = u || iset_mem rows.(a) u then row_union_into rows.(a) tmp
+        done;
+        true
+      end
+    in
+    try
+      let changed = ref true in
+      while !changed do
+        changed := false;
+        for r = 0 to k - 1 do
+          let s = view.source.(r) in
+          if s >= 0 then begin
+            let sl = var_slot view view.ops.(r) in
+            List.iter
+              (fun w' ->
+                if w' <> s then begin
+                  (* source before w'  ⇒  the read precedes w' *)
+                  if iset_mem rows.(s) w' && add_edge r w' then changed := true;
+                  (* w' before the read  ⇒  w' precedes the source *)
+                  if iset_mem rows.(w') r && add_edge w' s then changed := true
+                end)
+              writes_of_slot.(sl)
+          end
+        done
+      done;
+      `Acyclic rows
+    with Cycle -> `Cycle
+  end
+
+(* --- guided greedy construction ------------------------------------------- *)
+
+(* Deterministic single-path construction over the saturated order: place
+   every ready legal read eagerly (never harmful — reads leave the legality
+   state untouched), then pick a ready write that does not overwrite a
+   variable some pending sourced read is currently entitled to, preferring
+   sources of pending reads.  Success builds a legal serialization, proving
+   consistency; getting stuck proves nothing. *)
+let greedy view k rows =
+  let nw = words_for k in
+  let preds = Array.init k (fun _ -> Array.make nw 0) in
+  for u = 0 to k - 1 do
+    iter_row (fun v -> iset_add preds.(v) u) rows.(u) k
+  done;
+  let placed = Array.make nw 0 in
+  let last = Array.make view.n_vars (-1) in
+  let n_placed = ref 0 in
+  let ready i = (not (iset_mem placed i)) && iset_subset preds.(i) placed in
+  let place i =
+    iset_add placed i;
+    incr n_placed;
+    let o = view.ops.(i) in
+    if Op.is_write o then last.(var_slot view o) <- i
+  in
+  let read_legal (o : Op.t) =
+    let sl = var_slot view o in
+    match o.Op.value with
+    | Op.Init -> last.(sl) = -1
+    | Op.Val _ ->
+        last.(sl) >= 0 && Op.equal_value view.ops.(last.(sl)).Op.value o.Op.value
+  in
+  let window_open = Array.make (Stdlib.max view.n_vars 1) false in
+  let wanted = Array.make k false in
+  let exception Stuck in
+  try
+    while !n_placed < k do
+      let progress = ref true in
+      while !progress do
+        progress := false;
+        for i = 0 to k - 1 do
+          if ready i && Op.is_read view.ops.(i) && read_legal view.ops.(i) then begin
+            place i;
+            progress := true
+          end
+        done
+      done;
+      if !n_placed < k then begin
+        Array.fill window_open 0 (Array.length window_open) false;
+        Array.fill wanted 0 k false;
+        for i = 0 to k - 1 do
+          if (not (iset_mem placed i)) && Op.is_read view.ops.(i) then begin
+            let s = view.source.(i) in
+            if s >= 0 then
+              if iset_mem placed s then
+                if read_legal view.ops.(i) then
+                  window_open.(var_slot view view.ops.(i)) <- true
+                else raise Stuck (* window already closed: this path is dead *)
+              else wanted.(s) <- true
+          end
+        done;
+        let urgent = ref (-1) and safe = ref (-1) in
+        for i = k - 1 downto 0 do
+          let o = view.ops.(i) in
+          if ready i && Op.is_write o && not window_open.(var_slot view o) then
+            if wanted.(i) then urgent := i else safe := i
+        done;
+        if !urgent >= 0 then place !urgent
+        else if !safe >= 0 then place !safe
+        else raise Stuck
+      end
+    done;
+    true
+  with Stuck -> false
+
+let serializable h ~subset ~relation =
+  let view = make_view h ~subset ~relation in
+  let k = Array.length view.ops in
+  if k = 0 then Consistent
+  else if view.missing_source then begin
+    (* a read's value is written by nobody in the unit: never legal *)
+    Atomic.incr c_cycle;
+    Inconsistent
+  end
+  else if view.dup_writer then begin
+    Atomic.incr c_unknown;
+    Unknown
+  end
+  else if try_merge view k then begin
+    Atomic.incr c_merge;
+    Consistent
+  end
+  else
+    match saturate view k with
+    | `Cycle ->
+        Atomic.incr c_cycle;
+        Inconsistent
+    | `Acyclic rows ->
+        if greedy view k rows then begin
+          Atomic.incr c_greedy;
+          Consistent
+        end
+        else begin
+          Atomic.incr c_unknown;
+          Unknown
+        end

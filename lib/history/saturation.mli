@@ -1,0 +1,57 @@
+(** Polynomial decision front-end for serialization units.
+
+    [find_serialization] decides a unit by exponential backtracking; for the
+    differentiated histories this repo produces, polynomial procedures decide
+    almost every unit directly:
+
+    - {b saturation}: starting from the unit's relation, the read-from edges
+      and the Init-read constraints, repeatedly add the write-order edges
+      forced by every legal serialization (after Bouajjani et al., "On
+      Verifying Causal Consistency", POPL 2017: if the source [w] of a read
+      [r] of [x] precedes another [x]-write [w'], then [r] must precede
+      [w']; if [w'] precedes [r], it must precede [w]).  A cycle among
+      forced edges refutes the unit outright.
+    - {b stream merge}: units whose reads all belong to one process (the
+      PRAM/slow decomposition) are first attempted as a monotone merge of
+      the other processes' FIFO write streams against the reader's program
+      order (after Wei et al., "Verifying PRAM Consistency over Read/Write
+      Traces of Data Replicas"); the candidate schedule is validated against
+      the full unit relation before being accepted.
+    - {b guided greedy}: an acyclic saturated order is handed to a
+      deterministic constructor that places every ready legal read eagerly
+      and only picks writes that keep all open read windows alive; success
+      yields a legal serialization witness-free.
+
+    Each procedure is {e sound} but not complete: [serializable] answers
+    [Unknown] whenever none of them can prove the unit either way, and the
+    caller falls back to the search.  Verdicts therefore always coincide
+    with [find_serialization] — enforced by the [REPRO_CHECK_ORACLE] flag
+    and the qcheck parity suite. *)
+
+type outcome = Consistent | Inconsistent | Unknown
+
+val serializable :
+  History.t -> subset:int list -> relation:Orders.relation -> outcome
+(** Decide whether the subset admits a legal serialization respecting the
+    relation, with the same semantics as
+    [find_serialization <> None] — including the search engine's treatment
+    of reads whose source lies outside the subset (no serialization).
+    Subsets containing two writes of the same value to the same variable
+    (non-differentiated within the unit) answer [Unknown]. *)
+
+(** {2 Instrumentation} *)
+
+type counters = {
+  merge_hits : int;  (** units proved consistent by the stream merge *)
+  cycle_refutations : int;
+      (** units refuted without search: a saturation cycle, or a read whose
+          value no write in the unit supplies *)
+  greedy_hits : int;  (** units proved consistent by the guided greedy *)
+  unknowns : int;  (** units punted to the search engine *)
+}
+
+val counters : unit -> counters
+(** Process-wide totals since start or the last {!reset_counters}; updated
+    atomically (the parallel checker shares them across domains). *)
+
+val reset_counters : unit -> unit

@@ -68,7 +68,7 @@ let check guarantee h =
           (fun observer ->
             let rel = relation guarantee ~observer h rf in
             let subset = List.map (History.id h) (History.sub_history h observer) in
-            Checker.find_serialization h ~subset ~relation:rel <> None)
+            Checker.serializable h ~subset ~relation:rel)
           (List.init (History.n_procs h) Fun.id)
       in
       if ok then Holds else Violated

@@ -60,7 +60,7 @@ let check_linearizable t =
   | Ok _ ->
       let relation = real_time_precedence t in
       let subset = List.init (n_ops t) Fun.id in
-      if Checker.find_serialization t.plain ~subset ~relation <> None then Linearizable
+      if Checker.serializable t.plain ~subset ~relation then Linearizable
       else Not_linearizable
 
 let pp ppf t =

@@ -1,71 +1,80 @@
-type t = { n : int; words : Bytes.t }
+(* Packed int-array words (63 usable bits each).  The bytes-backed
+   representation this replaces paid a Char round-trip per 8 bits on every
+   union/inter; relation-closure rows are the checker's hottest data, so the
+   word ops below must stay branch-light and allocation-free. *)
 
-let words_for n = (n + 7) / 8
+type t = { n : int; words : int array }
+
+let bits = 63 (* usable bits per OCaml int on 64-bit platforms *)
+
+let words_for n = (n + bits - 1) / bits
 
 let create n =
   if n < 0 then invalid_arg "Bitset.create: negative capacity";
-  { n; words = Bytes.make (words_for n) '\000' }
+  { n; words = Array.make (words_for n) 0 }
 
 let capacity t = t.n
 
-let copy t = { n = t.n; words = Bytes.copy t.words }
+let copy t = { n = t.n; words = Array.copy t.words }
 
 let check t i =
   if i < 0 || i >= t.n then invalid_arg "Bitset: index out of bounds"
 
 let add t i =
   check t i;
-  let byte = i lsr 3 and bit = i land 7 in
-  Bytes.unsafe_set t.words byte
-    (Char.chr (Char.code (Bytes.unsafe_get t.words byte) lor (1 lsl bit)))
+  let w = i / bits and b = i mod bits in
+  Array.unsafe_set t.words w (Array.unsafe_get t.words w lor (1 lsl b))
 
 let remove t i =
   check t i;
-  let byte = i lsr 3 and bit = i land 7 in
-  Bytes.unsafe_set t.words byte
-    (Char.chr (Char.code (Bytes.unsafe_get t.words byte) land lnot (1 lsl bit) land 0xff))
+  let w = i / bits and b = i mod bits in
+  Array.unsafe_set t.words w (Array.unsafe_get t.words w land lnot (1 lsl b))
 
 let mem t i =
   check t i;
-  let byte = i lsr 3 and bit = i land 7 in
-  Char.code (Bytes.unsafe_get t.words byte) land (1 lsl bit) <> 0
+  let w = i / bits and b = i mod bits in
+  Array.unsafe_get t.words w land (1 lsl b) <> 0
 
-let popcount_byte =
-  let table = Array.make 256 0 in
-  for i = 1 to 255 do
-    table.(i) <- table.(i lsr 1) + (i land 1)
-  done;
-  fun c -> table.(Char.code c)
+let popcount w =
+  let rec go w acc = if w = 0 then acc else go (w land (w - 1)) (acc + 1) in
+  go w 0
 
 let cardinal t =
   let total = ref 0 in
-  for i = 0 to Bytes.length t.words - 1 do
-    total := !total + popcount_byte (Bytes.unsafe_get t.words i)
+  for i = 0 to Array.length t.words - 1 do
+    total := !total + popcount (Array.unsafe_get t.words i)
   done;
   !total
 
 let is_empty t =
   let rec scan i =
-    i >= Bytes.length t.words
-    || (Bytes.unsafe_get t.words i = '\000' && scan (i + 1))
+    i >= Array.length t.words || (Array.unsafe_get t.words i = 0 && scan (i + 1))
   in
   scan 0
 
 let check_same a b =
   if a.n <> b.n then invalid_arg "Bitset: capacity mismatch"
 
-let map2_into ~dst src f =
+let union_into ~dst src =
   check_same dst src;
-  for i = 0 to Bytes.length dst.words - 1 do
-    let merged =
-      f (Char.code (Bytes.unsafe_get dst.words i)) (Char.code (Bytes.unsafe_get src.words i))
-    in
-    Bytes.unsafe_set dst.words i (Char.chr (merged land 0xff))
+  for i = 0 to Array.length dst.words - 1 do
+    Array.unsafe_set dst.words i
+      (Array.unsafe_get dst.words i lor Array.unsafe_get src.words i)
   done
 
-let union_into ~dst src = map2_into ~dst src (fun a b -> a lor b)
-let inter_into ~dst src = map2_into ~dst src (fun a b -> a land b)
-let diff_into ~dst src = map2_into ~dst src (fun a b -> a land lnot b)
+let inter_into ~dst src =
+  check_same dst src;
+  for i = 0 to Array.length dst.words - 1 do
+    Array.unsafe_set dst.words i
+      (Array.unsafe_get dst.words i land Array.unsafe_get src.words i)
+  done
+
+let diff_into ~dst src =
+  check_same dst src;
+  for i = 0 to Array.length dst.words - 1 do
+    Array.unsafe_set dst.words i
+      (Array.unsafe_get dst.words i land lnot (Array.unsafe_get src.words i))
+  done
 
 let union a b =
   let r = copy a in
@@ -77,33 +86,44 @@ let inter a b =
   inter_into ~dst:r b;
   r
 
-let equal a b = a.n = b.n && Bytes.equal a.words b.words
+let equal a b =
+  a.n = b.n
+  &&
+  let rec scan i =
+    i >= Array.length a.words
+    || (Array.unsafe_get a.words i = Array.unsafe_get b.words i && scan (i + 1))
+  in
+  scan 0
 
 let subset a b =
   check_same a b;
   let rec scan i =
-    i >= Bytes.length a.words
-    ||
-    let wa = Char.code (Bytes.unsafe_get a.words i)
-    and wb = Char.code (Bytes.unsafe_get b.words i) in
-    wa land lnot wb = 0 && scan (i + 1)
+    i >= Array.length a.words
+    || Array.unsafe_get a.words i land lnot (Array.unsafe_get b.words i) = 0
+       && scan (i + 1)
   in
   scan 0
 
 let disjoint a b =
   check_same a b;
   let rec scan i =
-    i >= Bytes.length a.words
-    ||
-    let wa = Char.code (Bytes.unsafe_get a.words i)
-    and wb = Char.code (Bytes.unsafe_get b.words i) in
-    wa land wb = 0 && scan (i + 1)
+    i >= Array.length a.words
+    || Array.unsafe_get a.words i land Array.unsafe_get b.words i = 0
+       && scan (i + 1)
   in
   scan 0
 
 let iter f t =
-  for i = 0 to t.n - 1 do
-    if mem t i then f i
+  for w = 0 to Array.length t.words - 1 do
+    let word = ref (Array.unsafe_get t.words w) in
+    let base = w * bits in
+    let b = ref 0 in
+    while !word <> 0 do
+      let skip = if !word land 0xff = 0 then 8 else 1 in
+      if skip = 1 && !word land 1 <> 0 then f (base + !b);
+      word := !word lsr skip;
+      b := !b + skip
+    done
   done
 
 let fold f t init =
@@ -118,7 +138,17 @@ let of_list n elems =
   List.iter (add t) elems;
   t
 
-let to_raw_string t = Bytes.to_string t.words
+let to_raw_string t =
+  (* 8 little-endian bytes per word; equal sets yield equal strings because
+     words past [n] are never set. *)
+  let buf = Bytes.create (8 * Array.length t.words) in
+  for i = 0 to Array.length t.words - 1 do
+    let w = Array.unsafe_get t.words i in
+    for j = 0 to 7 do
+      Bytes.unsafe_set buf ((8 * i) + j) (Char.unsafe_chr ((w lsr (8 * j)) land 0xff))
+    done
+  done;
+  Bytes.unsafe_to_string buf
 
 let pp ppf t =
   Format.fprintf ppf "{%a}"

@@ -207,8 +207,9 @@ let test_render_smoke () =
   check Alcotest.bool "contains a note" true (contains ~needle:"note:" s)
 
 let test_find_and_ids () =
-  check Alcotest.int "ten experiments" 10 (List.length Experiment.ids);
+  check Alcotest.int "twelve experiments" 12 (List.length Experiment.ids);
   check Alcotest.bool "find case-insensitive" true (Experiment.find "e1" <> None);
+  check Alcotest.bool "find scaled tier" true (Experiment.find "e1x" <> None);
   check Alcotest.bool "unknown" true (Experiment.find "Z9" = None)
 
 let () =

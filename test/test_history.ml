@@ -621,7 +621,12 @@ let test_witness_roundtrip () =
       let rf = Result.get_ok (History.read_from h) in
       let lco = Orders.lazy_causal h rf in
       List.iter
-        (fun (p, order) ->
+        (fun (key, order) ->
+          let p =
+            match key with
+            | Checker.Proc p -> p
+            | key -> Alcotest.failf "unexpected unit key %s" (Checker.unit_key_name key)
+          in
           let subset = List.map (History.id h) (History.sub_history h p) in
           check Alcotest.bool "witness validates" true
             (Checker.validate_serialization h ~subset ~relation:lco ~order))
@@ -1015,9 +1020,14 @@ let test_witnesses_validate =
          | None -> false
          | Some units ->
              List.for_all
-               (fun (p, order) ->
-                 let subset = List.map (History.id h) (History.sub_history h p) in
-                 Checker.validate_serialization h ~subset ~relation:co ~order)
+               (fun (key, order) ->
+                 match key with
+                 | Checker.Proc p ->
+                     let subset =
+                       List.map (History.id h) (History.sub_history h p)
+                     in
+                     Checker.validate_serialization h ~subset ~relation:co ~order
+                 | _ -> false)
                units))
 
 let () =

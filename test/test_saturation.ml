@@ -1,0 +1,200 @@
+(* Engine parity: the polynomial saturation front-end and the
+   backtracking search must agree on every verdict, for every criterion.
+   Three sources of histories, in increasing realism:
+
+   - random QCheck histories (arbitrary, i.e. mostly inconsistent, plus
+     the consistent-by-construction generators);
+   - the deterministic scenario bank (the paper's Figures 3-6 patterns,
+     executed on the efficient protocols with adversarial latencies);
+   - the 33 golden protocol/seed histories pinned by test_golden.ml.
+
+   A disagreement here means the saturation engine is unsound or its
+   Unknown fallback is broken, so the byte-identity golden digests would
+   move with it. *)
+
+module Checker = Repro_history.Checker
+module History = Repro_history.History
+module Relcache = Repro_history.Relcache
+module Saturation = Repro_history.Saturation
+module Generator = Repro_history.Generator
+module Registry = Repro_core.Registry
+module Workload = Repro_core.Workload
+module Experiment = Repro_experiments.Experiment
+module Distribution = Repro_sharegraph.Distribution
+module Rng = Repro_util.Rng
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+let verdict_name = function
+  | Checker.Consistent -> "consistent"
+  | Checker.Inconsistent -> "inconsistent"
+  | Checker.Undecidable _ -> "undecidable"
+
+let agree_on_all_criteria ?(name = "history") h =
+  List.iter
+    (fun criterion ->
+      let search = Checker.check ~engine:Checker.Search criterion h in
+      let saturation = Checker.check ~engine:Checker.Saturation criterion h in
+      if verdict_name search <> verdict_name saturation then
+        Alcotest.failf "%s: engines disagree on %s (search=%s saturation=%s)"
+          name
+          (Checker.criterion_name criterion)
+          (verdict_name search) (verdict_name saturation))
+    Checker.all_criteria
+
+(* --- random histories ------------------------------------------------------ *)
+
+let parity_prop make_history seed =
+  let h = make_history seed in
+  List.for_all
+    (fun criterion ->
+      verdict_name (Checker.check ~engine:Checker.Search criterion h)
+      = verdict_name (Checker.check ~engine:Checker.Saturation criterion h))
+    Checker.all_criteria
+
+let test_parity_arbitrary =
+  qcheck
+    (QCheck.Test.make ~name:"parity_on_arbitrary_histories" ~count:150
+       QCheck.small_int
+       (parity_prop (fun seed ->
+            Generator.arbitrary (Rng.create seed)
+              { Generator.procs = 3; vars = 2; ops_per_proc = 4; read_ratio = 0.5 })))
+
+let test_parity_arbitrary_wide =
+  qcheck
+    (QCheck.Test.make ~name:"parity_on_wider_arbitrary_histories" ~count:60
+       QCheck.small_int
+       (parity_prop (fun seed ->
+            Generator.arbitrary (Rng.create (seed + 5_000))
+              { Generator.procs = 4; vars = 3; ops_per_proc = 5; read_ratio = 0.6 })))
+
+let test_parity_pram_consistent =
+  qcheck
+    (QCheck.Test.make ~name:"parity_on_pram_consistent_histories" ~count:80
+       QCheck.small_int
+       (parity_prop (fun seed ->
+            Generator.pram_consistent (Rng.create seed)
+              { Generator.procs = 3; vars = 3; ops_per_proc = 5; read_ratio = 0.5 })))
+
+let test_parity_causal_consistent =
+  qcheck
+    (QCheck.Test.make ~name:"parity_on_causal_consistent_histories" ~count:80
+       QCheck.small_int
+       (parity_prop (fun seed ->
+            Generator.causal_consistent (Rng.create seed)
+              { Generator.procs = 3; vars = 2; ops_per_proc = 5; read_ratio = 0.5 })))
+
+let test_parity_sequential_consistent =
+  qcheck
+    (QCheck.Test.make ~name:"parity_on_sequential_histories" ~count:80
+       QCheck.small_int
+       (parity_prop (fun seed ->
+            Generator.sequential_consistent (Rng.create seed)
+              { Generator.procs = 3; vars = 3; ops_per_proc = 4; read_ratio = 0.5 })))
+
+(* --- deterministic scenario bank ------------------------------------------- *)
+
+let scenario_seed = 77
+
+let test_scenario_bank_parity () =
+  List.iter
+    (fun (spec : Registry.spec) ->
+      List.iter
+        (fun (scenario, h) ->
+          agree_on_all_criteria
+            ~name:(Printf.sprintf "%s/%s" spec.Registry.name scenario)
+            h)
+        (Experiment.adversarial_histories spec ~seed:scenario_seed))
+    Registry.all
+
+(* --- the 33 golden protocol/seed histories --------------------------------- *)
+
+(* mirror test_golden.ml's run_spec: same distribution and workload, so
+   these are exactly the histories whose digests are pinned *)
+let golden_history (spec : Registry.spec) seed =
+  let dist =
+    if spec.Registry.requires_full_replication then
+      Distribution.full ~n_procs:6 ~n_vars:8
+    else
+      Distribution.random (Rng.create (777 + seed)) ~n_procs:6 ~n_vars:8
+        ~replicas_per_var:3
+  in
+  let memory = spec.Registry.make ~dist ~seed () in
+  Workload.run_random ~seed:(seed + 1) memory
+
+let test_golden_histories_parity () =
+  List.iter
+    (fun seed ->
+      List.iter
+        (fun (spec : Registry.spec) ->
+          agree_on_all_criteria
+            ~name:(Printf.sprintf "%s/%d" spec.Registry.name seed)
+            (golden_history spec seed))
+        Registry.all)
+    [ 11; 22; 33 ]
+
+(* --- direct unit-level checks ---------------------------------------------- *)
+
+(* reads of values nobody wrote must be refuted without the search *)
+let test_missing_writer_refuted () =
+  let h =
+    History.of_lists
+      [
+        [ (Repro_history.Op.Write, 0, Repro_history.Op.Val 1) ];
+        [ (Repro_history.Op.Read, 0, Repro_history.Op.Val 9) ];
+      ]
+  in
+  let rc = Relcache.create h in
+  let subset = [ 0; 1 ] in
+  let relation = Relcache.program_order rc in
+  (match Saturation.serializable h ~subset ~relation with
+  | Saturation.Inconsistent -> ()
+  | Saturation.Consistent -> Alcotest.fail "dangling read accepted"
+  | Saturation.Unknown -> Alcotest.fail "dangling read not refuted directly");
+  Alcotest.(check bool)
+    "search agrees" false
+    (Checker.serializable ~engine:Checker.Search h ~subset ~relation)
+
+(* the counters move when the engine actually runs *)
+let test_counters_move () =
+  Saturation.reset_counters ();
+  let h =
+    Generator.causal_consistent (Rng.create 4242)
+      { Generator.procs = 3; vars = 2; ops_per_proc = 5; read_ratio = 0.5 }
+  in
+  (match Checker.check ~engine:Checker.Saturation Checker.Causal h with
+  | Checker.Consistent -> ()
+  | _ -> Alcotest.fail "causal-consistent history rejected");
+  let c = Saturation.counters () in
+  Alcotest.(check bool)
+    "some polynomial path fired" true
+    (c.Saturation.merge_hits + c.Saturation.greedy_hits > 0)
+
+let () =
+  Alcotest.run "repro_saturation"
+    [
+      ( "qcheck-parity",
+        [
+          test_parity_arbitrary;
+          test_parity_arbitrary_wide;
+          test_parity_pram_consistent;
+          test_parity_causal_consistent;
+          test_parity_sequential_consistent;
+        ] );
+      ( "scenario-bank",
+        [
+          Alcotest.test_case "figures 3-6 + hoop-leak parity" `Quick
+            test_scenario_bank_parity;
+        ] );
+      ( "golden-histories",
+        [
+          Alcotest.test_case "33 protocol/seed histories parity" `Slow
+            test_golden_histories_parity;
+        ] );
+      ( "units",
+        [
+          Alcotest.test_case "missing writer refuted" `Quick
+            test_missing_writer_refuted;
+          Alcotest.test_case "counters move" `Quick test_counters_move;
+        ] );
+    ]
