@@ -31,6 +31,7 @@ module Latency = Repro_msgpass.Latency
 module Fault = Repro_msgpass.Fault
 module Bellman_ford = Repro_apps.Bellman_ford
 module Wgraph = Repro_apps.Wgraph
+module Cluster = Repro_cluster.Cluster
 module Rng = Repro_util.Rng
 module Table = Repro_util.Table
 module Pool = Repro_util.Pool
@@ -498,13 +499,187 @@ let resolve_json_path path =
   end
   else (path, [])
 
-let write_json rows = function
+let write_record record_of_notes = function
   | None -> ()
   | Some path ->
       let path, notes = resolve_json_path path in
       Out_channel.with_open_text path (fun oc ->
-          Jsonout.to_channel oc (json_record ~notes rows));
+          Jsonout.to_channel oc (record_of_notes ~notes));
       Printf.printf "wrote %s\n" path
+
+let write_json rows json =
+  write_record (fun ~notes -> json_record ~notes rows) json
+
+(* --- cluster: live-runtime tier ------------------------------------------------
+   Forked loopback clusters cannot run under Bechamel: every probe forks n
+   OS processes, and forking must precede any domain creation, so the whole
+   tier stays out of the staged harness.  Instead each configuration gets
+   [cluster_reps] full live runs timed with the wall clock (both the
+   slowest node's hello-to-close span and the parent's fork-to-join span),
+   next to one timed run of the same (protocol, workload, n, seed) on the
+   deterministic simulator.  For the E1 workload the tier also re-asserts
+   the parity invariant — live message/control/payload totals equal the
+   sim's exactly — so a regression shows up in the trajectory, not just in
+   the test suite. *)
+
+let cluster_reps = 3
+
+let cluster_cases =
+  [
+    ("pram-partial", "e1", 3);
+    ("causal-partial", "e1", 3);
+    ("pram-partial", "e1", 5);
+    ("pram-partial", "bellman-ford", 5);
+  ]
+
+type cluster_row = {
+  cl_protocol : string;
+  cl_workload : string;
+  cl_n : int;
+  node_ms : int list;  (** Per rep: slowest node, hello to close. *)
+  harness_ms : float list;  (** Per rep: parent wall clock, fork to join. *)
+  sim_ms : float;  (** One whole-instance run on the simulator. *)
+  messages : int;
+  control : int;
+  payload : int;
+  parity : bool option;  (** [None] when the workload is not parity-eligible. *)
+  accepted : bool;  (** Verdict consistent / finals acceptance passed. *)
+}
+
+let run_cluster_case (protocol_name, workload, n) =
+  let protocol =
+    match Registry.find protocol_name with
+    | Some spec -> spec
+    | None -> failwith (protocol_name ^ " not registered")
+  in
+  let outcomes =
+    List.init cluster_reps (fun rep ->
+        let t0 = Unix.gettimeofday () in
+        match Cluster.run ~n ~protocol ~workload ~seed:(seed + rep) () with
+        | Error msg ->
+            failwith
+              (Printf.sprintf "cluster %s/%s/n=%d: %s" protocol_name workload n
+                 msg)
+        | Ok o -> (o, (Unix.gettimeofday () -. t0) *. 1e3))
+  in
+  let o0, _ = List.hd outcomes in
+  let baseline_of seed =
+    let t0 = Unix.gettimeofday () in
+    match Cluster.sim_baseline ~n ~protocol ~workload ~seed with
+    | Error msg -> failwith msg
+    | Ok b -> ((Unix.gettimeofday () -. t0) *. 1e3, b)
+  in
+  let sim_ms, _ = baseline_of seed in
+  let parity =
+    (* Bellman-Ford's per-round rewrites make its send count depend on
+       convergence timing; only E1's fan-out is timing-independent. *)
+    if workload = "bellman-ford" then None
+    else
+      Some
+        (List.for_all
+           (fun ((o : Cluster.outcome), _) ->
+             let _, b = baseline_of o.Cluster.seed in
+             let m = b.Cluster.metrics in
+             o.Cluster.messages_sent = m.Memory.messages_sent
+             && o.Cluster.control_bytes = m.Memory.control_bytes
+             && o.Cluster.payload_bytes = m.Memory.payload_bytes)
+           outcomes)
+  in
+  let accepted =
+    List.for_all
+      (fun ((o : Cluster.outcome), _) ->
+        (match o.Cluster.verdict with
+        | Checker.Consistent -> true
+        | Checker.Inconsistent -> false
+        | Checker.Undecidable _ -> not o.Cluster.history_checked)
+        && Result.is_ok o.Cluster.finals)
+      outcomes
+  in
+  {
+    cl_protocol = protocol_name;
+    cl_workload = workload;
+    cl_n = n;
+    node_ms = List.map (fun ((o : Cluster.outcome), _) -> o.Cluster.wall_ms) outcomes;
+    harness_ms = List.map snd outcomes;
+    sim_ms;
+    messages = o0.Cluster.messages_sent;
+    control = o0.Cluster.control_bytes;
+    payload = o0.Cluster.payload_bytes;
+    parity;
+    accepted;
+  }
+
+let cluster_json_record rows ~notes =
+  let row_json r =
+    Jsonout.Obj
+      [
+        ("protocol", Jsonout.String r.cl_protocol);
+        ("workload", Jsonout.String r.cl_workload);
+        ("nodes", Jsonout.Int r.cl_n);
+        ("reps", Jsonout.Int cluster_reps);
+        ("node_wall_ms", Jsonout.List (List.map (fun m -> Jsonout.Int m) r.node_ms));
+        ( "harness_wall_ms",
+          Jsonout.List (List.map (fun m -> Jsonout.Float m) r.harness_ms) );
+        ("sim_wall_ms", Jsonout.Float r.sim_ms);
+        ("messages", Jsonout.Int r.messages);
+        ("control_bytes", Jsonout.Int r.control);
+        ("payload_bytes", Jsonout.Int r.payload);
+        ( "sim_parity",
+          match r.parity with Some b -> Jsonout.Bool b | None -> Jsonout.Null );
+        ("accepted", Jsonout.Bool r.accepted);
+      ]
+  in
+  Jsonout.Obj
+    ([
+       ("schema", Jsonout.String "repro-bench/1");
+       ("seed", Jsonout.Int seed);
+       ("cluster_reps", Jsonout.Int cluster_reps);
+     ]
+    @ (match notes with
+      | [] -> []
+      | notes ->
+          [ ("notes", Jsonout.List (List.map (fun n -> Jsonout.String n) notes)) ])
+    @ [ ("cluster", Jsonout.List (List.map row_json rows)) ])
+
+let run_cluster_benchmarks ?json () =
+  let rows = List.map run_cluster_case cluster_cases in
+  print_endline "== Live cluster tier (wall clock, forked loopback nodes) ==";
+  Table.print
+    ~header:
+      [
+        "protocol"; "workload"; "n"; "node ms"; "harness ms"; "sim ms"; "msgs";
+        "ctl B"; "parity"; "accepted";
+      ]
+    ~rows:
+      (List.map
+         (fun r ->
+           [
+             r.cl_protocol;
+             r.cl_workload;
+             string_of_int r.cl_n;
+             String.concat "/" (List.map string_of_int r.node_ms);
+             String.concat "/"
+               (List.map (fun m -> Printf.sprintf "%.0f" m) r.harness_ms);
+             Printf.sprintf "%.1f" r.sim_ms;
+             string_of_int r.messages;
+             string_of_int r.control;
+             (match r.parity with
+             | Some true -> "exact"
+             | Some false -> "MISMATCH"
+             | None -> "n/a");
+             (if r.accepted then "yes" else "NO");
+           ])
+         rows)
+    ();
+  (if
+     List.exists
+       (fun r -> r.parity = Some false || not r.accepted)
+       rows
+   then begin
+     prerr_endline "cluster tier: parity mismatch or rejected run";
+     exit 2
+   end);
+  write_record (cluster_json_record rows) json
 
 let run_benchmarks ?json () =
   (* the seq-vs-par and engine-comparison probes take hundreds of ms each;
@@ -535,15 +710,21 @@ let run_check_benchmarks ?json () =
 
 (* --- argument parsing ---------------------------------------------------------- *)
 
-type mode = Default | Tables_only | One_experiment of string | Sim_only | Check_only
+type mode =
+  | Default
+  | Tables_only
+  | One_experiment of string
+  | Sim_only
+  | Check_only
+  | Cluster_only
 
 let () =
   let mode = ref Default in
   let json = ref None in
   let usage () =
     prerr_endline
-      "usage: bench [--tables] [--sim] [--check] [--experiment ID] [--jobs N] \
-       [--json FILE|DIR]";
+      "usage: bench [--tables] [--sim] [--check] [--cluster] [--experiment ID] \
+       [--jobs N] [--json FILE|DIR]";
     exit 1
   in
   let rec parse = function
@@ -556,6 +737,9 @@ let () =
         parse rest
     | "--check" :: rest ->
         mode := Check_only;
+        parse rest
+    | "--cluster" :: rest ->
+        mode := Cluster_only;
         parse rest
     | "--experiment" :: id :: rest ->
         mode := One_experiment id;
@@ -576,6 +760,7 @@ let () =
   | Tables_only -> print_tables ()
   | Sim_only -> run_sim_benchmarks ?json:!json ()
   | Check_only -> run_check_benchmarks ?json:!json ()
+  | Cluster_only -> run_cluster_benchmarks ?json:!json ()
   | One_experiment id -> if not (print_one id) then exit 1
   | Default ->
       print_tables ();

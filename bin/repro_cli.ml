@@ -6,6 +6,8 @@
    repro check file.hist               check a textual history
    repro bellman-ford --nodes 8        the paper's case study
    repro experiment E1                 regenerate an experiment table
+   repro cluster --nodes 3             fork a live loopback cluster, run + check
+   repro serve --node 0 ...            one replica daemon of a live cluster
 *)
 
 module Distribution = Repro_sharegraph.Distribution
@@ -18,6 +20,10 @@ module Workload = Repro_core.Workload
 module Bellman_ford = Repro_apps.Bellman_ford
 module Wgraph = Repro_apps.Wgraph
 module Experiment = Repro_experiments.Experiment
+module Cluster = Repro_cluster.Cluster
+module Cluster_node = Repro_cluster.Node
+module Workload_spec = Repro_cluster.Workload_spec
+module Live = Repro_transport.Live
 module Table = Repro_util.Table
 module Bitset = Repro_util.Bitset
 module Rng = Repro_util.Rng
@@ -333,8 +339,33 @@ let run_cmd =
 
 (* --- check ------------------------------------------------------------------------ *)
 
+let criterion_conv =
+  Arg.conv
+    ( (fun name ->
+        let target = String.lowercase_ascii name in
+        match
+          List.find_opt
+            (fun c ->
+              String.lowercase_ascii (Checker.criterion_name c) = target)
+            Checker.all_criteria
+        with
+        | Some c -> Ok c
+        | None ->
+            Error
+              (`Msg
+                 (Printf.sprintf "unknown criterion %s (known: %s)" name
+                    (String.concat ", "
+                       (List.map Checker.criterion_name Checker.all_criteria)))) ),
+      fun ppf c -> Format.pp_print_string ppf (Checker.criterion_name c) )
+
+let require_arg =
+  Arg.(value & opt (some criterion_conv) None
+       & info [ "require" ] ~docv:"CRITERION"
+           ~doc:"Exit with status 2 unless the history satisfies $(docv) \
+                 (e.g. $(b,pram), $(b,causal), $(b,sequential)).")
+
 let check_cmd =
-  let run path diagram jobs engine =
+  let run path diagram require jobs engine =
     apply_jobs jobs;
     apply_engine engine;
     let text =
@@ -350,17 +381,20 @@ let check_cmd =
         if diagram then print_string (Repro_history.Diagram.render h)
         else print_string (History.to_string h);
         print_newline ();
+        let verdicts =
+          List.map (fun c -> (c, Checker.check_par c h)) Checker.all_criteria
+        in
         let rows =
           List.map
-            (fun criterion ->
+            (fun (criterion, verdict) ->
               [
                 Checker.criterion_name criterion;
-                (match Checker.check_par criterion h with
+                (match verdict with
                 | Checker.Consistent -> "yes"
                 | Checker.Inconsistent -> "no"
                 | Checker.Undecidable _ -> "undecidable (non-differentiated)");
               ])
-            Checker.all_criteria
+            verdicts
           @ List.map
               (fun guarantee ->
                 [
@@ -373,7 +407,16 @@ let check_cmd =
                 ])
               Repro_history.Session.all_guarantees
         in
-        Table.print ~header:[ "criterion"; "consistent" ] ~rows ()
+        Table.print ~header:[ "criterion"; "consistent" ] ~rows ();
+        Option.iter
+          (fun criterion ->
+            match List.assoc criterion verdicts with
+            | Checker.Consistent -> ()
+            | Checker.Inconsistent | Checker.Undecidable _ ->
+                Printf.eprintf "history violates %s\n"
+                  (Checker.criterion_name criterion);
+                exit 2)
+          require
   in
   let path_arg =
     Arg.(value & pos 0 string "-"
@@ -385,7 +428,7 @@ let check_cmd =
   in
   Cmd.v
     (Cmd.info "check" ~doc:"Check a textual history against every criterion.")
-    Term.(const run $ path_arg $ diagram_arg $ jobs_arg $ engine_arg)
+    Term.(const run $ path_arg $ diagram_arg $ require_arg $ jobs_arg $ engine_arg)
 
 (* --- bellman-ford ------------------------------------------------------------------ *)
 
@@ -483,6 +526,267 @@ let experiment_cmd =
     (Cmd.info "experiment" ~doc:"Regenerate an experiment table from DESIGN.md.")
     Term.(const run $ id_arg $ seed_arg $ jobs_arg $ json_arg)
 
+(* --- live cluster ------------------------------------------------------------------- *)
+
+let workload_arg =
+  Arg.(value & opt string "e1"
+       & info [ "w"; "workload" ] ~docv:"WORKLOAD"
+           ~doc:(Printf.sprintf "Cluster workload: %s."
+                   (String.concat ", " Workload_spec.names)))
+
+let verdict_text = function
+  | Checker.Consistent -> "consistent"
+  | Checker.Inconsistent -> "VIOLATION"
+  | Checker.Undecidable _ -> "undecidable"
+
+let sockaddr_of_spec spec =
+  match String.rindex_opt spec ':' with
+  | None -> Error (Printf.sprintf "%S: expected HOST:PORT" spec)
+  | Some i -> (
+      let host = String.sub spec 0 i in
+      let port = String.sub spec (i + 1) (String.length spec - i - 1) in
+      match int_of_string_opt port with
+      | None -> Error (Printf.sprintf "%S: bad port" spec)
+      | Some port -> (
+          let resolve () =
+            if host = "" || host = "localhost" then Unix.inet_addr_loopback
+            else
+              try Unix.inet_addr_of_string host
+              with Failure _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
+          in
+          try Ok (Unix.ADDR_INET (resolve (), port))
+          with Not_found | Invalid_argument _ ->
+            Error (Printf.sprintf "%S: cannot resolve host" spec)))
+
+(* A node's recorded slice, printed in the format [repro check] parses:
+   full process shape, with every other node's local history empty. *)
+let slice_history ~n ~node ops =
+  History.of_lists
+    (List.init n (fun i ->
+         if i <> node then []
+         else List.map (fun (kind, var, value, _, _) -> (kind, var, value)) ops))
+
+let serve_cmd =
+  let run node nodes listen peers spec workload seed out =
+    let fail fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 1) fmt in
+    let spec_w =
+      match Workload_spec.make ~name:workload ~n:nodes ~seed with
+      | Ok w -> w
+      | Error msg -> fail "%s" msg
+    in
+    if node < 0 || node >= nodes then fail "--node must be in [0, %d)" nodes;
+    let peer_specs = String.split_on_char ',' peers in
+    if List.length peer_specs <> nodes then
+      fail "--peers needs exactly %d comma-separated HOST:PORT entries" nodes;
+    let peer_addrs =
+      List.map
+        (fun s ->
+          match sockaddr_of_spec (String.trim s) with
+          | Ok a -> a
+          | Error msg -> fail "%s" msg)
+        peer_specs
+      |> Array.of_list
+    in
+    let listen_addr =
+      match sockaddr_of_spec listen with Ok a -> a | Error msg -> fail "%s" msg
+    in
+    let listen_fd =
+      try Live.bind listen_addr
+      with Unix.Unix_error (err, _, _) ->
+        fail "cannot bind %s: %s" listen (Unix.error_message err)
+    in
+    match
+      Cluster_node.run ~self:node ~listen_fd ~peers:peer_addrs ~protocol:spec
+        ~workload:spec_w ~seed ()
+    with
+    | exception Cluster_node.Crash msg -> fail "node %d crashed: %s" node msg
+    | result ->
+        let m = result.Cluster_node.metrics in
+        Printf.printf
+          "node %d/%d done: %d ops, %d messages sent, %d control bytes, %d \
+           payload bytes, %d ms\n"
+          node nodes
+          (List.length result.Cluster_node.ops)
+          m.Memory.messages_sent m.Memory.control_bytes m.Memory.payload_bytes
+          result.Cluster_node.wall_ms;
+        List.iter
+          (fun (var, value) ->
+            Printf.printf "  final x%d = %s\n" var
+              (match value with
+              | Repro_history.Op.Init -> "init"
+              | Repro_history.Op.Val v -> string_of_int v))
+          result.Cluster_node.finals;
+        Option.iter
+          (fun path ->
+            Out_channel.with_open_text path (fun oc ->
+                Out_channel.output_string oc
+                  (History.to_string
+                     (slice_history ~n:nodes ~node result.Cluster_node.ops)));
+            Printf.printf "wrote %s\n" path)
+          out
+  in
+  let node_arg =
+    Arg.(required & opt (some int) None
+         & info [ "node" ] ~docv:"I" ~doc:"This daemon's node id.")
+  in
+  let nodes_arg =
+    Arg.(value & opt int 3 & info [ "n"; "nodes" ] ~docv:"N" ~doc:"Cluster size.")
+  in
+  let listen_spec_arg =
+    Arg.(required & opt (some string) None
+         & info [ "listen" ] ~docv:"HOST:PORT" ~doc:"Address to listen on.")
+  in
+  let peers_arg =
+    Arg.(required & opt (some string) None
+         & info [ "peers" ] ~docv:"ADDRS"
+             ~doc:"All N nodes' listen addresses, comma-separated, in node \
+                   order (entry $(b,--node) is ignored).")
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "out" ] ~docv:"FILE"
+             ~doc:"Write this node's recorded history slice (readable by \
+                   $(b,repro check)).")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run one replica daemon of a live cluster over TCP sockets.")
+    Term.(const run $ node_arg $ nodes_arg $ listen_spec_arg $ peers_arg
+          $ protocol_arg $ workload_arg $ seed_arg $ out_arg)
+
+let cluster_cmd =
+  let run nodes spec workload seed parity json out_history engine =
+    apply_engine engine;
+    match Cluster.run ~n:nodes ~protocol:spec ~workload ~seed () with
+    | Error msg ->
+        prerr_endline msg;
+        exit 1
+    | Ok o ->
+        let verdict = verdict_text o.Cluster.verdict in
+        Printf.printf
+          "cluster: %d nodes, protocol %s, workload %s, seed %d\n"
+          o.Cluster.n o.Cluster.protocol o.Cluster.workload o.Cluster.seed;
+        let rows =
+          Array.to_list o.Cluster.node_results
+          |> List.map (fun r ->
+                 let m = r.Cluster_node.metrics in
+                 [
+                   string_of_int r.Cluster_node.node;
+                   string_of_int (List.length r.Cluster_node.ops);
+                   string_of_int m.Memory.messages_sent;
+                   string_of_int m.Memory.control_bytes;
+                   string_of_int m.Memory.payload_bytes;
+                   string_of_int r.Cluster_node.wall_ms;
+                 ])
+        in
+        Table.print
+          ~header:[ "node"; "ops"; "sent"; "ctl bytes"; "pay bytes"; "ms" ]
+          ~rows ();
+        Printf.printf "%s under %s: %s%s\n"
+          (Checker.criterion_name o.Cluster.criterion)
+          o.Cluster.protocol verdict
+          (if (not o.Cluster.history_checked) && o.Cluster.verdict <> Checker.Consistent
+           then " (non-differentiated history; acceptance is the finals check)"
+           else "");
+        (match o.Cluster.finals with
+        | Ok () -> ()
+        | Error msg -> Printf.printf "finals check FAILED: %s\n" msg);
+        Option.iter
+          (fun path ->
+            Out_channel.with_open_text path (fun oc ->
+                Out_channel.output_string oc (History.to_string o.Cluster.history));
+            Printf.printf "wrote %s\n" path)
+          out_history;
+        let parity_errors =
+          if not parity then []
+          else
+            match
+              Cluster.sim_baseline ~n:nodes ~protocol:spec ~workload ~seed
+            with
+            | Error msg -> [ Printf.sprintf "baseline failed: %s" msg ]
+            | Ok b ->
+                let m = b.Cluster.metrics in
+                let compare what live sim =
+                  if live = sim then begin
+                    Printf.printf "parity: %s %d = sim %d\n" what live sim;
+                    None
+                  end
+                  else Some (Printf.sprintf "%s: live %d, sim %d" what live sim)
+                in
+                List.filter_map Fun.id
+                  [
+                    compare "messages" o.Cluster.messages_sent
+                      m.Memory.messages_sent;
+                    compare "control bytes" o.Cluster.control_bytes
+                      m.Memory.control_bytes;
+                    compare "payload bytes" o.Cluster.payload_bytes
+                      m.Memory.payload_bytes;
+                  ]
+        in
+        List.iter (fun e -> Printf.printf "parity MISMATCH: %s\n" e) parity_errors;
+        Option.iter
+          (fun path ->
+            Out_channel.with_open_text path @@ fun oc ->
+            Jsonout.to_channel oc
+              (Jsonout.Obj
+                 [
+                   ("schema", Jsonout.String "repro-cluster/1");
+                   ("protocol", Jsonout.String o.Cluster.protocol);
+                   ("workload", Jsonout.String o.Cluster.workload);
+                   ("nodes", Jsonout.Int o.Cluster.n);
+                   ("seed", Jsonout.Int o.Cluster.seed);
+                   ( "criterion",
+                     Jsonout.String (Checker.criterion_name o.Cluster.criterion)
+                   );
+                   ("verdict", Jsonout.String verdict);
+                   ( "finals_ok",
+                     Jsonout.Bool (Result.is_ok o.Cluster.finals) );
+                   ("messages_sent", Jsonout.Int o.Cluster.messages_sent);
+                   ("control_bytes", Jsonout.Int o.Cluster.control_bytes);
+                   ("payload_bytes", Jsonout.Int o.Cluster.payload_bytes);
+                   ("wall_ms", Jsonout.Int o.Cluster.wall_ms);
+                   ( "parity",
+                     if not parity then Jsonout.Null
+                     else Jsonout.Bool (parity_errors = []) );
+                 ]))
+          json;
+        let history_bad =
+          match o.Cluster.verdict with
+          | Checker.Consistent -> false
+          | Checker.Inconsistent -> true
+          | Checker.Undecidable _ -> o.Cluster.history_checked
+        in
+        if history_bad || Result.is_error o.Cluster.finals then exit 2;
+        if parity_errors <> [] then exit 3
+  in
+  let nodes_arg =
+    Arg.(value & opt int 3 & info [ "n"; "nodes" ] ~docv:"N" ~doc:"Cluster size.")
+  in
+  let parity_arg =
+    Arg.(value & flag
+         & info [ "parity" ]
+             ~doc:"Also run the same workload on the deterministic simulator \
+                   and require identical message and declared-byte totals \
+                   (exit 3 on mismatch).")
+  in
+  let json_arg =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE" ~doc:"Write a JSON outcome record.")
+  in
+  let out_history_arg =
+    Arg.(value & opt (some string) None
+         & info [ "out-history" ] ~docv:"FILE"
+             ~doc:"Write the assembled history (readable by $(b,repro check)).")
+  in
+  Cmd.v
+    (Cmd.info "cluster"
+       ~doc:"Fork a live loopback cluster (one OS process per node, real TCP \
+             sockets), run a workload, and check the assembled history. Exit \
+             status: 1 on node crash, 2 on consistency/finals violation, 3 on \
+             sim-parity mismatch.")
+    Term.(const run $ nodes_arg $ protocol_arg $ workload_arg $ seed_arg
+          $ parity_arg $ json_arg $ out_history_arg $ engine_arg)
+
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   let info =
@@ -502,4 +806,6 @@ let () =
             check_cmd;
             bellman_ford_cmd;
             experiment_cmd;
+            cluster_cmd;
+            serve_cmd;
           ]))

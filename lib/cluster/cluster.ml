@@ -1,0 +1,166 @@
+module Live = Repro_transport.Live
+module History = Repro_history.History
+module Checker = Repro_history.Checker
+module Memory = Repro_core.Memory
+module Registry = Repro_core.Registry
+module Runner = Repro_core.Runner
+
+type outcome = {
+  protocol : string;
+  workload : string;
+  n : int;
+  seed : int;
+  history : History.t;
+  criterion : Checker.criterion;
+  verdict : Checker.verdict;
+  history_checked : bool;
+  finals : (unit, string) result;
+  node_results : Node.result array;
+  messages_sent : int;
+  control_bytes : int;
+  payload_bytes : int;
+  wall_ms : int;
+}
+
+(* what travels over the child's pipe *)
+type report = Finished of Node.result | Crashed of string
+
+let loopback = Unix.inet_addr_loopback
+
+let child_main ~self ~listen_fds ~peers ~protocol ~spec ~seed ~timeouts wfd =
+  let hello_timeout_ms, run_timeout_ms, quiet_ms = timeouts in
+  Array.iteri (fun i fd -> if i <> self then try Unix.close fd with Unix.Unix_error _ -> ()) listen_fds;
+  let report =
+    try
+      Finished
+        (Node.run ~self ~listen_fd:listen_fds.(self) ~peers ~protocol
+           ~workload:spec ~seed ?hello_timeout_ms ?run_timeout_ms ?quiet_ms ())
+    with
+    | Node.Crash msg -> Crashed msg
+    | e -> Crashed (Printexc.to_string e)
+  in
+  (try
+     let oc = Unix.out_channel_of_descr wfd in
+     Marshal.to_channel oc (report : report) [];
+     flush oc
+   with _ -> ());
+  Unix._exit (match report with Finished _ -> 0 | Crashed _ -> 1)
+
+let run ~n ~protocol ~workload ~seed ?hello_timeout_ms ?run_timeout_ms ?quiet_ms
+    () =
+  match Workload_spec.make ~name:workload ~n ~seed with
+  | Error _ as e -> e
+  | Ok spec -> (
+      if protocol.Registry.blocking then
+        Error
+          (Printf.sprintf
+             "protocol %s has blocking operations; only non-blocking protocols \
+              run live"
+             protocol.Registry.name)
+      else
+        try
+          let listen_fds =
+            Array.init n (fun _ -> Live.bind (Unix.ADDR_INET (loopback, 0)))
+          in
+          let peers = Array.map Live.listen_addr listen_fds in
+          let timeouts = (hello_timeout_ms, run_timeout_ms, quiet_ms) in
+          (* children inherit OCaml's output buffers: flush now or crash
+             reports get double-printed *)
+          flush stdout;
+          flush stderr;
+          let children =
+            Array.init n (fun self ->
+                let rfd, wfd = Unix.pipe () in
+                match Unix.fork () with
+                | 0 ->
+                    Unix.close rfd;
+                    child_main ~self ~listen_fds ~peers ~protocol ~spec ~seed
+                      ~timeouts wfd
+                | pid ->
+                    Unix.close wfd;
+                    (pid, rfd))
+          in
+          Array.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) listen_fds;
+          let reports =
+            Array.map
+              (fun (_, rfd) ->
+                let ic = Unix.in_channel_of_descr rfd in
+                let report =
+                  try (Marshal.from_channel ic : report)
+                  with End_of_file | Failure _ ->
+                    Crashed "exited without reporting"
+                in
+                close_in_noerr ic;
+                report)
+              children
+          in
+          Array.iter
+            (fun (pid, _) ->
+              try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
+            children;
+          let crashes =
+            Array.to_list reports
+            |> List.mapi (fun i r ->
+                   match r with
+                   | Crashed msg -> Some (Printf.sprintf "node %d: %s" i msg)
+                   | Finished _ -> None)
+            |> List.filter_map Fun.id
+          in
+          if crashes <> [] then Error (String.concat "\n" crashes)
+          else
+            let node_results =
+              Array.map
+                (function Finished r -> r | Crashed _ -> assert false)
+                reports
+            in
+            let history =
+              History.of_lists
+                (Array.to_list node_results
+                |> List.map (fun r ->
+                       List.map
+                         (fun (kind, var, value, _, _) -> (kind, var, value))
+                         r.Node.ops))
+            in
+            let finals =
+              spec.Workload_spec.check_finals
+                (Array.map (fun r -> r.Node.finals) node_results)
+            in
+            let sum f =
+              Array.fold_left (fun acc r -> acc + f r.Node.metrics) 0 node_results
+            in
+            Ok
+              {
+                protocol = protocol.Registry.name;
+                workload = spec.Workload_spec.name;
+                n;
+                seed;
+                history;
+                criterion = protocol.Registry.guarantees;
+                verdict = Checker.check protocol.Registry.guarantees history;
+                history_checked = spec.Workload_spec.differentiated;
+                finals;
+                node_results;
+                messages_sent = sum (fun m -> m.Memory.messages_sent);
+                control_bytes = sum (fun m -> m.Memory.control_bytes);
+                payload_bytes = sum (fun m -> m.Memory.payload_bytes);
+                wall_ms =
+                  Array.fold_left
+                    (fun acc r -> Stdlib.max acc r.Node.wall_ms)
+                    0 node_results;
+              }
+        with Unix.Unix_error (err, fn, _) ->
+          Error (Printf.sprintf "harness: %s failed: %s" fn (Unix.error_message err)))
+
+type baseline = { history : History.t; metrics : Memory.metrics }
+
+let sim_baseline ~n ~protocol ~workload ~seed =
+  match Workload_spec.make ~name:workload ~n ~seed with
+  | Error _ as e -> e
+  | Ok spec ->
+      let memory =
+        protocol.Registry.make ~dist:spec.Workload_spec.dist ~seed ()
+      in
+      let history =
+        Runner.run memory ~programs:spec.Workload_spec.programs
+      in
+      Ok { history; metrics = memory.Memory.metrics () }

@@ -1,0 +1,68 @@
+(** Local cluster harness: fork one OS process per node over loopback
+    TCP, run a named workload, reassemble the recorded history, and check
+    it with the saturation engine.
+
+    The parent pre-binds every node's listener on 127.0.0.1 (kernel-chosen
+    ports) {e before} forking, so no child can race another for an
+    address; children inherit their listen socket, run {!Node.run}, and
+    marshal their results back over a pipe.
+
+    Forking must precede any OCaml 5 domain creation, so this module
+    checks histories with the sequential {!Repro_history.Checker.check} —
+    never the domain-pool parallel variant. *)
+
+type outcome = {
+  protocol : string;
+  workload : string;
+  n : int;
+  seed : int;
+  history : Repro_history.History.t;
+      (** All nodes' recorded operations, node [p] as process [p]. *)
+  criterion : Repro_history.Checker.criterion;
+      (** The protocol's advertised guarantee, what [verdict] judges. *)
+  verdict : Repro_history.Checker.verdict;
+  history_checked : bool;
+      (** False when the workload's history is not differentiated
+          (Bellman-Ford): the checker then answers [Undecidable] by
+          construction and [finals] carries the acceptance instead. *)
+  finals : (unit, string) result;
+      (** The workload's application-level acceptance (e.g. Bellman-Ford
+          distances against the reference). *)
+  node_results : Node.result array;
+  messages_sent : int;  (** Summed over nodes; each node counts its own. *)
+  control_bytes : int;
+  payload_bytes : int;
+  wall_ms : int;  (** Slowest node, hello to close. *)
+}
+
+val run :
+  n:int ->
+  protocol:Repro_core.Registry.spec ->
+  workload:string ->
+  seed:int ->
+  ?hello_timeout_ms:int ->
+  ?run_timeout_ms:int ->
+  ?quiet_ms:int ->
+  unit ->
+  (outcome, string) result
+(** [Error] reports node crashes (with each crashed node's message) and
+    configuration mistakes (unknown workload, blocking protocol); a
+    consistency violation is {e not} an [Error] — it comes back as the
+    [verdict] for the caller to judge. *)
+
+type baseline = {
+  history : Repro_history.History.t;
+  metrics : Repro_core.Memory.metrics;
+}
+
+val sim_baseline :
+  n:int ->
+  protocol:Repro_core.Registry.spec ->
+  workload:string ->
+  seed:int ->
+  (baseline, string) result
+(** The same [(protocol, workload, n, seed)] run whole-instance on the
+    deterministic simulator.  Workload scripts are drawn eagerly from the
+    seed, and the efficient protocols' per-write fan-out is
+    timing-independent, so live message and declared-byte totals must
+    equal this baseline's exactly (the parity satellite). *)

@@ -1,0 +1,79 @@
+module Live = Repro_transport.Live
+module Fiber = Repro_msgpass.Fiber
+module Memory = Repro_core.Memory
+module Registry = Repro_core.Registry
+module Runner = Repro_core.Runner
+
+type result = {
+  node : int;
+  ops : Runner.entry list;
+  finals : (int * Repro_history.Op.value) list;
+  metrics : Memory.metrics;
+  wall_ms : int;
+}
+
+exception Crash of string
+
+let crashf fmt = Printf.ksprintf (fun s -> raise (Crash s)) fmt
+
+let run ~self ~listen_fd ~peers ~protocol ~workload ~seed
+    ?(hello_timeout_ms = 10_000) ?(run_timeout_ms = 60_000) ?(quiet_ms = 150) ()
+    =
+  if protocol.Registry.blocking then
+    crashf "protocol %s has blocking operations; only non-blocking protocols run live"
+      protocol.Registry.name;
+  let n = workload.Workload_spec.n in
+  let fingerprint =
+    Workload_spec.fingerprint workload ~protocol:protocol.Registry.name ~seed
+  in
+  let lt = Live.create { Live.self; n; peers; fingerprint } ~listen_fd in
+  let fail fmt =
+    Printf.ksprintf
+      (fun s ->
+        Live.close lt;
+        raise (Crash s))
+      fmt
+  in
+  try
+    let memory =
+      protocol.Registry.make ~transport:(Live.factory lt)
+        ~dist:workload.Workload_spec.dist ~seed ()
+    in
+    Live.wait_peers lt ~timeout_ms:hello_timeout_ms;
+    let ops = ref [] in
+    let finished = ref false in
+    let api =
+      Runner.instrument memory ~proc:self ~record:(fun e -> ops := e :: !ops)
+    in
+    Fiber.spawn
+      ~schedule:(fun ~delay f -> memory.Memory.schedule ~delay f)
+      ~on_done:(fun () -> finished := true)
+      (fun () -> workload.Workload_spec.programs.(self) api);
+    while not !finished do
+      if Live.now_ms lt > run_timeout_ms then
+        fail "node %d: program still running after %d ms" self run_timeout_ms;
+      ignore (Live.step lt ~block:true)
+    done;
+    Live.finish_program lt;
+    while not (Live.all_done lt) do
+      if Live.now_ms lt > run_timeout_ms then
+        fail "node %d: peers still running after %d ms" self run_timeout_ms;
+      ignore (Live.step lt ~block:true)
+    done;
+    (* peers may still be producing handler-to-handler traffic (acks,
+       gossip hops); serve until the cluster goes quiet *)
+    Live.drain lt ~quiet_ms ~max_ms:run_timeout_ms;
+    let finals =
+      List.map
+        (fun var -> (var, memory.Memory.read ~proc:self ~var))
+        (workload.Workload_spec.final_vars self)
+    in
+    let metrics = memory.Memory.metrics () in
+    let wall_ms = Live.now_ms lt in
+    Live.close lt;
+    { node = self; ops = List.rev !ops; finals; metrics; wall_ms }
+  with
+  | Crash _ as e -> raise e
+  | Failure msg ->
+      Live.close lt;
+      raise (Crash msg)

@@ -1,0 +1,40 @@
+(** One live replica: a whole protocol instance hosted in this process,
+    with only node [self] active.
+
+    Protocols allocate all-[n] state, but node [p]'s behaviour depends
+    only on its own state slice plus incoming messages — so a process
+    builds the full instance over a [Node self] transport, runs its
+    workload slice as a fiber, and the other nodes' arrays simply stay
+    at their initial values. *)
+
+type result = {
+  node : int;
+  ops : Repro_core.Runner.entry list;  (** program order *)
+  finals : (int * Repro_history.Op.value) list;
+      (** The workload's [final_vars], read after the drain. *)
+  metrics : Repro_core.Memory.metrics;
+      (** This node's share of the accounting: its sends, its deliveries,
+          its declared control/payload bytes. *)
+  wall_ms : int;
+}
+
+exception Crash of string
+(** Raised on timeout (peers missing, program stuck), protocol rejection
+    (blocking protocols need a node for every fiber they suspend on),
+    fingerprint mismatch, or a corrupt stream. *)
+
+val run :
+  self:int ->
+  listen_fd:Unix.file_descr ->
+  peers:Unix.sockaddr array ->
+  protocol:Repro_core.Registry.spec ->
+  workload:Workload_spec.t ->
+  seed:int ->
+  ?hello_timeout_ms:int ->
+  ?run_timeout_ms:int ->
+  ?quiet_ms:int ->
+  unit ->
+  result
+(** Defaults: 10 s hello timeout, 60 s run timeout, 150 ms quiet window.
+    The [seed] only stamps the fingerprint here — workload scripts were
+    already drawn when [workload] was built. *)

@@ -1,0 +1,87 @@
+module Distribution = Repro_sharegraph.Distribution
+module Rng = Repro_util.Rng
+module Workload = Repro_core.Workload
+module Bellman_ford = Repro_apps.Bellman_ford
+module Wgraph = Repro_apps.Wgraph
+module Op = Repro_history.Op
+
+type t = {
+  name : string;
+  n : int;
+  dist : Distribution.t;
+  programs : (Repro_core.Runner.api -> unit) array;
+  differentiated : bool;
+  final_vars : int -> int list;
+  check_finals : (int * Op.value) list array -> (unit, string) result;
+}
+
+let names = [ "e1"; "bellman-ford" ]
+
+(* Same recipe as experiment E1 (lib/experiments): random 3-replica
+   distribution from [seed + n], workload scripts from [seed + 1]. *)
+let e1 ~n ~seed =
+  let dist =
+    Distribution.random (Rng.create (seed + n)) ~n_procs:n ~n_vars:(2 * n)
+      ~replicas_per_var:3
+  in
+  let profile = { Workload.ops_per_proc = 8; read_ratio = 0.4; max_think = 3 } in
+  let programs = Workload.programs (Rng.create (seed + 1)) dist profile in
+  {
+    name = "e1";
+    n;
+    dist;
+    programs;
+    differentiated = true;
+    final_vars = (fun _ -> []);
+    check_finals = (fun _ -> Ok ());
+  }
+
+let bellman_ford ~n ~seed =
+  let g =
+    if n = Wgraph.n_nodes Wgraph.fig8 then Wgraph.fig8
+    else Wgraph.random (Rng.create seed) ~n ~extra_edges:n ~max_weight:9
+  in
+  let source = 0 in
+  let reference = Wgraph.reference_distances g ~source in
+  let as_int = function Op.Val v -> v | Op.Init -> Wgraph.infinity_cost in
+  let check_finals finals =
+    let errors = ref [] in
+    Array.iteri
+      (fun node reported ->
+        match List.assoc_opt (Bellman_ford.x_var node) reported with
+        | None -> errors := Printf.sprintf "node %d reported no x_%d" node node :: !errors
+        | Some v ->
+            if as_int v <> reference.(node) then
+              errors :=
+                Printf.sprintf "node %d: distance %d, reference %d" node
+                  (as_int v) reference.(node)
+                :: !errors)
+      finals;
+    match !errors with
+    | [] -> Ok ()
+    | es -> Error (String.concat "; " (List.rev es))
+  in
+  {
+    name = "bellman-ford";
+    n;
+    dist = Bellman_ford.variable_distribution g;
+    programs = Bellman_ford.programs g ~source;
+    differentiated = false;
+    final_vars = (fun node -> [ Bellman_ford.x_var node ]);
+    check_finals;
+  }
+
+let make ~name ~n ~seed =
+  if n < 1 then Error "cluster size must be >= 1"
+  else
+    match name with
+    | "e1" -> Ok (e1 ~n ~seed)
+    | "bellman-ford" | "bf" -> Ok (bellman_ford ~n ~seed)
+    | other ->
+        Error
+          (Printf.sprintf "unknown workload %S (known: %s)" other
+             (String.concat ", " names))
+
+let fingerprint t ~protocol ~seed =
+  Printf.sprintf "repro-cluster/1 proto=%s workload=%s n=%d seed=%d" protocol
+    t.name t.n seed

@@ -1,0 +1,40 @@
+(** Named, seed-deterministic cluster workloads.
+
+    Every node of a cluster (and the simulator baseline used for parity
+    checks) rebuilds the same spec from [(name, n, seed)] alone: the
+    distribution and the per-process operation scripts are drawn eagerly
+    from seeded generators, so a spec is pure replay — independent of
+    message timing, process scheduling, and which node evaluates it. *)
+
+type t = {
+  name : string;
+  n : int;
+  dist : Repro_sharegraph.Distribution.t;
+  programs : (Repro_core.Runner.api -> unit) array;
+      (** [programs.(p)] is node [p]'s slice; length [n]. *)
+  differentiated : bool;
+      (** Whether the recorded history is differentiated (unique written
+          values), i.e. whether the consistency checker can decide it.
+          The E1 workload is; Bellman-Ford is not (a node re-writes equal
+          distances across rounds), so its acceptance is [check_finals]
+          against the single-machine reference — the same validation the
+          repository's §6 tests use. *)
+  final_vars : int -> int list;
+      (** Variables node [p] reports (unrecorded reads) after the run. *)
+  check_finals : (int * Repro_history.Op.value) list array -> (unit, string) result;
+      (** Application-level acceptance over all nodes' reported finals —
+          e.g. Bellman-Ford distances against the single-machine
+          reference. *)
+}
+
+val names : string list
+(** ["e1"] — the E1 scaling workload (random reads/writes over a random
+    3-replica distribution, the recipe of experiment E1); ["bellman-ford"]
+    — the paper's §6 case study on the Fig. 8 network when [n] matches its
+    size, else on a seeded random graph. *)
+
+val make : name:string -> n:int -> seed:int -> (t, string) result
+
+val fingerprint : t -> protocol:string -> seed:int -> string
+(** What [Hello] frames carry: any two nodes that disagree on protocol,
+    workload, cluster size or seed refuse to talk. *)

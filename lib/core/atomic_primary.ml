@@ -18,8 +18,8 @@ let label = function
       Printf.sprintf "write x%d:=%s p%d" var (value_text value) requester
   | Reply { value; _ } -> Printf.sprintf "reply %s" (value_text value)
 
-let create ?(latency = Latency.lan) ~dist ~seed () =
-  let base = Proto_base.create ~dist ~latency ~seed () in
+let create ?(latency = Latency.lan) ?transport ~dist ~seed () =
+  let base = Proto_base.create ?transport ~dist ~latency ~seed () in
   let n = Distribution.n_procs dist in
   let n_vars = Distribution.n_vars dist in
   let primary_of =
@@ -47,7 +47,7 @@ let create ?(latency = Latency.lan) ~dist ~seed () =
     | Reply { req_id; value } -> Hashtbl.replace replies (p, req_id) value
   in
   for p = 0 to n - 1 do
-    Net.set_handler (Proto_base.net base) p (on_message p)
+    Proto_base.set_handler base p (on_message p)
   done;
   let rpc ~proc msg_of_req_id =
     let req_id = next_req.(proc) in

@@ -29,6 +29,7 @@
 
 val create :
   ?latency:Repro_msgpass.Latency.t ->
+  ?transport:Repro_transport.Transport.factory ->
   dist:Repro_sharegraph.Distribution.t ->
   seed:int ->
   unit ->

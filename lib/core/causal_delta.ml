@@ -18,10 +18,10 @@ let label = function
       Printf.sprintf "upd x%d:=%s w%d deltas:%d" var (value_text value) writer
         (List.length deltas)
 
-let create ?(latency = Latency.lan) ~dist ~seed () =
+let create ?(latency = Latency.lan) ?transport ~dist ~seed () =
   if not (Distribution.is_full_replication dist) then
     invalid_arg "Causal_delta.create: requires full replication";
-  let base = Proto_base.create ~dist ~latency ~seed () in
+  let base = Proto_base.create ?transport ~dist ~latency ~seed () in
   let n = Distribution.n_procs dist in
   let n_vars = Distribution.n_vars dist in
   let store = Array.make_matrix n n_vars Repro_history.Op.Init in
@@ -52,7 +52,7 @@ let create ?(latency = Latency.lan) ~dist ~seed () =
           (var, value)
   in
   for p = 0 to n - 1 do
-    Net.set_handler (Proto_base.net base) p (on_message p)
+    Proto_base.set_handler base p (on_message p)
   done;
   let read ~proc ~var = store.(proc).(var) in
   let write ~proc ~var value =

@@ -27,8 +27,8 @@ type notice = {
   n_ts : int array;
 }
 
-let create ?(latency = Latency.lan) ~dist ~seed () =
-  let base = Proto_base.create ~dist ~latency ~seed () in
+let create ?(latency = Latency.lan) ?transport ~dist ~seed () =
+  let base = Proto_base.create ?transport ~dist ~latency ~seed () in
   let n = Distribution.n_procs dist in
   let n_vars = Distribution.n_vars dist in
   let neighbours =
@@ -98,7 +98,7 @@ let create ?(latency = Latency.lan) ~dist ~seed () =
       consume p notice
   in
   for p = 0 to n - 1 do
-    Net.set_handler (Proto_base.net base) p (on_message p)
+    Proto_base.set_handler base p (on_message p)
   done;
   let write_seq = Array.make n 0 in
   let read ~proc ~var = store.(proc).(var) in

@@ -15,8 +15,8 @@ let label = function
       Printf.sprintf "upd x%d:=%s w%d" var (value_text value) writer
   | Meta { var; writer; _ } -> Printf.sprintf "meta x%d w%d" var writer
 
-let create ?(latency = Latency.lan) ~dist ~seed () =
-  let base = Proto_base.create ~dist ~latency ~seed () in
+let create ?(latency = Latency.lan) ?transport ~dist ~seed () =
+  let base = Proto_base.create ?transport ~dist ~latency ~seed () in
   let n = Distribution.n_procs dist in
   let n_vars = Distribution.n_vars dist in
   let store = Array.make_matrix n n_vars Repro_history.Op.Init in
@@ -44,7 +44,7 @@ let create ?(latency = Latency.lan) ~dist ~seed () =
     Causal_buf.add bufs.(p) ~writer ~ts m
   in
   for p = 0 to n - 1 do
-    Net.set_handler (Proto_base.net base) p (on_message p)
+    Proto_base.set_handler base p (on_message p)
   done;
   let read ~proc ~var = store.(proc).(var) in
   let write ~proc ~var value =

@@ -12,8 +12,8 @@ let label = function
   | Update { var; value; seq } -> Printf.sprintf "upd x%d:=%s #%d" var (value_text value) seq
 
 let create ?faults ?(latency = Latency.lan) ?service_time ?(sequence_guard = true)
-    ~dist ~seed () =
-  let base = Proto_base.create ?faults ?service_time ~dist ~latency ~seed () in
+    ?transport ~dist ~seed () =
+  let base = Proto_base.create ?faults ?service_time ?transport ~dist ~latency ~seed () in
   let n = Distribution.n_procs dist in
   let n_vars = Distribution.n_vars dist in
   let store = Array.make_matrix n n_vars Repro_history.Op.Init in
@@ -32,7 +32,7 @@ let create ?faults ?(latency = Latency.lan) ?service_time ?(sequence_guard = tru
         end
   in
   for p = 0 to n - 1 do
-    Net.set_handler (Proto_base.net base) p (on_message p)
+    Proto_base.set_handler base p (on_message p)
   done;
   let read ~proc ~var = store.(proc).(var) in
   let write ~proc ~var value =

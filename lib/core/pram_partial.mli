@@ -17,6 +17,7 @@ val create :
   ?latency:Repro_msgpass.Latency.t ->
   ?service_time:int ->
   ?sequence_guard:bool ->
+  ?transport:Repro_transport.Transport.factory ->
   dist:Repro_sharegraph.Distribution.t ->
   seed:int ->
   unit ->

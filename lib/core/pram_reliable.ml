@@ -19,10 +19,9 @@ let label = function
 let default_faults = { Fault.drop = 0.2; duplicate = 0.1; reorder = false }
 
 let create ?(faults = default_faults) ?(latency = Latency.lan)
-    ?(retransmit_after = 50) ~dist ~seed () =
+    ?(retransmit_after = 50) ?transport ~dist ~seed () =
   if retransmit_after < 1 then invalid_arg "Pram_reliable.create: bad timeout";
-  let base = Proto_base.create ~faults ~dist ~latency ~seed () in
-  let net = Proto_base.net base in
+  let base = Proto_base.create ~faults ?transport ~dist ~latency ~seed () in
   let n = Distribution.n_procs dist in
   let n_vars = Distribution.n_vars dist in
   let store = Array.make_matrix n n_vars Repro_history.Op.Init in
@@ -47,7 +46,7 @@ let create ?(faults = default_faults) ?(latency = Latency.lan)
   let rec arm_timer src dst =
     if not timer_armed.(src).(dst) then begin
       timer_armed.(src).(dst) <- true;
-      Net.at net ~delay:retransmit_after (fun () ->
+      Proto_base.at base ~delay:retransmit_after (fun () ->
           timer_armed.(src).(dst) <- false;
           let pending = out_buf.(src).(dst) in
           if not (Ringbuf.is_empty pending) then begin
@@ -83,7 +82,7 @@ let create ?(faults = default_faults) ?(latency = Latency.lan)
         prune ()
   in
   for p = 0 to n - 1 do
-    Net.set_handler net p (on_message p)
+    Proto_base.set_handler base p (on_message p)
   done;
   let read ~proc ~var = store.(proc).(var) in
   let write ~proc ~var value =

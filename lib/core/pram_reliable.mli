@@ -18,6 +18,7 @@ val create :
   ?faults:Repro_msgpass.Fault.t ->
   ?latency:Repro_msgpass.Latency.t ->
   ?retransmit_after:int ->
+  ?transport:Repro_transport.Transport.factory ->
   dist:Repro_sharegraph.Distribution.t ->
   seed:int ->
   unit ->

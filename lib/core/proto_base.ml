@@ -1,40 +1,51 @@
 module Net = Repro_msgpass.Net
 module Latency = Repro_msgpass.Latency
 module Fault = Repro_msgpass.Fault
+module Transport = Repro_transport.Transport
 module Distribution = Repro_sharegraph.Distribution
 module Bitset = Repro_util.Bitset
 
 type 'msg t = {
-  net : 'msg Net.t;
+  tr : 'msg Transport.t;
   dist : Distribution.t;
   mentioned : Bitset.t array; (* per variable: processes informed about it *)
   mutable applied : int;
 }
 
-let create ?faults ?service_time ?(extra_nodes = 0) ~dist ~latency ~seed () =
+let create ?faults ?service_time ?(extra_nodes = 0) ?transport ~dist ~latency
+    ~seed () =
   let n = Distribution.n_procs dist in
-  let net = Net.create ?faults ?service_time ~n:(n + extra_nodes) ~latency ~seed () in
+  let factory =
+    match transport with
+    | Some f -> f
+    | None -> Transport.sim ?faults ?service_time ~latency ~seed ()
+  in
+  let tr = factory.Transport.create ~n:(n + extra_nodes) in
   {
-    net;
+    tr;
     dist;
     mentioned = Array.init (Distribution.n_vars dist) (fun _ -> Bitset.create (n + extra_nodes));
     applied = 0;
   }
 
-let net t = t.net
-
 let dist t = t.dist
 
 let n_procs t = Distribution.n_procs t.dist
 
+let scope t = t.tr.Transport.scope
+
+let set_handler t node f = t.tr.Transport.set_handler node f
+
+let at t ~delay f = t.tr.Transport.schedule ~delay f
+
 let send t ~src ~dst ~control_bytes ~payload_bytes ~mentions msg =
   List.iter (fun x -> Bitset.add t.mentioned.(x) dst) mentions;
-  Net.send t.net ~src ~dst ~control_bytes ~payload_bytes msg
+  t.tr.Transport.send ~src ~dst ~control_bytes ~payload_bytes msg
 
 let count_apply t = t.applied <- t.applied + 1
 
 let metrics t =
-  let s = Net.stats t.net in
+  let s = t.tr.Transport.stats () in
   {
     Memory.messages_sent = s.Net.sent;
     messages_delivered = s.Net.delivered;
@@ -62,19 +73,19 @@ let finish t ~name ~read ~write ~blocking_writes ?(blocking_reads = false)
       (fun ~proc ~var value ->
         check proc var;
         write ~proc ~var value);
-    step = (fun () -> Net.step t.net);
-    quiesce = (fun () -> Net.run t.net);
-    now = (fun () -> Net.now t.net);
-    schedule = (fun ~delay f -> Net.at t.net ~delay f);
+    step = (fun () -> t.tr.Transport.step ());
+    quiesce = (fun () -> t.tr.Transport.quiesce ());
+    now = (fun () -> t.tr.Transport.now ());
+    schedule = (fun ~delay f -> t.tr.Transport.schedule ~delay f);
     metrics = (fun () -> metrics t);
     blocking_writes;
     blocking_reads;
     set_tracing =
       (fun flag ->
         on_set_tracing flag;
-        Net.set_tracing t.net flag);
+        t.tr.Transport.set_tracing flag);
     msc =
       (fun () ->
-        Repro_msgpass.Msc.render ~n_nodes:(Net.n_nodes t.net) ~label
-          (Net.trace t.net));
+        Repro_msgpass.Msc.render ~n_nodes:t.tr.Transport.n_nodes ~label
+          (t.tr.Transport.trace ()));
   }

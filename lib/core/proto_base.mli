@@ -1,11 +1,18 @@
-(** Shared scaffolding for protocol implementations: a network plus the
+(** Shared scaffolding for protocol implementations: a transport plus the
     accounting every protocol must keep (byte counters are per-message
     inputs; the mention audit and applied-update counter are maintained
-    here). *)
+    here).
+
+    Protocols are written against this module only — never against a
+    concrete backend — so the same protocol code runs whole-instance on
+    the deterministic simulator (the default) or as one node of a live
+    socket cluster when a {!Repro_transport.Transport.factory} is
+    supplied. *)
 
 module Net = Repro_msgpass.Net
 module Latency = Repro_msgpass.Latency
 module Fault = Repro_msgpass.Fault
+module Transport = Repro_transport.Transport
 module Distribution = Repro_sharegraph.Distribution
 
 type 'msg t
@@ -14,20 +21,35 @@ val create :
   ?faults:Fault.t ->
   ?service_time:int ->
   ?extra_nodes:int ->
+  ?transport:Transport.factory ->
   dist:Distribution.t ->
   latency:Latency.t ->
   seed:int ->
   unit ->
   'msg t
 (** One network node per MCS process, plus [extra_nodes] infrastructure
-    nodes (e.g. a sequencer) numbered after the processes. *)
+    nodes (e.g. a sequencer) numbered after the processes.
 
-val net : 'msg t -> 'msg Net.t
+    Without [transport] this builds the simulator backend from [faults],
+    [service_time], [latency] and [seed] — byte-identical to the historical
+    direct [Net.create].  With [transport], those four parameters are
+    ignored (a live backend has real latency and real loss). *)
 
 val dist : 'msg t -> Distribution.t
 
 val n_procs : 'msg t -> int
 (** MCS process count (excludes extra nodes). *)
+
+val scope : 'msg t -> Transport.scope
+(** [All_nodes] on the simulator; [Node i] when this process hosts only
+    node [i] of a live cluster. *)
+
+val set_handler : 'msg t -> int -> ('msg Net.envelope -> unit) -> unit
+(** Install node [i]'s delivery callback.  On a live backend, installs for
+    nodes other than the hosted one are ignored. *)
+
+val at : 'msg t -> delay:int -> (unit -> unit) -> unit
+(** Schedule a thunk [delay] transport ticks from now. *)
 
 val send :
   'msg t ->
@@ -59,8 +81,8 @@ val finish :
   unit ->
   Memory.t
 (** Assemble the {!Memory.t} record: [step]/[quiesce]/[now]/[schedule] are
-    wired to the network, and [read]/[write] are wrapped with
+    wired to the transport, and [read]/[write] are wrapped with
     {!Memory.check_access}.  [on_set_tracing] runs before each tracing
-    toggle reaches the network — protocols recycling message stamps use it
-    to {!Stamp_pool.freeze} their pool, since traced envelopes alias the
-    stamps. *)
+    toggle reaches the transport — protocols recycling message stamps use
+    it to {!Stamp_pool.freeze} their pool, since traced envelopes alias
+    the stamps. *)

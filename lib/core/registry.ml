@@ -8,6 +8,7 @@ type spec = {
   efficient : bool;
   make :
     ?latency:Repro_msgpass.Latency.t ->
+    ?transport:Repro_transport.Transport.factory ->
     dist:Repro_sharegraph.Distribution.t ->
     seed:int ->
     unit ->
@@ -22,7 +23,7 @@ let all =
       requires_full_replication = false;
       blocking = true;
       efficient = true;
-      make = (fun ?latency ~dist ~seed () -> Atomic_primary.create ?latency ~dist ~seed ());
+      make = (fun ?latency ?transport ~dist ~seed () -> Atomic_primary.create ?latency ?transport ~dist ~seed ());
     };
     {
       name = "seq-sequencer";
@@ -30,7 +31,7 @@ let all =
       requires_full_replication = false;
       blocking = true;
       efficient = false;
-      make = (fun ?latency ~dist ~seed () -> Seq_sequencer.create ?latency ~dist ~seed ());
+      make = (fun ?latency ?transport ~dist ~seed () -> Seq_sequencer.create ?latency ?transport ~dist ~seed ());
     };
     {
       name = "causal-full";
@@ -38,7 +39,7 @@ let all =
       requires_full_replication = true;
       blocking = false;
       efficient = false;
-      make = (fun ?latency ~dist ~seed () -> Causal_full.create ?latency ~dist ~seed ());
+      make = (fun ?latency ?transport ~dist ~seed () -> Causal_full.create ?latency ?transport ~dist ~seed ());
     };
     {
       name = "causal-delta";
@@ -46,7 +47,7 @@ let all =
       requires_full_replication = true;
       blocking = false;
       efficient = false;
-      make = (fun ?latency ~dist ~seed () -> Causal_delta.create ?latency ~dist ~seed ());
+      make = (fun ?latency ?transport ~dist ~seed () -> Causal_delta.create ?latency ?transport ~dist ~seed ());
     };
     {
       name = "causal-partial";
@@ -54,7 +55,7 @@ let all =
       requires_full_replication = false;
       blocking = false;
       efficient = false;
-      make = (fun ?latency ~dist ~seed () -> Causal_partial.create ?latency ~dist ~seed ());
+      make = (fun ?latency ?transport ~dist ~seed () -> Causal_partial.create ?latency ?transport ~dist ~seed ());
     };
     {
       name = "causal-gossip";
@@ -63,7 +64,7 @@ let all =
       blocking = false;
       efficient = false;
       (* component-scoped, not clique-scoped: leaks along hoops *)
-      make = (fun ?latency ~dist ~seed () -> Causal_gossip.create ?latency ~dist ~seed ());
+      make = (fun ?latency ?transport ~dist ~seed () -> Causal_gossip.create ?latency ?transport ~dist ~seed ());
     };
     {
       name = "causal-adhoc";
@@ -72,7 +73,7 @@ let all =
       requires_full_replication = false;
       blocking = false;
       efficient = true;
-      make = (fun ?latency ~dist ~seed () -> Causal_adhoc.create ?latency ~dist ~seed ());
+      make = (fun ?latency ?transport ~dist ~seed () -> Causal_adhoc.create ?latency ?transport ~dist ~seed ());
     };
     {
       name = "pram-partial";
@@ -80,7 +81,7 @@ let all =
       requires_full_replication = false;
       blocking = false;
       efficient = true;
-      make = (fun ?latency ~dist ~seed () -> Pram_partial.create ?latency ~dist ~seed ());
+      make = (fun ?latency ?transport ~dist ~seed () -> Pram_partial.create ?latency ?transport ~dist ~seed ());
     };
     {
       name = "pram-reliable";
@@ -89,10 +90,10 @@ let all =
       blocking = false;
       efficient = true;
       make =
-        (fun ?latency ~dist ~seed () ->
+        (fun ?latency ?transport ~dist ~seed () ->
           (* the registry runs it over clean channels; the lossy default
              is exercised by the dedicated tests *)
-          Pram_reliable.create ~faults:Repro_msgpass.Fault.none ?latency ~dist ~seed ());
+          Pram_reliable.create ~faults:Repro_msgpass.Fault.none ?latency ?transport ~dist ~seed ());
     };
     {
       name = "slow-partial";
@@ -100,7 +101,7 @@ let all =
       requires_full_replication = false;
       blocking = false;
       efficient = true;
-      make = (fun ?latency ~dist ~seed () -> Slow_partial.create ?latency ~dist ~seed ());
+      make = (fun ?latency ?transport ~dist ~seed () -> Slow_partial.create ?latency ?transport ~dist ~seed ());
     };
   ]
 

@@ -15,10 +15,13 @@ type spec = {
           [C(x)] (checked by the mention audit in tests). *)
   make :
     ?latency:Repro_msgpass.Latency.t ->
+    ?transport:Repro_transport.Transport.factory ->
     dist:Repro_sharegraph.Distribution.t ->
     seed:int ->
     unit ->
     Memory.t;
+      (** [latency] seeds the simulator backend and is ignored when a
+          [transport] factory (e.g. a live socket backend) is supplied. *)
 }
 
 val all : spec list

@@ -15,7 +15,32 @@ type api = {
   sleep : int -> unit;
 }
 
+type entry = Op.kind * int * Memory.value * int * int
+
 exception Livelock of string
+
+let instrument (memory : Memory.t) ~proc ~record =
+  let n = Distribution.n_procs memory.Memory.dist in
+  {
+    proc;
+    n_procs = n;
+    read =
+      (fun var ->
+        let invoked = memory.Memory.now () in
+        let value = memory.Memory.read ~proc ~var in
+        record ((Op.Read, var, value, invoked, memory.Memory.now ()) : entry);
+        value);
+    write =
+      (fun var value ->
+        let invoked = memory.Memory.now () in
+        memory.Memory.write ~proc ~var value;
+        record ((Op.Write, var, value, invoked, memory.Memory.now ()) : entry);
+        ());
+    peek = (fun var -> memory.Memory.read ~proc ~var);
+    yield = Fiber.yield;
+    await = Fiber.await;
+    sleep = Fiber.sleep;
+  }
 
 let run_raw ?(max_events = 10_000_000) (memory : Memory.t) ~programs =
   let n = Distribution.n_procs memory.Memory.dist in
@@ -23,28 +48,9 @@ let run_raw ?(max_events = 10_000_000) (memory : Memory.t) ~programs =
     invalid_arg "Runner.run: more programs than processes";
   let recorded = Array.make n [] in
   let finished = Array.make n false in
-  let record proc entry = recorded.(proc) <- entry :: recorded.(proc) in
   let api_for proc =
-    {
-      proc;
-      n_procs = n;
-      read =
-        (fun var ->
-          let invoked = memory.Memory.now () in
-          let value = memory.Memory.read ~proc ~var in
-          record proc (Op.Read, var, value, invoked, memory.Memory.now ());
-          value);
-      write =
-        (fun var value ->
-          let invoked = memory.Memory.now () in
-          memory.Memory.write ~proc ~var value;
-          record proc (Op.Write, var, value, invoked, memory.Memory.now ());
-          ());
-      peek = (fun var -> memory.Memory.read ~proc ~var);
-      yield = Fiber.yield;
-      await = Fiber.await;
-      sleep = Fiber.sleep;
-    }
+    instrument memory ~proc ~record:(fun entry ->
+        recorded.(proc) <- entry :: recorded.(proc))
   in
   Array.iteri
     (fun proc program ->

@@ -25,9 +25,22 @@ type api = {
   sleep : int -> unit;  (** Let simulated time pass. *)
 }
 
+type entry = Repro_history.Op.kind * int * Memory.value * int * int
+(** One recorded operation: kind, variable, value, invocation time,
+    response time. *)
+
 exception Livelock of string
 (** Raised when the event budget is exhausted before every program
     finished — an unsatisfiable [await] or a protocol deadlock. *)
+
+val instrument : Memory.t -> proc:int -> record:(entry -> unit) -> api
+(** The recording wrapper {!run} builds for each process, exposed for
+    drivers with their own event loop (the live cluster node cannot use
+    {!run}'s drive-to-quiescence loop: on a socket transport an empty
+    queue means "idle", not "finished").  [read]/[write] go through the
+    memory and emit an {!entry}; [peek] is unrecorded; [yield]/[await]/
+    [sleep] are fiber operations, valid only inside a fiber spawned with
+    the memory's [schedule]. *)
 
 val run :
   ?max_events:int ->

@@ -23,8 +23,8 @@ let label = function
   | Ordered { var; value; global_seq; _ } ->
       Printf.sprintf "ordered x%d:=%s @%d" var (value_text value) global_seq
 
-let create ?(latency = Latency.lan) ?service_time ~dist ~seed () =
-  let base = Proto_base.create ?service_time ~extra_nodes:1 ~dist ~latency ~seed () in
+let create ?(latency = Latency.lan) ?service_time ?transport ~dist ~seed () =
+  let base = Proto_base.create ?service_time ~extra_nodes:1 ?transport ~dist ~latency ~seed () in
   let n = Distribution.n_procs dist in
   let sequencer = n in
   let n_vars = Distribution.n_vars dist in
@@ -57,9 +57,9 @@ let create ?(latency = Latency.lan) ?service_time ~dist ~seed () =
         if writer = p then completed.(p) <- Stdlib.max completed.(p) write_id
     | Submit _ -> invalid_arg "Seq_sequencer: unexpected submit at a process"
   in
-  Net.set_handler (Proto_base.net base) sequencer on_sequencer;
+  Proto_base.set_handler base sequencer on_sequencer;
   for p = 0 to n - 1 do
-    Net.set_handler (Proto_base.net base) p (on_process p)
+    Proto_base.set_handler base p (on_process p)
   done;
   let read ~proc ~var = store.(proc).(var) in
   let write ~proc ~var value =

@@ -19,6 +19,7 @@
 val create :
   ?latency:Repro_msgpass.Latency.t ->
   ?service_time:int ->
+  ?transport:Repro_transport.Transport.factory ->
   dist:Repro_sharegraph.Distribution.t ->
   seed:int ->
   unit ->

@@ -13,11 +13,11 @@ let label = function
   | Update { var; value; lane_seq } ->
       Printf.sprintf "upd x%d:=%s lane#%d" var (value_text value) lane_seq
 
-let create ?(latency = Latency.lan) ~dist ~seed () =
+let create ?(latency = Latency.lan) ?transport ~dist ~seed () =
   (* Non-FIFO transport: messages race; per-lane sequencing below restores
      exactly the per-(writer, variable) order slow memory needs. *)
   let faults = { Fault.none with Fault.reorder = true } in
-  let base = Proto_base.create ~faults ~dist ~latency ~seed () in
+  let base = Proto_base.create ~faults ?transport ~dist ~latency ~seed () in
   let n = Distribution.n_procs dist in
   let n_vars = Distribution.n_vars dist in
   let store = Array.make_matrix n n_vars Repro_history.Op.Init in
@@ -43,7 +43,7 @@ let create ?(latency = Latency.lan) ~dist ~seed () =
         deliver_in_order p envelope.Net.src var
   in
   for p = 0 to n - 1 do
-    Net.set_handler (Proto_base.net base) p (on_message p)
+    Proto_base.set_handler base p (on_message p)
   done;
   let read ~proc ~var = store.(proc).(var) in
   let write ~proc ~var value =

@@ -1,0 +1,380 @@
+module Net = Repro_msgpass.Net
+module Pqueue = Repro_util.Pqueue
+module Ringbuf = Repro_util.Ringbuf
+
+type config = {
+  self : int;
+  n : int;
+  peers : Unix.sockaddr array;
+  fingerprint : string;
+}
+
+type conn = { fd : Unix.file_descr; dec : Wire.decoder; mutable closed : bool }
+
+type t = {
+  cfg : config;
+  listen_fd : Unix.file_descr;
+  epoch : float;
+  out_fds : Unix.file_descr option array;
+  mutable conns : conn list;
+  timers : (int * int, unit -> unit) Pqueue.t;
+  mutable timer_seq : int;
+  mutable on_data : Wire.frame -> unit;
+  hello_seen : bool array;
+  done_seen : bool array;
+  mutable sent : int;
+  mutable delivered : int;
+  mutable total_control_bytes : int;
+  mutable total_payload_bytes : int;
+  per_node_sent : int array;
+  per_node_received : int array;
+  mutable draining : bool;
+  mutable activity : int;  (* frames written or dispatched; timer fires excluded *)
+  mutable factory_used : bool;
+  rbuf : Bytes.t;
+}
+
+let now_ms t = int_of_float ((Unix.gettimeofday () -. t.epoch) *. 1000.)
+
+let bind addr =
+  let fd = Unix.socket PF_INET SOCK_STREAM 0 in
+  Unix.setsockopt fd SO_REUSEADDR true;
+  Unix.bind fd addr;
+  Unix.listen fd 64;
+  fd
+
+let listen_addr fd = Unix.getsockname fd
+
+let create cfg ~listen_fd =
+  if cfg.self < 0 || cfg.self >= cfg.n then invalid_arg "Live.create: bad self";
+  if Array.length cfg.peers <> cfg.n then invalid_arg "Live.create: bad peers";
+  (* a peer exiting first must surface as EPIPE, not kill the process *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  Unix.set_nonblock listen_fd;
+  let hello_seen = Array.make cfg.n false in
+  let done_seen = Array.make cfg.n false in
+  hello_seen.(cfg.self) <- true;
+  done_seen.(cfg.self) <- true;
+  {
+    cfg;
+    listen_fd;
+    epoch = Unix.gettimeofday ();
+    out_fds = Array.make cfg.n None;
+    conns = [];
+    timers = Pqueue.create ~cmp:compare ();
+    timer_seq = 0;
+    on_data = (fun _ -> ());
+    hello_seen;
+    done_seen;
+    sent = 0;
+    delivered = 0;
+    total_control_bytes = 0;
+    total_payload_bytes = 0;
+    per_node_sent = Array.make cfg.n 0;
+    per_node_received = Array.make cfg.n 0;
+    draining = false;
+    activity = 0;
+    factory_used = false;
+    rbuf = Bytes.create 65536;
+  }
+
+let add_timer t ~delay f =
+  let due = now_ms t + max delay 0 in
+  t.timer_seq <- t.timer_seq + 1;
+  Pqueue.push t.timers (due, t.timer_seq) f
+
+let write_all t fd buf =
+  let len = Bytes.length buf in
+  let rec go off =
+    if off < len then
+      match Unix.write fd buf off (len - off) with
+      | n -> go (off + n)
+      | exception Unix.Unix_error (EINTR, _, _) -> go off
+  in
+  try
+    go 0;
+    true
+  with Unix.Unix_error ((EPIPE | ECONNRESET | EBADF), _, _) when t.draining ->
+    false
+
+let rec send_frame t (fr : Wire.frame) =
+  if fr.dst = t.cfg.self then begin
+    (* self-sends take the timer queue, like the simulator: no synchronous
+       shortcut past messages already in flight *)
+    t.activity <- t.activity + 1;
+    add_timer t ~delay:0 (fun () -> dispatch t fr)
+  end
+  else
+    match t.out_fds.(fr.dst) with
+    | None ->
+        if not t.draining then
+          failwith (Printf.sprintf "live: no connection to node %d" fr.dst)
+    | Some fd -> if write_all t fd (Wire.encode fr) then t.activity <- t.activity + 1
+
+and dispatch t (fr : Wire.frame) =
+  if fr.src < 0 || fr.src >= t.cfg.n then
+    failwith (Printf.sprintf "live: frame from unknown node %d" fr.src);
+  t.activity <- t.activity + 1;
+  match fr.kind with
+  | Wire.Hello ->
+      if not (String.equal fr.body t.cfg.fingerprint) then
+        failwith
+          (Printf.sprintf "live: fingerprint mismatch with node %d (%S vs %S)"
+             fr.src fr.body t.cfg.fingerprint);
+      t.hello_seen.(fr.src) <- true
+  | Wire.Done -> t.done_seen.(fr.src) <- true
+  | Wire.Data ->
+      t.delivered <- t.delivered + 1;
+      t.per_node_received.(t.cfg.self) <- t.per_node_received.(t.cfg.self) + 1;
+      t.on_data fr
+
+let fire_due t =
+  let fired = ref false in
+  let rec loop () =
+    match Pqueue.peek t.timers with
+    | Some ((due, _), _) when due <= now_ms t ->
+        let _, f = Pqueue.pop_exn t.timers in
+        fired := true;
+        f ();
+        loop ()
+    | _ -> ()
+  in
+  loop ();
+  !fired
+
+let accept_ready t =
+  let rec loop acted =
+    match Unix.accept t.listen_fd with
+    | fd, _ ->
+        Unix.set_nonblock fd;
+        (try Unix.setsockopt fd TCP_NODELAY true with Unix.Unix_error _ -> ());
+        t.conns <- { fd; dec = Wire.decoder (); closed = false } :: t.conns;
+        loop true
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> acted
+  in
+  loop false
+
+let service_conn t c =
+  let nread =
+    try Unix.read c.fd t.rbuf 0 (Bytes.length t.rbuf) with
+    | Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> -1
+    | Unix.Unix_error ((ECONNRESET | EPIPE), _, _) -> 0
+  in
+  if nread < 0 then false
+  else if nread = 0 then begin
+    c.closed <- true;
+    (try Unix.close c.fd with Unix.Unix_error _ -> ());
+    if Wire.pending c.dec > 0 && not t.draining then
+      failwith "live: peer closed mid-frame";
+    true
+  end
+  else begin
+    Wire.feed c.dec t.rbuf nread;
+    let rec pump () =
+      match Wire.next c.dec with
+      | Ok (Some fr) ->
+          dispatch t fr;
+          pump ()
+      | Ok None -> ()
+      | Error msg -> failwith ("live: corrupt stream: " ^ msg)
+    in
+    pump ();
+    true
+  end
+
+let step t ~block =
+  let timeout =
+    if not block then 0.
+    else
+      match Pqueue.peek t.timers with
+      | Some ((due, _), _) ->
+          Float.min 0.001 (Float.max 0. (float_of_int (due - now_ms t) /. 1000.))
+      | None -> 0.001
+  in
+  t.conns <- List.filter (fun c -> not c.closed) t.conns;
+  let read_fds = t.listen_fd :: List.map (fun c -> c.fd) t.conns in
+  let ready, _, _ =
+    try Unix.select read_fds [] [] timeout
+    with Unix.Unix_error (EINTR, _, _) -> ([], [], [])
+  in
+  let acted = ref false in
+  if List.memq t.listen_fd ready then if accept_ready t then acted := true;
+  List.iter
+    (fun c ->
+      if (not c.closed) && List.memq c.fd ready then
+        if service_conn t c then acted := true)
+    t.conns;
+  if fire_due t then acted := true;
+  !acted
+
+let hello_frame t dst =
+  {
+    Wire.kind = Wire.Hello;
+    src = t.cfg.self;
+    dst;
+    control_bytes = 0;
+    payload_bytes = 0;
+    body = t.cfg.fingerprint;
+  }
+
+let connect_peer t ~deadline i =
+  let rec attempt () =
+    let fd = Unix.socket PF_INET SOCK_STREAM 0 in
+    match Unix.connect fd t.cfg.peers.(i) with
+    | () -> fd
+    | exception
+        Unix.Unix_error
+          ( ( ECONNREFUSED | ECONNRESET | ENETUNREACH | EHOSTUNREACH | ETIMEDOUT
+            | EAGAIN ),
+            _,
+            _ ) ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        if now_ms t > deadline then
+          failwith (Printf.sprintf "live: cannot connect to node %d" i);
+        Unix.sleepf 0.02;
+        attempt ()
+  in
+  let fd = attempt () in
+  (try Unix.setsockopt fd TCP_NODELAY true with Unix.Unix_error _ -> ());
+  t.out_fds.(i) <- Some fd;
+  ignore (write_all t fd (Wire.encode (hello_frame t i)))
+
+let all_hello t = Array.for_all Fun.id t.hello_seen
+
+let all_done t = Array.for_all Fun.id t.done_seen
+
+let wait_peers t ~timeout_ms =
+  let deadline = now_ms t + timeout_ms in
+  for i = 0 to t.cfg.n - 1 do
+    if i <> t.cfg.self then connect_peer t ~deadline i
+  done;
+  while not (all_hello t) do
+    if now_ms t > deadline then failwith "live: timed out waiting for hellos";
+    ignore (step t ~block:true)
+  done
+
+let finish_program t =
+  for i = 0 to t.cfg.n - 1 do
+    if i <> t.cfg.self then
+      match t.out_fds.(i) with
+      | Some fd ->
+          ignore
+            (write_all t fd
+               (Wire.encode
+                  {
+                    Wire.kind = Wire.Done;
+                    src = t.cfg.self;
+                    dst = i;
+                    control_bytes = 0;
+                    payload_bytes = 0;
+                    body = "";
+                  }))
+      | None -> ()
+  done
+
+let drain t ~quiet_ms ~max_ms =
+  t.draining <- true;
+  let started = now_ms t in
+  let last = ref (now_ms t) in
+  let quiet = ref false in
+  while not !quiet do
+    let before = t.activity in
+    ignore (step t ~block:true);
+    if t.activity <> before then last := now_ms t;
+    let now = now_ms t in
+    if now - !last >= quiet_ms || now - started >= max_ms then quiet := true
+  done
+
+let close t =
+  let shut fd = try Unix.close fd with Unix.Unix_error _ -> () in
+  Array.iter (Option.iter shut) t.out_fds;
+  List.iter (fun c -> if not c.closed then shut c.fd) t.conns;
+  t.conns <- [];
+  shut t.listen_fd
+
+let stats t : Net.stats =
+  {
+    sent = t.sent;
+    delivered = t.delivered;
+    dropped = 0;
+    duplicated = 0;
+    total_control_bytes = t.total_control_bytes;
+    total_payload_bytes = t.total_payload_bytes;
+    per_node_sent = Array.copy t.per_node_sent;
+    per_node_received = Array.copy t.per_node_received;
+  }
+
+let factory t =
+  {
+    Transport.create =
+      (fun (type msg) ~n : msg Transport.t ->
+        if t.factory_used then invalid_arg "Live.factory: already used";
+        if n <> t.cfg.n then
+          invalid_arg
+            (Printf.sprintf "Live.factory: protocol wants %d nodes, cluster has %d"
+               n t.cfg.n);
+        t.factory_used <- true;
+        let self = t.cfg.self in
+        let handler : (msg Net.envelope -> unit) ref = ref (fun _ -> ()) in
+        let tracing = ref false in
+        let trace_buf : msg Net.event Ringbuf.t = Ringbuf.create () in
+        t.on_data <-
+          (fun fr ->
+            let (send_time, msg) : int * msg = Marshal.from_string fr.body 0 in
+            let env : msg Net.envelope =
+              {
+                src = fr.src;
+                dst = fr.dst;
+                send_time;
+                deliver_time = now_ms t;
+                control_bytes = fr.control_bytes;
+                payload_bytes = fr.payload_bytes;
+                msg;
+              }
+            in
+            if !tracing then Ringbuf.push_back trace_buf (Net.Delivered env);
+            !handler env);
+        {
+          Transport.n_nodes = t.cfg.n;
+          scope = Transport.Node self;
+          send =
+            (fun ~src ~dst ~control_bytes ~payload_bytes msg ->
+              if src <> self then
+                invalid_arg
+                  (Printf.sprintf "live: node %d cannot send as node %d" self
+                     src);
+              if dst < 0 || dst >= t.cfg.n then invalid_arg "live: bad dst";
+              let now = now_ms t in
+              let body = Marshal.to_string (now, msg) [] in
+              t.sent <- t.sent + 1;
+              t.total_control_bytes <- t.total_control_bytes + control_bytes;
+              t.total_payload_bytes <- t.total_payload_bytes + payload_bytes;
+              t.per_node_sent.(self) <- t.per_node_sent.(self) + 1;
+              if !tracing then
+                Ringbuf.push_back trace_buf
+                  (Net.Sent
+                     {
+                       src;
+                       dst;
+                       send_time = now;
+                       deliver_time = now;
+                       control_bytes;
+                       payload_bytes;
+                       msg;
+                     });
+              send_frame t
+                { Wire.kind = Wire.Data; src; dst; control_bytes; payload_bytes; body });
+          set_handler = (fun node f -> if node = self then handler := f);
+          schedule = (fun ~delay f -> add_timer t ~delay f);
+          step = (fun () -> step t ~block:true);
+          quiesce =
+            (fun () ->
+              while step t ~block:false do
+                ()
+              done);
+          now = (fun () -> now_ms t);
+          stats = (fun () -> stats t);
+          set_tracing = (fun flag -> tracing := flag);
+          trace = (fun () -> Ringbuf.to_list trace_buf);
+        })
+  }

@@ -1,0 +1,88 @@
+(** Unix/TCP backend for {!Transport}: one OS process per node.
+
+    A live node binds a listening socket, dials every peer (outbound
+    sockets carry this node's frames; accepted sockets carry the peers'),
+    and exchanges {!Wire} frames.  Delivery order per directed link is
+    FIFO — TCP gives the same per-channel guarantee the simulator does —
+    but cross-channel interleaving is real wall-clock nondeterminism.
+
+    Lifecycle of a node process:
+
+    + {!bind} a listener (or inherit one pre-bound by the cluster harness),
+    + {!create} the runtime, {!val-factory} → hand to the protocol registry,
+    + {!wait_peers} — dial everyone, exchange [Hello] fingerprints,
+    + run the node program against the protocol's API,
+    + {!finish_program} — broadcast [Done],
+    + keep {!step}ping until {!all_done}, then {!drain} a quiet window so
+      late handler-to-handler traffic (acks, forwards, gossip hops)
+      settles, then snapshot results and {!close}.
+
+    The declared control/payload byte counts travel inside each frame
+    header, so a live node's {!Transport} stats aggregate exactly the
+    numbers the simulator would — marshalling overhead never leaks into
+    the accounting. *)
+
+type config = {
+  self : int;  (** this process's node id, [0 <= self < n] *)
+  n : int;
+  peers : Unix.sockaddr array;
+      (** length [n]; [peers.(self)] is ignored (self-sends never touch a
+          socket — they go through the timer queue, like the simulator's
+          no-synchronous-shortcut rule). *)
+  fingerprint : string;
+      (** Carried in [Hello] frames; any mismatch between two nodes'
+          fingerprints (protocol, workload, size, seed) aborts the run
+          instead of unmarshalling foreign bytes. *)
+}
+
+type t
+(** The untyped runtime: sockets, streaming decoders, timer queue,
+    counters.  The message type appears only in the {!Transport.t} view
+    returned by {!val-factory}. *)
+
+val bind : Unix.sockaddr -> Unix.file_descr
+(** Socket + [SO_REUSEADDR] + bind + listen.  Bind to port 0 to let the
+    kernel pick; recover the address with {!listen_addr}. *)
+
+val listen_addr : Unix.file_descr -> Unix.sockaddr
+
+val create : config -> listen_fd:Unix.file_descr -> t
+(** Takes ownership of [listen_fd].  Ignores [SIGPIPE] process-wide (a
+    dead peer must surface as a catchable error, not a kill). *)
+
+val factory : t -> Transport.factory
+(** Single-use: the factory marshals at the frame boundary, so binding it
+    to two different message types would alias the wire.  Second use
+    raises [Invalid_argument]; so does [create ~n] with the wrong [n].
+    The resulting transport has [scope = Node self]; its [send] refuses
+    [src <> self] and its [set_handler] ignores installs for other nodes
+    (whole-instance protocols install all [n] — only ours is live). *)
+
+val wait_peers : t -> timeout_ms:int -> unit
+(** Dial every peer (retrying refused connections — daemons may start in
+    any order), send [Hello], and pump until every peer's [Hello] has
+    arrived.  @raise Failure on timeout or fingerprint mismatch. *)
+
+val step : t -> block:bool -> bool
+(** Accept/read/dispatch what is ready and fire due timers, blocking at
+    most ~1 ms when [block] and nothing is ready.  [true] when any timer
+    fired or socket progressed. *)
+
+val finish_program : t -> unit
+(** Broadcast [Done]: this node's program (its workload slice) has
+    finished issuing operations.  Its handlers stay live. *)
+
+val all_done : t -> bool
+(** Every peer's [Done] has been seen. *)
+
+val drain : t -> quiet_ms:int -> max_ms:int -> unit
+(** Serve until no frame has been sent or delivered for [quiet_ms]
+    (bare timer fires don't count as activity — a retransmission timer
+    with an empty window would otherwise keep the node up forever), or
+    until [max_ms] has elapsed.  While draining, send failures are
+    non-fatal: peers exit their own quiet windows at different times. *)
+
+val now_ms : t -> int
+(** Milliseconds since {!create}. *)
+
+val close : t -> unit

@@ -1,0 +1,46 @@
+module Net = Repro_msgpass.Net
+module Fault = Repro_msgpass.Fault
+
+type scope = All_nodes | Node of int
+
+type 'msg t = {
+  n_nodes : int;
+  scope : scope;
+  send :
+    src:int -> dst:int -> control_bytes:int -> payload_bytes:int -> 'msg -> unit;
+  set_handler : int -> ('msg Net.envelope -> unit) -> unit;
+  schedule : delay:int -> (unit -> unit) -> unit;
+  step : unit -> bool;
+  quiesce : unit -> unit;
+  now : unit -> int;
+  stats : unit -> Net.stats;
+  set_tracing : bool -> unit;
+  trace : unit -> 'msg Net.event list;
+}
+
+type factory = { create : 'msg. n:int -> 'msg t }
+
+let of_net net =
+  {
+    n_nodes = Net.n_nodes net;
+    scope = All_nodes;
+    send =
+      (fun ~src ~dst ~control_bytes ~payload_bytes msg ->
+        Net.send net ~src ~dst ~control_bytes ~payload_bytes msg);
+    set_handler = (fun node f -> Net.set_handler net node f);
+    schedule = (fun ~delay f -> Net.at net ~delay f);
+    step = (fun () -> Net.step net);
+    quiesce = (fun () -> Net.run net);
+    now = (fun () -> Net.now net);
+    stats = (fun () -> Net.stats net);
+    set_tracing = (fun flag -> Net.set_tracing net flag);
+    trace = (fun () -> Net.trace net);
+  }
+
+let sim ?faults ?service_time ~latency ~seed () =
+  (* fail fast: a bad probability should not wait for the first send *)
+  Option.iter Fault.validate faults;
+  {
+    create =
+      (fun ~n -> of_net (Net.create ?faults ?service_time ~n ~latency ~seed ()));
+  }

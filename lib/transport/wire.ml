@@ -1,0 +1,147 @@
+type kind = Data | Hello | Done
+
+type frame = {
+  kind : kind;
+  src : int;
+  dst : int;
+  control_bytes : int;
+  payload_bytes : int;
+  body : string;
+}
+
+let magic = 0xD5
+
+(* header bytes counted by the length field (magic..payload_bytes) *)
+let header_bytes = 14
+
+let max_frame_bytes = 1 lsl 24
+
+let kind_byte = function Data -> 0 | Hello -> 1 | Done -> 2
+
+let kind_of_byte = function
+  | 0 -> Some Data
+  | 1 -> Some Hello
+  | 2 -> Some Done
+  | _ -> None
+
+let encode frame =
+  if frame.src < 0 || frame.src > 0xFFFF then invalid_arg "Wire.encode: bad src";
+  if frame.dst < 0 || frame.dst > 0xFFFF then invalid_arg "Wire.encode: bad dst";
+  if frame.control_bytes < 0 || frame.control_bytes > 0x7FFFFFFF then
+    invalid_arg "Wire.encode: bad control byte count";
+  if frame.payload_bytes < 0 || frame.payload_bytes > 0x7FFFFFFF then
+    invalid_arg "Wire.encode: bad payload byte count";
+  let body_len = String.length frame.body in
+  let len = header_bytes + body_len in
+  if len > max_frame_bytes then invalid_arg "Wire.encode: frame too large";
+  let buf = Bytes.create (4 + len) in
+  Bytes.set_int32_be buf 0 (Int32.of_int len);
+  Bytes.set_uint8 buf 4 magic;
+  Bytes.set_uint8 buf 5 (kind_byte frame.kind);
+  Bytes.set_uint16_be buf 6 frame.src;
+  Bytes.set_uint16_be buf 8 frame.dst;
+  Bytes.set_int32_be buf 10 (Int32.of_int frame.control_bytes);
+  Bytes.set_int32_be buf 14 (Int32.of_int frame.payload_bytes);
+  Bytes.blit_string frame.body 0 buf 18 body_len;
+  buf
+
+(* Decode one frame starting at [off]; the length prefix has already been
+   read and validated to fit in the buffer. *)
+let decode_at buf off len =
+  if Bytes.get_uint8 buf (off + 4) <> magic then Error "bad magic"
+  else
+    match kind_of_byte (Bytes.get_uint8 buf (off + 5)) with
+    | None -> Error "unknown frame kind"
+    | Some kind ->
+        let control_bytes = Int32.to_int (Bytes.get_int32_be buf (off + 10)) in
+        let payload_bytes = Int32.to_int (Bytes.get_int32_be buf (off + 14)) in
+        if control_bytes < 0 || payload_bytes < 0 then
+          Error "negative byte count"
+        else
+          Ok
+            {
+              kind;
+              src = Bytes.get_uint16_be buf (off + 6);
+              dst = Bytes.get_uint16_be buf (off + 8);
+              control_bytes;
+              payload_bytes;
+              body = Bytes.sub_string buf (off + 18) (len - header_bytes);
+            }
+
+let check_length len =
+  if len < header_bytes then Error "undersized frame"
+  else if len > max_frame_bytes then Error "oversized frame"
+  else Ok ()
+
+let of_bytes buf =
+  let total = Bytes.length buf in
+  if total < 4 then Error "truncated frame"
+  else
+    let len = Int32.to_int (Bytes.get_int32_be buf 0) in
+    match check_length len with
+    | Error _ as e -> e
+    | Ok () ->
+        if total < 4 + len then Error "truncated frame"
+        else if total > 4 + len then Error "trailing garbage"
+        else decode_at buf 0 len
+
+type decoder = {
+  mutable buf : Bytes.t;
+  mutable start : int;  (* first unconsumed byte *)
+  mutable fill : int;  (* bytes valid in [buf] *)
+  mutable poisoned : string option;
+}
+
+let decoder () = { buf = Bytes.create 4096; start = 0; fill = 0; poisoned = None }
+
+let pending d = d.fill - d.start
+
+let feed d src len =
+  if len < 0 || len > Bytes.length src then invalid_arg "Wire.feed";
+  if d.poisoned = None && len > 0 then begin
+    (* compact, then grow if the tail still cannot take [len] bytes *)
+    if d.fill + len > Bytes.length d.buf then begin
+      let live = pending d in
+      if live > 0 then Bytes.blit d.buf d.start d.buf 0 live;
+      d.start <- 0;
+      d.fill <- live;
+      if d.fill + len > Bytes.length d.buf then begin
+        let cap = ref (Bytes.length d.buf) in
+        while d.fill + len > !cap do
+          cap := !cap * 2
+        done;
+        let bigger = Bytes.create !cap in
+        Bytes.blit d.buf 0 bigger 0 d.fill;
+        d.buf <- bigger
+      end
+    end;
+    Bytes.blit src 0 d.buf d.fill len;
+    d.fill <- d.fill + len
+  end
+
+let next d =
+  match d.poisoned with
+  | Some msg -> Error msg
+  | None ->
+      if pending d < 4 then Ok None
+      else
+        let len = Int32.to_int (Bytes.get_int32_be d.buf d.start) in
+        (match check_length len with
+        | Error msg ->
+            d.poisoned <- Some msg;
+            Error msg
+        | Ok () ->
+            if pending d < 4 + len then Ok None
+            else
+              let result = decode_at d.buf d.start len in
+              (match result with
+              | Ok frame ->
+                  d.start <- d.start + 4 + len;
+                  if d.start = d.fill then begin
+                    d.start <- 0;
+                    d.fill <- 0
+                  end;
+                  Ok (Some frame)
+              | Error msg ->
+                  d.poisoned <- Some msg;
+                  Error msg))

@@ -1,0 +1,69 @@
+(** Length-prefixed binary framing for the live (socket) transport.
+
+    Every frame travels as a 4-byte big-endian length followed by a fixed
+    header and an opaque body:
+
+    {v
+      offset 0   4 bytes  length L (bytes following the length field)
+      offset 4   1 byte   magic 0xD5
+      offset 5   1 byte   kind (0 = data, 1 = hello, 2 = done)
+      offset 6   2 bytes  src node id
+      offset 8   2 bytes  dst node id
+      offset 10  4 bytes  declared control bytes
+      offset 14  4 bytes  declared payload bytes
+      offset 18  L-14 bytes  body
+    v}
+
+    The [control_bytes]/[payload_bytes] fields carry the {e declared}
+    accounting sizes — the same numbers a protocol hands to
+    {!Repro_msgpass.Net.send} — so the live backend counts exactly what the
+    simulator counts, independent of the marshalled body size.  [Data]
+    bodies hold a marshalled protocol message; [Hello] bodies hold the
+    cluster fingerprint (protocol, workload, size, seed) so mismatched
+    daemons fail loudly instead of unmarshalling garbage. *)
+
+type kind = Data | Hello | Done
+
+type frame = {
+  kind : kind;
+  src : int;
+  dst : int;
+  control_bytes : int;
+  payload_bytes : int;
+  body : string;
+}
+
+val max_frame_bytes : int
+(** Upper bound on the length field (16 MiB).  Longer declared frames are
+    rejected as corrupt before any allocation. *)
+
+val encode : frame -> bytes
+(** Full wire representation, length prefix included.
+    @raise Invalid_argument when an id or byte count is out of range or the
+    body exceeds {!max_frame_bytes}. *)
+
+val of_bytes : bytes -> (frame, string) result
+(** Decode a buffer holding {e exactly} one frame.  Truncated input,
+    trailing garbage, bad magic, unknown kinds and oversized/undersized
+    declared lengths are all [Error]s. *)
+
+(** {1 Streaming decoder}
+
+    TCP delivers byte runs, not frames; the decoder buffers partial input
+    across {!feed} calls and yields frames as they complete. *)
+
+type decoder
+
+val decoder : unit -> decoder
+
+val feed : decoder -> bytes -> int -> unit
+(** [feed d buf len] appends the first [len] bytes of [buf]. *)
+
+val next : decoder -> (frame option, string) result
+(** [Ok None] when no complete frame is buffered yet; [Error _] on a
+    corrupt stream (the decoder is then poisoned and keeps returning the
+    error). *)
+
+val pending : decoder -> int
+(** Bytes buffered but not yet consumed — nonzero at connection EOF means
+    the peer died mid-frame (a truncated frame). *)

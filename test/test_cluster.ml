@@ -1,0 +1,112 @@
+(* Tests for Repro_cluster: forked loopback clusters running real TCP
+   sockets.  Each test forks n node processes, reassembles the recorded
+   history, and checks it — plus the sim-parity satellite: live message
+   and declared-byte totals must equal the deterministic simulator's on
+   the same (protocol, workload, n, seed).
+
+   These tests fork; they must never create domains before doing so, so
+   everything here stays on the sequential checker (Cluster.run already
+   does). *)
+
+module Cluster = Repro_cluster.Cluster
+module Node = Repro_cluster.Node
+module Workload_spec = Repro_cluster.Workload_spec
+module Checker = Repro_history.Checker
+module History = Repro_history.History
+module Memory = Repro_core.Memory
+module Registry = Repro_core.Registry
+
+let check = Alcotest.check
+
+let spec_of name = Option.get (Registry.find name)
+
+let run_ok ~n ~protocol ~workload ~seed =
+  match Cluster.run ~n ~protocol:(spec_of protocol) ~workload ~seed () with
+  | Ok o -> o
+  | Error msg -> Alcotest.failf "cluster run failed: %s" msg
+
+let assert_parity (o : Cluster.outcome) ~protocol ~workload =
+  match
+    Cluster.sim_baseline ~n:o.Cluster.n ~protocol:(spec_of protocol) ~workload
+      ~seed:o.Cluster.seed
+  with
+  | Error msg -> Alcotest.failf "baseline failed: %s" msg
+  | Ok b ->
+      let m = b.Cluster.metrics in
+      check Alcotest.int "message parity" m.Memory.messages_sent
+        o.Cluster.messages_sent;
+      check Alcotest.int "control-byte parity" m.Memory.control_bytes
+        o.Cluster.control_bytes;
+      check Alcotest.int "payload-byte parity" m.Memory.payload_bytes
+        o.Cluster.payload_bytes
+
+let test_e1_pram_partial () =
+  let o = run_ok ~n:3 ~protocol:"pram-partial" ~workload:"e1" ~seed:7 in
+  (match o.Cluster.verdict with
+  | Checker.Consistent -> ()
+  | Checker.Inconsistent -> Alcotest.fail "live history violates PRAM"
+  | Checker.Undecidable _ -> Alcotest.fail "e1 history should be differentiated");
+  check Alcotest.int "one slice per node" 3 (History.n_procs o.Cluster.history);
+  assert_parity o ~protocol:"pram-partial" ~workload:"e1"
+
+let test_e1_causal_partial () =
+  let o = run_ok ~n:3 ~protocol:"causal-partial" ~workload:"e1" ~seed:7 in
+  (match o.Cluster.verdict with
+  | Checker.Consistent -> ()
+  | Checker.Inconsistent -> Alcotest.fail "live history violates causality"
+  | Checker.Undecidable _ -> Alcotest.fail "e1 history should be differentiated");
+  assert_parity o ~protocol:"causal-partial" ~workload:"e1"
+
+let test_bellman_ford_finals () =
+  (* the Fig. 8 network: live distances must match the single-machine
+     reference, the same acceptance the §6 tests use *)
+  let o = run_ok ~n:5 ~protocol:"pram-partial" ~workload:"bellman-ford" ~seed:3 in
+  (match o.Cluster.finals with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "distances diverge: %s" msg);
+  check Alcotest.bool "history check not claimed" false o.Cluster.history_checked;
+  (match o.Cluster.verdict with
+  | Checker.Inconsistent -> Alcotest.fail "live BF history refuted outright"
+  | Checker.Consistent | Checker.Undecidable _ -> ())
+
+let test_blocking_protocol_rejected () =
+  match Cluster.run ~n:3 ~protocol:(spec_of "seq-sequencer") ~workload:"e1" ~seed:1 () with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "blocking protocol accepted on a live cluster"
+
+let test_unknown_workload_rejected () =
+  match Cluster.run ~n:3 ~protocol:(spec_of "pram-partial") ~workload:"nope" ~seed:1 () with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown workload accepted"
+
+let test_workload_spec_deterministic () =
+  (* the parity argument rests on spec construction being pure replay *)
+  let fingerprint () =
+    match Workload_spec.make ~name:"e1" ~n:4 ~seed:9 with
+    | Error msg -> Alcotest.failf "spec: %s" msg
+    | Ok spec -> Workload_spec.fingerprint spec ~protocol:"pram-partial" ~seed:9
+  in
+  check Alcotest.string "stable fingerprint" (fingerprint ()) (fingerprint ())
+
+let () =
+  Alcotest.run "repro_cluster"
+    [
+      ( "live",
+        [
+          Alcotest.test_case "e1 on pram-partial: consistent + parity" `Quick
+            test_e1_pram_partial;
+          Alcotest.test_case "e1 on causal-partial: consistent + parity" `Quick
+            test_e1_causal_partial;
+          Alcotest.test_case "bellman-ford fig8: distances match reference"
+            `Quick test_bellman_ford_finals;
+        ] );
+      ( "guards",
+        [
+          Alcotest.test_case "blocking protocol rejected" `Quick
+            test_blocking_protocol_rejected;
+          Alcotest.test_case "unknown workload rejected" `Quick
+            test_unknown_workload_rejected;
+          Alcotest.test_case "workload specs are pure replay" `Quick
+            test_workload_spec_deterministic;
+        ] );
+    ]

@@ -1,0 +1,232 @@
+(* Tests for Repro_transport: the wire codec (round-trip, rejection of
+   corrupt frames, streaming reassembly) and the transport abstraction
+   (fail-fast fault validation, sim-backend equivalence with the direct
+   network construction). *)
+
+module Wire = Repro_transport.Wire
+module Transport = Repro_transport.Transport
+module Fault = Repro_msgpass.Fault
+module Latency = Repro_msgpass.Latency
+module Distribution = Repro_sharegraph.Distribution
+module Registry = Repro_core.Registry
+module Memory = Repro_core.Memory
+module Workload = Repro_core.Workload
+module History = Repro_history.History
+module Rng = Repro_util.Rng
+
+let check = Alcotest.check
+let qcheck = QCheck_alcotest.to_alcotest
+
+(* --- frame round-trip ------------------------------------------------------ *)
+
+let frame_gen =
+  QCheck.Gen.(
+    let* kind = oneofl [ Wire.Data; Wire.Hello; Wire.Done ] in
+    let* src = int_bound 0xFFFF in
+    let* dst = int_bound 0xFFFF in
+    let* control_bytes = int_bound 1_000_000 in
+    let* payload_bytes = int_bound 1_000_000 in
+    let* body = string_size (int_bound 512) in
+    return { Wire.kind; src; dst; control_bytes; payload_bytes; body })
+
+let frame_print (f : Wire.frame) =
+  Printf.sprintf "{kind=%s src=%d dst=%d cb=%d pb=%d body=%S}"
+    (match f.kind with Data -> "data" | Hello -> "hello" | Done -> "done")
+    f.src f.dst f.control_bytes f.payload_bytes f.body
+
+let frame_arb = QCheck.make ~print:frame_print frame_gen
+
+let test_roundtrip =
+  qcheck
+    (QCheck.Test.make ~name:"wire_encode_decode_roundtrip" ~count:500 frame_arb
+       (fun f -> Wire.of_bytes (Wire.encode f) = Ok f))
+
+(* Protocol messages travel as marshalled bodies: a representative message
+   value must survive encode -> decode -> unmarshal intact. *)
+type fake_msg = Update of { var : int; value : int option; ts : int array }
+
+let test_marshalled_message_roundtrip () =
+  let msg = Update { var = 3; value = Some 42; ts = [| 7; 0; 9 |] } in
+  let body = Marshal.to_string (123, msg) [] in
+  let frame =
+    { Wire.kind = Wire.Data; src = 1; dst = 2; control_bytes = 24;
+      payload_bytes = 8; body }
+  in
+  match Wire.of_bytes (Wire.encode frame) with
+  | Error e -> Alcotest.failf "decode failed: %s" e
+  | Ok f ->
+      let (stamp, (Update u as m)) : int * fake_msg =
+        Marshal.from_string f.Wire.body 0
+      in
+      check Alcotest.int "stamp" 123 stamp;
+      check Alcotest.int "var" 3 u.var;
+      check Alcotest.bool "msg equal" true (m = msg)
+
+(* --- rejection of corrupt input -------------------------------------------- *)
+
+let encoded () =
+  Wire.encode
+    { Wire.kind = Wire.Data; src = 1; dst = 0; control_bytes = 8;
+      payload_bytes = 8; body = "payload" }
+
+let expect_error name input =
+  match Wire.of_bytes input with
+  | Ok _ -> Alcotest.failf "%s: decoded a corrupt frame" name
+  | Error _ -> ()
+
+let test_truncated_rejected () =
+  let buf = encoded () in
+  for len = 0 to Bytes.length buf - 1 do
+    expect_error "truncation" (Bytes.sub buf 0 len)
+  done
+
+let test_trailing_garbage_rejected () =
+  let buf = encoded () in
+  expect_error "trailing garbage" (Bytes.cat buf (Bytes.make 1 'x'))
+
+let test_bad_magic_rejected () =
+  let buf = encoded () in
+  Bytes.set_uint8 buf 4 0x00;
+  expect_error "bad magic" buf
+
+let test_unknown_kind_rejected () =
+  let buf = encoded () in
+  Bytes.set_uint8 buf 5 9;
+  expect_error "unknown kind" buf
+
+let test_oversized_rejected () =
+  let buf = encoded () in
+  Bytes.set_int32_be buf 0 (Int32.of_int (Wire.max_frame_bytes + 1));
+  expect_error "oversized declared length" buf;
+  let buf = encoded () in
+  Bytes.set_int32_be buf 0 5l;
+  (* below the fixed header size *)
+  expect_error "undersized declared length" (Bytes.sub buf 0 9)
+
+let test_negative_byte_count_rejected () =
+  let buf = encoded () in
+  Bytes.set_int32_be buf 10 (-1l);
+  expect_error "negative control bytes" buf
+
+let test_encode_validates () =
+  let frame body src =
+    { Wire.kind = Wire.Data; src; dst = 0; control_bytes = 0;
+      payload_bytes = 0; body }
+  in
+  Alcotest.check_raises "src out of range"
+    (Invalid_argument "Wire.encode: bad src") (fun () ->
+      ignore (Wire.encode (frame "" 0x10000)));
+  Alcotest.check_raises "body too large"
+    (Invalid_argument "Wire.encode: frame too large") (fun () ->
+      ignore (Wire.encode (frame (String.make (Wire.max_frame_bytes + 1) 'x') 0)))
+
+(* --- streaming decoder ------------------------------------------------------ *)
+
+let test_streaming_reassembly =
+  qcheck
+    (QCheck.Test.make ~name:"wire_streaming_reassembly" ~count:100
+       QCheck.(pair (list_of_size Gen.(int_range 1 8) frame_arb) (int_range 1 7))
+       (fun (frames, chunk) ->
+         let stream =
+           Bytes.concat Bytes.empty (List.map Wire.encode frames)
+         in
+         let d = Wire.decoder () in
+         let got = ref [] in
+         let pos = ref 0 in
+         let total = Bytes.length stream in
+         let drain () =
+           let rec go () =
+             match Wire.next d with
+             | Ok (Some f) ->
+                 got := f :: !got;
+                 go ()
+             | Ok None -> ()
+             | Error e -> Alcotest.failf "streaming decode error: %s" e
+           in
+           go ()
+         in
+         while !pos < total do
+           let len = Stdlib.min chunk (total - !pos) in
+           Wire.feed d (Bytes.sub stream !pos len) len;
+           pos := !pos + len;
+           drain ()
+         done;
+         List.rev !got = frames && Wire.pending d = 0))
+
+let test_streaming_poisoned () =
+  let d = Wire.decoder () in
+  let buf = encoded () in
+  Bytes.set_uint8 buf 4 0x00;
+  Wire.feed d buf (Bytes.length buf);
+  (match Wire.next d with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "corrupt stream not detected");
+  (* poisoned for good: feeding valid bytes afterwards must not recover *)
+  let ok = encoded () in
+  Wire.feed d ok (Bytes.length ok);
+  match Wire.next d with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "decoder recovered from poison"
+
+(* --- transport construction -------------------------------------------------- *)
+
+let test_sim_validates_faults_fail_fast () =
+  (* satellite: a bad fault probability must be rejected when the backend
+     is configured, before any network exists or any message is sent *)
+  let bad = { Fault.drop = 1.5; duplicate = 0.0; reorder = false } in
+  match Transport.sim ~faults:bad ~latency:Latency.lan ~seed:1 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "Transport.sim accepted drop probability 1.5"
+
+(* The default (no-factory) path and an explicit Transport.sim factory must
+   produce byte-identical runs: same history, same accounting. *)
+let test_sim_factory_equivalence () =
+  let spec = Option.get (Registry.find "causal-partial") in
+  let dist =
+    Distribution.random (Rng.create 5) ~n_procs:4 ~n_vars:8 ~replicas_per_var:3
+  in
+  let seed = 42 in
+  let run memory =
+    let h = Workload.run_random ~seed:(seed + 1) memory in
+    (History.to_string h, (memory.Memory.metrics ()).Memory.control_bytes)
+  in
+  let direct = run (spec.Registry.make ~dist ~seed ()) in
+  let via_factory =
+    run
+      (spec.Registry.make
+         ~transport:(Transport.sim ~latency:Latency.lan ~seed ())
+         ~dist ~seed ())
+  in
+  check Alcotest.(pair string int) "identical run" direct via_factory
+
+let () =
+  Alcotest.run "repro_transport"
+    [
+      ( "wire",
+        [
+          test_roundtrip;
+          Alcotest.test_case "marshalled message round-trip" `Quick
+            test_marshalled_message_roundtrip;
+          Alcotest.test_case "truncated rejected" `Quick test_truncated_rejected;
+          Alcotest.test_case "trailing garbage rejected" `Quick
+            test_trailing_garbage_rejected;
+          Alcotest.test_case "bad magic rejected" `Quick test_bad_magic_rejected;
+          Alcotest.test_case "unknown kind rejected" `Quick
+            test_unknown_kind_rejected;
+          Alcotest.test_case "oversized/undersized rejected" `Quick
+            test_oversized_rejected;
+          Alcotest.test_case "negative byte count rejected" `Quick
+            test_negative_byte_count_rejected;
+          Alcotest.test_case "encode validates" `Quick test_encode_validates;
+          test_streaming_reassembly;
+          Alcotest.test_case "poisoned decoder stays poisoned" `Quick
+            test_streaming_poisoned;
+        ] );
+      ( "transport",
+        [
+          Alcotest.test_case "sim validates faults fail-fast" `Quick
+            test_sim_validates_faults_fail_fast;
+          Alcotest.test_case "sim factory equals direct construction" `Quick
+            test_sim_factory_equivalence;
+        ] );
+    ]
