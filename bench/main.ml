@@ -565,7 +565,7 @@ let run_cluster_case (protocol_name, workload, n) =
   let o0, _ = List.hd outcomes in
   let baseline_of seed =
     let t0 = Unix.gettimeofday () in
-    match Cluster.sim_baseline ~n ~protocol ~workload ~seed with
+    match Cluster.sim_baseline ~n ~protocol ~workload ~seed () with
     | Error msg -> failwith msg
     | Ok b -> ((Unix.gettimeofday () -. t0) *. 1e3, b)
   in
@@ -681,6 +681,171 @@ let run_cluster_benchmarks ?json () =
    end);
   write_record (cluster_json_record rows) json
 
+(* --- chaos: robustness tier ------------------------------------------------------
+   What does reliability cost, and how fast does the cluster come back?
+   Each row reruns the same live (pram-partial, e1, n=3) configuration under
+   a different chaos plan: the plain baseline, the session layer at zero
+   loss (pure machinery cost), escalating drop rates, and a scheduled
+   crash+restart (time-to-recover shows up as the wall-clock delta against
+   the plain row).  Every row re-asserts the accounting invariant that the
+   paper's numbers survive chaos: protocol-level message/byte totals equal
+   the fault-free simulator baseline exactly, with the repair traffic
+   summed apart in overhead_bytes. *)
+
+let chaos_cases =
+  [
+    ("plain", None, false);
+    ("session-0loss", None, true);
+    ("drop2", Some "seed=5,drop=0.02", true);
+    ("drop5", Some "seed=5,drop=0.05,dup=0.02", true);
+    ("drop10", Some "seed=5,drop=0.10,dup=0.05,reorder=0.2", true);
+    ("crash+restart", Some "seed=11,drop=0.03,crash=1@6+250", true);
+  ]
+
+type chaos_row = {
+  ch_label : string;
+  ch_plan : string;
+  ch_node_ms : int list;
+  ch_harness_ms : float list;
+  ch_messages : int;
+  ch_control : int;
+  ch_overhead : int;
+  ch_retransmits : int;
+  ch_restarts : int;
+  ch_parity : bool;
+  ch_accepted : bool;
+}
+
+let run_chaos_case (label, plan_text, session) =
+  let protocol = Option.get (Registry.find "pram-partial") in
+  let chaos =
+    Option.map
+      (fun t ->
+        match Fault.Plan.parse t with
+        | Ok p -> p
+        | Error msg -> failwith (Printf.sprintf "plan %S: %s" t msg))
+      plan_text
+  in
+  let outcomes =
+    List.init cluster_reps (fun rep ->
+        let t0 = Unix.gettimeofday () in
+        match
+          Cluster.run ~n:3 ~protocol ~workload:"e1" ~seed:(seed + rep) ?chaos
+            ~session ()
+        with
+        | Error msg -> failwith (Printf.sprintf "chaos %s: %s" label msg)
+        | Ok o -> (o, (Unix.gettimeofday () -. t0) *. 1e3))
+  in
+  let o0, _ = List.hd outcomes in
+  let parity =
+    List.for_all
+      (fun ((o : Cluster.outcome), _) ->
+        match
+          Cluster.sim_baseline ~n:3 ~protocol ~workload:"e1"
+            ~seed:o.Cluster.seed ()
+        with
+        | Error msg -> failwith msg
+        | Ok b ->
+            let m = b.Cluster.metrics in
+            o.Cluster.messages_sent = m.Memory.messages_sent
+            && o.Cluster.control_bytes = m.Memory.control_bytes
+            && o.Cluster.payload_bytes = m.Memory.payload_bytes)
+      outcomes
+  in
+  let accepted =
+    List.for_all
+      (fun ((o : Cluster.outcome), _) ->
+        (match o.Cluster.verdict with
+        | Checker.Consistent -> true
+        | Checker.Inconsistent -> false
+        | Checker.Undecidable _ -> not o.Cluster.history_checked)
+        && Result.is_ok o.Cluster.finals)
+      outcomes
+  in
+  let sum f = List.fold_left (fun acc (o, _) -> acc + f o) 0 outcomes in
+  let reps = List.length outcomes in
+  {
+    ch_label = label;
+    ch_plan = o0.Cluster.chaos;
+    ch_node_ms =
+      List.map (fun ((o : Cluster.outcome), _) -> o.Cluster.wall_ms) outcomes;
+    ch_harness_ms = List.map snd outcomes;
+    ch_messages = o0.Cluster.messages_sent;
+    ch_control = o0.Cluster.control_bytes;
+    ch_overhead = sum (fun o -> o.Cluster.overhead_bytes) / reps;
+    ch_retransmits = sum (fun o -> o.Cluster.retransmits) / reps;
+    ch_restarts = sum (fun o -> o.Cluster.restarts);
+    ch_parity = parity;
+    ch_accepted = accepted;
+  }
+
+let chaos_json_record rows ~notes =
+  let row_json r =
+    Jsonout.Obj
+      [
+        ("label", Jsonout.String r.ch_label);
+        ("plan", Jsonout.String r.ch_plan);
+        ("reps", Jsonout.Int cluster_reps);
+        ( "node_wall_ms",
+          Jsonout.List (List.map (fun m -> Jsonout.Int m) r.ch_node_ms) );
+        ( "harness_wall_ms",
+          Jsonout.List (List.map (fun m -> Jsonout.Float m) r.ch_harness_ms) );
+        ("messages", Jsonout.Int r.ch_messages);
+        ("control_bytes", Jsonout.Int r.ch_control);
+        ("overhead_bytes_mean", Jsonout.Int r.ch_overhead);
+        ("retransmits_mean", Jsonout.Int r.ch_retransmits);
+        ("restarts_total", Jsonout.Int r.ch_restarts);
+        ("sim_parity", Jsonout.Bool r.ch_parity);
+        ("accepted", Jsonout.Bool r.ch_accepted);
+      ]
+  in
+  Jsonout.Obj
+    ([
+       ("schema", Jsonout.String "repro-bench/1");
+       ("seed", Jsonout.Int seed);
+       ("cluster_reps", Jsonout.Int cluster_reps);
+     ]
+    @ (match notes with
+      | [] -> []
+      | notes ->
+          [ ("notes", Jsonout.List (List.map (fun n -> Jsonout.String n) notes)) ])
+    @ [ ("chaos", Jsonout.List (List.map row_json rows)) ])
+
+let run_chaos_benchmarks ?json () =
+  let rows = List.map run_chaos_case chaos_cases in
+  print_endline
+    "== Chaos tier (pram-partial / e1 / n=3, wall clock, forked loopback \
+     nodes) ==";
+  Table.print
+    ~header:
+      [
+        "case"; "node ms"; "harness ms"; "msgs"; "ctl B"; "ovh B"; "retr";
+        "restarts"; "parity"; "accepted";
+      ]
+    ~rows:
+      (List.map
+         (fun r ->
+           [
+             r.ch_label;
+             String.concat "/" (List.map string_of_int r.ch_node_ms);
+             String.concat "/"
+               (List.map (fun m -> Printf.sprintf "%.0f" m) r.ch_harness_ms);
+             string_of_int r.ch_messages;
+             string_of_int r.ch_control;
+             string_of_int r.ch_overhead;
+             string_of_int r.ch_retransmits;
+             string_of_int r.ch_restarts;
+             (if r.ch_parity then "exact" else "MISMATCH");
+             (if r.ch_accepted then "yes" else "NO");
+           ])
+         rows)
+    ();
+  (if List.exists (fun r -> (not r.ch_parity) || not r.ch_accepted) rows then begin
+     prerr_endline "chaos tier: parity mismatch or rejected run";
+     exit 2
+   end);
+  write_record (chaos_json_record rows) json
+
 let run_benchmarks ?json () =
   (* the seq-vs-par and engine-comparison probes take hundreds of ms each;
      give those groups a larger quota so OLS sees enough runs *)
@@ -717,14 +882,15 @@ type mode =
   | Sim_only
   | Check_only
   | Cluster_only
+  | Chaos_only
 
 let () =
   let mode = ref Default in
   let json = ref None in
   let usage () =
     prerr_endline
-      "usage: bench [--tables] [--sim] [--check] [--cluster] [--experiment ID] \
-       [--jobs N] [--json FILE|DIR]";
+      "usage: bench [--tables] [--sim] [--check] [--cluster] [--chaos] \
+       [--experiment ID] [--jobs N] [--json FILE|DIR]";
     exit 1
   in
   let rec parse = function
@@ -740,6 +906,9 @@ let () =
         parse rest
     | "--cluster" :: rest ->
         mode := Cluster_only;
+        parse rest
+    | "--chaos" :: rest ->
+        mode := Chaos_only;
         parse rest
     | "--experiment" :: id :: rest ->
         mode := One_experiment id;
@@ -761,6 +930,7 @@ let () =
   | Sim_only -> run_sim_benchmarks ?json:!json ()
   | Check_only -> run_check_benchmarks ?json:!json ()
   | Cluster_only -> run_cluster_benchmarks ?json:!json ()
+  | Chaos_only -> run_chaos_benchmarks ?json:!json ()
   | One_experiment id -> if not (print_one id) then exit 1
   | Default ->
       print_tables ();

@@ -24,6 +24,11 @@ module Cluster = Repro_cluster.Cluster
 module Cluster_node = Repro_cluster.Node
 module Workload_spec = Repro_cluster.Workload_spec
 module Live = Repro_transport.Live
+module Transport = Repro_transport.Transport
+module Chaos = Repro_transport.Chaos
+module Session = Repro_transport.Session
+module Fault = Repro_msgpass.Fault
+module Latency = Repro_msgpass.Latency
 module Table = Repro_util.Table
 module Bitset = Repro_util.Bitset
 module Rng = Repro_util.Rng
@@ -183,6 +188,56 @@ let apply_engine = function
   | None -> ()
   | Some e -> Checker.set_default_engine e
 
+(* --- chaos plans --------------------------------------------------------------- *)
+
+let chaos_conv =
+  Arg.conv
+    ( (fun text ->
+        match Fault.Plan.parse text with
+        | Ok p -> Ok p
+        | Error msg -> Error (`Msg msg)),
+      fun ppf p -> Format.pp_print_string ppf (Fault.Plan.to_string p) )
+
+let chaos_arg =
+  Arg.(value & opt (some chaos_conv) None
+       & info [ "chaos" ] ~docv:"PLAN"
+           ~doc:"Deterministic fault plan, e.g. \
+                 $(b,seed=5,drop=0.05,dup=0.01,crash=1\\@6+250). Clauses: \
+                 $(b,seed=K), $(b,drop=P), $(b,dup=P), $(b,reorder=P), \
+                 $(b,delay=D), $(b,link=S>D:drop=P:...), \
+                 $(b,part=T1..T2:A+B), $(b,crash=N\\@K+R). The same plan \
+                 reproduces identically on the simulator and on live TCP.")
+
+let session_arg =
+  Arg.(value & flag
+       & info [ "session" ]
+           ~doc:"Layer the reliable session protocol (go-back-N, cumulative \
+                 acks, retransmission backoff) over the transport even \
+                 without a chaos plan; forced on whenever $(b,--chaos) is \
+                 given.")
+
+(* sim transport stack mirroring a live node's: backend → chaos → session *)
+let sim_chaos_factory ~chaos ~session ~seed =
+  let chaos =
+    match chaos with Some p when Fault.Plan.is_none p -> None | c -> c
+  in
+  let session = session || chaos <> None in
+  if (not session) && chaos = None then None
+  else begin
+    let factory = Transport.sim ~latency:Latency.lan ~seed () in
+    let factory =
+      match chaos with
+      | None -> factory
+      | Some plan -> fst (Chaos.wrap ~plan factory)
+    in
+    let factory =
+      if session then
+        fst (Session.wrap ~config:{ Session.default with seed = seed + 1 } factory)
+      else factory
+    in
+    Some factory
+  end
+
 (* --- protocols ---------------------------------------------------------------- *)
 
 let protocols_cmd =
@@ -255,7 +310,7 @@ let protocol_arg =
            ~doc:"Protocol implementation (see $(b,protocols)).")
 
 let run_cmd =
-  let run spec dist seed ops read_ratio timed diagram jobs engine =
+  let run spec dist seed ops read_ratio timed diagram chaos session jobs engine =
     apply_jobs jobs;
     apply_engine engine;
     let dist =
@@ -264,7 +319,11 @@ let run_cmd =
           ~n_vars:(Distribution.n_vars dist)
       else dist
     in
-    let memory = spec.Registry.make ~dist ~seed () in
+    let memory =
+      match sim_chaos_factory ~chaos ~session ~seed with
+      | None -> spec.Registry.make ~dist ~seed ()
+      | Some transport -> spec.Registry.make ~transport ~dist ~seed ()
+    in
     let profile = { Workload.ops_per_proc = ops; read_ratio; max_think = 3 } in
     let rng = Repro_util.Rng.create (seed + 1) in
     let programs = Workload.programs rng dist profile in
@@ -316,7 +375,12 @@ let run_cmd =
     Printf.printf
       "\nmessages: %d   control bytes: %d   payload bytes: %d   off-clique mentions: %d\n"
       m.Memory.messages_sent m.Memory.control_bytes m.Memory.payload_bytes
-      (Memory.total_offclique_mentions memory)
+      (Memory.total_offclique_mentions memory);
+    if m.Memory.overhead_bytes > 0 then
+      Printf.printf
+        "reliability overhead: %d bytes (headers, retransmissions, acks — \
+         accounted apart from the paper's control bytes)\n"
+        m.Memory.overhead_bytes
   in
   let ops_arg =
     Arg.(value & opt int 8 & info [ "ops" ] ~doc:"Operations per process.")
@@ -335,7 +399,8 @@ let run_cmd =
     (Cmd.info "run"
        ~doc:"Run a random workload on a protocol and check the recorded history.")
     Term.(const run $ protocol_arg $ dist_arg $ seed_arg $ ops_arg $ reads_arg
-          $ timed_arg $ diagram_arg $ jobs_arg $ engine_arg)
+          $ timed_arg $ diagram_arg $ chaos_arg $ session_arg $ jobs_arg
+          $ engine_arg)
 
 (* --- check ------------------------------------------------------------------------ *)
 
@@ -426,8 +491,28 @@ let check_cmd =
     Arg.(value & flag
          & info [ "diagram" ] ~doc:"Render a space-time diagram instead of plain text.")
   in
+  let man =
+    [
+      `S Manpage.s_exit_status;
+      `I ("0", "History parsed; with $(b,--require), the criterion holds.");
+      `I ("1", "Parse error or unreadable input.");
+      `I ("2", "$(b,--require) criterion violated (or undecidable).");
+      `S "GATING LIVE AND CHAOS RUNS";
+      `P
+        "A cluster run — chaotic or not — is gated in two steps.  First \
+         $(b,repro cluster ... --chaos PLAN --parity --out-history H) \
+         supervises the run and exits: 0 when accepted (crashes that were \
+         respawned and recovered from checkpoints count as accepted), 1 on \
+         an unrecovered node crash or harness error, 2 on a consistency or \
+         finals violation, 3 on a sim-parity mismatch.  Then \
+         $(b,repro check --require CRITERION H) re-derives the verdict from \
+         the captured history with an independent checker invocation (exit \
+         2 on violation).  CI's chaos-smoke job runs exactly this pipeline.";
+    ]
+  in
   Cmd.v
-    (Cmd.info "check" ~doc:"Check a textual history against every criterion.")
+    (Cmd.info "check" ~doc:"Check a textual history against every criterion."
+       ~man)
     Term.(const run $ path_arg $ diagram_arg $ require_arg $ jobs_arg $ engine_arg)
 
 (* --- bellman-ford ------------------------------------------------------------------ *)
@@ -567,7 +652,8 @@ let slice_history ~n ~node ops =
          else List.map (fun (kind, var, value, _, _) -> (kind, var, value)) ops))
 
 let serve_cmd =
-  let run node nodes listen peers spec workload seed out =
+  let run node nodes listen peers spec workload seed chaos session checkpoint
+      checkpoint_ms incarnation out =
     let fail fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 1) fmt in
     let spec_w =
       match Workload_spec.make ~name:workload ~n:nodes ~seed with
@@ -597,9 +683,17 @@ let serve_cmd =
     in
     match
       Cluster_node.run ~self:node ~listen_fd ~peers:peer_addrs ~protocol:spec
-        ~workload:spec_w ~seed ()
+        ~workload:spec_w ~seed ?chaos ~session ?checkpoint
+        ?checkpoint_every_ms:checkpoint_ms ~incarnation ()
     with
     | exception Cluster_node.Crash msg -> fail "node %d crashed: %s" node msg
+    | exception Chaos.Injected_crash _ ->
+        (* the chaos plan scheduled this crash; a supervisor watching for
+           exit 42 respawns us with --incarnation bumped *)
+        prerr_endline
+          (Printf.sprintf "node %d: injected crash (respawn with --incarnation %d)"
+             node (incarnation + 1));
+        exit 42
     | result ->
         let m = result.Cluster_node.metrics in
         Printf.printf
@@ -609,6 +703,20 @@ let serve_cmd =
           (List.length result.Cluster_node.ops)
           m.Memory.messages_sent m.Memory.control_bytes m.Memory.payload_bytes
           result.Cluster_node.wall_ms;
+        (let w = result.Cluster_node.wire in
+         if
+           w.Repro_msgpass.Net.retransmits > 0
+           || w.Repro_msgpass.Net.dropped > 0
+           || w.Repro_msgpass.Net.reconnects > 0
+           || result.Cluster_node.incarnation > 0
+         then
+           Printf.printf
+             "  chaos: incarnation %d, %d dropped, %d retransmits, %d dup \
+              suppressed, %d reconnects, %d overhead bytes\n"
+             result.Cluster_node.incarnation w.Repro_msgpass.Net.dropped
+             w.Repro_msgpass.Net.retransmits
+             w.Repro_msgpass.Net.dups_suppressed
+             w.Repro_msgpass.Net.reconnects w.Repro_msgpass.Net.overhead_bytes);
         List.iter
           (fun (var, value) ->
             Printf.printf "  final x%d = %s\n" var
@@ -648,28 +756,59 @@ let serve_cmd =
              ~doc:"Write this node's recorded history slice (readable by \
                    $(b,repro check)).")
   in
+  let checkpoint_arg =
+    Arg.(value & opt (some string) None
+         & info [ "checkpoint" ] ~docv:"FILE"
+             ~doc:"Checkpoint file: written periodically during the run; \
+                   restored (with op-log replay) when $(b,--incarnation) is \
+                   positive.")
+  in
+  let checkpoint_ms_arg =
+    Arg.(value & opt (some int) None
+         & info [ "checkpoint-ms" ] ~docv:"MS"
+             ~doc:"Checkpoint period (default 100 ms).")
+  in
+  let incarnation_arg =
+    Arg.(value & opt int 0
+         & info [ "incarnation" ] ~docv:"K"
+             ~doc:"Restart count: 0 for a first launch; a supervisor respawning \
+                   this node after an injected crash (exit 42) passes K+1, \
+                   which restores the checkpoint and disables the crash \
+                   schedule.")
+  in
   Cmd.v
     (Cmd.info "serve"
-       ~doc:"Run one replica daemon of a live cluster over TCP sockets.")
+       ~doc:"Run one replica daemon of a live cluster over TCP sockets. Exit \
+             status: 42 when the chaos plan's scheduled crash fires (respawn \
+             with $(b,--incarnation) bumped to recover from the checkpoint).")
     Term.(const run $ node_arg $ nodes_arg $ listen_spec_arg $ peers_arg
-          $ protocol_arg $ workload_arg $ seed_arg $ out_arg)
+          $ protocol_arg $ workload_arg $ seed_arg $ chaos_arg $ session_arg
+          $ checkpoint_arg $ checkpoint_ms_arg $ incarnation_arg $ out_arg)
 
 let cluster_cmd =
-  let run nodes spec workload seed parity json out_history engine =
+  let run nodes spec workload seed chaos session checkpoint_ms parity json
+      out_history engine =
     apply_engine engine;
-    match Cluster.run ~n:nodes ~protocol:spec ~workload ~seed () with
+    match
+      Cluster.run ~n:nodes ~protocol:spec ~workload ~seed ?chaos ~session
+        ?checkpoint_every_ms:checkpoint_ms ()
+    with
     | Error msg ->
         prerr_endline msg;
         exit 1
     | Ok o ->
         let verdict = verdict_text o.Cluster.verdict in
         Printf.printf
-          "cluster: %d nodes, protocol %s, workload %s, seed %d\n"
-          o.Cluster.n o.Cluster.protocol o.Cluster.workload o.Cluster.seed;
+          "cluster: %d nodes, protocol %s, workload %s, seed %d%s\n"
+          o.Cluster.n o.Cluster.protocol o.Cluster.workload o.Cluster.seed
+          (if o.Cluster.chaos = "" then ""
+           else Printf.sprintf ", chaos [%s]" o.Cluster.chaos);
+        let chaotic = o.Cluster.session in
         let rows =
           Array.to_list o.Cluster.node_results
           |> List.map (fun r ->
                  let m = r.Cluster_node.metrics in
+                 let w = r.Cluster_node.wire in
                  [
                    string_of_int r.Cluster_node.node;
                    string_of_int (List.length r.Cluster_node.ops);
@@ -677,11 +816,29 @@ let cluster_cmd =
                    string_of_int m.Memory.control_bytes;
                    string_of_int m.Memory.payload_bytes;
                    string_of_int r.Cluster_node.wall_ms;
-                 ])
+                 ]
+                 @ (if not chaotic then []
+                    else
+                      [
+                        string_of_int r.Cluster_node.incarnation;
+                        string_of_int w.Repro_msgpass.Net.dropped;
+                        string_of_int w.Repro_msgpass.Net.retransmits;
+                        string_of_int w.Repro_msgpass.Net.overhead_bytes;
+                      ]))
         in
         Table.print
-          ~header:[ "node"; "ops"; "sent"; "ctl bytes"; "pay bytes"; "ms" ]
+          ~header:
+            ([ "node"; "ops"; "sent"; "ctl bytes"; "pay bytes"; "ms" ]
+            @ if not chaotic then [] else [ "inc"; "drop"; "retr"; "ovh bytes" ])
           ~rows ();
+        if chaotic then
+          Printf.printf
+            "chaos: %d dropped, %d retransmits, %d dup suppressed, %d \
+             reconnects, %d restarts; overhead %d bytes (apart from the \
+             paper's control bytes)\n"
+            o.Cluster.dropped_frames o.Cluster.retransmits
+            o.Cluster.dups_suppressed o.Cluster.reconnects o.Cluster.restarts
+            o.Cluster.overhead_bytes;
         Printf.printf "%s under %s: %s%s\n"
           (Checker.criterion_name o.Cluster.criterion)
           o.Cluster.protocol verdict
@@ -701,7 +858,7 @@ let cluster_cmd =
           if not parity then []
           else
             match
-              Cluster.sim_baseline ~n:nodes ~protocol:spec ~workload ~seed
+              Cluster.sim_baseline ~n:nodes ~protocol:spec ~workload ~seed ()
             with
             | Error msg -> [ Printf.sprintf "baseline failed: %s" msg ]
             | Ok b ->
@@ -744,6 +901,14 @@ let cluster_cmd =
                    ("messages_sent", Jsonout.Int o.Cluster.messages_sent);
                    ("control_bytes", Jsonout.Int o.Cluster.control_bytes);
                    ("payload_bytes", Jsonout.Int o.Cluster.payload_bytes);
+                   ("chaos", Jsonout.String o.Cluster.chaos);
+                   ("session", Jsonout.Bool o.Cluster.session);
+                   ("overhead_bytes", Jsonout.Int o.Cluster.overhead_bytes);
+                   ("retransmits", Jsonout.Int o.Cluster.retransmits);
+                   ("dups_suppressed", Jsonout.Int o.Cluster.dups_suppressed);
+                   ("dropped_frames", Jsonout.Int o.Cluster.dropped_frames);
+                   ("reconnects", Jsonout.Int o.Cluster.reconnects);
+                   ("restarts", Jsonout.Int o.Cluster.restarts);
                    ("wall_ms", Jsonout.Int o.Cluster.wall_ms);
                    ( "parity",
                      if not parity then Jsonout.Null
@@ -778,14 +943,23 @@ let cluster_cmd =
          & info [ "out-history" ] ~docv:"FILE"
              ~doc:"Write the assembled history (readable by $(b,repro check)).")
   in
+  let checkpoint_ms_arg =
+    Arg.(value & opt (some int) None
+         & info [ "checkpoint-ms" ] ~docv:"MS"
+             ~doc:"Node checkpoint period under a crash schedule (default 100 \
+                   ms).")
+  in
   Cmd.v
     (Cmd.info "cluster"
        ~doc:"Fork a live loopback cluster (one OS process per node, real TCP \
-             sockets), run a workload, and check the assembled history. Exit \
-             status: 1 on node crash, 2 on consistency/finals violation, 3 on \
-             sim-parity mismatch.")
+             sockets), run a workload, and check the assembled history. With \
+             $(b,--chaos) the harness supervises: injected crashes (exit 42) \
+             are respawned from checkpoints and lossy links are made reliable \
+             by the session layer. Exit status: 1 on unrecovered node crash, \
+             2 on consistency/finals violation, 3 on sim-parity mismatch.")
     Term.(const run $ nodes_arg $ protocol_arg $ workload_arg $ seed_arg
-          $ parity_arg $ json_arg $ out_history_arg $ engine_arg)
+          $ chaos_arg $ session_arg $ checkpoint_ms_arg $ parity_arg $ json_arg
+          $ out_history_arg $ engine_arg)
 
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in

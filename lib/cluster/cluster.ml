@@ -1,4 +1,10 @@
 module Live = Repro_transport.Live
+module Chaos = Repro_transport.Chaos
+module Session = Repro_transport.Session
+module Transport = Repro_transport.Transport
+module Fault = Repro_msgpass.Fault
+module Latency = Repro_msgpass.Latency
+module Net = Repro_msgpass.Net
 module History = Repro_history.History
 module Checker = Repro_history.Checker
 module Memory = Repro_core.Memory
@@ -19,6 +25,14 @@ type outcome = {
   messages_sent : int;
   control_bytes : int;
   payload_bytes : int;
+  overhead_bytes : int;
+  retransmits : int;
+  dups_suppressed : int;
+  dropped_frames : int;
+  reconnects : int;
+  restarts : int;
+  chaos : string;
+  session : bool;
   wall_ms : int;
 }
 
@@ -27,15 +41,24 @@ type report = Finished of Node.result | Crashed of string
 
 let loopback = Unix.inet_addr_loopback
 
-let child_main ~self ~listen_fds ~peers ~protocol ~spec ~seed ~timeouts wfd =
+let child_main ~self ~listen_fds ~peers ~protocol ~spec ~seed ~timeouts ~chaos
+    ~session ~checkpoint ~checkpoint_every_ms ~incarnation wfd =
   let hello_timeout_ms, run_timeout_ms, quiet_ms = timeouts in
-  Array.iteri (fun i fd -> if i <> self then try Unix.close fd with Unix.Unix_error _ -> ()) listen_fds;
+  Array.iteri
+    (fun i fd ->
+      if i <> self then try Unix.close fd with Unix.Unix_error _ -> ())
+    listen_fds;
   let report =
     try
       Finished
         (Node.run ~self ~listen_fd:listen_fds.(self) ~peers ~protocol
-           ~workload:spec ~seed ?hello_timeout_ms ?run_timeout_ms ?quiet_ms ())
+           ~workload:spec ~seed ?hello_timeout_ms ?run_timeout_ms ?quiet_ms
+           ?chaos ~session ?checkpoint ?checkpoint_every_ms ~incarnation ())
     with
+    | Chaos.Injected_crash _ ->
+        (* die like a real crash: no report, no cleanup — the supervisor
+           recognizes the status and respawns from the checkpoint *)
+        Unix._exit 42
     | Node.Crash msg -> Crashed msg
     | e -> Crashed (Printexc.to_string e)
   in
@@ -46,121 +69,388 @@ let child_main ~self ~listen_fds ~peers ~protocol ~spec ~seed ~timeouts wfd =
    with _ -> ());
   Unix._exit (match report with Finished _ -> 0 | Crashed _ -> 1)
 
-let run ~n ~protocol ~workload ~seed ?hello_timeout_ms ?run_timeout_ms ?quiet_ms
-    () =
-  match Workload_spec.make ~name:workload ~n ~seed with
-  | Error _ as e -> e
-  | Ok spec -> (
-      if protocol.Registry.blocking then
-        Error
-          (Printf.sprintf
-             "protocol %s has blocking operations; only non-blocking protocols \
-              run live"
-             protocol.Registry.name)
-      else
+(* Supervisor bookkeeping for one node slot across respawns. *)
+type slot = {
+  mutable pid : int;
+  mutable rfd : Unix.file_descr;
+  buf : Buffer.t;
+  mutable eof : bool;
+  mutable status : Unix.process_status option;
+  mutable incarnation : int;
+  mutable restarts : int;
+  mutable respawn_at : float option;
+  mutable final : report option;
+}
+
+let run ~n ~protocol ~workload ~seed ?hello_timeout_ms ?run_timeout_ms
+    ?quiet_ms ?chaos ?(session = false) ?checkpoint_every_ms () =
+  let chaos =
+    match chaos with Some p when Fault.Plan.is_none p -> None | c -> c
+  in
+  let session = session || chaos <> None in
+  let plan_error =
+    match chaos with
+    | None -> None
+    | Some p -> (
         try
-          let listen_fds =
-            Array.init n (fun _ -> Live.bind (Unix.ADDR_INET (loopback, 0)))
-          in
-          let peers = Array.map Live.listen_addr listen_fds in
-          let timeouts = (hello_timeout_ms, run_timeout_ms, quiet_ms) in
-          (* children inherit OCaml's output buffers: flush now or crash
-             reports get double-printed *)
-          flush stdout;
-          flush stderr;
-          let children =
-            Array.init n (fun self ->
+          Fault.Plan.validate ~n p;
+          None
+        with Invalid_argument msg -> Some ("chaos plan: " ^ msg))
+  in
+  match plan_error with
+  | Some msg -> Error msg
+  | None -> (
+      match Workload_spec.make ~name:workload ~n ~seed with
+      | Error _ as e -> e
+      | Ok spec -> (
+          if protocol.Registry.blocking then
+            Error
+              (Printf.sprintf
+                 "protocol %s has blocking operations; only non-blocking \
+                  protocols run live"
+                 protocol.Registry.name)
+          else
+            try
+              let listen_fds =
+                Array.init n (fun _ -> Live.bind (Unix.ADDR_INET (loopback, 0)))
+              in
+              let peers = Array.map Live.listen_addr listen_fds in
+              let timeouts = (hello_timeout_ms, run_timeout_ms, quiet_ms) in
+              let has_crashes =
+                match chaos with
+                | Some p -> p.Fault.Plan.crashes <> []
+                | None -> false
+              in
+              let ck_dir =
+                if has_crashes then begin
+                  let dir =
+                    Filename.concat
+                      (Filename.get_temp_dir_name ())
+                      (Printf.sprintf "repro-cluster-ck-%d" (Unix.getpid ()))
+                  in
+                  (try Unix.mkdir dir 0o700
+                   with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+                  Some dir
+                end
+                else None
+              in
+              let ck_path self =
+                Option.map
+                  (fun d ->
+                    Filename.concat d (Printf.sprintf "node-%d.ck" self))
+                  ck_dir
+              in
+              let spawn self incarnation =
+                (* children inherit OCaml's output buffers: flush now or
+                   crash reports get double-printed *)
+                flush stdout;
+                flush stderr;
                 let rfd, wfd = Unix.pipe () in
                 match Unix.fork () with
                 | 0 ->
                     Unix.close rfd;
                     child_main ~self ~listen_fds ~peers ~protocol ~spec ~seed
-                      ~timeouts wfd
+                      ~timeouts ~chaos ~session ~checkpoint:(ck_path self)
+                      ~checkpoint_every_ms ~incarnation wfd
                 | pid ->
                     Unix.close wfd;
-                    (pid, rfd))
-          in
-          Array.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) listen_fds;
-          let reports =
-            Array.map
-              (fun (_, rfd) ->
-                let ic = Unix.in_channel_of_descr rfd in
-                let report =
-                  try (Marshal.from_channel ic : report)
-                  with End_of_file | Failure _ ->
-                    Crashed "exited without reporting"
+                    (pid, rfd)
+              in
+              let slots =
+                Array.init n (fun self ->
+                    let pid, rfd = spawn self 0 in
+                    {
+                      pid;
+                      rfd;
+                      buf = Buffer.create 4096;
+                      eof = false;
+                      status = None;
+                      incarnation = 0;
+                      restarts = 0;
+                      respawn_at = None;
+                      final = None;
+                    })
+              in
+              (* Under chaos the parent keeps the listeners open: a peer
+                 redialing a crashed node must land in the backlog instead
+                 of getting ECONNREFUSED forever, and the respawned child
+                 re-inherits the very same socket. *)
+              let keep_listeners = chaos <> None in
+              if not keep_listeners then
+                Array.iter
+                  (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+                  listen_fds;
+              let restart_delay self =
+                match chaos with
+                | None -> None
+                | Some p -> (
+                    match Fault.Plan.crash_for p self with
+                    | Some c -> c.Fault.Plan.restart_after
+                    | None -> None)
+              in
+              let deadline =
+                Unix.gettimeofday ()
+                +. (float (Option.value run_timeout_ms ~default:60_000)
+                    /. 1000.)
+                +. 30.
+              in
+              let all_final () =
+                Array.for_all (fun s -> s.final <> None) slots
+              in
+              let chunk = Bytes.create 65536 in
+              while (not (all_final ())) && Unix.gettimeofday () < deadline do
+                (* 1. respawns that have come due *)
+                let now = Unix.gettimeofday () in
+                Array.iteri
+                  (fun self s ->
+                    match s.respawn_at with
+                    | Some t when now >= t ->
+                        s.respawn_at <- None;
+                        s.incarnation <- s.incarnation + 1;
+                        s.restarts <- s.restarts + 1;
+                        let pid, rfd = spawn self s.incarnation in
+                        s.pid <- pid;
+                        s.rfd <- rfd;
+                        Buffer.clear s.buf;
+                        s.eof <- false;
+                        s.status <- None
+                    | _ -> ())
+                  slots;
+                (* 2. drain report pipes without ever blocking on one child
+                   (a >pipe-buffer report would deadlock a blocking read
+                   ordering) *)
+                let live_slots =
+                  Array.to_list slots
+                  |> List.filter (fun s ->
+                         s.final = None && s.respawn_at = None && not s.eof)
                 in
-                close_in_noerr ic;
-                report)
-              children
-          in
-          Array.iter
-            (fun (pid, _) ->
-              try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
-            children;
-          let crashes =
-            Array.to_list reports
-            |> List.mapi (fun i r ->
-                   match r with
-                   | Crashed msg -> Some (Printf.sprintf "node %d: %s" i msg)
-                   | Finished _ -> None)
-            |> List.filter_map Fun.id
-          in
-          if crashes <> [] then Error (String.concat "\n" crashes)
-          else
-            let node_results =
-              Array.map
-                (function Finished r -> r | Crashed _ -> assert false)
-                reports
-            in
-            let history =
-              History.of_lists
-                (Array.to_list node_results
-                |> List.map (fun r ->
-                       List.map
-                         (fun (kind, var, value, _, _) -> (kind, var, value))
-                         r.Node.ops))
-            in
-            let finals =
-              spec.Workload_spec.check_finals
-                (Array.map (fun r -> r.Node.finals) node_results)
-            in
-            let sum f =
-              Array.fold_left (fun acc r -> acc + f r.Node.metrics) 0 node_results
-            in
-            Ok
-              {
-                protocol = protocol.Registry.name;
-                workload = spec.Workload_spec.name;
-                n;
-                seed;
-                history;
-                criterion = protocol.Registry.guarantees;
-                verdict = Checker.check protocol.Registry.guarantees history;
-                history_checked = spec.Workload_spec.differentiated;
-                finals;
-                node_results;
-                messages_sent = sum (fun m -> m.Memory.messages_sent);
-                control_bytes = sum (fun m -> m.Memory.control_bytes);
-                payload_bytes = sum (fun m -> m.Memory.payload_bytes);
-                wall_ms =
+                let timeout =
+                  let next =
+                    Array.fold_left
+                      (fun acc s ->
+                        match s.respawn_at with
+                        | Some t -> Float.min acc t
+                        | None -> acc)
+                      infinity slots
+                  in
+                  if next = infinity then 0.2
+                  else Float.max 0.01 (Float.min 0.2 (next -. now))
+                in
+                let ready =
+                  match live_slots with
+                  | [] ->
+                      Unix.sleepf timeout;
+                      []
+                  | _ -> (
+                      let fds = List.map (fun s -> s.rfd) live_slots in
+                      match Unix.select fds [] [] timeout with
+                      | ready, _, _ -> ready
+                      | exception Unix.Unix_error (Unix.EINTR, _, _) -> [])
+                in
+                List.iter
+                  (fun fd ->
+                    match
+                      List.find_opt (fun s -> s.rfd = fd) live_slots
+                    with
+                    | None -> ()
+                    | Some s -> (
+                        match Unix.read fd chunk 0 (Bytes.length chunk) with
+                        | 0 ->
+                            s.eof <- true;
+                            (try Unix.close fd with Unix.Unix_error _ -> ())
+                        | k -> Buffer.add_subbytes s.buf chunk 0 k
+                        | exception Unix.Unix_error _ ->
+                            s.eof <- true;
+                            (try Unix.close fd with Unix.Unix_error _ -> ())))
+                  ready;
+                (* 3. reap exits *)
+                Array.iter
+                  (fun s ->
+                    if s.final = None && s.respawn_at = None && s.status = None
+                    then
+                      match Unix.waitpid [ Unix.WNOHANG ] s.pid with
+                      | 0, _ -> ()
+                      | _, st -> s.status <- Some st
+                      | exception Unix.Unix_error (Unix.ECHILD, _, _) ->
+                          s.status <- Some (Unix.WEXITED 255))
+                  slots;
+                (* 4. finalize slots whose pipe closed and process exited *)
+                Array.iteri
+                  (fun self s ->
+                    if
+                      s.final = None && s.respawn_at = None && s.eof
+                      && s.status <> None
+                    then
+                      match s.status with
+                      | Some (Unix.WEXITED 42) -> (
+                          match restart_delay self with
+                          | Some d when s.incarnation = 0 ->
+                              s.respawn_at <-
+                                Some
+                                  (Unix.gettimeofday () +. (float d /. 1000.))
+                          | _ ->
+                              s.final <-
+                                Some
+                                  (Crashed
+                                     "injected crash (no restart scheduled)"))
+                      | Some st ->
+                          let report =
+                            try
+                              (Marshal.from_string (Buffer.contents s.buf) 0
+                                : report)
+                            with _ ->
+                              Crashed
+                                (Printf.sprintf "exited without reporting (%s)"
+                                   (match st with
+                                   | Unix.WEXITED c ->
+                                       Printf.sprintf "exit %d" c
+                                   | Unix.WSIGNALED sg ->
+                                       Printf.sprintf "signal %d" sg
+                                   | Unix.WSTOPPED sg ->
+                                       Printf.sprintf "stopped %d" sg))
+                          in
+                          s.final <- Some report
+                      | None -> ())
+                  slots
+              done;
+              (* deadline expiry: put the remaining children down *)
+              Array.iter
+                (fun s ->
+                  if s.final = None then begin
+                    (try Unix.kill s.pid Sys.sigkill
+                     with Unix.Unix_error _ -> ());
+                    (try ignore (Unix.waitpid [] s.pid)
+                     with Unix.Unix_error _ -> ());
+                    (try Unix.close s.rfd with Unix.Unix_error _ -> ());
+                    s.final <- Some (Crashed "supervisor timeout")
+                  end)
+                slots;
+              if keep_listeners then
+                Array.iter
+                  (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+                  listen_fds;
+              Option.iter
+                (fun d ->
+                  Array.iteri
+                    (fun self _ ->
+                      let p = Filename.concat d (Printf.sprintf "node-%d.ck" self) in
+                      List.iter
+                        (fun f -> try Sys.remove f with Sys_error _ -> ())
+                        [ p; p ^ ".tmp" ])
+                    slots;
+                  try Unix.rmdir d with Unix.Unix_error _ -> ())
+                ck_dir;
+              let reports =
+                Array.map (fun s -> Option.get s.final) slots
+              in
+              let crashes =
+                Array.to_list reports
+                |> List.mapi (fun i r ->
+                       match r with
+                       | Crashed msg -> Some (Printf.sprintf "node %d: %s" i msg)
+                       | Finished _ -> None)
+                |> List.filter_map Fun.id
+              in
+              if crashes <> [] then Error (String.concat "\n" crashes)
+              else
+                let node_results =
+                  Array.map
+                    (function Finished r -> r | Crashed _ -> assert false)
+                    reports
+                in
+                let history =
+                  History.of_lists
+                    (Array.to_list node_results
+                    |> List.map (fun r ->
+                           List.map
+                             (fun (kind, var, value, _, _) ->
+                               (kind, var, value))
+                             r.Node.ops))
+                in
+                let finals =
+                  spec.Workload_spec.check_finals
+                    (Array.map (fun r -> r.Node.finals) node_results)
+                in
+                let sum f =
                   Array.fold_left
-                    (fun acc r -> Stdlib.max acc r.Node.wall_ms)
-                    0 node_results;
-              }
-        with Unix.Unix_error (err, fn, _) ->
-          Error (Printf.sprintf "harness: %s failed: %s" fn (Unix.error_message err)))
+                    (fun acc r -> acc + f r.Node.metrics)
+                    0 node_results
+                in
+                let wsum f =
+                  Array.fold_left
+                    (fun acc r -> acc + f r.Node.wire)
+                    0 node_results
+                in
+                Ok
+                  {
+                    protocol = protocol.Registry.name;
+                    workload = spec.Workload_spec.name;
+                    n;
+                    seed;
+                    history;
+                    criterion = protocol.Registry.guarantees;
+                    verdict = Checker.check protocol.Registry.guarantees history;
+                    history_checked = spec.Workload_spec.differentiated;
+                    finals;
+                    node_results;
+                    messages_sent = sum (fun m -> m.Memory.messages_sent);
+                    control_bytes = sum (fun m -> m.Memory.control_bytes);
+                    payload_bytes = sum (fun m -> m.Memory.payload_bytes);
+                    overhead_bytes = wsum (fun w -> w.Net.overhead_bytes);
+                    retransmits = wsum (fun w -> w.Net.retransmits);
+                    dups_suppressed = wsum (fun w -> w.Net.dups_suppressed);
+                    dropped_frames = wsum (fun w -> w.Net.dropped);
+                    reconnects = wsum (fun w -> w.Net.reconnects);
+                    restarts =
+                      Array.fold_left (fun acc s -> acc + s.restarts) 0 slots;
+                    chaos =
+                      (match chaos with
+                      | None -> ""
+                      | Some p -> Fault.Plan.to_string p);
+                    session;
+                    wall_ms =
+                      Array.fold_left
+                        (fun acc r -> Stdlib.max acc r.Node.wall_ms)
+                        0 node_results;
+                  }
+            with Unix.Unix_error (err, fn, _) ->
+              Error
+                (Printf.sprintf "harness: %s failed: %s" fn
+                   (Unix.error_message err))))
 
 type baseline = { history : History.t; metrics : Memory.metrics }
 
-let sim_baseline ~n ~protocol ~workload ~seed =
+let sim_baseline ?chaos ?(session = false) ~n ~protocol ~workload ~seed () =
   match Workload_spec.make ~name:workload ~n ~seed with
   | Error _ as e -> e
   | Ok spec ->
+      let chaos =
+        match chaos with Some p when Fault.Plan.is_none p -> None | c -> c
+      in
+      let session = session || chaos <> None in
       let memory =
-        protocol.Registry.make ~dist:spec.Workload_spec.dist ~seed ()
+        if (not session) && chaos = None then
+          protocol.Registry.make ~dist:spec.Workload_spec.dist ~seed ()
+        else begin
+          (* same stack order as a live node: backend → chaos → session →
+             protocol, so the same plan reproduces deterministically *)
+          let factory = Transport.sim ~latency:Latency.lan ~seed () in
+          let factory =
+            match chaos with
+            | None -> factory
+            | Some plan -> fst (Chaos.wrap ~plan factory)
+          in
+          let factory =
+            if session then
+              fst
+                (Session.wrap
+                   ~config:{ Session.default with seed = seed + 1 }
+                   factory)
+            else factory
+          in
+          protocol.Registry.make ~transport:factory
+            ~dist:spec.Workload_spec.dist ~seed ()
+        end
       in
-      let history =
-        Runner.run memory ~programs:spec.Workload_spec.programs
-      in
+      let history = Runner.run memory ~programs:spec.Workload_spec.programs in
       Ok { history; metrics = memory.Memory.metrics () }

@@ -5,7 +5,17 @@
     The parent pre-binds every node's listener on 127.0.0.1 (kernel-chosen
     ports) {e before} forking, so no child can race another for an
     address; children inherit their listen socket, run {!Node.run}, and
-    marshal their results back over a pipe.
+    marshal their results back over a pipe.  The parent drains all report
+    pipes with [select] — never a blocking read per child — so a report
+    larger than a pipe buffer cannot deadlock the collection order.
+
+    With a chaos plan the harness becomes a supervisor: it validates the
+    plan, keeps every listener open (a peer redialing a crashed node lands
+    in the backlog; the respawned child re-inherits the same socket), maps
+    exit code 42 ({!Repro_transport.Chaos.Injected_crash}) to a scheduled
+    respawn from the node's last checkpoint with [incarnation + 1], and
+    accounts the recovery traffic separately from the paper's
+    control/payload bytes.
 
     Forking must precede any OCaml 5 domain creation, so this module
     checks histories with the sequential {!Repro_history.Checker.check} —
@@ -17,7 +27,9 @@ type outcome = {
   n : int;
   seed : int;
   history : Repro_history.History.t;
-      (** All nodes' recorded operations, node [p] as process [p]. *)
+      (** All nodes' recorded operations, node [p] as process [p].  A
+          restarted node contributes each operation exactly once: the
+          checkpointed prefix plus its post-replay continuation. *)
   criterion : Repro_history.Checker.criterion;
       (** The protocol's advertised guarantee, what [verdict] judges. *)
   verdict : Repro_history.Checker.verdict;
@@ -32,6 +44,16 @@ type outcome = {
   messages_sent : int;  (** Summed over nodes; each node counts its own. *)
   control_bytes : int;
   payload_bytes : int;
+  overhead_bytes : int;
+      (** Reliability traffic (segment headers, retransmitted copies,
+          acks), summed — kept apart from the paper's control bytes. *)
+  retransmits : int;
+  dups_suppressed : int;
+  dropped_frames : int;  (** Injected drops plus broken-link losses. *)
+  reconnects : int;  (** Live-link redials that succeeded. *)
+  restarts : int;  (** Nodes respawned after an injected crash. *)
+  chaos : string;  (** Canonical plan text; [""] when fault-free. *)
+  session : bool;
   wall_ms : int;  (** Slowest node, hello to close. *)
 }
 
@@ -43,12 +65,18 @@ val run :
   ?hello_timeout_ms:int ->
   ?run_timeout_ms:int ->
   ?quiet_ms:int ->
+  ?chaos:Repro_msgpass.Fault.Plan.t ->
+  ?session:bool ->
+  ?checkpoint_every_ms:int ->
   unit ->
   (outcome, string) result
 (** [Error] reports node crashes (with each crashed node's message) and
-    configuration mistakes (unknown workload, blocking protocol); a
-    consistency violation is {e not} an [Error] — it comes back as the
-    [verdict] for the caller to judge. *)
+    configuration mistakes (unknown workload, blocking protocol, invalid
+    chaos plan); a consistency violation is {e not} an [Error] — it comes
+    back as the [verdict] for the caller to judge.  [session] is forced on
+    whenever a chaos plan is given (lossy links need the reliable session
+    layer); an injected crash whose plan schedules no restart is an
+    [Error]. *)
 
 type baseline = {
   history : Repro_history.History.t;
@@ -56,13 +84,21 @@ type baseline = {
 }
 
 val sim_baseline :
+  ?chaos:Repro_msgpass.Fault.Plan.t ->
+  ?session:bool ->
   n:int ->
   protocol:Repro_core.Registry.spec ->
   workload:string ->
   seed:int ->
+  unit ->
   (baseline, string) result
 (** The same [(protocol, workload, n, seed)] run whole-instance on the
     deterministic simulator.  Workload scripts are drawn eagerly from the
     seed, and the efficient protocols' per-write fan-out is
     timing-independent, so live message and declared-byte totals must
-    equal this baseline's exactly (the parity satellite). *)
+    equal this baseline's exactly (the parity satellite) — including under
+    a chaos plan, since the session layer's protocol-level stats count
+    first transmissions only.  With [chaos]/[session] the stack order
+    matches a live node (backend → chaos → session → protocol), making a
+    plan's simulator run bit-reproducible: same plan, same seed, same
+    history and stats every time. *)

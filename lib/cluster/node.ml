@@ -1,14 +1,21 @@
 module Live = Repro_transport.Live
+module Chaos = Repro_transport.Chaos
+module Session = Repro_transport.Session
+module Fault = Repro_msgpass.Fault
+module Net = Repro_msgpass.Net
 module Fiber = Repro_msgpass.Fiber
 module Memory = Repro_core.Memory
 module Registry = Repro_core.Registry
 module Runner = Repro_core.Runner
+module Op = Repro_history.Op
 
 type result = {
   node : int;
+  incarnation : int;
   ops : Runner.entry list;
   finals : (int * Repro_history.Op.value) list;
   metrics : Memory.metrics;
+  wire : Net.stats;
   wall_ms : int;
 }
 
@@ -16,17 +23,63 @@ exception Crash of string
 
 let crashf fmt = Printf.ksprintf (fun s -> raise (Crash s)) fmt
 
+(* On-disk checkpoint: protocol state, session state, and the operation log
+   up to the checkpoint.  The log is what makes recovery exact — a respawned
+   node replays its program against the logged read values until it reaches
+   the cursor, so its control flow arrives at the crash point with the same
+   local state it had, and only then starts touching the restored memory. *)
+type checkpoint = {
+  ck_node : int;
+  ck_incarnation : int;
+  ck_ops : Runner.entry list; (* program order *)
+  ck_finished : bool;
+  ck_proto : string;
+  ck_session : string option;
+}
+
+let save_checkpoint path (ck : checkpoint) =
+  (* tmp + rename: a crash mid-write must never corrupt the restore point *)
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  Marshal.to_channel oc ck [];
+  close_out oc;
+  Sys.rename tmp path
+
+let load_checkpoint path : checkpoint =
+  let ic = open_in_bin path in
+  let ck : checkpoint = Marshal.from_channel ic in
+  close_in ic;
+  ck
+
+let kind_text = function Op.Read -> "read" | Op.Write -> "write"
+
 let run ~self ~listen_fd ~peers ~protocol ~workload ~seed
-    ?(hello_timeout_ms = 10_000) ?(run_timeout_ms = 60_000) ?(quiet_ms = 150) ()
-    =
+    ?(hello_timeout_ms = 10_000) ?(run_timeout_ms = 60_000) ?(quiet_ms = 150)
+    ?chaos ?(session = false) ?checkpoint ?(checkpoint_every_ms = 100)
+    ?(incarnation = 0) () =
   if protocol.Registry.blocking then
     crashf "protocol %s has blocking operations; only non-blocking protocols run live"
       protocol.Registry.name;
   let n = workload.Workload_spec.n in
-  let fingerprint =
-    Workload_spec.fingerprint workload ~protocol:protocol.Registry.name ~seed
+  let chaos =
+    match chaos with Some p when Fault.Plan.is_none p -> None | c -> c
   in
-  let lt = Live.create { Live.self; n; peers; fingerprint } ~listen_fd in
+  let session = session || chaos <> None in
+  (* lossy links hide in silence up to a full retransmission backoff; the
+     quiet window must outlast one or nodes exit mid-recovery *)
+  let quiet_ms = if chaos <> None then max quiet_ms 600 else quiet_ms in
+  let plan_text =
+    match chaos with None -> "" | Some p -> Fault.Plan.to_string p
+  in
+  let fingerprint =
+    Workload_spec.fingerprint ~chaos:plan_text ~session workload
+      ~protocol:protocol.Registry.name ~seed
+  in
+  let lt =
+    Live.create
+      { Live.self; n; peers; fingerprint; resilient = chaos <> None; incarnation }
+      ~listen_fd
+  in
   let fail fmt =
     Printf.ksprintf
       (fun s ->
@@ -35,25 +88,131 @@ let run ~self ~listen_fd ~peers ~protocol ~workload ~seed
       fmt
   in
   try
+    let factory = Live.factory lt in
+    let factory, chaos_ctl =
+      match chaos with
+      | None -> (factory, None)
+      | Some plan ->
+          let f, c = Chaos.wrap ~incarnation ~plan factory in
+          (f, Some c)
+    in
+    let factory, sess =
+      if session then begin
+        let cfg =
+          {
+            Session.default with
+            seed = seed + 1 + self;
+            stable_acks = checkpoint <> None;
+          }
+        in
+        let f, c = Session.wrap ~config:cfg factory in
+        (f, Some c)
+      end
+      else (factory, None)
+    in
     let memory =
-      protocol.Registry.make ~transport:(Live.factory lt)
+      protocol.Registry.make ~transport:factory
         ~dist:workload.Workload_spec.dist ~seed ()
     in
-    Live.wait_peers lt ~timeout_ms:hello_timeout_ms;
+    if checkpoint <> None && memory.Memory.snapshot = None then
+      fail "protocol %s has no snapshot/restore support; cannot checkpoint"
+        protocol.Registry.name;
     let ops = ref [] in
     let finished = ref false in
-    let api =
+    let replayed =
+      match checkpoint with
+      | Some path when incarnation > 0 && Sys.file_exists path ->
+          let ck = load_checkpoint path in
+          if ck.ck_node <> self then
+            fail "checkpoint %s belongs to node %d, not %d" path ck.ck_node self;
+          (match memory.Memory.restore with
+          | Some restore -> restore ck.ck_proto
+          | None -> fail "protocol %s cannot restore" protocol.Registry.name);
+          (match (sess, ck.ck_session) with
+          | Some c, Some blob -> c.Session.restore blob
+          | _ -> ());
+          ops := List.rev ck.ck_ops;
+          finished := ck.ck_finished;
+          Array.of_list ck.ck_ops
+      | _ -> [||]
+    in
+    let write_ck =
+      match (checkpoint, memory.Memory.snapshot) with
+      | Some path, Some snap ->
+          Some
+            (fun () ->
+              save_checkpoint path
+                {
+                  ck_node = self;
+                  ck_incarnation = incarnation;
+                  ck_ops = List.rev !ops;
+                  ck_finished = !finished;
+                  ck_proto = snap ();
+                  ck_session = Option.map (fun c -> c.Session.snapshot ()) sess;
+                };
+              (* only now may acks cover what we received: anything newer
+                 would be lost by a crash, so senders must keep it *)
+              Option.iter (fun c -> c.Session.mark_stable ()) sess)
+      | _ -> None
+    in
+    (* initial checkpoint before any traffic, so a crash early in the run
+       still finds a restore point; then a periodic timer that keeps firing
+       through the drain phase (the ack floor must keep catching up) *)
+    Option.iter (fun f -> f ()) write_ck;
+    (match write_ck with
+    | Some f ->
+        let rec tick () =
+          memory.Memory.schedule ~delay:checkpoint_every_ms (fun () ->
+              f ();
+              tick ())
+        in
+        tick ()
+    | None -> ());
+    Live.wait_peers lt ~timeout_ms:hello_timeout_ms;
+    let raw =
       Runner.instrument memory ~proc:self ~record:(fun e -> ops := e :: !ops)
     in
-    Fiber.spawn
-      ~schedule:(fun ~delay f -> memory.Memory.schedule ~delay f)
-      ~on_done:(fun () -> finished := true)
-      (fun () -> workload.Workload_spec.programs.(self) api);
+    let n_replay = Array.length replayed in
+    let cursor = ref 0 in
+    let api =
+      if n_replay = 0 then raw
+      else begin
+        (* message-logging replay: reads return logged values, writes are
+           suppressed (their effects are in the restored protocol state);
+           entries are already in [ops] from the checkpoint *)
+        let logged kind var =
+          let k, v, value, _, _ = replayed.(!cursor) in
+          if k <> kind || v <> var then
+            crashf "node %d: replay divergence at op %d: log has %s x%d, program did %s x%d"
+              self !cursor (kind_text k) v (kind_text kind) var;
+          incr cursor;
+          value
+        in
+        {
+          raw with
+          Runner.read =
+            (fun var ->
+              if !cursor < n_replay then logged Op.Read var
+              else raw.Runner.read var);
+          write =
+            (fun var value ->
+              if !cursor < n_replay then ignore (logged Op.Write var)
+              else raw.Runner.write var value);
+        }
+      end
+    in
+    if not !finished then
+      Fiber.spawn
+        ~schedule:(fun ~delay f -> memory.Memory.schedule ~delay f)
+        ~on_done:(fun () -> finished := true)
+        (fun () -> workload.Workload_spec.programs.(self) api);
     while not !finished do
       if Live.now_ms lt > run_timeout_ms then
         fail "node %d: program still running after %d ms" self run_timeout_ms;
       ignore (Live.step lt ~block:true)
     done;
+    (* make the finished flag durable before announcing it *)
+    Option.iter (fun f -> f ()) write_ck;
     Live.finish_program lt;
     while not (Live.all_done lt) do
       if Live.now_ms lt > run_timeout_ms then
@@ -61,7 +220,7 @@ let run ~self ~listen_fd ~peers ~protocol ~workload ~seed
       ignore (Live.step lt ~block:true)
     done;
     (* peers may still be producing handler-to-handler traffic (acks,
-       gossip hops); serve until the cluster goes quiet *)
+       gossip hops, retransmissions); serve until the cluster goes quiet *)
     Live.drain lt ~quiet_ms ~max_ms:run_timeout_ms;
     let finals =
       List.map
@@ -69,11 +228,39 @@ let run ~self ~listen_fd ~peers ~protocol ~workload ~seed
         (workload.Workload_spec.final_vars self)
     in
     let metrics = memory.Memory.metrics () in
+    let wire =
+      let l = Live.stats lt in
+      let l =
+        match chaos_ctl with
+        | None -> l
+        | Some c ->
+            let cs = c.Chaos.stats () in
+            {
+              l with
+              Net.dropped = l.Net.dropped + cs.Chaos.drops;
+              duplicated = l.Net.duplicated + cs.Chaos.duplicates;
+            }
+      in
+      match sess with
+      | None -> l
+      | Some c ->
+          let ss = c.Session.stats () in
+          {
+            l with
+            Net.retransmits = ss.Session.retransmits;
+            dups_suppressed = ss.Session.dups_suppressed;
+            overhead_bytes = ss.Session.overhead_bytes;
+          }
+    in
     let wall_ms = Live.now_ms lt in
     Live.close lt;
-    { node = self; ops = List.rev !ops; finals; metrics; wall_ms }
+    { node = self; incarnation; ops = List.rev !ops; finals; metrics; wire; wall_ms }
   with
   | Crash _ as e -> raise e
+  | Chaos.Injected_crash _ as e ->
+      (* die abruptly, sockets and all — process exit closes the fds and
+         peers observe a real connection reset *)
+      raise e
   | Failure msg ->
       Live.close lt;
       raise (Crash msg)

@@ -5,23 +5,38 @@
     only on its own state slice plus incoming messages — so a process
     builds the full instance over a [Node self] transport, runs its
     workload slice as a fiber, and the other nodes' arrays simply stay
-    at their initial values. *)
+    at their initial values.
+
+    The transport stack grows inward from the wire:
+    [Live] backend → {!Repro_transport.Chaos} (when a plan is given) →
+    {!Repro_transport.Session} (when [session], forced on under chaos) →
+    protocol.  Chaos is injected {e below} the session layer, so injected
+    drops and duplicates exercise the retransmission machinery exactly as
+    wire faults would. *)
 
 type result = {
   node : int;
+  incarnation : int;  (** 0 first launch; [k] after the [k]-th respawn. *)
   ops : Repro_core.Runner.entry list;  (** program order *)
   finals : (int * Repro_history.Op.value) list;
       (** The workload's [final_vars], read after the drain. *)
   metrics : Repro_core.Memory.metrics;
       (** This node's share of the accounting: its sends, its deliveries,
-          its declared control/payload bytes. *)
+          its declared control/payload bytes.  Under a session layer these
+          are protocol-level numbers (first transmissions only);
+          reliability traffic is in [metrics.overhead_bytes] and the
+          [wire] counters. *)
+  wire : Repro_msgpass.Net.stats;
+      (** Wire-level view: injected drops/duplicates folded in, session
+          retransmits / suppressed duplicates, live-link reconnects. *)
   wall_ms : int;
 }
 
 exception Crash of string
 (** Raised on timeout (peers missing, program stuck), protocol rejection
     (blocking protocols need a node for every fiber they suspend on),
-    fingerprint mismatch, or a corrupt stream. *)
+    fingerprint mismatch, a corrupt stream, or replay divergence during
+    crash recovery. *)
 
 val run :
   self:int ->
@@ -33,8 +48,28 @@ val run :
   ?hello_timeout_ms:int ->
   ?run_timeout_ms:int ->
   ?quiet_ms:int ->
+  ?chaos:Repro_msgpass.Fault.Plan.t ->
+  ?session:bool ->
+  ?checkpoint:string ->
+  ?checkpoint_every_ms:int ->
+  ?incarnation:int ->
   unit ->
   result
-(** Defaults: 10 s hello timeout, 60 s run timeout, 150 ms quiet window.
-    The [seed] only stamps the fingerprint here — workload scripts were
-    already drawn when [workload] was built. *)
+(** Defaults: 10 s hello timeout, 60 s run timeout, 150 ms quiet window
+    (raised to ≥600 ms under chaos — the quiet window must outlast a full
+    retransmission backoff).  The [seed] stamps the fingerprint and seeds
+    the session layer's jitter; workload scripts were already drawn when
+    [workload] was built.
+
+    [checkpoint] is a file path: the node writes a checkpoint there before
+    opening traffic, every [checkpoint_every_ms] (default 100) after, and
+    when its program finishes — each write followed by
+    [Session.mark_stable], so peers' acks never cover state a crash would
+    roll back.  With [incarnation > 0] the node restores from that file
+    and replays its operation log (reads return logged values, writes are
+    suppressed) until it reaches the crash point, then continues live.
+    Requires a protocol with snapshot/restore support.
+
+    A scheduled crash from the chaos plan escapes as
+    {!Repro_transport.Chaos.Injected_crash}; the caller decides whether to
+    respawn (the cluster harness maps it to exit code 42). *)

@@ -82,6 +82,12 @@ let make ~name ~n ~seed =
           (Printf.sprintf "unknown workload %S (known: %s)" other
              (String.concat ", " names))
 
-let fingerprint t ~protocol ~seed =
-  Printf.sprintf "repro-cluster/1 proto=%s workload=%s n=%d seed=%d" protocol
-    t.name t.n seed
+let fingerprint ?(chaos = "") ?(session = false) t ~protocol ~seed =
+  (* chaos plan and session layer change the wire format / traffic shape,
+     so mismatched nodes must refuse each other at the Hello barrier *)
+  let extras =
+    (if chaos = "" then "" else " chaos=" ^ chaos)
+    ^ if session then " session=1" else ""
+  in
+  Printf.sprintf "repro-cluster/1 proto=%s workload=%s n=%d seed=%d%s" protocol
+    t.name t.n seed extras

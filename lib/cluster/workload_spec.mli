@@ -35,6 +35,8 @@ val names : string list
 
 val make : name:string -> n:int -> seed:int -> (t, string) result
 
-val fingerprint : t -> protocol:string -> seed:int -> string
+val fingerprint :
+  ?chaos:string -> ?session:bool -> t -> protocol:string -> seed:int -> string
 (** What [Hello] frames carry: any two nodes that disagree on protocol,
-    workload, cluster size or seed refuse to talk. *)
+    workload, cluster size, seed, chaos plan or session layering refuse to
+    talk.  [chaos] is the plan's canonical text ([""] = fault-free). *)

@@ -8,6 +8,7 @@ type metrics = {
   messages_delivered : int;
   control_bytes : int;
   payload_bytes : int;
+  overhead_bytes : int;
   mentioned_at : Bitset.t array;
   applied_writes : int;
 }
@@ -26,6 +27,8 @@ type t = {
   blocking_reads : bool;
   set_tracing : bool -> unit;
   msc : unit -> string;
+  snapshot : (unit -> string) option;
+  restore : (string -> unit) option;
 }
 
 let check_access t ~proc ~var =

@@ -26,6 +26,10 @@ type metrics = {
       (** Total consistency-metadata bytes shipped (vector clocks, sequence
           numbers, dependency summaries). *)
   payload_bytes : int;  (** Total application-data bytes shipped. *)
+  overhead_bytes : int;
+      (** Reliability-layer bytes (session headers, retransmitted copies,
+          acks) — kept apart from [control_bytes] so the paper's
+          control-information accounting is unchanged by a lossy substrate. *)
   mentioned_at : Repro_util.Bitset.t array;
       (** [mentioned_at.(x)]: processes that received a message mentioning
           variable [x]. *)
@@ -61,6 +65,12 @@ type t = {
   msc : unit -> string;
       (** Message sequence chart of the trace recorded so far (empty
           without tracing), with protocol-specific message labels. *)
+  snapshot : (unit -> string) option;
+      (** Marshalled protocol state (replica stores, sequence cursors, the
+          mention audit), for checkpoint-restart recovery.  [None] when the
+          protocol does not support checkpointing. *)
+  restore : (string -> unit) option;
+      (** Inverse of [snapshot]; must run before any traffic. *)
 }
 
 val check_access : t -> proc:int -> var:int -> unit

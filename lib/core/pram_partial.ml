@@ -49,5 +49,21 @@ let create ?faults ?(latency = Latency.lan) ?service_time ?(sequence_guard = tru
         end)
       (Distribution.holders dist var)
   in
+  (* checkpoint-restart support: the whole protocol state is three plain
+     matrices; restore copies element-wise into the arrays the closures
+     above captured *)
+  let snapshot () = Marshal.to_string (store, sent_seq, next_expected) [] in
+  let restore blob =
+    let (store', sent', expected')
+          : Memory.value array array * int array array * int array array =
+      Marshal.from_string blob 0
+    in
+    let blit dst src =
+      Array.iteri (fun i row -> Array.blit src.(i) 0 row 0 (Array.length row)) dst
+    in
+    blit store store';
+    blit sent_seq sent';
+    blit next_expected expected'
+  in
   Proto_base.finish base ~name:"pram-partial" ~read ~write ~blocking_writes:false
-    ~label ()
+    ~label ~state:(snapshot, restore) ()

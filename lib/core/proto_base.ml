@@ -51,12 +51,13 @@ let metrics t =
     messages_delivered = s.Net.delivered;
     control_bytes = s.Net.total_control_bytes;
     payload_bytes = s.Net.total_payload_bytes;
+    overhead_bytes = s.Net.overhead_bytes;
     mentioned_at = Array.map Bitset.copy t.mentioned;
     applied_writes = t.applied;
   }
 
 let finish t ~name ~read ~write ~blocking_writes ?(blocking_reads = false)
-    ?(label = fun _ -> "msg") ?(on_set_tracing = fun _ -> ()) () =
+    ?(label = fun _ -> "msg") ?(on_set_tracing = fun _ -> ()) ?state () =
   let check proc var =
     if not (Distribution.holds t.dist ~proc ~var) then
       invalid_arg
@@ -88,4 +89,21 @@ let finish t ~name ~read ~write ~blocking_writes ?(blocking_reads = false)
       (fun () ->
         Repro_msgpass.Msc.render ~n_nodes:t.tr.Transport.n_nodes ~label
           (t.tr.Transport.trace ()));
+    (* a checkpoint must carry the base accounting along with the
+       protocol's own state, or a restored node would under-report *)
+    snapshot =
+      Option.map
+        (fun (snap, _) () ->
+          Marshal.to_string (t.applied, t.mentioned, snap ()) [])
+        state;
+    restore =
+      Option.map
+        (fun (_, rest) blob ->
+          let (applied, mentioned, inner) : int * Bitset.t array * string =
+            Marshal.from_string blob 0
+          in
+          t.applied <- applied;
+          Array.iteri (fun i b -> t.mentioned.(i) <- b) mentioned;
+          rest inner)
+        state;
   }

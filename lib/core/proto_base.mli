@@ -78,6 +78,7 @@ val finish :
   ?blocking_reads:bool ->
   ?label:('msg -> string) ->
   ?on_set_tracing:(bool -> unit) ->
+  ?state:(unit -> string) * (string -> unit) ->
   unit ->
   Memory.t
 (** Assemble the {!Memory.t} record: [step]/[quiesce]/[now]/[schedule] are
@@ -85,4 +86,11 @@ val finish :
     {!Memory.check_access}.  [on_set_tracing] runs before each tracing
     toggle reaches the transport — protocols recycling message stamps use
     it to {!Stamp_pool.freeze} their pool, since traced envelopes alias
-    the stamps. *)
+    the stamps.
+
+    [state] is the protocol's own [(snapshot, restore)] pair for
+    checkpoint-restart recovery; when given, the resulting memory's
+    [snapshot]/[restore] wrap it together with the base accounting (the
+    applied-update counter and the mention audit).  Protocol [restore]
+    implementations must copy into the arrays their closures captured,
+    never replace them. *)

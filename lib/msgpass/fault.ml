@@ -6,10 +6,306 @@ let lossy p = { drop = p; duplicate = 0.0; reorder = false }
 
 let chaotic = { drop = 0.05; duplicate = 0.05; reorder = true }
 
+let check_prob ctx name p =
+  if p < 0.0 || p > 1.0 then
+    invalid_arg (Printf.sprintf "%s: %s probability %f out of [0,1]" ctx name p)
+
 let validate t =
-  let check name p =
-    if p < 0.0 || p > 1.0 then
-      invalid_arg (Printf.sprintf "Fault.validate: %s probability %f out of [0,1]" name p)
-  in
-  check "drop" t.drop;
-  check "duplicate" t.duplicate
+  check_prob "Fault.validate" "drop" t.drop;
+  check_prob "Fault.validate" "duplicate" t.duplicate
+
+module Plan = struct
+  type link = { drop : float; duplicate : float; reorder : float }
+
+  type partition = { from_t : int; until_t : int; group : int list }
+
+  type crash = { node : int; after_sends : int; restart_after : int option }
+
+  type plan = {
+    seed : int;
+    default_link : link;
+    links : ((int * int) * link) list;
+    partitions : partition list;
+    crashes : crash list;
+    delay_max : int;
+  }
+
+  type t = plan
+
+  let clean = { drop = 0.0; duplicate = 0.0; reorder = 0.0 }
+
+  let none =
+    {
+      seed = 0;
+      default_link = clean;
+      links = [];
+      partitions = [];
+      crashes = [];
+      delay_max = 8;
+    }
+
+  let is_none t =
+    t.default_link = clean && t.links = [] && t.partitions = []
+    && t.crashes = []
+
+  let link_for t ~src ~dst =
+    match List.assoc_opt (src, dst) t.links with
+    | Some l -> l
+    | None -> t.default_link
+
+  let partitioned t ~now ~src ~dst =
+    List.exists
+      (fun p ->
+        now >= p.from_t && now < p.until_t
+        && List.mem src p.group <> List.mem dst p.group)
+      t.partitions
+
+  let crash_for t node =
+    List.find_opt (fun c -> c.node = node) t.crashes
+
+  (* A private per-link decision stream: decisions for link (src,dst) depend
+     only on the plan seed and the link's own send index, never on traffic
+     elsewhere — the property that makes the same plan reproduce identically
+     on the simulator and on live TCP. *)
+  let link_seed t ~src ~dst =
+    let mix = (t.seed * 0x9E3779B1) lxor (src * 0x85EBCA77) lxor dst in
+    (mix lxor 0x5DEECE66) land max_int
+
+  let validate_link ctx l =
+    check_prob ctx "drop" l.drop;
+    check_prob ctx "duplicate" l.duplicate;
+    check_prob ctx "reorder" l.reorder
+
+  let validate ?n t =
+    let ctx = "Fault.Plan.validate" in
+    let check_node who p =
+      if p < 0 then invalid_arg (Printf.sprintf "%s: negative %s %d" ctx who p);
+      match n with
+      | Some n when p >= n ->
+          invalid_arg
+            (Printf.sprintf "%s: %s %d out of range for %d nodes" ctx who p n)
+      | _ -> ()
+    in
+    validate_link ctx t.default_link;
+    List.iter
+      (fun ((s, d), l) ->
+        check_node "link endpoint" s;
+        check_node "link endpoint" d;
+        validate_link ctx l)
+      t.links;
+    List.iter
+      (fun p ->
+        if p.from_t < 0 || p.until_t < p.from_t then
+          invalid_arg
+            (Printf.sprintf "%s: bad partition window %d..%d" ctx p.from_t
+               p.until_t);
+        if p.group = [] then invalid_arg (ctx ^ ": empty partition group");
+        List.iter (check_node "partition member") p.group)
+      t.partitions;
+    let seen = Hashtbl.create 4 in
+    List.iter
+      (fun c ->
+        check_node "crash node" c.node;
+        if Hashtbl.mem seen c.node then
+          invalid_arg
+            (Printf.sprintf "%s: duplicate crash entry for node %d" ctx c.node);
+        Hashtbl.add seen c.node ();
+        if c.after_sends < 1 then
+          invalid_arg
+            (Printf.sprintf "%s: crash after %d sends (need >= 1)" ctx
+               c.after_sends);
+        (match c.restart_after with
+        | Some d when d < 0 ->
+            invalid_arg (Printf.sprintf "%s: negative restart delay %d" ctx d)
+        | _ -> ()))
+      t.crashes;
+    if t.delay_max < 1 then invalid_arg (ctx ^ ": delay_max must be >= 1")
+
+  (* --- compact string syntax ------------------------------------------------
+
+     Comma-separated clauses, e.g.
+       seed=5,drop=0.05,dup=0.01,crash=1@6+300
+       drop=0.1,link=0>2:drop=0.5:reorder=0.3,part=100..400:0+2
+     Clauses:
+       seed=K              fault-decision seed (default 0)
+       drop=P dup=P        default per-link drop / duplicate probability
+       reorder=P           default per-link reorder probability
+       delay=D             max extra delay for reordered/duplicated copies
+       link=S>D:f=v:...    per-link override (fields drop/dup/reorder)
+       part=T1..T2:A+B+..  nodes A,B,.. isolated from the rest in [T1,T2)
+       crash=N@K+R         node N crashes after its K-th send, restarts R
+                           ticks later; omit +R for no restart *)
+
+  let parse_float ctx s =
+    match float_of_string_opt s with
+    | Some f -> f
+    | None -> failwith (Printf.sprintf "%s: bad number %S" ctx s)
+
+  let parse_int ctx s =
+    match int_of_string_opt s with
+    | Some i -> i
+    | None -> failwith (Printf.sprintf "%s: bad integer %S" ctx s)
+
+  let parse_link_fields ctx init fields =
+    List.fold_left
+      (fun l field ->
+        match String.index_opt field '=' with
+        | None -> failwith (Printf.sprintf "%s: bad link field %S" ctx field)
+        | Some i ->
+            let k = String.sub field 0 i in
+            let v =
+              parse_float ctx
+                (String.sub field (i + 1) (String.length field - i - 1))
+            in
+            (match k with
+            | "drop" -> { l with drop = v }
+            | "dup" -> { l with duplicate = v }
+            | "reorder" -> { l with reorder = v }
+            | _ -> failwith (Printf.sprintf "%s: unknown link field %S" ctx k)))
+      init fields
+
+  let split_on char s = String.split_on_char char s
+
+  (* "T1..T2" -> Some (T1, T2) *)
+  let split_window ctx w =
+    match String.index_opt w '.' with
+    | Some i
+      when i + 1 < String.length w && w.[i + 1] = '.' ->
+        let t1 = parse_int ctx (String.sub w 0 i) in
+        let t2 =
+          parse_int ctx (String.sub w (i + 2) (String.length w - i - 2))
+        in
+        Some (t1, t2)
+    | _ -> None
+
+  let parse s =
+    let ctx = "Fault.Plan.parse" in
+    try
+      if String.trim s = "" || String.trim s = "none" then Ok none
+      else
+        let plan =
+          List.fold_left
+            (fun plan clause ->
+              let clause = String.trim clause in
+              match String.index_opt clause '=' with
+              | None ->
+                  failwith (Printf.sprintf "%s: bad clause %S" ctx clause)
+              | Some i ->
+                  let key = String.sub clause 0 i in
+                  let v =
+                    String.sub clause (i + 1) (String.length clause - i - 1)
+                  in
+                  (match key with
+                  | "seed" -> { plan with seed = parse_int ctx v }
+                  | "drop" ->
+                      { plan with
+                        default_link =
+                          { plan.default_link with drop = parse_float ctx v } }
+                  | "dup" ->
+                      { plan with
+                        default_link =
+                          { plan.default_link with
+                            duplicate = parse_float ctx v } }
+                  | "reorder" ->
+                      { plan with
+                        default_link =
+                          { plan.default_link with
+                            reorder = parse_float ctx v } }
+                  | "delay" -> { plan with delay_max = parse_int ctx v }
+                  | "link" -> (
+                      match split_on ':' v with
+                      | endpoints :: fields -> (
+                          match split_on '>' endpoints with
+                          | [ s; d ] ->
+                              let key = (parse_int ctx s, parse_int ctx d) in
+                              let l = parse_link_fields ctx clean fields in
+                              { plan with links = plan.links @ [ (key, l) ] }
+                          | _ ->
+                              failwith
+                                (Printf.sprintf "%s: bad link endpoints %S" ctx
+                                   endpoints))
+                      | [] -> failwith (ctx ^ ": empty link clause"))
+                  | "part" -> (
+                      match split_on ':' v with
+                      | [ window; group ] -> (
+                          match split_window ctx window with
+                          | Some (t1, t2) ->
+                              let group =
+                                List.map (parse_int ctx) (split_on '+' group)
+                              in
+                              { plan with
+                                partitions =
+                                  plan.partitions
+                                  @ [ { from_t = t1; until_t = t2; group } ] }
+                          | None ->
+                              failwith
+                                (Printf.sprintf "%s: bad partition window %S"
+                                   ctx window))
+                      | _ -> failwith (ctx ^ ": bad partition clause"))
+                  | "crash" -> (
+                      match split_on '@' v with
+                      | [ node; rest ] ->
+                          let node = parse_int ctx node in
+                          let after, restart =
+                            match split_on '+' rest with
+                            | [ k ] -> (parse_int ctx k, None)
+                            | [ k; r ] ->
+                                (parse_int ctx k, Some (parse_int ctx r))
+                            | _ ->
+                                failwith
+                                  (Printf.sprintf "%s: bad crash clause %S" ctx
+                                     v)
+                          in
+                          { plan with
+                            crashes =
+                              plan.crashes
+                              @ [ { node; after_sends = after;
+                                    restart_after = restart } ] }
+                      | _ ->
+                          failwith
+                            (Printf.sprintf "%s: bad crash clause %S" ctx v))
+                  | _ ->
+                      failwith (Printf.sprintf "%s: unknown clause %S" ctx key)))
+            none (split_on ',' s)
+        in
+        validate plan;
+        Ok plan
+    with
+    | Failure msg -> Error msg
+    | Invalid_argument msg -> Error msg
+
+  let link_to_fields l =
+    let f name v acc =
+      if v = 0.0 then acc else Printf.sprintf "%s=%g" name v :: acc
+    in
+    f "drop" l.drop (f "dup" l.duplicate (f "reorder" l.reorder []))
+
+  let to_string t =
+    let buf = ref [] in
+    let add s = buf := s :: !buf in
+    if t.seed <> 0 then add (Printf.sprintf "seed=%d" t.seed);
+    List.iter add (List.rev (link_to_fields t.default_link));
+    if t.delay_max <> none.delay_max then
+      add (Printf.sprintf "delay=%d" t.delay_max);
+    List.iter
+      (fun ((s, d), l) ->
+        add
+          (Printf.sprintf "link=%d>%d%s" s d
+             (String.concat ""
+                (List.map (fun f -> ":" ^ f) (List.rev (link_to_fields l))))))
+      t.links;
+    List.iter
+      (fun p ->
+        add
+          (Printf.sprintf "part=%d..%d:%s" p.from_t p.until_t
+             (String.concat "+" (List.map string_of_int p.group))))
+      t.partitions;
+    List.iter
+      (fun c ->
+        add
+          (match c.restart_after with
+          | Some r -> Printf.sprintf "crash=%d@%d+%d" c.node c.after_sends r
+          | None -> Printf.sprintf "crash=%d@%d" c.node c.after_sends))
+      t.crashes;
+    match List.rev !buf with [] -> "none" | parts -> String.concat "," parts
+end

@@ -1,8 +1,16 @@
-(** Fault-injection configuration for the simulated network.
+(** Fault-injection configuration for the message-passing substrate.
 
     The DSM protocols in this repository assume the reliable channels of the
     paper's model; fault injection exists to test the substrate itself and to
-    demonstrate which protocols tolerate duplication or reordering. *)
+    demonstrate which protocols tolerate duplication or reordering.
+
+    Two layers coexist:
+
+    - the legacy flat {!t} record consumed directly by the simulator's
+      built-in fault path (kept behavior-identical for old configs), and
+    - {!Plan}, a seeded deterministic chaos plan applied at the transport
+      seam ({!Repro_transport.Chaos}) so the identical plan reproduces on
+      the simulator and on live TCP. *)
 
 type t = {
   drop : float;  (** Probability a message is silently lost. *)
@@ -25,3 +33,82 @@ val chaotic : t
 
 val validate : t -> unit
 (** @raise Invalid_argument when probabilities fall outside [\[0,1\]]. *)
+
+(** Seeded, deterministic fault plans.
+
+    A plan is static data: per-link fault probabilities, time-windowed
+    partitions, and a crash schedule.  All fault decisions are drawn from
+    per-link RNG streams derived from [seed] — decisions for a link depend
+    only on that link's own send index, so the same plan produces the same
+    decisions on any backend.  Times are in transport ticks (milliseconds
+    on the live backend). *)
+module Plan : sig
+  type link = {
+    drop : float;
+    duplicate : float;
+    reorder : float;
+        (** Probability a message's delivery is delayed by a random extra
+            amount (up to [delay_max]), letting later traffic overtake it. *)
+  }
+
+  type partition = {
+    from_t : int;
+    until_t : int;  (** Window [\[from_t, until_t)). *)
+    group : int list;
+        (** Members are isolated from non-members (both directions) while
+            the window is open; traffic within each side still flows. *)
+  }
+
+  type crash = {
+    node : int;
+    after_sends : int;
+        (** The node crashes immediately after its [after_sends]-th
+            transport-level send. *)
+    restart_after : int option;
+        (** Restart delay in ticks (ms live); [None] means no restart. *)
+  }
+
+  type plan = {
+    seed : int;
+    default_link : link;
+    links : ((int * int) * link) list;  (** Per-link overrides, [(src, dst)]. *)
+    partitions : partition list;
+    crashes : crash list;
+    delay_max : int;  (** Max extra delay for reordered/duplicated copies. *)
+  }
+
+  type t = plan
+
+  val none : t
+  (** No faults; applying it is a no-op. *)
+
+  val is_none : t -> bool
+
+  val clean : link
+
+  val link_for : t -> src:int -> dst:int -> link
+
+  val partitioned : t -> now:int -> src:int -> dst:int -> bool
+
+  val crash_for : t -> int -> crash option
+  (** The crash entry for a node, if any ([validate] rejects duplicates). *)
+
+  val link_seed : t -> src:int -> dst:int -> int
+  (** Seed for the link's private fault-decision RNG stream. *)
+
+  val validate : ?n:int -> t -> unit
+  (** Static sanity check; when [n] is given, node ids are range-checked.
+      @raise Invalid_argument on out-of-range probabilities, bad windows,
+      duplicate or malformed crash entries. *)
+
+  val parse : string -> (t, string) result
+  (** Parse the compact comma-separated syntax, e.g.
+      ["seed=5,drop=0.05,dup=0.01,crash=1@6+300"] or
+      ["drop=0.1,link=0>2:drop=0.5:reorder=0.3,part=100..400:0+2"].
+      Clauses: [seed=K], [drop=P], [dup=P], [reorder=P], [delay=D],
+      [link=S>D:field=v:...], [part=T1..T2:A+B], [crash=N@K+R] (omit [+R]
+      for no restart).  The result is validated. *)
+
+  val to_string : t -> string
+  (** Canonical round-trippable rendering ([parse (to_string t)] succeeds). *)
+end

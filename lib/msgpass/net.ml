@@ -24,6 +24,10 @@ type stats = {
   duplicated : int;
   total_control_bytes : int;
   total_payload_bytes : int;
+  retransmits : int;
+  dups_suppressed : int;
+  reconnects : int;
+  overhead_bytes : int;
   per_node_sent : int array;
   per_node_received : int array;
 }
@@ -47,6 +51,10 @@ type 'msg t = {
   service_time : int;
   faults : Fault.t;
   rng : Rng.t;
+  fault_rng : Rng.t;
+      (* Dedicated stream for drop/duplicate decisions and duplicate-copy
+         latencies, so enabling faults never perturbs the main stream's
+         latency trajectory beyond the faults themselves. *)
   queue : 'msg pending Intheap.t; (* key: (time lsl 31) lor seq *)
   mutable wide : (int * int, 'msg pending) Pqueue.t option;
       (* overflow fallback: explicit (time, seq) keys, same order *)
@@ -80,12 +88,14 @@ let create ?(faults = Fault.none) ?(service_time = 0) ~n ~latency ~seed () =
   if n <= 0 then invalid_arg "Net.create: need at least one node";
   if service_time < 0 then invalid_arg "Net.create: negative service time";
   Fault.validate faults;
+  let rng = Rng.create seed in
   {
     n;
     latency;
     service_time;
     faults;
-    rng = Rng.create seed;
+    rng;
+    fault_rng = Rng.split (Rng.copy rng);
     queue = Intheap.create ();
     wide = None;
     seq = 0;
@@ -181,15 +191,21 @@ let send t ~src ~dst ?(control_bytes = 0) ?(payload_bytes = 0) msg =
   t.control_bytes <- t.control_bytes + control_bytes;
   t.payload_bytes <- t.payload_bytes + payload_bytes;
   if t.tracing then record t (Sent envelope);
-  if Rng.coin t.rng t.faults.Fault.drop then begin
+  (* The drop/duplicate coins used to come from the main stream, one draw
+     each, unconditionally.  Fault decisions now live on [fault_rng], but
+     the two legacy draws are kept so the seeded latency trajectory — and
+     with it every fault-free golden digest — stays byte-identical. *)
+  let _ = Rng.float t.rng 1.0 in
+  let _ = Rng.float t.rng 1.0 in
+  if Rng.coin t.fault_rng t.faults.Fault.drop then begin
     t.dropped <- t.dropped + 1;
     if t.tracing then record t (Dropped envelope)
   end
   else begin
     schedule_delivery t envelope;
-    if Rng.coin t.rng t.faults.Fault.duplicate then begin
+    if Rng.coin t.fault_rng t.faults.Fault.duplicate then begin
       t.duplicated <- t.duplicated + 1;
-      let extra = Latency.sample t.latency t.rng ~src ~dst in
+      let extra = Latency.sample t.latency t.fault_rng ~src ~dst in
       schedule_delivery t { envelope with deliver_time = t.clock + extra }
     end
   end
@@ -265,6 +281,10 @@ let stats t =
     duplicated = t.duplicated;
     total_control_bytes = t.control_bytes;
     total_payload_bytes = t.payload_bytes;
+    retransmits = 0;
+    dups_suppressed = 0;
+    reconnects = 0;
+    overhead_bytes = 0;
     per_node_sent = Array.copy t.node_sent;
     per_node_received = Array.copy t.node_received;
   }

@@ -92,6 +92,14 @@ type stats = {
   duplicated : int;
   total_control_bytes : int;
   total_payload_bytes : int;
+  retransmits : int;
+      (** Session-layer retransmissions (0 on the bare simulator). *)
+  dups_suppressed : int;
+      (** Duplicate segments discarded by a session layer. *)
+  reconnects : int;  (** Live-backend peer reconnections. *)
+  overhead_bytes : int;
+      (** Reliability-layer bytes (session headers, retransmitted copies,
+          acks) — accounted separately from the paper's control bytes. *)
   per_node_sent : int array;
   per_node_received : int array;
 }

@@ -1,12 +1,15 @@
 module Net = Repro_msgpass.Net
 module Pqueue = Repro_util.Pqueue
 module Ringbuf = Repro_util.Ringbuf
+module Rng = Repro_util.Rng
 
 type config = {
   self : int;
   n : int;
   peers : Unix.sockaddr array;
   fingerprint : string;
+  resilient : bool;
+  incarnation : int;
 }
 
 type conn = { fd : Unix.file_descr; dec : Wire.decoder; mutable closed : bool }
@@ -31,6 +34,12 @@ type t = {
   mutable draining : bool;
   mutable activity : int;  (* frames written or dispatched; timer fires excluded *)
   mutable factory_used : bool;
+  mutable done_sent : bool;
+  mutable reconnects : int;
+  mutable dropped_frames : int;
+  reconnect_pending : bool array;
+  peer_inc : int array;  (* highest incarnation seen in a peer's Hello *)
+  jrng : Rng.t;  (* backoff jitter; liveness only, never determinism *)
   rbuf : Bytes.t;
 }
 
@@ -75,6 +84,12 @@ let create cfg ~listen_fd =
     draining = false;
     activity = 0;
     factory_used = false;
+    done_sent = false;
+    reconnects = 0;
+    dropped_frames = 0;
+    reconnect_pending = Array.make cfg.n false;
+    peer_inc = Array.make cfg.n 0;
+    jrng = Rng.create ((cfg.self + 1) * (Unix.getpid () + 1));
     rbuf = Bytes.create 65536;
   }
 
@@ -94,8 +109,60 @@ let write_all t fd buf =
   try
     go 0;
     true
-  with Unix.Unix_error ((EPIPE | ECONNRESET | EBADF), _, _) when t.draining ->
+  with
+  | Unix.Unix_error ((EPIPE | ECONNRESET | EBADF), _, _)
+    when t.draining || t.cfg.resilient ->
     false
+
+(* The satellite's error taxonomy, shared by the first dial and every
+   reconnection: a refused or reset connection means the peer is not up
+   (yet / anymore) — retry with backoff; anything else (bad address,
+   unreachable network, permission) will not heal by waiting — fail fast. *)
+let transient_connect_error = function
+  | Unix.ECONNREFUSED | Unix.ECONNRESET | Unix.EINTR | Unix.EAGAIN -> true
+  | _ -> false
+
+(* The Hello body carries the config fingerprint plus the sender's
+   incarnation, so peers can tell a respawned node from a fresh one. *)
+let hello_body t = Printf.sprintf "%s\ninc=%d" t.cfg.fingerprint t.cfg.incarnation
+
+let split_hello body =
+  match String.rindex_opt body '\n' with
+  | Some i -> (
+      let fp = String.sub body 0 i in
+      let rest = String.sub body (i + 1) (String.length body - i - 1) in
+      match
+        if String.length rest > 4 && String.sub rest 0 4 = "inc=" then
+          int_of_string_opt (String.sub rest 4 (String.length rest - 4))
+        else None
+      with
+      | Some inc -> (fp, inc)
+      | None -> (body, 0))
+  | None -> (body, 0)
+
+let dial addr =
+  let fd = Unix.socket PF_INET SOCK_STREAM 0 in
+  match Unix.connect fd addr with
+  | () ->
+      (try Unix.setsockopt fd TCP_NODELAY true with Unix.Unix_error _ -> ());
+      Ok fd
+  | exception Unix.Unix_error (e, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Error e
+
+let hello_frame t dst =
+  {
+    Wire.kind = Wire.Hello;
+    src = t.cfg.self;
+    dst;
+    control_bytes = 0;
+    payload_bytes = 0;
+    body = hello_body t;
+  }
+
+let done_frame t dst =
+  { Wire.kind = Wire.Done; src = t.cfg.self; dst; control_bytes = 0;
+    payload_bytes = 0; body = "" }
 
 let rec send_frame t (fr : Wire.frame) =
   if fr.dst = t.cfg.self then begin
@@ -107,9 +174,79 @@ let rec send_frame t (fr : Wire.frame) =
   else
     match t.out_fds.(fr.dst) with
     | None ->
-        if not t.draining then
+        if t.cfg.resilient then begin
+          (* the frame is lost; a session layer above retransmits it once
+             the link is back *)
+          t.dropped_frames <- t.dropped_frames + 1;
+          schedule_reconnect t fr.dst
+        end
+        else if not t.draining then
           failwith (Printf.sprintf "live: no connection to node %d" fr.dst)
-    | Some fd -> if write_all t fd (Wire.encode fr) then t.activity <- t.activity + 1
+    | Some fd ->
+        if write_all t fd (Wire.encode fr) then t.activity <- t.activity + 1
+        else if t.cfg.resilient && not t.draining then begin
+          t.dropped_frames <- t.dropped_frames + 1;
+          mark_peer_lost t fr.dst
+        end
+
+and mark_peer_lost t i =
+  (match t.out_fds.(i) with
+  | Some fd ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      t.out_fds.(i) <- None
+  | None -> ());
+  schedule_reconnect t i
+
+(* Bounded exponential backoff with jitter; attempts continue until the
+   node's own run timeout cuts the loop, so a slow restart is survived and
+   a permanent failure still terminates. *)
+and schedule_reconnect t i =
+  if not t.reconnect_pending.(i) then begin
+    t.reconnect_pending.(i) <- true;
+    let rec attempt ~delay () =
+      match dial t.cfg.peers.(i) with
+      | Ok fd ->
+          t.reconnect_pending.(i) <- false;
+          t.out_fds.(i) <- Some fd;
+          t.reconnects <- t.reconnects + 1;
+          ignore (write_all t fd (Wire.encode (hello_frame t i)))
+      | Error e when transient_connect_error e ->
+          let delay = min 500 (delay * 2) in
+          add_timer t ~delay:(delay + Rng.int t.jrng 20) (attempt ~delay)
+      | Error e ->
+          t.reconnect_pending.(i) <- false;
+          if not t.draining then
+            failwith
+              (Printf.sprintf "live: reconnect to node %d failed: %s" i
+                 (Unix.error_message e))
+    in
+    add_timer t ~delay:10 (attempt ~delay:10)
+  end
+
+(* A peer announced a fresh incarnation: our outbound socket (if any)
+   points at its dead predecessor.  Replace it and replay the handshake —
+   including Done if our program already finished, which the respawned
+   peer's barrier needs. *)
+and refresh_peer t i =
+  (match t.out_fds.(i) with
+  | Some fd ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      t.out_fds.(i) <- None
+  | None -> ());
+  (match dial t.cfg.peers.(i) with
+  | Ok fd ->
+      t.out_fds.(i) <- Some fd;
+      t.reconnects <- t.reconnects + 1;
+      ignore (write_all t fd (Wire.encode (hello_frame t i)))
+  | Error e when transient_connect_error e -> schedule_reconnect t i
+  | Error e ->
+      failwith
+        (Printf.sprintf "live: reconnect to node %d failed: %s" i
+           (Unix.error_message e)));
+  if t.done_sent then
+    match t.out_fds.(i) with
+    | Some fd -> ignore (write_all t fd (Wire.encode (done_frame t i)))
+    | None -> ()
 
 and dispatch t (fr : Wire.frame) =
   if fr.src < 0 || fr.src >= t.cfg.n then
@@ -117,11 +254,16 @@ and dispatch t (fr : Wire.frame) =
   t.activity <- t.activity + 1;
   match fr.kind with
   | Wire.Hello ->
-      if not (String.equal fr.body t.cfg.fingerprint) then
+      let fp, inc = split_hello fr.body in
+      if not (String.equal fp t.cfg.fingerprint) then
         failwith
           (Printf.sprintf "live: fingerprint mismatch with node %d (%S vs %S)"
-             fr.src fr.body t.cfg.fingerprint);
-      t.hello_seen.(fr.src) <- true
+             fr.src fp t.cfg.fingerprint);
+      t.hello_seen.(fr.src) <- true;
+      if t.cfg.resilient && inc > 0 && inc > t.peer_inc.(fr.src) then begin
+        t.peer_inc.(fr.src) <- inc;
+        refresh_peer t fr.src
+      end
   | Wire.Done -> t.done_seen.(fr.src) <- true
   | Wire.Data ->
       t.delivered <- t.delivered + 1;
@@ -164,7 +306,9 @@ let service_conn t c =
   else if nread = 0 then begin
     c.closed <- true;
     (try Unix.close c.fd with Unix.Unix_error _ -> ());
-    if Wire.pending c.dec > 0 && not t.draining then
+    (* a resilient node treats a truncated stream like a lost frame: the
+       peer crashed mid-write and the session layer will resend *)
+    if Wire.pending c.dec > 0 && not t.draining && not t.cfg.resilient then
       failwith "live: peer closed mid-frame";
     true
   end
@@ -207,35 +351,24 @@ let step t ~block =
   if fire_due t then acted := true;
   !acted
 
-let hello_frame t dst =
-  {
-    Wire.kind = Wire.Hello;
-    src = t.cfg.self;
-    dst;
-    control_bytes = 0;
-    payload_bytes = 0;
-    body = t.cfg.fingerprint;
-  }
-
+(* First dial, at startup: daemons come up in any order, so refused/reset
+   connections are retried on a bounded exponential backoff with jitter
+   (starting at 10 ms, capped at 500 ms); any other error fails fast. *)
 let connect_peer t ~deadline i =
-  let rec attempt () =
-    let fd = Unix.socket PF_INET SOCK_STREAM 0 in
-    match Unix.connect fd t.cfg.peers.(i) with
-    | () -> fd
-    | exception
-        Unix.Unix_error
-          ( ( ECONNREFUSED | ECONNRESET | ENETUNREACH | EHOSTUNREACH | ETIMEDOUT
-            | EAGAIN ),
-            _,
-            _ ) ->
-        (try Unix.close fd with Unix.Unix_error _ -> ());
+  let rec attempt ~delay =
+    match dial t.cfg.peers.(i) with
+    | Ok fd -> fd
+    | Error e when transient_connect_error e ->
         if now_ms t > deadline then
           failwith (Printf.sprintf "live: cannot connect to node %d" i);
-        Unix.sleepf 0.02;
-        attempt ()
+        Unix.sleepf (float_of_int (delay + Rng.int t.jrng 10) /. 1000.);
+        attempt ~delay:(min 500 (delay * 2))
+    | Error e ->
+        failwith
+          (Printf.sprintf "live: cannot connect to node %d: %s" i
+             (Unix.error_message e))
   in
-  let fd = attempt () in
-  (try Unix.setsockopt fd TCP_NODELAY true with Unix.Unix_error _ -> ());
+  let fd = attempt ~delay:10 in
   t.out_fds.(i) <- Some fd;
   ignore (write_all t fd (Wire.encode (hello_frame t i)))
 
@@ -254,21 +387,11 @@ let wait_peers t ~timeout_ms =
   done
 
 let finish_program t =
+  t.done_sent <- true;
   for i = 0 to t.cfg.n - 1 do
     if i <> t.cfg.self then
       match t.out_fds.(i) with
-      | Some fd ->
-          ignore
-            (write_all t fd
-               (Wire.encode
-                  {
-                    Wire.kind = Wire.Done;
-                    src = t.cfg.self;
-                    dst = i;
-                    control_bytes = 0;
-                    payload_bytes = 0;
-                    body = "";
-                  }))
+      | Some fd -> ignore (write_all t fd (Wire.encode (done_frame t i)))
       | None -> ()
   done
 
@@ -296,10 +419,14 @@ let stats t : Net.stats =
   {
     sent = t.sent;
     delivered = t.delivered;
-    dropped = 0;
+    dropped = t.dropped_frames;
     duplicated = 0;
     total_control_bytes = t.total_control_bytes;
     total_payload_bytes = t.total_payload_bytes;
+    retransmits = 0;
+    dups_suppressed = 0;
+    reconnects = t.reconnects;
+    overhead_bytes = 0;
     per_node_sent = Array.copy t.per_node_sent;
     per_node_received = Array.copy t.per_node_received;
   }

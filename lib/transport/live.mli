@@ -33,6 +33,17 @@ type config = {
       (** Carried in [Hello] frames; any mismatch between two nodes'
           fingerprints (protocol, workload, size, seed) aborts the run
           instead of unmarshalling foreign bytes. *)
+  resilient : bool;
+      (** When on, a broken peer link is survived instead of fatal: the
+          frame in flight is dropped (counted in [stats.dropped]; a
+          {!Session} layer above retransmits), the socket is redialed on a
+          bounded exponential backoff with jitter, and a peer announcing a
+          fresh incarnation gets our [Hello] (and [Done], if already sent)
+          replayed so its restart barrier completes.  Off, behaviour is
+          exactly the pre-chaos hard-abort semantics. *)
+  incarnation : int;
+      (** 0 for a first launch; a respawned node advertises its restart
+          count in its [Hello] so peers refresh their outbound links. *)
 }
 
 type t
@@ -59,9 +70,11 @@ val factory : t -> Transport.factory
     (whole-instance protocols install all [n] — only ours is live). *)
 
 val wait_peers : t -> timeout_ms:int -> unit
-(** Dial every peer (retrying refused connections — daemons may start in
-    any order), send [Hello], and pump until every peer's [Hello] has
-    arrived.  @raise Failure on timeout or fingerprint mismatch. *)
+(** Dial every peer, send [Hello], and pump until every peer's [Hello] has
+    arrived.  Refused/reset connections are retried on a bounded
+    exponential backoff with jitter (daemons may start in any order); any
+    other [Unix_error] fails fast — waiting will not fix a bad address.
+    @raise Failure on timeout or fingerprint mismatch. *)
 
 val step : t -> block:bool -> bool
 (** Accept/read/dispatch what is ready and fire due timers, blocking at
@@ -84,5 +97,10 @@ val drain : t -> quiet_ms:int -> max_ms:int -> unit
 
 val now_ms : t -> int
 (** Milliseconds since {!create}. *)
+
+val stats : t -> Repro_msgpass.Net.stats
+(** Wire-level counters: frames sent/delivered, declared bytes, frames
+    dropped on broken links ([dropped]) and [reconnects].  The factory's
+    transport view reports the same record. *)
 
 val close : t -> unit

@@ -1,0 +1,309 @@
+module Net = Repro_msgpass.Net
+module Rng = Repro_util.Rng
+module Ringbuf = Repro_util.Ringbuf
+
+type config = {
+  retransmit_after : int;
+  backoff_max : int;
+  jitter : int;
+  seed : int;
+  stable_acks : bool;
+}
+
+let default =
+  { retransmit_after = 40; backoff_max = 320; jitter = 10; seed = 0;
+    stable_acks = false }
+
+type 'msg wrapped = Seg of { seq : int; msg : 'msg } | Ack of { next : int }
+
+(* Reliability bytes, in the same declared-size currency as the protocols'
+   control bytes but accounted apart from them: a sequence number per
+   segment, a cumulative counter per ack. *)
+let seg_header_bytes = 8
+
+let ack_bytes = 8
+
+type stats = {
+  segs_sent : int;
+  retransmits : int;
+  acks_sent : int;
+  dups_suppressed : int;
+  overhead_bytes : int;
+}
+
+type control = {
+  stats : unit -> stats;
+  mark_stable : unit -> unit;
+  snapshot : unit -> string;
+  restore : string -> unit;
+}
+
+(* What [snapshot] marshals: plain data only (window messages are protocol
+   messages, which are marshal-safe by the live backend's own contract). *)
+type 'msg state =
+  int array array
+  * (int * int * int * 'msg) list array array
+  * int array array
+  * int array array
+  * int array array
+  * (int * int * int * int * int * int * int * int)
+  * int array
+  * int array
+
+let wrap ?(config = default) (inner : Transport.factory) :
+    Transport.factory * control =
+  if config.retransmit_after < 1 then
+    invalid_arg "Session.wrap: retransmit_after must be >= 1";
+  if config.backoff_max < config.retransmit_after then
+    invalid_arg "Session.wrap: backoff_max below retransmit_after";
+  let installed : control option ref = ref None in
+  let the () =
+    match !installed with
+    | Some c -> c
+    | None -> invalid_arg "Session: transport not created yet"
+  in
+  let control =
+    {
+      stats = (fun () -> (the ()).stats ());
+      mark_stable = (fun () -> (the ()).mark_stable ());
+      snapshot = (fun () -> (the ()).snapshot ());
+      restore = (fun blob -> (the ()).restore blob);
+    }
+  in
+  let factory =
+    {
+      Transport.create =
+        (fun (type m) ~n : m Transport.t ->
+          let tr : m wrapped Transport.t = inner.Transport.create ~n in
+          let handlers : (m Net.envelope -> unit) array =
+            Array.make n (fun _ -> ())
+          in
+          (* go-back-N sender state per directed link *)
+          let next_seq = Array.make_matrix n n 0 in
+          let window : (int * int * int * m) Ringbuf.t array array =
+            Array.init n (fun _ -> Array.init n (fun _ -> Ringbuf.create ()))
+          in
+          let timer_armed = Array.make_matrix n n false in
+          let cur_timeout = Array.make_matrix n n config.retransmit_after in
+          (* receiver state per directed link (indexed receiver, sender) *)
+          let expected = Array.make_matrix n n 0 in
+          (* positions covered by the receiver's last checkpoint; in
+             stable-acks mode acks advance only this floor, so peers keep
+             retransmitting anything a crash could roll back *)
+          let stable = Array.make_matrix n n 0 in
+          let jitter_rng = Rng.create (config.seed lxor 0x5E55) in
+          (* protocol-level accounting: first transmissions and in-order
+             first deliveries only — the numbers the paper's experiments
+             compare, unchanged by loss or retransmission *)
+          let sent = ref 0 and delivered = ref 0 in
+          let ctl = ref 0 and pay = ref 0 in
+          let per_node_sent = Array.make n 0 in
+          let per_node_received = Array.make n 0 in
+          (* reliability-layer accounting, reported separately *)
+          let segs = ref 0 and retransmits = ref 0 and acks = ref 0 in
+          let dups = ref 0 and overhead = ref 0 in
+          let transmit ~retransmit ~src ~dst (seq, cb, pb, msg) =
+            incr segs;
+            if retransmit then begin
+              incr retransmits;
+              overhead := !overhead + seg_header_bytes + cb + pb
+            end
+            else overhead := !overhead + seg_header_bytes;
+            tr.Transport.send ~src ~dst ~control_bytes:cb ~payload_bytes:pb
+              (Seg { seq; msg })
+          in
+          let send_ack ~from_ ~to_ =
+            let next =
+              if config.stable_acks then stable.(from_).(to_)
+              else expected.(from_).(to_)
+            in
+            incr acks;
+            overhead := !overhead + ack_bytes;
+            tr.Transport.send ~src:from_ ~dst:to_ ~control_bytes:ack_bytes
+              ~payload_bytes:0 (Ack { next })
+          in
+          let rec arm src dst =
+            if not timer_armed.(src).(dst) then begin
+              timer_armed.(src).(dst) <- true;
+              let delay =
+                cur_timeout.(src).(dst)
+                + (if config.jitter > 0 then Rng.int jitter_rng (config.jitter + 1)
+                   else 0)
+              in
+              tr.Transport.schedule ~delay (fun () ->
+                  timer_armed.(src).(dst) <- false;
+                  let w = window.(src).(dst) in
+                  if not (Ringbuf.is_empty w) then begin
+                    Ringbuf.iter w (transmit ~retransmit:true ~src ~dst);
+                    cur_timeout.(src).(dst) <-
+                      min config.backoff_max (2 * cur_timeout.(src).(dst));
+                    arm src dst
+                  end)
+            end
+          in
+          let on_wrapped p (env : m wrapped Net.envelope) =
+            let s = env.Net.src in
+            match env.Net.msg with
+            | Seg { seq; msg } ->
+                if seq = expected.(p).(s) then begin
+                  expected.(p).(s) <- seq + 1;
+                  incr delivered;
+                  per_node_received.(p) <- per_node_received.(p) + 1;
+                  handlers.(p)
+                    {
+                      Net.src = s;
+                      dst = env.Net.dst;
+                      send_time = env.Net.send_time;
+                      deliver_time = env.Net.deliver_time;
+                      control_bytes = env.Net.control_bytes;
+                      payload_bytes = env.Net.payload_bytes;
+                      msg;
+                    }
+                end
+                else if seq < expected.(p).(s) then incr dups;
+                (* out-of-order segments are discarded (go-back-N); every
+                   arrival refreshes the cumulative ack *)
+                send_ack ~from_:p ~to_:s
+            | Ack { next } ->
+                let w = window.(p).(s) in
+                let progressed = ref false in
+                let rec prune () =
+                  match Ringbuf.peek_front w with
+                  | Some (seq, _, _, _) when seq < next ->
+                      ignore (Ringbuf.pop_front w);
+                      progressed := true;
+                      prune ()
+                  | _ -> ()
+                in
+                prune ();
+                if !progressed then
+                  cur_timeout.(p).(s) <- config.retransmit_after
+          in
+          for p = 0 to n - 1 do
+            tr.Transport.set_handler p (on_wrapped p)
+          done;
+          let session_stats () =
+            {
+              segs_sent = !segs;
+              retransmits = !retransmits;
+              acks_sent = !acks;
+              dups_suppressed = !dups;
+              overhead_bytes = !overhead;
+            }
+          in
+          let snapshot () : string =
+            let windows =
+              Array.map (Array.map Ringbuf.to_list) window
+            in
+            let st : m state =
+              ( next_seq, windows, cur_timeout, expected, stable,
+                ( !sent, !delivered, !ctl, !pay, !segs, !retransmits, !acks,
+                  !overhead ),
+                per_node_sent, per_node_received )
+            in
+            Marshal.to_string (st, !dups) []
+          in
+          let blit_matrix dst src =
+            Array.iteri (fun i row -> Array.blit src.(i) 0 row 0 (Array.length row)) dst
+          in
+          let restore blob =
+            let (st : m state), dups' = Marshal.from_string blob 0 in
+            let nq, windows, ct, ex, stb, counters, pns, pnr = st in
+            let s, d, c, p, sg, rt, ak, ov = counters in
+            blit_matrix next_seq nq;
+            blit_matrix cur_timeout ct;
+            blit_matrix expected ex;
+            blit_matrix stable stb;
+            Array.blit pns 0 per_node_sent 0 n;
+            Array.blit pnr 0 per_node_received 0 n;
+            sent := s; delivered := d; ctl := c; pay := p;
+            segs := sg; retransmits := rt; acks := ak; overhead := ov;
+            dups := dups';
+            for i = 0 to n - 1 do
+              for j = 0 to n - 1 do
+                let w = window.(i).(j) in
+                Ringbuf.clear w;
+                List.iter (Ringbuf.push_back w) windows.(i).(j);
+                (* unacked segments survive the restart: resume their
+                   retransmission cycle *)
+                if not (Ringbuf.is_empty w) then arm i j
+              done
+            done
+          in
+          let mark_stable () =
+            for i = 0 to n - 1 do
+              Array.blit expected.(i) 0 stable.(i) 0 n
+            done
+          in
+          installed :=
+            Some
+              { stats = session_stats; mark_stable; snapshot; restore };
+          {
+            Transport.n_nodes = n;
+            scope = tr.Transport.scope;
+            send =
+              (fun ~src ~dst ~control_bytes ~payload_bytes msg ->
+                let seq = next_seq.(src).(dst) in
+                next_seq.(src).(dst) <- seq + 1;
+                Ringbuf.push_back window.(src).(dst)
+                  (seq, control_bytes, payload_bytes, msg);
+                incr sent;
+                ctl := !ctl + control_bytes;
+                pay := !pay + payload_bytes;
+                per_node_sent.(src) <- per_node_sent.(src) + 1;
+                transmit ~retransmit:false ~src ~dst
+                  (seq, control_bytes, payload_bytes, msg);
+                arm src dst);
+            set_handler = (fun node f -> handlers.(node) <- f);
+            schedule = tr.Transport.schedule;
+            step = tr.Transport.step;
+            quiesce = tr.Transport.quiesce;
+            now = tr.Transport.now;
+            stats =
+              (fun () ->
+                let i = tr.Transport.stats () in
+                {
+                  Net.sent = !sent;
+                  delivered = !delivered;
+                  dropped = i.Net.dropped;
+                  duplicated = i.Net.duplicated;
+                  total_control_bytes = !ctl;
+                  total_payload_bytes = !pay;
+                  retransmits = !retransmits;
+                  dups_suppressed = !dups;
+                  reconnects = i.Net.reconnects;
+                  overhead_bytes = !overhead + i.Net.overhead_bytes;
+                  per_node_sent = Array.copy per_node_sent;
+                  per_node_received = Array.copy per_node_received;
+                });
+            set_tracing = tr.Transport.set_tracing;
+            trace =
+              (fun () ->
+                List.filter_map
+                  (fun ev ->
+                    let unwrap (env : m wrapped Net.envelope) =
+                      match env.Net.msg with
+                      | Seg { msg; _ } ->
+                          Some
+                            {
+                              Net.src = env.Net.src;
+                              dst = env.Net.dst;
+                              send_time = env.Net.send_time;
+                              deliver_time = env.Net.deliver_time;
+                              control_bytes = env.Net.control_bytes;
+                              payload_bytes = env.Net.payload_bytes;
+                              msg;
+                            }
+                      | Ack _ -> None
+                    in
+                    match ev with
+                    | Net.Sent e -> Option.map (fun e -> Net.Sent e) (unwrap e)
+                    | Net.Delivered e ->
+                        Option.map (fun e -> Net.Delivered e) (unwrap e)
+                    | Net.Dropped e ->
+                        Option.map (fun e -> Net.Dropped e) (unwrap e))
+                  (tr.Transport.trace ()));
+          });
+    }
+  in
+  (factory, control)

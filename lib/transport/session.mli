@@ -1,0 +1,68 @@
+(** Reliable per-link session layer over any {!Transport} backend.
+
+    Generalizes the go-back-N scheme prototyped in [pram_reliable] into a
+    reusable wrapper: per-directed-link sequence numbers, cumulative acks,
+    retransmission timers with exponential backoff and seeded jitter, and
+    duplicate suppression.  Any protocol can opt in by wrapping its factory
+    — the wrapped transport presents the exact {!Transport.t} interface, so
+    protocol code is unchanged.
+
+    {b Accounting.}  The wrapper's [stats] report {e protocol-level}
+    numbers: [sent]/[delivered] and control/payload bytes count first
+    transmissions and first in-order deliveries only, exactly what the
+    paper's efficiency experiments compare.  Everything the reliability
+    layer adds — segment headers, retransmitted copies, acks — is summed
+    apart in [overhead_bytes] (with [retransmits] and [dups_suppressed]
+    counters), so the control-information gap of Theorem 2 stays visible
+    under loss.
+
+    {b Recovery.}  With [stable_acks] on, acks advance only to the
+    receiver's last checkpointed position ({!control.mark_stable}); senders
+    therefore keep (and keep retransmitting) anything a crash could roll
+    back, which is what makes checkpoint-restart recovery lossless. *)
+
+type config = {
+  retransmit_after : int;  (** Initial retransmission timeout, ticks/ms. *)
+  backoff_max : int;  (** Cap for the exponential backoff. *)
+  jitter : int;  (** Max additive jitter per re-arm, from a seeded stream. *)
+  seed : int;
+  stable_acks : bool;
+      (** Ack the checkpoint floor instead of the live cursor; enable only
+          when something calls {!control.mark_stable}, else windows never
+          drain. *)
+}
+
+val default : config
+(** 40-tick initial timeout, 320 cap, jitter 10, [stable_acks = false]. *)
+
+type 'msg wrapped = Seg of { seq : int; msg : 'msg } | Ack of { next : int }
+(** The wire type the inner backend carries.  Exposed for tests. *)
+
+val seg_header_bytes : int
+
+val ack_bytes : int
+
+type stats = {
+  segs_sent : int;  (** Segment transmissions, including retransmits. *)
+  retransmits : int;
+  acks_sent : int;
+  dups_suppressed : int;
+  overhead_bytes : int;
+}
+
+type control = {
+  stats : unit -> stats;
+  mark_stable : unit -> unit;
+      (** Declare everything received so far as checkpointed: acks may now
+          cover it.  Call right after persisting a checkpoint. *)
+  snapshot : unit -> string;
+      (** Marshalled session state (windows, cursors, counters). *)
+  restore : string -> unit;
+      (** Inverse of [snapshot]; re-arms retransmission timers for links
+          with unacked segments.  Call before any traffic. *)
+}
+
+val wrap : ?config:config -> Transport.factory -> Transport.factory * control
+(** [wrap inner] layers the session protocol over [inner].  The [control]
+    handle becomes usable once the factory has been used (it raises
+    [Invalid_argument] before that). *)

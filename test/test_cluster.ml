@@ -15,20 +15,28 @@ module Checker = Repro_history.Checker
 module History = Repro_history.History
 module Memory = Repro_core.Memory
 module Registry = Repro_core.Registry
+module Fault = Repro_msgpass.Fault
 
 let check = Alcotest.check
 
 let spec_of name = Option.get (Registry.find name)
 
-let run_ok ~n ~protocol ~workload ~seed =
-  match Cluster.run ~n ~protocol:(spec_of protocol) ~workload ~seed () with
+let plan_of text =
+  match Fault.Plan.parse text with
+  | Ok p -> p
+  | Error msg -> Alcotest.failf "bad plan %S: %s" text msg
+
+let run_ok ?chaos ~n ~protocol ~workload ~seed () =
+  match
+    Cluster.run ~n ~protocol:(spec_of protocol) ~workload ~seed ?chaos ()
+  with
   | Ok o -> o
   | Error msg -> Alcotest.failf "cluster run failed: %s" msg
 
 let assert_parity (o : Cluster.outcome) ~protocol ~workload =
   match
     Cluster.sim_baseline ~n:o.Cluster.n ~protocol:(spec_of protocol) ~workload
-      ~seed:o.Cluster.seed
+      ~seed:o.Cluster.seed ()
   with
   | Error msg -> Alcotest.failf "baseline failed: %s" msg
   | Ok b ->
@@ -41,7 +49,7 @@ let assert_parity (o : Cluster.outcome) ~protocol ~workload =
         o.Cluster.payload_bytes
 
 let test_e1_pram_partial () =
-  let o = run_ok ~n:3 ~protocol:"pram-partial" ~workload:"e1" ~seed:7 in
+  let o = run_ok ~n:3 ~protocol:"pram-partial" ~workload:"e1" ~seed:7 () in
   (match o.Cluster.verdict with
   | Checker.Consistent -> ()
   | Checker.Inconsistent -> Alcotest.fail "live history violates PRAM"
@@ -50,7 +58,7 @@ let test_e1_pram_partial () =
   assert_parity o ~protocol:"pram-partial" ~workload:"e1"
 
 let test_e1_causal_partial () =
-  let o = run_ok ~n:3 ~protocol:"causal-partial" ~workload:"e1" ~seed:7 in
+  let o = run_ok ~n:3 ~protocol:"causal-partial" ~workload:"e1" ~seed:7 () in
   (match o.Cluster.verdict with
   | Checker.Consistent -> ()
   | Checker.Inconsistent -> Alcotest.fail "live history violates causality"
@@ -60,7 +68,7 @@ let test_e1_causal_partial () =
 let test_bellman_ford_finals () =
   (* the Fig. 8 network: live distances must match the single-machine
      reference, the same acceptance the §6 tests use *)
-  let o = run_ok ~n:5 ~protocol:"pram-partial" ~workload:"bellman-ford" ~seed:3 in
+  let o = run_ok ~n:5 ~protocol:"pram-partial" ~workload:"bellman-ford" ~seed:3 () in
   (match o.Cluster.finals with
   | Ok () -> ()
   | Error msg -> Alcotest.failf "distances diverge: %s" msg);
@@ -78,6 +86,115 @@ let test_unknown_workload_rejected () =
   match Cluster.run ~n:3 ~protocol:(spec_of "pram-partial") ~workload:"nope" ~seed:1 () with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "unknown workload accepted"
+
+(* --- chaos tier: deterministic fault plans over the live cluster --------- *)
+
+let test_chaos_e1_drop () =
+  (* 5% drop + 2% duplication on every link: the session layer must hide it
+     — same verdict AND same protocol-level totals as the fault-free sim
+     baseline, with the repair traffic visible only in the overhead lane *)
+  let chaos = plan_of "seed=5,drop=0.05,dup=0.02" in
+  let o = run_ok ~chaos ~n:3 ~protocol:"pram-partial" ~workload:"e1" ~seed:7 () in
+  (match o.Cluster.verdict with
+  | Checker.Consistent -> ()
+  | Checker.Inconsistent -> Alcotest.fail "chaotic history violates PRAM"
+  | Checker.Undecidable _ -> Alcotest.fail "e1 history should be differentiated");
+  assert_parity o ~protocol:"pram-partial" ~workload:"e1";
+  check Alcotest.bool "session layer engaged" true o.Cluster.session;
+  check Alcotest.bool "overhead accounted apart" true (o.Cluster.overhead_bytes > 0)
+
+let test_chaos_crash_restart () =
+  (* node 1 crashes after its 6th transport send and restarts 250 ms later:
+     the supervisor must respawn it from its checkpoint, replay its op log,
+     and the cluster must still converge to a consistent verdict *)
+  let chaos = plan_of "seed=11,drop=0.03,crash=1@6+250" in
+  let o = run_ok ~chaos ~n:3 ~protocol:"pram-partial" ~workload:"e1" ~seed:7 () in
+  check Alcotest.int "exactly one respawn" 1 o.Cluster.restarts;
+  check Alcotest.int "survivor incarnation" 1
+    o.Cluster.node_results.(1).Node.incarnation;
+  (match o.Cluster.verdict with
+  | Checker.Consistent -> ()
+  | Checker.Inconsistent -> Alcotest.fail "post-recovery history violates PRAM"
+  | Checker.Undecidable _ -> Alcotest.fail "e1 history should be differentiated");
+  (* every node's full program must appear exactly once in the history *)
+  Array.iter
+    (fun (r : Node.result) ->
+      check Alcotest.int
+        (Printf.sprintf "node %d op count" r.Node.node)
+        8
+        (List.length r.Node.ops))
+    o.Cluster.node_results
+
+let test_chaos_bellman_ford () =
+  (* the §6 case study under loss: distances must still match the
+     single-machine reference once the links are made reliable again *)
+  let chaos = plan_of "seed=2,drop=0.05" in
+  let o =
+    run_ok ~chaos ~n:5 ~protocol:"pram-partial" ~workload:"bellman-ford"
+      ~seed:3 ()
+  in
+  match o.Cluster.finals with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "distances diverge under chaos: %s" msg
+
+let test_chaos_sim_reproducible () =
+  (* the same plan on the simulator backend is bit-reproducible: identical
+     history and identical stats, run after run *)
+  let run () =
+    let chaos = plan_of "seed=5,drop=0.1,dup=0.05,reorder=0.2" in
+    match
+      Cluster.sim_baseline ~chaos ~n:4 ~protocol:(spec_of "pram-partial")
+        ~workload:"e1" ~seed:9 ()
+    with
+    | Error msg -> Alcotest.failf "sim chaos run failed: %s" msg
+    | Ok b ->
+        ( History.to_string b.Cluster.history,
+          b.Cluster.metrics.Memory.messages_sent,
+          b.Cluster.metrics.Memory.overhead_bytes )
+  in
+  let h1, sent1, over1 = run () in
+  let h2, sent2, over2 = run () in
+  check Alcotest.string "history bit-reproducible" h1 h2;
+  check Alcotest.int "sent reproducible" sent1 sent2;
+  check Alcotest.int "overhead reproducible" over1 over2;
+  check Alcotest.bool "chaos actually retransmitted" true (over1 > 0)
+
+let test_chaos_sim_protocol_parity () =
+  (* under chaos + session, protocol-level stats still equal the fault-free
+     baseline: the session layer counts first transmissions only *)
+  let chaos = plan_of "seed=5,drop=0.1" in
+  let clean =
+    match
+      Cluster.sim_baseline ~n:4 ~protocol:(spec_of "pram-partial")
+        ~workload:"e1" ~seed:9 ()
+    with
+    | Ok b -> b.Cluster.metrics
+    | Error msg -> Alcotest.failf "clean baseline failed: %s" msg
+  in
+  let noisy =
+    match
+      Cluster.sim_baseline ~chaos ~n:4 ~protocol:(spec_of "pram-partial")
+        ~workload:"e1" ~seed:9 ()
+    with
+    | Ok b -> b.Cluster.metrics
+    | Error msg -> Alcotest.failf "chaos baseline failed: %s" msg
+  in
+  check Alcotest.int "messages_sent unchanged by chaos" clean.Memory.messages_sent
+    noisy.Memory.messages_sent;
+  check Alcotest.int "control bytes unchanged by chaos" clean.Memory.control_bytes
+    noisy.Memory.control_bytes;
+  check Alcotest.int "payload bytes unchanged by chaos" clean.Memory.payload_bytes
+    noisy.Memory.payload_bytes;
+  check Alcotest.bool "overhead lane nonzero" true
+    (noisy.Memory.overhead_bytes > clean.Memory.overhead_bytes)
+
+let test_invalid_plan_rejected () =
+  match
+    Cluster.run ~n:3 ~protocol:(spec_of "pram-partial") ~workload:"e1" ~seed:1
+      ~chaos:(plan_of "seed=1,crash=9@5+100") ()
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "out-of-range crash node accepted"
 
 let test_workload_spec_deterministic () =
   (* the parity argument rests on spec construction being pure replay *)
@@ -99,6 +216,21 @@ let () =
             test_e1_causal_partial;
           Alcotest.test_case "bellman-ford fig8: distances match reference"
             `Quick test_bellman_ford_finals;
+        ] );
+      ( "chaos",
+        [
+          Alcotest.test_case "e1 under 5% drop: consistent + parity" `Quick
+            test_chaos_e1_drop;
+          Alcotest.test_case "crash + restart: recovery from checkpoint" `Quick
+            test_chaos_crash_restart;
+          Alcotest.test_case "bellman-ford under loss: distances hold" `Quick
+            test_chaos_bellman_ford;
+          Alcotest.test_case "same plan on sim: bit-reproducible" `Quick
+            test_chaos_sim_reproducible;
+          Alcotest.test_case "chaos keeps protocol-level stats at baseline"
+            `Quick test_chaos_sim_protocol_parity;
+          Alcotest.test_case "invalid plan rejected" `Quick
+            test_invalid_plan_rejected;
         ] );
       ( "guards",
         [

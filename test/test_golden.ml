@@ -5,6 +5,12 @@
    buffers) immediately before the int-keyed/ring-buffer rewrite; the
    rewrite's behaviour contract is that none of them move.
 
+   The lossy digests (and the experiment-table digest, whose L1 sweep
+   injects loss) were re-pinned when fault decisions moved to a dedicated
+   RNG stream split off the latency stream: only runs that actually flip
+   fault coins could move, and the fault-free digests above prove the
+   split left the latency draws untouched.
+
    Regenerate with:  GOLDEN_DUMP=1 dune exec test/test_golden.exe  *)
 
 module Memory = Repro_core.Memory
@@ -88,7 +94,7 @@ let expected =
     ("pram-partial", 11, "dd9af8c742376361dc0b6c63ee69d435");
     ("pram-reliable", 11, "91c9ec6f726371d5f33225d215652d6e");
     ("slow-partial", 11, "96a07d3952847727f594ebfcc69b52dd");
-    ("pram-reliable-lossy", 11, "9e7eb44d7d9bf9ddb7d3efce691a9e8f");
+    ("pram-reliable-lossy", 11, "446407f8969b7bfafe0bb446a827f7cd");
     ("atomic-primary", 22, "e82394d6cbdd9bde11aacc426de30b8e");
     ("seq-sequencer", 22, "26e2260a6ea50201b44d709441148d5a");
     ("causal-full", 22, "b620a1371aaf14099a3b22ff290601f1");
@@ -99,7 +105,7 @@ let expected =
     ("pram-partial", 22, "6ff7b5c9d7bfe1dd2f9f967292062599");
     ("pram-reliable", 22, "3d8c97c01ee8bd9993bf32c65eca4bb2");
     ("slow-partial", 22, "7f81b8459dfed262e5800f3df13c39e3");
-    ("pram-reliable-lossy", 22, "0028320945893e9f20a811b240543600");
+    ("pram-reliable-lossy", 22, "7c7724d25d02c4356232ec7658e0c805");
     ("atomic-primary", 33, "625b90fec005afc2f43d7960f59712a2");
     ("seq-sequencer", 33, "60c1ab47170eafdd8540af2923e87931");
     ("causal-full", 33, "862d32cca0a986903af1d8cb0f30e6dd");
@@ -110,10 +116,10 @@ let expected =
     ("pram-partial", 33, "1da96f1ffc0b97ff1e28548bb5faad66");
     ("pram-reliable", 33, "01ef458fa6e3a73b6abe1df478a1969f");
     ("slow-partial", 33, "0c86a7db19b0cb7f4617da214c4fd4c9");
-    ("pram-reliable-lossy", 33, "e282a259c88cb7378fe03a5e002c5c22");
+    ("pram-reliable-lossy", 33, "4480e795526d778b5a243a264ad6e75e");
   ]
 
-let expected_tables = "115774148b027b7e0aca3e61642bd6c5"
+let expected_tables = "bd2ac0bf2b37c77684a8790eb4f6cb5b"
 
 let dump () =
   List.iter

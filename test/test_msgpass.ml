@@ -264,6 +264,127 @@ let test_net_bad_endpoint () =
   Alcotest.check_raises "bad dst" (Invalid_argument "Net.send: bad endpoint") (fun () ->
       Net.send net ~src:0 ~dst:9 ())
 
+(* --- fault plans ----------------------------------------------------------- *)
+
+let plan_of text =
+  match Fault.Plan.parse text with
+  | Ok p -> p
+  | Error msg -> Alcotest.failf "bad plan %S: %s" text msg
+
+let test_plan_parse_fields () =
+  let p =
+    plan_of
+      "seed=5,drop=0.05,dup=0.01,reorder=0.2,delay=40,link=0>2:drop=0.5,part=100..400:0+2,crash=1@6+300"
+  in
+  check (Alcotest.float 1e-9) "default drop" 0.05 p.Fault.Plan.default_link.Fault.Plan.drop;
+  check (Alcotest.float 1e-9) "default dup" 0.01
+    p.Fault.Plan.default_link.Fault.Plan.duplicate;
+  check Alcotest.int "delay cap" 40 p.Fault.Plan.delay_max;
+  let l = Fault.Plan.link_for p ~src:0 ~dst:2 in
+  check (Alcotest.float 1e-9) "link override" 0.5 l.Fault.Plan.drop;
+  let l10 = Fault.Plan.link_for p ~src:1 ~dst:0 in
+  check (Alcotest.float 1e-9) "other links default" 0.05 l10.Fault.Plan.drop;
+  match Fault.Plan.crash_for p 1 with
+  | Some c ->
+      check Alcotest.int "crash after sends" 6 c.Fault.Plan.after_sends;
+      check Alcotest.(option int) "restart delay" (Some 300) c.Fault.Plan.restart_after
+  | None -> Alcotest.fail "crash entry lost"
+
+let test_plan_to_string_roundtrip () =
+  let texts =
+    [
+      "seed=5,drop=0.05,dup=0.01,crash=1@6+300";
+      "drop=0.1,link=0>2:drop=0.5:reorder=0.3,part=100..400:0+2";
+      "seed=11,reorder=0.25,delay=80,crash=0@3";
+      "seed=1";
+    ]
+  in
+  List.iter
+    (fun text ->
+      let p = plan_of text in
+      let rendered = Fault.Plan.to_string p in
+      let p2 = plan_of rendered in
+      check Alcotest.string
+        (Printf.sprintf "fixed point for %S" text)
+        rendered (Fault.Plan.to_string p2))
+    texts
+
+let test_plan_parse_rejects () =
+  let bad =
+    [
+      "drop=1.5";              (* probability out of range *)
+      "drop=abc";              (* not a number *)
+      "frobnicate=1";          (* unknown clause *)
+      "crash=1@6,crash=1@9";   (* duplicate crash entry for one node *)
+      "part=400..100:0+2";     (* inverted window *)
+      "crash=1@-2";            (* negative send count *)
+    ]
+  in
+  List.iter
+    (fun text ->
+      match Fault.Plan.parse text with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted invalid plan %S" text)
+    bad
+
+let test_plan_validate_range_checks () =
+  let p = plan_of "seed=1,crash=5@2+100" in
+  Alcotest.(check bool) "fine without n" true
+    (match Fault.Plan.validate p with () -> true);
+  match Fault.Plan.validate ~n:3 p with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "crash node 5 accepted for n=3"
+
+let test_plan_partition_window () =
+  let p = plan_of "seed=1,part=100..400:0+2" in
+  let cut ~now ~src ~dst = Fault.Plan.partitioned p ~now ~src ~dst in
+  check Alcotest.bool "closed before window" false (cut ~now:99 ~src:0 ~dst:1);
+  check Alcotest.bool "cut inside window" true (cut ~now:100 ~src:0 ~dst:1);
+  check Alcotest.bool "cut is symmetric" true (cut ~now:250 ~src:1 ~dst:0);
+  check Alcotest.bool "within-group traffic flows" false (cut ~now:250 ~src:0 ~dst:2);
+  check Alcotest.bool "outside-group traffic flows" false (cut ~now:250 ~src:1 ~dst:3);
+  check Alcotest.bool "healed at until_t" false (cut ~now:400 ~src:0 ~dst:1)
+
+let test_plan_link_seed_streams () =
+  let p = plan_of "seed=7,drop=0.1" in
+  check Alcotest.bool "per-link streams differ" true
+    (Fault.Plan.link_seed p ~src:0 ~dst:1 <> Fault.Plan.link_seed p ~src:1 ~dst:0);
+  check Alcotest.int "stream seed is a pure function"
+    (Fault.Plan.link_seed p ~src:0 ~dst:1)
+    (Fault.Plan.link_seed p ~src:0 ~dst:1);
+  let p2 = plan_of "seed=8,drop=0.1" in
+  check Alcotest.bool "plan seed feeds the stream" true
+    (Fault.Plan.link_seed p ~src:0 ~dst:1 <> Fault.Plan.link_seed p2 ~src:0 ~dst:1)
+
+(* The seed-hygiene satellite: fault decisions draw from a dedicated RNG
+   stream, so enabling faults must not perturb any surviving message's
+   latency.  Sends are spaced 100 ticks apart (latencies <= 50) so the FIFO
+   horizon never binds and each delivery time is exactly send_time + its
+   latency draw. *)
+let test_net_fault_seed_hygiene =
+  qcheck
+    (QCheck.Test.make ~name:"net_fault_rng_isolated_from_latency" ~count:50
+       QCheck.small_int (fun seed ->
+         let deliveries faults =
+           let net =
+             Net.create ?faults ~n:2 ~latency:(Latency.uniform ~lo:1 ~hi:50)
+               ~seed ()
+           in
+           let got = ref [] in
+           Net.set_handler net 1 (fun e -> got := (e.Net.msg, Net.now net) :: !got);
+           for k = 0 to 29 do
+             Net.at net ~delay:(k * 100) (fun () -> Net.send net ~src:0 ~dst:1 k)
+           done;
+           Net.run net;
+           !got
+         in
+         let clean = deliveries None in
+         let lossy = deliveries (Some (Fault.lossy 0.4)) in
+         List.length clean = 30
+         && List.for_all
+              (fun (k, t) -> List.assoc_opt k clean = Some t)
+              lossy))
+
 (* --- message sequence charts ---------------------------------------------- *)
 
 module Msc = Repro_msgpass.Msc
@@ -400,6 +521,19 @@ let () =
           Alcotest.test_case "service time validation" `Quick
             test_net_service_time_validation;
           Alcotest.test_case "bad endpoint" `Quick test_net_bad_endpoint;
+        ] );
+      ( "fault-plan",
+        [
+          Alcotest.test_case "parse fields" `Quick test_plan_parse_fields;
+          Alcotest.test_case "to_string round-trips" `Quick
+            test_plan_to_string_roundtrip;
+          Alcotest.test_case "invalid plans rejected" `Quick test_plan_parse_rejects;
+          Alcotest.test_case "validate range-checks nodes" `Quick
+            test_plan_validate_range_checks;
+          Alcotest.test_case "partition windows" `Quick test_plan_partition_window;
+          Alcotest.test_case "per-link seed streams" `Quick
+            test_plan_link_seed_streams;
+          test_net_fault_seed_hygiene;
         ] );
       ( "msc",
         [

@@ -199,6 +199,91 @@ let test_sim_factory_equivalence () =
   in
   check Alcotest.(pair string int) "identical run" direct via_factory
 
+(* --- chaos + session stack --------------------------------------------------- *)
+
+module Chaos = Repro_transport.Chaos
+module Session = Repro_transport.Session
+
+let plan_of text =
+  match Fault.Plan.parse text with
+  | Ok p -> p
+  | Error msg -> Alcotest.failf "bad plan %S: %s" text msg
+
+(* The same stack a live node runs, on the sim backend: backend -> chaos ->
+   session.  Returns the reliable factory plus both control handles. *)
+let chaos_stack ~plan ~seed =
+  let base = Transport.sim ~latency:(Latency.constant 3) ~seed () in
+  let chaotic, cctl = Chaos.wrap ~plan base in
+  let reliable, sctl =
+    Session.wrap ~config:{ Session.default with Session.seed = seed + 1 } chaotic
+  in
+  (reliable, cctl, sctl)
+
+let drive ~plan ~seed ~count =
+  let reliable, cctl, sctl = chaos_stack ~plan ~seed in
+  let t = reliable.Transport.create ~n:2 in
+  let got = ref [] in
+  t.Transport.set_handler 1 (fun e ->
+      got := (e.Repro_msgpass.Net.msg, t.Transport.now ()) :: !got);
+  for k = 1 to count do
+    t.Transport.send ~src:0 ~dst:1 ~control_bytes:4 ~payload_bytes:0 k
+  done;
+  t.Transport.quiesce ();
+  (List.rev !got, t.Transport.stats (), cctl.Chaos.stats (), sctl.Session.stats ())
+
+(* The session-layer guarantee: over any finite-probability mix of drops,
+   duplications and reorder delays, the receiver sees exactly the sent
+   sequence, once each, in order — and the outer stats still count first
+   transmissions only, so protocol-level accounting is chaos-invariant. *)
+let test_session_exactly_once_in_order =
+  qcheck
+    (QCheck.Test.make ~name:"session_exactly_once_in_order" ~count:40
+       QCheck.(
+         quad (int_bound 40) (int_bound 40) (int_bound 40) (int_bound 1000))
+       (fun (d, u, r, seed) ->
+         let plan =
+           plan_of
+             (Printf.sprintf "seed=%d,drop=0.%02d,dup=0.%02d,reorder=0.%02d"
+                (seed + 1) d u r)
+         in
+         let count = 25 in
+         let got, stats, _, _ = drive ~plan ~seed ~count in
+         List.map fst got = List.init count (fun i -> i + 1)
+         && stats.Repro_msgpass.Net.sent = count
+         && stats.Repro_msgpass.Net.delivered = count
+         && stats.Repro_msgpass.Net.total_control_bytes = 4 * count))
+
+let test_chaos_stack_deterministic () =
+  (* one plan, one seed: bit-identical delivery trace and counters, run
+     after run — the property that makes a chaos experiment replayable *)
+  let run () =
+    let plan = plan_of "seed=9,drop=0.2,dup=0.1,reorder=0.3" in
+    let got, _, c, s = drive ~plan ~seed:4 ~count:20 in
+    (got, c.Chaos.drops, c.Chaos.duplicates, s.Session.retransmits,
+     s.Session.overhead_bytes)
+  in
+  let g1, d1, u1, r1, o1 = run () in
+  let g2, d2, u2, r2, o2 = run () in
+  check Alcotest.(list (pair int int)) "delivery trace reproducible" g1 g2;
+  check Alcotest.int "drops reproducible" d1 d2;
+  check Alcotest.int "duplicates reproducible" u1 u2;
+  check Alcotest.int "retransmits reproducible" r1 r2;
+  check Alcotest.int "overhead reproducible" o1 o2;
+  check Alcotest.bool "the plan actually bit" true (d1 > 0 && r1 > 0)
+
+let test_session_overhead_accounting () =
+  (* on a clean link the session layer's cost is pure bookkeeping: segment
+     headers plus acks, no retransmissions, no suppressed duplicates *)
+  let got, stats, _, s = drive ~plan:Fault.Plan.none ~seed:2 ~count:10 in
+  check Alcotest.int "all delivered" 10 (List.length got);
+  check Alcotest.int "no retransmits" 0 s.Session.retransmits;
+  check Alcotest.int "no dups suppressed" 0 s.Session.dups_suppressed;
+  check Alcotest.int "overhead = headers + acks"
+    ((10 * Session.seg_header_bytes) + (s.Session.acks_sent * Session.ack_bytes))
+    s.Session.overhead_bytes;
+  check Alcotest.int "protocol lane untouched" 40
+    stats.Repro_msgpass.Net.total_control_bytes
+
 let () =
   Alcotest.run "repro_transport"
     [
@@ -228,5 +313,13 @@ let () =
             test_sim_validates_faults_fail_fast;
           Alcotest.test_case "sim factory equals direct construction" `Quick
             test_sim_factory_equivalence;
+        ] );
+      ( "session",
+        [
+          test_session_exactly_once_in_order;
+          Alcotest.test_case "chaos stack is deterministic" `Quick
+            test_chaos_stack_deterministic;
+          Alcotest.test_case "overhead accounted apart" `Quick
+            test_session_overhead_accounting;
         ] );
     ]
