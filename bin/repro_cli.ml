@@ -29,6 +29,8 @@ module Chaos = Repro_transport.Chaos
 module Session = Repro_transport.Session
 module Fault = Repro_msgpass.Fault
 module Latency = Repro_msgpass.Latency
+module Mix = Repro_loadgen.Mix
+module Load_harness = Repro_loadgen.Harness
 module Table = Repro_util.Table
 module Bitset = Repro_util.Bitset
 module Rng = Repro_util.Rng
@@ -961,6 +963,104 @@ let cluster_cmd =
           $ chaos_arg $ session_arg $ checkpoint_ms_arg $ parity_arg $ json_arg
           $ out_history_arg $ engine_arg)
 
+(* --- open-loop load tier -------------------------------------------------------- *)
+
+let load_cmd =
+  let run spec nodes clients rate duration mix seed coalesce drain_plan json =
+    let cfg =
+      {
+        Load_harness.protocol = spec;
+        n = nodes;
+        clients;
+        rate;
+        duration_ms = duration;
+        mix;
+        seed;
+        coalesce;
+        drain_plan;
+      }
+    in
+    match Load_harness.run cfg with
+    | Error msg ->
+        prerr_endline msg;
+        exit 1
+    | Ok r ->
+        Format.printf "%a@." Load_harness.pp_result r;
+        Option.iter
+          (fun path ->
+            Out_channel.with_open_text path (fun oc ->
+                Jsonout.to_channel oc
+                  (match Load_harness.json_of_result r with
+                  | Jsonout.Obj fields ->
+                      Jsonout.Obj
+                        (("schema", Jsonout.String "repro-load/1") :: fields)
+                  | j -> j));
+            Printf.printf "wrote %s\n" path)
+          json;
+        if r.Load_harness.completed_ops = 0 then begin
+          prerr_endline "load: no operation completed";
+          exit 2
+        end
+  in
+  let mix_conv =
+    Arg.conv
+      ( (fun text ->
+          match Mix.parse text with Ok m -> Ok m | Error msg -> Error (`Msg msg)),
+        fun ppf m -> Format.pp_print_string ppf (Mix.to_string m) )
+  in
+  let nodes_arg =
+    Arg.(value & opt int 3 & info [ "n"; "nodes" ] ~docv:"N" ~doc:"Cluster size.")
+  in
+  let clients_arg =
+    Arg.(value & opt int 2
+         & info [ "clients" ] ~docv:"C" ~doc:"Load-generator fleet size.")
+  in
+  let rate_arg =
+    Arg.(value & opt float 2000.0
+         & info [ "rate" ] ~docv:"OPS"
+             ~doc:"Aggregate offered rate, ops/sec (open loop: requests fire \
+                   on schedule regardless of outstanding replies).")
+  in
+  let duration_arg =
+    Arg.(value & opt int 1000
+         & info [ "duration-ms" ] ~docv:"MS" ~doc:"Submission window.")
+  in
+  let mix_arg =
+    Arg.(value & opt mix_conv Mix.read_heavy
+         & info [ "mix" ] ~docv:"MIX"
+             ~doc:(Printf.sprintf
+                     "Operation mix: %s, or r=0.6,w=0.2,s=0.2,len=8."
+                     (String.concat ", " (List.map fst Mix.named))))
+  in
+  let coalesce_arg =
+    Arg.(value & opt int 8
+         & info [ "coalesce" ] ~docv:"K"
+             ~doc:"Session flush budget: up to $(docv) queued segments packed \
+                   per frame (1 disables coalescing).")
+  in
+  let drain_arg =
+    Arg.(value & flag
+         & info [ "drain-plan" ]
+             ~doc:"Submit every planned request however long it takes instead \
+                   of cutting at $(b,--duration-ms) — makes the offered op \
+                   multiset identical across runs (the coalescing comparison \
+                   mode).")
+  in
+  let json_arg =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE" ~doc:"Write a JSON outcome record.")
+  in
+  Cmd.v
+    (Cmd.info "load"
+       ~doc:"Fork a live loopback cluster plus an open-loop client fleet: \
+             pipelined read/write/scan RPCs against every replica, seeded \
+             deterministic arrival schedules, throughput and latency \
+             percentiles per operation kind. Exit status: 1 on harness \
+             error, 2 when no operation completed.")
+    Term.(const run $ protocol_arg $ nodes_arg $ clients_arg $ rate_arg
+          $ duration_arg $ mix_arg $ seed_arg $ coalesce_arg $ drain_arg
+          $ json_arg)
+
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   let info =
@@ -982,4 +1082,5 @@ let () =
             experiment_cmd;
             cluster_cmd;
             serve_cmd;
+            load_cmd;
           ]))

@@ -9,6 +9,9 @@ module Registry = Repro_core.Registry
 module Runner = Repro_core.Runner
 module Op = Repro_history.Op
 
+module Wire = Repro_transport.Wire
+module Rpc = Repro_transport.Rpc
+
 type result = {
   node : int;
   incarnation : int;
@@ -16,6 +19,8 @@ type result = {
   finals : (int * Repro_history.Op.value) list;
   metrics : Memory.metrics;
   wire : Net.stats;
+  session_stats : Session.stats option;
+  client_ops : int;
   wall_ms : int;
 }
 
@@ -55,8 +60,8 @@ let kind_text = function Op.Read -> "read" | Op.Write -> "write"
 
 let run ~self ~listen_fd ~peers ~protocol ~workload ~seed
     ?(hello_timeout_ms = 10_000) ?(run_timeout_ms = 60_000) ?(quiet_ms = 150)
-    ?chaos ?(session = false) ?checkpoint ?(checkpoint_every_ms = 100)
-    ?(incarnation = 0) () =
+    ?chaos ?(session = false) ?(coalesce = 1) ?checkpoint
+    ?(checkpoint_every_ms = 100) ?(incarnation = 0) () =
   if protocol.Registry.blocking then
     crashf "protocol %s has blocking operations; only non-blocking protocols run live"
       protocol.Registry.name;
@@ -64,7 +69,7 @@ let run ~self ~listen_fd ~peers ~protocol ~workload ~seed
   let chaos =
     match chaos with Some p when Fault.Plan.is_none p -> None | c -> c
   in
-  let session = session || chaos <> None in
+  let session = session || chaos <> None || coalesce > 1 in
   (* lossy links hide in silence up to a full retransmission backoff; the
      quiet window must outlast one or nodes exit mid-recovery *)
   let quiet_ms = if chaos <> None then max quiet_ms 600 else quiet_ms in
@@ -103,6 +108,7 @@ let run ~self ~listen_fd ~peers ~protocol ~workload ~seed
             Session.default with
             seed = seed + 1 + self;
             stable_acks = checkpoint <> None;
+            coalesce;
           }
         in
         let f, c = Session.wrap ~config:cfg factory in
@@ -117,6 +123,38 @@ let run ~self ~listen_fd ~peers ~protocol ~workload ~seed
     if checkpoint <> None && memory.Memory.snapshot = None then
       fail "protocol %s has no snapshot/restore support; cannot checkpoint"
         protocol.Registry.name;
+    (* client front door: serve Read/Write/Batch RPCs against this
+       replica's memory.  Requests a partial replica cannot serve (a read
+       of a variable it does not hold) come back [Failed] rather than
+       killing the node — the client picked the wrong door. *)
+    let client_ops = ref 0 in
+    Live.set_client_handler lt (fun ~reply fr ->
+        match Rpc.decode_request fr.Wire.body with
+        | Error _ -> () (* corrupt request body: drop, never unmarshal on *)
+        | Ok (id, req) ->
+            let serve op =
+              match op with
+              | Rpc.Read { var } -> (
+                  match memory.Memory.read ~proc:self ~var with
+                  | Op.Init -> Rpc.Got None
+                  | Op.Val v -> Rpc.Got (Some v)
+                  | exception Invalid_argument msg -> Rpc.Failed msg)
+              | Rpc.Write { var; value } -> (
+                  match memory.Memory.write ~proc:self ~var (Op.Val value) with
+                  | () -> Rpc.Stored
+                  | exception Invalid_argument msg -> Rpc.Failed msg)
+            in
+            let outcomes = Array.map serve (Rpc.ops req) in
+            client_ops := !client_ops + Array.length outcomes;
+            reply
+              {
+                Wire.kind = Wire.Cresp;
+                src = self;
+                dst = fr.Wire.src;
+                control_bytes = 0;
+                payload_bytes = Rpc.response_payload_bytes outcomes;
+                body = Rpc.encode_response ~id outcomes;
+              });
     let ops = ref [] in
     let finished = ref false in
     let replayed =
@@ -252,9 +290,11 @@ let run ~self ~listen_fd ~peers ~protocol ~workload ~seed
             overhead_bytes = ss.Session.overhead_bytes;
           }
     in
+    let session_stats = Option.map (fun c -> c.Session.stats ()) sess in
     let wall_ms = Live.now_ms lt in
     Live.close lt;
-    { node = self; incarnation; ops = List.rev !ops; finals; metrics; wire; wall_ms }
+    { node = self; incarnation; ops = List.rev !ops; finals; metrics; wire;
+      session_stats; client_ops = !client_ops; wall_ms }
   with
   | Crash _ as e -> raise e
   | Chaos.Injected_crash _ as e ->

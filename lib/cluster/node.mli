@@ -29,6 +29,12 @@ type result = {
   wire : Repro_msgpass.Net.stats;
       (** Wire-level view: injected drops/duplicates folded in, session
           retransmits / suppressed duplicates, live-link reconnects. *)
+  session_stats : Repro_transport.Session.stats option;
+      (** Full session-layer counters (frames, piggybacked acks,
+          coalescing) when a session layer ran; [None] otherwise. *)
+  client_ops : int;
+      (** Operations served through the client front door (batch ops
+          counted individually). *)
   wall_ms : int;
 }
 
@@ -50,6 +56,7 @@ val run :
   ?quiet_ms:int ->
   ?chaos:Repro_msgpass.Fault.Plan.t ->
   ?session:bool ->
+  ?coalesce:int ->
   ?checkpoint:string ->
   ?checkpoint_every_ms:int ->
   ?incarnation:int ->
@@ -59,7 +66,14 @@ val run :
     (raised to ≥600 ms under chaos — the quiet window must outlast a full
     retransmission backoff).  The [seed] stamps the fingerprint and seeds
     the session layer's jitter; workload scripts were already drawn when
-    [workload] was built.
+    [workload] was built.  [coalesce > 1] sets the session layer's flush
+    budget (forcing the session layer on); peers with different budgets
+    still interoperate — the wire type is unchanged.
+
+    Every node serves the client front door: [Creq] frames on any accepted
+    connection are answered with [Cresp] on the same connection, reads and
+    writes applied to this replica's memory.  Client traffic stays outside
+    the peer mesh and its protocol-level accounting.
 
     [checkpoint] is a file path: the node writes a checkpoint there before
     opening traffic, every [checkpoint_every_ms] (default 100) after, and

@@ -15,7 +15,7 @@ type t = {
   check_finals : (int * Op.value) list array -> (unit, string) result;
 }
 
-let names = [ "e1"; "bellman-ford" ]
+let names = [ "e1"; "bellman-ford"; "load"; "load-full" ]
 
 (* Same recipe as experiment E1 (lib/experiments): random 3-replica
    distribution from [seed + n], workload scripts from [seed + 1]. *)
@@ -71,12 +71,38 @@ let bellman_ford ~n ~seed =
     check_finals;
   }
 
+(* Client-driven workloads: the nodes run no program of their own — every
+   operation arrives through the client front door — so the spec is just a
+   variable distribution.  The partial variant replicates each variable at
+   [min 2 n] nodes, so partial stays a strict subset of full replication
+   even at n = 3 and the per-write fan-out gap (Theorem 2's control-byte
+   gap) is visible at every cluster size. *)
+let load ~full ~n ~seed =
+  let n_vars = 2 * n in
+  let dist =
+    if full then Distribution.full ~n_procs:n ~n_vars
+    else
+      Distribution.random (Rng.create (seed + n)) ~n_procs:n ~n_vars
+        ~replicas_per_var:(Stdlib.min 2 n)
+  in
+  {
+    name = (if full then "load-full" else "load");
+    n;
+    dist;
+    programs = Array.make n (fun (_ : Repro_core.Runner.api) -> ());
+    differentiated = false;
+    final_vars = (fun _ -> []);
+    check_finals = (fun _ -> Ok ());
+  }
+
 let make ~name ~n ~seed =
   if n < 1 then Error "cluster size must be >= 1"
   else
     match name with
     | "e1" -> Ok (e1 ~n ~seed)
     | "bellman-ford" | "bf" -> Ok (bellman_ford ~n ~seed)
+    | "load" -> Ok (load ~full:false ~n ~seed)
+    | "load-full" -> Ok (load ~full:true ~n ~seed)
     | other ->
         Error
           (Printf.sprintf "unknown workload %S (known: %s)" other

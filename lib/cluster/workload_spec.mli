@@ -31,7 +31,10 @@ val names : string list
 (** ["e1"] — the E1 scaling workload (random reads/writes over a random
     3-replica distribution, the recipe of experiment E1); ["bellman-ford"]
     — the paper's §6 case study on the Fig. 8 network when [n] matches its
-    size, else on a seeded random graph. *)
+    size, else on a seeded random graph; ["load"] / ["load-full"] — the
+    client-driven load workloads (no node programs; all operations come
+    through the client front door) over a seeded random [min 2 n]-replica
+    distribution resp. full replication. *)
 
 val make : name:string -> n:int -> seed:int -> (t, string) result
 

@@ -1,0 +1,82 @@
+(** Forked open-loop load experiment: [n] replica daemons plus a client
+    fleet, one process each, over loopback sockets.
+
+    Nodes run {!Repro_cluster.Node.run} on the no-op ["load"] /
+    ["load-full"] workload (the peer mesh comes up, the protocol serves
+    the client front door, programs issue nothing themselves), with the
+    session layer on so coalescing and ack piggybacking are in play.
+    Clients replay deterministic {!Client.plan} schedules.  The parent
+    drains every child's marshalled report over a pipe, then reaps it —
+    reports can exceed the pipe buffer, so drain-before-reap is what
+    keeps the tree deadlock-free. *)
+
+type config = {
+  protocol : Repro_core.Registry.spec;  (** Must be non-blocking. *)
+  n : int;  (** Replica count. *)
+  clients : int;  (** Fleet size; offered rate is split evenly. *)
+  rate : float;  (** Aggregate offered ops/sec across the fleet. *)
+  duration_ms : int;
+  mix : Mix.t;
+  seed : int;  (** Seeds distribution, sessions and client plans. *)
+  coalesce : int;  (** Session flush budget; 1 = coalescing off. *)
+  drain_plan : bool;
+      (** Submit whole plans regardless of duration (byte-identity mode,
+          see {!Client.run}). *)
+}
+
+type result = {
+  protocol : string;
+  workload : string;
+  n : int;
+  clients : int;
+  mix : string;
+  rate : float;
+  duration_ms : int;
+  seed : int;
+  coalesce : int;
+  drain_plan : bool;
+  attempted_ops : int;
+  completed_ops : int;
+  failed_ops : int;
+  unsent : int;
+  timeouts : int;
+  bytes_out : int;  (** Client-side socket bytes (requests). *)
+  bytes_in : int;  (** Client-side socket bytes (responses). *)
+  span_us : int;  (** Longest per-client submission span. *)
+  ops_per_sec : float;
+      (** Completed ops over the longest client completion span (last
+          reply, or grace expiry).  Unsaturated this tracks the offered
+          rate; saturated it converges on cluster capacity. *)
+  lat_us : Repro_util.Stats.t;  (** Fleet-merged latency sketch, µs. *)
+  read_us : Repro_util.Stats.t;
+  write_us : Repro_util.Stats.t;
+  scan_us : Repro_util.Stats.t;
+  client_ops_served : int;  (** Front-door ops summed over nodes. *)
+  messages_sent : int;  (** Protocol lane, summed over nodes. *)
+  control_bytes : int;
+  payload_bytes : int;
+  overhead_bytes : int;  (** Overhead lane (headers, acks, retransmits). *)
+  frames_sent : int;  (** Session frames (coalescing shrinks this). *)
+  segs_sent : int;
+  acks_sent : int;  (** Standalone ack frames. *)
+  acks_piggybacked : int;
+  retransmits : int;
+  node_wall_ms : int;
+  node_cpu_s : float;  (** Fleet node CPU (user+sys), seconds. *)
+  ops_per_node_cpu_s : float;
+      (** Completed client ops per node CPU-second — the
+          scheduler-noise-immune efficiency measure: wall-clock ops/sec
+          on a contended box swings with CPU grants, but CPU time is
+          attributed to the process that burned it, so a protocol that
+          sends more replication traffic per op scores strictly lower. *)
+}
+
+val run : config -> (result, string) Stdlib.result
+(** Fork, load, drain, reap, aggregate.  [Error] on invalid config or
+    when any child fails (first failure reported). *)
+
+val json_of_result : result -> Repro_util.Jsonout.t
+(** Flat object with throughput, per-kind latency percentiles
+    (p50/p95/p99 from the sketches) and both byte lanes. *)
+
+val pp_result : Format.formatter -> result -> unit

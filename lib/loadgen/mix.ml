@@ -1,0 +1,64 @@
+type t = { read : float; write : float; scan : float; scan_len : int }
+
+let validate m =
+  if m.read < 0.0 || m.write < 0.0 || m.scan < 0.0 then
+    Error "mix: negative fraction"
+  else if Float.abs (m.read +. m.write +. m.scan -. 1.0) > 1e-6 then
+    Error "mix: fractions must sum to 1"
+  else if m.scan > 0.0 && m.scan_len < 1 then Error "mix: scan length must be >= 1"
+  else Ok m
+
+let read_heavy = { read = 0.8; write = 0.2; scan = 0.0; scan_len = 8 }
+
+let write_heavy = { read = 0.2; write = 0.8; scan = 0.0; scan_len = 8 }
+
+let balanced = { read = 0.5; write = 0.5; scan = 0.0; scan_len = 8 }
+
+let scans = { read = 0.6; write = 0.2; scan = 0.2; scan_len = 8 }
+
+let named =
+  [
+    ("read-heavy", read_heavy);
+    ("write-heavy", write_heavy);
+    ("balanced", balanced);
+    ("scans", scans);
+  ]
+
+let to_string m =
+  match List.find_opt (fun (_, v) -> v = m) named with
+  | Some (name, _) -> name
+  | None ->
+      Printf.sprintf "r=%g,w=%g,s=%g,len=%d" m.read m.write m.scan m.scan_len
+
+let parse text =
+  match List.assoc_opt text named with
+  | Some m -> Ok m
+  | None -> (
+      (* "r=0.6,w=0.2,s=0.2,len=8" with any subset of keys; omitted
+         fractions default to 0, len to 8 *)
+      let parts = String.split_on_char ',' (String.trim text) in
+      let acc = ref { read = 0.0; write = 0.0; scan = 0.0; scan_len = 8 } in
+      let bad = ref None in
+      List.iter
+        (fun part ->
+          match String.index_opt part '=' with
+          | None -> bad := Some (Printf.sprintf "mix: expected key=value in %S" part)
+          | Some i -> (
+              let key = String.trim (String.sub part 0 i) in
+              let v = String.trim (String.sub part (i + 1) (String.length part - i - 1)) in
+              match (key, float_of_string_opt v, int_of_string_opt v) with
+              | ("r" | "read"), Some f, _ -> acc := { !acc with read = f }
+              | ("w" | "write"), Some f, _ -> acc := { !acc with write = f }
+              | ("s" | "scan"), Some f, _ -> acc := { !acc with scan = f }
+              | ("len" | "scan-len"), _, Some k -> acc := { !acc with scan_len = k }
+              | _ -> bad := Some (Printf.sprintf "mix: bad component %S" part)))
+        parts;
+      match !bad with
+      | Some msg -> Error msg
+      | None -> (
+          match validate !acc with
+          | Ok m -> Ok m
+          | Error msg ->
+              Error
+                (Printf.sprintf "%s (known names: %s)" msg
+                   (String.concat ", " (List.map fst named)))))

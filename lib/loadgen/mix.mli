@@ -1,0 +1,35 @@
+(** Read/write/scan operation mixes for the load tier (YCSB-style).
+
+    A mix is three fractions summing to 1 plus a scan length.  Reads and
+    writes are single-variable RPCs routed to a replica holding the
+    variable; a scan is a {!Repro_transport.Rpc.request.Batch} of
+    [scan_len] reads over consecutive variables of one replica — the
+    pipelined multi-op primitive. *)
+
+type t = { read : float; write : float; scan : float; scan_len : int }
+
+val read_heavy : t
+(** 80% reads / 20% writes — the mix the paper's efficiency argument
+    favours partial replication on. *)
+
+val write_heavy : t
+(** 20% reads / 80% writes — maximal replication traffic, the coalescing
+    showcase. *)
+
+val balanced : t
+(** 50/50. *)
+
+val scans : t
+(** 60/20/20 with scan length 8. *)
+
+val named : (string * t) list
+
+val validate : t -> (t, string) result
+
+val parse : string -> (t, string) result
+(** A name from {!named}, or ["r=0.6,w=0.2,s=0.2,len=8"] (omitted
+    fractions default to 0, [len] to 8). *)
+
+val to_string : t -> string
+(** The name when the mix is a named one, else the key=value form;
+    [parse]-able either way. *)

@@ -23,6 +23,8 @@ type t = {
   timers : (int * int, unit -> unit) Pqueue.t;
   mutable timer_seq : int;
   mutable on_data : Wire.frame -> unit;
+  mutable on_client : (reply:(Wire.frame -> unit) -> Wire.frame -> unit) option;
+  mutable client_reqs : int;
   hello_seen : bool array;
   done_seen : bool array;
   mutable sent : int;
@@ -73,6 +75,8 @@ let create cfg ~listen_fd =
     timers = Pqueue.create ~cmp:compare ();
     timer_seq = 0;
     on_data = (fun _ -> ());
+    on_client = None;
+    client_reqs = 0;
     hello_seen;
     done_seen;
     sent = 0;
@@ -248,11 +252,26 @@ and refresh_peer t i =
     | Some fd -> ignore (write_all t fd (Wire.encode (done_frame t i)))
     | None -> ()
 
-and dispatch t (fr : Wire.frame) =
+and dispatch ?reply t (fr : Wire.frame) =
+  match fr.kind with
+  | Wire.Creq ->
+      (* client traffic: src is a client id, deliberately outside the node
+         range, and the reply goes back on the connection the request came
+         in on — never through the peer mesh *)
+      t.activity <- t.activity + 1;
+      t.client_reqs <- t.client_reqs + 1;
+      (match (t.on_client, reply) with
+      | Some handler, Some r -> handler ~reply:r fr
+      | _ -> () (* no front door installed: drop, the client times out *))
+  | Wire.Cresp -> () (* nodes never consume responses; tolerate strays *)
+  | Wire.Hello | Wire.Done | Wire.Data -> dispatch_peer t fr
+
+and dispatch_peer t (fr : Wire.frame) =
   if fr.src < 0 || fr.src >= t.cfg.n then
     failwith (Printf.sprintf "live: frame from unknown node %d" fr.src);
   t.activity <- t.activity + 1;
   match fr.kind with
+  | Wire.Creq | Wire.Cresp -> assert false (* handled by [dispatch] *)
   | Wire.Hello ->
       let fp, inc = split_hello fr.body in
       if not (String.equal fp t.cfg.fingerprint) then
@@ -314,10 +333,17 @@ let service_conn t c =
   end
   else begin
     Wire.feed c.dec t.rbuf nread;
+    (* replies to client requests go out on the requesting connection; a
+       client that hung up mid-reply is its own problem, never the node's *)
+    let reply fr =
+      match write_all t c.fd (Wire.encode fr) with
+      | ok -> if ok then t.activity <- t.activity + 1
+      | exception Unix.Unix_error _ -> ()
+    in
     let rec pump () =
       match Wire.next c.dec with
       | Ok (Some fr) ->
-          dispatch t fr;
+          dispatch ~reply t fr;
           pump ()
       | Ok None -> ()
       | Error msg -> failwith ("live: corrupt stream: " ^ msg)
@@ -430,6 +456,10 @@ let stats t : Net.stats =
     per_node_sent = Array.copy t.per_node_sent;
     per_node_received = Array.copy t.per_node_received;
   }
+
+let set_client_handler t h = t.on_client <- Some h
+
+let client_reqs t = t.client_reqs
 
 let factory t =
   {

@@ -103,4 +103,17 @@ val stats : t -> Repro_msgpass.Net.stats
     dropped on broken links ([dropped]) and [reconnects].  The factory's
     transport view reports the same record. *)
 
+val set_client_handler :
+  t -> (reply:(Wire.frame -> unit) -> Wire.frame -> unit) -> unit
+(** Install the client front door: every [Creq] frame read off any
+    accepted connection is handed to the handler together with a [reply]
+    function that writes a frame back on {e that} connection.  Client
+    frames bypass the peer-id check (their [src] is a client id above the
+    node range) and never enter the protocol transport, so peer-level
+    accounting is untouched.  Without a handler, [Creq] frames are
+    dropped.  Replies to vanished clients are discarded silently. *)
+
+val client_reqs : t -> int
+(** [Creq] frames dispatched so far. *)
+
 val close : t -> unit

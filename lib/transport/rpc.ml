@@ -1,0 +1,205 @@
+(* Client RPC codec: the bodies of [Wire.Creq] / [Wire.Cresp] frames.
+
+   Hand-rolled big-endian encoding, symmetric with the Wire framing
+   discipline: every decode is strict (bad tags, truncation, trailing
+   bytes, negative counts are all errors), so a corrupt client cannot
+   poison a node.  Values travel as 8-byte integers — the same
+   [value_bytes] currency the protocols declare for payload accounting. *)
+
+type op = Read of { var : int } | Write of { var : int; value : int }
+
+type request = Op of op | Batch of op array
+
+type outcome = Got of int option | Stored | Failed of string
+
+let max_batch = 0xFFFF
+
+let ops = function Op op -> [| op |] | Batch ops -> ops
+
+(* --- encoding ------------------------------------------------------------- *)
+
+let check_var var = if var < 0 || var > 0x7FFFFFFF then invalid_arg "Rpc: bad var"
+
+let op_len = function Read _ -> 5 | Write _ -> 13
+
+let put_op buf off = function
+  | Read { var } ->
+      check_var var;
+      Bytes.set_uint8 buf off 0;
+      Bytes.set_int32_be buf (off + 1) (Int32.of_int var);
+      off + 5
+  | Write { var; value } ->
+      check_var var;
+      Bytes.set_uint8 buf off 1;
+      Bytes.set_int32_be buf (off + 1) (Int32.of_int var);
+      Bytes.set_int64_be buf (off + 5) (Int64.of_int value);
+      off + 13
+
+let encode_request ~id req =
+  if id < 0 || id > 0x7FFFFFFF then invalid_arg "Rpc.encode_request: bad id";
+  match req with
+  | Op op ->
+      (* single ops share the per-op layout: tag byte then operands *)
+      let buf = Bytes.create (4 + op_len op) in
+      Bytes.set_int32_be buf 0 (Int32.of_int id);
+      let off = put_op buf 4 op in
+      assert (off = Bytes.length buf);
+      Bytes.unsafe_to_string buf
+  | Batch ops ->
+      let count = Array.length ops in
+      if count > max_batch then invalid_arg "Rpc.encode_request: batch too large";
+      let len = 4 + 1 + 2 + Array.fold_left (fun a op -> a + op_len op) 0 ops in
+      let buf = Bytes.create len in
+      Bytes.set_int32_be buf 0 (Int32.of_int id);
+      Bytes.set_uint8 buf 4 2;
+      Bytes.set_uint16_be buf 5 count;
+      let off = ref 7 in
+      Array.iter (fun op -> off := put_op buf !off op) ops;
+      assert (!off = len);
+      Bytes.unsafe_to_string buf
+
+let encode_response ~id outcomes =
+  if id < 0 || id > 0x7FFFFFFF then invalid_arg "Rpc.encode_response: bad id";
+  let count = Array.length outcomes in
+  if count > max_batch then invalid_arg "Rpc.encode_response: too many outcomes";
+  let outcome_len = function
+    | Got None -> 1
+    | Got (Some _) -> 9
+    | Stored -> 1
+    | Failed msg ->
+        if String.length msg > 0xFFFF then
+          invalid_arg "Rpc.encode_response: error message too long";
+        3 + String.length msg
+  in
+  let len = 4 + 2 + Array.fold_left (fun a o -> a + outcome_len o) 0 outcomes in
+  let buf = Bytes.create len in
+  Bytes.set_int32_be buf 0 (Int32.of_int id);
+  Bytes.set_uint16_be buf 4 count;
+  let off = ref 6 in
+  Array.iter
+    (fun o ->
+      (match o with
+      | Got None -> Bytes.set_uint8 buf !off 0
+      | Got (Some v) ->
+          Bytes.set_uint8 buf !off 1;
+          Bytes.set_int64_be buf (!off + 1) (Int64.of_int v)
+      | Stored -> Bytes.set_uint8 buf !off 2
+      | Failed msg ->
+          Bytes.set_uint8 buf !off 3;
+          Bytes.set_uint16_be buf (!off + 1) (String.length msg);
+          Bytes.blit_string msg 0 buf (!off + 3) (String.length msg));
+      off := !off + outcome_len o)
+    outcomes;
+  assert (!off = len);
+  Bytes.unsafe_to_string buf
+
+(* --- decoding ------------------------------------------------------------- *)
+
+(* A tiny strict reader: every primitive checks the remaining length, and
+   [finish] rejects trailing bytes, so decode accepts exactly the images
+   of encode. *)
+type reader = { body : string; mutable pos : int }
+
+exception Bad of string
+
+let need r k =
+  if r.pos + k > String.length r.body then raise (Bad "truncated body")
+
+let u8 r =
+  need r 1;
+  let v = Char.code r.body.[r.pos] in
+  r.pos <- r.pos + 1;
+  v
+
+let u16 r =
+  need r 2;
+  let v = String.get_uint16_be r.body r.pos in
+  r.pos <- r.pos + 2;
+  v
+
+let i32 r =
+  need r 4;
+  let v = Int32.to_int (String.get_int32_be r.body r.pos) in
+  r.pos <- r.pos + 4;
+  v
+
+let i64 r =
+  need r 8;
+  let v = Int64.to_int (String.get_int64_be r.body r.pos) in
+  r.pos <- r.pos + 8;
+  v
+
+let str r len =
+  need r len;
+  let v = String.sub r.body r.pos len in
+  r.pos <- r.pos + len;
+  v
+
+let finish r v =
+  if r.pos <> String.length r.body then raise (Bad "trailing bytes") else v
+
+let var_of r =
+  let var = i32 r in
+  if var < 0 then raise (Bad "negative var");
+  var
+
+let op_of r =
+  match u8 r with
+  | 0 -> Read { var = var_of r }
+  | 1 ->
+      let var = var_of r in
+      Write { var; value = i64 r }
+  | k -> raise (Bad (Printf.sprintf "unknown op tag %d" k))
+
+let run_decode f body =
+  let r = { body; pos = 0 } in
+  match f r with v -> Ok v | exception Bad msg -> Error msg
+
+let decode_request =
+  run_decode (fun r ->
+      let id = i32 r in
+      if id < 0 then raise (Bad "negative request id");
+      let req =
+        match u8 r with
+        | 0 -> Op (Read { var = var_of r })
+        | 1 ->
+            let var = var_of r in
+            Op (Write { var; value = i64 r })
+        | 2 ->
+            let count = u16 r in
+            Batch (Array.init count (fun _ -> op_of r))
+        | k -> raise (Bad (Printf.sprintf "unknown request tag %d" k))
+      in
+      finish r (id, req))
+
+let decode_response =
+  run_decode (fun r ->
+      let id = i32 r in
+      if id < 0 then raise (Bad "negative request id");
+      let count = u16 r in
+      let outcomes =
+        Array.init count (fun _ ->
+            match u8 r with
+            | 0 -> Got None
+            | 1 -> Got (Some (i64 r))
+            | 2 -> Stored
+            | 3 ->
+                let len = u16 r in
+                Failed (str r len)
+            | k -> raise (Bad (Printf.sprintf "unknown outcome tag %d" k)))
+      in
+      finish r (id, outcomes))
+
+(* --- declared-size accounting --------------------------------------------- *)
+
+let value_bytes = 8
+
+let op_payload = function Read _ -> 0 | Write _ -> value_bytes
+
+let request_payload_bytes req =
+  Array.fold_left (fun a op -> a + op_payload op) 0 (ops req)
+
+let response_payload_bytes outcomes =
+  Array.fold_left
+    (fun a o -> a + match o with Got (Some _) -> value_bytes | _ -> 0)
+    0 outcomes

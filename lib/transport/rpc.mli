@@ -1,0 +1,60 @@
+(** Client RPC codec: the front door a load generator talks through.
+
+    Requests and replies travel as the bodies of {!Wire.Creq} /
+    {!Wire.Cresp} frames on an ordinary client TCP connection, so they
+    inherit the length-prefixed framing, the streaming decoder, and its
+    corruption poisoning.  A connection is {e pipelined}: a client may
+    have any number of requests in flight; the serving node replies on
+    the same connection, echoing the request id, and the client matches
+    replies by id — order between distinct requests is not promised.
+
+    The encoding is strict big-endian:
+
+    {v
+      request  = id:u32  tag:u8
+                 tag 0 (read)   var:u32
+                 tag 1 (write)  var:u32 value:i64
+                 tag 2 (batch)  count:u16 then count ops
+                                (op = tag:u8 var:u32 [value:i64])
+      response = id:u32  count:u16 then count outcomes
+                 outcome tag:u8 — 0 got ⊥ | 1 got value:i64
+                                | 2 stored | 3 failed len:u16 bytes
+    v}
+
+    Decoders accept exactly the images of the encoders: truncated bodies,
+    unknown tags, negative vars/ids and trailing bytes are all [Error]s. *)
+
+type op = Read of { var : int } | Write of { var : int; value : int }
+
+type request = Op of op | Batch of op array
+(** [Batch] executes its ops in order at one replica and replies with one
+    outcome per op — the scan primitive of the load mix. *)
+
+type outcome = Got of int option | Stored | Failed of string
+(** [Got None] is the initial value ⊥.  [Failed] reports an access the
+    replica rejects — e.g. reading a variable it does not hold under a
+    partial replication scheme. *)
+
+val max_batch : int
+(** Ops per batch bound (65535), from the u16 count field. *)
+
+val ops : request -> op array
+(** The ops a request asks for, singletons included; length ≥ 1 for
+    well-formed requests (decoded batches may be empty). *)
+
+val encode_request : id:int -> request -> string
+(** @raise Invalid_argument on out-of-range id/var or oversized batch. *)
+
+val decode_request : string -> (int * request, string) result
+
+val encode_response : id:int -> outcome array -> string
+(** @raise Invalid_argument on out-of-range id or oversized messages. *)
+
+val decode_response : string -> (int * outcome array, string) result
+
+val request_payload_bytes : request -> int
+(** Declared payload bytes (8 per written value), for the [Wire] frame's
+    two-lane accounting fields; everything else in the body is control. *)
+
+val response_payload_bytes : outcome array -> int
+(** Declared payload bytes (8 per returned value). *)

@@ -8,25 +8,36 @@ type config = {
   jitter : int;
   seed : int;
   stable_acks : bool;
+  ack_delay : int;
+  coalesce : int;
 }
 
 let default =
   { retransmit_after = 40; backoff_max = 320; jitter = 10; seed = 0;
-    stable_acks = false }
+    stable_acks = false; ack_delay = 20; coalesce = 1 }
 
-type 'msg wrapped = Seg of { seq : int; msg : 'msg } | Ack of { next : int }
+type 'msg wrapped =
+  | Segs of { ack : int; segs : (int * int * int * 'msg) array }
+  | Ack of { next : int }
 
 (* Reliability bytes, in the same declared-size currency as the protocols'
-   control bytes but accounted apart from them: a sequence number per
-   segment, a cumulative counter per ack. *)
+   control bytes but accounted apart from them.  A data frame's header
+   holds a base sequence number plus a cumulative-ack slot (used when an
+   ack is piggybacked, zero extra bytes either way); each segment packed
+   beyond the first adds a small length entry; a standalone ack frame is a
+   cumulative counter. *)
 let seg_header_bytes = 8
 
 let ack_bytes = 8
+
+let coal_entry_bytes = 2
 
 type stats = {
   segs_sent : int;
   retransmits : int;
   acks_sent : int;
+  acks_piggybacked : int;
+  frames_sent : int;
   dups_suppressed : int;
   overhead_bytes : int;
 }
@@ -56,6 +67,10 @@ let wrap ?(config = default) (inner : Transport.factory) :
     invalid_arg "Session.wrap: retransmit_after must be >= 1";
   if config.backoff_max < config.retransmit_after then
     invalid_arg "Session.wrap: backoff_max below retransmit_after";
+  if config.ack_delay < 0 then invalid_arg "Session.wrap: negative ack_delay";
+  if config.ack_delay >= config.retransmit_after then
+    invalid_arg "Session.wrap: ack_delay must stay below retransmit_after";
+  if config.coalesce < 1 then invalid_arg "Session.wrap: coalesce must be >= 1";
   let installed : control option ref = ref None in
   let the () =
     match !installed with
@@ -85,46 +100,116 @@ let wrap ?(config = default) (inner : Transport.factory) :
           in
           let timer_armed = Array.make_matrix n n false in
           let cur_timeout = Array.make_matrix n n config.retransmit_after in
+          (* acks seen since the retransmit timer was last armed: a link
+             whose window is advancing is healthy, and its timer restarts
+             instead of go-back-N-replaying segments that aren't late *)
+          let acked_since_arm = Array.make_matrix n n false in
+          (* segments queued behind a pending flush (coalescing only);
+             stored reversed, newest first *)
+          let outq : (int * int * int * m) list array array =
+            Array.make_matrix n n []
+          in
+          let flush_armed = Array.make_matrix n n false in
           (* receiver state per directed link (indexed receiver, sender) *)
           let expected = Array.make_matrix n n 0 in
           (* positions covered by the receiver's last checkpoint; in
              stable-acks mode acks advance only this floor, so peers keep
              retransmitting anything a crash could roll back *)
           let stable = Array.make_matrix n n 0 in
+          (* a received segment owes the sender a cumulative ack: either
+             piggybacked on the next data frame back, or — if the link
+             stays idle for [ack_delay] — flushed as a standalone Ack *)
+          let ack_pending = Array.make_matrix n n false in
+          let ack_armed = Array.make_matrix n n false in
           let jitter_rng = Rng.create (config.seed lxor 0x5E55) in
           (* protocol-level accounting: first transmissions and in-order
              first deliveries only — the numbers the paper's experiments
-             compare, unchanged by loss or retransmission *)
+             compare, unchanged by loss, retransmission or coalescing *)
           let sent = ref 0 and delivered = ref 0 in
           let ctl = ref 0 and pay = ref 0 in
           let per_node_sent = Array.make n 0 in
           let per_node_received = Array.make n 0 in
           (* reliability-layer accounting, reported separately *)
-          let segs = ref 0 and retransmits = ref 0 and acks = ref 0 in
+          let segs_count = ref 0 and retransmits = ref 0 and acks = ref 0 in
+          let piggybacked = ref 0 and frames = ref 0 in
           let dups = ref 0 and overhead = ref 0 in
-          let transmit ~retransmit ~src ~dst (seq, cb, pb, msg) =
-            incr segs;
+          let ack_value src dst =
+            if config.stable_acks then stable.(src).(dst)
+            else expected.(src).(dst)
+          in
+          (* one wire frame carrying [segs] (all fresh or all retransmit),
+             with a cumulative ack piggybacked when one is owed *)
+          let emit_data ~retransmit ~src ~dst segs =
+            let k = Array.length segs in
+            incr frames;
+            segs_count := !segs_count + k;
+            overhead := !overhead + seg_header_bytes + (coal_entry_bytes * (k - 1));
+            let cb = ref 0 and pb = ref 0 in
+            Array.iter
+              (fun (_, c, p, _) ->
+                cb := !cb + c;
+                pb := !pb + p)
+              segs;
             if retransmit then begin
-              incr retransmits;
-              overhead := !overhead + seg_header_bytes + cb + pb
-            end
-            else overhead := !overhead + seg_header_bytes;
-            tr.Transport.send ~src ~dst ~control_bytes:cb ~payload_bytes:pb
-              (Seg { seq; msg })
+              retransmits := !retransmits + k;
+              overhead := !overhead + !cb + !pb
+            end;
+            let ack =
+              if ack_pending.(src).(dst) then begin
+                ack_pending.(src).(dst) <- false;
+                incr piggybacked;
+                ack_value src dst
+              end
+              else -1
+            in
+            tr.Transport.send ~src ~dst ~control_bytes:!cb ~payload_bytes:!pb
+              (Segs { ack; segs })
           in
           let send_ack ~from_ ~to_ =
-            let next =
-              if config.stable_acks then stable.(from_).(to_)
-              else expected.(from_).(to_)
-            in
             incr acks;
+            incr frames;
             overhead := !overhead + ack_bytes;
             tr.Transport.send ~src:from_ ~dst:to_ ~control_bytes:ack_bytes
-              ~payload_bytes:0 (Ack { next })
+              ~payload_bytes:0 (Ack { next = ack_value from_ to_ })
+          in
+          let ack_flush p s =
+            if ack_pending.(p).(s) then begin
+              ack_pending.(p).(s) <- false;
+              send_ack ~from_:p ~to_:s
+            end
+          in
+          let arm_ack p s =
+            if config.ack_delay = 0 then ack_flush p s
+            else if not ack_armed.(p).(s) then begin
+              ack_armed.(p).(s) <- true;
+              tr.Transport.schedule ~delay:config.ack_delay (fun () ->
+                  ack_armed.(p).(s) <- false;
+                  ack_flush p s)
+            end
+          in
+          let chunked segs =
+            (* split a segment run into frames of at most [coalesce] *)
+            let total = Array.length segs in
+            let rec go off acc =
+              if off >= total then List.rev acc
+              else
+                let k = min config.coalesce (total - off) in
+                go (off + k) (Array.sub segs off k :: acc)
+            in
+            go 0 []
+          in
+          let flush src dst =
+            match outq.(src).(dst) with
+            | [] -> ()
+            | q ->
+                outq.(src).(dst) <- [];
+                let segs = Array.of_list (List.rev q) in
+                List.iter (emit_data ~retransmit:false ~src ~dst) (chunked segs)
           in
           let rec arm src dst =
             if not timer_armed.(src).(dst) then begin
               timer_armed.(src).(dst) <- true;
+              acked_since_arm.(src).(dst) <- false;
               let delay =
                 cur_timeout.(src).(dst)
                 + (if config.jitter > 0 then Rng.int jitter_rng (config.jitter + 1)
@@ -132,82 +217,109 @@ let wrap ?(config = default) (inner : Transport.factory) :
               in
               tr.Transport.schedule ~delay (fun () ->
                   timer_armed.(src).(dst) <- false;
+                  (* anything still queued goes out fresh first, so the
+                     window replay below never double-sends it as new *)
+                  flush src dst;
                   let w = window.(src).(dst) in
-                  if not (Ringbuf.is_empty w) then begin
-                    Ringbuf.iter w (transmit ~retransmit:true ~src ~dst);
-                    cur_timeout.(src).(dst) <-
-                      min config.backoff_max (2 * cur_timeout.(src).(dst));
-                    arm src dst
-                  end)
+                  if not (Ringbuf.is_empty w) then
+                    if acked_since_arm.(src).(dst) then
+                      (* progress since arming: nothing in the window has
+                         been outstanding for a full timeout yet *)
+                      arm src dst
+                    else begin
+                      let segs = Array.of_list (Ringbuf.to_list w) in
+                      List.iter
+                        (emit_data ~retransmit:true ~src ~dst)
+                        (chunked segs);
+                      cur_timeout.(src).(dst) <-
+                        min config.backoff_max (2 * cur_timeout.(src).(dst));
+                      arm src dst
+                    end)
+            end
+          in
+          let prune_window p s next =
+            let w = window.(p).(s) in
+            let progressed = ref false in
+            let rec prune () =
+              match Ringbuf.peek_front w with
+              | Some (seq, _, _, _) when seq < next ->
+                  ignore (Ringbuf.pop_front w);
+                  progressed := true;
+                  prune ()
+              | _ -> ()
+            in
+            prune ();
+            if !progressed then begin
+              cur_timeout.(p).(s) <- config.retransmit_after;
+              acked_since_arm.(p).(s) <- true
             end
           in
           let on_wrapped p (env : m wrapped Net.envelope) =
             let s = env.Net.src in
             match env.Net.msg with
-            | Seg { seq; msg } ->
-                if seq = expected.(p).(s) then begin
-                  expected.(p).(s) <- seq + 1;
-                  incr delivered;
-                  per_node_received.(p) <- per_node_received.(p) + 1;
-                  handlers.(p)
-                    {
-                      Net.src = s;
-                      dst = env.Net.dst;
-                      send_time = env.Net.send_time;
-                      deliver_time = env.Net.deliver_time;
-                      control_bytes = env.Net.control_bytes;
-                      payload_bytes = env.Net.payload_bytes;
-                      msg;
-                    }
-                end
-                else if seq < expected.(p).(s) then incr dups;
-                (* out-of-order segments are discarded (go-back-N); every
-                   arrival refreshes the cumulative ack *)
-                send_ack ~from_:p ~to_:s
-            | Ack { next } ->
-                let w = window.(p).(s) in
-                let progressed = ref false in
-                let rec prune () =
-                  match Ringbuf.peek_front w with
-                  | Some (seq, _, _, _) when seq < next ->
-                      ignore (Ringbuf.pop_front w);
-                      progressed := true;
-                      prune ()
-                  | _ -> ()
-                in
-                prune ();
-                if !progressed then
-                  cur_timeout.(p).(s) <- config.retransmit_after
+            | Segs { ack; segs } ->
+                if ack >= 0 then prune_window p s ack;
+                (* owe the sender a cumulative ack before delivering: a
+                   synchronous protocol reply then carries it for free *)
+                ack_pending.(p).(s) <- true;
+                Array.iter
+                  (fun (seq, cb, pb, msg) ->
+                    if seq = expected.(p).(s) then begin
+                      expected.(p).(s) <- seq + 1;
+                      incr delivered;
+                      per_node_received.(p) <- per_node_received.(p) + 1;
+                      handlers.(p)
+                        {
+                          Net.src = s;
+                          dst = env.Net.dst;
+                          send_time = env.Net.send_time;
+                          deliver_time = env.Net.deliver_time;
+                          control_bytes = cb;
+                          payload_bytes = pb;
+                          msg;
+                        }
+                    end
+                    else if seq < expected.(p).(s) then incr dups
+                    (* out-of-order segments are discarded (go-back-N) *))
+                  segs;
+                (* still owed (no data went back): a standalone ack after
+                   the idle delay covers every arrival cumulatively *)
+                if ack_pending.(p).(s) then arm_ack p s
+            | Ack { next } -> prune_window p s next
           in
           for p = 0 to n - 1 do
             tr.Transport.set_handler p (on_wrapped p)
           done;
           let session_stats () =
             {
-              segs_sent = !segs;
+              segs_sent = !segs_count;
               retransmits = !retransmits;
               acks_sent = !acks;
+              acks_piggybacked = !piggybacked;
+              frames_sent = !frames;
               dups_suppressed = !dups;
               overhead_bytes = !overhead;
             }
           in
           let snapshot () : string =
-            let windows =
-              Array.map (Array.map Ringbuf.to_list) window
-            in
+            (* flush queues are not part of the state: queued segments are
+               already in their windows, and retransmission replays them *)
+            let windows = Array.map (Array.map Ringbuf.to_list) window in
             let st : m state =
               ( next_seq, windows, cur_timeout, expected, stable,
-                ( !sent, !delivered, !ctl, !pay, !segs, !retransmits, !acks,
-                  !overhead ),
+                ( !sent, !delivered, !ctl, !pay, !segs_count, !retransmits,
+                  !acks, !overhead ),
                 per_node_sent, per_node_received )
             in
-            Marshal.to_string (st, !dups) []
+            Marshal.to_string (st, (!dups, !piggybacked, !frames)) []
           in
           let blit_matrix dst src =
             Array.iteri (fun i row -> Array.blit src.(i) 0 row 0 (Array.length row)) dst
           in
           let restore blob =
-            let (st : m state), dups' = Marshal.from_string blob 0 in
+            let (st : m state), (dups', piggy', frames') =
+              Marshal.from_string blob 0
+            in
             let nq, windows, ct, ex, stb, counters, pns, pnr = st in
             let s, d, c, p, sg, rt, ak, ov = counters in
             blit_matrix next_seq nq;
@@ -217,8 +329,10 @@ let wrap ?(config = default) (inner : Transport.factory) :
             Array.blit pns 0 per_node_sent 0 n;
             Array.blit pnr 0 per_node_received 0 n;
             sent := s; delivered := d; ctl := c; pay := p;
-            segs := sg; retransmits := rt; acks := ak; overhead := ov;
+            segs_count := sg; retransmits := rt; acks := ak; overhead := ov;
             dups := dups';
+            piggybacked := piggy';
+            frames := frames';
             for i = 0 to n - 1 do
               for j = 0 to n - 1 do
                 let w = window.(i).(j) in
@@ -251,8 +365,20 @@ let wrap ?(config = default) (inner : Transport.factory) :
                 ctl := !ctl + control_bytes;
                 pay := !pay + payload_bytes;
                 per_node_sent.(src) <- per_node_sent.(src) + 1;
-                transmit ~retransmit:false ~src ~dst
-                  (seq, control_bytes, payload_bytes, msg);
+                let seg = (seq, control_bytes, payload_bytes, msg) in
+                if config.coalesce = 1 then
+                  (* no flush budget: transmit synchronously, exactly the
+                     uncoalesced wire behaviour *)
+                  emit_data ~retransmit:false ~src ~dst [| seg |]
+                else begin
+                  outq.(src).(dst) <- seg :: outq.(src).(dst);
+                  if not flush_armed.(src).(dst) then begin
+                    flush_armed.(src).(dst) <- true;
+                    tr.Transport.schedule ~delay:0 (fun () ->
+                        flush_armed.(src).(dst) <- false;
+                        flush src dst)
+                  end
+                end;
                 arm src dst);
             set_handler = (fun node f -> handlers.(node) <- f);
             schedule = tr.Transport.schedule;
@@ -279,29 +405,29 @@ let wrap ?(config = default) (inner : Transport.factory) :
             set_tracing = tr.Transport.set_tracing;
             trace =
               (fun () ->
-                List.filter_map
+                List.concat_map
                   (fun ev ->
-                    let unwrap (env : m wrapped Net.envelope) =
+                    let unwrap wrap_ev (env : m wrapped Net.envelope) =
                       match env.Net.msg with
-                      | Seg { msg; _ } ->
-                          Some
-                            {
-                              Net.src = env.Net.src;
-                              dst = env.Net.dst;
-                              send_time = env.Net.send_time;
-                              deliver_time = env.Net.deliver_time;
-                              control_bytes = env.Net.control_bytes;
-                              payload_bytes = env.Net.payload_bytes;
-                              msg;
-                            }
-                      | Ack _ -> None
+                      | Segs { segs; _ } ->
+                          Array.to_list segs
+                          |> List.map (fun (_, cb, pb, msg) ->
+                                 wrap_ev
+                                   {
+                                     Net.src = env.Net.src;
+                                     dst = env.Net.dst;
+                                     send_time = env.Net.send_time;
+                                     deliver_time = env.Net.deliver_time;
+                                     control_bytes = cb;
+                                     payload_bytes = pb;
+                                     msg;
+                                   })
+                      | Ack _ -> []
                     in
                     match ev with
-                    | Net.Sent e -> Option.map (fun e -> Net.Sent e) (unwrap e)
-                    | Net.Delivered e ->
-                        Option.map (fun e -> Net.Delivered e) (unwrap e)
-                    | Net.Dropped e ->
-                        Option.map (fun e -> Net.Dropped e) (unwrap e))
+                    | Net.Sent e -> unwrap (fun e -> Net.Sent e) e
+                    | Net.Delivered e -> unwrap (fun e -> Net.Delivered e) e
+                    | Net.Dropped e -> unwrap (fun e -> Net.Dropped e) e)
                   (tr.Transport.trace ()));
           });
     }

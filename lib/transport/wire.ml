@@ -1,4 +1,4 @@
-type kind = Data | Hello | Done
+type kind = Data | Hello | Done | Creq | Cresp
 
 type frame = {
   kind : kind;
@@ -16,12 +16,19 @@ let header_bytes = 14
 
 let max_frame_bytes = 1 lsl 24
 
-let kind_byte = function Data -> 0 | Hello -> 1 | Done -> 2
+let kind_byte = function
+  | Data -> 0
+  | Hello -> 1
+  | Done -> 2
+  | Creq -> 3
+  | Cresp -> 4
 
 let kind_of_byte = function
   | 0 -> Some Data
   | 1 -> Some Hello
   | 2 -> Some Done
+  | 3 -> Some Creq
+  | 4 -> Some Cresp
   | _ -> None
 
 let encode frame =

@@ -6,7 +6,8 @@
     {v
       offset 0   4 bytes  length L (bytes following the length field)
       offset 4   1 byte   magic 0xD5
-      offset 5   1 byte   kind (0 = data, 1 = hello, 2 = done)
+      offset 5   1 byte   kind (0 = data, 1 = hello, 2 = done,
+                                3 = client request, 4 = client response)
       offset 6   2 bytes  src node id
       offset 8   2 bytes  dst node id
       offset 10  4 bytes  declared control bytes
@@ -20,9 +21,13 @@
     simulator counts, independent of the marshalled body size.  [Data]
     bodies hold a marshalled protocol message; [Hello] bodies hold the
     cluster fingerprint (protocol, workload, size, seed) so mismatched
-    daemons fail loudly instead of unmarshalling garbage. *)
+    daemons fail loudly instead of unmarshalling garbage.  [Creq]/[Cresp]
+    frames carry the client front door's RPC bodies ({!Rpc}): requests
+    from load-generator clients and the replies a node sends back on the
+    same connection.  Client ids live in [src]/[dst] above the node-id
+    range, so a frame's addressing never collides with a peer's. *)
 
-type kind = Data | Hello | Done
+type kind = Data | Hello | Done | Creq | Cresp
 
 type frame = {
   kind : kind;

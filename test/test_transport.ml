@@ -21,7 +21,7 @@ let qcheck = QCheck_alcotest.to_alcotest
 
 let frame_gen =
   QCheck.Gen.(
-    let* kind = oneofl [ Wire.Data; Wire.Hello; Wire.Done ] in
+    let* kind = oneofl [ Wire.Data; Wire.Hello; Wire.Done; Wire.Creq; Wire.Cresp ] in
     let* src = int_bound 0xFFFF in
     let* dst = int_bound 0xFFFF in
     let* control_bytes = int_bound 1_000_000 in
@@ -31,7 +31,12 @@ let frame_gen =
 
 let frame_print (f : Wire.frame) =
   Printf.sprintf "{kind=%s src=%d dst=%d cb=%d pb=%d body=%S}"
-    (match f.kind with Data -> "data" | Hello -> "hello" | Done -> "done")
+    (match f.kind with
+    | Data -> "data"
+    | Hello -> "hello"
+    | Done -> "done"
+    | Creq -> "creq"
+    | Cresp -> "cresp")
     f.src f.dst f.control_bytes f.payload_bytes f.body
 
 let frame_arb = QCheck.make ~print:frame_print frame_gen
@@ -168,6 +173,127 @@ let test_streaming_poisoned () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "decoder recovered from poison"
 
+(* --- client RPC codec -------------------------------------------------------- *)
+
+module Rpc = Repro_transport.Rpc
+
+let rpc_op_gen =
+  QCheck.Gen.(
+    let* var = int_bound 1_000_000 in
+    oneof
+      [
+        return (Rpc.Read { var });
+        (let* value = int in
+         return (Rpc.Write { var; value }));
+      ])
+
+let rpc_request_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun op -> Rpc.Op op) rpc_op_gen;
+        map (fun ops -> Rpc.Batch (Array.of_list ops))
+          (list_size (int_bound 20) rpc_op_gen);
+      ])
+
+let rpc_request_print (id, req) =
+  let op_str = function
+    | Rpc.Read { var } -> Printf.sprintf "R x%d" var
+    | Rpc.Write { var; value } -> Printf.sprintf "W x%d=%d" var value
+  in
+  Printf.sprintf "#%d %s" id
+    (match req with
+    | Rpc.Op op -> op_str op
+    | Rpc.Batch ops ->
+        "[" ^ String.concat "; " (Array.to_list (Array.map op_str ops)) ^ "]")
+
+let test_rpc_request_roundtrip =
+  qcheck
+    (QCheck.Test.make ~name:"rpc_request_roundtrip" ~count:500
+       (QCheck.make ~print:rpc_request_print
+          QCheck.Gen.(pair (int_bound 0x7FFFFFFF) rpc_request_gen))
+       (fun (id, req) ->
+         Rpc.decode_request (Rpc.encode_request ~id req) = Ok (id, req)))
+
+let rpc_outcome_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        return (Rpc.Got None);
+        map (fun v -> Rpc.Got (Some v)) int;
+        return Rpc.Stored;
+        map (fun s -> Rpc.Failed s) (string_size (int_bound 80));
+      ])
+
+let test_rpc_response_roundtrip =
+  qcheck
+    (QCheck.Test.make ~name:"rpc_response_roundtrip" ~count:500
+       (QCheck.make
+          QCheck.Gen.(
+            pair (int_bound 0x7FFFFFFF)
+              (map Array.of_list (list_size (int_bound 20) rpc_outcome_gen))))
+       (fun (id, outcomes) ->
+         Rpc.decode_response (Rpc.encode_response ~id outcomes)
+         = Ok (id, outcomes)))
+
+let test_rpc_truncation_rejected () =
+  let reqs =
+    [
+      Rpc.Op (Rpc.Read { var = 7 });
+      Rpc.Op (Rpc.Write { var = 3; value = -12345 });
+      Rpc.Batch
+        [| Rpc.Read { var = 0 }; Rpc.Write { var = 1; value = 99 };
+           Rpc.Read { var = 2 } |];
+    ]
+  in
+  List.iter
+    (fun req ->
+      let body = Rpc.encode_request ~id:42 req in
+      for len = 0 to String.length body - 1 do
+        match Rpc.decode_request (String.sub body 0 len) with
+        | Ok _ -> Alcotest.failf "decoded a %d-byte truncation" len
+        | Error _ -> ()
+      done;
+      match Rpc.decode_request (body ^ "\x00") with
+      | Ok _ -> Alcotest.fail "decoded trailing garbage"
+      | Error _ -> ())
+    reqs;
+  let resp = Rpc.encode_response ~id:7 [| Rpc.Got (Some 5); Rpc.Stored |] in
+  for len = 0 to String.length resp - 1 do
+    match Rpc.decode_response (String.sub resp 0 len) with
+    | Ok _ -> Alcotest.failf "decoded a %d-byte response truncation" len
+    | Error _ -> ()
+  done
+
+let test_rpc_corrupt_tags_rejected () =
+  (* unknown request tag *)
+  let body = Bytes.of_string (Rpc.encode_request ~id:1 (Rpc.Op (Rpc.Read { var = 0 }))) in
+  Bytes.set_uint8 body 4 9;
+  (match Rpc.decode_request (Bytes.to_string body) with
+  | Ok _ -> Alcotest.fail "decoded unknown request tag"
+  | Error _ -> ());
+  (* unknown op tag inside a batch *)
+  let body =
+    Bytes.of_string
+      (Rpc.encode_request ~id:1 (Rpc.Batch [| Rpc.Read { var = 0 } |]))
+  in
+  Bytes.set_uint8 body 7 9;
+  (match Rpc.decode_request (Bytes.to_string body) with
+  | Ok _ -> Alcotest.fail "decoded unknown op tag"
+  | Error _ -> ());
+  (* negative request id *)
+  let body = Bytes.of_string (Rpc.encode_request ~id:1 (Rpc.Op (Rpc.Read { var = 0 }))) in
+  Bytes.set_int32_be body 0 (-1l);
+  (match Rpc.decode_request (Bytes.to_string body) with
+  | Ok _ -> Alcotest.fail "decoded negative id"
+  | Error _ -> ());
+  (* unknown outcome tag *)
+  let body = Bytes.of_string (Rpc.encode_response ~id:1 [| Rpc.Stored |]) in
+  Bytes.set_uint8 body 6 9;
+  match Rpc.decode_response (Bytes.to_string body) with
+  | Ok _ -> Alcotest.fail "decoded unknown outcome tag"
+  | Error _ -> ()
+
 (* --- transport construction -------------------------------------------------- *)
 
 let test_sim_validates_faults_fail_fast () =
@@ -211,16 +337,16 @@ let plan_of text =
 
 (* The same stack a live node runs, on the sim backend: backend -> chaos ->
    session.  Returns the reliable factory plus both control handles. *)
-let chaos_stack ~plan ~seed =
+let chaos_stack ?(config = Session.default) ~plan ~seed () =
   let base = Transport.sim ~latency:(Latency.constant 3) ~seed () in
   let chaotic, cctl = Chaos.wrap ~plan base in
   let reliable, sctl =
-    Session.wrap ~config:{ Session.default with Session.seed = seed + 1 } chaotic
+    Session.wrap ~config:{ config with Session.seed = seed + 1 } chaotic
   in
   (reliable, cctl, sctl)
 
-let drive ~plan ~seed ~count =
-  let reliable, cctl, sctl = chaos_stack ~plan ~seed in
+let drive ?config ~plan ~seed ~count () =
+  let reliable, cctl, sctl = chaos_stack ?config ~plan ~seed () in
   let t = reliable.Transport.create ~n:2 in
   let got = ref [] in
   t.Transport.set_handler 1 (fun e ->
@@ -247,7 +373,7 @@ let test_session_exactly_once_in_order =
                 (seed + 1) d u r)
          in
          let count = 25 in
-         let got, stats, _, _ = drive ~plan ~seed ~count in
+         let got, stats, _, _ = drive ~plan ~seed ~count () in
          List.map fst got = List.init count (fun i -> i + 1)
          && stats.Repro_msgpass.Net.sent = count
          && stats.Repro_msgpass.Net.delivered = count
@@ -258,7 +384,7 @@ let test_chaos_stack_deterministic () =
      after run — the property that makes a chaos experiment replayable *)
   let run () =
     let plan = plan_of "seed=9,drop=0.2,dup=0.1,reorder=0.3" in
-    let got, _, c, s = drive ~plan ~seed:4 ~count:20 in
+    let got, _, c, s = drive ~plan ~seed:4 ~count:20 () in
     (got, c.Chaos.drops, c.Chaos.duplicates, s.Session.retransmits,
      s.Session.overhead_bytes)
   in
@@ -274,7 +400,7 @@ let test_chaos_stack_deterministic () =
 let test_session_overhead_accounting () =
   (* on a clean link the session layer's cost is pure bookkeeping: segment
      headers plus acks, no retransmissions, no suppressed duplicates *)
-  let got, stats, _, s = drive ~plan:Fault.Plan.none ~seed:2 ~count:10 in
+  let got, stats, _, s = drive ~plan:Fault.Plan.none ~seed:2 ~count:10 () in
   check Alcotest.int "all delivered" 10 (List.length got);
   check Alcotest.int "no retransmits" 0 s.Session.retransmits;
   check Alcotest.int "no dups suppressed" 0 s.Session.dups_suppressed;
@@ -283,6 +409,70 @@ let test_session_overhead_accounting () =
     s.Session.overhead_bytes;
   check Alcotest.int "protocol lane untouched" 40
     stats.Repro_msgpass.Net.total_control_bytes
+
+(* Acks ride on reverse-direction data segments for free (the segment
+   header reserves the slot); a standalone Ack frame is the idle-link
+   fallback.  Request/reply traffic must therefore piggyback. *)
+let test_session_ack_piggyback () =
+  let reliable, _, sctl = chaos_stack ~plan:Fault.Plan.none ~seed:3 () in
+  let t = reliable.Transport.create ~n:2 in
+  t.Transport.set_handler 0 (fun _ -> ());
+  t.Transport.set_handler 1 (fun e ->
+      (* synchronous reply, exactly the front-door shape *)
+      t.Transport.send ~src:1 ~dst:0 ~control_bytes:4 ~payload_bytes:0
+        (1000 + e.Repro_msgpass.Net.msg));
+  for k = 1 to 10 do
+    t.Transport.send ~src:0 ~dst:1 ~control_bytes:4 ~payload_bytes:0 k
+  done;
+  t.Transport.quiesce ();
+  let s = sctl.Session.stats () in
+  check Alcotest.int "all delivered" 20
+    (t.Transport.stats ()).Repro_msgpass.Net.delivered;
+  check Alcotest.bool "acks piggybacked" true (s.Session.acks_piggybacked > 0);
+  (* every piggybacked ack is a standalone Ack frame (and its bytes) saved *)
+  check Alcotest.int "overhead = headers + standalone acks only"
+    ((s.Session.segs_sent * Session.seg_header_bytes)
+    + (s.Session.acks_sent * Session.ack_bytes))
+    s.Session.overhead_bytes
+
+(* Coalescing is invisible to the protocol lane: same deliveries in the
+   same order, same first-transmission accounting — only the overhead
+   lane (frames, headers, standalone acks) shrinks. *)
+let test_coalescing_equivalence () =
+  let run coalesce plan =
+    let got, stats, _, s =
+      drive
+        ~config:{ Session.default with Session.coalesce }
+        ~plan ~seed:11 ~count:30 ()
+    in
+    (List.map fst got, stats, s)
+  in
+  (* clean link: strict frame/overhead reduction *)
+  let g1, st1, s1 = run 1 Fault.Plan.none in
+  let g8, st8, s8 = run 8 Fault.Plan.none in
+  check Alcotest.(list int) "same deliveries (clean)" g1 g8;
+  check Alcotest.int "same msgs sent" st1.Repro_msgpass.Net.sent
+    st8.Repro_msgpass.Net.sent;
+  check Alcotest.int "same control bytes" st1.Repro_msgpass.Net.total_control_bytes
+    st8.Repro_msgpass.Net.total_control_bytes;
+  check Alcotest.int "same payload bytes" st1.Repro_msgpass.Net.total_payload_bytes
+    st8.Repro_msgpass.Net.total_payload_bytes;
+  check Alcotest.bool "fewer frames" true
+    (s8.Session.frames_sent < s1.Session.frames_sent);
+  check Alcotest.bool "less overhead" true
+    (s8.Session.overhead_bytes < s1.Session.overhead_bytes);
+  check Alcotest.int "same segments" s1.Session.segs_sent s8.Session.segs_sent;
+  (* chaotic link: exactly-once in-order delivery and protocol accounting
+     still agree across budgets *)
+  let plan = plan_of "seed=7,drop=0.15,dup=0.05,reorder=0.2" in
+  let g1, st1, _ = run 1 plan in
+  let g8, st8, _ = run 8 plan in
+  check Alcotest.(list int) "same deliveries (chaos)" g1 g8;
+  check Alcotest.int "same msgs sent (chaos)" st1.Repro_msgpass.Net.sent
+    st8.Repro_msgpass.Net.sent;
+  check Alcotest.int "same control bytes (chaos)"
+    st1.Repro_msgpass.Net.total_control_bytes
+    st8.Repro_msgpass.Net.total_control_bytes
 
 let () =
   Alcotest.run "repro_transport"
@@ -307,6 +497,15 @@ let () =
           Alcotest.test_case "poisoned decoder stays poisoned" `Quick
             test_streaming_poisoned;
         ] );
+      ( "rpc",
+        [
+          test_rpc_request_roundtrip;
+          test_rpc_response_roundtrip;
+          Alcotest.test_case "truncation rejected" `Quick
+            test_rpc_truncation_rejected;
+          Alcotest.test_case "corrupt tags rejected" `Quick
+            test_rpc_corrupt_tags_rejected;
+        ] );
       ( "transport",
         [
           Alcotest.test_case "sim validates faults fail-fast" `Quick
@@ -321,5 +520,9 @@ let () =
             test_chaos_stack_deterministic;
           Alcotest.test_case "overhead accounted apart" `Quick
             test_session_overhead_accounting;
+          Alcotest.test_case "acks piggyback on replies" `Quick
+            test_session_ack_piggyback;
+          Alcotest.test_case "coalescing equivalence" `Quick
+            test_coalescing_equivalence;
         ] );
     ]
