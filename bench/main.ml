@@ -896,6 +896,7 @@ let load_config ~protocol ~n ~mix ~rate ~duration_ms ~coalesce ~drain_plan ~seed
     seed;
     coalesce;
     drain_plan;
+    gc_space_overhead = None;
   }
 
 let run_load cfg =
@@ -1122,6 +1123,242 @@ let run_load_benchmarks ?json () =
     json;
   if !failures <> [] then exit 2
 
+(* --- hotpath: zero-copy send/receive tier ----------------------------------------
+   Microbenchmarks of the live hot path's building blocks — the strict
+   binary codecs against the [Marshal] bodies they replaced, and the
+   pooled frame cycle (acquire → header+body emit → release) that the
+   batched link flush runs per message — with minor-heap words per
+   operation next to nanoseconds, because the point of the pooled path is
+   what it does NOT allocate.  Then the whole-stack check: the same
+   fixed-work load configuration (pram-partial, n=3, read-heavy, same
+   seed) run once per rep on the legacy arm (REPRO_LIVE_LEGACY=1: Marshal
+   bodies, one write(2) per frame, per-iteration select rebuild) and once
+   on the default zero-copy arm, gated on the paired wall-throughput
+   ratio (>= 1.3x) and the CPU-cost ratio (fast arm must complete more
+   ops per node CPU-second).  Both arms serve identical op multisets, so
+   the protocol lane must agree to the byte — the two-lane invariant
+   cross-checked between arms. *)
+
+module Wire = Repro_transport.Wire
+module Tcodec = Repro_transport.Codec
+module Causal_full = Repro_core.Causal_full
+module Op = Repro_history.Op
+
+type micro_row = { mb_name : string; mb_ns : float; mb_words : float }
+
+let measure name ?(warmup = 10_000) ~iters f =
+  for _ = 1 to warmup do f () done;
+  Gc.minor ();
+  let w0 = Gc.minor_words () in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to iters do f () done;
+  let t1 = Unix.gettimeofday () in
+  let w1 = Gc.minor_words () in
+  {
+    mb_name = name;
+    mb_ns = (t1 -. t0) *. 1e9 /. float_of_int iters;
+    mb_words = (w1 -. w0) /. float_of_int iters;
+  }
+
+let hotpath_micro_rows () =
+  let iters = 200_000 in
+  let pram_msg = Pram_partial.Update { var = 7; value = Op.Val 123_456; seq = 42 } in
+  let causal_msg =
+    Causal_full.Update
+      { var = 3; value = Op.Val 987_654; writer = 2; ts = Array.init 8 (fun i -> i * 11) }
+  in
+  let buf = Bytes.create 512 in
+  let bench_codec (type m) name (c : m Tcodec.t) (msg : m) =
+    let len = c.Tcodec.size msg in
+    ignore (c.Tcodec.emit buf 0 msg : int);
+    let marshalled = Marshal.to_string msg [] in
+    let pool = Wire.Pool.create () in
+    [
+      measure (name ^ "/codec-encode") ~iters (fun () ->
+          ignore (c.Tcodec.emit buf 0 msg : int));
+      measure (name ^ "/codec-decode") ~iters (fun () ->
+          ignore (c.Tcodec.parse buf 0 len : m * int));
+      measure (name ^ "/marshal-encode") ~iters (fun () ->
+          ignore (Marshal.to_bytes msg [] : Bytes.t));
+      measure (name ^ "/marshal-decode") ~iters (fun () ->
+          ignore (Marshal.from_string marshalled 0 : m));
+      (* the steady-state send cycle: pooled buffer, header + body emitted
+         in place, buffer recycled — the no-per-message-Bytes.create claim *)
+      measure (name ^ "/pooled-frame-cycle") ~iters (fun () ->
+          let fb = Wire.Pool.acquire pool (Wire.body_offset + len) in
+          ignore (c.Tcodec.emit fb Wire.body_offset msg : int);
+          Wire.set_header fb ~kind:Wire.Data ~src:0 ~dst:1 ~control_bytes:8
+            ~payload_bytes:8 ~body_len:len;
+          Wire.Pool.release pool fb);
+    ]
+  in
+  bench_codec "pram-partial" Pram_partial.codec pram_msg
+  @ bench_codec "causal-full" Causal_full.codec causal_msg
+
+let hotpath_reps = 3
+
+type arm_pair = { ap_fast : Load.result; ap_legacy : Load.result }
+
+let run_hotpath_pairs () =
+  (* offered rate far above either arm's capacity: with [drain_plan] the
+     whole plan is served however long that takes, so the completion span
+     measures capacity, not the open-loop schedule — at an unsaturated
+     rate both arms would just track the offered rate and the ratio would
+     read 1.0 no matter how much cheaper the fast arm is *)
+  let cfg rep =
+    load_config ~protocol:"pram-partial" ~n:3 ~mix:Mix.read_heavy
+      ~rate:1_000_000.0 ~duration_ms:600 ~coalesce:8 ~drain_plan:true
+      ~seed:(seed + 9 + rep)
+  in
+  List.init hotpath_reps (fun rep ->
+      (* legacy first, then fast, per rep: adjacent in time so slow drifts
+         of the host hit both arms alike *)
+      Unix.putenv "REPRO_LIVE_LEGACY" "1";
+      let legacy = run_load (cfg rep) in
+      Unix.putenv "REPRO_LIVE_LEGACY" "0";
+      let fast = run_load (cfg rep) in
+      { ap_fast = fast; ap_legacy = legacy })
+
+let hotpath_json_record micro pairs ~notes =
+  let micro_json r =
+    Jsonout.Obj
+      [
+        ("name", Jsonout.String r.mb_name);
+        ("ns_per_op", Jsonout.Float r.mb_ns);
+        ("minor_words_per_op", Jsonout.Float r.mb_words);
+      ]
+  in
+  let pair_json p =
+    Jsonout.Obj
+      [
+        ("fast", Load.json_of_result p.ap_fast);
+        ("legacy", Load.json_of_result p.ap_legacy);
+        ( "wall_ratio",
+          Jsonout.Float
+            (p.ap_fast.Load.ops_per_sec /. p.ap_legacy.Load.ops_per_sec) );
+        ( "cpu_throughput_ratio",
+          Jsonout.Float
+            (p.ap_fast.Load.ops_per_node_cpu_s
+            /. p.ap_legacy.Load.ops_per_node_cpu_s) );
+        ( "protocol_lane_identical",
+          Jsonout.Bool
+            (p.ap_fast.Load.messages_sent = p.ap_legacy.Load.messages_sent
+            && p.ap_fast.Load.control_bytes = p.ap_legacy.Load.control_bytes
+            && p.ap_fast.Load.payload_bytes = p.ap_legacy.Load.payload_bytes) );
+      ]
+  in
+  Jsonout.Obj
+    ([
+       ("schema", Jsonout.String "repro-hotpath/1");
+       ("seed", Jsonout.Int seed);
+       ("reps", Jsonout.Int hotpath_reps);
+     ]
+    @ (match notes with
+      | [] -> []
+      | notes ->
+          [ ("notes", Jsonout.List (List.map (fun n -> Jsonout.String n) notes)) ])
+    @ [
+        ("micro", Jsonout.List (List.map micro_json micro));
+        ("load_pair", Jsonout.List (List.map pair_json pairs));
+      ])
+
+let run_hotpath_benchmarks ?json () =
+  let micro = hotpath_micro_rows () in
+  print_endline "== Hot path micro (200k iters after warmup) ==";
+  Table.print
+    ~header:[ "op"; "ns/op"; "minor words/op" ]
+    ~rows:
+      (List.map
+         (fun r ->
+           [ r.mb_name; Printf.sprintf "%.1f" r.mb_ns;
+             Printf.sprintf "%.2f" r.mb_words ])
+         micro)
+    ();
+  let failures = ref [] in
+  List.iter
+    (fun r ->
+      (* emit writes into a caller buffer: any steady-state allocation is a
+         regression on the zero-copy claim *)
+      if
+        (String.length r.mb_name >= 12
+        && String.sub r.mb_name (String.length r.mb_name - 12) 12
+           = "codec-encode")
+        && r.mb_words > 1.0
+      then
+        failures :=
+          Printf.sprintf "%s allocates %.2f minor words/op (expected ~0)"
+            r.mb_name r.mb_words
+          :: !failures;
+      (* acquire/release bookkeeping is a cons or two, never a fresh frame
+         buffer (the smallest pool class alone is 256 B = 32+ words) *)
+      if
+        String.length r.mb_name >= 18
+        && String.sub r.mb_name (String.length r.mb_name - 18) 18
+           = "pooled-frame-cycle"
+        && r.mb_words > 16.0
+      then
+        failures :=
+          Printf.sprintf "%s allocates %.2f minor words/op (pool not recycling)"
+            r.mb_name r.mb_words
+          :: !failures)
+    micro;
+  let pairs = run_hotpath_pairs () in
+  List.iteri
+    (fun i p ->
+      Printf.printf
+        "arm pair %d: fast %.0f ops/s (%.0f per cpu-s) vs legacy %.0f ops/s \
+         (%.0f per cpu-s) — wall x%.2f, cpu x%.2f, protocol lane %s\n"
+        i p.ap_fast.Load.ops_per_sec p.ap_fast.Load.ops_per_node_cpu_s
+        p.ap_legacy.Load.ops_per_sec p.ap_legacy.Load.ops_per_node_cpu_s
+        (p.ap_fast.Load.ops_per_sec /. p.ap_legacy.Load.ops_per_sec)
+        (p.ap_fast.Load.ops_per_node_cpu_s
+        /. p.ap_legacy.Load.ops_per_node_cpu_s)
+        (if
+           p.ap_fast.Load.messages_sent = p.ap_legacy.Load.messages_sent
+           && p.ap_fast.Load.control_bytes = p.ap_legacy.Load.control_bytes
+           && p.ap_fast.Load.payload_bytes = p.ap_legacy.Load.payload_bytes
+         then "byte-identical"
+         else "MISMATCH"))
+    pairs;
+  let wall_ratios =
+    List.map
+      (fun p -> p.ap_fast.Load.ops_per_sec /. p.ap_legacy.Load.ops_per_sec)
+      pairs
+  in
+  let cpu_ratios =
+    List.map
+      (fun p ->
+        p.ap_fast.Load.ops_per_node_cpu_s
+        /. p.ap_legacy.Load.ops_per_node_cpu_s)
+      pairs
+  in
+  let med_wall = median_f wall_ratios and med_cpu = median_f cpu_ratios in
+  Printf.printf "hotpath: median wall ratio x%.2f, median cpu ratio x%.2f\n"
+    med_wall med_cpu;
+  if med_wall < 1.3 then
+    failures :=
+      Printf.sprintf "median wall-throughput ratio %.2f < 1.3" med_wall
+      :: !failures;
+  if med_cpu <= 1.0 then
+    failures :=
+      Printf.sprintf "median CPU-throughput ratio %.2f <= 1.0" med_cpu
+      :: !failures;
+  List.iter
+    (fun p ->
+      if
+        p.ap_fast.Load.messages_sent <> p.ap_legacy.Load.messages_sent
+        || p.ap_fast.Load.control_bytes <> p.ap_legacy.Load.control_bytes
+        || p.ap_fast.Load.payload_bytes <> p.ap_legacy.Load.payload_bytes
+      then
+        failures := "arm pair protocol lanes differ (two-lane invariant)"
+                    :: !failures)
+    pairs;
+  List.iter (fun f -> Printf.eprintf "hotpath tier FAILED: %s\n" f) !failures;
+  write_record
+    (fun ~notes -> hotpath_json_record micro pairs ~notes)
+    json;
+  if !failures <> [] then exit 2
+
 let run_benchmarks ?json () =
   (* the seq-vs-par and engine-comparison probes take hundreds of ms each;
      give those groups a larger quota so OLS sees enough runs *)
@@ -1160,6 +1397,7 @@ type mode =
   | Cluster_only
   | Chaos_only
   | Load_only
+  | Hotpath_only
 
 let () =
   let mode = ref Default in
@@ -1167,7 +1405,7 @@ let () =
   let usage () =
     prerr_endline
       "usage: bench [--tables] [--sim] [--check] [--cluster] [--chaos] [--load] \
-       [--experiment ID] [--jobs N] [--json FILE|DIR]";
+       [--hotpath] [--experiment ID] [--jobs N] [--json FILE|DIR]";
     exit 1
   in
   let rec parse = function
@@ -1189,6 +1427,9 @@ let () =
         parse rest
     | "--load" :: rest ->
         mode := Load_only;
+        parse rest
+    | "--hotpath" :: rest ->
+        mode := Hotpath_only;
         parse rest
     | "--experiment" :: id :: rest ->
         mode := One_experiment id;
@@ -1212,6 +1453,7 @@ let () =
   | Cluster_only -> run_cluster_benchmarks ?json:!json ()
   | Chaos_only -> run_chaos_benchmarks ?json:!json ()
   | Load_only -> run_load_benchmarks ?json:!json ()
+  | Hotpath_only -> run_hotpath_benchmarks ?json:!json ()
   | One_experiment id -> if not (print_one id) then exit 1
   | Default ->
       print_tables ();

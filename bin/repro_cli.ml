@@ -218,6 +218,15 @@ let session_arg =
                  without a chaos plan; forced on whenever $(b,--chaos) is \
                  given.")
 
+let gc_space_overhead_arg =
+  Arg.(value & opt (some int) None
+       & info [ "gc-space-overhead" ] ~docv:"PCT"
+           ~doc:"Set OCaml's $(b,Gc.space_overhead) (percent, default 120) in \
+                 every node and client process before traffic starts. Lower \
+                 values trade CPU for a tighter heap; higher values collect \
+                 less often — the GC-pressure knob for hot-path experiments \
+                 ($(b,bench --hotpath) reports allocation per operation).")
+
 (* sim transport stack mirroring a live node's: backend → chaos → session *)
 let sim_chaos_factory ~chaos ~session ~seed =
   let chaos =
@@ -655,7 +664,7 @@ let slice_history ~n ~node ops =
 
 let serve_cmd =
   let run node nodes listen peers spec workload seed chaos session checkpoint
-      checkpoint_ms incarnation out =
+      checkpoint_ms incarnation gc_space_overhead out =
     let fail fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 1) fmt in
     let spec_w =
       match Workload_spec.make ~name:workload ~n:nodes ~seed with
@@ -686,7 +695,7 @@ let serve_cmd =
     match
       Cluster_node.run ~self:node ~listen_fd ~peers:peer_addrs ~protocol:spec
         ~workload:spec_w ~seed ?chaos ~session ?checkpoint
-        ?checkpoint_every_ms:checkpoint_ms ~incarnation ()
+        ?checkpoint_every_ms:checkpoint_ms ~incarnation ?gc_space_overhead ()
     with
     | exception Cluster_node.Crash msg -> fail "node %d crashed: %s" node msg
     | exception Chaos.Injected_crash _ ->
@@ -785,15 +794,16 @@ let serve_cmd =
              with $(b,--incarnation) bumped to recover from the checkpoint).")
     Term.(const run $ node_arg $ nodes_arg $ listen_spec_arg $ peers_arg
           $ protocol_arg $ workload_arg $ seed_arg $ chaos_arg $ session_arg
-          $ checkpoint_arg $ checkpoint_ms_arg $ incarnation_arg $ out_arg)
+          $ checkpoint_arg $ checkpoint_ms_arg $ incarnation_arg
+          $ gc_space_overhead_arg $ out_arg)
 
 let cluster_cmd =
   let run nodes spec workload seed chaos session checkpoint_ms parity json
-      out_history engine =
+      out_history gc_space_overhead engine =
     apply_engine engine;
     match
       Cluster.run ~n:nodes ~protocol:spec ~workload ~seed ?chaos ~session
-        ?checkpoint_every_ms:checkpoint_ms ()
+        ?checkpoint_every_ms:checkpoint_ms ?gc_space_overhead ()
     with
     | Error msg ->
         prerr_endline msg;
@@ -961,12 +971,13 @@ let cluster_cmd =
              2 on consistency/finals violation, 3 on sim-parity mismatch.")
     Term.(const run $ nodes_arg $ protocol_arg $ workload_arg $ seed_arg
           $ chaos_arg $ session_arg $ checkpoint_ms_arg $ parity_arg $ json_arg
-          $ out_history_arg $ engine_arg)
+          $ out_history_arg $ gc_space_overhead_arg $ engine_arg)
 
 (* --- open-loop load tier -------------------------------------------------------- *)
 
 let load_cmd =
-  let run spec nodes clients rate duration mix seed coalesce drain_plan json =
+  let run spec nodes clients rate duration mix seed coalesce drain_plan
+      gc_space_overhead json =
     let cfg =
       {
         Load_harness.protocol = spec;
@@ -978,6 +989,7 @@ let load_cmd =
         seed;
         coalesce;
         drain_plan;
+        gc_space_overhead;
       }
     in
     match Load_harness.run cfg with
@@ -1059,7 +1071,7 @@ let load_cmd =
              error, 2 when no operation completed.")
     Term.(const run $ protocol_arg $ nodes_arg $ clients_arg $ rate_arg
           $ duration_arg $ mix_arg $ seed_arg $ coalesce_arg $ drain_arg
-          $ json_arg)
+          $ gc_space_overhead_arg $ json_arg)
 
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in

@@ -42,7 +42,8 @@ type report = Finished of Node.result | Crashed of string
 let loopback = Unix.inet_addr_loopback
 
 let child_main ~self ~listen_fds ~peers ~protocol ~spec ~seed ~timeouts ~chaos
-    ~session ~checkpoint ~checkpoint_every_ms ~incarnation wfd =
+    ~session ~checkpoint ~checkpoint_every_ms ~incarnation ~gc_space_overhead
+    wfd =
   let hello_timeout_ms, run_timeout_ms, quiet_ms = timeouts in
   Array.iteri
     (fun i fd ->
@@ -53,7 +54,8 @@ let child_main ~self ~listen_fds ~peers ~protocol ~spec ~seed ~timeouts ~chaos
       Finished
         (Node.run ~self ~listen_fd:listen_fds.(self) ~peers ~protocol
            ~workload:spec ~seed ?hello_timeout_ms ?run_timeout_ms ?quiet_ms
-           ?chaos ~session ?checkpoint ?checkpoint_every_ms ~incarnation ())
+           ?chaos ~session ?checkpoint ?checkpoint_every_ms ~incarnation
+           ?gc_space_overhead ())
     with
     | Chaos.Injected_crash _ ->
         (* die like a real crash: no report, no cleanup — the supervisor
@@ -83,7 +85,8 @@ type slot = {
 }
 
 let run ~n ~protocol ~workload ~seed ?hello_timeout_ms ?run_timeout_ms
-    ?quiet_ms ?chaos ?(session = false) ?checkpoint_every_ms () =
+    ?quiet_ms ?chaos ?(session = false) ?checkpoint_every_ms
+    ?gc_space_overhead () =
   let chaos =
     match chaos with Some p when Fault.Plan.is_none p -> None | c -> c
   in
@@ -151,7 +154,7 @@ let run ~n ~protocol ~workload ~seed ?hello_timeout_ms ?run_timeout_ms
                     Unix.close rfd;
                     child_main ~self ~listen_fds ~peers ~protocol ~spec ~seed
                       ~timeouts ~chaos ~session ~checkpoint:(ck_path self)
-                      ~checkpoint_every_ms ~incarnation wfd
+                      ~checkpoint_every_ms ~incarnation ~gc_space_overhead wfd
                 | pid ->
                     Unix.close wfd;
                     (pid, rfd)

@@ -68,6 +68,7 @@ val run :
   ?chaos:Repro_msgpass.Fault.Plan.t ->
   ?session:bool ->
   ?checkpoint_every_ms:int ->
+  ?gc_space_overhead:int ->
   unit ->
   (outcome, string) result
 (** [Error] reports node crashes (with each crashed node's message) and
@@ -76,7 +77,8 @@ val run :
     back as the [verdict] for the caller to judge.  [session] is forced on
     whenever a chaos plan is given (lossy links need the reliable session
     layer); an injected crash whose plan schedules no restart is an
-    [Error]. *)
+    [Error].  [gc_space_overhead] is forwarded to every node process
+    ({!Node.run}). *)
 
 type baseline = {
   history : Repro_history.History.t;

@@ -61,7 +61,12 @@ let kind_text = function Op.Read -> "read" | Op.Write -> "write"
 let run ~self ~listen_fd ~peers ~protocol ~workload ~seed
     ?(hello_timeout_ms = 10_000) ?(run_timeout_ms = 60_000) ?(quiet_ms = 150)
     ?chaos ?(session = false) ?(coalesce = 1) ?checkpoint
-    ?(checkpoint_every_ms = 100) ?(incarnation = 0) () =
+    ?(checkpoint_every_ms = 100) ?(incarnation = 0) ?gc_space_overhead () =
+  Option.iter
+    (fun so ->
+      if so < 1 then crashf "gc space overhead must be >= 1, got %d" so;
+      Gc.set { (Gc.get ()) with Gc.space_overhead = so })
+    gc_space_overhead;
   if protocol.Registry.blocking then
     crashf "protocol %s has blocking operations; only non-blocking protocols run live"
       protocol.Registry.name;
@@ -128,8 +133,10 @@ let run ~self ~listen_fd ~peers ~protocol ~workload ~seed
        of a variable it does not hold) come back [Failed] rather than
        killing the node — the client picked the wrong door. *)
     let client_ops = ref 0 in
-    Live.set_client_handler lt (fun ~reply fr ->
-        match Rpc.decode_request fr.Wire.body with
+    Live.set_client_handler lt (fun ~reply v ->
+        match
+          Rpc.decode_request_at v.Wire.v_buf ~pos:v.Wire.v_off ~len:v.Wire.v_len
+        with
         | Error _ -> () (* corrupt request body: drop, never unmarshal on *)
         | Ok (id, req) ->
             let serve op =
@@ -146,15 +153,12 @@ let run ~self ~listen_fd ~peers ~protocol ~workload ~seed
             in
             let outcomes = Array.map serve (Rpc.ops req) in
             client_ops := !client_ops + Array.length outcomes;
-            reply
-              {
-                Wire.kind = Wire.Cresp;
-                src = self;
-                dst = fr.Wire.src;
-                control_bytes = 0;
-                payload_bytes = Rpc.response_payload_bytes outcomes;
-                body = Rpc.encode_response ~id outcomes;
-              });
+            (* the response is emitted straight into a pooled frame queued
+               on this connection — no intermediate string *)
+            reply ~dst:v.Wire.v_src ~control_bytes:0
+              ~payload_bytes:(Rpc.response_payload_bytes outcomes)
+              ~body_len:(Rpc.response_body_len outcomes)
+              ~emit:(fun buf off -> Rpc.emit_response buf off ~id outcomes));
     let ops = ref [] in
     let finished = ref false in
     let replayed =

@@ -60,6 +60,7 @@ val run :
   ?checkpoint:string ->
   ?checkpoint_every_ms:int ->
   ?incarnation:int ->
+  ?gc_space_overhead:int ->
   unit ->
   result
 (** Defaults: 10 s hello timeout, 60 s run timeout, 150 ms quiet window
@@ -86,4 +87,9 @@ val run :
 
     A scheduled crash from the chaos plan escapes as
     {!Repro_transport.Chaos.Injected_crash}; the caller decides whether to
-    respawn (the cluster harness maps it to exit code 42). *)
+    respawn (the cluster harness maps it to exit code 42).
+
+    [gc_space_overhead] sets [Gc.space_overhead] for this process before
+    any traffic (the hot-path experiments' GC knob: lower = tighter heap +
+    more collector work, higher = fewer collections).  Raises {!Crash}
+    when < 1. *)

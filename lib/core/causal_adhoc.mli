@@ -27,6 +27,17 @@
     [y]; the protocol is "efficient" in the paper's sense — which is why it
     cannot be causal in general. *)
 
+type msg = Update of {
+  var : int;
+  value : Memory.value;
+  writer : int;
+  deps : (int * int * int) list;
+}
+
+val codec : msg Repro_transport.Codec.t
+(** Strict binary wire codec for {!msg}; the live backend uses it in place
+    of [Marshal].  Exposed for the codec round-trip tests. *)
+
 val create :
   ?latency:Repro_msgpass.Latency.t ->
   ?transport:Repro_transport.Transport.factory ->

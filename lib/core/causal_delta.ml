@@ -18,10 +18,44 @@ let label = function
       Printf.sprintf "upd x%d:=%s w%d deltas:%d" var (value_text value) writer
         (List.length deltas)
 
+module Codec = Repro_transport.Codec
+
+let codec : msg Codec.t =
+  let size (Update { value; deltas; _ }) =
+    4 + Proto_base.value_size value + 4 + 2 + (8 * List.length deltas)
+  in
+  let emit buf off (Update { var; value; writer; deltas }) =
+    let off = Codec.put_i32 buf off var in
+    let off = Proto_base.emit_value buf off value in
+    let off = Codec.put_i32 buf off writer in
+    let off = Codec.put_u16 buf off (List.length deltas) in
+    List.fold_left
+      (fun off (k, c) ->
+        let off = Codec.put_i32 buf off k in
+        Codec.put_i32 buf off c)
+      off deltas
+  in
+  let parse buf pos limit =
+    let var, pos = Codec.get_i32 buf pos limit in
+    let value, pos = Proto_base.parse_value buf pos limit in
+    let writer, pos = Codec.get_i32 buf pos limit in
+    let count, pos = Codec.get_u16 buf pos limit in
+    let rec read_deltas acc pos = function
+      | 0 -> (List.rev acc, pos)
+      | i ->
+          let k, pos = Codec.get_i32 buf pos limit in
+          let c, pos = Codec.get_i32 buf pos limit in
+          read_deltas ((k, c) :: acc) pos (i - 1)
+    in
+    let deltas, pos = read_deltas [] pos count in
+    (Update { var; value; writer; deltas }, pos)
+  in
+  { Codec.size; emit; parse }
+
 let create ?(latency = Latency.lan) ?transport ~dist ~seed () =
   if not (Distribution.is_full_replication dist) then
     invalid_arg "Causal_delta.create: requires full replication";
-  let base = Proto_base.create ?transport ~dist ~latency ~seed () in
+  let base = Proto_base.create ?transport ~codec ~dist ~latency ~seed () in
   let n = Distribution.n_procs dist in
   let n_vars = Distribution.n_vars dist in
   let store = Array.make_matrix n n_vars Repro_history.Op.Init in

@@ -15,6 +15,17 @@
     the mention audit still informs every process about every variable:
     compression does not evade Theorem 1, it only shrinks the bytes. *)
 
+type msg = Update of {
+  var : int;
+  value : Memory.value;
+  writer : int;
+  deltas : (int * int) list;
+}
+
+val codec : msg Repro_transport.Codec.t
+(** Strict binary wire codec for {!msg}; the live backend uses it in place
+    of [Marshal].  Exposed for the codec round-trip tests. *)
+
 val create :
   ?latency:Repro_msgpass.Latency.t ->
   ?transport:Repro_transport.Transport.factory ->

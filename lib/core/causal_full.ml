@@ -13,10 +13,31 @@ let label = function
       Printf.sprintf "upd x%d:=%s w%d vc[%s]" var (value_text value) writer
         (String.concat "," (Array.to_list (Array.map string_of_int ts)))
 
+module Codec = Repro_transport.Codec
+
+let codec : msg Codec.t =
+  let size (Update { value; ts; _ }) =
+    4 + Proto_base.value_size value + 4 + Proto_base.ts_size ts
+  in
+  let emit buf off (Update { var; value; writer; ts }) =
+    let off = Codec.put_i32 buf off var in
+    let off = Proto_base.emit_value buf off value in
+    let off = Codec.put_i32 buf off writer in
+    Proto_base.emit_ts buf off ts
+  in
+  let parse buf pos limit =
+    let var, pos = Codec.get_i32 buf pos limit in
+    let value, pos = Proto_base.parse_value buf pos limit in
+    let writer, pos = Codec.get_i32 buf pos limit in
+    let ts, pos = Proto_base.parse_ts buf pos limit in
+    (Update { var; value; writer; ts }, pos)
+  in
+  { Codec.size; emit; parse }
+
 let create ?(latency = Latency.lan) ?transport ~dist ~seed () =
   if not (Distribution.is_full_replication dist) then
     invalid_arg "Causal_full.create: requires full replication";
-  let base = Proto_base.create ?transport ~dist ~latency ~seed () in
+  let base = Proto_base.create ?transport ~codec ~dist ~latency ~seed () in
   let n = Distribution.n_procs dist in
   let n_vars = Distribution.n_vars dist in
   let store = Array.make_matrix n n_vars Repro_history.Op.Init in

@@ -8,6 +8,12 @@
     (8·n bytes) — it grows with the system, which is precisely the
     scalability critique motivating partial replication. *)
 
+type msg = Update of { var : int; value : Memory.value; writer : int; ts : int array }
+
+val codec : msg Repro_transport.Codec.t
+(** Strict binary wire codec for {!msg}; the live backend uses it in place
+    of [Marshal].  Exposed for the codec round-trip tests. *)
+
 val create :
   ?latency:Repro_msgpass.Latency.t ->
   ?transport:Repro_transport.Transport.factory ->

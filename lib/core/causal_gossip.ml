@@ -19,6 +19,49 @@ let label = function
       Printf.sprintf "upd x%d:=%s w%d#%d" var (value_text value) writer seq
   | Gossip { var; writer; seq; _ } -> Printf.sprintf "gossip x%d w%d#%d" var writer seq
 
+module Codec = Repro_transport.Codec
+
+let codec : msg Codec.t =
+  let size = function
+    | Update { value; ts; _ } ->
+        1 + 4 + Proto_base.value_size value + 4 + 4 + Proto_base.ts_size ts
+    | Gossip { ts; _ } -> 1 + 4 + 4 + 4 + Proto_base.ts_size ts
+  in
+  let emit buf off = function
+    | Update { var; value; writer; seq; ts } ->
+        let off = Codec.put_u8 buf off 0 in
+        let off = Codec.put_i32 buf off var in
+        let off = Proto_base.emit_value buf off value in
+        let off = Codec.put_i32 buf off writer in
+        let off = Codec.put_i32 buf off seq in
+        Proto_base.emit_ts buf off ts
+    | Gossip { var; writer; seq; ts } ->
+        let off = Codec.put_u8 buf off 1 in
+        let off = Codec.put_i32 buf off var in
+        let off = Codec.put_i32 buf off writer in
+        let off = Codec.put_i32 buf off seq in
+        Proto_base.emit_ts buf off ts
+  in
+  let parse buf pos limit =
+    let tag, pos = Codec.get_u8 buf pos limit in
+    match tag with
+    | 0 ->
+        let var, pos = Codec.get_i32 buf pos limit in
+        let value, pos = Proto_base.parse_value buf pos limit in
+        let writer, pos = Codec.get_i32 buf pos limit in
+        let seq, pos = Codec.get_i32 buf pos limit in
+        let ts, pos = Proto_base.parse_ts buf pos limit in
+        (Update { var; value; writer; seq; ts }, pos)
+    | 1 ->
+        let var, pos = Codec.get_i32 buf pos limit in
+        let writer, pos = Codec.get_i32 buf pos limit in
+        let seq, pos = Codec.get_i32 buf pos limit in
+        let ts, pos = Proto_base.parse_ts buf pos limit in
+        (Gossip { var; writer; seq; ts }, pos)
+    | t -> raise (Codec.Bad (Printf.sprintf "causal-gossip: unknown tag %d" t))
+  in
+  { Codec.size; emit; parse }
+
 type notice = {
   n_var : int;
   n_value : Memory.value option;
@@ -28,7 +71,7 @@ type notice = {
 }
 
 let create ?(latency = Latency.lan) ?transport ~dist ~seed () =
-  let base = Proto_base.create ?transport ~dist ~latency ~seed () in
+  let base = Proto_base.create ?transport ~codec ~dist ~latency ~seed () in
   let n = Distribution.n_procs dist in
   let n_vars = Distribution.n_vars dist in
   let neighbours =

@@ -20,6 +20,14 @@
       protocol degenerates to a (more expensive, multi-hop) broadcast —
       Theorem 1 again: when hoops abound, someone must carry the news. *)
 
+type msg =
+  | Update of { var : int; value : Memory.value; writer : int; seq : int; ts : int array }
+  | Gossip of { var : int; writer : int; seq : int; ts : int array }
+
+val codec : msg Repro_transport.Codec.t
+(** Strict binary wire codec for {!msg}; the live backend uses it in place
+    of [Marshal].  Exposed for the codec round-trip tests. *)
+
 val create :
   ?latency:Repro_msgpass.Latency.t ->
   ?transport:Repro_transport.Transport.factory ->

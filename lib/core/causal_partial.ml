@@ -15,8 +15,47 @@ let label = function
       Printf.sprintf "upd x%d:=%s w%d" var (value_text value) writer
   | Meta { var; writer; _ } -> Printf.sprintf "meta x%d w%d" var writer
 
+module Codec = Repro_transport.Codec
+
+let codec : msg Codec.t =
+  let size = function
+    | Update { value; ts; _ } ->
+        1 + 4 + Proto_base.value_size value + 4 + Proto_base.ts_size ts
+    | Meta { ts; _ } -> 1 + 4 + 4 + Proto_base.ts_size ts
+  in
+  let emit buf off = function
+    | Update { var; value; writer; ts } ->
+        let off = Codec.put_u8 buf off 0 in
+        let off = Codec.put_i32 buf off var in
+        let off = Proto_base.emit_value buf off value in
+        let off = Codec.put_i32 buf off writer in
+        Proto_base.emit_ts buf off ts
+    | Meta { var; writer; ts } ->
+        let off = Codec.put_u8 buf off 1 in
+        let off = Codec.put_i32 buf off var in
+        let off = Codec.put_i32 buf off writer in
+        Proto_base.emit_ts buf off ts
+  in
+  let parse buf pos limit =
+    let tag, pos = Codec.get_u8 buf pos limit in
+    match tag with
+    | 0 ->
+        let var, pos = Codec.get_i32 buf pos limit in
+        let value, pos = Proto_base.parse_value buf pos limit in
+        let writer, pos = Codec.get_i32 buf pos limit in
+        let ts, pos = Proto_base.parse_ts buf pos limit in
+        (Update { var; value; writer; ts }, pos)
+    | 1 ->
+        let var, pos = Codec.get_i32 buf pos limit in
+        let writer, pos = Codec.get_i32 buf pos limit in
+        let ts, pos = Proto_base.parse_ts buf pos limit in
+        (Meta { var; writer; ts }, pos)
+    | t -> raise (Codec.Bad (Printf.sprintf "causal-partial: unknown tag %d" t))
+  in
+  { Codec.size; emit; parse }
+
 let create ?(latency = Latency.lan) ?transport ~dist ~seed () =
-  let base = Proto_base.create ?transport ~dist ~latency ~seed () in
+  let base = Proto_base.create ?transport ~codec ~dist ~latency ~seed () in
   let n = Distribution.n_procs dist in
   let n_vars = Distribution.n_vars dist in
   let store = Array.make_matrix n n_vars Repro_history.Op.Init in

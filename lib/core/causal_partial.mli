@@ -15,6 +15,14 @@
     general case ("each process in the system has to transmit control
     information regarding all the shared data"). *)
 
+type msg =
+  | Update of { var : int; value : Memory.value; writer : int; ts : int array }
+  | Meta of { var : int; writer : int; ts : int array }
+
+val codec : msg Repro_transport.Codec.t
+(** Strict binary wire codec for {!msg}; the live backend uses it in place
+    of [Marshal].  Exposed for the codec round-trip tests. *)
+
 val create :
   ?latency:Repro_msgpass.Latency.t ->
   ?transport:Repro_transport.Transport.factory ->

@@ -11,9 +11,29 @@ let value_text = function
 let label = function
   | Update { var; value; seq } -> Printf.sprintf "upd x%d:=%s #%d" var (value_text value) seq
 
+module Codec = Repro_transport.Codec
+
+let codec : msg Codec.t =
+  let size (Update { value; _ }) = 4 + Proto_base.value_size value + 4 in
+  let emit buf off (Update { var; value; seq }) =
+    let off = Codec.put_i32 buf off var in
+    let off = Proto_base.emit_value buf off value in
+    Codec.put_i32 buf off seq
+  in
+  let parse buf pos limit =
+    let var, pos = Codec.get_i32 buf pos limit in
+    let value, pos = Proto_base.parse_value buf pos limit in
+    let seq, pos = Codec.get_i32 buf pos limit in
+    (Update { var; value; seq }, pos)
+  in
+  { Codec.size; emit; parse }
+
 let create ?faults ?(latency = Latency.lan) ?service_time ?(sequence_guard = true)
     ?transport ~dist ~seed () =
-  let base = Proto_base.create ?faults ?service_time ?transport ~dist ~latency ~seed () in
+  let base =
+    Proto_base.create ?faults ?service_time ?transport ~codec ~dist ~latency
+      ~seed ()
+  in
   let n = Distribution.n_procs dist in
   let n_vars = Distribution.n_vars dist in
   let store = Array.make_matrix n n_vars Repro_history.Op.Init in

@@ -12,6 +12,12 @@
     protocols.  The mention audit of a run never leaves [C(x)] for any [x]:
     this protocol is {e efficient} in the paper's sense. *)
 
+type msg = Update of { var : int; value : Memory.value; seq : int }
+
+val codec : msg Repro_transport.Codec.t
+(** Strict binary wire codec for {!msg}; the live backend uses it in place
+    of [Marshal].  Exposed for the codec round-trip tests. *)
+
 val create :
   ?faults:Repro_msgpass.Fault.t ->
   ?latency:Repro_msgpass.Latency.t ->

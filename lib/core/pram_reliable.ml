@@ -16,12 +16,44 @@ let label = function
   | Data { var; value; seq } -> Printf.sprintf "data x%d:=%s #%d" var (value_text value) seq
   | Ack { next } -> Printf.sprintf "ack<%d" next
 
+module Codec = Repro_transport.Codec
+
+let codec : msg Codec.t =
+  let size = function
+    | Data { value; _ } -> 1 + 4 + Proto_base.value_size value + 4
+    | Ack _ -> 1 + 4
+  in
+  let emit buf off = function
+    | Data { var; value; seq } ->
+        let off = Codec.put_u8 buf off 0 in
+        let off = Codec.put_i32 buf off var in
+        let off = Proto_base.emit_value buf off value in
+        Codec.put_i32 buf off seq
+    | Ack { next } ->
+        let off = Codec.put_u8 buf off 1 in
+        Codec.put_i32 buf off next
+  in
+  let parse buf pos limit =
+    let tag, pos = Codec.get_u8 buf pos limit in
+    match tag with
+    | 0 ->
+        let var, pos = Codec.get_i32 buf pos limit in
+        let value, pos = Proto_base.parse_value buf pos limit in
+        let seq, pos = Codec.get_i32 buf pos limit in
+        (Data { var; value; seq }, pos)
+    | 1 ->
+        let next, pos = Codec.get_i32 buf pos limit in
+        (Ack { next }, pos)
+    | t -> raise (Codec.Bad (Printf.sprintf "pram-reliable: unknown tag %d" t))
+  in
+  { Codec.size; emit; parse }
+
 let default_faults = { Fault.drop = 0.2; duplicate = 0.1; reorder = false }
 
 let create ?(faults = default_faults) ?(latency = Latency.lan)
     ?(retransmit_after = 50) ?transport ~dist ~seed () =
   if retransmit_after < 1 then invalid_arg "Pram_reliable.create: bad timeout";
-  let base = Proto_base.create ~faults ?transport ~dist ~latency ~seed () in
+  let base = Proto_base.create ~faults ?transport ~codec ~dist ~latency ~seed () in
   let n = Distribution.n_procs dist in
   let n_vars = Distribution.n_vars dist in
   let store = Array.make_matrix n n_vars Repro_history.Op.Init in

@@ -14,6 +14,14 @@
     every relevant write.  The price is acks and retransmissions, measured
     by the usual metrics.  Mention audit still never leaves [C(x)]. *)
 
+type msg =
+  | Data of { var : int; value : Memory.value; seq : int }
+  | Ack of { next : int }
+
+val codec : msg Repro_transport.Codec.t
+(** Strict binary wire codec for {!msg}; the live backend uses it in place
+    of [Marshal].  Exposed for the codec round-trip tests. *)
+
 val create :
   ?faults:Repro_msgpass.Fault.t ->
   ?latency:Repro_msgpass.Latency.t ->

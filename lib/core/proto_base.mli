@@ -13,7 +13,26 @@ module Net = Repro_msgpass.Net
 module Latency = Repro_msgpass.Latency
 module Fault = Repro_msgpass.Fault
 module Transport = Repro_transport.Transport
+module Codec = Repro_transport.Codec
 module Distribution = Repro_sharegraph.Distribution
+
+(** {1 Shared wire-format helpers}
+
+    Building blocks for the per-protocol {!Codec.t} values: every protocol
+    message carries a {!Memory.value}, and the causal family carries vector
+    clocks.  One layout each, shared by all protocols. *)
+
+val value_size : Memory.value -> int
+(** [Init] is 1 byte (tag), [Val v] is 9 (tag + i64). *)
+
+val emit_value : Bytes.t -> int -> Memory.value -> int
+val parse_value : Bytes.t -> int -> int -> Memory.value * int
+
+val ts_size : int array -> int
+(** u16 length prefix + one i32 per entry. *)
+
+val emit_ts : Bytes.t -> int -> int array -> int
+val parse_ts : Bytes.t -> int -> int -> int array * int
 
 type 'msg t
 
@@ -22,6 +41,7 @@ val create :
   ?service_time:int ->
   ?extra_nodes:int ->
   ?transport:Transport.factory ->
+  ?codec:'msg Codec.t ->
   dist:Distribution.t ->
   latency:Latency.t ->
   seed:int ->
@@ -33,7 +53,11 @@ val create :
     Without [transport] this builds the simulator backend from [faults],
     [service_time], [latency] and [seed] — byte-identical to the historical
     direct [Net.create].  With [transport], those four parameters are
-    ignored (a live backend has real latency and real loss). *)
+    ignored (a live backend has real latency and real loss).
+
+    [codec] is the protocol's strict binary message codec, forwarded to the
+    backend factory; the live backend uses it to serialise frame bodies in
+    place of [Marshal], the simulator ignores it. *)
 
 val dist : 'msg t -> Distribution.t
 

@@ -13,11 +13,28 @@ let label = function
   | Update { var; value; lane_seq } ->
       Printf.sprintf "upd x%d:=%s lane#%d" var (value_text value) lane_seq
 
+module Codec = Repro_transport.Codec
+
+let codec : msg Codec.t =
+  let size (Update { value; _ }) = 4 + Proto_base.value_size value + 4 in
+  let emit buf off (Update { var; value; lane_seq }) =
+    let off = Codec.put_i32 buf off var in
+    let off = Proto_base.emit_value buf off value in
+    Codec.put_i32 buf off lane_seq
+  in
+  let parse buf pos limit =
+    let var, pos = Codec.get_i32 buf pos limit in
+    let value, pos = Proto_base.parse_value buf pos limit in
+    let lane_seq, pos = Codec.get_i32 buf pos limit in
+    (Update { var; value; lane_seq }, pos)
+  in
+  { Codec.size; emit; parse }
+
 let create ?(latency = Latency.lan) ?transport ~dist ~seed () =
   (* Non-FIFO transport: messages race; per-lane sequencing below restores
      exactly the per-(writer, variable) order slow memory needs. *)
   let faults = { Fault.none with Fault.reorder = true } in
-  let base = Proto_base.create ~faults ?transport ~dist ~latency ~seed () in
+  let base = Proto_base.create ~faults ?transport ~codec ~dist ~latency ~seed () in
   let n = Distribution.n_procs dist in
   let n_vars = Distribution.n_vars dist in
   let store = Array.make_matrix n n_vars Repro_history.Op.Init in

@@ -14,6 +14,12 @@
     converge on slow memory; the {!Repro_apps} Jacobi example exercises
     exactly this. *)
 
+type msg = Update of { var : int; value : Memory.value; lane_seq : int }
+
+val codec : msg Repro_transport.Codec.t
+(** Strict binary wire codec for {!msg}; the live backend uses it in place
+    of [Marshal].  Exposed for the codec round-trip tests. *)
+
 val create :
   ?latency:Repro_msgpass.Latency.t ->
   ?transport:Repro_transport.Transport.factory ->

@@ -1,8 +1,16 @@
 module Rpc = Repro_transport.Rpc
 module Wire = Repro_transport.Wire
+module Vecio = Repro_transport.Vecio
 module Rng = Repro_util.Rng
 module Stats = Repro_util.Stats
 module Distribution = Repro_sharegraph.Distribution
+
+(* Mirror of the live backend's baseline switch: the legacy arm measures
+   the whole pre-zero-copy stack, client included. *)
+let legacy_env () =
+  match Sys.getenv_opt "REPRO_LIVE_LEGACY" with
+  | None | Some "" | Some "0" -> false
+  | Some _ -> true
 
 type event = { at_us : int; target : int; request : Rpc.request }
 
@@ -184,6 +192,7 @@ let run ~client_id ~peers ~events ~drain_plan ~duration_ms ~grace_ms
     c.alive <- false;
     try Unix.close c.fd with Unix.Unix_error _ -> ()
   in
+  let legacy = legacy_env () in
   let service c =
     match Unix.read c.fd rbuf 0 (Bytes.length rbuf) with
     | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
@@ -192,19 +201,41 @@ let run ~client_id ~peers ~events ~drain_plan ~duration_ms ~grace_ms
     | nread -> (
         bytes_in := !bytes_in + nread;
         Wire.feed c.dec rbuf nread;
-        let rec pump () =
-          match Wire.next c.dec with
-          | Ok (Some fr) ->
-              (match fr.Wire.kind with
-              | Wire.Cresp -> (
-                  match Rpc.decode_response fr.Wire.body with
-                  | Ok (id, outcomes) -> on_reply id outcomes
-                  | Error _ -> kill c)
-              | _ -> () (* a well-behaved node sends nothing else *));
-              if c.alive then pump ()
-          | Ok None -> ()
-          | Error _ -> kill c
+        let step () =
+          if legacy then
+            match Wire.next c.dec with
+            | Ok (Some fr) ->
+                (match fr.Wire.kind with
+                | Wire.Cresp -> (
+                    match Rpc.decode_response fr.Wire.body with
+                    | Ok (id, outcomes) -> on_reply id outcomes
+                    | Error _ -> kill c)
+                | _ -> () (* a well-behaved node sends nothing else *));
+                true
+            | Ok None -> false
+            | Error _ ->
+                kill c;
+                false
+          else
+            (* responses are parsed straight out of the decoder buffer *)
+            match Wire.next_view c.dec with
+            | Ok (Some v) ->
+                (match v.Wire.v_kind with
+                | Wire.Cresp -> (
+                    match
+                      Rpc.decode_response_at v.Wire.v_buf ~pos:v.Wire.v_off
+                        ~len:v.Wire.v_len
+                    with
+                    | Ok (id, outcomes) -> on_reply id outcomes
+                    | Error _ -> kill c)
+                | _ -> ());
+                true
+            | Ok None -> false
+            | Error _ ->
+                kill c;
+                false
         in
+        let rec pump () = if step () && c.alive then pump () in
         pump ())
   in
   let live_conns () =
@@ -222,7 +253,7 @@ let run ~client_id ~peers ~events ~drain_plan ~duration_ms ~grace_ms
             List.iter (fun c -> if List.memq c.fd ready then service c) live
         | exception Unix.Unix_error (EINTR, _, _) -> ())
   in
-  let send (ev : event) =
+  let send_legacy (ev : event) =
     match conns.(ev.target) with
     | Some c when c.alive -> (
         let id = !next_id in
@@ -251,20 +282,109 @@ let run ~client_id ~peers ~events ~drain_plan ~duration_ms ~grace_ms
             incr unsent)
     | _ -> incr unsent
   in
+  (* Fast path: requests due in the same scheduling burst are emitted into
+     pooled frames, queued per target, and flushed with one writev per
+     connection — one syscall covers the burst instead of one per request. *)
+  let pool = Wire.Pool.create () in
+  let pending = Array.map (fun _ -> ref []) conns in
+  let pending_n = Array.map (fun _ -> ref 0) conns in
+  let rec enqueue (ev : event) =
+    match conns.(ev.target) with
+    | Some c when c.alive ->
+        let id = !next_id in
+        incr next_id;
+        let body_len = Rpc.request_body_len ev.request in
+        let total = Wire.body_offset + body_len in
+        let buf = Wire.Pool.acquire pool total in
+        ignore (Rpc.emit_request buf Wire.body_offset ~id ev.request : int);
+        let payload = Rpc.request_payload_bytes ev.request in
+        Wire.set_header buf ~kind:Wire.Creq ~src ~dst:ev.target
+          ~control_bytes:(body_len - payload) ~payload_bytes:payload ~body_len;
+        pending.(ev.target) := (buf, 0, total) :: !(pending.(ev.target));
+        incr pending_n.(ev.target);
+        attempted := !attempted + Array.length (Rpc.ops ev.request);
+        Hashtbl.replace outstanding id (Unix.gettimeofday (), kind_of ev.request);
+        (* flush once the queue fills a writev: keeps the burst inside the
+           pool's per-class cap so steady state recycles instead of
+           allocating, no matter how far the schedule has fallen behind *)
+        if !(pending_n.(ev.target)) >= Vecio.max_iov then flush_target ev.target
+    | _ -> incr unsent
+  and flush_target ti =
+    match !(pending.(ti)) with
+    | [] -> ()
+    | rev -> (
+        pending.(ti) := [];
+        pending_n.(ti) := 0;
+        let chunks = Array.of_list (List.rev rev) in
+        let count = Array.length chunks in
+        (match conns.(ti) with
+        | Some c when c.alive ->
+            (* blocking fd: resume partial writes until the queue drains *)
+            let rec advance start skip n =
+              if n = 0 then (start, skip)
+              else
+                let _, _, l = chunks.(start) in
+                let left = l - skip in
+                if n >= left then advance (start + 1) 0 (n - left)
+                else (start, skip + n)
+            in
+            let rec go start skip =
+              if start < count then
+                match
+                  Vecio.writev c.fd chunks ~start ~skip ~count:(count - start)
+                with
+                | n ->
+                    bytes_out := !bytes_out + n;
+                    let start, skip = advance start skip n in
+                    go start skip
+                | exception Unix.Unix_error (EINTR, _, _) -> go start skip
+                | exception Unix.Unix_error _ -> kill c
+            in
+            go 0 0
+        | _ -> unsent := !unsent + count);
+        Array.iter (fun (b, _, _) -> Wire.Pool.release pool b) chunks)
+  in
+  let flush_pending () =
+    for ti = 0 to Array.length pending - 1 do
+      flush_target ti
+    done
+  in
+  let send = if legacy then send_legacy else enqueue in
+  (* Flow control: past this many unanswered ops, stop submitting and
+     drain replies.  Unsaturated it never binds (replies come back long
+     before the window fills); past saturation it bounds kernel socket
+     buffer occupancy in both directions, which is what keeps a node
+     whose reply write blocks from deadlocking against a client that
+     would otherwise never read between submissions. *)
+  let max_outstanding = 1024 in
   let n_events = Array.length events in
   let duration_us = duration_ms * 1000 in
   let i = ref 0 in
   let cut = ref false in
   while !i < n_events && not !cut do
-    let ev = events.(!i) in
     let now = now_us () in
     if (not drain_plan) && now >= duration_us then cut := true
-    else if ev.at_us <= now then begin
-      send ev;
-      incr i
+    else if Hashtbl.length outstanding >= max_outstanding then begin
+      flush_pending ();
+      poll 0.005
     end
-    else poll (float_of_int (Stdlib.min (ev.at_us - now) 20_000) /. 1e6)
+    else if events.(!i).at_us <= now then begin
+      (* drain the whole due burst before flushing: these frames coalesce
+         into the same writev calls *)
+      while
+        !i < n_events
+        && events.(!i).at_us <= now
+        && Hashtbl.length outstanding < max_outstanding
+      do
+        send events.(!i);
+        incr i
+      done;
+      flush_pending ()
+    end
+    else
+      poll (float_of_int (Stdlib.min (events.(!i).at_us - now) 20_000) /. 1e6)
   done;
+  flush_pending ();
   let send_span_us = now_us () in
   unsent := !unsent + (n_events - !i);
   (* grace: collect stragglers for in-flight requests, then give up *)

@@ -18,6 +18,8 @@ type config = {
   seed : int;
   coalesce : int;
   drain_plan : bool;
+  gc_space_overhead : int option;
+      (** [Gc.space_overhead] for every forked node and client process. *)
 }
 
 type result = {
@@ -115,6 +117,8 @@ let run (cfg : config) =
   else if cfg.duration_ms < 1 then Error "load: duration must be positive"
   else if cfg.rate <= 0.0 then Error "load: rate must be positive"
   else if cfg.coalesce < 1 then Error "load: coalesce must be >= 1"
+  else if (match cfg.gc_space_overhead with Some so -> so < 1 | None -> false)
+  then Error "load: gc space overhead must be >= 1"
   else if cfg.protocol.Registry.blocking then
     Error
       (Printf.sprintf "load: protocol %s has blocking operations"
@@ -134,6 +138,11 @@ let run (cfg : config) =
         let peers = Array.map Live.listen_addr listen_fds in
         let grace_ms = 5_000 in
         let run_timeout_ms = cfg.duration_ms + grace_ms + 40_000 in
+        let apply_gc () =
+          Option.iter
+            (fun so -> Gc.set { (Gc.get ()) with Gc.space_overhead = so })
+            cfg.gc_space_overhead
+        in
         let nodes =
           Array.init cfg.n (fun self ->
               spawn (fun () ->
@@ -144,7 +153,8 @@ let run (cfg : config) =
                     Node.run ~self ~listen_fd:listen_fds.(self) ~peers
                       ~protocol:cfg.protocol ~workload:spec ~seed:cfg.seed
                       ~session:true ~coalesce:cfg.coalesce ~run_timeout_ms
-                      ~quiet_ms:1_000 ()
+                      ~quiet_ms:1_000 ?gc_space_overhead:cfg.gc_space_overhead
+                      ()
                   in
                   let tms = Unix.times () in
                   Node_ok (r, tms.Unix.tms_utime +. tms.Unix.tms_stime)))
@@ -152,6 +162,7 @@ let run (cfg : config) =
         let clients =
           Array.init cfg.clients (fun cid ->
               spawn (fun () ->
+                  apply_gc ();
                   Array.iter Unix.close listen_fds;
                   let events =
                     Client.plan ~mix:cfg.mix ~dist:spec.Workload_spec.dist

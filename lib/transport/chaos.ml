@@ -23,9 +23,9 @@ let wrap ?(incarnation = 0) ~plan (inner : Transport.factory) :
   let factory =
     {
       Transport.create =
-        (fun (type m) ~n : m Transport.t ->
+        (fun (type m) ?codec n : m Transport.t ->
           Plan.validate ~n plan;
-          let tr : m Transport.t = inner.Transport.create ~n in
+          let tr : m Transport.t = inner.Transport.create ?codec n in
           (* One private decision stream per directed link: five draws per
              send, unconditionally, so a link's decisions depend only on
              its own send index — identical on sim and live backends. *)

@@ -12,18 +12,99 @@ type config = {
   incarnation : int;
 }
 
-type conn = { fd : Unix.file_descr; dec : Wire.decoder; mutable closed : bool }
+type reply =
+  dst:int ->
+  control_bytes:int ->
+  payload_bytes:int ->
+  body_len:int ->
+  emit:(Bytes.t -> int -> int) ->
+  unit
+
+(* A queue of encoded frames awaiting one scatter-gather flush: chunks of
+   (pooled buffer, offset, length), with the partial-write cursor as
+   (first unsent chunk, bytes of it already written). *)
+module Outq = struct
+  type t = {
+    mutable chunks : (Bytes.t * int * int) array;
+    mutable len : int;
+    mutable head : int;
+    mutable skip : int;
+  }
+
+  let dummy = (Bytes.empty, 0, 0)
+
+  let create () = { chunks = Array.make 16 dummy; len = 0; head = 0; skip = 0 }
+
+  let is_empty q = q.head >= q.len
+
+  let unsent q = q.len - q.head
+
+  let push q chunk =
+    if q.len = Array.length q.chunks then begin
+      let bigger = Array.make (2 * q.len) dummy in
+      Array.blit q.chunks 0 bigger 0 q.len;
+      q.chunks <- bigger
+    end;
+    q.chunks.(q.len) <- chunk;
+    q.len <- q.len + 1
+
+  let advance q n =
+    let n = ref n in
+    while !n > 0 do
+      let _, _, len = q.chunks.(q.head) in
+      let left = len - q.skip in
+      if !n >= left then begin
+        n := !n - left;
+        q.head <- q.head + 1;
+        q.skip <- 0
+      end
+      else begin
+        q.skip <- q.skip + !n;
+        n := 0
+      end
+    done
+
+  (* recycle every chunk buffer (flushed or dropped) and empty the queue *)
+  let reset q pool =
+    for i = 0 to q.len - 1 do
+      let b, _, _ = q.chunks.(i) in
+      Wire.Pool.release pool b;
+      q.chunks.(i) <- dummy
+    done;
+    q.len <- 0;
+    q.head <- 0;
+    q.skip <- 0
+end
+
+type conn = {
+  fd : Unix.file_descr;
+  dec : Wire.decoder;
+  mutable closed : bool;
+  cq : Outq.t;  (* client replies awaiting flush on this connection *)
+  mutable cq_dirty : bool;
+}
 
 type t = {
   cfg : config;
+  legacy : bool;
+      (* REPRO_LIVE_LEGACY: the pre-hotpath baseline arm — Marshal bodies,
+         one write(2) per frame, per-iteration select rebuild.  Kept
+         selectable so bench --load can record both arms. *)
   listen_fd : Unix.file_descr;
   epoch : float;
   out_fds : Unix.file_descr option array;
+  outqs : Outq.t array;  (* per-peer frames awaiting one writev *)
+  mutable dirty_peers : int list;  (* peers with a nonempty outq *)
+  mutable dirty_conns : conn list;
+  pool : Wire.Pool.t;
   mutable conns : conn list;
+  mutable read_fds : Unix.file_descr list;
+      (* persistent poll set: listen_fd + live conn fds, updated only on
+         accept/close (the legacy arm rebuilds per iteration instead) *)
   timers : (int * int, unit -> unit) Pqueue.t;
   mutable timer_seq : int;
-  mutable on_data : Wire.frame -> unit;
-  mutable on_client : (reply:(Wire.frame -> unit) -> Wire.frame -> unit) option;
+  mutable on_data_view : Wire.view -> unit;
+  mutable on_client : (reply:reply -> Wire.view -> unit) option;
   mutable client_reqs : int;
   hello_seen : bool array;
   done_seen : bool array;
@@ -56,6 +137,11 @@ let bind addr =
 
 let listen_addr fd = Unix.getsockname fd
 
+let legacy_env () =
+  match Sys.getenv_opt "REPRO_LIVE_LEGACY" with
+  | Some ("" | "0") | None -> false
+  | Some _ -> true
+
 let create cfg ~listen_fd =
   if cfg.self < 0 || cfg.self >= cfg.n then invalid_arg "Live.create: bad self";
   if Array.length cfg.peers <> cfg.n then invalid_arg "Live.create: bad peers";
@@ -68,13 +154,19 @@ let create cfg ~listen_fd =
   done_seen.(cfg.self) <- true;
   {
     cfg;
+    legacy = legacy_env ();
     listen_fd;
     epoch = Unix.gettimeofday ();
     out_fds = Array.make cfg.n None;
+    outqs = Array.init cfg.n (fun _ -> Outq.create ());
+    dirty_peers = [];
+    dirty_conns = [];
+    pool = Wire.Pool.create ();
     conns = [];
+    read_fds = [ listen_fd ];
     timers = Pqueue.create ~cmp:compare ();
     timer_seq = 0;
-    on_data = (fun _ -> ());
+    on_data_view = (fun _ -> ());
     on_client = None;
     client_reqs = 0;
     hello_seen;
@@ -96,6 +188,12 @@ let create cfg ~listen_fd =
     jrng = Rng.create ((cfg.self + 1) * (Unix.getpid () + 1));
     rbuf = Bytes.create 65536;
   }
+
+(* The arm marker rides the fingerprint, so a legacy node and a fast node
+   can never silently exchange differently-encoded bodies: the Hello
+   barrier rejects the mix. *)
+let arm_fingerprint t =
+  if t.legacy then t.cfg.fingerprint ^ "+legacy" else t.cfg.fingerprint
 
 let add_timer t ~delay f =
   let due = now_ms t + max delay 0 in
@@ -128,7 +226,7 @@ let transient_connect_error = function
 
 (* The Hello body carries the config fingerprint plus the sender's
    incarnation, so peers can tell a respawned node from a fresh one. *)
-let hello_body t = Printf.sprintf "%s\ninc=%d" t.cfg.fingerprint t.cfg.incarnation
+let hello_body t = Printf.sprintf "%s\ninc=%d" (arm_fingerprint t) t.cfg.incarnation
 
 let split_hello body =
   match String.rindex_opt body '\n' with
@@ -168,32 +266,39 @@ let done_frame t dst =
   { Wire.kind = Wire.Done; src = t.cfg.self; dst; control_bytes = 0;
     payload_bytes = 0; body = "" }
 
-let rec send_frame t (fr : Wire.frame) =
-  if fr.dst = t.cfg.self then begin
-    (* self-sends take the timer queue, like the simulator: no synchronous
-       shortcut past messages already in flight *)
-    t.activity <- t.activity + 1;
-    add_timer t ~delay:0 (fun () -> dispatch t fr)
-  end
-  else
-    match t.out_fds.(fr.dst) with
-    | None ->
-        if t.cfg.resilient then begin
-          (* the frame is lost; a session layer above retransmits it once
-             the link is back *)
-          t.dropped_frames <- t.dropped_frames + 1;
-          schedule_reconnect t fr.dst
-        end
-        else if not t.draining then
-          failwith (Printf.sprintf "live: no connection to node %d" fr.dst)
-    | Some fd ->
-        if write_all t fd (Wire.encode fr) then t.activity <- t.activity + 1
-        else if t.cfg.resilient && not t.draining then begin
-          t.dropped_frames <- t.dropped_frames + 1;
-          mark_peer_lost t fr.dst
-        end
+(* --- batched link flushes -------------------------------------------------- *)
+
+(* Drop whatever is still queued for peer [i] (its link just broke or is
+   gone): the session layer above retransmits. *)
+let drop_outq t i =
+  let q = t.outqs.(i) in
+  if not (Outq.is_empty q) then
+    t.dropped_frames <- t.dropped_frames + Outq.unsent q;
+  Outq.reset q t.pool
+
+let rec flush_peer t i =
+  let q = t.outqs.(i) in
+  match t.out_fds.(i) with
+  | None -> drop_outq t i
+  | Some fd -> (
+      match
+        while not (Outq.is_empty q) do
+          match
+            Vecio.writev fd q.chunks ~start:q.head ~skip:q.skip
+              ~count:(Outq.unsent q)
+          with
+          | n -> Outq.advance q n
+          | exception Unix.Unix_error (EINTR, _, _) -> ()
+        done
+      with
+      | () -> Outq.reset q t.pool
+      | exception Unix.Unix_error ((EPIPE | ECONNRESET | EBADF), _, _)
+        when t.draining || t.cfg.resilient ->
+          drop_outq t i;
+          if t.cfg.resilient && not t.draining then mark_peer_lost t i)
 
 and mark_peer_lost t i =
+  drop_outq t i;
   (match t.out_fds.(i) with
   | Some fd ->
       (try Unix.close fd with Unix.Unix_error _ -> ());
@@ -227,11 +332,91 @@ and schedule_reconnect t i =
     add_timer t ~delay:10 (attempt ~delay:10)
   end
 
-(* A peer announced a fresh incarnation: our outbound socket (if any)
-   points at its dead predecessor.  Replace it and replay the handshake —
-   including Done if our program already finished, which the respawned
-   peer's barrier needs. *)
+(* Flush a connection's pending client replies.  Accepted sockets are
+   nonblocking: EAGAIN leaves the rest queued (and the conn dirty) for the
+   next step; a vanished client's backlog is discarded — its problem. *)
+let flush_conn t c =
+  let q = c.cq in
+  let rec go () =
+    if not (Outq.is_empty q) then
+      match
+        Vecio.writev c.fd q.chunks ~start:q.head ~skip:q.skip
+          ~count:(Outq.unsent q)
+      with
+      | n ->
+          Outq.advance q n;
+          go ()
+      | exception Unix.Unix_error (EINTR, _, _) -> go ()
+      | exception Unix.Unix_error (EAGAIN, _, _) -> ()
+      | exception Unix.Unix_error (_, _, _) -> Outq.reset q t.pool
+  in
+  go ();
+  if Outq.is_empty q then begin
+    Outq.reset q t.pool;
+    c.cq_dirty <- false
+  end
+
+let flush_all t =
+  (match t.dirty_peers with
+  | [] -> ()
+  | peers ->
+      t.dirty_peers <- [];
+      List.iter (flush_peer t) peers);
+  match t.dirty_conns with
+  | [] -> ()
+  | conns ->
+      t.dirty_conns <- [];
+      List.iter
+        (fun c ->
+          if not c.closed then begin
+            flush_conn t c;
+            if c.cq_dirty then t.dirty_conns <- c :: t.dirty_conns
+          end
+          else Outq.reset c.cq t.pool)
+        conns
+
+(* Queue one encoded frame (a pooled buffer holding the complete wire
+   image) for peer [dst]; it leaves in the next writev flush. *)
+let enqueue_peer t dst buf total =
+  match t.out_fds.(dst) with
+  | None ->
+      Wire.Pool.release t.pool buf;
+      if t.cfg.resilient then begin
+        t.dropped_frames <- t.dropped_frames + 1;
+        schedule_reconnect t dst
+      end
+      else if not t.draining then
+        failwith (Printf.sprintf "live: no connection to node %d" dst)
+  | Some _ ->
+      let q = t.outqs.(dst) in
+      if Outq.is_empty q then t.dirty_peers <- dst :: t.dirty_peers;
+      Outq.push q (buf, 0, total);
+      t.activity <- t.activity + 1
+
+(* Legacy arm: one blocking write per frame, exactly the pre-hotpath
+   behaviour. *)
+let send_frame_legacy t (fr : Wire.frame) =
+  match t.out_fds.(fr.dst) with
+  | None ->
+      if t.cfg.resilient then begin
+        t.dropped_frames <- t.dropped_frames + 1;
+        schedule_reconnect t fr.dst
+      end
+      else if not t.draining then
+        failwith (Printf.sprintf "live: no connection to node %d" fr.dst)
+  | Some fd ->
+      if write_all t fd (Wire.encode fr) then t.activity <- t.activity + 1
+      else if t.cfg.resilient && not t.draining then begin
+        t.dropped_frames <- t.dropped_frames + 1;
+        mark_peer_lost t fr.dst
+      end
+
 and refresh_peer t i =
+  (* A peer announced a fresh incarnation: our outbound socket (if any)
+     points at its dead predecessor.  Replace it and replay the handshake —
+     including Done if our program already finished, which the respawned
+     peer's barrier needs. *)
+  drop_outq t i;
   (match t.out_fds.(i) with
   | Some fd ->
       (try Unix.close fd with Unix.Unix_error _ -> ());
@@ -252,42 +437,66 @@ and refresh_peer t i =
     | Some fd -> ignore (write_all t fd (Wire.encode (done_frame t i)))
     | None -> ()
 
-and dispatch ?reply t (fr : Wire.frame) =
-  match fr.kind with
-  | Wire.Creq ->
+(* Build one client-reply frame into a pooled buffer and queue it on the
+   requesting connection (legacy arm: write it immediately, per-frame). *)
+let conn_reply t c ~dst ~control_bytes ~payload_bytes ~body_len ~emit =
+  let total = Wire.body_offset + body_len in
+  let buf =
+    if t.legacy then Bytes.create total else Wire.Pool.acquire t.pool total
+  in
+  Wire.set_header buf ~kind:Wire.Cresp ~src:t.cfg.self ~dst ~control_bytes
+    ~payload_bytes ~body_len;
+  let off = emit buf Wire.body_offset in
+  if off <> total then invalid_arg "live: reply emit size mismatch";
+  if t.legacy then begin
+    match write_all t c.fd (if Bytes.length buf = total then buf else Bytes.sub buf 0 total) with
+    | ok -> if ok then t.activity <- t.activity + 1
+    | exception Unix.Unix_error _ -> ()
+  end
+  else begin
+    if not c.cq_dirty then begin
+      c.cq_dirty <- true;
+      t.dirty_conns <- c :: t.dirty_conns
+    end;
+    Outq.push c.cq (buf, 0, total);
+    t.activity <- t.activity + 1
+  end
+
+let dispatch ?conn t (v : Wire.view) =
+  match v.Wire.v_kind with
+  | Wire.Creq -> (
       (* client traffic: src is a client id, deliberately outside the node
          range, and the reply goes back on the connection the request came
          in on — never through the peer mesh *)
       t.activity <- t.activity + 1;
       t.client_reqs <- t.client_reqs + 1;
-      (match (t.on_client, reply) with
-      | Some handler, Some r -> handler ~reply:r fr
+      match (t.on_client, conn) with
+      | Some handler, Some c ->
+          handler
+            ~reply:(fun ~dst ~control_bytes ~payload_bytes ~body_len ~emit ->
+              conn_reply t c ~dst ~control_bytes ~payload_bytes ~body_len ~emit)
+            v
       | _ -> () (* no front door installed: drop, the client times out *))
   | Wire.Cresp -> () (* nodes never consume responses; tolerate strays *)
-  | Wire.Hello | Wire.Done | Wire.Data -> dispatch_peer t fr
-
-and dispatch_peer t (fr : Wire.frame) =
-  if fr.src < 0 || fr.src >= t.cfg.n then
-    failwith (Printf.sprintf "live: frame from unknown node %d" fr.src);
-  t.activity <- t.activity + 1;
-  match fr.kind with
-  | Wire.Creq | Wire.Cresp -> assert false (* handled by [dispatch] *)
-  | Wire.Hello ->
-      let fp, inc = split_hello fr.body in
-      if not (String.equal fp t.cfg.fingerprint) then
-        failwith
-          (Printf.sprintf "live: fingerprint mismatch with node %d (%S vs %S)"
-             fr.src fp t.cfg.fingerprint);
-      t.hello_seen.(fr.src) <- true;
-      if t.cfg.resilient && inc > 0 && inc > t.peer_inc.(fr.src) then begin
-        t.peer_inc.(fr.src) <- inc;
-        refresh_peer t fr.src
-      end
-  | Wire.Done -> t.done_seen.(fr.src) <- true
-  | Wire.Data ->
-      t.delivered <- t.delivered + 1;
-      t.per_node_received.(t.cfg.self) <- t.per_node_received.(t.cfg.self) + 1;
-      t.on_data fr
+  | Wire.Hello | Wire.Done | Wire.Data ->
+      if v.Wire.v_src < 0 || v.Wire.v_src >= t.cfg.n then
+        failwith (Printf.sprintf "live: frame from unknown node %d" v.Wire.v_src);
+      t.activity <- t.activity + 1;
+      (match v.Wire.v_kind with
+      | Wire.Creq | Wire.Cresp -> assert false
+      | Wire.Hello ->
+          let fp, inc = split_hello (Wire.view_body v) in
+          if not (String.equal fp (arm_fingerprint t)) then
+            failwith
+              (Printf.sprintf "live: fingerprint mismatch with node %d (%S vs %S)"
+                 v.Wire.v_src fp (arm_fingerprint t));
+          t.hello_seen.(v.Wire.v_src) <- true;
+          if t.cfg.resilient && inc > 0 && inc > t.peer_inc.(v.Wire.v_src) then begin
+            t.peer_inc.(v.Wire.v_src) <- inc;
+            refresh_peer t v.Wire.v_src
+          end
+      | Wire.Done -> t.done_seen.(v.Wire.v_src) <- true
+      | Wire.Data -> t.on_data_view v)
 
 let fire_due t =
   let fired = ref false in
@@ -303,13 +512,22 @@ let fire_due t =
   loop ();
   !fired
 
+let rebuild_read_fds t =
+  t.conns <- List.filter (fun c -> not c.closed) t.conns;
+  t.read_fds <- t.listen_fd :: List.map (fun c -> c.fd) t.conns
+
 let accept_ready t =
   let rec loop acted =
     match Unix.accept t.listen_fd with
     | fd, _ ->
         Unix.set_nonblock fd;
         (try Unix.setsockopt fd TCP_NODELAY true with Unix.Unix_error _ -> ());
-        t.conns <- { fd; dec = Wire.decoder (); closed = false } :: t.conns;
+        let c =
+          { fd; dec = Wire.decoder (); closed = false; cq = Outq.create ();
+            cq_dirty = false }
+        in
+        t.conns <- c :: t.conns;
+        t.read_fds <- fd :: t.read_fds;
         loop true
     | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> acted
   in
@@ -325,6 +543,8 @@ let service_conn t c =
   else if nread = 0 then begin
     c.closed <- true;
     (try Unix.close c.fd with Unix.Unix_error _ -> ());
+    Outq.reset c.cq t.pool;
+    rebuild_read_fds t;
     (* a resilient node treats a truncated stream like a lost frame: the
        peer crashed mid-write and the session layer will resend *)
     if Wire.pending c.dec > 0 && not t.draining && not t.cfg.resilient then
@@ -333,17 +553,12 @@ let service_conn t c =
   end
   else begin
     Wire.feed c.dec t.rbuf nread;
-    (* replies to client requests go out on the requesting connection; a
-       client that hung up mid-reply is its own problem, never the node's *)
-    let reply fr =
-      match write_all t c.fd (Wire.encode fr) with
-      | ok -> if ok then t.activity <- t.activity + 1
-      | exception Unix.Unix_error _ -> ()
-    in
+    (* each view is parsed before the next [next_view]/[feed], so bodies
+       are consumed straight out of the decoder's buffer *)
     let rec pump () =
-      match Wire.next c.dec with
-      | Ok (Some fr) ->
-          dispatch ~reply t fr;
+      match Wire.next_view c.dec with
+      | Ok (Some v) ->
+          dispatch ~conn:c t v;
           pump ()
       | Ok None -> ()
       | Error msg -> failwith ("live: corrupt stream: " ^ msg)
@@ -353,6 +568,9 @@ let service_conn t c =
   end
 
 let step t ~block =
+  (* anything queued outside the loop (program sends between steps) goes
+     out before we wait on the poll set *)
+  flush_all t;
   let timeout =
     if not block then 0.
     else
@@ -361,8 +579,14 @@ let step t ~block =
           Float.min 0.001 (Float.max 0. (float_of_int (due - now_ms t) /. 1000.))
       | None -> 0.001
   in
-  t.conns <- List.filter (fun c -> not c.closed) t.conns;
-  let read_fds = t.listen_fd :: List.map (fun c -> c.fd) t.conns in
+  let read_fds =
+    if t.legacy then begin
+      (* baseline arm: rebuild the fd list every iteration *)
+      t.conns <- List.filter (fun c -> not c.closed) t.conns;
+      t.listen_fd :: List.map (fun c -> c.fd) t.conns
+    end
+    else t.read_fds
+  in
   let ready, _, _ =
     try Unix.select read_fds [] [] timeout
     with Unix.Unix_error (EINTR, _, _) -> ([], [], [])
@@ -375,6 +599,8 @@ let step t ~block =
         if service_conn t c then acted := true)
     t.conns;
   if fire_due t then acted := true;
+  (* one writev per dirty link covers everything this step produced *)
+  flush_all t;
   !acted
 
 (* First dial, at startup: daemons come up in any order, so refused/reset
@@ -413,6 +639,7 @@ let wait_peers t ~timeout_ms =
   done
 
 let finish_program t =
+  flush_all t;
   t.done_sent <- true;
   for i = 0 to t.cfg.n - 1 do
     if i <> t.cfg.self then
@@ -435,10 +662,12 @@ let drain t ~quiet_ms ~max_ms =
   done
 
 let close t =
+  flush_all t;
   let shut fd = try Unix.close fd with Unix.Unix_error _ -> () in
   Array.iter (Option.iter shut) t.out_fds;
   List.iter (fun c -> if not c.closed then shut c.fd) t.conns;
   t.conns <- [];
+  t.read_fds <- [];
   shut t.listen_fd
 
 let stats t : Net.stats =
@@ -461,10 +690,21 @@ let set_client_handler t h = t.on_client <- Some h
 
 let client_reqs t = t.client_reqs
 
+(* Data bodies on the fast path: 4-byte send timestamp, then the
+   codec-encoded message, parsed in place on receive.  Without a codec
+   (tests, arbitrary message types) the body is the marshalled pair, as
+   on the legacy arm. *)
+let send_time_bytes = 4
+
+let oracle_env () =
+  match Sys.getenv_opt "REPRO_CODEC_ORACLE" with
+  | Some ("" | "0") | None -> false
+  | Some _ -> true
+
 let factory t =
   {
     Transport.create =
-      (fun (type msg) ~n : msg Transport.t ->
+      (fun (type msg) ?codec n : msg Transport.t ->
         if t.factory_used then invalid_arg "Live.factory: already used";
         if n <> t.cfg.n then
           invalid_arg
@@ -475,22 +715,43 @@ let factory t =
         let handler : (msg Net.envelope -> unit) ref = ref (fun _ -> ()) in
         let tracing = ref false in
         let trace_buf : msg Net.event Ringbuf.t = Ringbuf.create () in
-        t.on_data <-
-          (fun fr ->
-            let (send_time, msg) : int * msg = Marshal.from_string fr.body 0 in
-            let env : msg Net.envelope =
+        let oracle = oracle_env () in
+        let codec = if t.legacy then None else codec in
+        let deliver (env : msg Net.envelope) =
+          t.delivered <- t.delivered + 1;
+          t.per_node_received.(self) <- t.per_node_received.(self) + 1;
+          if !tracing then Ringbuf.push_back trace_buf (Net.Delivered env);
+          !handler env
+        in
+        t.on_data_view <-
+          (fun v ->
+            let send_time, msg =
+              match codec with
+              | Some c -> (
+                  let limit = v.Wire.v_off + v.Wire.v_len in
+                  match
+                    let st, pos = Codec.get_i32 v.Wire.v_buf v.Wire.v_off limit in
+                    let m, pos = c.Codec.parse v.Wire.v_buf pos limit in
+                    if pos <> limit then raise (Codec.Bad "trailing bytes");
+                    (st, m)
+                  with
+                  | r -> r
+                  | exception Codec.Bad e ->
+                      failwith ("live: corrupt data body: " ^ e))
+              | None ->
+                  let (st, (m : msg)) = Marshal.from_string (Wire.view_body v) 0 in
+                  (st, m)
+            in
+            deliver
               {
-                src = fr.src;
-                dst = fr.dst;
+                src = v.Wire.v_src;
+                dst = v.Wire.v_dst;
                 send_time;
                 deliver_time = now_ms t;
-                control_bytes = fr.control_bytes;
-                payload_bytes = fr.payload_bytes;
+                control_bytes = v.Wire.v_control_bytes;
+                payload_bytes = v.Wire.v_payload_bytes;
                 msg;
-              }
-            in
-            if !tracing then Ringbuf.push_back trace_buf (Net.Delivered env);
-            !handler env);
+              });
         {
           Transport.n_nodes = t.cfg.n;
           scope = Transport.Node self;
@@ -502,7 +763,6 @@ let factory t =
                      src);
               if dst < 0 || dst >= t.cfg.n then invalid_arg "live: bad dst";
               let now = now_ms t in
-              let body = Marshal.to_string (now, msg) [] in
               t.sent <- t.sent + 1;
               t.total_control_bytes <- t.total_control_bytes + control_bytes;
               t.total_payload_bytes <- t.total_payload_bytes + payload_bytes;
@@ -519,8 +779,85 @@ let factory t =
                        payload_bytes;
                        msg;
                      });
-              send_frame t
-                { Wire.kind = Wire.Data; src; dst; control_bytes; payload_bytes; body });
+              match codec with
+              | Some c ->
+                  if dst = self then begin
+                    (* self-sends take the timer queue, like the simulator:
+                       no synchronous shortcut past messages in flight —
+                       and with a codec, no serialization either *)
+                    t.activity <- t.activity + 1;
+                    add_timer t ~delay:0 (fun () ->
+                        t.activity <- t.activity + 1;
+                        deliver
+                          {
+                            src;
+                            dst;
+                            send_time = now;
+                            deliver_time = now_ms t;
+                            control_bytes;
+                            payload_bytes;
+                            msg;
+                          })
+                  end
+                  else begin
+                    let body_len = send_time_bytes + c.Codec.size msg in
+                    let total = Wire.body_offset + body_len in
+                    let buf = Wire.Pool.acquire t.pool total in
+                    Wire.set_header buf ~kind:Wire.Data ~src ~dst ~control_bytes
+                      ~payload_bytes ~body_len;
+                    let off = Codec.put_i32 buf Wire.body_offset now in
+                    let off = c.Codec.emit buf off msg in
+                    if off <> total then
+                      invalid_arg "live: codec emit size mismatch";
+                    if oracle then begin
+                      (* REPRO_CODEC_ORACLE: decode what we just encoded and
+                         compare against the original, structurally *)
+                      let m', p =
+                        c.Codec.parse buf (Wire.body_offset + send_time_bytes)
+                          total
+                      in
+                      if
+                        p <> total
+                        || not
+                             (String.equal
+                                (Marshal.to_string msg [])
+                                (Marshal.to_string m' []))
+                      then failwith "live: codec oracle mismatch"
+                    end;
+                    enqueue_peer t dst buf total
+                  end
+              | None ->
+                  let body = Marshal.to_string (now, msg) [] in
+                  let fr =
+                    { Wire.kind = Wire.Data; src; dst; control_bytes;
+                      payload_bytes; body }
+                  in
+                  if dst = self then begin
+                    t.activity <- t.activity + 1;
+                    add_timer t ~delay:0 (fun () ->
+                        t.activity <- t.activity + 1;
+                        let (st, (m : msg)) = Marshal.from_string fr.body 0 in
+                        deliver
+                          {
+                            src;
+                            dst;
+                            send_time = st;
+                            deliver_time = now_ms t;
+                            control_bytes;
+                            payload_bytes;
+                            msg = m;
+                          })
+                  end
+                  else if t.legacy then send_frame_legacy t fr
+                  else begin
+                    let body_len = String.length body in
+                    let total = Wire.body_offset + body_len in
+                    let buf = Wire.Pool.acquire t.pool total in
+                    Wire.set_header buf ~kind:Wire.Data ~src ~dst ~control_bytes
+                      ~payload_bytes ~body_len;
+                    Bytes.blit_string body 0 buf Wire.body_offset body_len;
+                    enqueue_peer t dst buf total
+                  end);
           set_handler = (fun node f -> if node = self then handler := f);
           schedule = (fun ~delay f -> add_timer t ~delay f);
           step = (fun () -> step t ~block:true);

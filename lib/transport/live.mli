@@ -19,8 +19,26 @@
 
     The declared control/payload byte counts travel inside each frame
     header, so a live node's {!Transport} stats aggregate exactly the
-    numbers the simulator would — marshalling overhead never leaks into
-    the accounting. *)
+    numbers the simulator would — encoding overhead never leaks into
+    the accounting.
+
+    {b Hot path.}  With a message codec (see {!Transport.factory}), a
+    send emits its body straight into a pooled frame buffer (4-byte send
+    timestamp + codec image; zero per-message allocation at steady
+    state), frames queue per destination link, and each event-loop turn
+    flushes a whole link in one [writev(2)] — with partial-write
+    resumption and EINTR retry — before recycling the buffers.  Receives
+    parse message bodies in place out of the streaming decoder
+    ({!Wire.next_view}).  The poll set is persistent: the fd list fed to
+    [select] changes only on accept/close, not per iteration.  Without a
+    codec, bodies fall back to [Marshal] (still pooled and batched).
+
+    {b Baseline arm.}  Setting [REPRO_LIVE_LEGACY=1] in the environment
+    restores the pre-hotpath behaviour — marshalled bodies, one write
+    per frame, per-iteration fd-list rebuild — so before/after load
+    comparisons can run both arms from one binary.  The arm is stamped
+    into the [Hello] fingerprint, so mixed-arm clusters fail the
+    handshake instead of exchanging differently-encoded bodies. *)
 
 type config = {
   self : int;  (** this process's node id, [0 <= self < n] *)
@@ -32,7 +50,7 @@ type config = {
   fingerprint : string;
       (** Carried in [Hello] frames; any mismatch between two nodes'
           fingerprints (protocol, workload, size, seed) aborts the run
-          instead of unmarshalling foreign bytes. *)
+          instead of decoding foreign bytes. *)
   resilient : bool;
       (** When on, a broken peer link is survived instead of fatal: the
           frame in flight is dropped (counted in [stats.dropped]; a
@@ -47,9 +65,9 @@ type config = {
 }
 
 type t
-(** The untyped runtime: sockets, streaming decoders, timer queue,
-    counters.  The message type appears only in the {!Transport.t} view
-    returned by {!val-factory}. *)
+(** The untyped runtime: sockets, streaming decoders, buffer pool, link
+    out-queues, timer queue, counters.  The message type appears only in
+    the {!Transport.t} view returned by {!val-factory}. *)
 
 val bind : Unix.sockaddr -> Unix.file_descr
 (** Socket + [SO_REUSEADDR] + bind + listen.  Bind to port 0 to let the
@@ -59,15 +77,19 @@ val listen_addr : Unix.file_descr -> Unix.sockaddr
 
 val create : config -> listen_fd:Unix.file_descr -> t
 (** Takes ownership of [listen_fd].  Ignores [SIGPIPE] process-wide (a
-    dead peer must surface as a catchable error, not a kill). *)
+    dead peer must surface as a catchable error, not a kill).  Reads
+    [REPRO_LIVE_LEGACY] here, once. *)
 
 val factory : t -> Transport.factory
-(** Single-use: the factory marshals at the frame boundary, so binding it
+(** Single-use: the factory encodes at the frame boundary, so binding it
     to two different message types would alias the wire.  Second use
     raises [Invalid_argument]; so does [create ~n] with the wrong [n].
     The resulting transport has [scope = Node self]; its [send] refuses
     [src <> self] and its [set_handler] ignores installs for other nodes
-    (whole-instance protocols install all [n] — only ours is live). *)
+    (whole-instance protocols install all [n] — only ours is live).
+    A codec passed through the factory replaces [Marshal] for [Data]
+    bodies; [REPRO_CODEC_ORACLE=1] additionally cross-checks every
+    encoded body against a decode of itself (tests). *)
 
 val wait_peers : t -> timeout_ms:int -> unit
 (** Dial every peer, send [Hello], and pump until every peer's [Hello] has
@@ -78,12 +100,15 @@ val wait_peers : t -> timeout_ms:int -> unit
 
 val step : t -> block:bool -> bool
 (** Accept/read/dispatch what is ready and fire due timers, blocking at
-    most ~1 ms when [block] and nothing is ready.  [true] when any timer
-    fired or socket progressed. *)
+    most ~1 ms when [block] and nothing is ready.  Pending link queues are
+    flushed (one [writev] per dirty link) on entry and again after
+    dispatch, so every frame produced in a turn leaves in that turn.
+    [true] when any timer fired or socket progressed. *)
 
 val finish_program : t -> unit
 (** Broadcast [Done]: this node's program (its workload slice) has
-    finished issuing operations.  Its handlers stay live. *)
+    finished issuing operations.  Its handlers stay live.  Pending data
+    frames are flushed first, so [Done] never overtakes them. *)
 
 val all_done : t -> bool
 (** Every peer's [Done] has been seen. *)
@@ -103,15 +128,29 @@ val stats : t -> Repro_msgpass.Net.stats
     dropped on broken links ([dropped]) and [reconnects].  The factory's
     transport view reports the same record. *)
 
-val set_client_handler :
-  t -> (reply:(Wire.frame -> unit) -> Wire.frame -> unit) -> unit
+type reply =
+  dst:int ->
+  control_bytes:int ->
+  payload_bytes:int ->
+  body_len:int ->
+  emit:(Bytes.t -> int -> int) ->
+  unit
+(** Send one [Cresp] frame back on the requesting connection: [emit] is
+    handed a buffer and the body start offset and must return the offset
+    past exactly [body_len] written bytes — the body goes straight into a
+    pooled frame, no intermediate string.  Replies queue on the
+    connection and flush batched (one [writev] per turn). *)
+
+val set_client_handler : t -> (reply:reply -> Wire.view -> unit) -> unit
 (** Install the client front door: every [Creq] frame read off any
-    accepted connection is handed to the handler together with a [reply]
-    function that writes a frame back on {e that} connection.  Client
-    frames bypass the peer-id check (their [src] is a client id above the
-    node range) and never enter the protocol transport, so peer-level
-    accounting is untouched.  Without a handler, [Creq] frames are
-    dropped.  Replies to vanished clients are discarded silently. *)
+    accepted connection is handed to the handler as a zero-copy
+    {!Wire.view} (parse the body before returning — the view dies with
+    the next decoder feed) together with a {!reply} that writes back on
+    {e that} connection.  Client frames bypass the peer-id check (their
+    [src] is a client id above the node range) and never enter the
+    protocol transport, so peer-level accounting is untouched.  Without a
+    handler, [Creq] frames are dropped.  Replies to vanished clients are
+    discarded silently. *)
 
 val client_reqs : t -> int
 (** [Creq] frames dispatched so far. *)

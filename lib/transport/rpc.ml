@@ -4,7 +4,13 @@
    discipline: every decode is strict (bad tags, truncation, trailing
    bytes, negative counts are all errors), so a corrupt client cannot
    poison a node.  Values travel as 8-byte integers — the same
-   [value_bytes] currency the protocols declare for payload accounting. *)
+   [value_bytes] currency the protocols declare for payload accounting.
+
+   The hot path avoids intermediate strings in both directions: [emit_*]
+   writes a body straight into a (pooled) frame buffer at an offset, and
+   [decode_*_at] parses one straight out of a decoder's buffer slice
+   ({!Wire.view}).  The string-based [encode_*]/[decode_*] remain as
+   wrappers. *)
 
 type op = Read of { var : int } | Write of { var : int; value : int }
 
@@ -35,108 +41,118 @@ let put_op buf off = function
       Bytes.set_int64_be buf (off + 5) (Int64.of_int value);
       off + 13
 
-let encode_request ~id req =
-  if id < 0 || id > 0x7FFFFFFF then invalid_arg "Rpc.encode_request: bad id";
+let request_body_len = function
+  | Op op -> 4 + op_len op
+  | Batch ops -> 4 + 1 + 2 + Array.fold_left (fun a op -> a + op_len op) 0 ops
+
+let emit_request buf off ~id req =
+  if id < 0 || id > 0x7FFFFFFF then invalid_arg "Rpc.emit_request: bad id";
   match req with
   | Op op ->
       (* single ops share the per-op layout: tag byte then operands *)
-      let buf = Bytes.create (4 + op_len op) in
-      Bytes.set_int32_be buf 0 (Int32.of_int id);
-      let off = put_op buf 4 op in
-      assert (off = Bytes.length buf);
-      Bytes.unsafe_to_string buf
+      Bytes.set_int32_be buf off (Int32.of_int id);
+      put_op buf (off + 4) op
   | Batch ops ->
       let count = Array.length ops in
-      if count > max_batch then invalid_arg "Rpc.encode_request: batch too large";
-      let len = 4 + 1 + 2 + Array.fold_left (fun a op -> a + op_len op) 0 ops in
-      let buf = Bytes.create len in
-      Bytes.set_int32_be buf 0 (Int32.of_int id);
-      Bytes.set_uint8 buf 4 2;
-      Bytes.set_uint16_be buf 5 count;
-      let off = ref 7 in
-      Array.iter (fun op -> off := put_op buf !off op) ops;
-      assert (!off = len);
-      Bytes.unsafe_to_string buf
+      if count > max_batch then invalid_arg "Rpc.emit_request: batch too large";
+      Bytes.set_int32_be buf off (Int32.of_int id);
+      Bytes.set_uint8 buf (off + 4) 2;
+      Bytes.set_uint16_be buf (off + 5) count;
+      let o = ref (off + 7) in
+      Array.iter (fun op -> o := put_op buf !o op) ops;
+      !o
+
+let encode_request ~id req =
+  let len = request_body_len req in
+  let buf = Bytes.create len in
+  let off = emit_request buf 0 ~id req in
+  assert (off = len);
+  Bytes.unsafe_to_string buf
+
+let outcome_len = function
+  | Got None -> 1
+  | Got (Some _) -> 9
+  | Stored -> 1
+  | Failed msg ->
+      if String.length msg > 0xFFFF then
+        invalid_arg "Rpc: error message too long";
+      3 + String.length msg
+
+let response_body_len outcomes =
+  4 + 2 + Array.fold_left (fun a o -> a + outcome_len o) 0 outcomes
+
+let emit_response buf off ~id outcomes =
+  if id < 0 || id > 0x7FFFFFFF then invalid_arg "Rpc.emit_response: bad id";
+  let count = Array.length outcomes in
+  if count > max_batch then invalid_arg "Rpc.emit_response: too many outcomes";
+  Bytes.set_int32_be buf off (Int32.of_int id);
+  Bytes.set_uint16_be buf (off + 4) count;
+  let o = ref (off + 6) in
+  Array.iter
+    (fun oc ->
+      (match oc with
+      | Got None -> Bytes.set_uint8 buf !o 0
+      | Got (Some v) ->
+          Bytes.set_uint8 buf !o 1;
+          Bytes.set_int64_be buf (!o + 1) (Int64.of_int v)
+      | Stored -> Bytes.set_uint8 buf !o 2
+      | Failed msg ->
+          Bytes.set_uint8 buf !o 3;
+          Bytes.set_uint16_be buf (!o + 1) (String.length msg);
+          Bytes.blit_string msg 0 buf (!o + 3) (String.length msg));
+      o := !o + outcome_len oc)
+    outcomes;
+  !o
 
 let encode_response ~id outcomes =
-  if id < 0 || id > 0x7FFFFFFF then invalid_arg "Rpc.encode_response: bad id";
-  let count = Array.length outcomes in
-  if count > max_batch then invalid_arg "Rpc.encode_response: too many outcomes";
-  let outcome_len = function
-    | Got None -> 1
-    | Got (Some _) -> 9
-    | Stored -> 1
-    | Failed msg ->
-        if String.length msg > 0xFFFF then
-          invalid_arg "Rpc.encode_response: error message too long";
-        3 + String.length msg
-  in
-  let len = 4 + 2 + Array.fold_left (fun a o -> a + outcome_len o) 0 outcomes in
+  let len = response_body_len outcomes in
   let buf = Bytes.create len in
-  Bytes.set_int32_be buf 0 (Int32.of_int id);
-  Bytes.set_uint16_be buf 4 count;
-  let off = ref 6 in
-  Array.iter
-    (fun o ->
-      (match o with
-      | Got None -> Bytes.set_uint8 buf !off 0
-      | Got (Some v) ->
-          Bytes.set_uint8 buf !off 1;
-          Bytes.set_int64_be buf (!off + 1) (Int64.of_int v)
-      | Stored -> Bytes.set_uint8 buf !off 2
-      | Failed msg ->
-          Bytes.set_uint8 buf !off 3;
-          Bytes.set_uint16_be buf (!off + 1) (String.length msg);
-          Bytes.blit_string msg 0 buf (!off + 3) (String.length msg));
-      off := !off + outcome_len o)
-    outcomes;
-  assert (!off = len);
+  let off = emit_response buf 0 ~id outcomes in
+  assert (off = len);
   Bytes.unsafe_to_string buf
 
 (* --- decoding ------------------------------------------------------------- *)
 
-(* A tiny strict reader: every primitive checks the remaining length, and
-   [finish] rejects trailing bytes, so decode accepts exactly the images
-   of encode. *)
-type reader = { body : string; mutable pos : int }
+(* A tiny strict reader over a byte slice: every primitive checks the
+   remaining length, and [finish] rejects trailing bytes, so decode
+   accepts exactly the images of encode. *)
+type reader = { buf : Bytes.t; mutable pos : int; limit : int }
 
 exception Bad of string
 
-let need r k =
-  if r.pos + k > String.length r.body then raise (Bad "truncated body")
+let need r k = if r.pos + k > r.limit then raise (Bad "truncated body")
 
 let u8 r =
   need r 1;
-  let v = Char.code r.body.[r.pos] in
+  let v = Bytes.get_uint8 r.buf r.pos in
   r.pos <- r.pos + 1;
   v
 
 let u16 r =
   need r 2;
-  let v = String.get_uint16_be r.body r.pos in
+  let v = Bytes.get_uint16_be r.buf r.pos in
   r.pos <- r.pos + 2;
   v
 
 let i32 r =
   need r 4;
-  let v = Int32.to_int (String.get_int32_be r.body r.pos) in
+  let v = Int32.to_int (Bytes.get_int32_be r.buf r.pos) in
   r.pos <- r.pos + 4;
   v
 
 let i64 r =
   need r 8;
-  let v = Int64.to_int (String.get_int64_be r.body r.pos) in
+  let v = Int64.to_int (Bytes.get_int64_be r.buf r.pos) in
   r.pos <- r.pos + 8;
   v
 
 let str r len =
   need r len;
-  let v = String.sub r.body r.pos len in
+  let v = Bytes.sub_string r.buf r.pos len in
   r.pos <- r.pos + len;
   v
 
-let finish r v =
-  if r.pos <> String.length r.body then raise (Bad "trailing bytes") else v
+let finish r v = if r.pos <> r.limit then raise (Bad "trailing bytes") else v
 
 let var_of r =
   let var = i32 r in
@@ -151,44 +167,57 @@ let op_of r =
       Write { var; value = i64 r }
   | k -> raise (Bad (Printf.sprintf "unknown op tag %d" k))
 
-let run_decode f body =
-  let r = { body; pos = 0 } in
+let run_decode_at f buf ~pos ~len =
+  let r = { buf; pos; limit = pos + len } in
   match f r with v -> Ok v | exception Bad msg -> Error msg
 
-let decode_request =
-  run_decode (fun r ->
-      let id = i32 r in
-      if id < 0 then raise (Bad "negative request id");
-      let req =
-        match u8 r with
-        | 0 -> Op (Read { var = var_of r })
-        | 1 ->
-            let var = var_of r in
-            Op (Write { var; value = i64 r })
-        | 2 ->
-            let count = u16 r in
-            Batch (Array.init count (fun _ -> op_of r))
-        | k -> raise (Bad (Printf.sprintf "unknown request tag %d" k))
-      in
-      finish r (id, req))
+let request_of r =
+  let id = i32 r in
+  if id < 0 then raise (Bad "negative request id");
+  let req =
+    match u8 r with
+    | 0 -> Op (Read { var = var_of r })
+    | 1 ->
+        let var = var_of r in
+        Op (Write { var; value = i64 r })
+    | 2 ->
+        let count = u16 r in
+        Batch (Array.init count (fun _ -> op_of r))
+    | k -> raise (Bad (Printf.sprintf "unknown request tag %d" k))
+  in
+  finish r (id, req)
 
-let decode_response =
-  run_decode (fun r ->
-      let id = i32 r in
-      if id < 0 then raise (Bad "negative request id");
-      let count = u16 r in
-      let outcomes =
-        Array.init count (fun _ ->
-            match u8 r with
-            | 0 -> Got None
-            | 1 -> Got (Some (i64 r))
-            | 2 -> Stored
-            | 3 ->
-                let len = u16 r in
-                Failed (str r len)
-            | k -> raise (Bad (Printf.sprintf "unknown outcome tag %d" k)))
-      in
-      finish r (id, outcomes))
+let response_of r =
+  let id = i32 r in
+  if id < 0 then raise (Bad "negative request id");
+  let count = u16 r in
+  let outcomes =
+    Array.init count (fun _ ->
+        match u8 r with
+        | 0 -> Got None
+        | 1 -> Got (Some (i64 r))
+        | 2 -> Stored
+        | 3 ->
+            let len = u16 r in
+            Failed (str r len)
+        | k -> raise (Bad (Printf.sprintf "unknown outcome tag %d" k)))
+  in
+  finish r (id, outcomes)
+
+let decode_request_at buf ~pos ~len = run_decode_at request_of buf ~pos ~len
+
+let decode_response_at buf ~pos ~len = run_decode_at response_of buf ~pos ~len
+
+(* Reading never mutates, so viewing the string's bytes in place is safe. *)
+let decode_request body =
+  decode_request_at
+    (Bytes.unsafe_of_string body)
+    ~pos:0 ~len:(String.length body)
+
+let decode_response body =
+  decode_response_at
+    (Bytes.unsafe_of_string body)
+    ~pos:0 ~len:(String.length body)
 
 (* --- declared-size accounting --------------------------------------------- *)
 

@@ -52,6 +52,27 @@ val encode_response : id:int -> outcome array -> string
 
 val decode_response : string -> (int * outcome array, string) result
 
+(** {1 Zero-copy variants}
+
+    The hot path builds bodies in place — [emit_*] writes at an offset
+    into a (pooled) frame buffer, [decode_*_at] parses a slice of a
+    decoder's buffer ({!Wire.view}) — so requests and replies cross the
+    codec layer without intermediate strings. *)
+
+val request_body_len : request -> int
+val emit_request : Bytes.t -> int -> id:int -> request -> int
+(** [emit_request buf off ~id req] writes exactly {!request_body_len}
+    bytes at [off]; returns the offset past them. *)
+
+val response_body_len : outcome array -> int
+val emit_response : Bytes.t -> int -> id:int -> outcome array -> int
+
+val decode_request_at :
+  Bytes.t -> pos:int -> len:int -> (int * request, string) result
+
+val decode_response_at :
+  Bytes.t -> pos:int -> len:int -> (int * outcome array, string) result
+
 val request_payload_bytes : request -> int
 (** Declared payload bytes (8 per written value), for the [Wire] frame's
     two-lane accounting fields; everything else in the body is control. *)

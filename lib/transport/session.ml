@@ -61,6 +61,65 @@ type 'msg state =
   * int array
   * int array
 
+(* Lift a protocol message codec to the session's wire type, so the live
+   backend can encode [wrapped] frames without Marshal.  Layout: tag byte
+   (0 = Segs, 1 = Ack); Segs carries the piggybacked ack (i32, -1 when
+   none), a u16 segment count, then per segment seq/control/payload (i32
+   each) followed by the inner message; Ack carries its cumulative
+   counter (i32). *)
+let wrapped_codec (c : 'msg Codec.t) : 'msg wrapped Codec.t =
+  let seg_fixed = 12 in
+  {
+    Codec.size =
+      (function
+      | Ack _ -> 5
+      | Segs { segs; _ } ->
+          Array.fold_left
+            (fun a (_, _, _, msg) -> a + seg_fixed + c.Codec.size msg)
+            7 segs);
+    emit =
+      (fun buf off msg ->
+        match msg with
+        | Ack { next } ->
+            let off = Codec.put_u8 buf off 1 in
+            Codec.put_i32 buf off next
+        | Segs { ack; segs } ->
+            let off = Codec.put_u8 buf off 0 in
+            let off = Codec.put_i32 buf off ack in
+            let off = Codec.put_u16 buf off (Array.length segs) in
+            Array.fold_left
+              (fun off (seq, cb, pb, m) ->
+                let off = Codec.put_i32 buf off seq in
+                let off = Codec.put_i32 buf off cb in
+                let off = Codec.put_i32 buf off pb in
+                c.Codec.emit buf off m)
+              off segs);
+    parse =
+      (fun buf pos limit ->
+        let tag, pos = Codec.get_u8 buf pos limit in
+        match tag with
+        | 1 ->
+            let next, pos = Codec.get_i32 buf pos limit in
+            (Ack { next }, pos)
+        | 0 ->
+            let ack, pos = Codec.get_i32 buf pos limit in
+            let count, pos = Codec.get_u16 buf pos limit in
+            let pos = ref pos in
+            let segs =
+              Array.init count (fun _ ->
+                  let seq, p = Codec.get_i32 buf !pos limit in
+                  let cb, p = Codec.get_i32 buf p limit in
+                  let pb, p = Codec.get_i32 buf p limit in
+                  if cb < 0 || pb < 0 then
+                    raise (Codec.Bad "negative segment byte count");
+                  let m, p = c.Codec.parse buf p limit in
+                  pos := p;
+                  (seq, cb, pb, m))
+            in
+            (Segs { ack; segs }, !pos)
+        | k -> raise (Codec.Bad (Printf.sprintf "unknown session tag %d" k)));
+  }
+
 let wrap ?(config = default) (inner : Transport.factory) :
     Transport.factory * control =
   if config.retransmit_after < 1 then
@@ -88,8 +147,11 @@ let wrap ?(config = default) (inner : Transport.factory) :
   let factory =
     {
       Transport.create =
-        (fun (type m) ~n : m Transport.t ->
-          let tr : m wrapped Transport.t = inner.Transport.create ~n in
+        (fun (type m) ?codec n : m Transport.t ->
+          let wcodec = Option.map wrapped_codec codec in
+          let tr : m wrapped Transport.t =
+            inner.Transport.create ?codec:wcodec n
+          in
           let handlers : (m Net.envelope -> unit) array =
             Array.make n (fun _ -> ())
           in

@@ -73,6 +73,11 @@ type 'msg wrapped =
   | Ack of { next : int }
 (** The wire type the inner backend carries.  Exposed for tests. *)
 
+val wrapped_codec : 'msg Codec.t -> 'msg wrapped Codec.t
+(** Lift a protocol message codec to the session's wire type; [wrap]
+    applies this to any codec the protocol passed down, so session frames
+    ride the live backend's zero-copy path too.  Exposed for tests. *)
+
 val seg_header_bytes : int
 (** Per-frame header cost: base sequence number + cumulative-ack slot
     (piggybacked acks are therefore free). *)

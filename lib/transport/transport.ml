@@ -18,7 +18,7 @@ type 'msg t = {
   trace : unit -> 'msg Net.event list;
 }
 
-type factory = { create : 'msg. n:int -> 'msg t }
+type factory = { create : 'msg. ?codec:'msg Codec.t -> int -> 'msg t }
 
 let of_net net =
   {
@@ -42,5 +42,9 @@ let sim ?faults ?service_time ~latency ~seed () =
   Option.iter Fault.validate faults;
   {
     create =
-      (fun ~n -> of_net (Net.create ?faults ?service_time ~n ~latency ~seed ()));
+      (fun ?codec:_ n ->
+        (* messages never leave the address space: codecs are a live-wire
+           concern, and ignoring them here keeps the simulator — and every
+           golden digest — byte-identical *)
+        of_net (Net.create ?faults ?service_time ~n ~latency ~seed ()));
   }

@@ -51,11 +51,15 @@ type 'msg t = {
   trace : unit -> 'msg Net.event list;
 }
 
-type factory = { create : 'msg. n:int -> 'msg t }
-(** A backend constructor, polymorphic in the protocol's message type so
-    one factory value can build any registered protocol
-    ({!Repro_msgpass.Net} is ['msg]-typed, and so is the live frame
-    codec's marshalling boundary). *)
+type factory = { create : 'msg. ?codec:'msg Codec.t -> int -> 'msg t }
+(** A backend constructor: [create ?codec n] builds the transport for an
+    [n]-node instance.  Polymorphic in the protocol's message type so
+    one factory value can build any registered protocol.  The optional
+    {!Codec.t} is the protocol's strict binary message codec: the live
+    backend uses it to encode frame bodies in place (falling back to
+    [Marshal] when absent — tests and the legacy baseline arm), wrappers
+    ({!Session}, {!Chaos}) thread it through, and the simulator ignores
+    it — sim behaviour is byte-identical with or without one. *)
 
 val of_net : 'msg Net.t -> 'msg t
 (** View an existing simulator network as a transport. *)

@@ -1,0 +1,14 @@
+(** Scatter-gather write: the [writev(2)] binding behind the live
+    backend's batched link flushes (OCaml's [Unix] has none). *)
+
+val max_iov : int
+(** Chunks covered per syscall (64); longer queues loop. *)
+
+val writev :
+  Unix.file_descr -> (Bytes.t * int * int) array -> start:int -> skip:int ->
+  count:int -> int
+(** [writev fd chunks ~start ~skip ~count] writes the [count] chunks
+    beginning at index [start], the first of which has already had [skip]
+    bytes written.  At most {!max_iov} chunks go in one syscall; returns
+    the bytes written (possibly a partial write — the caller resumes).
+    @raise Unix.Unix_error ([EINTR] included: the caller retries). *)

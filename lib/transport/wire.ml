@@ -14,6 +14,10 @@ let magic = 0xD5
 (* header bytes counted by the length field (magic..payload_bytes) *)
 let header_bytes = 14
 
+(* where a frame body starts inside a buffer holding the whole frame,
+   length prefix included *)
+let body_offset = 4 + header_bytes
+
 let max_frame_bytes = 1 lsl 24
 
 let kind_byte = function
@@ -31,30 +35,111 @@ let kind_of_byte = function
   | 4 -> Some Cresp
   | _ -> None
 
-let encode frame =
-  if frame.src < 0 || frame.src > 0xFFFF then invalid_arg "Wire.encode: bad src";
-  if frame.dst < 0 || frame.dst > 0xFFFF then invalid_arg "Wire.encode: bad dst";
-  if frame.control_bytes < 0 || frame.control_bytes > 0x7FFFFFFF then
-    invalid_arg "Wire.encode: bad control byte count";
-  if frame.payload_bytes < 0 || frame.payload_bytes > 0x7FFFFFFF then
-    invalid_arg "Wire.encode: bad payload byte count";
-  let body_len = String.length frame.body in
+(* Write the length prefix and header into [buf.(0..body_offset-1)]; the
+   caller emits the body at [body_offset] (possibly before this call —
+   the regions are disjoint).  This is the zero-copy encode path: the
+   same buffer goes straight to the socket, so no per-frame allocation
+   happens once the buffer itself comes from a pool. *)
+let set_header buf ~kind ~src ~dst ~control_bytes ~payload_bytes ~body_len =
+  if src < 0 || src > 0xFFFF then invalid_arg "Wire.set_header: bad src";
+  if dst < 0 || dst > 0xFFFF then invalid_arg "Wire.set_header: bad dst";
+  if control_bytes < 0 || control_bytes > 0x7FFFFFFF then
+    invalid_arg "Wire.set_header: bad control byte count";
+  if payload_bytes < 0 || payload_bytes > 0x7FFFFFFF then
+    invalid_arg "Wire.set_header: bad payload byte count";
   let len = header_bytes + body_len in
-  if len > max_frame_bytes then invalid_arg "Wire.encode: frame too large";
-  let buf = Bytes.create (4 + len) in
+  if body_len < 0 || len > max_frame_bytes then
+    invalid_arg "Wire.set_header: frame too large";
   Bytes.set_int32_be buf 0 (Int32.of_int len);
   Bytes.set_uint8 buf 4 magic;
-  Bytes.set_uint8 buf 5 (kind_byte frame.kind);
-  Bytes.set_uint16_be buf 6 frame.src;
-  Bytes.set_uint16_be buf 8 frame.dst;
-  Bytes.set_int32_be buf 10 (Int32.of_int frame.control_bytes);
-  Bytes.set_int32_be buf 14 (Int32.of_int frame.payload_bytes);
-  Bytes.blit_string frame.body 0 buf 18 body_len;
+  Bytes.set_uint8 buf 5 (kind_byte kind);
+  Bytes.set_uint16_be buf 6 src;
+  Bytes.set_uint16_be buf 8 dst;
+  Bytes.set_int32_be buf 10 (Int32.of_int control_bytes);
+  Bytes.set_int32_be buf 14 (Int32.of_int payload_bytes)
+
+let encode frame =
+  let body_len = String.length frame.body in
+  let buf = Bytes.create (body_offset + body_len) in
+  set_header buf ~kind:frame.kind ~src:frame.src ~dst:frame.dst
+    ~control_bytes:frame.control_bytes ~payload_bytes:frame.payload_bytes
+    ~body_len;
+  Bytes.blit_string frame.body 0 buf body_offset body_len;
   buf
 
-(* Decode one frame starting at [off]; the length prefix has already been
-   read and validated to fit in the buffer. *)
-let decode_at buf off len =
+(* --- buffer pool ----------------------------------------------------------- *)
+
+(* Size-classed freelists of frame buffers.  [acquire] rounds the request
+   up to a class and reuses a recycled buffer when one is free, so the
+   steady-state encode→flush cycle allocates nothing; [release] returns a
+   buffer to its class (dropping it when the class is full or the buffer
+   came from the oversize fallback).  Buffers larger than the top class
+   are rare (frames are bounded by max_frame_bytes but typically tiny)
+   and are simply allocated fresh. *)
+module Pool = struct
+  let classes = [| 256; 1024; 4096; 16384; 65536 |]
+
+  let class_cap = 64 (* buffers kept per class *)
+
+  type t = { free : Bytes.t list array; count : int array }
+
+  let create () =
+    {
+      free = Array.make (Array.length classes) [];
+      count = Array.make (Array.length classes) 0;
+    }
+
+  (* -1 for oversize, not an option: acquire/release run per message on
+     the hot path and must not box the class index *)
+  let class_of n =
+    let rec go i =
+      if i >= Array.length classes then -1
+      else if n <= classes.(i) then i
+      else go (i + 1)
+    in
+    go 0
+
+  let acquire t n =
+    match class_of n with
+    | -1 -> Bytes.create n
+    | i -> (
+        match t.free.(i) with
+        | b :: rest ->
+            t.free.(i) <- rest;
+            t.count.(i) <- t.count.(i) - 1;
+            b
+        | [] -> Bytes.create classes.(i))
+
+  let release t b =
+    let len = Bytes.length b in
+    let i = class_of len in
+    if i >= 0 && classes.(i) = len && t.count.(i) < class_cap then begin
+      t.free.(i) <- b :: t.free.(i);
+      t.count.(i) <- t.count.(i) + 1
+    end
+end
+
+(* --- decoding --------------------------------------------------------------- *)
+
+(* A decoded frame whose body still lives in the decoder's buffer: valid
+   until the next [feed] (which may move or replace the buffer).  The
+   zero-copy receive path parses message bodies straight out of it. *)
+type view = {
+  v_kind : kind;
+  v_src : int;
+  v_dst : int;
+  v_control_bytes : int;
+  v_payload_bytes : int;
+  v_buf : Bytes.t;
+  v_off : int;  (* body start *)
+  v_len : int;  (* body length *)
+}
+
+let view_body v = Bytes.sub_string v.v_buf v.v_off v.v_len
+
+(* Decode one frame's header starting at [off]; the length prefix has
+   already been read and validated to fit in the buffer. *)
+let view_at buf off len =
   if Bytes.get_uint8 buf (off + 4) <> magic then Error "bad magic"
   else
     match kind_of_byte (Bytes.get_uint8 buf (off + 5)) with
@@ -67,13 +152,25 @@ let decode_at buf off len =
         else
           Ok
             {
-              kind;
-              src = Bytes.get_uint16_be buf (off + 6);
-              dst = Bytes.get_uint16_be buf (off + 8);
-              control_bytes;
-              payload_bytes;
-              body = Bytes.sub_string buf (off + 18) (len - header_bytes);
+              v_kind = kind;
+              v_src = Bytes.get_uint16_be buf (off + 6);
+              v_dst = Bytes.get_uint16_be buf (off + 8);
+              v_control_bytes = control_bytes;
+              v_payload_bytes = payload_bytes;
+              v_buf = buf;
+              v_off = off + body_offset;
+              v_len = len - header_bytes;
             }
+
+let frame_of_view v =
+  {
+    kind = v.v_kind;
+    src = v.v_src;
+    dst = v.v_dst;
+    control_bytes = v.v_control_bytes;
+    payload_bytes = v.v_payload_bytes;
+    body = view_body v;
+  }
 
 let check_length len =
   if len < header_bytes then Error "undersized frame"
@@ -90,22 +187,56 @@ let of_bytes buf =
     | Ok () ->
         if total < 4 + len then Error "truncated frame"
         else if total > 4 + len then Error "trailing garbage"
-        else decode_at buf 0 len
+        else Result.map frame_of_view (view_at buf 0 len)
 
 type decoder = {
   mutable buf : Bytes.t;
   mutable start : int;  (* first unconsumed byte *)
   mutable fill : int;  (* bytes valid in [buf] *)
   mutable poisoned : string option;
+  mutable quiet : int;  (* consecutive small feeds while oversized *)
 }
 
-let decoder () = { buf = Bytes.create 4096; start = 0; fill = 0; poisoned = None }
+let base_capacity = 4096
+
+(* A buffer grown for one large frame shrinks back once [shrink_after]
+   consecutive feeds would each have fit in the base capacity — sized
+   traffic pays for its peak only while the peak lasts. *)
+let shrink_after = 32
+
+let decoder () =
+  {
+    buf = Bytes.create base_capacity;
+    start = 0;
+    fill = 0;
+    poisoned = None;
+    quiet = 0;
+  }
 
 let pending d = d.fill - d.start
+
+let capacity d = Bytes.length d.buf
 
 let feed d src len =
   if len < 0 || len > Bytes.length src then invalid_arg "Wire.feed";
   if d.poisoned = None && len > 0 then begin
+    (* shrink-after-idle: a buffer inflated by a past large frame returns
+       to base size once enough consecutive feeds stay small *)
+    if Bytes.length d.buf > base_capacity then begin
+      if pending d + len <= base_capacity then begin
+        d.quiet <- d.quiet + 1;
+        if d.quiet >= shrink_after then begin
+          let small = Bytes.create base_capacity in
+          let live = pending d in
+          if live > 0 then Bytes.blit d.buf d.start small 0 live;
+          d.buf <- small;
+          d.start <- 0;
+          d.fill <- live;
+          d.quiet <- 0
+        end
+      end
+      else d.quiet <- 0
+    end;
     (* compact, then grow if the tail still cannot take [len] bytes *)
     if d.fill + len > Bytes.length d.buf then begin
       let live = pending d in
@@ -126,7 +257,7 @@ let feed d src len =
     d.fill <- d.fill + len
   end
 
-let next d =
+let next_view d =
   match d.poisoned with
   | Some msg -> Error msg
   | None ->
@@ -140,15 +271,21 @@ let next d =
         | Ok () ->
             if pending d < 4 + len then Ok None
             else
-              let result = decode_at d.buf d.start len in
+              let result = view_at d.buf d.start len in
               (match result with
-              | Ok frame ->
+              | Ok view ->
                   d.start <- d.start + 4 + len;
                   if d.start = d.fill then begin
                     d.start <- 0;
                     d.fill <- 0
                   end;
-                  Ok (Some frame)
+                  Ok (Some view)
               | Error msg ->
                   d.poisoned <- Some msg;
                   Error msg))
+
+let next d =
+  match next_view d with
+  | Ok (Some v) -> Ok (Some (frame_of_view v))
+  | Ok None -> Ok None
+  | Error _ as e -> e

@@ -1,0 +1,57 @@
+/* Scatter-gather write for the live transport's batched link flushes.
+ *
+ * OCaml's Unix library has no writev binding, so we carry a minimal one:
+ * the caller passes an array of (bytes, off, len) chunks, the index of
+ * the first unsent chunk, how many bytes of that chunk were already
+ * written by a previous partial write, and how many chunks to cover.
+ *
+ * Errors return as negative codes instead of raising through
+ * unixsupport (keeping the stub free of any dependency on the Unix
+ * library's C internals); the OCaml side maps them back to
+ * Unix.Unix_error.  No runtime-lock release: the callers are
+ * single-threaded node/client processes, and the iovecs point straight
+ * into OCaml bytes, which must not move while the syscall runs.
+ */
+
+#include <caml/mlvalues.h>
+#include <caml/memory.h>
+#include <errno.h>
+#include <sys/uio.h>
+
+#define REPRO_MAX_IOV 64
+
+CAMLprim value repro_writev(value vfd, value vchunks, value vstart,
+                            value vskip, value vcount)
+{
+  struct iovec iov[REPRO_MAX_IOV];
+  int fd = Int_val(vfd);
+  long start = Long_val(vstart);
+  long skip = Long_val(vskip);
+  long count = Long_val(vcount);
+  long i;
+  ssize_t n;
+
+  if (count > REPRO_MAX_IOV) count = REPRO_MAX_IOV;
+  for (i = 0; i < count; i++) {
+    value t = Field(vchunks, start + i); /* (bytes, off, len) */
+    long off = Long_val(Field(t, 1));
+    long len = Long_val(Field(t, 2));
+    if (i == 0) { off += skip; len -= skip; }
+    iov[i].iov_base = Bytes_val(Field(t, 0)) + off;
+    iov[i].iov_len = (size_t)len;
+  }
+  n = writev(fd, iov, (int)count);
+  if (n >= 0) return Val_long(n);
+  switch (errno) {
+    case EINTR: return Val_long(-1);
+    case EAGAIN:
+#if defined(EWOULDBLOCK) && EWOULDBLOCK != EAGAIN
+    case EWOULDBLOCK:
+#endif
+      return Val_long(-2);
+    case EPIPE: return Val_long(-3);
+    case ECONNRESET: return Val_long(-4);
+    case EBADF: return Val_long(-5);
+    default: return Val_long(-6);
+  }
+}

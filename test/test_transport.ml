@@ -118,11 +118,12 @@ let test_encode_validates () =
     { Wire.kind = Wire.Data; src; dst = 0; control_bytes = 0;
       payload_bytes = 0; body }
   in
+  (* validation lives in [set_header] now, shared with the zero-copy path *)
   Alcotest.check_raises "src out of range"
-    (Invalid_argument "Wire.encode: bad src") (fun () ->
+    (Invalid_argument "Wire.set_header: bad src") (fun () ->
       ignore (Wire.encode (frame "" 0x10000)));
   Alcotest.check_raises "body too large"
-    (Invalid_argument "Wire.encode: frame too large") (fun () ->
+    (Invalid_argument "Wire.set_header: frame too large") (fun () ->
       ignore (Wire.encode (frame (String.make (Wire.max_frame_bytes + 1) 'x') 0)))
 
 (* --- streaming decoder ------------------------------------------------------ *)
@@ -347,7 +348,7 @@ let chaos_stack ?(config = Session.default) ~plan ~seed () =
 
 let drive ?config ~plan ~seed ~count () =
   let reliable, cctl, sctl = chaos_stack ?config ~plan ~seed () in
-  let t = reliable.Transport.create ~n:2 in
+  let t = reliable.Transport.create 2 in
   let got = ref [] in
   t.Transport.set_handler 1 (fun e ->
       got := (e.Repro_msgpass.Net.msg, t.Transport.now ()) :: !got);
@@ -415,7 +416,7 @@ let test_session_overhead_accounting () =
    fallback.  Request/reply traffic must therefore piggyback. *)
 let test_session_ack_piggyback () =
   let reliable, _, sctl = chaos_stack ~plan:Fault.Plan.none ~seed:3 () in
-  let t = reliable.Transport.create ~n:2 in
+  let t = reliable.Transport.create 2 in
   t.Transport.set_handler 0 (fun _ -> ());
   t.Transport.set_handler 1 (fun e ->
       (* synchronous reply, exactly the front-door shape *)
