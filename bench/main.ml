@@ -32,6 +32,7 @@ module Fault = Repro_msgpass.Fault
 module Bellman_ford = Repro_apps.Bellman_ford
 module Wgraph = Repro_apps.Wgraph
 module Cluster = Repro_cluster.Cluster
+module Wal = Repro_durable.Wal
 module Rng = Repro_util.Rng
 module Table = Repro_util.Table
 module Pool = Repro_util.Pool
@@ -1386,6 +1387,230 @@ let run_check_benchmarks ?json () =
      c.Saturation.greedy_hits c.Saturation.unknowns);
   write_json rows json
 
+(* --- durable: write-ahead-log tier -----------------------------------------------
+   What does durability cost per recorded op, and what does group commit
+   buy back?  The tier appends a fixed batch of fixed-size records under
+   each fsync policy — [Never] is the measuring stick (pure write()
+   traffic), [Every 1] is synchronous durability (one fsync per append),
+   [Every 64] and [Interval_ms 5] are the group-commit points between —
+   then times recovery ([Wal.load]) against growing log lengths.
+
+   Correctness gates ride along: every appended record must be recovered,
+   two loads of the same bytes must produce the same digest, and the sync
+   counters must match the policy ([Every 1] fsyncs exactly once per
+   append; [Never] only at close). *)
+
+let durable_appends = 20_000
+
+let durable_payload_bytes = 64
+
+let durable_policies =
+  [
+    ("never", Wal.Never);
+    ("interval-5ms", Wal.Interval_ms 5);
+    ("every-64", Wal.Every 64);
+    ("every-1", Wal.Every 1);
+  ]
+
+let durable_recovery_lengths = [ 1_000; 10_000; 50_000 ]
+
+type durable_row = {
+  du_policy : string;
+  du_appends : int;
+  du_wall_s : float;
+  du_appends_per_sec : float;
+  du_mb_per_sec : float;
+  du_syncs : int;
+  du_us_per_append : float;
+}
+
+type recovery_row = {
+  rc_records : int;
+  rc_load_ms : float;
+  rc_digest : string;
+}
+
+let durable_tmp_root () =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "repro-bench-wal-%d" (Unix.getpid ()))
+  in
+  let rec rm p =
+    if Sys.file_exists p then
+      if Sys.is_directory p then begin
+        Array.iter (fun f -> rm (Filename.concat p f)) (Sys.readdir p);
+        Unix.rmdir p
+      end
+      else Sys.remove p
+  in
+  rm dir;
+  Unix.mkdir dir 0o700;
+  (dir, fun () -> rm dir)
+
+let run_durable_policy root failures (label, policy) =
+  let dir = Filename.concat root ("policy-" ^ label) in
+  let payload i =
+    (* fixed size, varying content — a compressible constant would let the
+       page cache flatter the write path *)
+    String.init durable_payload_bytes (fun j ->
+        Char.chr (((i * 0x9E3779B9) + (j * 131)) land 0xFF))
+  in
+  let t, _ = Wal.open_ ~dir ~policy ~fresh:true () in
+  let t0 = Unix.gettimeofday () in
+  for i = 0 to durable_appends - 1 do
+    ignore (Wal.append t (payload i) : int)
+  done;
+  let wall = Unix.gettimeofday () -. t0 in
+  let s = Wal.stats t in
+  Wal.close t;
+  (* gates: the log must hold exactly what was appended, and the sync
+     counter must match the policy's promise *)
+  (match Wal.load ~dir with
+  | Error e ->
+      failures := Printf.sprintf "%s: recovery failed: %s" label e :: !failures
+  | Ok r ->
+      if List.length r.Wal.r_entries <> durable_appends then
+        failures :=
+          Printf.sprintf "%s: recovered %d of %d records" label
+            (List.length r.Wal.r_entries)
+            durable_appends
+          :: !failures
+      else if
+        not
+          (List.for_all (fun (seq, p) -> p = payload seq) r.Wal.r_entries)
+      then failures := Printf.sprintf "%s: payload mismatch" label :: !failures);
+  (match policy with
+  | Wal.Every 1 ->
+      if s.Wal.syncs <> durable_appends then
+        failures :=
+          Printf.sprintf "every-1: %d fsyncs for %d appends" s.Wal.syncs
+            durable_appends
+          :: !failures
+  | Wal.Never ->
+      if s.Wal.syncs <> 0 then
+        failures :=
+          Printf.sprintf "never: append path fsynced %d times" s.Wal.syncs
+          :: !failures
+  | Wal.Every k ->
+      let expect = durable_appends / k in
+      if s.Wal.syncs <> expect then
+        failures :=
+          Printf.sprintf "every-%d: %d fsyncs, want %d" k s.Wal.syncs expect
+          :: !failures
+  | Wal.Interval_ms _ -> ());
+  {
+    du_policy = label;
+    du_appends = s.Wal.appends;
+    du_wall_s = wall;
+    du_appends_per_sec = float_of_int durable_appends /. wall;
+    du_mb_per_sec = float_of_int s.Wal.appended_bytes /. wall /. 1e6;
+    du_syncs = s.Wal.syncs;
+    du_us_per_append = wall /. float_of_int durable_appends *. 1e6;
+  }
+
+let run_durable_recovery root failures n_records =
+  let dir = Filename.concat root (Printf.sprintf "recover-%d" n_records) in
+  let payload i = Printf.sprintf "%032d" i in
+  let t, _ = Wal.open_ ~dir ~policy:Wal.Never ~fresh:true () in
+  for i = 0 to n_records - 1 do
+    ignore (Wal.append t (payload i) : int)
+  done;
+  Wal.close t;
+  let t0 = Unix.gettimeofday () in
+  let r1 = Wal.load ~dir in
+  let load_ms = (Unix.gettimeofday () -. t0) *. 1e3 in
+  match (r1, Wal.load ~dir) with
+  | Ok r1, Ok r2 ->
+      if Wal.digest r1 <> Wal.digest r2 then
+        failures :=
+          Printf.sprintf "recover-%d: two loads disagree" n_records :: !failures;
+      if List.length r1.Wal.r_entries <> n_records then
+        failures :=
+          Printf.sprintf "recover-%d: recovered %d records" n_records
+            (List.length r1.Wal.r_entries)
+          :: !failures;
+      { rc_records = n_records; rc_load_ms = load_ms; rc_digest = Wal.digest r1 }
+  | Error e, _ | _, Error e ->
+      failures := Printf.sprintf "recover-%d: %s" n_records e :: !failures;
+      { rc_records = n_records; rc_load_ms = load_ms; rc_digest = "" }
+
+let durable_json_record rows recoveries ~notes =
+  let row_json r =
+    Jsonout.Obj
+      [
+        ("policy", Jsonout.String r.du_policy);
+        ("appends", Jsonout.Int r.du_appends);
+        ("payload_bytes", Jsonout.Int durable_payload_bytes);
+        ("wall_s", Jsonout.Float r.du_wall_s);
+        ("appends_per_sec", Jsonout.Float r.du_appends_per_sec);
+        ("mb_per_sec", Jsonout.Float r.du_mb_per_sec);
+        ("fsyncs", Jsonout.Int r.du_syncs);
+        ("us_per_append", Jsonout.Float r.du_us_per_append);
+      ]
+  in
+  let recovery_json r =
+    Jsonout.Obj
+      [
+        ("records", Jsonout.Int r.rc_records);
+        ("load_ms", Jsonout.Float r.rc_load_ms);
+        ("digest", Jsonout.String r.rc_digest);
+      ]
+  in
+  Jsonout.Obj
+    ([
+       ("schema", Jsonout.String "repro-durable/1");
+       ("seed", Jsonout.Int seed);
+       ("appends", Jsonout.Int durable_appends);
+       ("payload_bytes", Jsonout.Int durable_payload_bytes);
+     ]
+    @ (match notes with
+      | [] -> []
+      | notes ->
+          [ ("notes", Jsonout.List (List.map (fun n -> Jsonout.String n) notes)) ])
+    @ [
+        ("policies", Jsonout.List (List.map row_json rows));
+        ("recovery", Jsonout.List (List.map recovery_json recoveries));
+      ])
+
+let run_durable_benchmarks ?json () =
+  let root, cleanup = durable_tmp_root () in
+  let failures = ref [] in
+  Fun.protect ~finally:cleanup (fun () ->
+      let rows = List.map (run_durable_policy root failures) durable_policies in
+      let recoveries =
+        List.map (run_durable_recovery root failures) durable_recovery_lengths
+      in
+      Printf.printf
+        "== Durable tier (WAL group commit, %d appends x %d B payload) ==\n"
+        durable_appends durable_payload_bytes;
+      Table.print
+        ~header:
+          [ "policy"; "appends/s"; "MB/s"; "us/append"; "fsyncs"; "wall s" ]
+        ~rows:
+          (List.map
+             (fun r ->
+               [
+                 r.du_policy;
+                 Printf.sprintf "%.0f" r.du_appends_per_sec;
+                 Printf.sprintf "%.1f" r.du_mb_per_sec;
+                 Printf.sprintf "%.2f" r.du_us_per_append;
+                 string_of_int r.du_syncs;
+                 Printf.sprintf "%.3f" r.du_wall_s;
+               ])
+             rows)
+        ();
+      Table.print ~header:[ "records"; "load ms" ]
+        ~rows:
+          (List.map
+             (fun r ->
+               [ string_of_int r.rc_records; Printf.sprintf "%.2f" r.rc_load_ms ])
+             recoveries)
+        ();
+      List.iter (fun f -> Printf.eprintf "durable tier FAILED: %s\n" f) !failures;
+      write_record (durable_json_record rows recoveries) json;
+      if !failures <> [] then exit 2)
+
 (* --- argument parsing ---------------------------------------------------------- *)
 
 type mode =
@@ -1398,6 +1623,7 @@ type mode =
   | Chaos_only
   | Load_only
   | Hotpath_only
+  | Durable_only
 
 let () =
   let mode = ref Default in
@@ -1405,7 +1631,7 @@ let () =
   let usage () =
     prerr_endline
       "usage: bench [--tables] [--sim] [--check] [--cluster] [--chaos] [--load] \
-       [--hotpath] [--experiment ID] [--jobs N] [--json FILE|DIR]";
+       [--hotpath] [--durable] [--experiment ID] [--jobs N] [--json FILE|DIR]";
     exit 1
   in
   let rec parse = function
@@ -1431,6 +1657,9 @@ let () =
     | "--hotpath" :: rest ->
         mode := Hotpath_only;
         parse rest
+    | "--durable" :: rest ->
+        mode := Durable_only;
+        parse rest
     | "--experiment" :: id :: rest ->
         mode := One_experiment id;
         parse rest
@@ -1454,6 +1683,7 @@ let () =
   | Chaos_only -> run_chaos_benchmarks ?json:!json ()
   | Load_only -> run_load_benchmarks ?json:!json ()
   | Hotpath_only -> run_hotpath_benchmarks ?json:!json ()
+  | Durable_only -> run_durable_benchmarks ?json:!json ()
   | One_experiment id -> if not (print_one id) then exit 1
   | Default ->
       print_tables ();

@@ -8,6 +8,7 @@
    repro experiment E1                 regenerate an experiment table
    repro cluster --nodes 3             fork a live loopback cluster, run + check
    repro serve --node 0 ...            one replica daemon of a live cluster
+   repro wal DIR                       inspect / verify a write-ahead log
 *)
 
 module Distribution = Repro_sharegraph.Distribution
@@ -22,7 +23,9 @@ module Wgraph = Repro_apps.Wgraph
 module Experiment = Repro_experiments.Experiment
 module Cluster = Repro_cluster.Cluster
 module Cluster_node = Repro_cluster.Node
+module Oplog = Repro_cluster.Oplog
 module Workload_spec = Repro_cluster.Workload_spec
+module Wal = Repro_durable.Wal
 module Live = Repro_transport.Live
 module Transport = Repro_transport.Transport
 module Chaos = Repro_transport.Chaos
@@ -630,6 +633,36 @@ let workload_arg =
            ~doc:(Printf.sprintf "Cluster workload: %s."
                    (String.concat ", " Workload_spec.names)))
 
+(* --- durability tier ---------------------------------------------------------- *)
+
+let durable_flag_arg =
+  Arg.(value & flag
+       & info [ "durable" ]
+           ~doc:"Engage the durability tier: every recorded op goes through a \
+                 CRC-framed write-ahead log and checkpoints compact it. The \
+                 default group-commit policy fsyncs every append \
+                 ($(b,--fsync-every) 1).")
+
+let fsync_every_arg =
+  Arg.(value & opt (some int) None
+       & info [ "fsync-every" ] ~docv:"K"
+           ~doc:"Group commit: fsync the log after every $(docv)-th append \
+                 (implies the durability tier).")
+
+let fsync_interval_arg =
+  Arg.(value & opt (some int) None
+       & info [ "fsync-interval" ] ~docv:"MS"
+           ~doc:"Group commit on a time budget: fsync when an append finds \
+                 the last sync older than $(docv) ms (implies the durability \
+                 tier).")
+
+let resolve_fsync_policy ~flag ~every ~interval ~fail =
+  match (every, interval) with
+  | Some _, Some _ -> fail "--fsync-every and --fsync-interval conflict"
+  | Some k, None -> Some (Wal.Every k)
+  | None, Some m -> Some (Wal.Interval_ms m)
+  | None, None -> if flag then Some (Wal.Every 1) else None
+
 let verdict_text = function
   | Checker.Consistent -> "consistent"
   | Checker.Inconsistent -> "VIOLATION"
@@ -664,8 +697,22 @@ let slice_history ~n ~node ops =
 
 let serve_cmd =
   let run node nodes listen peers spec workload seed chaos session checkpoint
-      checkpoint_ms incarnation gc_space_overhead out =
+      checkpoint_ms incarnation gc_space_overhead out wal fsync_every
+      fsync_interval =
     let fail fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 1) fmt in
+    let durable =
+      match wal with
+      | None ->
+          if fsync_every <> None || fsync_interval <> None then
+            fail "an fsync policy needs --wal DIR"
+          else None
+      | Some dir ->
+          Option.map
+            (fun p -> (dir, p))
+            (resolve_fsync_policy ~flag:true ~every:fsync_every
+               ~interval:fsync_interval
+               ~fail:(fun s -> fail "%s" s))
+    in
     let spec_w =
       match Workload_spec.make ~name:workload ~n:nodes ~seed with
       | Ok w -> w
@@ -695,7 +742,8 @@ let serve_cmd =
     match
       Cluster_node.run ~self:node ~listen_fd ~peers:peer_addrs ~protocol:spec
         ~workload:spec_w ~seed ?chaos ~session ?checkpoint
-        ?checkpoint_every_ms:checkpoint_ms ~incarnation ?gc_space_overhead ()
+        ?checkpoint_every_ms:checkpoint_ms ~incarnation ?gc_space_overhead
+        ?durable ()
     with
     | exception Cluster_node.Crash msg -> fail "node %d crashed: %s" node msg
     | exception Chaos.Injected_crash _ ->
@@ -787,23 +835,106 @@ let serve_cmd =
                    which restores the checkpoint and disables the crash \
                    schedule.")
   in
+  let wal_arg =
+    Arg.(value & opt (some string) None
+         & info [ "wal" ] ~docv:"DIR"
+             ~doc:"Write-ahead log directory (the durability tier): every \
+                   recorded op is appended with CRC framing and group commit; \
+                   with $(b,--incarnation) positive the node recovers from \
+                   checkpoint + log replay. Takes precedence over \
+                   $(b,--checkpoint).")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Run one replica daemon of a live cluster over TCP sockets. Exit \
              status: 42 when the chaos plan's scheduled crash fires (respawn \
-             with $(b,--incarnation) bumped to recover from the checkpoint).")
+             with $(b,--incarnation) bumped to recover from the checkpoint or \
+             write-ahead log).")
     Term.(const run $ node_arg $ nodes_arg $ listen_spec_arg $ peers_arg
           $ protocol_arg $ workload_arg $ seed_arg $ chaos_arg $ session_arg
           $ checkpoint_arg $ checkpoint_ms_arg $ incarnation_arg
-          $ gc_space_overhead_arg $ out_arg)
+          $ gc_space_overhead_arg $ out_arg $ wal_arg $ fsync_every_arg
+          $ fsync_interval_arg)
+
+(* --- WAL inspection ----------------------------------------------------------- *)
+
+let wal_cmd =
+  let run dir verify =
+    match Wal.load ~dir with
+    | Error msg ->
+        Printf.eprintf "%s: %s\n" dir msg;
+        exit 1
+    | Ok r ->
+        Printf.printf "%s: generation %d, seqnos [%d, %d)\n" dir r.Wal.r_gen
+          r.Wal.r_base r.Wal.r_next;
+        (match r.Wal.r_checkpoint with
+        | None -> print_endline "checkpoint: none"
+        | Some p ->
+            Printf.printf "checkpoint: %d bytes, md5 %s\n" (String.length p)
+              (Digest.to_hex (Digest.string p)));
+        if r.Wal.r_log = "" then print_endline "log: none"
+        else
+          Printf.printf "log %s: %d record(s), %d damaged byte(s) dropped\n"
+            r.Wal.r_log
+            (List.length r.Wal.r_entries)
+            r.Wal.r_dropped_bytes;
+        List.iter (fun n -> Printf.printf "note: %s\n" n) r.Wal.r_notes;
+        Printf.printf "digest: %s\n" (Wal.digest r);
+        if verify then begin
+          (* records written by a cluster node must decode as op records,
+             consecutively sequenced from the base *)
+          let bad =
+            List.filter
+              (fun (_, p) -> Result.is_error (Oplog.decode p))
+              r.Wal.r_entries
+          in
+          if bad <> [] then begin
+            List.iter
+              (fun (seq, p) ->
+                Printf.eprintf "record %d: %s\n" seq
+                  (Result.get_error (Oplog.decode p)))
+              bad;
+            exit 1
+          end;
+          Printf.printf "verify: %d op record(s) decode cleanly\n"
+            (List.length r.Wal.r_entries)
+        end;
+        if r.Wal.r_dropped_bytes > 0 || r.Wal.r_notes <> [] then exit 2
+  in
+  let dir_arg =
+    Arg.(required & pos 0 (some dir) None
+         & info [] ~docv:"DIR" ~doc:"A node's write-ahead log directory.")
+  in
+  let verify_arg =
+    Arg.(value & flag
+         & info [ "verify" ]
+             ~doc:"Additionally decode every recovered record as a cluster op \
+                   record (exit 1 if any fails).")
+  in
+  Cmd.v
+    (Cmd.info "wal"
+       ~doc:"Inspect a write-ahead log directory: generation, checkpoint, \
+             recovered records, dropped tail, recovery digest. Exit status: 0 \
+             when the log is clean, 1 when it is unreadable (or $(b,--verify) \
+             fails), 2 when it loads but recovery had to repair something \
+             (dropped tail, missing generation file).")
+    Term.(const run $ dir_arg $ verify_arg)
 
 let cluster_cmd =
   let run nodes spec workload seed chaos session checkpoint_ms parity json
-      out_history gc_space_overhead engine =
+      out_history gc_space_overhead engine durable_flag fsync_every
+      fsync_interval wal_dir =
     apply_engine engine;
+    let fail fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 1) fmt in
+    let durable =
+      resolve_fsync_policy ~flag:(durable_flag || wal_dir <> None)
+        ~every:fsync_every ~interval:fsync_interval
+        ~fail:(fun s -> fail "%s" s)
+    in
     match
       Cluster.run ~n:nodes ~protocol:spec ~workload ~seed ?chaos ~session
-        ?checkpoint_every_ms:checkpoint_ms ?gc_space_overhead ()
+        ?checkpoint_every_ms:checkpoint_ms ?gc_space_overhead ?durable ?wal_dir
+        ()
     with
     | Error msg ->
         prerr_endline msg;
@@ -836,12 +967,24 @@ let cluster_cmd =
                         string_of_int w.Repro_msgpass.Net.dropped;
                         string_of_int w.Repro_msgpass.Net.retransmits;
                         string_of_int w.Repro_msgpass.Net.overhead_bytes;
-                      ]))
+                      ])
+                 @ (if not o.Cluster.durable then []
+                    else
+                      match r.Cluster_node.wal_stats with
+                      | None -> [ "-"; "-"; "-" ]
+                      | Some s ->
+                          [
+                            string_of_int s.Wal.appends;
+                            string_of_int s.Wal.syncs;
+                            string_of_int s.Wal.rotations;
+                          ]))
         in
         Table.print
           ~header:
             ([ "node"; "ops"; "sent"; "ctl bytes"; "pay bytes"; "ms" ]
-            @ if not chaotic then [] else [ "inc"; "drop"; "retr"; "ovh bytes" ])
+            @ (if not chaotic then []
+               else [ "inc"; "drop"; "retr"; "ovh bytes" ])
+            @ if not o.Cluster.durable then [] else [ "wal"; "fsync"; "rot" ])
           ~rows ();
         if chaotic then
           Printf.printf
@@ -851,6 +994,12 @@ let cluster_cmd =
             o.Cluster.dropped_frames o.Cluster.retransmits
             o.Cluster.dups_suppressed o.Cluster.reconnects o.Cluster.restarts
             o.Cluster.overhead_bytes;
+        if o.Cluster.durable then
+          Printf.printf "durable: WAL digest parity %s%s\n"
+            (if o.Cluster.wal_parity then "ok" else "MISMATCH")
+            (match o.Cluster.wal_dir with
+            | None -> ""
+            | Some d -> Printf.sprintf "; logs kept in %s" d);
         Printf.printf "%s under %s: %s%s\n"
           (Checker.criterion_name o.Cluster.criterion)
           o.Cluster.protocol verdict
@@ -925,6 +1074,10 @@ let cluster_cmd =
                    ( "parity",
                      if not parity then Jsonout.Null
                      else Jsonout.Bool (parity_errors = []) );
+                   ("durable", Jsonout.Bool o.Cluster.durable);
+                   ( "wal_parity",
+                     if not o.Cluster.durable then Jsonout.Null
+                     else Jsonout.Bool o.Cluster.wal_parity );
                  ]))
           json;
         let history_bad =
@@ -934,7 +1087,8 @@ let cluster_cmd =
           | Checker.Undecidable _ -> o.Cluster.history_checked
         in
         if history_bad || Result.is_error o.Cluster.finals then exit 2;
-        if parity_errors <> [] then exit 3
+        if parity_errors <> [] || (o.Cluster.durable && not o.Cluster.wal_parity)
+        then exit 3
   in
   let nodes_arg =
     Arg.(value & opt int 3 & info [ "n"; "nodes" ] ~docv:"N" ~doc:"Cluster size.")
@@ -961,17 +1115,29 @@ let cluster_cmd =
              ~doc:"Node checkpoint period under a crash schedule (default 100 \
                    ms).")
   in
+  let wal_dir_arg =
+    Arg.(value & opt (some string) None
+         & info [ "wal-dir" ] ~docv:"DIR"
+             ~doc:"Root for the per-node WAL directories, kept after the run \
+                   for $(b,repro wal) inspection (implies the durability \
+                   tier). Default: a temporary root, removed afterwards.")
+  in
   Cmd.v
     (Cmd.info "cluster"
        ~doc:"Fork a live loopback cluster (one OS process per node, real TCP \
              sockets), run a workload, and check the assembled history. With \
              $(b,--chaos) the harness supervises: injected crashes (exit 42) \
              are respawned from checkpoints and lossy links are made reliable \
-             by the session layer. Exit status: 1 on unrecovered node crash, \
-             2 on consistency/finals violation, 3 on sim-parity mismatch.")
+             by the session layer; with $(b,--durable) each node runs a \
+             write-ahead log and recovery is digest-verified against the \
+             frozen post-crash files. Exit status: 1 on unrecovered node \
+             crash, 2 on consistency/finals violation, 3 on sim-parity or \
+             WAL-digest mismatch.")
     Term.(const run $ nodes_arg $ protocol_arg $ workload_arg $ seed_arg
           $ chaos_arg $ session_arg $ checkpoint_ms_arg $ parity_arg $ json_arg
-          $ out_history_arg $ gc_space_overhead_arg $ engine_arg)
+          $ out_history_arg $ gc_space_overhead_arg $ engine_arg
+          $ durable_flag_arg $ fsync_every_arg $ fsync_interval_arg
+          $ wal_dir_arg)
 
 (* --- open-loop load tier -------------------------------------------------------- *)
 
@@ -1095,4 +1261,5 @@ let () =
             cluster_cmd;
             serve_cmd;
             load_cmd;
+            wal_cmd;
           ]))

@@ -10,6 +10,7 @@ module Checker = Repro_history.Checker
 module Memory = Repro_core.Memory
 module Registry = Repro_core.Registry
 module Runner = Repro_core.Runner
+module Wal = Repro_durable.Wal
 
 type outcome = {
   protocol : string;
@@ -34,6 +35,9 @@ type outcome = {
   chaos : string;
   session : bool;
   wall_ms : int;
+  durable : bool;
+  wal_parity : bool;
+  wal_dir : string option;
 }
 
 (* what travels over the child's pipe *)
@@ -43,7 +47,7 @@ let loopback = Unix.inet_addr_loopback
 
 let child_main ~self ~listen_fds ~peers ~protocol ~spec ~seed ~timeouts ~chaos
     ~session ~checkpoint ~checkpoint_every_ms ~incarnation ~gc_space_overhead
-    wfd =
+    ~durable wfd =
   let hello_timeout_ms, run_timeout_ms, quiet_ms = timeouts in
   Array.iteri
     (fun i fd ->
@@ -55,7 +59,7 @@ let child_main ~self ~listen_fds ~peers ~protocol ~spec ~seed ~timeouts ~chaos
         (Node.run ~self ~listen_fd:listen_fds.(self) ~peers ~protocol
            ~workload:spec ~seed ?hello_timeout_ms ?run_timeout_ms ?quiet_ms
            ?chaos ~session ?checkpoint ?checkpoint_every_ms ~incarnation
-           ?gc_space_overhead ())
+           ?gc_space_overhead ?durable ())
     with
     | Chaos.Injected_crash _ ->
         (* die like a real crash: no report, no cleanup — the supervisor
@@ -82,11 +86,53 @@ type slot = {
   mutable restarts : int;
   mutable respawn_at : float option;
   mutable final : report option;
+  mutable expected_digest : (string, string) result option;
+      (* digest of the WAL contents that survived the crash, computed from
+         a frozen copy before the respawn; the recovered node must
+         reproduce it bit-for-bit *)
 }
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      try Unix.rmdir path with Unix.Unix_error _ -> ()
+    end
+    else try Sys.remove path with Sys_error _ -> ()
+
+(* Freeze a crashed node's WAL directory: byte-for-byte copies of exactly
+   the files that survived, taken before the respawned child may touch
+   them, and the digest oracle the recovered node must match. *)
+let freeze_wal ~src ~dst =
+  rm_rf dst;
+  (try Unix.mkdir dst 0o700 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  Array.iter
+    (fun f ->
+      let sp = Filename.concat src f in
+      if not (Sys.is_directory sp) then begin
+        let data = In_channel.with_open_bin sp In_channel.input_all in
+        Out_channel.with_open_bin (Filename.concat dst f) (fun oc ->
+            Out_channel.output_string oc data)
+      end)
+    (Sys.readdir src);
+  match Wal.load ~dir:dst with
+  | Error e -> Error (Printf.sprintf "surviving WAL unrecoverable: %s" e)
+  | Ok r ->
+      let entries =
+        List.filter_map
+          (fun (_, payload) ->
+            match Oplog.decode payload with
+            | Ok (e, _) -> Some e
+            | Error _ -> None)
+          r.Wal.r_entries
+      in
+      if List.length entries <> List.length r.Wal.r_entries then
+        Error "surviving WAL holds undecodable op records"
+      else Ok (Oplog.digest ~ck:r.Wal.r_checkpoint ~entries)
 
 let run ~n ~protocol ~workload ~seed ?hello_timeout_ms ?run_timeout_ms
     ?quiet_ms ?chaos ?(session = false) ?checkpoint_every_ms
-    ?gc_space_overhead () =
+    ?gc_space_overhead ?durable ?wal_dir () =
   let chaos =
     match chaos with Some p when Fault.Plan.is_none p -> None | c -> c
   in
@@ -97,7 +143,11 @@ let run ~n ~protocol ~workload ~seed ?hello_timeout_ms ?run_timeout_ms
     | Some p -> (
         try
           Fault.Plan.validate ~n p;
-          None
+          if p.Fault.Plan.dcrashes <> [] && durable = None then
+            Some
+              "chaos plan: a dcrash schedule needs the durability tier \
+               (pass a fsync policy)"
+          else None
         with Invalid_argument msg -> Some ("chaos plan: " ^ msg))
   in
   match plan_error with
@@ -121,11 +171,12 @@ let run ~n ~protocol ~workload ~seed ?hello_timeout_ms ?run_timeout_ms
               let timeouts = (hello_timeout_ms, run_timeout_ms, quiet_ms) in
               let has_crashes =
                 match chaos with
-                | Some p -> p.Fault.Plan.crashes <> []
+                | Some p ->
+                    p.Fault.Plan.crashes <> [] || p.Fault.Plan.dcrashes <> []
                 | None -> false
               in
               let ck_dir =
-                if has_crashes then begin
+                if has_crashes && durable = None then begin
                   let dir =
                     Filename.concat
                       (Filename.get_temp_dir_name ())
@@ -143,6 +194,34 @@ let run ~n ~protocol ~workload ~seed ?hello_timeout_ms ?run_timeout_ms
                     Filename.concat d (Printf.sprintf "node-%d.ck" self))
                   ck_dir
               in
+              let wal_root =
+                match durable with
+                | None -> None
+                | Some _ ->
+                    let dir =
+                      match wal_dir with
+                      | Some d -> d
+                      | None ->
+                          Filename.concat
+                            (Filename.get_temp_dir_name ())
+                            (Printf.sprintf "repro-cluster-wal-%d"
+                               (Unix.getpid ()))
+                    in
+                    (try Unix.mkdir dir 0o700
+                     with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+                    Some dir
+              in
+              let node_wal self =
+                Option.map
+                  (fun d ->
+                    Filename.concat d (Printf.sprintf "node-%d.wal" self))
+                  wal_root
+              in
+              let node_durable self =
+                match (durable, node_wal self) with
+                | Some policy, Some dir -> Some (dir, policy)
+                | _ -> None
+              in
               let spawn self incarnation =
                 (* children inherit OCaml's output buffers: flush now or
                    crash reports get double-printed *)
@@ -154,7 +233,8 @@ let run ~n ~protocol ~workload ~seed ?hello_timeout_ms ?run_timeout_ms
                     Unix.close rfd;
                     child_main ~self ~listen_fds ~peers ~protocol ~spec ~seed
                       ~timeouts ~chaos ~session ~checkpoint:(ck_path self)
-                      ~checkpoint_every_ms ~incarnation ~gc_space_overhead wfd
+                      ~checkpoint_every_ms ~incarnation ~gc_space_overhead
+                      ~durable:(node_durable self) wfd
                 | pid ->
                     Unix.close wfd;
                     (pid, rfd)
@@ -172,6 +252,7 @@ let run ~n ~protocol ~workload ~seed ?hello_timeout_ms ?run_timeout_ms
                       restarts = 0;
                       respawn_at = None;
                       final = None;
+                      expected_digest = None;
                     })
               in
               (* Under chaos the parent keeps the listeners open: a peer
@@ -189,7 +270,10 @@ let run ~n ~protocol ~workload ~seed ?hello_timeout_ms ?run_timeout_ms
                 | Some p -> (
                     match Fault.Plan.crash_for p self with
                     | Some c -> c.Fault.Plan.restart_after
-                    | None -> None)
+                    | None -> (
+                        match Fault.Plan.dcrash_for p self with
+                        | Some c -> c.Fault.Plan.drestart_after
+                        | None -> None))
               in
               let deadline =
                 Unix.gettimeofday ()
@@ -288,6 +372,16 @@ let run ~n ~protocol ~workload ~seed ?hello_timeout_ms ?run_timeout_ms
                       | Some (Unix.WEXITED 42) -> (
                           match restart_delay self with
                           | Some d when s.incarnation = 0 ->
+                              (* durable tier: freeze exactly what the crash
+                                 left on disk, before the respawn can touch
+                                 it, and remember the digest the recovered
+                                 node must reproduce *)
+                              (match node_wal self with
+                              | Some src when Sys.file_exists src ->
+                                  s.expected_digest <-
+                                    Some
+                                      (freeze_wal ~src ~dst:(src ^ ".crash"))
+                              | _ -> ());
                               s.respawn_at <-
                                 Some
                                   (Unix.gettimeofday () +. (float d /. 1000.))
@@ -343,6 +437,9 @@ let run ~n ~protocol ~workload ~seed ?hello_timeout_ms ?run_timeout_ms
                     slots;
                   try Unix.rmdir d with Unix.Unix_error _ -> ())
                 ck_dir;
+              (* a caller-named WAL root is kept for post-mortem inspection
+                 (repro wal); the anonymous tmp root is not *)
+              if wal_dir = None then Option.iter rm_rf wal_root;
               let reports =
                 Array.map (fun s -> Option.get s.final) slots
               in
@@ -415,6 +512,22 @@ let run ~n ~protocol ~workload ~seed ?hello_timeout_ms ?run_timeout_ms
                       Array.fold_left
                         (fun acc r -> Stdlib.max acc r.Node.wall_ms)
                         0 node_results;
+                    durable = durable <> None;
+                    wal_parity =
+                      Array.for_all Fun.id
+                        (Array.mapi
+                           (fun i s ->
+                             match s.expected_digest with
+                             | None -> true
+                             | Some (Error _) -> false
+                             | Some (Ok d) ->
+                                 node_results.(i).Node.recovered_digest
+                                 = Some d)
+                           slots);
+                    wal_dir =
+                      (match wal_dir with
+                      | Some _ -> wal_root
+                      | None -> None);
                   }
             with Unix.Unix_error (err, fn, _) ->
               Error

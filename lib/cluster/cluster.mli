@@ -55,6 +55,16 @@ type outcome = {
   chaos : string;  (** Canonical plan text; [""] when fault-free. *)
   session : bool;
   wall_ms : int;  (** Slowest node, hello to close. *)
+  durable : bool;  (** The durability tier (WAL + group commit) ran. *)
+  wal_parity : bool;
+      (** For every crashed durable node: the supervisor froze the WAL
+          files the crash left behind, decoded them independently, and the
+          respawned node's {!Node.result.recovered_digest} matched
+          bit-for-bit.  Vacuously [true] without crashes or without the
+          durability tier; [false] also when a frozen log fails to decode. *)
+  wal_dir : string option;
+      (** The WAL root kept on disk for post-mortem inspection ([repro
+          wal]); [None] when the harness used (and removed) a tmp dir. *)
 }
 
 val run :
@@ -69,6 +79,8 @@ val run :
   ?session:bool ->
   ?checkpoint_every_ms:int ->
   ?gc_space_overhead:int ->
+  ?durable:Repro_durable.Wal.fsync_policy ->
+  ?wal_dir:string ->
   unit ->
   (outcome, string) result
 (** [Error] reports node crashes (with each crashed node's message) and
@@ -78,7 +90,14 @@ val run :
     whenever a chaos plan is given (lossy links need the reliable session
     layer); an injected crash whose plan schedules no restart is an
     [Error].  [gc_space_overhead] is forwarded to every node process
-    ({!Node.run}). *)
+    ({!Node.run}).
+
+    [durable] engages the durability tier: each node gets its own WAL
+    directory under [wal_dir] (kept afterwards) or a tmp root (removed),
+    with the given group-commit policy.  A chaos plan's [dcrash] clauses
+    require this tier; after each injected crash the supervisor freezes
+    the on-disk log before the respawn and gates [wal_parity] on the
+    recovered digest. *)
 
 type baseline = {
   history : Repro_history.History.t;

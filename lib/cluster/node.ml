@@ -11,6 +11,8 @@ module Op = Repro_history.Op
 
 module Wire = Repro_transport.Wire
 module Rpc = Repro_transport.Rpc
+module Wal = Repro_durable.Wal
+module Fsio = Repro_durable.Fsio
 
 type result = {
   node : int;
@@ -22,6 +24,9 @@ type result = {
   session_stats : Session.stats option;
   client_ops : int;
   wall_ms : int;
+  wal_stats : Wal.stats option;
+  recovered_ops : int;
+  recovered_digest : string option;
 }
 
 exception Crash of string
@@ -42,26 +47,43 @@ type checkpoint = {
   ck_session : string option;
 }
 
+(* Checkpoint files are self-describing durable blobs: magic, format
+   version, (node, incarnation) in the meta slots, payload length + CRC in
+   front of the marshalled record.  Written with the full atomic-replace
+   fsync discipline — tmp, fsync file, rename, fsync directory — so the
+   restore point survives power loss, not just a process kill. *)
+let ck_magic = "RNCK"
+
+let ck_version = 1
+
 let save_checkpoint path (ck : checkpoint) =
-  (* tmp + rename: a crash mid-write must never corrupt the restore point *)
-  let tmp = path ^ ".tmp" in
-  let oc = open_out_bin tmp in
-  Marshal.to_channel oc ck [];
-  close_out oc;
-  Sys.rename tmp path
+  Fsio.Blob.write ~path ~magic:ck_magic ~version:ck_version
+    ~meta:(ck.ck_node, ck.ck_incarnation)
+    (Marshal.to_string ck [])
 
 let load_checkpoint path : checkpoint =
-  let ic = open_in_bin path in
-  let ck : checkpoint = Marshal.from_channel ic in
-  close_in ic;
-  ck
+  match Fsio.Blob.read ~path ~magic:ck_magic ~version:ck_version with
+  | Error e -> crashf "checkpoint %s rejected: %s" path e
+  | Ok ((node, _), payload) ->
+      let ck : checkpoint = Marshal.from_string payload 0 in
+      if ck.ck_node <> node then
+        crashf "checkpoint %s: header says node %d, payload says node %d" path
+          node ck.ck_node;
+      ck
+
+(* The WAL payload of a node checkpoint (the rotation blob) is the same
+   marshalled record. *)
+let ck_of_payload path payload : checkpoint =
+  try (Marshal.from_string payload 0 : checkpoint)
+  with _ -> crashf "WAL checkpoint in %s: unreadable payload" path
 
 let kind_text = function Op.Read -> "read" | Op.Write -> "write"
 
 let run ~self ~listen_fd ~peers ~protocol ~workload ~seed
     ?(hello_timeout_ms = 10_000) ?(run_timeout_ms = 60_000) ?(quiet_ms = 150)
     ?chaos ?(session = false) ?(coalesce = 1) ?checkpoint
-    ?(checkpoint_every_ms = 100) ?(incarnation = 0) ?gc_space_overhead () =
+    ?(checkpoint_every_ms = 100) ?(incarnation = 0) ?gc_space_overhead
+    ?durable () =
   Option.iter
     (fun so ->
       if so < 1 then crashf "gc space overhead must be >= 1, got %d" so;
@@ -112,7 +134,7 @@ let run ~self ~listen_fd ~peers ~protocol ~workload ~seed
           {
             Session.default with
             seed = seed + 1 + self;
-            stable_acks = checkpoint <> None;
+            stable_acks = checkpoint <> None || durable <> None;
             coalesce;
           }
         in
@@ -125,9 +147,31 @@ let run ~self ~listen_fd ~peers ~protocol ~workload ~seed
       protocol.Registry.make ~transport:factory
         ~dist:workload.Workload_spec.dist ~seed ()
     in
-    if checkpoint <> None && memory.Memory.snapshot = None then
+    if
+      (checkpoint <> None || durable <> None)
+      && memory.Memory.snapshot = None
+    then
       fail "protocol %s has no snapshot/restore support; cannot checkpoint"
         protocol.Registry.name;
+    (* durability tier: every recorded op is appended to a write-ahead log
+       before the program proceeds, checkpoints compact it via the rotation
+       protocol, and a seeded dcrash schedule may kill this process at a
+       named point inside that write path *)
+    let wal =
+      Option.map
+        (fun (dir, policy) ->
+          Wal.open_ ~dir ~policy ~fresh:(incarnation = 0) ())
+        durable
+    in
+    (match chaos with
+    | Some plan when incarnation = 0 && wal <> None ->
+        Option.iter
+          (fun (c : Fault.Plan.dcrash) ->
+            Fsio.Crashpoint.arm ~point:c.Fault.Plan.point
+              ~after:c.Fault.Plan.after_hits ~powercut:c.Fault.Plan.powercut
+              (fun () -> raise (Chaos.Injected_crash self)))
+          (Fault.Plan.dcrash_for plan self)
+    | _ -> ());
     (* client front door: serve Read/Write/Batch RPCs against this
        replica's memory.  Requests a partial replica cannot serve (a read
        of a variable it does not hold) come back [Failed] rather than
@@ -161,29 +205,67 @@ let run ~self ~listen_fd ~peers ~protocol ~workload ~seed
               ~emit:(fun buf off -> Rpc.emit_response buf off ~id outcomes));
     let ops = ref [] in
     let finished = ref false in
-    let replayed =
-      match checkpoint with
-      | Some path when incarnation > 0 && Sys.file_exists path ->
+    let restore_from (ck : checkpoint) =
+      (match memory.Memory.restore with
+      | Some restore -> restore ck.ck_proto
+      | None -> fail "protocol %s cannot restore" protocol.Registry.name);
+      (match (sess, ck.ck_session) with
+      | Some c, Some blob -> c.Session.restore blob
+      | _ -> ());
+      finished := ck.ck_finished
+    in
+    (* Recovery seeding.  [replayed] pins control flow: until the cursor
+       passes it, reads return logged values.  [n_reapply] marks the WAL
+       tail — ops past the last checkpoint snapshot, whose write effects are
+       NOT in the restored state and must be re-applied to memory.
+       [watermark] is the session delivery count the last tail op observed:
+       live operation may not start before redeliveries catch back up to it,
+       or the first live read could see state older than the logged tail did
+       (the replay-to-live barrier). *)
+    let replayed, n_reapply, watermark, ck_payload_raw =
+      match (wal, checkpoint) with
+      | Some (_, recovered), _ when incarnation > 0 ->
+          let ck_ops =
+            match recovered.Wal.r_checkpoint with
+            | None -> []
+            | Some payload ->
+                let ck = ck_of_payload (fst (Option.get durable)) payload in
+                if ck.ck_node <> self then
+                  fail "WAL checkpoint belongs to node %d, not %d" ck.ck_node
+                    self;
+                restore_from ck;
+                ck.ck_ops
+          in
+          let tail, watermark =
+            List.fold_left
+              (fun (acc, _) (seq, payload) ->
+                match Oplog.decode payload with
+                | Ok (e, w) -> (e :: acc, w)
+                | Error e -> fail "WAL record %d rejected: %s" seq e)
+              ([], 0) recovered.Wal.r_entries
+          in
+          let tail = List.rev tail in
+          let all = ck_ops @ tail in
+          ops := List.rev all;
+          ( Array.of_list all,
+            List.length ck_ops,
+            watermark,
+            recovered.Wal.r_checkpoint )
+      | _, Some path when incarnation > 0 && Sys.file_exists path ->
           let ck = load_checkpoint path in
           if ck.ck_node <> self then
             fail "checkpoint %s belongs to node %d, not %d" path ck.ck_node self;
-          (match memory.Memory.restore with
-          | Some restore -> restore ck.ck_proto
-          | None -> fail "protocol %s cannot restore" protocol.Registry.name);
-          (match (sess, ck.ck_session) with
-          | Some c, Some blob -> c.Session.restore blob
-          | _ -> ());
+          restore_from ck;
           ops := List.rev ck.ck_ops;
-          finished := ck.ck_finished;
-          Array.of_list ck.ck_ops
-      | _ -> [||]
+          (Array.of_list ck.ck_ops, List.length ck.ck_ops, 0, None)
+      | _ -> ([||], 0, 0, None)
     in
     let write_ck =
-      match (checkpoint, memory.Memory.snapshot) with
-      | Some path, Some snap ->
+      match memory.Memory.snapshot with
+      | Some snap when wal <> None || checkpoint <> None ->
           Some
             (fun () ->
-              save_checkpoint path
+              let ck =
                 {
                   ck_node = self;
                   ck_incarnation = incarnation;
@@ -191,7 +273,15 @@ let run ~self ~listen_fd ~peers ~protocol ~workload ~seed
                   ck_finished = !finished;
                   ck_proto = snap ();
                   ck_session = Option.map (fun c -> c.Session.snapshot ()) sess;
-                };
+                }
+              in
+              (match (wal, checkpoint) with
+              | Some (w, _), _ ->
+                  (* checkpoint-as-compaction: the rotation protocol makes
+                     the blob durable and supersedes the logged tail *)
+                  Wal.checkpoint w (Marshal.to_string ck [])
+              | None, Some path -> save_checkpoint path ck
+              | None, None -> assert false);
               (* only now may acks cover what we received: anything newer
                  would be lost by a crash, so senders must keep it *)
               Option.iter (fun c -> c.Session.mark_stable ()) sess)
@@ -211,17 +301,41 @@ let run ~self ~listen_fd ~peers ~protocol ~workload ~seed
         tick ()
     | None -> ());
     Live.wait_peers lt ~timeout_ms:hello_timeout_ms;
-    let raw =
-      Runner.instrument memory ~proc:self ~record:(fun e -> ops := e :: !ops)
+    let record e =
+      ops := e :: !ops;
+      (* write-ahead: the op record reaches the log before the program can
+         take another step on the strength of it; fsync follows the group
+         commit policy *)
+      match wal with
+      | Some (w, _) ->
+          let wm =
+            match sess with Some c -> c.Session.delivered () | None -> 0
+          in
+          ignore (Wal.append w (Oplog.encode e ~watermark:wm) : int)
+      | None -> ()
     in
+    let raw = Runner.instrument memory ~proc:self ~record in
     let n_replay = Array.length replayed in
     let cursor = ref 0 in
+    let barrier_passed = ref (watermark = 0) in
+    let live_barrier () =
+      if not !barrier_passed then begin
+        barrier_passed := true;
+        match sess with
+        | Some c -> Fiber.await (fun () -> c.Session.delivered () >= watermark)
+        | None -> ()
+      end
+    in
     let api =
       if n_replay = 0 then raw
       else begin
-        (* message-logging replay: reads return logged values, writes are
-           suppressed (their effects are in the restored protocol state);
-           entries are already in [ops] from the checkpoint *)
+        (* message-logging replay: reads return logged values, pinning the
+           program's control flow to its pre-crash path.  Writes are
+           suppressed inside the checkpointed prefix (their effects are in
+           the restored snapshot) but re-applied in the WAL-tail region,
+           whose effects postdate the snapshot; the session layer's
+           sequence numbers make the regenerated messages exactly-once at
+           the receivers.  The first live op waits at [live_barrier]. *)
         let logged kind var =
           let k, v, value, _, _ = replayed.(!cursor) in
           if k <> kind || v <> var then
@@ -235,11 +349,21 @@ let run ~self ~listen_fd ~peers ~protocol ~workload ~seed
           Runner.read =
             (fun var ->
               if !cursor < n_replay then logged Op.Read var
-              else raw.Runner.read var);
+              else begin
+                live_barrier ();
+                raw.Runner.read var
+              end);
           write =
             (fun var value ->
-              if !cursor < n_replay then ignore (logged Op.Write var)
-              else raw.Runner.write var value);
+              if !cursor < n_replay then begin
+                let in_tail = !cursor >= n_reapply in
+                let logged_v = logged Op.Write var in
+                if in_tail then memory.Memory.write ~proc:self ~var logged_v
+              end
+              else begin
+                live_barrier ();
+                raw.Runner.write var value
+              end);
         }
       end
     in
@@ -296,9 +420,32 @@ let run ~self ~listen_fd ~peers ~protocol ~workload ~seed
     in
     let session_stats = Option.map (fun c -> c.Session.stats ()) sess in
     let wall_ms = Live.now_ms lt in
+    let wal_stats =
+      Option.map
+        (fun (w, _) ->
+          let s = Wal.stats w in
+          Wal.close w;
+          s)
+        wal
+    in
+    let final_ops = List.rev !ops in
+    (* the digest half of the recovery oracle: re-encode the WAL-tail slice
+       of the history this node actually reports, so the supervisor can
+       compare it bit-for-bit against what survived on disk *)
+    let recovered_digest =
+      if wal <> None && incarnation > 0 then
+        Some
+          (Oplog.digest ~ck:ck_payload_raw
+             ~entries:
+               (List.filteri
+                  (fun i _ -> i >= n_reapply && i < n_replay)
+                  final_ops))
+      else None
+    in
     Live.close lt;
-    { node = self; incarnation; ops = List.rev !ops; finals; metrics; wire;
-      session_stats; client_ops = !client_ops; wall_ms }
+    { node = self; incarnation; ops = final_ops; finals; metrics; wire;
+      session_stats; client_ops = !client_ops; wall_ms; wal_stats;
+      recovered_ops = n_replay; recovered_digest }
   with
   | Crash _ as e -> raise e
   | Chaos.Injected_crash _ as e ->

@@ -36,6 +36,15 @@ type result = {
       (** Operations served through the client front door (batch ops
           counted individually). *)
   wall_ms : int;
+  wal_stats : Repro_durable.Wal.stats option;
+      (** Append/sync/rotation counters when the durability tier ran. *)
+  recovered_ops : int;
+      (** Ops seeded by recovery (checkpoint + WAL tail); 0 on a first
+          incarnation. *)
+  recovered_digest : string option;
+      (** On a respawned durable node: {!Oplog.digest} over the recovered
+          prefix of [ops] as actually replayed — the supervisor compares it
+          against an independent decode of the surviving WAL files. *)
 }
 
 exception Crash of string
@@ -61,6 +70,7 @@ val run :
   ?checkpoint_every_ms:int ->
   ?incarnation:int ->
   ?gc_space_overhead:int ->
+  ?durable:string * Repro_durable.Wal.fsync_policy ->
   unit ->
   result
 (** Defaults: 10 s hello timeout, 60 s run timeout, 150 ms quiet window
@@ -84,6 +94,18 @@ val run :
     and replays its operation log (reads return logged values, writes are
     suppressed) until it reaches the crash point, then continues live.
     Requires a protocol with snapshot/restore support.
+
+    [durable = (dir, policy)] engages the durability tier instead: every
+    recorded op is appended to a write-ahead log in [dir] (fsynced per the
+    group-commit [policy]) and checkpoints compact the log through the
+    crash-safe rotation protocol ({!Repro_durable.Wal}).  Recovery rebuilds
+    state as checkpoint + WAL-tail replay: tail reads return logged values,
+    tail writes are re-applied to memory (their effects postdate the
+    snapshot), and the first live op waits until session redeliveries reach
+    the delivery watermark the last tail record logged.  When the chaos
+    plan carries a [dcrash] schedule for this node, the named crash point
+    is armed inside the WAL write path (first incarnation only).
+    [durable] takes precedence over [checkpoint].
 
     A scheduled crash from the chaos plan escapes as
     {!Repro_transport.Chaos.Injected_crash}; the caller decides whether to

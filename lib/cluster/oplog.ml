@@ -1,0 +1,57 @@
+module Op = Repro_history.Op
+
+type entry = Repro_core.Runner.entry
+
+(* kind(u8) var(i32) value-tag(u8) value(i64) t_inv(i64) t_resp(i64)
+   watermark(i64) — fixed 38 bytes, little-endian throughout *)
+let encoded_bytes = 38
+
+let encode ((kind, var, value, t_inv, t_resp) : entry) ~watermark =
+  let b = Bytes.create encoded_bytes in
+  Bytes.set_uint8 b 0 (match kind with Op.Read -> 0 | Op.Write -> 1);
+  Bytes.set_int32_le b 1 (Int32.of_int var);
+  (match value with
+  | Op.Init -> begin
+      Bytes.set_uint8 b 5 0;
+      Bytes.set_int64_le b 6 0L
+    end
+  | Op.Val v -> begin
+      Bytes.set_uint8 b 5 1;
+      Bytes.set_int64_le b 6 (Int64.of_int v)
+    end);
+  Bytes.set_int64_le b 14 (Int64.of_int t_inv);
+  Bytes.set_int64_le b 22 (Int64.of_int t_resp);
+  Bytes.set_int64_le b 30 (Int64.of_int watermark);
+  Bytes.unsafe_to_string b
+
+let decode s =
+  if String.length s <> encoded_bytes then
+    Error
+      (Printf.sprintf "op record is %d bytes, want %d" (String.length s)
+         encoded_bytes)
+  else begin
+    let b = Bytes.unsafe_of_string s in
+    match (Bytes.get_uint8 b 0, Bytes.get_uint8 b 5) with
+    | ((0 | 1) as k), ((0 | 1) as vt) ->
+        let kind = if k = 0 then Op.Read else Op.Write in
+        let value =
+          if vt = 0 then Op.Init
+          else Op.Val (Int64.to_int (Bytes.get_int64_le b 6))
+        in
+        let var = Int32.to_int (Bytes.get_int32_le b 1) in
+        let t_inv = Int64.to_int (Bytes.get_int64_le b 14) in
+        let t_resp = Int64.to_int (Bytes.get_int64_le b 22) in
+        let watermark = Int64.to_int (Bytes.get_int64_le b 30) in
+        Ok ((kind, var, value, t_inv, t_resp), watermark)
+    | k, vt -> Error (Printf.sprintf "bad op record tags %d/%d" k vt)
+  end
+
+let digest ~ck ~entries =
+  let buf = Buffer.create 1024 in
+  (match ck with
+  | None -> Buffer.add_string buf "ck:-\n"
+  | Some p ->
+      Buffer.add_string buf
+        (Printf.sprintf "ck:%s\n" (Digest.to_hex (Digest.string p))));
+  List.iter (fun e -> Buffer.add_string buf (encode e ~watermark:0)) entries;
+  Digest.to_hex (Digest.string (Buffer.contents buf))

@@ -1,0 +1,27 @@
+(** The WAL payload format for one recorded operation, and the recovery
+    digest oracle.
+
+    A durable node appends one of these records per completed operation:
+    the {!Repro_core.Runner.entry} (kind, variable, value, invocation and
+    response times) plus the session layer's in-order delivery count at
+    record time — the watermark a recovering node must wait for before
+    leaving replay, so its first live read never sees state older than the
+    logged tail did.
+
+    Both sides of the digest parity check live here: the respawned node
+    re-encodes the prefix of its final operation list that recovery seeded
+    ({!digest}), and the supervisor decodes the WAL directory it copied at
+    respawn time and digests the same shape.  Bit-for-bit equality says the
+    replayed history prefix is exactly what survived on disk. *)
+
+type entry = Repro_core.Runner.entry
+
+val encode : entry -> watermark:int -> string
+
+val decode : string -> (entry * int, string) result
+(** [Error] on a short or malformed payload (foreign record in the log). *)
+
+val digest : ck:string option -> entries:entry list -> string
+(** Hex digest over the raw checkpoint payload and the canonically
+    re-encoded tail entries (watermarks excluded — they are transport
+    bookkeeping, not history). *)

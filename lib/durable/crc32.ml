@@ -1,0 +1,29 @@
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let init = 0
+
+(* Pre/post-inverted per call, so the running value between calls is the
+   plain CRC and chaining composes: update (update 0 a) b = crc (a ^ b). *)
+let update crc buf ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Bytes.length buf then
+    invalid_arg "Crc32.update: range out of bounds";
+  let t = Lazy.force table in
+  let c = ref (crc lxor 0xFFFFFFFF) in
+  for i = pos to pos + len - 1 do
+    c := t.((!c lxor Char.code (Bytes.unsafe_get buf i)) land 0xFF)
+         lxor (!c lsr 8)
+  done;
+  !c lxor 0xFFFFFFFF
+
+let bytes b = update init b ~pos:0 ~len:(Bytes.length b)
+
+let string s = bytes (Bytes.unsafe_of_string s)
+
+let string_sub s ~pos ~len = update init (Bytes.unsafe_of_string s) ~pos ~len

@@ -1,0 +1,18 @@
+(** CRC-32 (IEEE 802.3, polynomial 0xEDB88320), table-driven.
+
+    The checksum every WAL record and checkpoint blob carries.  [update] is
+    chainable: [update (update init a) b] equals the CRC of the
+    concatenation, so framing code can fold header fields and payload
+    without copying them into one buffer. *)
+
+val init : int
+(** Seed for a fresh checksum chain. *)
+
+val update : int -> Bytes.t -> pos:int -> len:int -> int
+(** Extend a running checksum with [len] bytes of [buf] at [pos]. *)
+
+val bytes : Bytes.t -> int
+
+val string : string -> int
+
+val string_sub : string -> pos:int -> len:int -> int

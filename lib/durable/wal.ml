@@ -1,0 +1,432 @@
+type fsync_policy = Every of int | Interval_ms of int | Never
+
+type stats = {
+  appends : int;
+  appended_bytes : int;
+  syncs : int;
+  rotations : int;
+}
+
+type recovered = {
+  r_gen : int;
+  r_base : int;
+  r_next : int;
+  r_checkpoint : string option;
+  r_entries : (int * string) list;
+  r_dropped_bytes : int;
+  r_log : string;
+  r_notes : string list;
+}
+
+type t = {
+  dir : string;
+  policy : fsync_policy;
+  mutable fd : Unix.file_descr;
+  mutable gen : int;
+  mutable next_seq : int;
+  mutable off : int;
+  mutable synced_off : int;
+  mutable unsynced : int;
+  mutable last_sync : float;
+  mutable closed : bool;
+  mutable appends : int;
+  mutable appended_bytes : int;
+  mutable syncs : int;
+  mutable rotations : int;
+}
+
+let magic = "RWAL"
+
+let version = 1
+
+let header_bytes = 26 (* magic(4) version(u16) gen(u64) base(u64) crc(u32) *)
+
+let record_overhead = 20 (* marker(u32) seq(u64) len(u32) crc(u32) *)
+
+let marker = 0x52454331 (* "REC1" *)
+
+let ck_magic = "RCKP"
+
+let ck_name = "ckpt.blob"
+
+let log_name gen = Printf.sprintf "wal-%06d.log" gen
+
+let log_gen_of name =
+  if
+    String.length name = 14
+    && String.sub name 0 4 = "wal-"
+    && Filename.check_suffix name ".log"
+  then int_of_string_opt (String.sub name 4 6)
+  else None
+
+let write_all fd b pos len =
+  let off = ref pos in
+  let stop = pos + len in
+  while !off < stop do
+    off := !off + Unix.write fd b !off (stop - !off)
+  done
+
+let make_header ~gen ~base =
+  let h = Bytes.create header_bytes in
+  Bytes.blit_string magic 0 h 0 4;
+  Bytes.set_uint16_le h 4 version;
+  Bytes.set_int64_le h 6 (Int64.of_int gen);
+  Bytes.set_int64_le h 14 (Int64.of_int base);
+  Bytes.set_int32_le h 22 (Int32.of_int (Crc32.update Crc32.init h ~pos:0 ~len:22));
+  h
+
+(* Ok (gen, base) when the 26 header bytes at the front of [buf] check out. *)
+let parse_header buf size =
+  if size < header_bytes then Error "truncated log header"
+  else if Bytes.sub_string buf 0 4 <> magic then
+    Error (Printf.sprintf "bad log magic %S" (Bytes.sub_string buf 0 4))
+  else if Bytes.get_uint16_le buf 4 <> version then
+    Error
+      (Printf.sprintf "log format version %d (want %d)"
+         (Bytes.get_uint16_le buf 4) version)
+  else if
+    Int32.to_int (Bytes.get_int32_le buf 22) land 0xFFFFFFFF
+    <> Crc32.update Crc32.init buf ~pos:0 ~len:22
+  then Error "log header CRC mismatch"
+  else
+    Ok
+      ( Int64.to_int (Bytes.get_int64_le buf 6),
+        Int64.to_int (Bytes.get_int64_le buf 14) )
+
+(* The tail scan: records from [header_bytes] on, stopping cleanly at the
+   first frame that is short, mis-marked, over-long, CRC-failing or out of
+   sequence — everything before the stop is trusted, everything after is
+   the damaged tail. *)
+let scan_records buf size ~base =
+  let entries = ref [] in
+  let pos = ref header_bytes in
+  let seq_expect = ref base in
+  let stop = ref false in
+  while not !stop do
+    if size - !pos < record_overhead then stop := true
+    else begin
+      let mk = Int32.to_int (Bytes.get_int32_le buf !pos) land 0xFFFFFFFF in
+      let seq = Int64.to_int (Bytes.get_int64_le buf (!pos + 4)) in
+      let len = Int32.to_int (Bytes.get_int32_le buf (!pos + 12)) in
+      let crc =
+        Int32.to_int (Bytes.get_int32_le buf (!pos + 16)) land 0xFFFFFFFF
+      in
+      if mk <> marker || len < 0 || len > size - !pos - record_overhead then
+        stop := true
+      else begin
+        let crc' =
+          Crc32.update
+            (Crc32.update Crc32.init buf ~pos:(!pos + 4) ~len:12)
+            buf ~pos:(!pos + record_overhead) ~len
+        in
+        if crc' <> crc || seq <> !seq_expect then stop := true
+        else begin
+          entries :=
+            (seq, Bytes.sub_string buf (!pos + record_overhead) len)
+            :: !entries;
+          pos := !pos + record_overhead + len;
+          incr seq_expect
+        end
+      end
+    end
+  done;
+  (List.rev !entries, !pos)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let size = in_channel_length ic in
+      let buf = Bytes.create size in
+      really_input ic buf 0 size;
+      (buf, size))
+
+let load ~dir =
+  if not (Sys.file_exists dir && Sys.is_directory dir) then
+    Error (Printf.sprintf "%s: not a directory" dir)
+  else begin
+    let notes = ref [] in
+    let note fmt = Printf.ksprintf (fun s -> notes := s :: !notes) fmt in
+    let ck_file = Filename.concat dir ck_name in
+    let ck =
+      if not (Sys.file_exists ck_file) then Ok None
+      else
+        match Fsio.Blob.read ~path:ck_file ~magic:ck_magic ~version with
+        | Ok (meta, payload) -> Ok (Some (meta, payload))
+        | Error e -> Error (Printf.sprintf "%s: %s" ck_name e)
+    in
+    match ck with
+    | Error _ as e -> e
+    | Ok ck -> (
+        let gen_ck, base_ck =
+          match ck with Some ((g, b), _) -> (g, b) | None -> (0, 0)
+        in
+        let logs =
+          Sys.readdir dir |> Array.to_list
+          |> List.filter_map log_gen_of
+          |> List.sort compare
+        in
+        match List.filter (fun g -> g > gen_ck) logs with
+        | g :: _ ->
+            Error
+              (Printf.sprintf
+                 "%s is from generation %d but the checkpoint opens \
+                  generation %d"
+                 (log_name g) g gen_ck)
+        | [] ->
+            List.iter
+              (fun g -> if g < gen_ck - 1 then note "stale log %s" (log_name g))
+              logs;
+            let finish ~entries ~dropped ~log =
+              let r_next =
+                match List.rev entries with
+                | (seq, _) :: _ -> seq + 1
+                | [] -> base_ck
+              in
+              Ok
+                {
+                  r_gen = gen_ck;
+                  r_base = base_ck;
+                  r_next;
+                  r_checkpoint = Option.map snd ck;
+                  r_entries = entries;
+                  r_dropped_bytes = dropped;
+                  r_log = log;
+                  r_notes = List.rev !notes;
+                }
+            in
+            if List.mem gen_ck logs then begin
+              let path = Filename.concat dir (log_name gen_ck) in
+              let buf, size = read_file path in
+              match parse_header buf size with
+              | Error e ->
+                  (* a log whose very header never reached disk carries no
+                     records: equivalent to the crash-before-log-created
+                     state, recover from the checkpoint alone *)
+                  note "%s: %s; recovering from checkpoint alone"
+                    (log_name gen_ck) e;
+                  finish ~entries:[] ~dropped:size ~log:(log_name gen_ck)
+              | Ok (g, b) ->
+                  if g <> gen_ck || b <> base_ck then
+                    Error
+                      (Printf.sprintf
+                         "%s header says generation %d base %d, checkpoint \
+                          says %d/%d"
+                         (log_name gen_ck) g b gen_ck base_ck)
+                  else begin
+                    let entries, valid_end = scan_records buf size ~base:base_ck in
+                    if valid_end < size then
+                      note "damaged tail: %d byte(s) dropped" (size - valid_end);
+                    finish ~entries ~dropped:(size - valid_end)
+                      ~log:(log_name gen_ck)
+                  end
+            end
+            else begin
+              if ck <> None then begin
+                if List.mem (gen_ck - 1) logs then
+                  note
+                    "crash between checkpoint and log rotation: %s not yet \
+                     created, %s superseded"
+                    (log_name gen_ck)
+                    (log_name (gen_ck - 1))
+                else note "no log file for generation %d" gen_ck
+              end;
+              finish ~entries:[] ~dropped:0 ~log:""
+            end)
+  end
+
+let digest r =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "gen=%d base=%d next=%d ck=%s\n" r.r_gen r.r_base r.r_next
+       (match r.r_checkpoint with
+       | None -> "-"
+       | Some p -> Digest.to_hex (Digest.string p)));
+  List.iter
+    (fun (seq, p) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%d:%s\n" seq (Digest.to_hex (Digest.string p))))
+    r.r_entries;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+let create_log dir ~gen ~base =
+  let path = Filename.concat dir (log_name gen) in
+  let fd =
+    Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o600
+  in
+  write_all fd (make_header ~gen ~base) 0 header_bytes;
+  Fsio.fsync_fd fd;
+  Fsio.fsync_dir dir;
+  fd
+
+let install_powercut t =
+  (* power-loss semantics for armed crash points: everything past the
+     synced floor vanishes, as if the device lost its write cache *)
+  Fsio.Crashpoint.set_powercut_hook (fun () ->
+      if not t.closed then
+        try Unix.ftruncate t.fd t.synced_off with Unix.Unix_error _ -> ())
+
+let open_ ~dir ?(policy = Every 1) ?(fresh = false) () =
+  (match policy with
+  | Every k when k < 1 -> invalid_arg "Wal.open_: Every k needs k >= 1"
+  | Interval_ms m when m < 0 -> invalid_arg "Wal.open_: negative interval"
+  | _ -> ());
+  if not (Sys.file_exists dir) then begin
+    Unix.mkdir dir 0o700;
+    Fsio.fsync_dir (Filename.dirname dir)
+  end;
+  if fresh then
+    Array.iter
+      (fun f ->
+        if log_gen_of f <> None || f = ck_name || Filename.check_suffix f ".tmp"
+        then try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+      (Sys.readdir dir);
+  match load ~dir with
+  | Error e -> failwith (Printf.sprintf "Wal.open_ %s: %s" dir e)
+  | Ok r ->
+      (* stale generations are garbage once a newer checkpoint covers them *)
+      Sys.readdir dir |> Array.to_list
+      |> List.filter_map log_gen_of
+      |> List.iter (fun g ->
+             if g <> r.r_gen then
+               try Sys.remove (Filename.concat dir (log_name g))
+               with Sys_error _ -> ());
+      let path = Filename.concat dir (log_name r.r_gen) in
+      let fd, off =
+        if r.r_log = "" || not (Sys.file_exists path) then
+          (create_log dir ~gen:r.r_gen ~base:r.r_base, header_bytes)
+        else begin
+          let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o600 in
+          let size = (Unix.fstat fd).Unix.st_size in
+          let valid = size - r.r_dropped_bytes in
+          if valid < header_bytes then begin
+            (* header never reached disk: rebuild the generation file *)
+            Unix.close fd;
+            Sys.remove path;
+            (create_log dir ~gen:r.r_gen ~base:r.r_base, header_bytes)
+          end
+          else begin
+            if r.r_dropped_bytes > 0 then Unix.ftruncate fd valid;
+            ignore (Unix.lseek fd valid Unix.SEEK_SET);
+            (fd, valid)
+          end
+        end
+      in
+      let t =
+        {
+          dir;
+          policy;
+          fd;
+          gen = r.r_gen;
+          next_seq = r.r_next;
+          off;
+          synced_off = off;
+          unsynced = 0;
+          last_sync = Unix.gettimeofday ();
+          closed = false;
+          appends = 0;
+          appended_bytes = 0;
+          syncs = 0;
+          rotations = 0;
+        }
+      in
+      install_powercut t;
+      (t, r)
+
+let check_open t who = if t.closed then invalid_arg (who ^ ": WAL closed")
+
+let sync t =
+  check_open t "Wal.sync";
+  if t.off > t.synced_off then begin
+    Fsio.Crashpoint.hit "sync.pre";
+    Fsio.fsync_fd t.fd;
+    Fsio.Crashpoint.hit "sync.post";
+    t.synced_off <- t.off;
+    t.unsynced <- 0;
+    t.last_sync <- Unix.gettimeofday ();
+    t.syncs <- t.syncs + 1
+  end
+
+let append t payload =
+  check_open t "Wal.append";
+  let len = String.length payload in
+  let frame = Bytes.create (record_overhead + len) in
+  Bytes.set_int32_le frame 0 (Int32.of_int marker);
+  Bytes.set_int64_le frame 4 (Int64.of_int t.next_seq);
+  Bytes.set_int32_le frame 12 (Int32.of_int len);
+  Bytes.blit_string payload 0 frame record_overhead len;
+  let crc =
+    Crc32.update
+      (Crc32.update Crc32.init frame ~pos:4 ~len:12)
+      frame ~pos:record_overhead ~len
+  in
+  Bytes.set_int32_le frame 16 (Int32.of_int crc);
+  Fsio.Crashpoint.hit "append.pre";
+  (match Fsio.Crashpoint.fire "append.mid" with
+  | Some kill ->
+      (* torn write: half the frame reaches the file, then the process
+         dies — recovery must drop exactly this suffix *)
+      write_all t.fd frame 0 (Bytes.length frame / 2);
+      kill ()
+  | None -> ());
+  write_all t.fd frame 0 (Bytes.length frame);
+  Fsio.Crashpoint.hit "append.post";
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  t.off <- t.off + Bytes.length frame;
+  t.unsynced <- t.unsynced + 1;
+  t.appends <- t.appends + 1;
+  t.appended_bytes <- t.appended_bytes + Bytes.length frame;
+  (match t.policy with
+  | Every k -> if t.unsynced >= k then sync t
+  | Interval_ms m ->
+      if (Unix.gettimeofday () -. t.last_sync) *. 1000.0 >= float m then sync t
+  | Never -> ());
+  seq
+
+let checkpoint t payload =
+  check_open t "Wal.checkpoint";
+  (* 1. the records this checkpoint supersedes must be durable first: a
+     checkpoint must never claim to cover state the log could not replay *)
+  sync t;
+  let gen' = t.gen + 1 and base' = t.next_seq in
+  (* 2. atomically replace the checkpoint blob (hits ck.synced/ck.renamed) *)
+  Fsio.Blob.write
+    ~path:(Filename.concat t.dir ck_name)
+    ~magic:ck_magic ~version ~meta:(gen', base') payload;
+  (* 3. bring the next generation's log into existence, durably *)
+  let fd' = create_log t.dir ~gen:gen' ~base:base' in
+  (try Fsio.Crashpoint.hit "rotate.log.created"
+   with e ->
+     Unix.close fd';
+     raise e);
+  (* 4. switch over, then garbage-collect the superseded log *)
+  let old_fd = t.fd and old_gen = t.gen in
+  t.fd <- fd';
+  t.gen <- gen';
+  t.off <- header_bytes;
+  t.synced_off <- header_bytes;
+  t.unsynced <- 0;
+  t.last_sync <- Unix.gettimeofday ();
+  t.rotations <- t.rotations + 1;
+  (try Unix.close old_fd with Unix.Unix_error _ -> ());
+  (try Sys.remove (Filename.concat t.dir (log_name old_gen))
+   with Sys_error _ -> ());
+  Fsio.fsync_dir t.dir;
+  Fsio.Crashpoint.hit "rotate.done"
+
+let close t =
+  if not t.closed then begin
+    (try sync t with Unix.Unix_error _ -> ());
+    t.closed <- true;
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end
+
+let stats t =
+  {
+    appends = t.appends;
+    appended_bytes = t.appended_bytes;
+    syncs = t.syncs;
+    rotations = t.rotations;
+  }

@@ -1,0 +1,96 @@
+(** Append-only write-ahead log with CRC-framed records, group commit, and
+    checkpoint-as-compaction over a two-file rotation protocol.
+
+    On-disk layout, one directory per log:
+    - [wal-NNNNNN.log] — the current generation's record file.  A 26-byte
+      header (magic ["RWAL"], format version, generation, base seqno,
+      header CRC32) followed by length-prefixed records: marker word,
+      record seqno (consecutive from the base), payload length, CRC32 over
+      seqno+length+payload, payload bytes.
+    - [ckpt.blob] — the latest checkpoint ({!Fsio.Blob}, magic ["RCKP"]),
+      meta slots = (generation it opens, base seqno it covers up to).
+
+    Recovery reads the checkpoint, replays the matching generation's
+    records, and {e cleanly drops the damaged tail}: the scan stops at the
+    first short, mis-marked, mis-sequenced or CRC-failing record, and
+    [open_] truncates the file there, so a torn write costs exactly the
+    unsynced suffix and never poisons earlier records.
+
+    Rotation ([checkpoint]) is crash-safe at every step: sync the log,
+    atomically replace [ckpt.blob] (tmp, fsync, rename, fsync dir), create
+    and fsync the next generation's log, fsync the directory, only then
+    unlink the old log.  A crash between any two steps leaves a state
+    [load] maps back to a consistent (checkpoint, tail) pair. *)
+
+type fsync_policy =
+  | Every of int  (** fsync after every [k]-th appended record ([Every 1]
+                      = synchronous durability). *)
+  | Interval_ms of int  (** group commit on a time budget: fsync when an
+                            append finds the last sync older than this. *)
+  | Never  (** no fsync from [append]; only [sync]/[checkpoint] reach
+               disk.  The measuring stick the bench's other policies are
+               compared against. *)
+
+type stats = {
+  appends : int;
+  appended_bytes : int;
+  syncs : int;
+  rotations : int;
+}
+
+type recovered = {
+  r_gen : int;  (** Generation whose log holds the tail. *)
+  r_base : int;  (** First seqno of that generation. *)
+  r_next : int;  (** Next seqno to append (base + recovered tail length). *)
+  r_checkpoint : string option;  (** Latest checkpoint payload, if any. *)
+  r_entries : (int * string) list;  (** The recovered tail, (seqno, payload)
+                                        in order. *)
+  r_dropped_bytes : int;  (** Damaged/torn suffix dropped by the scan. *)
+  r_log : string;  (** Basename of the log file scanned ([""] if none). *)
+  r_notes : string list;  (** Anomalies repaired: stale logs, missing
+                              generation file, truncated tail. *)
+}
+
+type t
+
+val record_overhead : int
+(** Framing bytes added per record. *)
+
+val open_ :
+  dir:string -> ?policy:fsync_policy -> ?fresh:bool -> unit -> t * recovered
+(** Open (creating the directory and a generation-0 log if needed) and
+    recover.  [fresh] wipes any previous contents first — a node's first
+    incarnation must not resurrect a stale run.  Truncates a damaged tail,
+    deletes stale-generation logs, and installs the power-cut hook
+    ({!Fsio.Crashpoint.set_powercut_hook}: truncate the live log to its
+    synced floor).  [policy] defaults to [Every 1].
+    @raise Failure when the directory contents are unrecoverable. *)
+
+val append : t -> string -> int
+(** Append one record, return its seqno; fsyncs per the policy (group
+    commit).  Hits crash points [append.pre]/[append.mid]/[append.post]. *)
+
+val sync : t -> unit
+(** Force the log to disk (no-op when nothing is pending).  Hits
+    [sync.pre]/[sync.post]. *)
+
+val checkpoint : t -> string -> unit
+(** Compact: everything appended so far is superseded by this payload.
+    Runs the rotation protocol above; hits [ck.synced]/[ck.renamed]/
+    [rotate.log.created]/[rotate.done]. *)
+
+val close : t -> unit
+(** Sync and close.  Safe to call twice. *)
+
+val stats : t -> stats
+
+val load : dir:string -> (recovered, string) result
+(** Read-only recovery — what [open_] would see, without mutating the
+    directory.  [Error] only when the contents are unrecoverable (corrupt
+    checkpoint blob, generation mismatch); a torn tail is {e recoverable}
+    and reported via [r_dropped_bytes]. *)
+
+val digest : recovered -> string
+(** Hex digest over the recovered state (checkpoint payload + ordered tail
+    records) — the oracle [repro wal] prints and recovery tests compare:
+    two loads of the same surviving bytes must agree bit-for-bit. *)

@@ -21,12 +21,21 @@ module Plan = struct
 
   type crash = { node : int; after_sends : int; restart_after : int option }
 
+  type dcrash = {
+    dnode : int;
+    point : string;
+    powercut : bool;
+    after_hits : int;
+    drestart_after : int option;
+  }
+
   type plan = {
     seed : int;
     default_link : link;
     links : ((int * int) * link) list;
     partitions : partition list;
     crashes : crash list;
+    dcrashes : dcrash list;
     delay_max : int;
   }
 
@@ -41,12 +50,13 @@ module Plan = struct
       links = [];
       partitions = [];
       crashes = [];
+      dcrashes = [];
       delay_max = 8;
     }
 
   let is_none t =
     t.default_link = clean && t.links = [] && t.partitions = []
-    && t.crashes = []
+    && t.crashes = [] && t.dcrashes = []
 
   let link_for t ~src ~dst =
     match List.assoc_opt (src, dst) t.links with
@@ -62,6 +72,9 @@ module Plan = struct
 
   let crash_for t node =
     List.find_opt (fun c -> c.node = node) t.crashes
+
+  let dcrash_for t node =
+    List.find_opt (fun c -> c.dnode = node) t.dcrashes
 
   (* A private per-link decision stream: decisions for link (src,dst) depend
      only on the plan seed and the link's own send index, never on traffic
@@ -119,6 +132,29 @@ module Plan = struct
             invalid_arg (Printf.sprintf "%s: negative restart delay %d" ctx d)
         | _ -> ()))
       t.crashes;
+    let dseen = Hashtbl.create 4 in
+    List.iter
+      (fun c ->
+        check_node "dcrash node" c.dnode;
+        if Hashtbl.mem dseen c.dnode then
+          invalid_arg
+            (Printf.sprintf "%s: duplicate dcrash entry for node %d" ctx
+               c.dnode);
+        Hashtbl.add dseen c.dnode ();
+        if not (Repro_durable.Fsio.Crashpoint.is_point c.point) then
+          invalid_arg
+            (Printf.sprintf "%s: unknown durability crash point %S (one of %s)"
+               ctx c.point
+               (String.concat ", " Repro_durable.Fsio.Crashpoint.points));
+        if c.after_hits < 1 then
+          invalid_arg
+            (Printf.sprintf "%s: dcrash after %d hits (need >= 1)" ctx
+               c.after_hits);
+        (match c.drestart_after with
+        | Some d when d < 0 ->
+            invalid_arg (Printf.sprintf "%s: negative restart delay %d" ctx d)
+        | _ -> ()))
+      t.dcrashes;
     if t.delay_max < 1 then invalid_arg (ctx ^ ": delay_max must be >= 1")
 
   (* --- compact string syntax ------------------------------------------------
@@ -134,7 +170,13 @@ module Plan = struct
        link=S>D:f=v:...    per-link override (fields drop/dup/reorder)
        part=T1..T2:A+B+..  nodes A,B,.. isolated from the rest in [T1,T2)
        crash=N@K+R         node N crashes after its K-th send, restarts R
-                           ticks later; omit +R for no restart *)
+                           ticks later; omit +R for no restart
+       dcrash=N:POINT@K+R  node N dies at the K-th hit of the named
+                           durability crash point (Fsio.Crashpoint.points,
+                           e.g. sync.pre, append.mid, rotate.log.created);
+                           suffix the point with ! for power-cut semantics
+                           (the log is truncated to its synced floor before
+                           the process dies); restart/omission as crash= *)
 
   let parse_float ctx s =
     match float_of_string_opt s with
@@ -264,6 +306,41 @@ module Plan = struct
                       | _ ->
                           failwith
                             (Printf.sprintf "%s: bad crash clause %S" ctx v))
+                  | "dcrash" -> (
+                      match split_on ':' v with
+                      | [ node; rest ] -> (
+                          let node = parse_int ctx node in
+                          match split_on '@' rest with
+                          | [ point; tail ] ->
+                              let point, powercut =
+                                let k = String.length point in
+                                if k > 0 && point.[k - 1] = '!' then
+                                  (String.sub point 0 (k - 1), true)
+                                else (point, false)
+                              in
+                              let after, restart =
+                                match split_on '+' tail with
+                                | [ k ] -> (parse_int ctx k, None)
+                                | [ k; r ] ->
+                                    (parse_int ctx k, Some (parse_int ctx r))
+                                | _ ->
+                                    failwith
+                                      (Printf.sprintf "%s: bad dcrash clause %S"
+                                         ctx v)
+                              in
+                              { plan with
+                                dcrashes =
+                                  plan.dcrashes
+                                  @ [ { dnode = node; point; powercut;
+                                        after_hits = after;
+                                        drestart_after = restart } ] }
+                          | _ ->
+                              failwith
+                                (Printf.sprintf "%s: bad dcrash clause %S" ctx
+                                   v))
+                      | _ ->
+                          failwith
+                            (Printf.sprintf "%s: bad dcrash clause %S" ctx v))
                   | _ ->
                       failwith (Printf.sprintf "%s: unknown clause %S" ctx key)))
             none (split_on ',' s)
@@ -307,5 +384,14 @@ module Plan = struct
           | Some r -> Printf.sprintf "crash=%d@%d+%d" c.node c.after_sends r
           | None -> Printf.sprintf "crash=%d@%d" c.node c.after_sends))
       t.crashes;
+    List.iter
+      (fun c ->
+        let point = if c.powercut then c.point ^ "!" else c.point in
+        add
+          (match c.drestart_after with
+          | Some r ->
+              Printf.sprintf "dcrash=%d:%s@%d+%d" c.dnode point c.after_hits r
+          | None -> Printf.sprintf "dcrash=%d:%s@%d" c.dnode point c.after_hits))
+      t.dcrashes;
     match List.rev !buf with [] -> "none" | parts -> String.concat "," parts
 end

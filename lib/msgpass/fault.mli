@@ -68,12 +68,30 @@ module Plan : sig
         (** Restart delay in ticks (ms live); [None] means no restart. *)
   }
 
+  type dcrash = {
+    dnode : int;
+    point : string;
+        (** A durability crash point name
+            ({!Repro_durable.Fsio.Crashpoint.points}): the node dies inside
+            its WAL write path at exactly this step. *)
+    powercut : bool;
+        (** Power-cut semantics: before dying, the log is truncated to its
+            synced floor — unsynced writes vanish as if the device lost its
+            cache, not just the process. *)
+    after_hits : int;  (** Die on the [after_hits]-th hit of [point]. *)
+    drestart_after : int option;
+        (** Restart delay in ms; [None] means no restart. *)
+  }
+
   type plan = {
     seed : int;
     default_link : link;
     links : ((int * int) * link) list;  (** Per-link overrides, [(src, dst)]. *)
     partitions : partition list;
     crashes : crash list;
+    dcrashes : dcrash list;
+        (** Seeded crash-point schedule inside the durability write path;
+            only meaningful when the run has a WAL. *)
     delay_max : int;  (** Max extra delay for reordered/duplicated copies. *)
   }
 
@@ -93,6 +111,9 @@ module Plan : sig
   val crash_for : t -> int -> crash option
   (** The crash entry for a node, if any ([validate] rejects duplicates). *)
 
+  val dcrash_for : t -> int -> dcrash option
+  (** The durability crash entry for a node, if any. *)
+
   val link_seed : t -> src:int -> dst:int -> int
   (** Seed for the link's private fault-decision RNG stream. *)
 
@@ -107,7 +128,9 @@ module Plan : sig
       ["drop=0.1,link=0>2:drop=0.5:reorder=0.3,part=100..400:0+2"].
       Clauses: [seed=K], [drop=P], [dup=P], [reorder=P], [delay=D],
       [link=S>D:field=v:...], [part=T1..T2:A+B], [crash=N@K+R] (omit [+R]
-      for no restart).  The result is validated. *)
+      for no restart), [dcrash=N:POINT@K+R] (die at the [K]-th hit of the
+      named durability crash point; suffix [POINT] with [!] for power-cut
+      semantics).  The result is validated. *)
 
   val to_string : t -> string
   (** Canonical round-trippable rendering ([parse (to_string t)] succeeds). *)

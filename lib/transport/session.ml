@@ -47,6 +47,7 @@ type control = {
   mark_stable : unit -> unit;
   snapshot : unit -> string;
   restore : string -> unit;
+  delivered : unit -> int;
 }
 
 (* What [snapshot] marshals: plain data only (window messages are protocol
@@ -142,6 +143,7 @@ let wrap ?(config = default) (inner : Transport.factory) :
       mark_stable = (fun () -> (the ()).mark_stable ());
       snapshot = (fun () -> (the ()).snapshot ());
       restore = (fun blob -> (the ()).restore blob);
+      delivered = (fun () -> (the ()).delivered ());
     }
   in
   let factory =
@@ -413,7 +415,13 @@ let wrap ?(config = default) (inner : Transport.factory) :
           in
           installed :=
             Some
-              { stats = session_stats; mark_stable; snapshot; restore };
+              {
+                stats = session_stats;
+                mark_stable;
+                snapshot;
+                restore;
+                delivered = (fun () -> !delivered);
+              };
           {
             Transport.n_nodes = n;
             scope = tr.Transport.scope;

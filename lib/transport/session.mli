@@ -108,6 +108,11 @@ type control = {
   restore : string -> unit;
       (** Inverse of [snapshot]; re-arms retransmission timers for links
           with unacked segments.  Call before any traffic. *)
+  delivered : unit -> int;
+      (** In-order first deliveries so far.  After [restore] this resumes
+          from the snapshotted value and advances as peers retransmit, so a
+          recovering node can wait until redeliveries reach the delivery
+          watermark its WAL recorded (the replay-to-live barrier). *)
 }
 
 val wrap : ?config:config -> Transport.factory -> Transport.factory * control

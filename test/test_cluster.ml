@@ -16,6 +16,7 @@ module History = Repro_history.History
 module Memory = Repro_core.Memory
 module Registry = Repro_core.Registry
 module Fault = Repro_msgpass.Fault
+module Wal = Repro_durable.Wal
 
 let check = Alcotest.check
 
@@ -26,9 +27,10 @@ let plan_of text =
   | Ok p -> p
   | Error msg -> Alcotest.failf "bad plan %S: %s" text msg
 
-let run_ok ?chaos ~n ~protocol ~workload ~seed () =
+let run_ok ?chaos ?durable ~n ~protocol ~workload ~seed () =
   match
-    Cluster.run ~n ~protocol:(spec_of protocol) ~workload ~seed ?chaos ()
+    Cluster.run ~n ~protocol:(spec_of protocol) ~workload ~seed ?chaos ?durable
+      ()
   with
   | Ok o -> o
   | Error msg -> Alcotest.failf "cluster run failed: %s" msg
@@ -188,6 +190,97 @@ let test_chaos_sim_protocol_parity () =
   check Alcotest.bool "overhead lane nonzero" true
     (noisy.Memory.overhead_bytes > clean.Memory.overhead_bytes)
 
+let test_durable_fault_free () =
+  (* the durability tier must be invisible to the protocol lane: same
+     verdict, same sim parity, every op on the log, synchronous policy
+     fsyncing once per append *)
+  let o =
+    run_ok ~durable:(Wal.Every 1) ~n:3 ~protocol:"pram-partial" ~workload:"e1"
+      ~seed:7 ()
+  in
+  check Alcotest.bool "durable tier engaged" true o.Cluster.durable;
+  check Alcotest.bool "parity vacuously holds" true o.Cluster.wal_parity;
+  (match o.Cluster.verdict with
+  | Checker.Consistent -> ()
+  | _ -> Alcotest.fail "durable run must stay consistent");
+  assert_parity o ~protocol:"pram-partial" ~workload:"e1";
+  Array.iter
+    (fun (r : Node.result) ->
+      match r.Node.wal_stats with
+      | None -> Alcotest.failf "node %d ran without a WAL" r.Node.node
+      | Some s ->
+          check Alcotest.int
+            (Printf.sprintf "node %d: every op logged" r.Node.node)
+            (List.length r.Node.ops) s.Wal.appends;
+          check Alcotest.int
+            (Printf.sprintf "node %d: Every 1 = one fsync per append"
+               r.Node.node)
+            s.Wal.appends s.Wal.syncs;
+          check Alcotest.bool
+            (Printf.sprintf "node %d: checkpoints compacted the log"
+               r.Node.node)
+            true (s.Wal.rotations >= 1))
+    o.Cluster.node_results
+
+let test_durable_dcrash_recovery () =
+  (* node 1 dies at the second log fsync and restarts 250 ms later: the
+     supervisor freezes the surviving WAL, the respawn replays it, and the
+     recovered digest must match the frozen bytes bit-for-bit *)
+  let chaos = plan_of "seed=11,drop=0.03,dcrash=1:sync.pre@2+250" in
+  let o =
+    run_ok ~chaos ~durable:(Wal.Every 4) ~n:3 ~protocol:"pram-partial"
+      ~workload:"e1" ~seed:7 ()
+  in
+  check Alcotest.int "exactly one respawn" 1 o.Cluster.restarts;
+  check Alcotest.int "survivor incarnation" 1
+    o.Cluster.node_results.(1).Node.incarnation;
+  check Alcotest.bool "recovery re-seeded from the log" true
+    (o.Cluster.node_results.(1).Node.recovered_ops > 0);
+  check Alcotest.bool "recovered digest matches the frozen WAL" true
+    o.Cluster.wal_parity;
+  (match o.Cluster.verdict with
+  | Checker.Consistent -> ()
+  | Checker.Inconsistent -> Alcotest.fail "post-recovery history violates PRAM"
+  | Checker.Undecidable _ -> Alcotest.fail "e1 history should be differentiated");
+  Array.iter
+    (fun (r : Node.result) ->
+      check Alcotest.int
+        (Printf.sprintf "node %d op count" r.Node.node)
+        8
+        (List.length r.Node.ops))
+    o.Cluster.node_results
+
+let test_durable_powercut_recovery () =
+  (* power-cut semantics at a torn write: half a frame reaches the file,
+     then the unsynced suffix vanishes.  Recovery must rebuild from the
+     synced floor and the cluster must still converge *)
+  let chaos = plan_of "seed=11,drop=0.03,dcrash=1:append.mid!@3+250" in
+  let o =
+    run_ok ~chaos ~durable:(Wal.Every 2) ~n:3 ~protocol:"pram-partial"
+      ~workload:"e1" ~seed:7 ()
+  in
+  check Alcotest.int "exactly one respawn" 1 o.Cluster.restarts;
+  check Alcotest.bool "recovered digest matches the frozen WAL" true
+    o.Cluster.wal_parity;
+  (match o.Cluster.verdict with
+  | Checker.Consistent -> ()
+  | _ -> Alcotest.fail "post-powercut history must stay consistent");
+  Array.iter
+    (fun (r : Node.result) ->
+      check Alcotest.int
+        (Printf.sprintf "node %d op count" r.Node.node)
+        8
+        (List.length r.Node.ops))
+    o.Cluster.node_results
+
+let test_dcrash_needs_durable () =
+  match
+    Cluster.run ~n:3 ~protocol:(spec_of "pram-partial") ~workload:"e1" ~seed:1
+      ~chaos:(plan_of "seed=1,dcrash=1:sync.pre@1+100") ()
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "dcrash plan accepted without the durability tier"
+
 let test_invalid_plan_rejected () =
   match
     Cluster.run ~n:3 ~protocol:(spec_of "pram-partial") ~workload:"e1" ~seed:1
@@ -225,6 +318,14 @@ let () =
             test_chaos_crash_restart;
           Alcotest.test_case "bellman-ford under loss: distances hold" `Quick
             test_chaos_bellman_ford;
+          Alcotest.test_case "durable tier, fault-free: parity + fsync counts"
+            `Quick test_durable_fault_free;
+          Alcotest.test_case "dcrash at sync.pre: digest-verified recovery"
+            `Quick test_durable_dcrash_recovery;
+          Alcotest.test_case "power cut mid-append: recovery from synced floor"
+            `Quick test_durable_powercut_recovery;
+          Alcotest.test_case "dcrash plan without WAL rejected" `Quick
+            test_dcrash_needs_durable;
           Alcotest.test_case "same plan on sim: bit-reproducible" `Quick
             test_chaos_sim_reproducible;
           Alcotest.test_case "chaos keeps protocol-level stats at baseline"
