@@ -1611,6 +1611,178 @@ let run_durable_benchmarks ?json () =
       write_record (durable_json_record rows recoveries) json;
       if !failures <> [] then exit 2)
 
+(* --- reconfig: live-membership tier ----------------------------------------------
+   What does a membership change cost while the cluster keeps serving
+   traffic?  Each scenario drives the epoch-fenced reconfiguration
+   harness under a seeded chaos plan and records the three numbers this
+   tier exists for: time-to-rebalance (proposal broadcast -> epoch
+   commit), keys moved (gated at <= 2kK/n per single change — the
+   consistent-hash minimal-movement promise), and the client-visible
+   unavailability window (longest stretch a member owed state it could
+   not yet serve).
+
+   Correctness gates ride along: every reassembled history must pass the
+   tier's advertised criterion (cache consistency), the movement gate
+   must hold for every scenario, and the crash scenario must actually
+   restart a node mid-migration. *)
+
+module Reconfig = Repro_cluster.Reconfig
+
+let reconfig_nodes = 5
+
+let reconfig_k = 2
+
+let reconfig_vnodes = 64
+
+let reconfig_vars = 32
+
+let reconfig_writes = 30
+
+(* the ring seed the qcheck suite and CI smoke also pin; [crash=0@5]
+   counts node 0's migration-record sends, which are deterministic given
+   this (seed, vnodes, vars) placement *)
+let reconfig_seed = 11
+
+let reconfig_scenarios =
+  [
+    ("join", "seed=7,join=4@250", false);
+    ("leave", "seed=7,leave=1@250", false);
+    ("join+leave+crash", "seed=7,join=4@250,leave=1@600,crash=0@5+300", true);
+  ]
+
+let run_reconfig_scenario failures (name, plan_text, expect_restart) =
+  let plan =
+    match Fault.Plan.parse plan_text with
+    | Ok p -> p
+    | Error e ->
+        failures := Printf.sprintf "%s: bad plan: %s" name e :: !failures;
+        Fault.Plan.none
+  in
+  match
+    Reconfig.run ~n:reconfig_nodes ~k:reconfig_k ~vnodes:reconfig_vnodes
+      ~n_vars:reconfig_vars ~seed:reconfig_seed ~writes:reconfig_writes
+      ~chaos:plan ()
+  with
+  | Error msg ->
+      failures := Printf.sprintf "%s: %s" name msg :: !failures;
+      None
+  | Ok o ->
+      if o.Reconfig.verdict <> Checker.Consistent then
+        failures :=
+          Printf.sprintf "%s: history violates cache consistency" name
+          :: !failures;
+      if not o.Reconfig.moved_ok then
+        failures :=
+          Printf.sprintf "%s: moved %d keys in one change, gate %d" name
+            o.Reconfig.max_keys_moved o.Reconfig.moved_gate
+          :: !failures;
+      if expect_restart && o.Reconfig.restarts = 0 then
+        failures :=
+          Printf.sprintf "%s: the scheduled mid-migration crash never fired"
+            name
+          :: !failures;
+      Some (name, o)
+
+let reconfig_rebalance_ms o =
+  List.fold_left
+    (fun acc e -> Stdlib.max acc e.Reconfig.ev_rebalance_ms)
+    0 o.Reconfig.events
+
+let reconfig_json_record results ~notes =
+  let ints l = Jsonout.List (List.map (fun i -> Jsonout.Int i) l) in
+  let verdict_json = function
+    | Checker.Consistent -> Jsonout.String "consistent"
+    | Checker.Inconsistent -> Jsonout.String "VIOLATION"
+    | Checker.Undecidable _ -> Jsonout.String "undecidable"
+  in
+  let scenario_json (name, o) =
+    Jsonout.Obj
+      [
+        ("scenario", Jsonout.String name);
+        ("chaos", Jsonout.String o.Reconfig.chaos);
+        ("committed_epoch", Jsonout.Int o.Reconfig.committed_epoch);
+        ("members", ints o.Reconfig.members);
+        ( "events",
+          Jsonout.List
+            (List.map
+               (fun e ->
+                 Jsonout.Obj
+                   [
+                     ("epoch", Jsonout.Int e.Reconfig.ev_epoch);
+                     ("kind", Jsonout.String e.Reconfig.ev_kind);
+                     ("node", Jsonout.Int e.Reconfig.ev_node);
+                     ("keys_moved", Jsonout.Int e.Reconfig.ev_keys_moved);
+                     ("rebalance_ms", Jsonout.Int e.Reconfig.ev_rebalance_ms);
+                   ])
+               o.Reconfig.events) );
+        ("rebalance_ms", Jsonout.Int (reconfig_rebalance_ms o));
+        ("keys_moved_total", Jsonout.Int o.Reconfig.keys_moved_total);
+        ("max_keys_moved", Jsonout.Int o.Reconfig.max_keys_moved);
+        ("moved_gate", Jsonout.Int o.Reconfig.moved_gate);
+        ("moved_ok", Jsonout.Bool o.Reconfig.moved_ok);
+        ("unavail_ms", Jsonout.Int o.Reconfig.unavail_ms);
+        ("stale_epochs", Jsonout.Int o.Reconfig.stale_epochs);
+        ("restarts", Jsonout.Int o.Reconfig.restarts);
+        ("transfers", Jsonout.Int o.Reconfig.transfers);
+        ("init_fallbacks", Jsonout.Int o.Reconfig.init_fallbacks);
+        ("verdict", verdict_json o.Reconfig.verdict);
+        ("pram", verdict_json o.Reconfig.pram);
+        ("wall_ms", Jsonout.Int o.Reconfig.wall_ms);
+      ]
+  in
+  Jsonout.Obj
+    ([
+       ("schema", Jsonout.String "repro-reconfig-bench/1");
+       ("nodes", Jsonout.Int reconfig_nodes);
+       ("k", Jsonout.Int reconfig_k);
+       ("vnodes", Jsonout.Int reconfig_vnodes);
+       ("vars", Jsonout.Int reconfig_vars);
+       ("writes", Jsonout.Int reconfig_writes);
+       ("seed", Jsonout.Int reconfig_seed);
+     ]
+    @ (match notes with
+      | [] -> []
+      | notes ->
+          [ ("notes", Jsonout.List (List.map (fun n -> Jsonout.String n) notes)) ])
+    @ [ ("scenarios", Jsonout.List (List.map scenario_json results)) ])
+
+let run_reconfig_benchmarks ?json () =
+  let failures = ref [] in
+  let results =
+    List.filter_map (run_reconfig_scenario failures) reconfig_scenarios
+  in
+  Printf.printf
+    "== Reconfig tier (%d nodes, k=%d, vnodes=%d, %d vars, seed %d) ==\n"
+    reconfig_nodes reconfig_k reconfig_vnodes reconfig_vars reconfig_seed;
+  Table.print
+    ~header:
+      [ "scenario"; "epoch"; "rebal ms"; "moved"; "worst"; "gate";
+        "unavail ms"; "restarts"; "stale"; "cache"; "wall ms" ]
+    ~rows:
+      (List.map
+         (fun (name, o) ->
+           [
+             name;
+             string_of_int o.Reconfig.committed_epoch;
+             string_of_int (reconfig_rebalance_ms o);
+             string_of_int o.Reconfig.keys_moved_total;
+             string_of_int o.Reconfig.max_keys_moved;
+             string_of_int o.Reconfig.moved_gate;
+             string_of_int o.Reconfig.unavail_ms;
+             string_of_int o.Reconfig.restarts;
+             string_of_int o.Reconfig.stale_epochs;
+             (match o.Reconfig.verdict with
+             | Checker.Consistent -> "ok"
+             | Checker.Inconsistent -> "VIOLATION"
+             | Checker.Undecidable _ -> "undecidable");
+             string_of_int o.Reconfig.wall_ms;
+           ])
+         results)
+    ();
+  List.iter (fun f -> Printf.eprintf "reconfig tier FAILED: %s\n" f) !failures;
+  write_record (reconfig_json_record results) json;
+  if !failures <> [] then exit 2
+
 (* --- argument parsing ---------------------------------------------------------- *)
 
 type mode =
@@ -1624,6 +1796,7 @@ type mode =
   | Load_only
   | Hotpath_only
   | Durable_only
+  | Reconfig_only
 
 let () =
   let mode = ref Default in
@@ -1631,7 +1804,8 @@ let () =
   let usage () =
     prerr_endline
       "usage: bench [--tables] [--sim] [--check] [--cluster] [--chaos] [--load] \
-       [--hotpath] [--durable] [--experiment ID] [--jobs N] [--json FILE|DIR]";
+       [--hotpath] [--durable] [--reconfig] [--experiment ID] [--jobs N] \
+       [--json FILE|DIR]";
     exit 1
   in
   let rec parse = function
@@ -1660,6 +1834,9 @@ let () =
     | "--durable" :: rest ->
         mode := Durable_only;
         parse rest
+    | "--reconfig" :: rest ->
+        mode := Reconfig_only;
+        parse rest
     | "--experiment" :: id :: rest ->
         mode := One_experiment id;
         parse rest
@@ -1684,6 +1861,7 @@ let () =
   | Load_only -> run_load_benchmarks ?json:!json ()
   | Hotpath_only -> run_hotpath_benchmarks ?json:!json ()
   | Durable_only -> run_durable_benchmarks ?json:!json ()
+  | Reconfig_only -> run_reconfig_benchmarks ?json:!json ()
   | One_experiment id -> if not (print_one id) then exit 1
   | Default ->
       print_tables ();

@@ -9,10 +9,13 @@
    repro cluster --nodes 3             fork a live loopback cluster, run + check
    repro serve --node 0 ...            one replica daemon of a live cluster
    repro wal DIR                       inspect / verify a write-ahead log
+   repro placement hash:n=5,k=2        inspect a consistent-hash placement
+   repro reconfig --nodes 5 ...        live cluster with membership changes
 *)
 
 module Distribution = Repro_sharegraph.Distribution
 module Share_graph = Repro_sharegraph.Share_graph
+module Ring = Repro_sharegraph.Ring
 module Checker = Repro_history.Checker
 module History = Repro_history.History
 module Memory = Repro_core.Memory
@@ -23,6 +26,8 @@ module Wgraph = Repro_apps.Wgraph
 module Experiment = Repro_experiments.Experiment
 module Cluster = Repro_cluster.Cluster
 module Cluster_node = Repro_cluster.Node
+module Member = Repro_cluster.Member
+module Reconfig = Repro_cluster.Reconfig
 module Oplog = Repro_cluster.Oplog
 module Workload_spec = Repro_cluster.Workload_spec
 module Wal = Repro_durable.Wal
@@ -210,8 +215,10 @@ let chaos_arg =
                  $(b,seed=5,drop=0.05,dup=0.01,crash=1\\@6+250). Clauses: \
                  $(b,seed=K), $(b,drop=P), $(b,dup=P), $(b,reorder=P), \
                  $(b,delay=D), $(b,link=S>D:drop=P:...), \
-                 $(b,part=T1..T2:A+B), $(b,crash=N\\@K+R). The same plan \
-                 reproduces identically on the simulator and on live TCP.")
+                 $(b,part=T1..T2:A+B), $(b,crash=N\\@K+R); under \
+                 $(b,reconfig) also $(b,join=N\\@MS) and $(b,leave=N\\@MS) \
+                 membership events. The same plan reproduces identically on \
+                 the simulator and on live TCP.")
 
 let session_arg =
   Arg.(value & flag
@@ -656,6 +663,34 @@ let fsync_interval_arg =
                  the last sync older than $(docv) ms (implies the durability \
                  tier).")
 
+(* --- harness watchdog ---------------------------------------------------------- *)
+
+let connect_timeout_arg =
+  Arg.(value & opt (some int) None
+       & info [ "connect-timeout-ms" ] ~docv:"MS"
+           ~doc:"Cap each node's reconnection episodes: give up on a peer \
+                 that accepted no connection for $(docv) ms instead of \
+                 redialing until the run timeout (default: unbounded).")
+
+let drain_quiet_arg =
+  Arg.(value & opt (some int) None
+       & info [ "drain-quiet-ms" ] ~docv:"MS"
+           ~doc:"Quiet window after $(b,finish): a node closes once no \
+                 frame has arrived for $(docv) ms (default 300).")
+
+let deadline_arg =
+  Arg.(value & opt (some int) None
+       & info [ "deadline-ms" ] ~docv:"MS"
+           ~doc:"Supervisor watchdog: a run still not finished after \
+                 $(docv) ms is put down and reported as wedged — exit 4, \
+                 distinct from every acceptance failure (default: run \
+                 timeout + 30 s).")
+
+(* a run the watchdog had to put down gets its own exit code, so CI can
+   tell "hung harness" apart from "real acceptance failure" *)
+let exit_of_harness_error msg =
+  if String.length msg >= 7 && String.sub msg 0 7 = "wedged:" then 4 else 1
+
 let resolve_fsync_policy ~flag ~every ~interval ~fail =
   match (every, interval) with
   | Some _, Some _ -> fail "--fsync-every and --fsync-interval conflict"
@@ -920,10 +955,355 @@ let wal_cmd =
              (dropped tail, missing generation file).")
     Term.(const run $ dir_arg $ verify_arg)
 
+(* --- consistent-hash placement inspector --------------------------------------- *)
+
+let placement_cmd =
+  let run spec_text vars joins leaves max_ratio =
+    let fail fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 1) fmt in
+    let spec =
+      match Ring.spec_of_string spec_text with
+      | Ok s -> s
+      | Error msg -> fail "%s" msg
+    in
+    if vars < 1 then fail "--vars must be >= 1";
+    let ring = Ring.of_spec spec in
+    let k = spec.Ring.s_k in
+    Printf.printf "placement %s over %d variable(s)\n"
+      (Ring.spec_to_string spec) vars;
+    let b = Ring.balance ring ~k ~n_vars:vars in
+    Table.print ~header:[ "member"; "assignments"; "x mean" ]
+      ~rows:
+        (List.map
+           (fun (m, c) ->
+             [
+               string_of_int m;
+               string_of_int c;
+               Printf.sprintf "%.2f" (float_of_int c /. b.Ring.b_mean);
+             ])
+           (Ring.load ring ~k ~n_vars:vars))
+      ();
+    Printf.printf
+      "balance: min %d, max %d, mean %.1f, ratio %.3f (1.0 = perfect)\n"
+      b.Ring.b_min b.Ring.b_max b.Ring.b_mean b.Ring.b_ratio;
+    (* materialise the replica sets and run the paper's share-graph
+       analysis over them: hoops per variable, Theorem-1 efficiency *)
+    let dist =
+      Ring.to_distribution ring ~k ~n_procs:spec.Ring.s_n ~n_vars:vars
+    in
+    let sg = Share_graph.of_distribution dist in
+    Table.print ~header:[ "var"; "owner"; "replicas"; "#hoops" ]
+      ~rows:
+        (List.init vars (fun x ->
+             [
+               Printf.sprintf "x%d" x;
+               string_of_int (Ring.owner ring x);
+               "{"
+               ^ String.concat ","
+                   (List.map string_of_int (Ring.replicas ring ~k x))
+               ^ "}";
+               string_of_int
+                 (List.length (Share_graph.hoops ~max_hoops:50 sg ~var:x));
+             ]))
+      ();
+    Printf.printf "efficient causal partial replication possible: %b\n"
+      (Share_graph.no_external_relevance sg);
+    let gate = 2 * k * vars / Ring.n_members ring in
+    let change kind node =
+      let after =
+        try
+          match kind with
+          | `Join -> Ring.add_member ring node
+          | `Leave -> Ring.remove_member ring node
+        with Invalid_argument m ->
+          fail "%s %d: %s"
+            (match kind with `Join -> "join" | `Leave -> "leave")
+            node m
+      in
+      let moved = Ring.moved ~before:ring ~after ~k ~n_vars:vars in
+      let b' = Ring.balance after ~k ~n_vars:vars in
+      Printf.printf
+        "%s %d: %d of %d assignment(s) move (gate 2kK/n = %d)%s; balance \
+         ratio %.3f -> %.3f\n"
+        (match kind with `Join -> "join" | `Leave -> "leave")
+        node moved (k * vars) gate
+        (if moved <= gate then "" else " EXCEEDED")
+        b.Ring.b_ratio b'.Ring.b_ratio;
+      moved <= gate
+    in
+    let moved_ok =
+      List.for_all Fun.id
+        (List.map (change `Join) joins @ List.map (change `Leave) leaves)
+    in
+    let ratio_ok =
+      match max_ratio with None -> true | Some r -> b.Ring.b_ratio <= r
+    in
+    (match max_ratio with
+    | Some r when not ratio_ok ->
+        Printf.printf "balance ratio %.3f exceeds --max-ratio %.3f\n"
+          b.Ring.b_ratio r
+    | _ -> ());
+    if not (moved_ok && ratio_ok) then exit 2
+  in
+  let spec_arg =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"SPEC"
+             ~doc:"Ring spec: $(b,hash:n=5,k=2,vnodes=64,seed=7) ($(b,n) \
+                   mandatory, the rest default).")
+  in
+  let vars_arg =
+    Arg.(value & opt int 32
+         & info [ "vars" ] ~docv:"K" ~doc:"Number of variables placed.")
+  in
+  let join_arg =
+    Arg.(value & opt_all int []
+         & info [ "join" ] ~docv:"NODE"
+             ~doc:"Also show what adding $(docv) moves (repeatable; each \
+                   change is measured against the initial ring).")
+  in
+  let leave_arg =
+    Arg.(value & opt_all int []
+         & info [ "leave" ] ~docv:"NODE"
+             ~doc:"Also show what removing $(docv) moves (repeatable).")
+  in
+  let max_ratio_arg =
+    Arg.(value & opt (some float) None
+         & info [ "max-ratio" ] ~docv:"R"
+             ~doc:"Gate the balance ratio: exit 2 when max/mean load \
+                   exceeds $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "placement"
+       ~doc:"Inspect a consistent-hash placement: per-member load, balance \
+             stats, per-variable replica sets, share-graph hoop counts, and \
+             what a membership change would move. Deterministic — two \
+             invocations with the same spec print byte-identical output. \
+             Exit status: 0 clean, 1 on a malformed spec or impossible \
+             membership change, 2 when a $(b,--join)/$(b,--leave) moves \
+             more than the 2kK/n minimal-movement gate or $(b,--max-ratio) \
+             is exceeded.")
+    Term.(const run $ spec_arg $ vars_arg $ join_arg $ leave_arg
+          $ max_ratio_arg)
+
+(* --- live membership ------------------------------------------------------------ *)
+
+let reconfig_cmd =
+  let run nodes k vnodes vars seed writes write_period demote_after chaos
+      connect_timeout drain_quiet deadline wal_dir out_history json engine =
+    apply_engine engine;
+    match
+      Reconfig.run ~n:nodes ~k ~vnodes ~n_vars:vars ~seed ~writes
+        ~write_period_ms:write_period ~demote_after_ms:demote_after ?chaos
+        ?connect_timeout_ms:connect_timeout ?quiet_ms:drain_quiet
+        ?deadline_ms:deadline ?wal_dir ()
+    with
+    | Error msg ->
+        prerr_endline msg;
+        exit (exit_of_harness_error msg)
+    | Ok o ->
+        let members l =
+          "{" ^ String.concat "," (List.map string_of_int l) ^ "}"
+        in
+        Printf.printf "reconfig: %d nodes, k=%d, vnodes=%d, %d vars, seed %d%s\n"
+          o.Reconfig.n o.Reconfig.k o.Reconfig.vnodes o.Reconfig.n_vars
+          o.Reconfig.seed
+          (if o.Reconfig.chaos = "" then ""
+           else Printf.sprintf ", chaos [%s]" o.Reconfig.chaos);
+        if o.Reconfig.events <> [] then
+          Table.print
+            ~header:[ "epoch"; "event"; "node"; "members"; "moved"; "ms" ]
+            ~rows:
+              (List.map
+                 (fun e ->
+                   [
+                     string_of_int e.Reconfig.ev_epoch;
+                     e.Reconfig.ev_kind;
+                     string_of_int e.Reconfig.ev_node;
+                     members e.Reconfig.ev_members;
+                     string_of_int e.Reconfig.ev_keys_moved;
+                     string_of_int e.Reconfig.ev_rebalance_ms;
+                   ])
+                 o.Reconfig.events)
+            ();
+        Table.print
+          ~header:
+            [ "node"; "inc"; "ops"; "w"; "r"; "epoch"; "stale"; "in"; "out";
+              "retry"; "initfb"; "unavail"; "ms" ]
+          ~rows:
+            (Array.to_list o.Reconfig.node_results
+            |> List.map (fun r ->
+                   [
+                     string_of_int r.Member.node;
+                     string_of_int r.Member.incarnation;
+                     string_of_int (List.length r.Member.ops);
+                     string_of_int r.Member.writes_done;
+                     string_of_int r.Member.reads_done;
+                     string_of_int r.Member.committed_epoch;
+                     string_of_int r.Member.stale_epochs;
+                     string_of_int r.Member.transfers_in;
+                     string_of_int r.Member.transfers_out;
+                     string_of_int r.Member.retries;
+                     string_of_int r.Member.init_fallbacks;
+                     string_of_int r.Member.unavail_ms;
+                     string_of_int r.Member.wall_ms;
+                   ]))
+          ();
+        Printf.printf
+          "epoch %d committed, members %s; %d stale frame(s) fenced, %d \
+           restart(s), %d migration record(s) applied, %d init fallback(s)\n"
+          o.Reconfig.committed_epoch (members o.Reconfig.members)
+          o.Reconfig.stale_epochs o.Reconfig.restarts o.Reconfig.transfers
+          o.Reconfig.init_fallbacks;
+        if o.Reconfig.salvaged <> [] then
+          Printf.printf "ops salvaged from surviving WALs: %s\n"
+            (members o.Reconfig.salvaged);
+        Printf.printf
+          "keys moved: %d total, worst single change %d (gate 2kK/n = %d): \
+           %s\n"
+          o.Reconfig.keys_moved_total o.Reconfig.max_keys_moved
+          o.Reconfig.moved_gate
+          (if o.Reconfig.moved_ok then "ok" else "EXCEEDED");
+        Printf.printf "unavailability window: %d ms (worst node)\n"
+          o.Reconfig.unavail_ms;
+        Printf.printf "cache (advertised) across reconfiguration: %s\n"
+          (verdict_text o.Reconfig.verdict);
+        Printf.printf "pram (informational): %s\n"
+          (verdict_text o.Reconfig.pram);
+        Option.iter
+          (fun path ->
+            Out_channel.with_open_text path (fun oc ->
+                Out_channel.output_string oc
+                  (History.to_string o.Reconfig.history));
+            Printf.printf "wrote %s\n" path)
+          out_history;
+        Option.iter
+          (fun path ->
+            let ints l = Jsonout.List (List.map (fun i -> Jsonout.Int i) l) in
+            Out_channel.with_open_text path @@ fun oc ->
+            Jsonout.to_channel oc
+              (Jsonout.Obj
+                 [
+                   ("schema", Jsonout.String "repro-reconfig/1");
+                   ("nodes", Jsonout.Int o.Reconfig.n);
+                   ("k", Jsonout.Int o.Reconfig.k);
+                   ("vnodes", Jsonout.Int o.Reconfig.vnodes);
+                   ("vars", Jsonout.Int o.Reconfig.n_vars);
+                   ("seed", Jsonout.Int o.Reconfig.seed);
+                   ("committed_epoch", Jsonout.Int o.Reconfig.committed_epoch);
+                   ("members", ints o.Reconfig.members);
+                   ( "events",
+                     Jsonout.List
+                       (List.map
+                          (fun e ->
+                            Jsonout.Obj
+                              [
+                                ("epoch", Jsonout.Int e.Reconfig.ev_epoch);
+                                ("kind", Jsonout.String e.Reconfig.ev_kind);
+                                ("node", Jsonout.Int e.Reconfig.ev_node);
+                                ("members", ints e.Reconfig.ev_members);
+                                ( "keys_moved",
+                                  Jsonout.Int e.Reconfig.ev_keys_moved );
+                                ( "rebalance_ms",
+                                  Jsonout.Int e.Reconfig.ev_rebalance_ms );
+                              ])
+                          o.Reconfig.events) );
+                   ( "verdict",
+                     Jsonout.String (verdict_text o.Reconfig.verdict) );
+                   ("pram", Jsonout.String (verdict_text o.Reconfig.pram));
+                   ("stale_epochs", Jsonout.Int o.Reconfig.stale_epochs);
+                   ("restarts", Jsonout.Int o.Reconfig.restarts);
+                   ("salvaged", ints o.Reconfig.salvaged);
+                   ("keys_moved_total", Jsonout.Int o.Reconfig.keys_moved_total);
+                   ("max_keys_moved", Jsonout.Int o.Reconfig.max_keys_moved);
+                   ("moved_gate", Jsonout.Int o.Reconfig.moved_gate);
+                   ("moved_ok", Jsonout.Bool o.Reconfig.moved_ok);
+                   ("unavail_ms", Jsonout.Int o.Reconfig.unavail_ms);
+                   ("transfers", Jsonout.Int o.Reconfig.transfers);
+                   ("init_fallbacks", Jsonout.Int o.Reconfig.init_fallbacks);
+                   ("writes", Jsonout.Int o.Reconfig.writes_total);
+                   ("reads", Jsonout.Int o.Reconfig.reads_total);
+                   ("chaos", Jsonout.String o.Reconfig.chaos);
+                   ("wall_ms", Jsonout.Int o.Reconfig.wall_ms);
+                 ]);
+            Printf.printf "wrote %s\n" path)
+          json;
+        if o.Reconfig.verdict <> Checker.Consistent then exit 2;
+        if not o.Reconfig.moved_ok then exit 3
+  in
+  let nodes_arg =
+    Arg.(value & opt int 5
+         & info [ "n"; "nodes" ] ~docv:"N"
+             ~doc:"Process count; initial ring membership is every node not \
+                   scheduled to $(b,join=) by the chaos plan.")
+  in
+  let k_arg =
+    Arg.(value & opt int 2
+         & info [ "k" ] ~docv:"K" ~doc:"Replication degree per variable.")
+  in
+  let vnodes_arg =
+    Arg.(value & opt int 64
+         & info [ "vnodes" ] ~docv:"V"
+             ~doc:"Virtual nodes per member on the hash ring.")
+  in
+  let vars_arg =
+    Arg.(value & opt int 32
+         & info [ "vars" ] ~docv:"K" ~doc:"Number of shared variables.")
+  in
+  let writes_arg =
+    Arg.(value & opt int 40
+         & info [ "writes" ] ~docv:"W"
+             ~doc:"Paced writes each process issues to its own variables.")
+  in
+  let write_period_arg =
+    Arg.(value & opt int 5
+         & info [ "write-period-ms" ] ~docv:"MS"
+             ~doc:"Pacing between a process's writes.")
+  in
+  let demote_after_arg =
+    Arg.(value & opt int 2500
+         & info [ "demote-after-ms" ] ~docv:"MS"
+             ~doc:"Failure detector: a member silent for $(docv) ms is \
+                   demoted by a superseding proposal.")
+  in
+  let wal_dir_arg =
+    Arg.(value & opt (some string) None
+         & info [ "wal-dir" ] ~docv:"DIR"
+             ~doc:"Root for the per-member WAL directories, kept after the \
+                   run for $(b,repro wal) inspection. Default: a temporary \
+                   root, removed afterwards (the WAL tier itself is always \
+                   on).")
+  in
+  let out_history_arg =
+    Arg.(value & opt (some string) None
+         & info [ "out-history" ] ~docv:"FILE"
+             ~doc:"Write the assembled history (readable by $(b,repro \
+                   check)).")
+  in
+  let json_arg =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE" ~doc:"Write a JSON outcome record.")
+  in
+  Cmd.v
+    (Cmd.info "reconfig"
+       ~doc:"Fork a live cluster whose ring membership changes while it \
+             runs: scripted $(b,join=)/$(b,leave=) events and crashes from \
+             the chaos plan, epoch-fenced reconfiguration with WAL-resumable \
+             state transfer, heartbeat demotion of silent members. The \
+             reassembled history is checked against the tier's advertised \
+             criterion (cache consistency; PRAM is reported informationally \
+             — see DESIGN.md). Exit status: 1 on harness or unrecovered node \
+             error, 2 when the history violates cache consistency, 3 when a \
+             single membership change moved more than the 2kK/n gate, 4 \
+             when the $(b,--deadline-ms) watchdog had to put down a wedged \
+             run.")
+    Term.(const run $ nodes_arg $ k_arg $ vnodes_arg $ vars_arg $ seed_arg
+          $ writes_arg $ write_period_arg $ demote_after_arg $ chaos_arg
+          $ connect_timeout_arg $ drain_quiet_arg $ deadline_arg $ wal_dir_arg
+          $ out_history_arg $ json_arg $ engine_arg)
+
 let cluster_cmd =
   let run nodes spec workload seed chaos session checkpoint_ms parity json
       out_history gc_space_overhead engine durable_flag fsync_every
-      fsync_interval wal_dir =
+      fsync_interval wal_dir connect_timeout drain_quiet deadline =
     apply_engine engine;
     let fail fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 1) fmt in
     let durable =
@@ -934,11 +1314,12 @@ let cluster_cmd =
     match
       Cluster.run ~n:nodes ~protocol:spec ~workload ~seed ?chaos ~session
         ?checkpoint_every_ms:checkpoint_ms ?gc_space_overhead ?durable ?wal_dir
-        ()
+        ?connect_timeout_ms:connect_timeout ?quiet_ms:drain_quiet
+        ?deadline_ms:deadline ()
     with
     | Error msg ->
         prerr_endline msg;
-        exit 1
+        exit (exit_of_harness_error msg)
     | Ok o ->
         let verdict = verdict_text o.Cluster.verdict in
         Printf.printf
@@ -1132,12 +1513,13 @@ let cluster_cmd =
              write-ahead log and recovery is digest-verified against the \
              frozen post-crash files. Exit status: 1 on unrecovered node \
              crash, 2 on consistency/finals violation, 3 on sim-parity or \
-             WAL-digest mismatch.")
+             WAL-digest mismatch, 4 when the $(b,--deadline-ms) watchdog had \
+             to put down a wedged run.")
     Term.(const run $ nodes_arg $ protocol_arg $ workload_arg $ seed_arg
           $ chaos_arg $ session_arg $ checkpoint_ms_arg $ parity_arg $ json_arg
           $ out_history_arg $ gc_space_overhead_arg $ engine_arg
           $ durable_flag_arg $ fsync_every_arg $ fsync_interval_arg
-          $ wal_dir_arg)
+          $ wal_dir_arg $ connect_timeout_arg $ drain_quiet_arg $ deadline_arg)
 
 (* --- open-loop load tier -------------------------------------------------------- *)
 
@@ -1259,7 +1641,9 @@ let () =
             bellman_ford_cmd;
             experiment_cmd;
             cluster_cmd;
+            reconfig_cmd;
             serve_cmd;
             load_cmd;
             wal_cmd;
+            placement_cmd;
           ]))

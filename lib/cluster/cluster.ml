@@ -48,7 +48,9 @@ let loopback = Unix.inet_addr_loopback
 let child_main ~self ~listen_fds ~peers ~protocol ~spec ~seed ~timeouts ~chaos
     ~session ~checkpoint ~checkpoint_every_ms ~incarnation ~gc_space_overhead
     ~durable wfd =
-  let hello_timeout_ms, run_timeout_ms, quiet_ms = timeouts in
+  let hello_timeout_ms, run_timeout_ms, quiet_ms, connect_timeout_ms =
+    timeouts
+  in
   Array.iteri
     (fun i fd ->
       if i <> self then try Unix.close fd with Unix.Unix_error _ -> ())
@@ -58,8 +60,8 @@ let child_main ~self ~listen_fds ~peers ~protocol ~spec ~seed ~timeouts ~chaos
       Finished
         (Node.run ~self ~listen_fd:listen_fds.(self) ~peers ~protocol
            ~workload:spec ~seed ?hello_timeout_ms ?run_timeout_ms ?quiet_ms
-           ?chaos ~session ?checkpoint ?checkpoint_every_ms ~incarnation
-           ?gc_space_overhead ?durable ())
+           ?connect_timeout_ms ?chaos ~session ?checkpoint
+           ?checkpoint_every_ms ~incarnation ?gc_space_overhead ?durable ())
     with
     | Chaos.Injected_crash _ ->
         (* die like a real crash: no report, no cleanup — the supervisor
@@ -131,8 +133,8 @@ let freeze_wal ~src ~dst =
       else Ok (Oplog.digest ~ck:r.Wal.r_checkpoint ~entries)
 
 let run ~n ~protocol ~workload ~seed ?hello_timeout_ms ?run_timeout_ms
-    ?quiet_ms ?chaos ?(session = false) ?checkpoint_every_ms
-    ?gc_space_overhead ?durable ?wal_dir () =
+    ?quiet_ms ?connect_timeout_ms ?deadline_ms ?chaos ?(session = false)
+    ?checkpoint_every_ms ?gc_space_overhead ?durable ?wal_dir () =
   let chaos =
     match chaos with Some p when Fault.Plan.is_none p -> None | c -> c
   in
@@ -168,7 +170,9 @@ let run ~n ~protocol ~workload ~seed ?hello_timeout_ms ?run_timeout_ms
                 Array.init n (fun _ -> Live.bind (Unix.ADDR_INET (loopback, 0)))
               in
               let peers = Array.map Live.listen_addr listen_fds in
-              let timeouts = (hello_timeout_ms, run_timeout_ms, quiet_ms) in
+              let timeouts =
+                (hello_timeout_ms, run_timeout_ms, quiet_ms, connect_timeout_ms)
+              in
               let has_crashes =
                 match chaos with
                 | Some p ->
@@ -275,12 +279,20 @@ let run ~n ~protocol ~workload ~seed ?hello_timeout_ms ?run_timeout_ms
                         | Some c -> c.Fault.Plan.drestart_after
                         | None -> None))
               in
+              (* watchdog: a wedged run (a child that neither reports nor
+                 exits — stuck barrier, dead-peer redial loop) must fail in
+                 bounded time, distinguishably from an ordinary crash *)
               let deadline =
                 Unix.gettimeofday ()
-                +. (float (Option.value run_timeout_ms ~default:60_000)
-                    /. 1000.)
-                +. 30.
+                +.
+                match deadline_ms with
+                | Some d -> float d /. 1000.
+                | None ->
+                    (float (Option.value run_timeout_ms ~default:60_000)
+                     /. 1000.)
+                    +. 30.
               in
+              let wedged = ref false in
               let all_final () =
                 Array.for_all (fun s -> s.final <> None) slots
               in
@@ -414,12 +426,13 @@ let run ~n ~protocol ~workload ~seed ?hello_timeout_ms ?run_timeout_ms
               Array.iter
                 (fun s ->
                   if s.final = None then begin
+                    wedged := true;
                     (try Unix.kill s.pid Sys.sigkill
                      with Unix.Unix_error _ -> ());
                     (try ignore (Unix.waitpid [] s.pid)
                      with Unix.Unix_error _ -> ());
                     (try Unix.close s.rfd with Unix.Unix_error _ -> ());
-                    s.final <- Some (Crashed "supervisor timeout")
+                    s.final <- Some (Crashed "supervisor watchdog expired")
                   end)
                 slots;
               if keep_listeners then
@@ -451,7 +464,10 @@ let run ~n ~protocol ~workload ~seed ?hello_timeout_ms ?run_timeout_ms
                        | Finished _ -> None)
                 |> List.filter_map Fun.id
               in
-              if crashes <> [] then Error (String.concat "\n" crashes)
+              if crashes <> [] then
+                Error
+                  ((if !wedged then "wedged: " else "")
+                  ^ String.concat "\n" crashes)
               else
                 let node_results =
                   Array.map

@@ -75,6 +75,8 @@ val run :
   ?hello_timeout_ms:int ->
   ?run_timeout_ms:int ->
   ?quiet_ms:int ->
+  ?connect_timeout_ms:int ->
+  ?deadline_ms:int ->
   ?chaos:Repro_msgpass.Fault.Plan.t ->
   ?session:bool ->
   ?checkpoint_every_ms:int ->
@@ -91,6 +93,12 @@ val run :
     layer); an injected crash whose plan schedules no restart is an
     [Error].  [gc_space_overhead] is forwarded to every node process
     ({!Node.run}).
+
+    [connect_timeout_ms] caps each node's reconnection episodes to a dead
+    peer ({!Repro_transport.Live.config}); [deadline_ms] overrides the
+    supervisor watchdog (default [run_timeout_ms + 30 s]).  A run the
+    watchdog has to put down returns an [Error] prefixed ["wedged: "] —
+    the CLI maps it to a distinct exit code.
 
     [durable] engages the durability tier: each node gets its own WAL
     directory under [wal_dir] (kept afterwards) or a tmp root (removed),

@@ -81,9 +81,9 @@ let kind_text = function Op.Read -> "read" | Op.Write -> "write"
 
 let run ~self ~listen_fd ~peers ~protocol ~workload ~seed
     ?(hello_timeout_ms = 10_000) ?(run_timeout_ms = 60_000) ?(quiet_ms = 150)
-    ?chaos ?(session = false) ?(coalesce = 1) ?checkpoint
-    ?(checkpoint_every_ms = 100) ?(incarnation = 0) ?gc_space_overhead
-    ?durable () =
+    ?(connect_timeout_ms = 0) ?chaos ?(session = false) ?(coalesce = 1)
+    ?checkpoint ?(checkpoint_every_ms = 100) ?(incarnation = 0)
+    ?gc_space_overhead ?durable () =
   Option.iter
     (fun so ->
       if so < 1 then crashf "gc space overhead must be >= 1, got %d" so;
@@ -109,7 +109,8 @@ let run ~self ~listen_fd ~peers ~protocol ~workload ~seed
   in
   let lt =
     Live.create
-      { Live.self; n; peers; fingerprint; resilient = chaos <> None; incarnation }
+      { Live.self; n; peers; fingerprint; resilient = chaos <> None;
+        incarnation; connect_timeout_ms }
       ~listen_fd
   in
   let fail fmt =

@@ -63,6 +63,7 @@ val run :
   ?hello_timeout_ms:int ->
   ?run_timeout_ms:int ->
   ?quiet_ms:int ->
+  ?connect_timeout_ms:int ->
   ?chaos:Repro_msgpass.Fault.Plan.t ->
   ?session:bool ->
   ?coalesce:int ->
@@ -75,7 +76,9 @@ val run :
   result
 (** Defaults: 10 s hello timeout, 60 s run timeout, 150 ms quiet window
     (raised to ≥600 ms under chaos — the quiet window must outlast a full
-    retransmission backoff).  The [seed] stamps the fingerprint and seeds
+    retransmission backoff).  [connect_timeout_ms] caps each reconnection
+    episode to a dead peer (0 = retry until the run timeout; see
+    {!Repro_transport.Live.config}).  The [seed] stamps the fingerprint and seeds
     the session layer's jitter; workload scripts were already drawn when
     [workload] was built.  [coalesce > 1] sets the session layer's flush
     budget (forcing the session layer on); peers with different budgets

@@ -266,6 +266,7 @@ let run ~client_id ~peers ~events ~drain_plan ~duration_ms ~grace_ms
               Wire.kind = Wire.Creq;
               src;
               dst = ev.target;
+              epoch = 0;
               control_bytes = String.length body - payload;
               payload_bytes = payload;
               body;

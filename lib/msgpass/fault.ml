@@ -29,6 +29,8 @@ module Plan = struct
     drestart_after : int option;
   }
 
+  type reconfig = { rnode : int; at_ms : int }
+
   type plan = {
     seed : int;
     default_link : link;
@@ -36,6 +38,8 @@ module Plan = struct
     partitions : partition list;
     crashes : crash list;
     dcrashes : dcrash list;
+    joins : reconfig list;
+    leaves : reconfig list;
     delay_max : int;
   }
 
@@ -51,12 +55,14 @@ module Plan = struct
       partitions = [];
       crashes = [];
       dcrashes = [];
+      joins = [];
+      leaves = [];
       delay_max = 8;
     }
 
   let is_none t =
     t.default_link = clean && t.links = [] && t.partitions = []
-    && t.crashes = [] && t.dcrashes = []
+    && t.crashes = [] && t.dcrashes = [] && t.joins = [] && t.leaves = []
 
   let link_for t ~src ~dst =
     match List.assoc_opt (src, dst) t.links with
@@ -155,6 +161,23 @@ module Plan = struct
             invalid_arg (Printf.sprintf "%s: negative restart delay %d" ctx d)
         | _ -> ()))
       t.dcrashes;
+    let check_reconfig who events =
+      let seen = Hashtbl.create 4 in
+      List.iter
+        (fun r ->
+          check_node (who ^ " node") r.rnode;
+          if Hashtbl.mem seen r.rnode then
+            invalid_arg
+              (Printf.sprintf "%s: duplicate %s entry for node %d" ctx who
+                 r.rnode);
+          Hashtbl.add seen r.rnode ();
+          if r.at_ms < 0 then
+            invalid_arg
+              (Printf.sprintf "%s: negative %s time %d" ctx who r.at_ms))
+        events
+    in
+    check_reconfig "join" t.joins;
+    check_reconfig "leave" t.leaves;
     if t.delay_max < 1 then invalid_arg (ctx ^ ": delay_max must be >= 1")
 
   (* --- compact string syntax ------------------------------------------------
@@ -176,7 +199,10 @@ module Plan = struct
                            e.g. sync.pre, append.mid, rotate.log.created);
                            suffix the point with ! for power-cut semantics
                            (the log is truncated to its synced floor before
-                           the process dies); restart/omission as crash= *)
+                           the process dies); restart/omission as crash=
+       join=N@MS           node N joins the membership ring MS ms into the
+                           run (reconfiguration runtime only)
+       leave=N@MS          node N leaves the ring MS ms into the run *)
 
   let parse_float ctx s =
     match float_of_string_opt s with
@@ -341,6 +367,19 @@ module Plan = struct
                       | _ ->
                           failwith
                             (Printf.sprintf "%s: bad dcrash clause %S" ctx v))
+                  | "join" | "leave" -> (
+                      match split_on '@' v with
+                      | [ node; at ] ->
+                          let r =
+                            { rnode = parse_int ctx node;
+                              at_ms = parse_int ctx at }
+                          in
+                          if key = "join" then
+                            { plan with joins = plan.joins @ [ r ] }
+                          else { plan with leaves = plan.leaves @ [ r ] }
+                      | _ ->
+                          failwith
+                            (Printf.sprintf "%s: bad %s clause %S" ctx key v))
                   | _ ->
                       failwith (Printf.sprintf "%s: unknown clause %S" ctx key)))
             none (split_on ',' s)
@@ -393,5 +432,11 @@ module Plan = struct
               Printf.sprintf "dcrash=%d:%s@%d+%d" c.dnode point c.after_hits r
           | None -> Printf.sprintf "dcrash=%d:%s@%d" c.dnode point c.after_hits))
       t.dcrashes;
+    List.iter
+      (fun r -> add (Printf.sprintf "join=%d@%d" r.rnode r.at_ms))
+      t.joins;
+    List.iter
+      (fun r -> add (Printf.sprintf "leave=%d@%d" r.rnode r.at_ms))
+      t.leaves;
     match List.rev !buf with [] -> "none" | parts -> String.concat "," parts
 end

@@ -83,6 +83,11 @@ module Plan : sig
         (** Restart delay in ms; [None] means no restart. *)
   }
 
+  type reconfig = {
+    rnode : int;
+    at_ms : int;  (** When the membership event fires, ms into the run. *)
+  }
+
   type plan = {
     seed : int;
     default_link : link;
@@ -92,6 +97,11 @@ module Plan : sig
     dcrashes : dcrash list;
         (** Seeded crash-point schedule inside the durability write path;
             only meaningful when the run has a WAL. *)
+    joins : reconfig list;
+        (** Scripted membership: the node enters the consistent-hash ring at
+            [at_ms].  Consumed by the reconfiguration supervisor
+            ([repro_cluster]); inert for static runs. *)
+    leaves : reconfig list;  (** The node leaves the ring at [at_ms]. *)
     delay_max : int;  (** Max extra delay for reordered/duplicated copies. *)
   }
 
@@ -130,7 +140,8 @@ module Plan : sig
       [link=S>D:field=v:...], [part=T1..T2:A+B], [crash=N@K+R] (omit [+R]
       for no restart), [dcrash=N:POINT@K+R] (die at the [K]-th hit of the
       named durability crash point; suffix [POINT] with [!] for power-cut
-      semantics).  The result is validated. *)
+      semantics), [join=N\@MS], [leave=N\@MS] (scripted membership events
+      at MS ms into the run).  The result is validated. *)
 
   val to_string : t -> string
   (** Canonical round-trippable rendering ([parse (to_string t)] succeeds). *)

@@ -1,0 +1,232 @@
+(* Seeded consistent-hash ring with virtual nodes.  Placement must be
+   bit-identical across processes that share (seed, vnodes, members), so
+   every hash is a pure SplitMix64 finalizer over the inputs — no
+   Hashtbl.hash (layout-dependent), no wall clock, no global state. *)
+
+type t = {
+  seed : int;
+  vnodes : int;
+  members : int array;  (* ascending, non-empty *)
+  points : int array;  (* ring positions, ascending *)
+  point_owner : int array;  (* member contributing points.(i) *)
+}
+
+let seed t = t.seed
+let vnodes t = t.vnodes
+let members t = Array.to_list t.members
+let n_members t = Array.length t.members
+
+let is_member t m =
+  let rec go lo hi =
+    if lo >= hi then false
+    else
+      let mid = (lo + hi) / 2 in
+      if t.members.(mid) = m then true
+      else if t.members.(mid) < m then go (mid + 1) hi
+      else go lo mid
+  in
+  go 0 (Array.length t.members)
+
+(* SplitMix64 finalizer; result masked to OCaml's positive int range so
+   ring positions compare with plain (<). *)
+let mix64 z =
+  let open Int64 in
+  let z = mul (logxor z (shift_right_logical z 33)) 0xff51afd7ed558ccdL in
+  let z = mul (logxor z (shift_right_logical z 33)) 0xc4ceb9fe1a85ec53L in
+  logxor z (shift_right_logical z 33)
+
+let hash2 seed a b =
+  let open Int64 in
+  let h =
+    mix64
+      (add
+         (mix64 (add (of_int seed) 0x9e3779b97f4a7c15L))
+         (logxor (of_int a) (shift_left (of_int b) 20)))
+  in
+  to_int h land Stdlib.max_int
+
+let point_hash t member vnode = hash2 t.seed member (vnode + 1)
+let key_hash t x = hash2 t.seed x 0
+
+let rebuild seed vnodes members =
+  let n = Array.length members in
+  let total = n * vnodes in
+  let pts = Array.make total (0, 0) in
+  let t = { seed; vnodes; members; points = [||]; point_owner = [||] } in
+  Array.iteri
+    (fun i m ->
+      for v = 0 to vnodes - 1 do
+        pts.((i * vnodes) + v) <- (point_hash t m v, m)
+      done)
+    members;
+  (* ties broken by member id so equal hashes cannot make placement
+     depend on sort stability *)
+  Array.sort compare pts;
+  {
+    t with
+    points = Array.map fst pts;
+    point_owner = Array.map snd pts;
+  }
+
+let make ~seed ~vnodes ~members =
+  if vnodes < 1 then invalid_arg "Ring.make: vnodes < 1";
+  let members = Array.of_list members in
+  Array.sort compare members;
+  let n = Array.length members in
+  if n = 0 then invalid_arg "Ring.make: no members";
+  Array.iteri
+    (fun i m ->
+      if m < 0 || m > 0xFFFF then invalid_arg "Ring.make: member out of range";
+      if i > 0 && members.(i - 1) = m then
+        invalid_arg "Ring.make: duplicate member")
+    members;
+  rebuild seed vnodes members
+
+let add_member t m =
+  if m < 0 || m > 0xFFFF then invalid_arg "Ring.add_member: out of range";
+  if is_member t m then invalid_arg "Ring.add_member: already a member";
+  rebuild t.seed t.vnodes
+    (Array.of_list (List.sort compare (m :: Array.to_list t.members)))
+
+let remove_member t m =
+  if not (is_member t m) then invalid_arg "Ring.remove_member: not a member";
+  if Array.length t.members = 1 then
+    invalid_arg "Ring.remove_member: last member";
+  rebuild t.seed t.vnodes
+    (Array.of_list (List.filter (fun x -> x <> m) (Array.to_list t.members)))
+
+(* index of the first ring point >= h, wrapping to 0 past the end *)
+let successor t h =
+  let n = Array.length t.points in
+  let rec go lo hi = (* smallest i with points.(i) >= h, else n *)
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if t.points.(mid) < h then go (mid + 1) hi else go lo mid
+  in
+  let i = go 0 n in
+  if i = n then 0 else i
+
+let replicas t ~k x =
+  if k < 1 then invalid_arg "Ring.replicas: k < 1";
+  let want = min k (Array.length t.members) in
+  let n = Array.length t.points in
+  let start = successor t (key_hash t x) in
+  let picked = ref [] in
+  let count = ref 0 in
+  let i = ref start in
+  let steps = ref 0 in
+  while !count < want && !steps < n do
+    let m = t.point_owner.(!i) in
+    if not (List.mem m !picked) then begin
+      picked := m :: !picked;
+      incr count
+    end;
+    i := if !i + 1 = n then 0 else !i + 1;
+    incr steps
+  done;
+  List.sort compare !picked
+
+let owner t x =
+  let start = successor t (key_hash t x) in
+  t.point_owner.(start)
+
+let to_distribution t ~k ~n_procs ~n_vars =
+  Array.iter
+    (fun m ->
+      if m >= n_procs then
+        invalid_arg "Ring.to_distribution: member id >= n_procs")
+    t.members;
+  let per_proc = Array.make n_procs [] in
+  for x = n_vars - 1 downto 0 do
+    List.iter (fun m -> per_proc.(m) <- x :: per_proc.(m)) (replicas t ~k x)
+  done;
+  Distribution.make ~n_procs ~n_vars per_proc
+
+type balance = { b_min : int; b_max : int; b_mean : float; b_ratio : float }
+
+let load t ~k ~n_vars =
+  let counts = Hashtbl.create 16 in
+  Array.iter (fun m -> Hashtbl.replace counts m 0) t.members;
+  for x = 0 to n_vars - 1 do
+    List.iter
+      (fun m -> Hashtbl.replace counts m (Hashtbl.find counts m + 1))
+      (replicas t ~k x)
+  done;
+  List.map (fun m -> (m, Hashtbl.find counts m)) (Array.to_list t.members)
+
+let balance t ~k ~n_vars =
+  let loads = List.map snd (load t ~k ~n_vars) in
+  let b_min = List.fold_left min max_int loads in
+  let b_max = List.fold_left max 0 loads in
+  let k' = min k (Array.length t.members) in
+  let b_mean = float_of_int (k' * n_vars) /. float_of_int (n_members t) in
+  let b_ratio = if b_mean > 0.0 then float_of_int b_max /. b_mean else 1.0 in
+  { b_min; b_max; b_mean; b_ratio }
+
+let moved ~before ~after ~k ~n_vars =
+  let n = ref 0 in
+  for x = 0 to n_vars - 1 do
+    let old_set = replicas before ~k x in
+    List.iter
+      (fun m -> if not (List.mem m old_set) then incr n)
+      (replicas after ~k x)
+  done;
+  !n
+
+(* --- specs ------------------------------------------------------------------ *)
+
+type spec = { s_n : int; s_k : int; s_vnodes : int; s_seed : int }
+
+let spec_to_string s =
+  Printf.sprintf "hash:n=%d,k=%d,vnodes=%d,seed=%d" s.s_n s.s_k s.s_vnodes
+    s.s_seed
+
+let spec_of_string str =
+  let ( let* ) = Result.bind in
+  let* body =
+    match String.index_opt str ':' with
+    | Some i when String.sub str 0 i = "hash" ->
+        Ok (String.sub str (i + 1) (String.length str - i - 1))
+    | _ -> Error "ring spec must start with \"hash:\""
+  in
+  let* fields =
+    List.fold_left
+      (fun acc part ->
+        let* acc = acc in
+        match String.index_opt part '=' with
+        | None -> Error (Printf.sprintf "ring spec: missing '=' in %S" part)
+        | Some i -> (
+            let key = String.sub part 0 i in
+            let v = String.sub part (i + 1) (String.length part - i - 1) in
+            match int_of_string_opt v with
+            | None -> Error (Printf.sprintf "ring spec: bad value in %S" part)
+            | Some v -> Ok ((key, v) :: acc)))
+      (Ok [])
+      (String.split_on_char ',' (String.trim body))
+  in
+  let get key default = Option.value ~default (List.assoc_opt key fields) in
+  let* () =
+    match
+      List.find_opt
+        (fun (k, _) -> not (List.mem k [ "n"; "k"; "vnodes"; "seed" ]))
+        fields
+    with
+    | Some (k, _) -> Error (Printf.sprintf "ring spec: unknown key %S" k)
+    | None -> Ok ()
+  in
+  let s =
+    {
+      s_n = get "n" 0;
+      s_k = get "k" 2;
+      s_vnodes = get "vnodes" 64;
+      s_seed = get "seed" 0;
+    }
+  in
+  if s.s_n < 1 then Error "ring spec: n must be >= 1"
+  else if s.s_k < 1 then Error "ring spec: k must be >= 1"
+  else if s.s_vnodes < 1 then Error "ring spec: vnodes must be >= 1"
+  else Ok s
+
+let of_spec s =
+  make ~seed:s.s_seed ~vnodes:s.s_vnodes ~members:(List.init s.s_n Fun.id)

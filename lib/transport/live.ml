@@ -10,6 +10,9 @@ type config = {
   fingerprint : string;
   resilient : bool;
   incarnation : int;
+  connect_timeout_ms : int;
+      (* cap on one reconnection episode's retries; 0 = keep trying until
+         the run timeout cuts the loop (the pre-watchdog behaviour) *)
 }
 
 type reply =
@@ -19,6 +22,11 @@ type reply =
   body_len:int ->
   emit:(Bytes.t -> int -> int) ->
   unit
+
+(* Reply on the connection a membership/heartbeat frame arrived on —
+   the supervisor's control channel is an inbound connection, never part
+   of the peer mesh. *)
+type control_reply = kind:Wire.kind -> dst:int -> body:string -> unit
 
 (* A queue of encoded frames awaiting one scatter-gather flush: chunks of
    (pooled buffer, offset, length), with the partial-write cursor as
@@ -105,7 +113,10 @@ type t = {
   mutable timer_seq : int;
   mutable on_data_view : Wire.view -> unit;
   mutable on_client : (reply:reply -> Wire.view -> unit) option;
+  mutable on_control : (reply:control_reply -> Wire.view -> unit) option;
   mutable client_reqs : int;
+  mutable cur_epoch : int;  (* configuration epoch stamped into every frame *)
+  mutable stale_epochs : int;  (* data-plane frames dropped for an old epoch *)
   hello_seen : bool array;
   done_seen : bool array;
   mutable sent : int;
@@ -168,7 +179,10 @@ let create cfg ~listen_fd =
     timer_seq = 0;
     on_data_view = (fun _ -> ());
     on_client = None;
+    on_control = None;
     client_reqs = 0;
+    cur_epoch = 0;
+    stale_epochs = 0;
     hello_seen;
     done_seen;
     sent = 0;
@@ -257,14 +271,15 @@ let hello_frame t dst =
     Wire.kind = Wire.Hello;
     src = t.cfg.self;
     dst;
+    epoch = t.cur_epoch;
     control_bytes = 0;
     payload_bytes = 0;
     body = hello_body t;
   }
 
 let done_frame t dst =
-  { Wire.kind = Wire.Done; src = t.cfg.self; dst; control_bytes = 0;
-    payload_bytes = 0; body = "" }
+  { Wire.kind = Wire.Done; src = t.cfg.self; dst; epoch = t.cur_epoch;
+    control_bytes = 0; payload_bytes = 0; body = "" }
 
 (* --- batched link flushes -------------------------------------------------- *)
 
@@ -306,12 +321,16 @@ and mark_peer_lost t i =
   | None -> ());
   schedule_reconnect t i
 
-(* Bounded exponential backoff with jitter; attempts continue until the
-   node's own run timeout cuts the loop, so a slow restart is survived and
-   a permanent failure still terminates. *)
+(* Bounded exponential backoff with jitter.  With [connect_timeout_ms = 0]
+   attempts continue until the node's own run timeout cuts the loop, so a
+   slow restart is survived and a permanent failure still terminates; a
+   positive cap abandons the episode instead (the frames already count as
+   dropped, the membership layer's failure detector does the demoting),
+   and a later send to the peer opens a fresh episode. *)
 and schedule_reconnect t i =
   if not t.reconnect_pending.(i) then begin
     t.reconnect_pending.(i) <- true;
+    let started = now_ms t in
     let rec attempt ~delay () =
       match dial t.cfg.peers.(i) with
       | Ok fd ->
@@ -320,8 +339,13 @@ and schedule_reconnect t i =
           t.reconnects <- t.reconnects + 1;
           ignore (write_all t fd (Wire.encode (hello_frame t i)))
       | Error e when transient_connect_error e ->
-          let delay = min 500 (delay * 2) in
-          add_timer t ~delay:(delay + Rng.int t.jrng 20) (attempt ~delay)
+          if
+            t.cfg.connect_timeout_ms > 0
+            && now_ms t - started >= t.cfg.connect_timeout_ms
+          then t.reconnect_pending.(i) <- false
+          else
+            let delay = min 500 (delay * 2) in
+            add_timer t ~delay:(delay + Rng.int t.jrng 20) (attempt ~delay)
       | Error e ->
           t.reconnect_pending.(i) <- false;
           if not t.draining then
@@ -462,8 +486,68 @@ let conn_reply t c ~dst ~control_bytes ~payload_bytes ~body_len ~emit =
     t.activity <- t.activity + 1
   end
 
+(* Queue a control-plane frame (membership, heartbeat) on an inbound
+   connection.  Low-rate traffic: a fresh pooled buffer per frame is fine. *)
+let conn_control t c ~kind ~dst ~body =
+  let body_len = String.length body in
+  let total = Wire.body_offset + body_len in
+  let buf =
+    if t.legacy then Bytes.create total else Wire.Pool.acquire t.pool total
+  in
+  Wire.set_header buf ~kind ~src:t.cfg.self ~dst ~epoch:t.cur_epoch
+    ~control_bytes:0 ~payload_bytes:0 ~body_len;
+  Bytes.blit_string body 0 buf Wire.body_offset body_len;
+  if t.legacy then begin
+    match
+      write_all t c.fd (if Bytes.length buf = total then buf else Bytes.sub buf 0 total)
+    with
+    | ok -> if ok then t.activity <- t.activity + 1
+    | exception Unix.Unix_error _ -> ()
+  end
+  else begin
+    if not c.cq_dirty then begin
+      c.cq_dirty <- true;
+      t.dirty_conns <- c :: t.dirty_conns
+    end;
+    Outq.push c.cq (buf, 0, total);
+    t.activity <- t.activity + 1
+  end
+
+(* Same, over the peer mesh (a member pushing Transfer frames to a peer). *)
+let send_control t ~dst ~kind ~body =
+  if dst < 0 || dst >= t.cfg.n then invalid_arg "live: bad control dst";
+  let body_len = String.length body in
+  let total = Wire.body_offset + body_len in
+  let buf = Wire.Pool.acquire t.pool total in
+  Wire.set_header buf ~kind ~src:t.cfg.self ~dst ~epoch:t.cur_epoch
+    ~control_bytes:0 ~payload_bytes:0 ~body_len;
+  Bytes.blit_string body 0 buf Wire.body_offset body_len;
+  enqueue_peer t dst buf total
+
 let dispatch ?conn t (v : Wire.view) =
   match v.Wire.v_kind with
+  | Wire.Join | Wire.Leave | Wire.Transfer | Wire.Epoch | Wire.Ping
+  | Wire.Pong -> (
+      (* membership / heartbeat control plane: src may be the supervisor's
+         sentinel id (outside the node range), and the reply goes back on
+         the connection the frame arrived on.  A Transfer stamped with an
+         epoch older than ours is a straggler from a superseded
+         configuration: reject it here, at the seam, and count it.  The
+         other control kinds must cross epochs — they are how a node
+         {e learns} of a newer epoch (or how the supervisor spots a stale
+         one), so they pass through and the handler decides. *)
+      t.activity <- t.activity + 1;
+      if v.Wire.v_kind = Wire.Transfer && v.Wire.v_epoch < t.cur_epoch then
+        t.stale_epochs <- t.stale_epochs + 1
+      else
+        match (t.on_control, conn) with
+        | Some handler, Some c ->
+            handler
+              ~reply:(fun ~kind ~dst ~body -> conn_control t c ~kind ~dst ~body)
+              v
+        | Some handler, None ->
+            handler ~reply:(fun ~kind:_ ~dst:_ ~body:_ -> ()) v
+        | None, _ -> () (* static cluster: stray control frames are inert *))
   | Wire.Creq -> (
       (* client traffic: src is a client id, deliberately outside the node
          range, and the reply goes back on the connection the request came
@@ -496,7 +580,17 @@ let dispatch ?conn t (v : Wire.view) =
             refresh_peer t v.Wire.v_src
           end
       | Wire.Done -> t.done_seen.(v.Wire.v_src) <- true
-      | Wire.Data -> t.on_data_view v)
+      | Wire.Data ->
+          (* epoch fence: a data frame from a configuration older than
+             ours (a peer that has not heard of the reconfiguration, or a
+             crashed node recovering at its pre-crash epoch) is dropped
+             and counted, never delivered *)
+          if v.Wire.v_epoch < t.cur_epoch then
+            t.stale_epochs <- t.stale_epochs + 1
+          else t.on_data_view v
+      | Wire.Join | Wire.Leave | Wire.Transfer | Wire.Epoch | Wire.Ping
+      | Wire.Pong ->
+          assert false)
 
 let fire_due t =
   let fired = ref false in
@@ -690,6 +784,16 @@ let set_client_handler t h = t.on_client <- Some h
 
 let client_reqs t = t.client_reqs
 
+let set_control_handler t h = t.on_control <- Some h
+
+let set_epoch t e =
+  if e < 0 || e > 0xFFFF then invalid_arg "Live.set_epoch";
+  if e > t.cur_epoch then t.cur_epoch <- e
+
+let current_epoch t = t.cur_epoch
+
+let stale_epochs t = t.stale_epochs
+
 (* Data bodies on the fast path: 4-byte send timestamp, then the
    codec-encoded message, parsed in place on receive.  Without a codec
    (tests, arbitrary message types) the body is the marshalled pair, as
@@ -803,8 +907,8 @@ let factory t =
                     let body_len = send_time_bytes + c.Codec.size msg in
                     let total = Wire.body_offset + body_len in
                     let buf = Wire.Pool.acquire t.pool total in
-                    Wire.set_header buf ~kind:Wire.Data ~src ~dst ~control_bytes
-                      ~payload_bytes ~body_len;
+                    Wire.set_header buf ~kind:Wire.Data ~src ~dst
+                      ~epoch:t.cur_epoch ~control_bytes ~payload_bytes ~body_len;
                     let off = Codec.put_i32 buf Wire.body_offset now in
                     let off = c.Codec.emit buf off msg in
                     if off <> total then
@@ -829,8 +933,8 @@ let factory t =
               | None ->
                   let body = Marshal.to_string (now, msg) [] in
                   let fr =
-                    { Wire.kind = Wire.Data; src; dst; control_bytes;
-                      payload_bytes; body }
+                    { Wire.kind = Wire.Data; src; dst; epoch = t.cur_epoch;
+                      control_bytes; payload_bytes; body }
                   in
                   if dst = self then begin
                     t.activity <- t.activity + 1;
@@ -853,8 +957,8 @@ let factory t =
                     let body_len = String.length body in
                     let total = Wire.body_offset + body_len in
                     let buf = Wire.Pool.acquire t.pool total in
-                    Wire.set_header buf ~kind:Wire.Data ~src ~dst ~control_bytes
-                      ~payload_bytes ~body_len;
+                    Wire.set_header buf ~kind:Wire.Data ~src ~dst
+                      ~epoch:t.cur_epoch ~control_bytes ~payload_bytes ~body_len;
                     Bytes.blit_string body 0 buf Wire.body_offset body_len;
                     enqueue_peer t dst buf total
                   end);

@@ -62,6 +62,11 @@ type config = {
   incarnation : int;
       (** 0 for a first launch; a respawned node advertises its restart
           count in its [Hello] so peers refresh their outbound links. *)
+  connect_timeout_ms : int;
+      (** Watchdog cap on one reconnection episode: a resilient node stops
+          redialing a dead peer after this many milliseconds (the next
+          send to it opens a fresh episode).  [0] keeps the pre-watchdog
+          behaviour — retry until the run timeout cuts the loop. *)
 }
 
 type t
@@ -154,5 +159,41 @@ val set_client_handler : t -> (reply:reply -> Wire.view -> unit) -> unit
 
 val client_reqs : t -> int
 (** [Creq] frames dispatched so far. *)
+
+(** {1 Membership control plane}
+
+    Reconfiguration frames ([Join]/[Leave]/[Transfer]/[Epoch]/
+    [Ping]/[Pong]) ride the same sockets as everything else but never
+    enter the protocol transport or its accounting.  The epoch fence
+    lives here, at the seam: every outgoing frame is stamped with
+    {!current_epoch}, and an incoming [Data] or [Transfer] frame stamped
+    older is dropped and counted in {!stale_epochs} — a node that missed
+    a reconfiguration cannot corrupt post-change state.  The remaining
+    control kinds cross epochs freely (they are how nodes {e learn} of a
+    newer epoch). *)
+
+type control_reply = kind:Wire.kind -> dst:int -> body:string -> unit
+(** Send one control frame back on the connection the triggering frame
+    arrived on — the supervisor's control channel is an inbound
+    connection, not a peer link. *)
+
+val set_control_handler :
+  t -> (reply:control_reply -> Wire.view -> unit) -> unit
+(** Install the membership runtime.  Without a handler, control frames
+    are inert (static clusters).  As with the client front door, parse
+    the view's body before returning. *)
+
+val send_control : t -> dst:int -> kind:Wire.kind -> body:string -> unit
+(** Queue a control frame to peer [dst] over the mesh (state transfer
+    between members).  Not counted in protocol stats. *)
+
+val set_epoch : t -> int -> unit
+(** Raise this node's configuration epoch (monotonic: lowering is a
+    no-op).  @raise Invalid_argument outside [0, 0xFFFF]. *)
+
+val current_epoch : t -> int
+
+val stale_epochs : t -> int
+(** Frames rejected by the epoch fence so far. *)
 
 val close : t -> unit

@@ -1,9 +1,21 @@
-type kind = Data | Hello | Done | Creq | Cresp
+type kind =
+  | Data
+  | Hello
+  | Done
+  | Creq
+  | Cresp
+  | Join
+  | Leave
+  | Transfer
+  | Epoch
+  | Ping
+  | Pong
 
 type frame = {
   kind : kind;
   src : int;
   dst : int;
+  epoch : int;
   control_bytes : int;
   payload_bytes : int;
   body : string;
@@ -12,7 +24,7 @@ type frame = {
 let magic = 0xD5
 
 (* header bytes counted by the length field (magic..payload_bytes) *)
-let header_bytes = 14
+let header_bytes = 16
 
 (* where a frame body starts inside a buffer holding the whole frame,
    length prefix included *)
@@ -26,6 +38,12 @@ let kind_byte = function
   | Done -> 2
   | Creq -> 3
   | Cresp -> 4
+  | Join -> 5
+  | Leave -> 6
+  | Transfer -> 7
+  | Epoch -> 8
+  | Ping -> 9
+  | Pong -> 10
 
 let kind_of_byte = function
   | 0 -> Some Data
@@ -33,6 +51,12 @@ let kind_of_byte = function
   | 2 -> Some Done
   | 3 -> Some Creq
   | 4 -> Some Cresp
+  | 5 -> Some Join
+  | 6 -> Some Leave
+  | 7 -> Some Transfer
+  | 8 -> Some Epoch
+  | 9 -> Some Ping
+  | 10 -> Some Pong
   | _ -> None
 
 (* Write the length prefix and header into [buf.(0..body_offset-1)]; the
@@ -40,9 +64,11 @@ let kind_of_byte = function
    the regions are disjoint).  This is the zero-copy encode path: the
    same buffer goes straight to the socket, so no per-frame allocation
    happens once the buffer itself comes from a pool. *)
-let set_header buf ~kind ~src ~dst ~control_bytes ~payload_bytes ~body_len =
+let set_header ?(epoch = 0) buf ~kind ~src ~dst ~control_bytes ~payload_bytes
+    ~body_len =
   if src < 0 || src > 0xFFFF then invalid_arg "Wire.set_header: bad src";
   if dst < 0 || dst > 0xFFFF then invalid_arg "Wire.set_header: bad dst";
+  if epoch < 0 || epoch > 0xFFFF then invalid_arg "Wire.set_header: bad epoch";
   if control_bytes < 0 || control_bytes > 0x7FFFFFFF then
     invalid_arg "Wire.set_header: bad control byte count";
   if payload_bytes < 0 || payload_bytes > 0x7FFFFFFF then
@@ -55,15 +81,16 @@ let set_header buf ~kind ~src ~dst ~control_bytes ~payload_bytes ~body_len =
   Bytes.set_uint8 buf 5 (kind_byte kind);
   Bytes.set_uint16_be buf 6 src;
   Bytes.set_uint16_be buf 8 dst;
-  Bytes.set_int32_be buf 10 (Int32.of_int control_bytes);
-  Bytes.set_int32_be buf 14 (Int32.of_int payload_bytes)
+  Bytes.set_uint16_be buf 10 epoch;
+  Bytes.set_int32_be buf 12 (Int32.of_int control_bytes);
+  Bytes.set_int32_be buf 16 (Int32.of_int payload_bytes)
 
 let encode frame =
   let body_len = String.length frame.body in
   let buf = Bytes.create (body_offset + body_len) in
   set_header buf ~kind:frame.kind ~src:frame.src ~dst:frame.dst
-    ~control_bytes:frame.control_bytes ~payload_bytes:frame.payload_bytes
-    ~body_len;
+    ~epoch:frame.epoch ~control_bytes:frame.control_bytes
+    ~payload_bytes:frame.payload_bytes ~body_len;
   Bytes.blit_string frame.body 0 buf body_offset body_len;
   buf
 
@@ -128,6 +155,7 @@ type view = {
   v_kind : kind;
   v_src : int;
   v_dst : int;
+  v_epoch : int;
   v_control_bytes : int;
   v_payload_bytes : int;
   v_buf : Bytes.t;
@@ -145,8 +173,8 @@ let view_at buf off len =
     match kind_of_byte (Bytes.get_uint8 buf (off + 5)) with
     | None -> Error "unknown frame kind"
     | Some kind ->
-        let control_bytes = Int32.to_int (Bytes.get_int32_be buf (off + 10)) in
-        let payload_bytes = Int32.to_int (Bytes.get_int32_be buf (off + 14)) in
+        let control_bytes = Int32.to_int (Bytes.get_int32_be buf (off + 12)) in
+        let payload_bytes = Int32.to_int (Bytes.get_int32_be buf (off + 16)) in
         if control_bytes < 0 || payload_bytes < 0 then
           Error "negative byte count"
         else
@@ -155,6 +183,7 @@ let view_at buf off len =
               v_kind = kind;
               v_src = Bytes.get_uint16_be buf (off + 6);
               v_dst = Bytes.get_uint16_be buf (off + 8);
+              v_epoch = Bytes.get_uint16_be buf (off + 10);
               v_control_bytes = control_bytes;
               v_payload_bytes = payload_bytes;
               v_buf = buf;
@@ -167,6 +196,7 @@ let frame_of_view v =
     kind = v.v_kind;
     src = v.v_src;
     dst = v.v_dst;
+    epoch = v.v_epoch;
     control_bytes = v.v_control_bytes;
     payload_bytes = v.v_payload_bytes;
     body = view_body v;

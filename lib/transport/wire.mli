@@ -7,12 +7,15 @@
       offset 0   4 bytes  length L (bytes following the length field)
       offset 4   1 byte   magic 0xD5
       offset 5   1 byte   kind (0 = data, 1 = hello, 2 = done,
-                                3 = client request, 4 = client response)
+                                3 = client request, 4 = client response,
+                                5 = join, 6 = leave, 7 = state transfer,
+                                8 = epoch commit, 9 = ping, 10 = pong)
       offset 6   2 bytes  src node id
       offset 8   2 bytes  dst node id
-      offset 10  4 bytes  declared control bytes
-      offset 14  4 bytes  declared payload bytes
-      offset 18  L-14 bytes  body
+      offset 10  2 bytes  configuration epoch
+      offset 12  4 bytes  declared control bytes
+      offset 16  4 bytes  declared payload bytes
+      offset 20  L-16 bytes  body
     v}
 
     The [control_bytes]/[payload_bytes] fields carry the {e declared}
@@ -27,18 +30,40 @@
     [src]/[dst] above the node-id range, so a frame's addressing never
     collides with a peer's.
 
+    The [epoch] field fences reconfiguration: every frame carries its
+    sender's configuration epoch, and a live node drops (and counts)
+    data-plane frames stamped with an older epoch than its own — a node
+    that has not yet heard about a membership change cannot corrupt
+    post-change state.  Static clusters carry epoch 0 forever.
+    [Join]/[Leave] announce a new member set, [Transfer] carries
+    migrated variable state, [Epoch] commits the new configuration, and
+    [Ping]/[Pong] form the heartbeat used for failure detection and
+    epoch-readiness polling (the membership runtime in [repro_cluster]).
+
     {b Hot path.}  Frames are built in place: {!Pool.acquire} a buffer,
     emit the body at {!body_offset}, {!set_header}, hand the buffer to
     the batched link flush, {!Pool.release} after the write.  On receive,
     {!next_view} exposes a completed frame's body {e inside} the
     decoder's buffer so message parsing copies nothing. *)
 
-type kind = Data | Hello | Done | Creq | Cresp
+type kind =
+  | Data
+  | Hello
+  | Done
+  | Creq
+  | Cresp
+  | Join
+  | Leave
+  | Transfer
+  | Epoch
+  | Ping
+  | Pong
 
 type frame = {
   kind : kind;
   src : int;
   dst : int;
+  epoch : int;
   control_bytes : int;
   payload_bytes : int;
   body : string;
@@ -50,9 +75,10 @@ val max_frame_bytes : int
 
 val body_offset : int
 (** Where a frame body starts in a buffer holding the full frame, length
-    prefix included (18). *)
+    prefix included (20). *)
 
 val set_header :
+  ?epoch:int ->
   Bytes.t ->
   kind:kind ->
   src:int ->
@@ -121,6 +147,7 @@ type view = {
   v_kind : kind;
   v_src : int;
   v_dst : int;
+  v_epoch : int;
   v_control_bytes : int;
   v_payload_bytes : int;
   v_buf : Bytes.t;  (** the decoder's internal buffer *)

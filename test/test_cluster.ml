@@ -289,6 +289,76 @@ let test_invalid_plan_rejected () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "out-of-range crash node accepted"
 
+(* --- reconfiguration -------------------------------------------------------- *)
+
+module Reconfig = Repro_cluster.Reconfig
+module Member = Repro_cluster.Member
+
+let reconfig_ok ?writes ?demote_after_ms ?deadline_ms ~chaos () =
+  match
+    Reconfig.run ~n:5 ~k:2 ~vnodes:64 ~n_vars:24 ~seed:11 ?writes
+      ?demote_after_ms ?deadline_ms ~chaos:(plan_of chaos) ()
+  with
+  | Ok o -> o
+  | Error msg -> Alcotest.failf "reconfig run failed: %s" msg
+
+(* the acceptance scenario: one join, one leave, and a crash injected
+   mid-state-transfer (crash=0@5 counts node 0's migration-record
+   sends), all from one seeded plan *)
+let test_reconfig_join_leave_crash () =
+  let o =
+    reconfig_ok ~writes:30 ~chaos:"seed=7,join=4@250,leave=1@600,crash=0@5+300"
+      ()
+  in
+  check Alcotest.int "two epochs committed" 2 o.Reconfig.committed_epoch;
+  check Alcotest.(list int) "final members" [ 0; 2; 3; 4 ] o.Reconfig.members;
+  check Alcotest.bool "crash fired mid-migration" true (o.Reconfig.restarts >= 1);
+  check Alcotest.bool "advertised criterion holds" true
+    (o.Reconfig.verdict = Checker.Consistent);
+  check Alcotest.bool "minimal movement gate" true o.Reconfig.moved_ok;
+  check Alcotest.bool "state actually transferred" true (o.Reconfig.transfers > 0);
+  check Alcotest.int "no variable degraded to Init" 0 o.Reconfig.init_fallbacks;
+  (* the joiner wrote from the start (writers are fixed); every node's
+     recorded epoch reached the final commit *)
+  Array.iter
+    (fun r ->
+      check Alcotest.int
+        (Printf.sprintf "node %d at final epoch" r.Member.node)
+        2 r.Member.committed_epoch)
+    o.Reconfig.node_results
+
+(* a crashed member with no restart scheduled is demoted by the failure
+   detector and its operations salvaged from the WAL it left behind, so
+   the history stays closed under reads-from *)
+let test_reconfig_demotion_salvage () =
+  (* [crash=0@3] counts migration-record sends, so the join is what arms
+     it: node 0 dies as a donor, mid-transfer, and never comes back *)
+  let o =
+    reconfig_ok ~writes:30 ~demote_after_ms:800
+      ~chaos:"seed=7,join=4@250,crash=0@3" ()
+  in
+  check Alcotest.bool "node 0 demoted" true
+    (List.exists
+       (fun e -> e.Reconfig.ev_kind = "demote" && e.Reconfig.ev_node = 0)
+       o.Reconfig.events);
+  check Alcotest.bool "members exclude the dead node" true
+    (not (List.mem 0 o.Reconfig.members));
+  check Alcotest.(list int) "ops salvaged from its WAL" [ 0 ] o.Reconfig.salvaged;
+  check Alcotest.bool "history still consistent" true
+    (o.Reconfig.verdict = Checker.Consistent)
+
+let test_reconfig_wedged_deadline () =
+  match
+    Reconfig.run ~n:5 ~k:2 ~vnodes:64 ~n_vars:24 ~seed:11 ~writes:500
+      ~deadline_ms:400 ()
+  with
+  | Ok _ -> Alcotest.fail "a 400 ms deadline cannot finish 500 paced writes"
+  | Error msg ->
+      check Alcotest.bool
+        (Printf.sprintf "error %S carries the wedged prefix" msg)
+        true
+        (String.length msg >= 7 && String.sub msg 0 7 = "wedged:")
+
 let test_workload_spec_deterministic () =
   (* the parity argument rests on spec construction being pure replay *)
   let fingerprint () =
@@ -332,6 +402,15 @@ let () =
             `Quick test_chaos_sim_protocol_parity;
           Alcotest.test_case "invalid plan rejected" `Quick
             test_invalid_plan_rejected;
+        ] );
+      ( "reconfig",
+        [
+          Alcotest.test_case "join + leave + crash mid-migration" `Quick
+            test_reconfig_join_leave_crash;
+          Alcotest.test_case "demotion + WAL salvage" `Quick
+            test_reconfig_demotion_salvage;
+          Alcotest.test_case "wedged run put down by deadline" `Quick
+            test_reconfig_wedged_deadline;
         ] );
       ( "guards",
         [

@@ -212,6 +212,7 @@ let frame body =
     Wire.kind = Wire.Data;
     src = 0;
     dst = 1;
+    epoch = 0;
     control_bytes = 8;
     payload_bytes = 8;
     body;

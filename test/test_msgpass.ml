@@ -345,6 +345,41 @@ let test_plan_partition_window () =
   check Alcotest.bool "outside-group traffic flows" false (cut ~now:250 ~src:1 ~dst:3);
   check Alcotest.bool "healed at until_t" false (cut ~now:400 ~src:0 ~dst:1)
 
+let test_plan_membership_events () =
+  let p = plan_of "seed=7,join=4@250,leave=1@600,crash=0@5+300" in
+  (match p.Fault.Plan.joins with
+  | [ j ] ->
+      check Alcotest.int "join node" 4 j.Fault.Plan.rnode;
+      check Alcotest.int "join at" 250 j.Fault.Plan.at_ms
+  | l -> Alcotest.failf "expected one join, got %d" (List.length l));
+  (match p.Fault.Plan.leaves with
+  | [ l ] ->
+      check Alcotest.int "leave node" 1 l.Fault.Plan.rnode;
+      check Alcotest.int "leave at" 600 l.Fault.Plan.at_ms
+  | l -> Alcotest.failf "expected one leave, got %d" (List.length l));
+  (* membership clauses survive the canonical round trip *)
+  let rendered = Fault.Plan.to_string p in
+  check Alcotest.string "fixed point" rendered
+    (Fault.Plan.to_string (plan_of rendered));
+  (* a joiner is outside the initial ring, so validate must accept node
+     ids up to n (the post-join size), and reject nonsense *)
+  Alcotest.(check bool) "join=n accepted" true
+    (match Fault.Plan.validate ~n:5 p with () -> true);
+  List.iter
+    (fun text ->
+      match Fault.Plan.parse text with
+      | Error _ -> ()
+      | Ok p -> (
+          match Fault.Plan.validate ~n:3 p with
+          | exception Invalid_argument _ -> ()
+          | () -> Alcotest.failf "accepted invalid membership plan %S" text))
+    [
+      "join=1@-5";            (* negative time *)
+      "join=abc@10";          (* not a node id *)
+      "join=1@10,join=1@20";  (* duplicate joiner *)
+      "leave=9@10";           (* out of range for n=3 *)
+    ]
+
 let test_plan_link_seed_streams () =
   let p = plan_of "seed=7,drop=0.1" in
   check Alcotest.bool "per-link streams differ" true
@@ -531,6 +566,8 @@ let () =
           Alcotest.test_case "validate range-checks nodes" `Quick
             test_plan_validate_range_checks;
           Alcotest.test_case "partition windows" `Quick test_plan_partition_window;
+          Alcotest.test_case "membership events" `Quick
+            test_plan_membership_events;
           Alcotest.test_case "per-link seed streams" `Quick
             test_plan_link_seed_streams;
           test_net_fault_seed_hygiene;

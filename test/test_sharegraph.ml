@@ -358,6 +358,161 @@ let test_theorem2_property =
                ~hoop:[ 0; 1; 2; 3 ]
              = None))
 
+(* --- consistent-hash ring --------------------------------------------------- *)
+
+module Ring = Repro_sharegraph.Ring
+
+let ring_load r ~k ~n_vars m =
+  try List.assoc m (Ring.load r ~k ~n_vars) with Not_found -> 0
+
+let test_ring_basic () =
+  let r = Ring.make ~seed:7 ~vnodes:64 ~members:[ 0; 1; 2; 3; 4 ] in
+  check Alcotest.(list int) "members" [ 0; 1; 2; 3; 4 ] (Ring.members r);
+  check Alcotest.int "n_members" 5 (Ring.n_members r);
+  check Alcotest.bool "is_member" true (Ring.is_member r 3);
+  check Alcotest.bool "not member" false (Ring.is_member r 5);
+  let reps = Ring.replicas r ~k:2 17 in
+  check Alcotest.int "k replicas" 2 (List.length reps);
+  check Alcotest.bool "owner in replicas" true
+    (List.mem (Ring.owner r 17) reps);
+  check Alcotest.(list int) "ascending" (List.sort compare reps) reps;
+  check Alcotest.bool "replicas are members" true
+    (List.for_all (Ring.is_member r) reps)
+
+let test_ring_validation () =
+  let raises f =
+    match f () with
+    | exception Invalid_argument _ -> true
+    | _ -> false
+  in
+  check Alcotest.bool "empty members" true
+    (raises (fun () -> Ring.make ~seed:0 ~vnodes:8 ~members:[]));
+  check Alcotest.bool "duplicate member" true
+    (raises (fun () -> Ring.make ~seed:0 ~vnodes:8 ~members:[ 1; 1 ]));
+  check Alcotest.bool "vnodes < 1" true
+    (raises (fun () -> Ring.make ~seed:0 ~vnodes:0 ~members:[ 0 ]));
+  let r = Ring.make ~seed:0 ~vnodes:8 ~members:[ 0; 1 ] in
+  check Alcotest.bool "re-add member" true
+    (raises (fun () -> Ring.add_member r 1));
+  check Alcotest.bool "remove absent" true
+    (raises (fun () -> Ring.remove_member r 7));
+  let solo = Ring.make ~seed:0 ~vnodes:8 ~members:[ 3 ] in
+  check Alcotest.bool "remove last member" true
+    (raises (fun () -> Ring.remove_member solo 3))
+
+let test_ring_spec_roundtrip () =
+  match Ring.spec_of_string "hash:n=5,k=2,vnodes=64,seed=7" with
+  | Error e -> Alcotest.fail e
+  | Ok s ->
+      check Alcotest.int "n" 5 s.Ring.s_n;
+      check Alcotest.int "k" 2 s.Ring.s_k;
+      let s' =
+        Result.get_ok (Ring.spec_of_string (Ring.spec_to_string s))
+      in
+      check Alcotest.bool "round trip" true (s = s');
+      check Alcotest.bool "bad spec rejected" true
+        (Result.is_error (Ring.spec_of_string "hash:k=2"));
+      check Alcotest.bool "garbage rejected" true
+        (Result.is_error (Ring.spec_of_string "nonsense"))
+
+let test_ring_to_distribution () =
+  let r = Ring.make ~seed:3 ~vnodes:32 ~members:[ 0; 1; 2; 3 ] in
+  let d = Ring.to_distribution r ~k:2 ~n_procs:4 ~n_vars:10 in
+  List.iter
+    (fun x ->
+      check Alcotest.(list int)
+        (Printf.sprintf "holders x%d" x)
+        (Ring.replicas r ~k:2 x)
+        (Distribution.holders d x))
+    (List.init 10 Fun.id)
+
+(* more vnodes smooth the placement: averaged over pinned seeds the
+   max/mean load ratio must improve monotonically from 1 vnode to 64 —
+   deterministic because hashing is a pure function of (seed, input) *)
+let test_ring_vnodes_improve_balance () =
+  let avg_ratio vnodes =
+    let acc = ref 0.0 in
+    for seed = 0 to 49 do
+      let r = Ring.make ~seed ~vnodes ~members:(List.init 5 Fun.id) in
+      acc := !acc +. (Ring.balance r ~k:2 ~n_vars:64).Ring.b_ratio
+    done;
+    !acc /. 50.0
+  in
+  let r1 = avg_ratio 1 and r8 = avg_ratio 8 and r64 = avg_ratio 64 in
+  check Alcotest.bool
+    (Printf.sprintf "ratio improves: %.3f > %.3f > %.3f" r1 r8 r64)
+    true
+    (r1 > r8 && r8 > r64)
+
+let ring_params =
+  QCheck.(
+    quad small_int (int_range 1 8) (int_range 1 3) (int_range 1 3))
+
+let test_ring_deterministic =
+  qcheck
+    (QCheck.Test.make ~name:"ring_placement_deterministic" ~count:100
+       ring_params
+       (fun (seed, n, k, vn) ->
+         let vnodes = vn * 21 in
+         let members = List.init n Fun.id in
+         let a = Ring.make ~seed ~vnodes ~members in
+         let b = Ring.make ~seed ~vnodes ~members in
+         List.for_all
+           (fun x -> Ring.replicas a ~k x = Ring.replicas b ~k x)
+           (List.init 32 Fun.id)))
+
+let test_ring_replica_shape =
+  qcheck
+    (QCheck.Test.make ~name:"ring_replica_set_shape" ~count:100 ring_params
+       (fun (seed, n, k, vn) ->
+         let r = Ring.make ~seed ~vnodes:(vn * 21) ~members:(List.init n Fun.id) in
+         List.for_all
+           (fun x ->
+             let reps = Ring.replicas r ~k x in
+             List.length reps = min k n
+             && List.mem (Ring.owner r x) reps
+             && List.sort_uniq compare reps = reps)
+           (List.init 32 Fun.id)))
+
+(* with 64 vnodes the heaviest member stays within 2.5x of the mean —
+   the load-balance bound the vnode count buys (probed worst case over
+   1400 parameter combinations: 2.08) *)
+let test_ring_balance_bound =
+  qcheck
+    (QCheck.Test.make ~name:"ring_balance_bound_at_64_vnodes" ~count:100
+       QCheck.(pair small_int (int_range 2 8))
+       (fun (seed, n) ->
+         let r = Ring.make ~seed ~vnodes:64 ~members:(List.init n Fun.id) in
+         let b = Ring.balance r ~k:2 ~n_vars:64 in
+         b.Ring.b_ratio <= 2.5))
+
+(* minimal movement, exactly: a join moves precisely the assignments the
+   joiner picks up (nothing shuffles between survivors), and a leave
+   moves precisely what the leaver held — provided membership stays
+   above k, so replica sets are proper subsets *)
+let test_ring_join_minimal_movement =
+  qcheck
+    (QCheck.Test.make ~name:"ring_join_moves_exactly_joiner_load" ~count:100
+       ring_params
+       (fun (seed, n, k, vn) ->
+         let vnodes = vn * 21 in
+         let before = Ring.make ~seed ~vnodes ~members:(List.init n Fun.id) in
+         let after = Ring.add_member before n in
+         Ring.moved ~before ~after ~k ~n_vars:48
+         = ring_load after ~k ~n_vars:48 n))
+
+let test_ring_leave_minimal_movement =
+  qcheck
+    (QCheck.Test.make ~name:"ring_leave_moves_exactly_leaver_load" ~count:100
+       ring_params
+       (fun (seed, n, k, vn) ->
+         QCheck.assume (n > k);
+         let vnodes = vn * 21 in
+         let before = Ring.make ~seed ~vnodes ~members:(List.init n Fun.id) in
+         let after = Ring.remove_member before 0 in
+         Ring.moved ~before ~after ~k ~n_vars:48
+         = ring_load before ~k ~n_vars:48 0))
+
 let () =
   Alcotest.run "repro_sharegraph"
     [
@@ -394,6 +549,20 @@ let () =
             test_star_distribution_hoop_free;
           Alcotest.test_case "grid distribution hoops" `Quick
             test_grid_distribution_hoops;
+        ] );
+      ( "ring",
+        [
+          Alcotest.test_case "basic" `Quick test_ring_basic;
+          Alcotest.test_case "validation" `Quick test_ring_validation;
+          Alcotest.test_case "spec round trip" `Quick test_ring_spec_roundtrip;
+          Alcotest.test_case "to_distribution" `Quick test_ring_to_distribution;
+          Alcotest.test_case "vnodes improve balance" `Quick
+            test_ring_vnodes_improve_balance;
+          test_ring_deterministic;
+          test_ring_replica_shape;
+          test_ring_balance_bound;
+          test_ring_join_minimal_movement;
+          test_ring_leave_minimal_movement;
         ] );
       ( "depchain",
         [

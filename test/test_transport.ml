@@ -5,6 +5,7 @@
 
 module Wire = Repro_transport.Wire
 module Transport = Repro_transport.Transport
+module Live = Repro_transport.Live
 module Fault = Repro_msgpass.Fault
 module Latency = Repro_msgpass.Latency
 module Distribution = Repro_sharegraph.Distribution
@@ -21,23 +22,36 @@ let qcheck = QCheck_alcotest.to_alcotest
 
 let frame_gen =
   QCheck.Gen.(
-    let* kind = oneofl [ Wire.Data; Wire.Hello; Wire.Done; Wire.Creq; Wire.Cresp ] in
+    let* kind =
+      oneofl
+        [
+          Wire.Data; Wire.Hello; Wire.Done; Wire.Creq; Wire.Cresp; Wire.Join;
+          Wire.Leave; Wire.Transfer; Wire.Epoch; Wire.Ping; Wire.Pong;
+        ]
+    in
     let* src = int_bound 0xFFFF in
     let* dst = int_bound 0xFFFF in
+    let* epoch = int_bound 0xFFFF in
     let* control_bytes = int_bound 1_000_000 in
     let* payload_bytes = int_bound 1_000_000 in
     let* body = string_size (int_bound 512) in
-    return { Wire.kind; src; dst; control_bytes; payload_bytes; body })
+    return { Wire.kind; src; dst; epoch; control_bytes; payload_bytes; body })
 
 let frame_print (f : Wire.frame) =
-  Printf.sprintf "{kind=%s src=%d dst=%d cb=%d pb=%d body=%S}"
+  Printf.sprintf "{kind=%s src=%d dst=%d epoch=%d cb=%d pb=%d body=%S}"
     (match f.kind with
     | Data -> "data"
     | Hello -> "hello"
     | Done -> "done"
     | Creq -> "creq"
-    | Cresp -> "cresp")
-    f.src f.dst f.control_bytes f.payload_bytes f.body
+    | Cresp -> "cresp"
+    | Join -> "join"
+    | Leave -> "leave"
+    | Transfer -> "transfer"
+    | Epoch -> "epoch"
+    | Ping -> "ping"
+    | Pong -> "pong")
+    f.src f.dst f.epoch f.control_bytes f.payload_bytes f.body
 
 let frame_arb = QCheck.make ~print:frame_print frame_gen
 
@@ -54,7 +68,7 @@ let test_marshalled_message_roundtrip () =
   let msg = Update { var = 3; value = Some 42; ts = [| 7; 0; 9 |] } in
   let body = Marshal.to_string (123, msg) [] in
   let frame =
-    { Wire.kind = Wire.Data; src = 1; dst = 2; control_bytes = 24;
+    { Wire.kind = Wire.Data; src = 1; dst = 2; epoch = 0; control_bytes = 24;
       payload_bytes = 8; body }
   in
   match Wire.of_bytes (Wire.encode frame) with
@@ -71,7 +85,7 @@ let test_marshalled_message_roundtrip () =
 
 let encoded () =
   Wire.encode
-    { Wire.kind = Wire.Data; src = 1; dst = 0; control_bytes = 8;
+    { Wire.kind = Wire.Data; src = 1; dst = 0; epoch = 3; control_bytes = 8;
       payload_bytes = 8; body = "payload" }
 
 let expect_error name input =
@@ -96,7 +110,7 @@ let test_bad_magic_rejected () =
 
 let test_unknown_kind_rejected () =
   let buf = encoded () in
-  Bytes.set_uint8 buf 5 9;
+  Bytes.set_uint8 buf 5 11;
   expect_error "unknown kind" buf
 
 let test_oversized_rejected () =
@@ -110,12 +124,12 @@ let test_oversized_rejected () =
 
 let test_negative_byte_count_rejected () =
   let buf = encoded () in
-  Bytes.set_int32_be buf 10 (-1l);
+  Bytes.set_int32_be buf 12 (-1l);
   expect_error "negative control bytes" buf
 
 let test_encode_validates () =
   let frame body src =
-    { Wire.kind = Wire.Data; src; dst = 0; control_bytes = 0;
+    { Wire.kind = Wire.Data; src; dst = 0; epoch = 0; control_bytes = 0;
       payload_bytes = 0; body }
   in
   (* validation lives in [set_header] now, shared with the zero-copy path *)
@@ -475,6 +489,79 @@ let test_coalescing_equivalence () =
     st1.Repro_msgpass.Net.total_control_bytes
     st8.Repro_msgpass.Net.total_control_bytes
 
+(* --- epoch fence at the live seam ------------------------------------------ *)
+
+(* Two real Live endpoints over loopback (the peer forked, as in the
+   cluster harness).  The peer emits a [Transfer] while still at epoch 0
+   after this node has committed epoch 2 — the fence must drop and count
+   it; its [Ping] crosses freely (control kinds are how nodes learn of a
+   newer epoch), and a [Transfer] re-stamped at the current epoch is
+   delivered. *)
+let test_epoch_fence () =
+  let fd0 = Live.bind (Unix.ADDR_INET (Unix.inet_addr_loopback, 0)) in
+  let fd1 = Live.bind (Unix.ADDR_INET (Unix.inet_addr_loopback, 0)) in
+  let peers = [| Live.listen_addr fd0; Live.listen_addr fd1 |] in
+  let config self =
+    {
+      Live.self;
+      n = 2;
+      peers;
+      fingerprint = "epoch-fence-test";
+      resilient = false;
+      incarnation = 0;
+      connect_timeout_ms = 0;
+    }
+  in
+  match Unix.fork () with
+  | 0 ->
+      (* the stale peer: node 1 sends while still at epoch 0 *)
+      let code =
+        try
+          Unix.close fd0;
+          let t = Live.create (config 1) ~listen_fd:fd1 in
+          Live.wait_peers t ~timeout_ms:5_000;
+          (* let the parent raise its epoch first *)
+          Unix.sleepf 0.3;
+          Live.send_control t ~dst:0 ~kind:Wire.Transfer ~body:"stale";
+          Live.send_control t ~dst:0 ~kind:Wire.Ping ~body:"ping";
+          Live.set_epoch t 2;
+          Live.send_control t ~dst:0 ~kind:Wire.Transfer ~body:"fresh";
+          let deadline = Live.now_ms t + 1_000 in
+          while Live.now_ms t < deadline do
+            ignore (Live.step t ~block:true)
+          done;
+          Live.close t;
+          0
+        with _ -> 1
+      in
+      Unix._exit code
+  | child ->
+      Unix.close fd1;
+      let t = Live.create (config 0) ~listen_fd:fd0 in
+      let seen = ref [] in
+      Live.set_control_handler t (fun ~reply:_ v ->
+          seen := (v.Wire.v_kind, Wire.view_body v) :: !seen);
+      Live.wait_peers t ~timeout_ms:5_000;
+      Live.set_epoch t 2;
+      let got k body = List.mem (k, body) !seen in
+      let deadline = Live.now_ms t + 5_000 in
+      while
+        not (got Wire.Ping "ping" && got Wire.Transfer "fresh")
+        && Live.now_ms t < deadline
+      do
+        ignore (Live.step t ~block:true)
+      done;
+      check Alcotest.bool "ping crossed the fence" true (got Wire.Ping "ping");
+      check Alcotest.bool "current-epoch transfer delivered" true
+        (got Wire.Transfer "fresh");
+      check Alcotest.bool "stale transfer never dispatched" false
+        (got Wire.Transfer "stale");
+      check Alcotest.int "stale frame counted" 1 (Live.stale_epochs t);
+      Live.close t;
+      let _, status = Unix.waitpid [] child in
+      check Alcotest.bool "peer exited cleanly" true
+        (status = Unix.WEXITED 0)
+
 let () =
   Alcotest.run "repro_transport"
     [
@@ -514,6 +601,8 @@ let () =
           Alcotest.test_case "sim factory equals direct construction" `Quick
             test_sim_factory_equivalence;
         ] );
+      ( "live",
+        [ Alcotest.test_case "epoch fence at the seam" `Quick test_epoch_fence ] );
       ( "session",
         [
           test_session_exactly_once_in_order;
